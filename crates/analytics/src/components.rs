@@ -1,0 +1,91 @@
+//! Connected components via label propagation (undirected view).
+
+use tgraph::fxhash::FxHashMap;
+use tgraph::NodeId;
+
+use crate::graphref::GraphRef;
+use crate::pregel::{self, VertexProgram};
+
+struct MinLabel;
+
+impl VertexProgram for MinLabel {
+    type Value = u64;
+    type Message = u64;
+
+    fn init(&self, node: NodeId, _degree: usize) -> u64 {
+        node.raw()
+    }
+
+    fn compute(
+        &self,
+        superstep: usize,
+        _node: NodeId,
+        value: &mut u64,
+        messages: &[u64],
+        neighbors: &[NodeId],
+    ) -> Vec<(NodeId, u64)> {
+        let incoming_min = messages.iter().copied().min().unwrap_or(u64::MAX);
+        let old = *value;
+        *value = (*value).min(incoming_min);
+        if superstep == 0 || *value < old {
+            neighbors.iter().map(|&n| (n, *value)).collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn combine(&self, a: &u64, b: &u64) -> Option<u64> {
+        Some(*a.min(b))
+    }
+}
+
+/// Assigns every node a component label (the smallest node id reachable from
+/// it following edges in their stored direction and, for undirected edges,
+/// both ways). Returns `(labels, component_count)`.
+pub fn connected_components<G: GraphRef>(graph: &G) -> (FxHashMap<NodeId, u64>, usize) {
+    let result = pregel::run(graph, &MinLabel, graph.count_nodes().max(1) * 2);
+    let mut distinct: Vec<u64> = result.values.values().copied().collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    (result.values, distinct.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph::{EdgeId, Snapshot};
+
+    #[test]
+    fn two_islands_are_two_components() {
+        let mut g = Snapshot::new();
+        for i in 0..6u64 {
+            g.ensure_node(NodeId(i));
+        }
+        g.add_edge(EdgeId(1), NodeId(0), NodeId(1), false).unwrap();
+        g.add_edge(EdgeId(2), NodeId(1), NodeId(2), false).unwrap();
+        g.add_edge(EdgeId(3), NodeId(3), NodeId(4), false).unwrap();
+        g.add_edge(EdgeId(4), NodeId(4), NodeId(5), false).unwrap();
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(labels[&NodeId(2)], 0);
+        assert_eq!(labels[&NodeId(5)], 3);
+    }
+
+    #[test]
+    fn isolated_nodes_are_their_own_components() {
+        let mut g = Snapshot::new();
+        for i in 0..4u64 {
+            g.ensure_node(NodeId(i));
+        }
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = Snapshot::new();
+        let (labels, count) = connected_components(&g);
+        assert!(labels.is_empty());
+        assert_eq!(count, 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Degree and density statistics.
+//!
+//! "What is the average monthly density of the network since 1997" is one of
+//! the motivating temporal queries of the paper's introduction; these helpers
+//! compute the per-snapshot quantities that such analyses aggregate.
+
+use std::collections::BTreeMap;
+
+use crate::graphref::GraphRef;
+
+/// Histogram of out-degrees: degree → number of nodes.
+pub fn degree_distribution<G: GraphRef>(graph: &G) -> BTreeMap<usize, usize> {
+    let mut hist = BTreeMap::new();
+    for node in graph.node_ids() {
+        *hist.entry(graph.degree_of(node)).or_insert(0) += 1;
+    }
+    hist
+}
+
+/// Mean out-degree.
+pub fn average_degree<G: GraphRef>(graph: &G) -> f64 {
+    let n = graph.count_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: usize = graph.node_ids().iter().map(|&v| graph.degree_of(v)).sum();
+    total as f64 / n as f64
+}
+
+/// Graph density: `|E| / (|V|·(|V|−1)/2)` (undirected convention).
+pub fn density<G: GraphRef>(graph: &G) -> f64 {
+    let n = graph.count_nodes();
+    if n < 2 {
+        return 0.0;
+    }
+    let possible = n as f64 * (n as f64 - 1.0) / 2.0;
+    graph.count_edges() as f64 / possible
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph::{EdgeId, NodeId, Snapshot};
+
+    fn triangle() -> Snapshot {
+        let mut s = Snapshot::new();
+        for i in 0..3u64 {
+            s.ensure_node(NodeId(i));
+        }
+        s.add_edge(EdgeId(1), NodeId(0), NodeId(1), false).unwrap();
+        s.add_edge(EdgeId(2), NodeId(1), NodeId(2), false).unwrap();
+        s.add_edge(EdgeId(3), NodeId(2), NodeId(0), false).unwrap();
+        s
+    }
+
+    #[test]
+    fn triangle_statistics() {
+        let g = triangle();
+        assert_eq!(average_degree(&g), 2.0);
+        assert!((density(&g) - 1.0).abs() < 1e-9);
+        let hist = degree_distribution(&g);
+        assert_eq!(hist.get(&2), Some(&3));
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let empty = Snapshot::new();
+        assert_eq!(average_degree(&empty), 0.0);
+        assert_eq!(density(&empty), 0.0);
+        let mut one = Snapshot::new();
+        one.ensure_node(NodeId(1));
+        assert_eq!(density(&one), 0.0);
+        assert_eq!(degree_distribution(&one).get(&0), Some(&1));
+    }
+}

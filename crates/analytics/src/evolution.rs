@@ -1,0 +1,120 @@
+//! Temporal analyses over a sequence of snapshots.
+//!
+//! Figure 1 of the paper plots how the PageRank ranks of the authors that are
+//! in the top 25 in 2004 evolved over the preceding years. [`rank_evolution`]
+//! reproduces exactly that computation over any sequence of retrieved
+//! snapshots.
+
+use tgraph::fxhash::FxHashMap;
+use tgraph::{NodeId, Timestamp};
+
+use crate::graphref::GraphRef;
+use crate::pagerank::{pagerank, rank_positions, top_k_by_rank, DAMPING};
+
+/// The rank trajectory of one node over the analyzed time points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankSeries {
+    /// The node being tracked.
+    pub node: NodeId,
+    /// `(time, rank position)` pairs; `None` when the node does not exist in
+    /// that snapshot yet.
+    pub ranks: Vec<(Timestamp, Option<usize>)>,
+}
+
+/// Tracks how the nodes ranked in the top `k` of the *last* snapshot evolved
+/// across all the given snapshots (the Figure 1 analysis).
+///
+/// `snapshots` are `(time, graph)` pairs in chronological order.
+pub fn rank_evolution<G: GraphRef>(
+    snapshots: &[(Timestamp, G)],
+    k: usize,
+    pagerank_iterations: usize,
+) -> Vec<RankSeries> {
+    let Some((_, last)) = snapshots.last() else {
+        return Vec::new();
+    };
+    let final_scores = pagerank(last, pagerank_iterations, DAMPING);
+    let tracked: Vec<NodeId> = top_k_by_rank(&final_scores, k)
+        .into_iter()
+        .map(|(n, _)| n)
+        .collect();
+
+    // rank positions per snapshot
+    let mut per_snapshot: Vec<(Timestamp, FxHashMap<NodeId, usize>)> = Vec::new();
+    for (t, graph) in snapshots {
+        let scores = pagerank(graph, pagerank_iterations, DAMPING);
+        per_snapshot.push((*t, rank_positions(&scores)));
+    }
+
+    tracked
+        .into_iter()
+        .map(|node| RankSeries {
+            node,
+            ranks: per_snapshot
+                .iter()
+                .map(|(t, positions)| (*t, positions.get(&node).copied()))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Per-snapshot graph density, for "average density since ..." style queries.
+pub fn density_over_time<G: GraphRef>(snapshots: &[(Timestamp, G)]) -> Vec<(Timestamp, f64)> {
+    snapshots
+        .iter()
+        .map(|(t, g)| (*t, crate::degree::density(g)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph::{EdgeId, Snapshot};
+
+    /// Three snapshots of a star graph whose hub switches from node 0 to
+    /// node 100 over time.
+    fn snapshots() -> Vec<(Timestamp, Snapshot)> {
+        let star = |hub: u64, leaves: std::ops::Range<u64>, base_edge: u64| {
+            let mut s = Snapshot::new();
+            s.ensure_node(NodeId(hub));
+            for (i, leaf) in leaves.enumerate() {
+                s.ensure_node(NodeId(leaf));
+                s.add_edge(EdgeId(base_edge + i as u64), NodeId(hub), NodeId(leaf), false)
+                    .unwrap();
+            }
+            s
+        };
+        vec![
+            (Timestamp(1), star(0, 1..8, 0)),
+            (Timestamp(2), star(0, 1..8, 0)),
+            (Timestamp(3), star(100, 1..8, 100)),
+        ]
+    }
+
+    #[test]
+    fn tracks_top_nodes_of_the_final_snapshot() {
+        let snaps = snapshots();
+        let series = rank_evolution(&snaps, 1, 20);
+        assert_eq!(series.len(), 1);
+        let hub_series = &series[0];
+        assert_eq!(hub_series.node, NodeId(100));
+        // absent in the first two snapshots, rank 1 in the last
+        assert_eq!(hub_series.ranks[0].1, None);
+        assert_eq!(hub_series.ranks[1].1, None);
+        assert_eq!(hub_series.ranks[2].1, Some(1));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let series = rank_evolution::<Snapshot>(&[], 5, 10);
+        assert!(series.is_empty());
+    }
+
+    #[test]
+    fn density_series_has_one_point_per_snapshot() {
+        let snaps = snapshots();
+        let densities = density_over_time(&snaps);
+        assert_eq!(densities.len(), 3);
+        assert!(densities.iter().all(|(_, d)| *d > 0.0));
+    }
+}

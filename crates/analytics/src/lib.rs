@@ -1,0 +1,35 @@
+//! # analytics — network analysis over retrieved snapshots
+//!
+//! The whole point of efficient snapshot retrieval is to run analyses over
+//! the retrieved graphs: the paper's motivating examples include PageRank
+//! evolution in a co-authorship network (Figure 1), community/centrality
+//! change over time, and a Pregel-like iterative framework used for the
+//! distributed PageRank experiment on Dataset 3.
+//!
+//! This crate provides:
+//!
+//! * [`GraphRef`] — a read-only graph abstraction implemented both by
+//!   standalone [`tgraph::Snapshot`]s and by [`graphpool::GraphView`]s, so
+//!   every algorithm runs directly against the GraphPool (and the bitmap
+//!   filtering penalty of Section 7 can be measured),
+//! * [`pregel`] — a vertex-centric, superstep-based computation framework,
+//! * [`pagerank`], [`components`], [`triangles`], [`degree`] — the analyses
+//!   used in the paper's motivation and evaluation,
+//! * [`evolution`] — helpers for temporal analyses over a sequence of
+//!   snapshots (rank evolution, density over time).
+
+pub mod components;
+pub mod degree;
+pub mod evolution;
+pub mod graphref;
+pub mod pagerank;
+pub mod pregel;
+pub mod triangles;
+
+pub use components::connected_components;
+pub use degree::{average_degree, degree_distribution, density};
+pub use evolution::{rank_evolution, RankSeries};
+pub use graphref::GraphRef;
+pub use pagerank::{pagerank, top_k_by_rank};
+pub use pregel::{PregelResult, VertexProgram};
+pub use triangles::triangle_count;

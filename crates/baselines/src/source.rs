@@ -1,0 +1,54 @@
+//! The common interface of every snapshot-retrieval approach.
+
+use tgraph::{AttrOptions, Snapshot, Timestamp};
+
+/// Anything that can produce the historical snapshot as of a time point.
+///
+/// Implemented by the baselines in this crate and (via an adapter in the
+/// facade crate) by the DeltaGraph itself, so benchmarks and tests can treat
+/// every approach uniformly.
+pub trait SnapshotSource {
+    /// Retrieves the snapshot as of time `t` with the requested attributes.
+    fn snapshot_at(&self, t: Timestamp, opts: &AttrOptions) -> tgraph::Result<Snapshot>;
+
+    /// Human-readable name used in benchmark output.
+    fn source_name(&self) -> &'static str;
+
+    /// Bytes of persistent storage used by the approach (0 for purely
+    /// in-memory approaches).
+    fn storage_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Bytes of main memory permanently used by the approach's index
+    /// structures (not counting retrieved snapshots).
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Empty;
+    impl SnapshotSource for Empty {
+        fn snapshot_at(&self, _t: Timestamp, _opts: &AttrOptions) -> tgraph::Result<Snapshot> {
+            Ok(Snapshot::new())
+        }
+        fn source_name(&self) -> &'static str {
+            "empty"
+        }
+    }
+
+    #[test]
+    fn default_accounting_is_zero() {
+        let e = Empty;
+        assert_eq!(e.storage_bytes(), 0);
+        assert_eq!(e.memory_bytes(), 0);
+        assert!(e
+            .snapshot_at(Timestamp(1), &AttrOptions::all())
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks for index construction: differential functions
+//! and arities.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{dblp_like, DblpConfig};
+use deltagraph::{DeltaGraph, DeltaGraphConfig, DifferentialFunction};
+use kvstore::MemStore;
+
+fn construction_benches(c: &mut Criterion) {
+    let ds = dblp_like(&DblpConfig::tiny(2001).scaled(4.0));
+    let leaf = (ds.events.len() / 20).max(40);
+
+    let mut group = c.benchmark_group("construction_diff_fn");
+    group.sample_size(10);
+    for (name, f) in [
+        ("intersection", DifferentialFunction::Intersection),
+        ("balanced", DifferentialFunction::Balanced),
+        ("empty_copylog", DifferentialFunction::Empty),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &f, |b, &f| {
+            b.iter(|| {
+                DeltaGraph::build(
+                    &ds.events,
+                    DeltaGraphConfig::new(leaf, 2).with_diff_fn(f),
+                    Arc::new(MemStore::new()),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("construction_arity");
+    group.sample_size(10);
+    for arity in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(arity), &arity, |b, &arity| {
+            b.iter(|| {
+                DeltaGraph::build(
+                    &ds.events,
+                    DeltaGraphConfig::new(leaf, arity)
+                        .with_diff_fn(DifferentialFunction::Intersection),
+                    Arc::new(MemStore::new()),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, construction_benches);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks for the GraphPool: overlaying snapshots
+//! (plain vs dependent) and the bitmap-filtering penalty on analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::{dblp_like, DblpConfig};
+use graphpool::GraphPool;
+use tgraph::Timestamp;
+
+fn graphpool_benches(c: &mut Criterion) {
+    let ds = dblp_like(&DblpConfig::tiny(3001).scaled(4.0));
+    let full = ds.final_snapshot();
+    let half = ds.snapshot_at(Timestamp(1995));
+
+    let mut group = c.benchmark_group("graphpool_overlay");
+    group.sample_size(20);
+    group.bench_function("plain_overlay", |b| {
+        b.iter(|| {
+            let mut pool = GraphPool::new();
+            pool.add_historical(&half, Timestamp(1995));
+        })
+    });
+    group.bench_function("dependent_overlay_on_materialized", |b| {
+        b.iter(|| {
+            let mut pool = GraphPool::new();
+            let dep = pool.add_materialized(&full);
+            pool.add_historical_dependent(&half, Timestamp(1995), dep);
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("bitmap_penalty_traversal");
+    group.sample_size(20);
+    let mut pool = GraphPool::new();
+    // several overlays so bitmaps are non-trivial
+    for year in [1970, 1980, 1990, 2000, 2010] {
+        pool.add_historical(&ds.snapshot_at(Timestamp(year)), Timestamp(year));
+    }
+    let handle = pool.add_historical(&full, Timestamp(2011));
+    let view = pool.view(handle);
+    group.bench_function("pagerank_on_plain_snapshot", |b| {
+        b.iter(|| analytics::pagerank(&full, 10, 0.85))
+    });
+    group.bench_function("pagerank_through_pool_view", |b| {
+        b.iter(|| analytics::pagerank(&view, 10, 0.85))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, graphpool_benches);
+criterion_main!(benches);

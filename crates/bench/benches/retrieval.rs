@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks for snapshot retrieval: DeltaGraph vs the
+//! baselines, single- vs multipoint, structure-only vs full attributes.
+
+use std::sync::Arc;
+
+use baselines::{CopyLog, IntervalTree, NaiveLog, SnapshotSource};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{churn_trace, uniform_timepoints, ChurnConfig};
+use deltagraph::{DeltaGraph, DeltaGraphConfig, DifferentialFunction};
+use kvstore::MemStore;
+use tgraph::AttrOptions;
+
+fn retrieval_benches(c: &mut Criterion) {
+    let ds = churn_trace(&ChurnConfig::tiny(1001).scaled(4.0));
+    let leaf = (ds.events.len() / 30).max(50);
+    let dg = DeltaGraph::build(
+        &ds.events,
+        DeltaGraphConfig::new(leaf, 2).with_diff_fn(DifferentialFunction::Intersection),
+        Arc::new(MemStore::new()),
+    )
+    .unwrap();
+    let copylog = CopyLog::build(&ds.events, leaf * 4, Arc::new(MemStore::new())).unwrap();
+    let log = NaiveLog::new(ds.events.clone());
+    let tree = IntervalTree::build(&ds.events);
+    let times = uniform_timepoints(ds.start_time(), ds.end_time(), 5);
+    let mid = times[2];
+
+    let mut group = c.benchmark_group("singlepoint_retrieval");
+    group.sample_size(20);
+    group.bench_function("deltagraph_intersection", |b| {
+        b.iter(|| dg.get_snapshot(mid, &AttrOptions::all()).unwrap())
+    });
+    group.bench_function("copy_log", |b| {
+        b.iter(|| copylog.snapshot_at(mid, &AttrOptions::all()).unwrap())
+    });
+    group.bench_function("interval_tree", |b| {
+        b.iter(|| tree.snapshot_at(mid, &AttrOptions::all()).unwrap())
+    });
+    group.bench_function("naive_log", |b| {
+        b.iter(|| log.snapshot_at(mid, &AttrOptions::all()).unwrap())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("attr_options");
+    group.sample_size(20);
+    group.bench_function("structure_only", |b| {
+        b.iter(|| dg.get_snapshot(mid, &AttrOptions::structure_only()).unwrap())
+    });
+    group.bench_function("all_attributes", |b| {
+        b.iter(|| dg.get_snapshot(mid, &AttrOptions::all()).unwrap())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("multipoint");
+    group.sample_size(15);
+    for k in [2usize, 4] {
+        let batch: Vec<_> = times.iter().copied().take(k).collect();
+        group.bench_with_input(BenchmarkId::new("steiner_multipoint", k), &batch, |b, batch| {
+            b.iter(|| dg.get_snapshots(batch, &AttrOptions::all()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("repeated_singlepoint", k), &batch, |b, batch| {
+            b.iter(|| {
+                batch
+                    .iter()
+                    .map(|&t| dg.get_snapshot(t, &AttrOptions::all()).unwrap())
+                    .collect::<Vec<_>>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, retrieval_benches);
+criterion_main!(benches);

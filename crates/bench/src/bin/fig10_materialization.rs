@@ -1,0 +1,55 @@
+//! Figure 10: effect of memory materialization on Dataset 2 (arity 4,
+//! Intersection) — average query time and the memory cost of materializing
+//! nothing, the root, the root's children, and the root's grandchildren.
+
+use bench::{build_deltagraph, dataset2, fresh_store, mean, print_table, HarnessOptions};
+use datagen::uniform_timepoints;
+use deltagraph::DifferentialFunction;
+use tgraph::AttrOptions;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let ds = dataset2(opts.scale);
+    let leaf = (ds.events.len() / 50).max(50);
+    let times = uniform_timepoints(ds.start_time(), ds.end_time(), 20);
+
+    let mut rows = Vec::new();
+    for (label, depth) in [
+        ("none", None),
+        ("root", Some(0u32)),
+        ("root's children", Some(1)),
+        ("root's grandchildren", Some(2)),
+    ] {
+        let mut dg = build_deltagraph(
+            &ds,
+            leaf,
+            4,
+            DifferentialFunction::Intersection,
+            fresh_store(&opts, &format!("fig10-{label}")),
+        );
+        match depth {
+            None => {}
+            Some(0) => {
+                dg.materialize_root().unwrap();
+            }
+            Some(d) => {
+                dg.materialize_descendants(d).unwrap();
+            }
+        }
+        let ms: Vec<f64> = times
+            .iter()
+            .map(|&t| bench::time_ms(|| drop(dg.get_snapshot(t, &AttrOptions::all()).unwrap())))
+            .collect();
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}", mean(&ms)),
+            (dg.stats().materialized_bytes / 1024).to_string(),
+            dg.stats().materialized_nodes.to_string(),
+        ]);
+    }
+    print_table(
+        "Figure 10 — effect of materialization (Dataset 2, k=4, Intersection)",
+        &["materialization", "avg query ms", "materialized KiB", "materialized nodes"],
+        &rows,
+    );
+}

@@ -1,0 +1,116 @@
+//! Figure 11: how the differential function shapes the distribution of
+//! retrieval times over history on the growing-only Dataset 1 —
+//! (a) Intersection vs Balanced vs Balanced-with-root-materialized,
+//! (b) the Mixed function with r1 = r2 ∈ {0.1, 0.5, 0.9}.
+
+use bench::{build_deltagraph, dataset1, fresh_store, mean, print_table, HarnessOptions};
+use datagen::uniform_timepoints;
+use deltagraph::{DeltaGraph, DifferentialFunction};
+use tgraph::AttrOptions;
+
+fn per_time_ms(dg: &DeltaGraph, times: &[tgraph::Timestamp]) -> Vec<f64> {
+    times
+        .iter()
+        .map(|&t| bench::time_ms(|| drop(dg.get_snapshot(t, &AttrOptions::all()).unwrap())))
+        .collect()
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let ds = dataset1(opts.scale);
+    let leaf = (ds.events.len() / 50).max(50);
+    let times = uniform_timepoints(ds.start_time(), ds.end_time(), 20);
+
+    // (a) Intersection vs Balanced, with and without root materialization
+    let intersection = build_deltagraph(
+        &ds,
+        leaf,
+        2,
+        DifferentialFunction::Intersection,
+        fresh_store(&opts, "fig11-int"),
+    );
+    let balanced = build_deltagraph(
+        &ds,
+        leaf,
+        2,
+        DifferentialFunction::Balanced,
+        fresh_store(&opts, "fig11-bal"),
+    );
+    let mut balanced_mat = build_deltagraph(
+        &ds,
+        leaf,
+        2,
+        DifferentialFunction::Balanced,
+        fresh_store(&opts, "fig11-balmat"),
+    );
+    balanced_mat.materialize_root().unwrap();
+
+    let int_ms = per_time_ms(&intersection, &times);
+    let bal_ms = per_time_ms(&balanced, &times);
+    let balm_ms = per_time_ms(&balanced_mat, &times);
+    let rows: Vec<Vec<String>> = times
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            vec![
+                t.to_string(),
+                format!("{:.1}", int_ms[i]),
+                format!("{:.1}", bal_ms[i]),
+                format!("{:.1}", balm_ms[i]),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 11(a) — Intersection vs Balanced (Dataset 1)",
+        &["time", "intersection ms", "balanced ms", "balanced+root-mat ms"],
+        &rows,
+    );
+    println!(
+        "means: intersection {:.1} ms, balanced {:.1} ms, balanced+root-mat {:.1} ms",
+        mean(&int_ms),
+        mean(&bal_ms),
+        mean(&balm_ms)
+    );
+    // skew of intersection: newest-quarter queries vs oldest-quarter queries
+    let q = times.len() / 4;
+    println!(
+        "intersection skew: oldest quarter {:.1} ms vs newest quarter {:.1} ms",
+        mean(&int_ms[..q]),
+        mean(&int_ms[int_ms.len() - q..])
+    );
+
+    // (b) the Mixed function at three r1=r2 settings
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for r in [0.1, 0.5, 0.9] {
+        let dg = build_deltagraph(
+            &ds,
+            leaf,
+            2,
+            DifferentialFunction::Mixed { r1: r, r2: r },
+            fresh_store(&opts, &format!("fig11-mixed{}", (r * 10.0) as u32)),
+        );
+        series.push((r, per_time_ms(&dg, &times)));
+    }
+    for (i, t) in times.iter().enumerate() {
+        let mut row = vec![t.to_string()];
+        for (_, ms) in &series {
+            row.push(format!("{:.1}", ms[i]));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 11(b) — Mixed function configurations (Dataset 1)",
+        &["time", "r1=r2=0.1 ms", "r1=r2=0.5 ms", "r1=r2=0.9 ms"],
+        &rows,
+    );
+    for (r, ms) in &series {
+        let q = ms.len() / 4;
+        println!(
+            "r1=r2={r}: mean {:.1} ms, oldest quarter {:.1} ms, newest quarter {:.1} ms",
+            mean(ms),
+            mean(&ms[..q]),
+            mean(&ms[ms.len() - q..])
+        );
+    }
+}

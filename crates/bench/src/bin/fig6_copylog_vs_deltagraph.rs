@@ -1,0 +1,126 @@
+//! Figure 6: snapshot retrieval time of Copy+Log vs DeltaGraph(Intersection)
+//! for 25 uniformly spaced queries on Datasets 1 and 2, under a comparable
+//! disk budget; on Dataset 2 a root-materialized DeltaGraph variant is also
+//! shown. Pass `--with-log` to add the naive Log baseline (reported in the
+//! paper's text as 20–23× slower on average).
+
+use baselines::{CopyLog, NaiveLog, SnapshotSource};
+use bench::{build_deltagraph, dataset1, dataset2, fresh_store, mean, print_table, HarnessOptions};
+use datagen::uniform_timepoints;
+use deltagraph::DifferentialFunction;
+use tgraph::AttrOptions;
+
+fn run(ds: &datagen::Dataset, opts: &HarnessOptions, with_root_mat: bool, with_log: bool) {
+    let leaf_size = (ds.events.len() / 60).max(50);
+    // Copy+Log stores full snapshots, so with the same disk budget it can
+    // afford far fewer copies; 4x coarser chunks keep its footprint in the
+    // same ballpark (both footprints are reported below).
+    let copylog_chunk = leaf_size * 4;
+
+    let dg = build_deltagraph(
+        ds,
+        leaf_size,
+        2,
+        DifferentialFunction::Intersection,
+        fresh_store(opts, &format!("fig6-dg-{}", ds.name)),
+    );
+    let mut dg_mat = with_root_mat.then(|| {
+        let mut dg = build_deltagraph(
+            ds,
+            leaf_size,
+            2,
+            DifferentialFunction::Intersection,
+            fresh_store(opts, &format!("fig6-dgmat-{}", ds.name)),
+        );
+        dg.materialize_root().expect("materialize root");
+        dg
+    });
+    let copylog = CopyLog::build(
+        &ds.events,
+        copylog_chunk,
+        fresh_store(opts, &format!("fig6-cl-{}", ds.name)),
+    )
+    .expect("copy+log construction");
+    let log = with_log.then(|| NaiveLog::new(ds.events.clone()));
+
+    println!(
+        "\n[{}] events={} | DeltaGraph: L={}, disk={} KiB | Copy+Log: chunk={}, disk={} KiB",
+        ds.name,
+        ds.events.len(),
+        leaf_size,
+        dg.stats().stored_bytes / 1024,
+        copylog_chunk,
+        copylog.storage_bytes() / 1024,
+    );
+
+    let times = uniform_timepoints(ds.start_time(), ds.end_time(), 25);
+    let attrs = AttrOptions::all();
+    let mut rows = Vec::new();
+    let mut cl_ms_all = Vec::new();
+    let mut dg_ms_all = Vec::new();
+    let mut log_ms_all = Vec::new();
+    for &t in &times {
+        let (cl_snap, cl_ms) = bench::timed(|| copylog.snapshot_at(t, &attrs).unwrap());
+        let (dg_snap, dg_ms) = bench::timed(|| dg.get_snapshot(t, &attrs).unwrap());
+        assert_eq!(cl_snap, dg_snap, "approaches disagree at {t}");
+        let mat_ms = dg_mat
+            .as_mut()
+            .map(|d| bench::time_ms(|| drop(d.get_snapshot(t, &attrs).unwrap())));
+        let log_ms = log
+            .as_ref()
+            .map(|l| bench::time_ms(|| drop(l.snapshot_at(t, &attrs).unwrap())));
+        cl_ms_all.push(cl_ms);
+        dg_ms_all.push(dg_ms);
+        if let Some(ms) = log_ms {
+            log_ms_all.push(ms);
+        }
+        let mut row = vec![
+            t.to_string(),
+            format!("{cl_ms:.1}"),
+            format!("{dg_ms:.1}"),
+        ];
+        if let Some(ms) = mat_ms {
+            row.push(format!("{ms:.1}"));
+        }
+        if let Some(ms) = log_ms {
+            row.push(format!("{ms:.1}"));
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["time", "copy+log ms", "dg(int) ms"];
+    if with_root_mat {
+        header.push("dg(int,root-mat) ms");
+    }
+    if with_log {
+        header.push("log ms");
+    }
+    print_table(
+        &format!("Figure 6 ({}) — 25 uniformly spaced snapshot retrievals", ds.name),
+        &header,
+        &rows,
+    );
+    println!(
+        "mean: copy+log {:.1} ms, dg(int) {:.1} ms (speedup {:.1}x){}",
+        mean(&cl_ms_all),
+        mean(&dg_ms_all),
+        mean(&cl_ms_all) / mean(&dg_ms_all).max(1e-9),
+        if with_log {
+            format!(
+                ", naive log {:.1} ms ({:.0}x slower than dg)",
+                mean(&log_ms_all),
+                mean(&log_ms_all) / mean(&dg_ms_all).max(1e-9)
+            )
+        } else {
+            String::new()
+        }
+    );
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let with_log = HarnessOptions::flag("--with-log");
+    let ds1 = dataset1(opts.scale);
+    let ds2 = dataset2(opts.scale);
+    run(&ds1, &opts, false, with_log);
+    run(&ds2, &opts, true, with_log);
+}

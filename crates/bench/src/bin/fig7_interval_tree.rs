@@ -1,0 +1,90 @@
+//! Figure 7: DeltaGraph configurations vs an in-memory interval tree on
+//! Dataset 2 — (a) retrieval time for 25 queries, (b) index memory.
+//! Variants: interval tree, largely disk-resident DeltaGraph with the root's
+//! grandchildren materialized, and a fully (leaf-)materialized DeltaGraph.
+
+use baselines::{IntervalTree, SnapshotSource};
+use bench::{build_deltagraph, dataset2, fresh_store, mean, print_table, HarnessOptions};
+use datagen::uniform_timepoints;
+use deltagraph::DifferentialFunction;
+use tgraph::AttrOptions;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let ds = dataset2(opts.scale);
+    let leaf_size = (ds.events.len() / 40).max(50);
+
+    let tree = IntervalTree::build(&ds.events);
+
+    let mut dg_grandchildren = build_deltagraph(
+        &ds,
+        leaf_size,
+        4,
+        DifferentialFunction::Intersection,
+        fresh_store(&opts, "fig7-gc"),
+    );
+    dg_grandchildren.materialize_descendants(2).unwrap();
+
+    let mut dg_total = build_deltagraph(
+        &ds,
+        leaf_size,
+        4,
+        DifferentialFunction::Intersection,
+        fresh_store(&opts, "fig7-total"),
+    );
+    dg_total.materialize_all_leaves().unwrap();
+
+    let times = uniform_timepoints(ds.start_time(), ds.end_time(), 25);
+    let attrs = AttrOptions::all();
+    let mut rows = Vec::new();
+    let (mut tree_ms, mut gc_ms, mut total_ms) = (Vec::new(), Vec::new(), Vec::new());
+    for &t in &times {
+        let (a, ms1) = bench::timed(|| tree.snapshot_at(t, &attrs).unwrap());
+        let (b, ms2) = bench::timed(|| dg_grandchildren.get_snapshot(t, &attrs).unwrap());
+        let (c, ms3) = bench::timed(|| dg_total.get_snapshot(t, &attrs).unwrap());
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        tree_ms.push(ms1);
+        gc_ms.push(ms2);
+        total_ms.push(ms3);
+        rows.push(vec![
+            t.to_string(),
+            format!("{ms1:.1}"),
+            format!("{ms2:.1}"),
+            format!("{ms3:.1}"),
+        ]);
+    }
+    print_table(
+        "Figure 7(a) — retrieval time, Dataset 2 (k=4)",
+        &["time", "interval tree ms", "dg root-grandchildren-mat ms", "dg total-mat ms"],
+        &rows,
+    );
+    println!(
+        "mean: interval tree {:.1} ms, dg(grandchildren mat) {:.1} ms, dg(total mat) {:.1} ms",
+        mean(&tree_ms),
+        mean(&gc_ms),
+        mean(&total_ms)
+    );
+
+    print_table(
+        "Figure 7(b) — index memory (KiB)",
+        &["approach", "in-memory KiB", "on-disk KiB"],
+        &[
+            vec![
+                "interval tree".into(),
+                (tree.memory_bytes() / 1024).to_string(),
+                "0".into(),
+            ],
+            vec![
+                "dg root-grandchildren-mat".into(),
+                (dg_grandchildren.stats().materialized_bytes / 1024).to_string(),
+                (dg_grandchildren.stats().stored_bytes / 1024).to_string(),
+            ],
+            vec![
+                "dg total-mat".into(),
+                (dg_total.stats().materialized_bytes / 1024).to_string(),
+                (dg_total.stats().stored_bytes / 1024).to_string(),
+            ],
+        ],
+    );
+}

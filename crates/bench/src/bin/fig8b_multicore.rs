@@ -1,0 +1,59 @@
+//! Figure 8(b): multicore parallelism — average snapshot retrieval time on a
+//! partitioned (4-way) Dataset 2 index as the number of retrieval threads
+//! grows from 1 to 4.
+
+use std::sync::Arc;
+
+use bench::{dataset2, mean, print_table, HarnessOptions};
+use datagen::uniform_timepoints;
+use deltagraph::{DeltaGraph, DeltaGraphConfig, DifferentialFunction};
+use kvstore::{KeyValueStore, PartitionedStore};
+use tgraph::AttrOptions;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let ds = dataset2(opts.scale);
+    let partitions = 4u32;
+
+    let store: Arc<dyn KeyValueStore> = if opts.on_disk {
+        let dir = std::env::temp_dir().join(format!("historygraph-bench-{}-fig8b", std::process::id()));
+        Arc::new(PartitionedStore::on_disk(&dir, partitions).expect("partitioned store"))
+    } else {
+        Arc::new(PartitionedStore::in_memory(partitions))
+    };
+    let mut dg = DeltaGraph::build(
+        &ds.events,
+        DeltaGraphConfig::new((ds.events.len() / 50).max(50), 2)
+            .with_diff_fn(DifferentialFunction::Intersection)
+            .with_partitions(partitions),
+        store,
+    )
+    .expect("build partitioned index");
+
+    let times = uniform_timepoints(ds.start_time(), ds.end_time(), 20);
+    let mut rows = Vec::new();
+    let mut baseline = 0.0;
+    for threads in 1..=4usize {
+        dg.set_retrieval_threads(threads);
+        let mut ms_all = Vec::new();
+        for &t in &times {
+            ms_all.push(bench::time_ms(|| {
+                drop(dg.get_snapshot(t, &AttrOptions::all()).unwrap())
+            }));
+        }
+        let avg = mean(&ms_all);
+        if threads == 1 {
+            baseline = avg;
+        }
+        rows.push(vec![
+            threads.to_string(),
+            format!("{avg:.1}"),
+            format!("{:.2}x", baseline / avg.max(1e-9)),
+        ]);
+    }
+    print_table(
+        "Figure 8(b) — average retrieval time vs retrieval threads (4 partitions, Dataset 2)",
+        &["threads", "avg retrieval ms", "speedup"],
+        &rows,
+    );
+}

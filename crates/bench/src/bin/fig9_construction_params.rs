@@ -1,0 +1,70 @@
+//! Figure 9: effect of the construction parameters on Dataset 1 —
+//! (a) varying the arity `k`, (b) varying the leaf-eventlist size `L`;
+//! both the average query time and the index space are reported.
+
+use bench::{build_deltagraph, dataset1, fresh_store, mean, print_table, HarnessOptions};
+use datagen::uniform_timepoints;
+use deltagraph::DifferentialFunction;
+use tgraph::AttrOptions;
+
+fn average_query_ms(dg: &deltagraph::DeltaGraph, ds: &datagen::Dataset) -> f64 {
+    let times = uniform_timepoints(ds.start_time(), ds.end_time(), 15);
+    let ms: Vec<f64> = times
+        .iter()
+        .map(|&t| bench::time_ms(|| drop(dg.get_snapshot(t, &AttrOptions::all()).unwrap())))
+        .collect();
+    mean(&ms)
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let ds = dataset1(opts.scale);
+    let base_leaf = (ds.events.len() / 40).max(50);
+
+    // (a) varying arity at fixed L
+    let mut rows = Vec::new();
+    for arity in [2, 3, 4, 6, 8] {
+        let dg = build_deltagraph(
+            &ds,
+            base_leaf,
+            arity,
+            DifferentialFunction::Intersection,
+            fresh_store(&opts, &format!("fig9-k{arity}")),
+        );
+        rows.push(vec![
+            arity.to_string(),
+            format!("{:.1}", average_query_ms(&dg, &ds)),
+            (dg.stats().stored_bytes / 1024).to_string(),
+            dg.stats().height.to_string(),
+        ]);
+    }
+    print_table(
+        &format!("Figure 9(a) — varying arity (Dataset 1, L={base_leaf})"),
+        &["arity k", "avg query ms", "space KiB", "height"],
+        &rows,
+    );
+
+    // (b) varying leaf-eventlist size at fixed arity
+    let mut rows = Vec::new();
+    for factor in [1usize, 2, 4, 8] {
+        let leaf = base_leaf * factor;
+        let dg = build_deltagraph(
+            &ds,
+            leaf,
+            2,
+            DifferentialFunction::Intersection,
+            fresh_store(&opts, &format!("fig9-l{leaf}")),
+        );
+        rows.push(vec![
+            leaf.to_string(),
+            format!("{:.1}", average_query_ms(&dg, &ds)),
+            (dg.stats().stored_bytes / 1024).to_string(),
+            dg.stats().leaves.to_string(),
+        ]);
+    }
+    print_table(
+        "Figure 9(b) — varying leaf-eventlist size (Dataset 1, k=2)",
+        &["leaf size L", "avg query ms", "space KiB", "leaves"],
+        &rows,
+    );
+}

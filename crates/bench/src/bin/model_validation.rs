@@ -1,0 +1,92 @@
+//! Section 5: the analytical space model vs measured index sizes, for the
+//! Balanced and Intersection differential functions on a constant-rate trace.
+
+use bench::{build_deltagraph, dataset2, fresh_store, print_table, HarnessOptions};
+use deltagraph::model::{balanced, baselines as model_baselines, intersection, DynamicsModel};
+use deltagraph::{DifferentialFunction, EdgePayload};
+use tgraph::AttrOptions;
+
+fn measured_changes(dg: &deltagraph::DeltaGraph) -> usize {
+    let mut total = 0usize;
+    for edge in dg.skeleton().edges() {
+        if let EdgePayload::Delta { delta_id } = edge.payload {
+            total += dg
+                .payload_store()
+                .read_delta(delta_id, &AttrOptions::all())
+                .expect("read delta")
+                .change_count();
+        }
+    }
+    total
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let ds = dataset2(opts.scale);
+    let model = DynamicsModel::from_eventlist(&ds.events);
+    let leaf = (ds.events.len() / 40).max(50);
+    let arity = 2;
+
+    println!(
+        "trace: |E|={} δ*={:.2} ρ*={:.2} L={leaf} k={arity}",
+        ds.events.len(),
+        model.insert_fraction,
+        model.delete_fraction
+    );
+
+    let balanced_dg = build_deltagraph(
+        &ds,
+        leaf,
+        arity,
+        DifferentialFunction::Balanced,
+        fresh_store(&opts, "model-bal"),
+    );
+    let intersection_dg = build_deltagraph(
+        &ds,
+        leaf,
+        arity,
+        DifferentialFunction::Intersection,
+        fresh_store(&opts, "model-int"),
+    );
+
+    let predicted_balanced =
+        balanced::total_delta_space(&model, arity, leaf) + balanced::root_size(&model);
+    let rows = vec![
+        vec![
+            "balanced".to_string(),
+            format!("{predicted_balanced:.0}"),
+            measured_changes(&balanced_dg).to_string(),
+        ],
+        vec![
+            "intersection".to_string(),
+            intersection::root_size(&model)
+                .map(|v| format!("root≈{v:.0}"))
+                .unwrap_or_else(|| "no closed form".to_string()),
+            measured_changes(&intersection_dg).to_string(),
+        ],
+    ];
+    print_table(
+        "Section 5 — predicted vs measured delta space (graph elements)",
+        &["differential function", "model prediction", "measured changes"],
+        &rows,
+    );
+
+    print_table(
+        "Section 5.4 — baseline space estimates (elements)",
+        &["approach", "estimate"],
+        &[
+            vec![
+                "copy+log".into(),
+                format!("{:.0}", model_baselines::copy_log_space(&model, leaf)),
+            ],
+            vec![
+                "interval tree".into(),
+                format!("{:.0}", model_baselines::interval_tree_space(&model)),
+            ],
+            vec![
+                "segment tree".into(),
+                format!("{:.0}", model_baselines::segment_tree_space(&model)),
+            ],
+        ],
+    );
+}

@@ -1,0 +1,203 @@
+//! Dataset 2: a trace with both additions and deletions.
+//!
+//! The paper's Dataset 2 takes Dataset 1 as its starting snapshot and appends
+//! 2M events — 1M edge additions and 1M edge deletions — so that, unlike the
+//! growing-only DBLP trace, older and newer snapshots have comparable sizes
+//! and the Intersection differential function behaves very differently.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tgraph::{AttrValue, EdgeId, Event, EventList, NodeId, Timestamp};
+
+use crate::dblp::{dblp_like, superlinear_time, DblpConfig};
+use crate::Dataset;
+
+/// Configuration for [`churn_trace`].
+#[derive(Clone, Debug)]
+pub struct ChurnConfig {
+    /// Configuration of the growing base trace (Dataset 1).
+    pub base: DblpConfig,
+    /// Number of churn events appended after the base trace; half are edge
+    /// additions, half are edge deletions (subject to availability).
+    pub churn_events: usize,
+    /// RNG seed for the churn phase.
+    pub seed: u64,
+    /// Last time point of the churn phase.
+    pub end_time: i64,
+    /// Fraction of churn additions that also set an edge attribute.
+    pub attr_fraction: f64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            base: DblpConfig::default(),
+            churn_events: 20_000,
+            seed: 43,
+            end_time: 2012,
+            attr_fraction: 0.2,
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// A small configuration for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        ChurnConfig {
+            base: DblpConfig::tiny(seed),
+            churn_events: 400,
+            seed: seed.wrapping_add(1),
+            end_time: 2012,
+            attr_fraction: 0.2,
+        }
+    }
+
+    /// Scales both the base and the churn phase by `factor`.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.base = self.base.scaled(factor);
+        self.churn_events = ((self.churn_events as f64) * factor).max(10.0) as usize;
+        self
+    }
+}
+
+/// Generates Dataset 2: the growing base followed by an equal mix of edge
+/// additions and deletions.
+pub fn churn_trace(cfg: &ChurnConfig) -> Dataset {
+    let base = dblp_like(&cfg.base);
+    let base_end = base.end_time();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Track alive edges (with endpoints) and known nodes so that deletion
+    // events are well formed.
+    let final_base = base.final_snapshot();
+    let mut alive: Vec<(EdgeId, NodeId, NodeId)> = final_base
+        .edges()
+        .map(|(e, d)| (e, d.src, d.dst))
+        .collect();
+    alive.sort_by_key(|(e, _, _)| *e);
+    let nodes: Vec<NodeId> = {
+        let mut v: Vec<NodeId> = final_base.node_ids().collect();
+        v.sort_unstable();
+        v
+    };
+    let mut next_edge: u64 = alive.iter().map(|(e, _, _)| e.raw()).max().unwrap_or(0) + 1;
+
+    let mut events: Vec<Event> = base.events.clone().into_events();
+    let churn_start = base_end.raw() + 1;
+    for i in 0..cfg.churn_events {
+        let time = superlinear_time(i, cfg.churn_events, churn_start, cfg.end_time);
+        let delete = rng.gen_bool(0.5) && !alive.is_empty();
+        if delete {
+            let idx = rng.gen_range(0..alive.len());
+            let (e, src, dst) = alive.swap_remove(idx);
+            events.push(Event::delete_edge(time, e, src, dst));
+        } else {
+            let src = nodes[rng.gen_range(0..nodes.len())];
+            let mut dst = nodes[rng.gen_range(0..nodes.len())];
+            let mut tries = 0;
+            while dst == src && tries < 8 {
+                dst = nodes[rng.gen_range(0..nodes.len())];
+                tries += 1;
+            }
+            if dst == src {
+                continue;
+            }
+            let e = EdgeId(next_edge);
+            next_edge += 1;
+            events.push(Event::add_edge(time, e, src, dst));
+            if rng.gen_bool(cfg.attr_fraction) {
+                events.push(Event::set_edge_attr(
+                    time,
+                    e,
+                    "papers",
+                    None,
+                    Some(AttrValue::Int(rng.gen_range(1..20))),
+                ));
+            }
+            alive.push((e, src, dst));
+        }
+    }
+
+    Dataset {
+        name: "dataset2",
+        events: EventList::from_events(events),
+    }
+}
+
+/// Convenience: the time point separating the growing base from the churn
+/// phase for a given configuration (useful for focusing queries on the churn
+/// region, as the paper's Dataset 2 plots do).
+pub fn churn_phase_start(cfg: &ChurnConfig) -> Timestamp {
+    Timestamp(cfg.base.end_time + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_trace_is_deterministic() {
+        let a = churn_trace(&ChurnConfig::tiny(3));
+        let b = churn_trace(&ChurnConfig::tiny(3));
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn churn_trace_replays_without_errors() {
+        let ds = churn_trace(&ChurnConfig::tiny(5));
+        let snap = ds.final_snapshot();
+        assert!(snap.node_count() > 0);
+    }
+
+    #[test]
+    fn churn_phase_contains_additions_and_deletions() {
+        let cfg = ChurnConfig::tiny(7);
+        let ds = churn_trace(&cfg);
+        let start = churn_phase_start(&cfg);
+        let churn_events: Vec<_> = ds
+            .events
+            .events()
+            .iter()
+            .filter(|e| e.time >= start)
+            .collect();
+        let adds = churn_events.iter().filter(|e| e.is_insert()).count();
+        let dels = churn_events.iter().filter(|e| e.is_delete()).count();
+        assert!(adds > 0, "expected churn additions");
+        assert!(dels > 0, "expected churn deletions");
+        // roughly balanced (within a factor of two)
+        assert!(adds < dels * 2 && dels < adds * 2, "adds={adds} dels={dels}");
+    }
+
+    #[test]
+    fn graph_size_stays_roughly_constant_during_churn() {
+        let cfg = ChurnConfig::tiny(9);
+        let ds = churn_trace(&cfg);
+        let at_base_end = ds.snapshot_at(Timestamp(cfg.base.end_time));
+        let at_end = ds.final_snapshot();
+        let ratio = at_end.edge_count() as f64 / at_base_end.edge_count().max(1) as f64;
+        assert!(
+            (0.6..1.6).contains(&ratio),
+            "edge count should stay roughly flat during churn, ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn deleted_edges_are_absent_from_final_snapshot() {
+        let ds = churn_trace(&ChurnConfig::tiny(11));
+        let snap = ds.final_snapshot();
+        let deleted: Vec<EdgeId> = ds
+            .events
+            .events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                tgraph::EventKind::DeleteEdge { edge, .. } => Some(*edge),
+                _ => None,
+            })
+            .collect();
+        assert!(!deleted.is_empty());
+        for e in deleted {
+            assert!(!snap.has_edge(e), "deleted edge {e} still present");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Query-workload helpers.
+//!
+//! The evaluation repeatedly issues batches of snapshot queries at uniformly
+//! spaced time points (25 queries for Figure 6, 100 for Figure 8(a)) and
+//! multipoint queries at closely spaced time points (Figure 8(c), "1 month
+//! apart"). These helpers produce those workloads deterministically.
+
+use tgraph::Timestamp;
+
+/// `n` time points spaced uniformly across `[start, end]`, inclusive of both
+/// endpoints when `n >= 2`.
+pub fn uniform_timepoints(start: Timestamp, end: Timestamp, n: usize) -> Vec<Timestamp> {
+    assert!(n > 0, "need at least one query point");
+    assert!(end.raw() >= start.raw(), "end before start");
+    if n == 1 {
+        return vec![Timestamp((start.raw() + end.raw()) / 2)];
+    }
+    let span = (end.raw() - start.raw()) as f64;
+    (0..n)
+        .map(|i| {
+            let frac = i as f64 / (n - 1) as f64;
+            Timestamp(start.raw() + (span * frac).round() as i64)
+        })
+        .collect()
+}
+
+/// Batches of `k` consecutive time points, each `gap` apart, with the last
+/// point anchored at `anchor`. Used for the multipoint-vs-singlepoint
+/// comparison (Figure 8(c) sweeps `k` from 2 to 6 with a one-month gap).
+pub fn multipoint_batches(anchor: Timestamp, gap: i64, ks: &[usize]) -> Vec<Vec<Timestamp>> {
+    assert!(gap > 0, "gap must be positive");
+    ks.iter()
+        .map(|&k| {
+            assert!(k > 0);
+            (0..k)
+                .map(|i| Timestamp(anchor.raw() - gap * (k - 1 - i) as i64))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_points_cover_the_range() {
+        let pts = uniform_timepoints(Timestamp(0), Timestamp(100), 5);
+        assert_eq!(
+            pts,
+            vec![
+                Timestamp(0),
+                Timestamp(25),
+                Timestamp(50),
+                Timestamp(75),
+                Timestamp(100)
+            ]
+        );
+    }
+
+    #[test]
+    fn single_point_is_the_midpoint() {
+        assert_eq!(
+            uniform_timepoints(Timestamp(0), Timestamp(10), 1),
+            vec![Timestamp(5)]
+        );
+    }
+
+    #[test]
+    fn points_are_monotone_for_any_count() {
+        for n in 2..20 {
+            let pts = uniform_timepoints(Timestamp(7), Timestamp(9931), n);
+            assert_eq!(pts.len(), n);
+            assert!(pts.windows(2).all(|w| w[0] <= w[1]));
+            assert_eq!(pts[0], Timestamp(7));
+            assert_eq!(*pts.last().unwrap(), Timestamp(9931));
+        }
+    }
+
+    #[test]
+    fn multipoint_batches_are_anchored_and_spaced() {
+        let batches = multipoint_batches(Timestamp(2000), 30, &[2, 4]);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0], vec![Timestamp(1970), Timestamp(2000)]);
+        assert_eq!(batches[1].len(), 4);
+        assert_eq!(*batches[1].last().unwrap(), Timestamp(2000));
+        assert!(batches[1].windows(2).all(|w| w[1].raw() - w[0].raw() == 30));
+    }
+
+    #[test]
+    #[should_panic(expected = "end before start")]
+    fn reversed_range_panics() {
+        uniform_timepoints(Timestamp(10), Timestamp(0), 3);
+    }
+}

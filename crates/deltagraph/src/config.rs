@@ -1,0 +1,125 @@
+//! Construction parameters for a DeltaGraph (Section 4.6).
+
+use crate::diff_fn::DifferentialFunction;
+
+/// Parameters accepted by the DeltaGraph construction algorithm:
+/// the leaf-eventlist size `L`, the arity `k`, the differential function
+/// `f()`, and the partitioning of the node-id space.
+#[derive(Clone, Debug)]
+pub struct DeltaGraphConfig {
+    /// Leaf-eventlist size `L`: number of events between consecutive leaf
+    /// snapshots. Smaller values mean more leaves, faster queries, and more
+    /// disk space (Figure 9(b)).
+    pub leaf_size: usize,
+    /// Arity `k`: number of children per interior node. Higher arity lowers
+    /// the tree and the query times at the cost of disk space (Figure 9(a)).
+    pub arity: usize,
+    /// The differential function used to construct interior nodes (Table 2).
+    pub diff_fn: DifferentialFunction,
+    /// Number of horizontal partitions of the node-id space (1 = single-site
+    /// deployment).
+    pub partitions: u32,
+    /// Number of threads used to fetch partitions in parallel at query time.
+    pub retrieval_threads: usize,
+}
+
+impl Default for DeltaGraphConfig {
+    fn default() -> Self {
+        DeltaGraphConfig {
+            leaf_size: 1000,
+            arity: 2,
+            diff_fn: DifferentialFunction::Intersection,
+            partitions: 1,
+            retrieval_threads: 1,
+        }
+    }
+}
+
+impl DeltaGraphConfig {
+    /// Creates a configuration with the given leaf size and arity, keeping
+    /// the remaining parameters at their defaults.
+    pub fn new(leaf_size: usize, arity: usize) -> Self {
+        DeltaGraphConfig {
+            leaf_size,
+            arity,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the differential function.
+    pub fn with_diff_fn(mut self, f: DifferentialFunction) -> Self {
+        self.diff_fn = f;
+        self
+    }
+
+    /// Sets the number of horizontal partitions.
+    pub fn with_partitions(mut self, partitions: u32) -> Self {
+        self.partitions = partitions;
+        self
+    }
+
+    /// Sets the number of parallel retrieval threads.
+    pub fn with_retrieval_threads(mut self, threads: usize) -> Self {
+        self.retrieval_threads = threads;
+        self
+    }
+
+    /// Validates the parameters, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.leaf_size == 0 {
+            return Err("leaf_size must be at least 1".into());
+        }
+        if self.arity < 2 {
+            return Err("arity must be at least 2".into());
+        }
+        if self.partitions == 0 {
+            return Err("partitions must be at least 1".into());
+        }
+        if self.retrieval_threads == 0 {
+            return Err("retrieval_threads must be at least 1".into());
+        }
+        self.diff_fn.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(DeltaGraphConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn builder_style_setters_apply() {
+        let cfg = DeltaGraphConfig::new(500, 4)
+            .with_diff_fn(DifferentialFunction::Balanced)
+            .with_partitions(3)
+            .with_retrieval_threads(2);
+        assert_eq!(cfg.leaf_size, 500);
+        assert_eq!(cfg.arity, 4);
+        assert_eq!(cfg.partitions, 3);
+        assert_eq!(cfg.retrieval_threads, 2);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(DeltaGraphConfig::new(0, 2).validate().is_err());
+        assert!(DeltaGraphConfig::new(10, 1).validate().is_err());
+        assert!(DeltaGraphConfig::new(10, 2)
+            .with_partitions(0)
+            .validate()
+            .is_err());
+        assert!(DeltaGraphConfig::new(10, 2)
+            .with_retrieval_threads(0)
+            .validate()
+            .is_err());
+        assert!(DeltaGraphConfig::new(10, 2)
+            .with_diff_fn(DifferentialFunction::Skewed { r: 1.5 })
+            .validate()
+            .is_err());
+    }
+}

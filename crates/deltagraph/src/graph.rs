@@ -1,0 +1,497 @@
+//! The `DeltaGraph` index object: skeleton + persisted payloads + run-time
+//! state (materialized nodes, the current graph, and the recent eventlist).
+
+use tgraph::fxhash::FxHashMap;
+use tgraph::{AttrOptions, Event, EventList, Snapshot, Timestamp};
+
+use crate::config::DeltaGraphConfig;
+use crate::error::{DgError, DgResult};
+use crate::skeleton::{ComponentWeights, EdgePayload, LeafInterval, NodeIdx, Skeleton};
+use crate::storage::PayloadStore;
+
+/// Summary statistics describing an index instance, used by the benchmark
+/// harness and by `Display` implementations in the facade.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Number of leaf nodes.
+    pub leaves: usize,
+    /// Number of interior nodes (excluding the super-root).
+    pub interior_nodes: usize,
+    /// Height of the hierarchy (levels, excluding the super-root).
+    pub height: u32,
+    /// Total bytes of persisted payloads (deltas + eventlists), as reported
+    /// by the backing store.
+    pub stored_bytes: u64,
+    /// Bytes of delta payloads alone, per component.
+    pub delta_bytes: ComponentWeights,
+    /// Approximate bytes of materialized in-memory graphs.
+    pub materialized_bytes: usize,
+    /// Number of materialized nodes.
+    pub materialized_nodes: usize,
+    /// Events in the recent (not yet indexed) eventlist.
+    pub recent_events: usize,
+}
+
+/// The DeltaGraph index over the history of one graph.
+pub struct DeltaGraph {
+    pub(crate) config: DeltaGraphConfig,
+    pub(crate) skeleton: Skeleton,
+    pub(crate) payloads: PayloadStore,
+    /// Graphs of materialized skeleton nodes, kept in memory.
+    pub(crate) materialized: FxHashMap<NodeIdx, Snapshot>,
+    /// The current (latest) state of the graph, maintained for ongoing updates.
+    pub(crate) current: Snapshot,
+    /// Events newer than the last leaf, not yet folded into the index.
+    pub(crate) recent: EventList,
+    /// Next unused payload id.
+    pub(crate) next_id: u64,
+    /// Registered auxiliary indexes (Section 4.7).
+    pub(crate) aux: Vec<crate::aux::AuxState>,
+}
+
+impl DeltaGraph {
+    /// Assembles an index from its parts (used by the builder).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        config: DeltaGraphConfig,
+        skeleton: Skeleton,
+        payloads: PayloadStore,
+        materialized: FxHashMap<NodeIdx, Snapshot>,
+        current: Snapshot,
+        recent: EventList,
+        next_id: u64,
+    ) -> Self {
+        DeltaGraph {
+            config,
+            skeleton,
+            payloads,
+            materialized,
+            current,
+            recent,
+            next_id,
+            aux: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor: builds the index over `events` using the
+    /// given configuration and backing store.
+    pub fn build(
+        events: &EventList,
+        config: DeltaGraphConfig,
+        store: std::sync::Arc<dyn kvstore::KeyValueStore>,
+    ) -> DgResult<Self> {
+        crate::build::DeltaGraphBuilder::new(config, store).build(events)
+    }
+
+    /// The construction parameters.
+    pub fn config(&self) -> &DeltaGraphConfig {
+        &self.config
+    }
+
+    /// The in-memory skeleton.
+    pub fn skeleton(&self) -> &Skeleton {
+        &self.skeleton
+    }
+
+    /// The payload store (deltas and eventlists).
+    pub fn payload_store(&self) -> &PayloadStore {
+        &self.payloads
+    }
+
+    /// The current (latest) graph state.
+    pub fn current_graph(&self) -> &Snapshot {
+        &self.current
+    }
+
+    /// First and last time points covered by the index (including the recent
+    /// eventlist).
+    pub fn history_range(&self) -> DgResult<(Timestamp, Timestamp)> {
+        let start = self.skeleton.history_start()?;
+        let end = self
+            .recent
+            .end_time()
+            .unwrap_or(self.skeleton.history_end()?);
+        Ok((start, end))
+    }
+
+    /// Changes the number of threads used for parallel partition fetches.
+    pub fn set_retrieval_threads(&mut self, threads: usize) {
+        self.payloads.set_threads(threads);
+    }
+
+    /// Summary statistics for reporting.
+    pub fn stats(&self) -> IndexStats {
+        use crate::skeleton::SkeletonNodeKind;
+        let interior = self
+            .skeleton
+            .nodes()
+            .iter()
+            .filter(|n| n.kind == SkeletonNodeKind::Interior)
+            .count();
+        IndexStats {
+            leaves: self.skeleton.leaves().len(),
+            interior_nodes: interior,
+            height: self.skeleton.height(),
+            stored_bytes: self.payloads.backing_store().stored_bytes(),
+            delta_bytes: crate::build::delta_space_breakdown(&self.skeleton),
+            materialized_bytes: self.materialized_memory(),
+            materialized_nodes: self.materialized.len(),
+            recent_events: self.recent.len(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory materialization (Section 4.5)
+    // ------------------------------------------------------------------
+
+    /// Materializes the graph of a skeleton node in memory. Subsequent query
+    /// plans treat the node as a zero-cost source.
+    pub fn materialize(&mut self, node: NodeIdx) -> DgResult<()> {
+        if self.materialized.contains_key(&node) {
+            return Ok(());
+        }
+        let graph = self.node_graph(node, &AttrOptions::all())?;
+        self.materialized.insert(node, graph);
+        self.skeleton.set_materialized(node, true)?;
+        Ok(())
+    }
+
+    /// Drops a materialized graph from memory.
+    pub fn unmaterialize(&mut self, node: NodeIdx) -> DgResult<()> {
+        self.materialized.remove(&node);
+        self.skeleton.set_materialized(node, false)?;
+        Ok(())
+    }
+
+    /// Materializes the root (the single child of the super-root).
+    pub fn materialize_root(&mut self) -> DgResult<NodeIdx> {
+        let root = self.root()?;
+        self.materialize(root)?;
+        Ok(root)
+    }
+
+    /// Materializes every node exactly `depth` delta-levels below the root
+    /// (1 = the root's children, 2 = its grandchildren, ...). Returns the
+    /// materialized node indices.
+    pub fn materialize_descendants(&mut self, depth: u32) -> DgResult<Vec<NodeIdx>> {
+        let root = self.root()?;
+        let mut frontier = vec![root];
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for node in &frontier {
+                next.extend(self.delta_children(*node));
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        for node in &frontier {
+            self.materialize(*node)?;
+        }
+        Ok(frontier)
+    }
+
+    /// Total materialization: every leaf is materialized in memory, which
+    /// reduces the DeltaGraph to the Copy+Log approach with the snapshots
+    /// held in memory (Section 4.5).
+    pub fn materialize_all_leaves(&mut self) -> DgResult<()> {
+        // Replay leaf by leaf instead of planning each retrieval separately:
+        // leaf i+1 = leaf i + eventlist i.
+        let leaves: Vec<NodeIdx> = self.skeleton.leaves().to_vec();
+        let intervals: Vec<LeafInterval> = self.skeleton.intervals().to_vec();
+        let mut graph = Snapshot::new();
+        for (i, leaf) in leaves.iter().enumerate() {
+            if i > 0 {
+                let interval = &intervals[i - 1];
+                let events =
+                    self.payloads
+                        .read_eventlist(interval.eventlist_id, &AttrOptions::all(), false)?;
+                events.apply_all_forward(&mut graph)?;
+            }
+            if !self.materialized.contains_key(leaf) {
+                self.materialized.insert(*leaf, graph.clone());
+                self.skeleton.set_materialized(*leaf, true)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks the most recent leaf as materialized using the in-memory current
+    /// graph, exploiting the fact that the current graph is always resident
+    /// (Section 4.5: "the rightmost leaf should also be considered
+    /// materialized").
+    pub fn materialize_current_leaf(&mut self) -> DgResult<NodeIdx> {
+        let last = self.skeleton.last_leaf()?;
+        let mut graph = self.current.clone();
+        // Undo the recent (not yet indexed) events to obtain the last leaf's
+        // state.
+        graph.apply_events_backward(self.recent.events())?;
+        self.materialized.insert(last, graph);
+        self.skeleton.set_materialized(last, true)?;
+        Ok(last)
+    }
+
+    /// Approximate memory held by materialized graphs, in bytes.
+    pub fn materialized_memory(&self) -> usize {
+        self.materialized.values().map(Snapshot::approx_memory).sum()
+    }
+
+    /// Indices of currently materialized nodes.
+    pub fn materialized_nodes(&self) -> Vec<NodeIdx> {
+        let mut v: Vec<NodeIdx> = self.materialized.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The root node (single delta-child of the super-root).
+    pub fn root(&self) -> DgResult<NodeIdx> {
+        self.skeleton
+            .edges_from(self.skeleton.super_root())
+            .find(|e| matches!(e.payload, EdgePayload::Delta { .. }))
+            .map(|e| e.to)
+            .ok_or_else(|| DgError::NoPlan("super-root has no child".into()))
+    }
+
+    /// Children of a node reached through delta edges (the tree structure,
+    /// excluding leaf-chain eventlist edges).
+    pub fn delta_children(&self, node: NodeIdx) -> Vec<NodeIdx> {
+        self.skeleton
+            .edges_from(node)
+            .filter(|e| matches!(e.payload, EdgePayload::Delta { .. }))
+            .map(|e| e.to)
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Updates to the current graph (Section 6, "Updates")
+    // ------------------------------------------------------------------
+
+    /// Applies a new event to the current graph and records it in the recent
+    /// eventlist. Once the recent eventlist reaches the leaf size `L`, it is
+    /// folded into the index as a new leaf.
+    pub fn append_event(&mut self, event: Event) -> DgResult<()> {
+        self.current.apply_forward(&event)?;
+        self.recent.push(event).map_err(DgError::Model)?;
+        if self.recent.len() >= self.config.leaf_size {
+            self.integrate_recent()?;
+        }
+        Ok(())
+    }
+
+    /// Applies a batch of new events (must be chronologically ordered and not
+    /// precede already-recorded events).
+    pub fn append_events(&mut self, events: impl IntoIterator<Item = Event>) -> DgResult<()> {
+        for ev in events {
+            self.append_event(ev)?;
+        }
+        Ok(())
+    }
+
+    /// Events newer than the last indexed leaf.
+    pub fn recent_events(&self) -> &EventList {
+        &self.recent
+    }
+
+    /// Folds the recent eventlist into the index as a new leaf.
+    ///
+    /// The new leaf is connected to the previous last leaf through the usual
+    /// bidirectional eventlist edges and, additionally, receives a direct
+    /// delta from the super-root. Re-balancing the interior hierarchy is
+    /// deferred to a full rebuild (the paper likewise treats incremental
+    /// hierarchy maintenance as out of scope).
+    fn integrate_recent(&mut self) -> DgResult<()> {
+        if self.recent.is_empty() {
+            return Ok(());
+        }
+        let prev_leaf = self.skeleton.last_leaf()?;
+        let prev_time = self
+            .skeleton
+            .node(prev_leaf)?
+            .time
+            .expect("leaves carry a time");
+        let recent = std::mem::take(&mut self.recent);
+        let leaf_time = recent.end_time().expect("non-empty");
+
+        let eventlist_id = self.next_id;
+        self.next_id += 1;
+        let ev_weights = self.payloads.write_eventlist(eventlist_id, &recent)?;
+
+        let leaf = self.skeleton.add_node(
+            crate::skeleton::SkeletonNodeKind::Leaf,
+            1,
+            Some(leaf_time),
+            self.current.element_count(),
+        );
+        self.skeleton.add_edge(
+            prev_leaf,
+            leaf,
+            EdgePayload::EventsForward { eventlist_id },
+            ev_weights,
+        );
+        self.skeleton.add_edge(
+            leaf,
+            prev_leaf,
+            EdgePayload::EventsBackward { eventlist_id },
+            ev_weights,
+        );
+        self.skeleton.add_interval(LeafInterval {
+            eventlist_id,
+            left_leaf: prev_leaf,
+            right_leaf: leaf,
+            start: prev_time,
+            end: leaf_time,
+            event_count: recent.len(),
+            weights: ev_weights,
+        });
+
+        // Direct delta from the super-root so the new leaf is reachable
+        // without walking the whole leaf chain.
+        let delta = tgraph::Delta::between(&Snapshot::new(), &self.current);
+        let delta_id = self.next_id;
+        self.next_id += 1;
+        let weights = self.payloads.write_delta(delta_id, &delta)?;
+        self.skeleton.add_edge(
+            self.skeleton.super_root(),
+            leaf,
+            EdgePayload::Delta { delta_id },
+            weights,
+        );
+        Ok(())
+    }
+
+    /// Rebuilds the whole index from scratch over the full recorded history
+    /// (previous index payloads are left in the store; a fresh store can be
+    /// supplied to reclaim the space).
+    pub fn rebuild(
+        &self,
+        store: std::sync::Arc<dyn kvstore::KeyValueStore>,
+    ) -> DgResult<DeltaGraph> {
+        let mut all_events: Vec<Event> = Vec::new();
+        for interval in self.skeleton.intervals() {
+            let events =
+                self.payloads
+                    .read_eventlist(interval.eventlist_id, &AttrOptions::all(), true)?;
+            all_events.extend(events.into_events());
+        }
+        all_events.extend(self.recent.events().iter().cloned());
+        crate::build::DeltaGraphBuilder::new(self.config.clone(), store)
+            .build(&EventList::from_events(all_events))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff_fn::DifferentialFunction;
+    use datagen::{dblp_like, DblpConfig};
+    use kvstore::MemStore;
+    use std::sync::Arc;
+
+    fn small_index() -> (datagen::Dataset, DeltaGraph) {
+        let ds = dblp_like(&DblpConfig::tiny(21));
+        let dg = DeltaGraph::build(
+            &ds.events,
+            DeltaGraphConfig::new(60, 2).with_diff_fn(DifferentialFunction::Intersection),
+            Arc::new(MemStore::new()),
+        )
+        .unwrap();
+        (ds, dg)
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let (_, dg) = small_index();
+        let stats = dg.stats();
+        assert!(stats.leaves > 2);
+        assert!(stats.interior_nodes >= 1);
+        assert!(stats.height >= 2);
+        assert!(stats.stored_bytes > 0);
+        assert_eq!(stats.materialized_nodes, 0);
+        assert_eq!(stats.recent_events, 0);
+    }
+
+    #[test]
+    fn root_and_children_navigation() {
+        let (_, dg) = small_index();
+        let root = dg.root().unwrap();
+        let children = dg.delta_children(root);
+        assert!(!children.is_empty());
+        assert!(children.len() <= dg.config().arity);
+    }
+
+    #[test]
+    fn materialize_and_unmaterialize_bookkeeping() {
+        let (_, mut dg) = small_index();
+        let root = dg.materialize_root().unwrap();
+        assert!(dg.materialized_nodes().contains(&root));
+        assert!(dg.skeleton().node(root).unwrap().materialized);
+        // The Intersection root of a trace that starts from the empty graph
+        // is (near-)empty; the current leaf is not.
+        let last = dg.materialize_current_leaf().unwrap();
+        assert!(dg.materialized_memory() > 0);
+        assert_eq!(dg.materialized_nodes().len(), 2);
+        dg.unmaterialize(root).unwrap();
+        dg.unmaterialize(last).unwrap();
+        assert!(dg.materialized_nodes().is_empty());
+        assert!(!dg.skeleton().node(root).unwrap().materialized);
+    }
+
+    #[test]
+    fn materialize_descendants_depths() {
+        let (_, mut dg) = small_index();
+        let children = dg.materialize_descendants(1).unwrap();
+        assert!(!children.is_empty());
+        let grandchildren_count = {
+            let (_, mut dg2) = small_index();
+            dg2.materialize_descendants(2).unwrap().len()
+        };
+        assert!(grandchildren_count >= children.len());
+    }
+
+    #[test]
+    fn total_materialization_covers_all_leaves() {
+        let (_, mut dg) = small_index();
+        dg.materialize_all_leaves().unwrap();
+        assert_eq!(dg.materialized_nodes().len(), dg.skeleton().leaves().len());
+    }
+
+    #[test]
+    fn materialize_current_leaf_matches_last_leaf_state(){
+        let (ds, mut dg) = small_index();
+        let last = dg.materialize_current_leaf().unwrap();
+        let leaf_time = dg.skeleton().node(last).unwrap().time.unwrap();
+        let expected = ds.snapshot_at(leaf_time);
+        assert_eq!(dg.materialized[&last], expected);
+    }
+
+    #[test]
+    fn append_events_update_current_and_fold_into_index() {
+        let (ds, mut dg) = small_index();
+        let leaves_before = dg.skeleton().leaves().len();
+        let end = ds.end_time().raw();
+        let base_node = 900_000u64;
+        // append slightly more than one leaf worth of events
+        let leaf_size = dg.config().leaf_size;
+        let mut events = Vec::new();
+        for i in 0..(leaf_size as u64 + 5) {
+            events.push(Event::add_node(end + 1 + i as i64, base_node + i));
+        }
+        dg.append_events(events).unwrap();
+        assert!(dg.current_graph().has_node(tgraph::NodeId(base_node)));
+        assert!(dg.skeleton().leaves().len() > leaves_before);
+        assert!(dg.recent_events().len() < leaf_size);
+        let (_, hist_end) = dg.history_range().unwrap();
+        assert!(hist_end.raw() >= end + leaf_size as i64);
+    }
+
+    #[test]
+    fn rebuild_reproduces_current_graph() {
+        let (_, mut dg) = small_index();
+        let end = dg.history_range().unwrap().1.raw();
+        dg.append_event(Event::add_node(end + 1, 777_777)).unwrap();
+        let rebuilt = dg.rebuild(Arc::new(MemStore::new())).unwrap();
+        assert_eq!(rebuilt.current_graph(), dg.current_graph());
+        assert_eq!(rebuilt.recent_events().len(), 0);
+    }
+}

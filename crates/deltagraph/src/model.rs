@@ -1,0 +1,340 @@
+//! Analytical models for space and retrieval cost (Section 5).
+//!
+//! The paper derives closed forms for the delta sizes, total index space,
+//! root size, and query weights of the Balanced and Intersection differential
+//! functions under a constant-rate model of graph dynamics: a `δ*` fraction
+//! of events are inserts and a `ρ*` fraction are deletes. These functions
+//! implement those formulas; the `model_validation` benchmark and the tests
+//! below compare them against sizes measured on generated traces.
+
+/// Constant-rate model of graph dynamics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DynamicsModel {
+    /// Fraction of events that insert an element (`δ*`).
+    pub insert_fraction: f64,
+    /// Fraction of events that delete an element (`ρ*`).
+    pub delete_fraction: f64,
+    /// Size (in elements) of the initial graph `|G0|`.
+    pub initial_size: f64,
+    /// Total number of events `|E|`.
+    pub total_events: f64,
+}
+
+impl DynamicsModel {
+    /// Creates a model; fractions must satisfy `δ* + ρ* <= 1`.
+    pub fn new(insert_fraction: f64, delete_fraction: f64, initial_size: f64, total_events: f64) -> Self {
+        assert!(insert_fraction >= 0.0 && delete_fraction >= 0.0);
+        assert!(
+            insert_fraction + delete_fraction <= 1.0 + 1e-9,
+            "δ* + ρ* must be at most 1"
+        );
+        DynamicsModel {
+            insert_fraction,
+            delete_fraction,
+            initial_size,
+            total_events,
+        }
+    }
+
+    /// Estimates the model parameters from an event trace.
+    pub fn from_eventlist(events: &tgraph::EventList) -> Self {
+        let total = events.len().max(1) as f64;
+        DynamicsModel {
+            insert_fraction: events.insert_count() as f64 / total,
+            delete_fraction: events.delete_count() as f64 / total,
+            initial_size: 0.0,
+            total_events: total,
+        }
+    }
+
+    /// Size of the current graph: `|G0| + (δ* − ρ*)·|E|`.
+    pub fn current_graph_size(&self) -> f64 {
+        self.initial_size + (self.insert_fraction - self.delete_fraction) * self.total_events
+    }
+
+    /// Number of leaves for a leaf-eventlist size `L`: `N = |E|/L + 1`.
+    pub fn leaf_count(&self, leaf_size: usize) -> f64 {
+        self.total_events / leaf_size as f64 + 1.0
+    }
+}
+
+/// Closed forms for the **Balanced** differential function.
+pub mod balanced {
+    use super::DynamicsModel;
+
+    /// Size of the delta between a level-`level` interior node and any of its
+    /// children (levels counted from the bottom, leaves = level 1):
+    /// `½·(k−1)·k^(level−2)·(δ*+ρ*)·L`.
+    pub fn delta_size(model: &DynamicsModel, arity: usize, leaf_size: usize, level: u32) -> f64 {
+        assert!(level >= 2, "delta sizes are defined for interior levels");
+        let churn = model.insert_fraction + model.delete_fraction;
+        0.5 * (arity as f64 - 1.0)
+            * (arity as f64).powi(level as i32 - 2)
+            * churn
+            * leaf_size as f64
+    }
+
+    /// Total space of all deltas (excluding the super-root edge):
+    /// `((log_k N) − 1)/2 · (k−1) · (δ*+ρ*) · |E|`.
+    pub fn total_delta_space(model: &DynamicsModel, arity: usize, leaf_size: usize) -> f64 {
+        let n = model.leaf_count(leaf_size);
+        let levels = n.log(arity as f64);
+        let churn = model.insert_fraction + model.delete_fraction;
+        ((levels - 1.0) / 2.0) * (arity as f64 - 1.0) * churn * model.total_events
+    }
+
+    /// Size of the root's graph: `|G0| + ½·(δ*−ρ*)·|E|`.
+    pub fn root_size(model: &DynamicsModel) -> f64 {
+        model.initial_size
+            + 0.5 * (model.insert_fraction - model.delete_fraction) * model.total_events
+    }
+
+    /// Total weight of the shortest path from the super-root to any leaf:
+    /// `½·(δ*+ρ*)·|E|` (plus the root size itself, which the super-root edge
+    /// carries). The paper quotes the path weight below the root; callers
+    /// that want the full retrieval cost should add [`root_size`].
+    pub fn query_weight_below_root(model: &DynamicsModel) -> f64 {
+        0.5 * (model.insert_fraction + model.delete_fraction) * model.total_events
+    }
+}
+
+/// Closed forms for the **Intersection** differential function.
+pub mod intersection {
+    use super::DynamicsModel;
+
+    /// Size of the root's graph for the three special cases the paper
+    /// derives:
+    /// * growing-only (`ρ* = 0`): exactly `|G0|` — and, because the initial
+    ///   graph of a trace that starts empty is empty, the paper's convention
+    ///   is that the root equals the *oldest leaf covered by the index*,
+    /// * `δ* = ρ*`: `|G0|·e^(−|E|·δ*/|G0|)`,
+    /// * `δ* = 2ρ*`: `|G0|² / (|G0| + ρ*·|E|)`.
+    ///
+    /// Other regimes have no closed form; `None` is returned.
+    pub fn root_size(model: &DynamicsModel) -> Option<f64> {
+        let d = model.insert_fraction;
+        let r = model.delete_fraction;
+        let g0 = model.initial_size;
+        let e = model.total_events;
+        if r == 0.0 {
+            Some(g0)
+        } else if (d - r).abs() < 1e-9 {
+            Some(g0 * (-e * d / g0.max(1e-9)).exp())
+        } else if (d - 2.0 * r).abs() < 1e-9 {
+            Some(g0 * g0 / (g0 + r * e))
+        } else {
+            None
+        }
+    }
+
+    /// The total weight of the shortest path from the super-root to a leaf is
+    /// exactly the size of that leaf's graph (the defining property of the
+    /// Intersection function).
+    pub fn query_weight_for_leaf(leaf_size_elements: f64) -> f64 {
+        leaf_size_elements
+    }
+}
+
+/// Space estimates for the comparison baselines (Section 5.4).
+pub mod baselines {
+    use super::DynamicsModel;
+
+    /// Copy+Log: one full snapshot every `L` events plus the eventlists.
+    /// Snapshot `i` has `|G0| + (δ*−ρ*)·i·L` elements.
+    pub fn copy_log_space(model: &DynamicsModel, leaf_size: usize) -> f64 {
+        let n = model.leaf_count(leaf_size).floor() as usize;
+        let mut total = model.total_events; // the log itself
+        for i in 0..n {
+            total += model.initial_size
+                + (model.insert_fraction - model.delete_fraction) * (i * leaf_size) as f64;
+        }
+        total
+    }
+
+    /// Interval tree: linear in the number of intervals, `O(|E|)`.
+    pub fn interval_tree_space(model: &DynamicsModel) -> f64 {
+        model.total_events
+    }
+
+    /// Segment tree: `O(|E|·log|E|)` because intervals may be duplicated.
+    pub fn segment_tree_space(model: &DynamicsModel) -> f64 {
+        model.total_events * model.total_events.max(2.0).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::delta_space_breakdown;
+    use crate::config::DeltaGraphConfig;
+    use crate::diff_fn::DifferentialFunction;
+    use crate::DeltaGraph;
+    use kvstore::MemStore;
+    use std::sync::Arc;
+    use tgraph::{Event, EventList};
+
+    /// A constant-rate trace: every event adds a node (growing-only),
+    /// `δ* = 1`, `ρ* = 0`.
+    fn growing_trace(n: usize) -> EventList {
+        EventList::from_events((0..n).map(|i| Event::add_node(i as i64, i as u64)).collect())
+    }
+
+    /// A constant-size trace with long-lived elements: after a warm-up that
+    /// creates `n` nodes and a ring of `n` edges, every step adds a new edge
+    /// and deletes the edge added `n` steps earlier, so `δ* ≈ ρ* ≈ ½` and the
+    /// changes of one leaf interval survive well beyond it (the regime the
+    /// Section 5 model describes).
+    fn churn_trace(n: usize) -> EventList {
+        use std::collections::VecDeque;
+        let n_u = n as u64;
+        let mut events: Vec<Event> =
+            (0..n).map(|i| Event::add_node(i as i64, i as u64)).collect();
+        let mut t = n as i64;
+        let mut alive: VecDeque<(u64, u64, u64)> = VecDeque::new();
+        let mut next_edge = 0u64;
+        for i in 0..n_u {
+            let (src, dst) = (i, (i + 1) % n_u);
+            events.push(Event::add_edge(t, next_edge, src, dst));
+            alive.push_back((next_edge, src, dst));
+            next_edge += 1;
+            t += 1;
+        }
+        for step in 0..(4 * n_u) {
+            let src = step % n_u;
+            let dst = (step * 7 + 3) % n_u;
+            if src != dst {
+                events.push(Event::add_edge(t, next_edge, src, dst));
+                alive.push_back((next_edge, src, dst));
+                next_edge += 1;
+                t += 1;
+            }
+            if let Some((e, a, b)) = alive.pop_front() {
+                events.push(Event::delete_edge(t, e, a, b));
+                t += 1;
+            }
+        }
+        EventList::from_events(events)
+    }
+
+    #[test]
+    fn model_parameters_from_traces() {
+        let growing = DynamicsModel::from_eventlist(&growing_trace(100));
+        assert!((growing.insert_fraction - 1.0).abs() < 1e-9);
+        assert_eq!(growing.delete_fraction, 0.0);
+        assert!((growing.current_graph_size() - 100.0).abs() < 1e-9);
+
+        let churn = DynamicsModel::from_eventlist(&churn_trace(50));
+        assert!((churn.insert_fraction - churn.delete_fraction).abs() < 0.25);
+    }
+
+    #[test]
+    fn balanced_delta_sizes_grow_geometrically_with_level() {
+        let model = DynamicsModel::new(0.5, 0.5, 0.0, 10_000.0);
+        let l2 = balanced::delta_size(&model, 2, 100, 2);
+        let l3 = balanced::delta_size(&model, 2, 100, 3);
+        let l4 = balanced::delta_size(&model, 2, 100, 4);
+        assert!((l3 / l2 - 2.0).abs() < 1e-9);
+        assert!((l4 / l3 - 2.0).abs() < 1e-9);
+        // level 2, k=2: ½·(k−1)·(δ*+ρ*)·L = ½·1·1·100 = 50
+        assert!((l2 - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balanced_total_space_matches_formula_shape() {
+        let model = DynamicsModel::new(0.5, 0.5, 0.0, 16_000.0);
+        // halving L (more leaves) increases total space (more levels)
+        let coarse = balanced::total_delta_space(&model, 2, 2000);
+        let fine = balanced::total_delta_space(&model, 2, 500);
+        assert!(fine > coarse);
+        // increasing arity with fixed L decreases the number of levels but
+        // increases the per-level factor (k−1); for this configuration the
+        // net effect of k=8 vs k=2 is growth, matching Figure 9(a).
+        let k2 = balanced::total_delta_space(&model, 2, 500);
+        let k8 = balanced::total_delta_space(&model, 8, 500);
+        assert!(k8 > k2 * 0.5, "k8={k8} k2={k2}");
+    }
+
+    #[test]
+    fn intersection_root_special_cases() {
+        let growing = DynamicsModel::new(1.0, 0.0, 500.0, 10_000.0);
+        assert_eq!(intersection::root_size(&growing), Some(500.0));
+
+        let steady = DynamicsModel::new(0.4, 0.4, 1_000.0, 5_000.0);
+        let root = intersection::root_size(&steady).unwrap();
+        assert!(root < 1_000.0 && root > 0.0);
+
+        let double = DynamicsModel::new(0.5, 0.25, 1_000.0, 4_000.0);
+        let root = intersection::root_size(&double).unwrap();
+        assert!((root - 1_000.0 * 1_000.0 / 2_000.0).abs() < 1e-6);
+
+        let other = DynamicsModel::new(0.6, 0.1, 1_000.0, 4_000.0);
+        assert_eq!(intersection::root_size(&other), None);
+    }
+
+    #[test]
+    fn measured_balanced_space_tracks_the_model() {
+        // Constant-rate churn trace; measure actual delta space and compare
+        // with the closed form (loose tolerance: the model ignores encoding
+        // overheads and boundary effects).
+        let events = churn_trace(64);
+        let model = DynamicsModel::from_eventlist(&events);
+        let leaf_size = 32;
+        let arity = 2;
+        let dg = DeltaGraph::build(
+            &events,
+            DeltaGraphConfig::new(leaf_size, arity).with_diff_fn(DifferentialFunction::Balanced),
+            Arc::new(MemStore::new()),
+        )
+        .unwrap();
+        // Count the exact number of recorded changes by re-reading every
+        // delta: the model reasons in elements, not bytes.
+        let mut measured_changes = 0.0;
+        for edge in dg.skeleton().edges() {
+            if let crate::skeleton::EdgePayload::Delta { delta_id } = edge.payload {
+                let delta = dg
+                    .payload_store()
+                    .read_delta(delta_id, &tgraph::AttrOptions::all())
+                    .unwrap();
+                measured_changes += delta.change_count() as f64;
+            }
+        }
+        let predicted = balanced::total_delta_space(&model, arity, leaf_size)
+            + balanced::root_size(&model);
+        assert!(
+            measured_changes < predicted * 3.0 && measured_changes > predicted / 3.0,
+            "measured {measured_changes:.0} elements vs predicted {predicted:.0}"
+        );
+        // byte-level breakdown is non-trivial as well
+        assert!(delta_space_breakdown(dg.skeleton()).structure > 0);
+    }
+
+    #[test]
+    fn growing_only_intersection_root_is_initial_graph() {
+        // For a growing-only trace starting from the empty graph the root of
+        // an Intersection DeltaGraph is the oldest leaf (near-empty), so the
+        // super-root edge is tiny compared to the total index.
+        let events = growing_trace(512);
+        let dg = DeltaGraph::build(
+            &events,
+            DeltaGraphConfig::new(64, 2).with_diff_fn(DifferentialFunction::Intersection),
+            Arc::new(MemStore::new()),
+        )
+        .unwrap();
+        let root = dg.root().unwrap();
+        let root_elements = dg.skeleton().node(root).unwrap().element_count;
+        assert!(
+            root_elements <= 64,
+            "root of a growing-only Intersection index should be small, got {root_elements}"
+        );
+    }
+
+    #[test]
+    fn baseline_space_orderings() {
+        let model = DynamicsModel::new(0.5, 0.5, 0.0, 100_000.0);
+        let interval = baselines::interval_tree_space(&model);
+        let segment = baselines::segment_tree_space(&model);
+        let copylog = baselines::copy_log_space(&model, 1000);
+        assert!(segment > interval);
+        assert!(copylog >= interval);
+    }
+}

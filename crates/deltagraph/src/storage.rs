@@ -1,0 +1,527 @@
+//! Columnar, partitioned persistence of deltas and leaf-eventlists.
+//!
+//! Deltas and eventlists are given unique ids and stored column-wise,
+//! separating structure from attribute information, under the composite key
+//! `⟨partition id, delta id, component⟩` (Section 4.2). Each object is split
+//! into one part per horizontal partition (by hashing the node id of the
+//! concerned element), so that a distributed deployment stores and fetches
+//! the parts independently and in parallel.
+
+use std::sync::Arc;
+
+use kvstore::{ComponentKind, KeyValueStore, NodePartitioner, StoreKey};
+use tgraph::codec::{write_varint, Decode, Encode, Reader};
+use tgraph::event::EventCategory;
+use tgraph::{AttrOptions, Delta, EdgeId, Event, EventList, TgError};
+
+use crate::error::DgResult;
+use crate::skeleton::ComponentWeights;
+
+/// Writes and reads deltas / eventlists for one DeltaGraph instance.
+pub struct PayloadStore {
+    store: Arc<dyn KeyValueStore>,
+    partitioner: NodePartitioner,
+    /// Threads used to fetch partitions in parallel (1 = sequential).
+    threads: usize,
+}
+
+impl PayloadStore {
+    /// Creates a payload store over `store` with the given partitioning.
+    pub fn new(store: Arc<dyn KeyValueStore>, partitioner: NodePartitioner, threads: usize) -> Self {
+        PayloadStore {
+            store,
+            partitioner,
+            threads: threads.max(1),
+        }
+    }
+
+    /// The underlying key–value store.
+    pub fn backing_store(&self) -> &Arc<dyn KeyValueStore> {
+        &self.store
+    }
+
+    /// The node-id partitioner.
+    pub fn partitioner(&self) -> NodePartitioner {
+        self.partitioner
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> u32 {
+        self.partitioner.partition_count()
+    }
+
+    /// Sets the number of parallel fetch threads (used by the multicore
+    /// retrieval experiment).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    // ------------------------------------------------------------------
+    // Deltas
+    // ------------------------------------------------------------------
+
+    /// Persists `delta` under `id`, columnar and partitioned. Returns the
+    /// per-component serialized sizes (summed over partitions), which become
+    /// the skeleton edge weights.
+    pub fn write_delta(&self, id: u64, delta: &Delta) -> DgResult<ComponentWeights> {
+        let parts = partition_delta(delta, &self.partitioner);
+        let mut weights = ComponentWeights::default();
+        for (partition, part) in parts.iter().enumerate() {
+            let partition = partition as u32;
+            if !part.structure.is_empty() {
+                let bytes = part.structure.to_bytes();
+                weights.structure += bytes.len();
+                self.store
+                    .put(StoreKey::new(partition, id, ComponentKind::Structure), &bytes)?;
+            }
+            if !part.node_attrs.is_empty() {
+                let bytes = part.node_attrs.to_bytes();
+                weights.node_attr += bytes.len();
+                self.store
+                    .put(StoreKey::new(partition, id, ComponentKind::NodeAttr), &bytes)?;
+            }
+            if !part.edge_attrs.is_empty() {
+                let bytes = part.edge_attrs.to_bytes();
+                weights.edge_attr += bytes.len();
+                self.store
+                    .put(StoreKey::new(partition, id, ComponentKind::EdgeAttr), &bytes)?;
+            }
+        }
+        Ok(weights)
+    }
+
+    /// Reads the delta stored under `id`, restricted to the components
+    /// required by `opts`.
+    pub fn read_delta(&self, id: u64, opts: &AttrOptions) -> DgResult<Delta> {
+        let mut components = vec![ComponentKind::Structure];
+        if opts.needs_node_attrs() {
+            components.push(ComponentKind::NodeAttr);
+        }
+        if opts.needs_edge_attrs() {
+            components.push(ComponentKind::EdgeAttr);
+        }
+        let keys = self.keys_for(id, &components);
+        let values = self.fetch(&keys)?;
+
+        let mut delta = Delta::new();
+        for (key, value) in keys.iter().zip(values) {
+            let Some(bytes) = value else { continue };
+            match key.component {
+                ComponentKind::Structure => {
+                    let part = tgraph::StructDelta::from_bytes(&bytes).map_err(tg)?;
+                    delta.structure.add_nodes.extend(part.add_nodes);
+                    delta.structure.del_nodes.extend(part.del_nodes);
+                    delta.structure.add_edges.extend(part.add_edges);
+                    delta.structure.del_edges.extend(part.del_edges);
+                }
+                ComponentKind::NodeAttr => {
+                    let part: Vec<tgraph::delta::AttrAssignment<tgraph::NodeId>> =
+                        Vec::from_bytes(&bytes).map_err(tg)?;
+                    delta.node_attrs.extend(part);
+                }
+                ComponentKind::EdgeAttr => {
+                    let part: Vec<tgraph::delta::AttrAssignment<EdgeId>> =
+                        Vec::from_bytes(&bytes).map_err(tg)?;
+                    delta.edge_attrs.extend(part);
+                }
+                _ => {}
+            }
+        }
+        Ok(delta)
+    }
+
+    // ------------------------------------------------------------------
+    // Eventlists
+    // ------------------------------------------------------------------
+
+    /// Persists a leaf-eventlist under `id`, columnar and partitioned. The
+    /// position of each event in the original list is stored alongside it so
+    /// that the exact event order can be reconstructed after merging
+    /// partitions and columns.
+    pub fn write_eventlist(&self, id: u64, events: &EventList) -> DgResult<ComponentWeights> {
+        let partitions = self.partitioner.partition_count() as usize;
+        // per partition, per category: (index, event)
+        let mut buckets: Vec<[Vec<(u64, &Event)>; 4]> = (0..partitions)
+            .map(|_| [Vec::new(), Vec::new(), Vec::new(), Vec::new()])
+            .collect();
+        for (i, ev) in events.events().iter().enumerate() {
+            let partition = self.partition_of_event(ev) as usize;
+            let cat = category_slot(ev.category());
+            buckets[partition][cat].push((i as u64, ev));
+        }
+        let mut weights = ComponentWeights::default();
+        for (partition, cats) in buckets.iter().enumerate() {
+            for (slot, items) in cats.iter().enumerate() {
+                if items.is_empty() {
+                    continue;
+                }
+                let bytes = encode_indexed_events(items);
+                let component = slot_component(slot);
+                match component {
+                    ComponentKind::Structure => weights.structure += bytes.len(),
+                    ComponentKind::NodeAttr => weights.node_attr += bytes.len(),
+                    ComponentKind::EdgeAttr => weights.edge_attr += bytes.len(),
+                    ComponentKind::Transient => weights.transient += bytes.len(),
+                    _ => {}
+                }
+                self.store
+                    .put(StoreKey::new(partition as u32, id, component), &bytes)?;
+            }
+        }
+        Ok(weights)
+    }
+
+    /// Reads the eventlist stored under `id`, restricted to the components
+    /// required by `opts` (plus the transient column when
+    /// `include_transient`). Events are returned in their original order.
+    pub fn read_eventlist(
+        &self,
+        id: u64,
+        opts: &AttrOptions,
+        include_transient: bool,
+    ) -> DgResult<EventList> {
+        let mut components = vec![ComponentKind::Structure];
+        if opts.needs_node_attrs() {
+            components.push(ComponentKind::NodeAttr);
+        }
+        if opts.needs_edge_attrs() {
+            components.push(ComponentKind::EdgeAttr);
+        }
+        if include_transient {
+            components.push(ComponentKind::Transient);
+        }
+        let keys = self.keys_for(id, &components);
+        let values = self.fetch(&keys)?;
+        let mut indexed: Vec<(u64, Event)> = Vec::new();
+        for value in values.into_iter().flatten() {
+            indexed.extend(decode_indexed_events(&value)?);
+        }
+        indexed.sort_by_key(|(i, _)| *i);
+        Ok(EventList::from_events(
+            indexed.into_iter().map(|(_, e)| e).collect(),
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Auxiliary-index payloads (Section 4.7)
+    // ------------------------------------------------------------------
+
+    /// Persists an opaque auxiliary payload under `id` (single column, all
+    /// partitions collapse to partition 0 — auxiliary indexes are small).
+    pub fn write_aux(&self, id: u64, bytes: &[u8]) -> DgResult<usize> {
+        self.store
+            .put(StoreKey::new(0, id, ComponentKind::Auxiliary), bytes)?;
+        Ok(bytes.len())
+    }
+
+    /// Reads an auxiliary payload.
+    pub fn read_aux(&self, id: u64) -> DgResult<Option<Vec<u8>>> {
+        Ok(self
+            .store
+            .get(StoreKey::new(0, id, ComponentKind::Auxiliary))?)
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn keys_for(&self, id: u64, components: &[ComponentKind]) -> Vec<StoreKey> {
+        let mut keys = Vec::with_capacity(components.len() * self.partition_count() as usize);
+        for partition in 0..self.partition_count() {
+            for &component in components {
+                keys.push(StoreKey::new(partition, id, component));
+            }
+        }
+        keys
+    }
+
+    /// Fetches many keys, in parallel across partitions when configured.
+    fn fetch(&self, keys: &[StoreKey]) -> DgResult<Vec<Option<Vec<u8>>>> {
+        if self.threads <= 1 || keys.len() <= 1 {
+            return keys
+                .iter()
+                .map(|k| self.store.get(*k).map_err(Into::into))
+                .collect();
+        }
+        let chunk = keys.len().div_ceil(self.threads);
+        let mut results: Vec<Option<Vec<u8>>> = vec![None; keys.len()];
+        let mut first_err = None;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (ci, ks) in keys.chunks(chunk).enumerate() {
+                let store = &self.store;
+                handles.push((ci, scope.spawn(move || {
+                    ks.iter()
+                        .map(|k| store.get(*k))
+                        .collect::<Vec<_>>()
+                })));
+            }
+            for (ci, handle) in handles {
+                for (j, res) in handle.join().expect("fetch worker panicked").into_iter().enumerate() {
+                    match res {
+                        Ok(v) => results[ci * chunk + j] = v,
+                        Err(e) => first_err = Some(e),
+                    }
+                }
+            }
+        });
+        if let Some(e) = first_err {
+            return Err(e.into());
+        }
+        Ok(results)
+    }
+
+    /// The partition an event is stored in. Edge-attribute events hash the
+    /// edge id (their endpoints are not carried by the event); everything
+    /// else hashes the concerned node id.
+    pub fn partition_of_event(&self, ev: &Event) -> u32 {
+        match ev.partition_node() {
+            Some(node) => self.partitioner.partition_of(node),
+            None => match &ev.kind {
+                tgraph::EventKind::SetEdgeAttr { edge, .. } => {
+                    (tgraph::fxhash::hash_u64(edge.raw())
+                        % u64::from(self.partitioner.partition_count())) as u32
+                }
+                _ => 0,
+            },
+        }
+    }
+}
+
+fn tg(e: TgError) -> crate::error::DgError {
+    e.into()
+}
+
+fn category_slot(cat: EventCategory) -> usize {
+    match cat {
+        EventCategory::Structure => 0,
+        EventCategory::NodeAttr => 1,
+        EventCategory::EdgeAttr => 2,
+        EventCategory::Transient => 3,
+    }
+}
+
+fn slot_component(slot: usize) -> ComponentKind {
+    match slot {
+        0 => ComponentKind::Structure,
+        1 => ComponentKind::NodeAttr,
+        2 => ComponentKind::EdgeAttr,
+        _ => ComponentKind::Transient,
+    }
+}
+
+fn encode_indexed_events(items: &[(u64, &Event)]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_varint(&mut buf, items.len() as u64);
+    for (idx, ev) in items {
+        write_varint(&mut buf, *idx);
+        ev.encode(&mut buf);
+    }
+    buf
+}
+
+fn decode_indexed_events(bytes: &[u8]) -> DgResult<Vec<(u64, Event)>> {
+    let mut r = Reader::new(bytes);
+    let count = r.read_varint().map_err(tg)? as usize;
+    let mut out = Vec::with_capacity(count.min(bytes.len()));
+    for _ in 0..count {
+        let idx = r.read_varint().map_err(tg)?;
+        let ev = Event::decode(&mut r).map_err(tg)?;
+        out.push((idx, ev));
+    }
+    Ok(out)
+}
+
+/// Splits a delta into one sub-delta per partition: nodes (and their
+/// attributes) go to `h(node)`, edges to `h(min(src, dst))`, edge attributes
+/// to `h(edge id)` (edge-attribute assignments do not carry endpoints).
+pub fn partition_delta(delta: &Delta, partitioner: &NodePartitioner) -> Vec<Delta> {
+    let n = partitioner.partition_count() as usize;
+    let mut parts: Vec<Delta> = (0..n).map(|_| Delta::new()).collect();
+    if n == 1 {
+        parts[0] = delta.clone();
+        return parts;
+    }
+    for node in &delta.structure.add_nodes {
+        parts[partitioner.partition_of(*node) as usize]
+            .structure
+            .add_nodes
+            .push(*node);
+    }
+    for node in &delta.structure.del_nodes {
+        parts[partitioner.partition_of(*node) as usize]
+            .structure
+            .del_nodes
+            .push(*node);
+    }
+    for rec in &delta.structure.add_edges {
+        let owner = rec.src.min(rec.dst);
+        parts[partitioner.partition_of(owner) as usize]
+            .structure
+            .add_edges
+            .push(*rec);
+    }
+    for rec in &delta.structure.del_edges {
+        let owner = rec.src.min(rec.dst);
+        parts[partitioner.partition_of(owner) as usize]
+            .structure
+            .del_edges
+            .push(*rec);
+    }
+    for a in &delta.node_attrs {
+        parts[partitioner.partition_of(a.id) as usize]
+            .node_attrs
+            .push(a.clone());
+    }
+    for a in &delta.edge_attrs {
+        let p = (tgraph::fxhash::hash_u64(a.id.raw()) % u64::from(partitioner.partition_count()))
+            as usize;
+        parts[p].edge_attrs.push(a.clone());
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvstore::MemStore;
+    use tgraph::{AttrValue, NodeId, Snapshot};
+
+    fn payload_store(partitions: u32, threads: usize) -> PayloadStore {
+        PayloadStore::new(
+            Arc::new(MemStore::new()),
+            NodePartitioner::new(partitions),
+            threads,
+        )
+    }
+
+    fn sample_delta() -> Delta {
+        let from = Snapshot::new();
+        let mut to = Snapshot::new();
+        for n in 0..20u64 {
+            to.ensure_node(NodeId(n));
+        }
+        for e in 0..10u64 {
+            to.add_edge(EdgeId(e), NodeId(e), NodeId(e + 1), false).unwrap();
+        }
+        to.set_node_attr(NodeId(1), "name", Some(AttrValue::from("x"))).unwrap();
+        to.set_edge_attr(EdgeId(2), "w", Some(AttrValue::Int(5))).unwrap();
+        Delta::between(&from, &to)
+    }
+
+    #[test]
+    fn delta_roundtrip_single_partition() {
+        let ps = payload_store(1, 1);
+        let delta = sample_delta();
+        let w = ps.write_delta(7, &delta).unwrap();
+        assert!(w.structure > 0 && w.node_attr > 0 && w.edge_attr > 0);
+        let mut read = ps.read_delta(7, &AttrOptions::all()).unwrap();
+        read.sort();
+        let mut expected = delta.clone();
+        expected.sort();
+        assert_eq!(read, expected);
+    }
+
+    #[test]
+    fn delta_roundtrip_multi_partition_and_parallel() {
+        for threads in [1, 4] {
+            let ps = payload_store(4, threads);
+            let delta = sample_delta();
+            ps.write_delta(9, &delta).unwrap();
+            let mut read = ps.read_delta(9, &AttrOptions::all()).unwrap();
+            read.sort();
+            let mut expected = delta.clone();
+            expected.sort();
+            assert_eq!(read, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn structure_only_read_skips_attribute_columns() {
+        let ps = payload_store(2, 1);
+        let delta = sample_delta();
+        ps.write_delta(3, &delta).unwrap();
+        let stats_before = ps.backing_store().stats();
+        let read = ps.read_delta(3, &AttrOptions::structure_only()).unwrap();
+        assert!(read.node_attrs.is_empty() && read.edge_attrs.is_empty());
+        assert_eq!(
+            read.structure.add_nodes.len(),
+            delta.structure.add_nodes.len()
+        );
+        let stats_after = ps.backing_store().stats();
+        let fetched = stats_after.delta_since(&stats_before);
+        // structure-only must read fewer bytes than the full write volume
+        assert!(fetched.bytes_read < stats_after.bytes_written);
+    }
+
+    #[test]
+    fn partitioning_is_complete_and_disjoint() {
+        let delta = sample_delta();
+        let partitioner = NodePartitioner::new(3);
+        let parts = partition_delta(&delta, &partitioner);
+        let total_nodes: usize = parts.iter().map(|p| p.structure.add_nodes.len()).sum();
+        let total_edges: usize = parts.iter().map(|p| p.structure.add_edges.len()).sum();
+        let total_nattrs: usize = parts.iter().map(|p| p.node_attrs.len()).sum();
+        let total_eattrs: usize = parts.iter().map(|p| p.edge_attrs.len()).sum();
+        assert_eq!(total_nodes, delta.structure.add_nodes.len());
+        assert_eq!(total_edges, delta.structure.add_edges.len());
+        assert_eq!(total_nattrs, delta.node_attrs.len());
+        assert_eq!(total_eattrs, delta.edge_attrs.len());
+        // at least two partitions are non-empty for this delta
+        let non_empty = parts.iter().filter(|p| !p.is_empty()).count();
+        assert!(non_empty >= 2);
+    }
+
+    #[test]
+    fn eventlist_roundtrip_preserves_order() {
+        let ps = payload_store(3, 2);
+        let events = EventList::from_events(vec![
+            Event::add_node(1, 1),
+            Event::add_node(1, 2),
+            Event::add_edge(2, 10, 1, 2),
+            Event::set_node_attr(3, 1, "k", None, Some(AttrValue::Int(1))),
+            Event::transient_edge(4, 1, 2, None),
+            Event::set_edge_attr(5, 10, "w", None, Some(AttrValue::Int(2))),
+            Event::delete_edge(6, 10, 1, 2),
+        ]);
+        ps.write_eventlist(11, &events).unwrap();
+        let full = ps.read_eventlist(11, &AttrOptions::all(), true).unwrap();
+        assert_eq!(full, events);
+
+        let structure = ps
+            .read_eventlist(11, &AttrOptions::structure_only(), false)
+            .unwrap();
+        assert_eq!(structure.len(), 4);
+        assert!(structure.events().iter().all(|e| e.category() == EventCategory::Structure));
+    }
+
+    #[test]
+    fn missing_ids_read_as_empty() {
+        let ps = payload_store(2, 1);
+        let delta = ps.read_delta(999, &AttrOptions::all()).unwrap();
+        assert!(delta.is_empty());
+        let events = ps.read_eventlist(999, &AttrOptions::all(), true).unwrap();
+        assert!(events.is_empty());
+        assert_eq!(ps.read_aux(999).unwrap(), None);
+    }
+
+    #[test]
+    fn aux_payload_roundtrip() {
+        let ps = payload_store(1, 1);
+        ps.write_aux(5, b"aux-bytes").unwrap();
+        assert_eq!(ps.read_aux(5).unwrap().as_deref(), Some(&b"aux-bytes"[..]));
+    }
+
+    #[test]
+    fn empty_components_are_not_stored() {
+        let ps = payload_store(1, 1);
+        // structure-only delta
+        let from = Snapshot::new();
+        let mut to = Snapshot::new();
+        to.ensure_node(NodeId(1));
+        let delta = Delta::between(&from, &to);
+        ps.write_delta(1, &delta).unwrap();
+        // only one key should be stored (partition 0, structure)
+        assert_eq!(ps.backing_store().len(), 1);
+    }
+}

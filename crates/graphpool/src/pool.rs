@@ -1,0 +1,759 @@
+//! The GraphPool: many graphs overlaid on one in-memory structure.
+//!
+//! The pool maintains a single union graph of all *active* graphs — the
+//! current graph, retrieved historical snapshots, and materialized DeltaGraph
+//! nodes. Every component (node, edge) and every attribute value carries a
+//! bitmap saying which active graphs contain it (Section 6). New snapshots
+//! are overlaid element by element; graphs that are no longer needed are
+//! cleaned up lazily.
+//!
+//! Bit assignment follows the paper's GraphID–bit mapping table: bits 0 and 1
+//! are reserved for the current graph (bit 0 = member of the current graph,
+//! bit 1 = recently deleted and not yet part of the index); every historical
+//! graph receives a pair of bits and may be marked *dependent* on a
+//! materialized graph (or the current graph), in which case only the elements
+//! whose membership differs from the dependency need their bits touched;
+//! materialized graphs receive a single bit.
+
+use std::collections::BTreeMap;
+
+use tgraph::fxhash::FxHashMap;
+use tgraph::{AttrValue, EdgeId, Event, EventKind, NodeId, Snapshot, Timestamp};
+
+use crate::bitmap::BitMap;
+use crate::view::GraphView;
+
+/// Handle to a graph registered in the pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GraphId(pub u32);
+
+/// What kind of graph an entry describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphKind {
+    /// The continuously updated current graph.
+    Current,
+    /// A retrieved historical snapshot.
+    Historical,
+    /// A materialized DeltaGraph node (interior or leaf).
+    Materialized,
+}
+
+/// How an entry's membership bits are interpreted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BitAssignment {
+    /// One bit: set ⇔ member (current graph and materialized graphs).
+    Single { member: usize },
+    /// Two bits (historical graphs): if `exception` is set the element's
+    /// membership is given by `member`; otherwise it follows the dependency
+    /// (or is "not a member" when the graph has no dependency).
+    Pair { exception: usize, member: usize },
+}
+
+/// Registry entry for one active graph (one row of the GraphID–bit table).
+#[derive(Clone, Debug)]
+pub struct GraphEntry {
+    /// The graph's id.
+    pub id: GraphId,
+    /// What the graph is.
+    pub kind: GraphKind,
+    /// The time point of a historical graph, for reporting.
+    pub time: Option<Timestamp>,
+    /// The graph this entry depends on, if any.
+    pub dependency: Option<GraphId>,
+    bits: BitAssignment,
+    /// `false` once the graph has been released and awaits cleanup.
+    active: bool,
+}
+
+#[derive(Clone, Debug, Default)]
+struct PoolNode {
+    bm: BitMap,
+    /// attribute name → list of (value, bitmap of graphs having that value)
+    attrs: BTreeMap<String, Vec<(AttrValue, BitMap)>>,
+}
+
+#[derive(Clone, Debug)]
+struct PoolEdge {
+    src: NodeId,
+    dst: NodeId,
+    directed: bool,
+    bm: BitMap,
+    attrs: BTreeMap<String, Vec<(AttrValue, BitMap)>>,
+}
+
+/// The in-memory pool of overlaid graphs.
+pub struct GraphPool {
+    nodes: FxHashMap<NodeId, PoolNode>,
+    edges: FxHashMap<EdgeId, PoolEdge>,
+    adj: FxHashMap<NodeId, Vec<(NodeId, EdgeId)>>,
+    entries: Vec<Option<GraphEntry>>,
+    next_bit: usize,
+    free_singles: Vec<usize>,
+    free_pairs: Vec<(usize, usize)>,
+    /// Graphs released but not yet cleaned (lazy cleanup).
+    pending_cleanup: Vec<GraphId>,
+}
+
+/// The id of the always-present current graph.
+pub const CURRENT_GRAPH: GraphId = GraphId(0);
+
+impl Default for GraphPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GraphPool {
+    /// Creates a pool containing only an empty current graph.
+    pub fn new() -> Self {
+        let current = GraphEntry {
+            id: CURRENT_GRAPH,
+            kind: GraphKind::Current,
+            time: None,
+            dependency: None,
+            bits: BitAssignment::Single { member: 0 },
+            active: true,
+        };
+        GraphPool {
+            nodes: FxHashMap::default(),
+            edges: FxHashMap::default(),
+            adj: FxHashMap::default(),
+            entries: vec![Some(current)],
+            next_bit: 2, // bit 1 reserved for "recently deleted"
+            free_singles: Vec::new(),
+            free_pairs: Vec::new(),
+            pending_cleanup: Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Registry
+    // ------------------------------------------------------------------
+
+    fn alloc_single(&mut self) -> usize {
+        if let Some(bit) = self.free_singles.pop() {
+            bit
+        } else {
+            let bit = self.next_bit;
+            self.next_bit += 1;
+            bit
+        }
+    }
+
+    fn alloc_pair(&mut self) -> (usize, usize) {
+        if let Some(pair) = self.free_pairs.pop() {
+            pair
+        } else {
+            let pair = (self.next_bit, self.next_bit + 1);
+            self.next_bit += 2;
+            pair
+        }
+    }
+
+    fn register(&mut self, entry: GraphEntry) -> GraphId {
+        let id = GraphId(self.entries.len() as u32);
+        let mut entry = entry;
+        entry.id = id;
+        self.entries.push(Some(entry));
+        id
+    }
+
+    /// The registry entry of a graph, if it exists and is active.
+    pub fn entry(&self, id: GraphId) -> Option<&GraphEntry> {
+        self.entries
+            .get(id.0 as usize)
+            .and_then(|e| e.as_ref())
+            .filter(|e| e.active)
+    }
+
+    /// Ids of all active graphs (including the current graph).
+    pub fn active_graphs(&self) -> Vec<GraphId> {
+        self.entries
+            .iter()
+            .flatten()
+            .filter(|e| e.active)
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Number of active graphs, excluding the current graph.
+    pub fn active_overlay_count(&self) -> usize {
+        self.active_graphs().len() - 1
+    }
+
+    // ------------------------------------------------------------------
+    // Membership
+    // ------------------------------------------------------------------
+
+    fn member(&self, bm: &BitMap, id: GraphId) -> bool {
+        let Some(entry) = self.entry(id) else {
+            return false;
+        };
+        match entry.bits {
+            BitAssignment::Single { member } => bm.get(member),
+            BitAssignment::Pair { exception, member } => {
+                if bm.get(exception) {
+                    bm.get(member)
+                } else if let Some(dep) = entry.dependency {
+                    self.member(bm, dep)
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Whether `node` belongs to graph `id`.
+    pub fn contains_node(&self, id: GraphId, node: NodeId) -> bool {
+        self.nodes
+            .get(&node)
+            .map_or(false, |n| self.member(&n.bm, id))
+    }
+
+    /// Whether `edge` belongs to graph `id`.
+    pub fn contains_edge(&self, id: GraphId, edge: EdgeId) -> bool {
+        self.edges
+            .get(&edge)
+            .map_or(false, |e| self.member(&e.bm, id))
+    }
+
+    /// The value of `node`'s attribute `key` in graph `id`, if any.
+    pub fn node_attr(&self, id: GraphId, node: NodeId, key: &str) -> Option<&AttrValue> {
+        let n = self.nodes.get(&node)?;
+        n.attrs
+            .get(key)?
+            .iter()
+            .find(|(_, bm)| self.member_attr(bm, id))
+            .map(|(v, _)| v)
+    }
+
+    /// The value of `edge`'s attribute `key` in graph `id`, if any.
+    pub fn edge_attr(&self, id: GraphId, edge: EdgeId, key: &str) -> Option<&AttrValue> {
+        let e = self.edges.get(&edge)?;
+        e.attrs
+            .get(key)?
+            .iter()
+            .find(|(_, bm)| self.member_attr(bm, id))
+            .map(|(v, _)| v)
+    }
+
+    /// Attribute-value membership. Dependent historical graphs fall back to
+    /// the dependency's attribute value when no exception is recorded.
+    fn member_attr(&self, bm: &BitMap, id: GraphId) -> bool {
+        let Some(entry) = self.entry(id) else {
+            return false;
+        };
+        match entry.bits {
+            BitAssignment::Single { member } => bm.get(member),
+            BitAssignment::Pair { exception, member } => {
+                if bm.get(exception) {
+                    bm.get(member)
+                } else if let Some(dep) = entry.dependency {
+                    self.member_attr(bm, dep)
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Overlaying graphs
+    // ------------------------------------------------------------------
+
+    fn ensure_node(&mut self, node: NodeId) -> &mut PoolNode {
+        self.nodes.entry(node).or_default()
+    }
+
+    fn ensure_edge(&mut self, edge: EdgeId, src: NodeId, dst: NodeId, directed: bool) {
+        if self.edges.contains_key(&edge) {
+            return;
+        }
+        self.edges.insert(
+            edge,
+            PoolEdge {
+                src,
+                dst,
+                directed,
+                bm: BitMap::new(),
+                attrs: BTreeMap::new(),
+            },
+        );
+        self.adj.entry(src).or_default().push((dst, edge));
+        if !directed && src != dst {
+            self.adj.entry(dst).or_default().push((src, edge));
+        }
+    }
+
+    fn set_attr_bit(
+        attrs: &mut BTreeMap<String, Vec<(AttrValue, BitMap)>>,
+        key: &str,
+        value: &AttrValue,
+        bit: usize,
+    ) {
+        let values = attrs.entry(key.to_owned()).or_default();
+        if let Some((_, bm)) = values.iter_mut().find(|(v, _)| v == value) {
+            bm.set(bit, true);
+        } else {
+            let mut bm = BitMap::new();
+            bm.set(bit, true);
+            values.push((value.clone(), bm));
+        }
+    }
+
+    fn overlay_with_bits(&mut self, snapshot: &Snapshot, member_bit: usize, exception_bit: Option<usize>) {
+        for (node, data) in snapshot.nodes() {
+            let pool_node = self.ensure_node(node);
+            pool_node.bm.set(member_bit, true);
+            if let Some(e) = exception_bit {
+                pool_node.bm.set(e, true);
+            }
+            for (key, value) in &data.attrs {
+                Self::set_attr_bit(&mut pool_node.attrs, key, value, member_bit);
+                if let Some(e) = exception_bit {
+                    // the attribute-value bitmap reuses the member bit for the
+                    // value and the exception bit to mark "explicitly recorded"
+                    let values = pool_node.attrs.get_mut(key).expect("just inserted");
+                    if let Some((_, bm)) = values.iter_mut().find(|(v, _)| v == value) {
+                        bm.set(e, true);
+                    }
+                }
+            }
+        }
+        for (edge, data) in snapshot.edges() {
+            self.ensure_edge(edge, data.src, data.dst, data.directed);
+            let pool_edge = self.edges.get_mut(&edge).expect("just ensured");
+            pool_edge.bm.set(member_bit, true);
+            if let Some(e) = exception_bit {
+                pool_edge.bm.set(e, true);
+            }
+            for (key, value) in &data.attrs {
+                Self::set_attr_bit(&mut pool_edge.attrs, key, value, member_bit);
+                if let Some(e) = exception_bit {
+                    let values = pool_edge.attrs.get_mut(key).expect("just inserted");
+                    if let Some((_, bm)) = values.iter_mut().find(|(v, _)| v == value) {
+                        bm.set(e, true);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replaces the current graph with `snapshot` (used at start-up; ongoing
+    /// changes should go through [`GraphPool::apply_event_to_current`]).
+    pub fn set_current(&mut self, snapshot: &Snapshot) {
+        // Clear bit 0 everywhere, then overlay.
+        for node in self.nodes.values_mut() {
+            node.bm.set(0, false);
+            for values in node.attrs.values_mut() {
+                for (_, bm) in values.iter_mut() {
+                    bm.set(0, false);
+                }
+            }
+        }
+        for edge in self.edges.values_mut() {
+            edge.bm.set(0, false);
+            for values in edge.attrs.values_mut() {
+                for (_, bm) in values.iter_mut() {
+                    bm.set(0, false);
+                }
+            }
+        }
+        self.overlay_with_bits(snapshot, 0, None);
+    }
+
+    /// Applies one update event to the current graph. Deleted elements keep
+    /// bit 1 ("recently deleted, not yet part of the index") so they are not
+    /// reclaimed before the index has absorbed the deletion.
+    pub fn apply_event_to_current(&mut self, event: &Event) {
+        match &event.kind {
+            EventKind::AddNode { node } => {
+                self.ensure_node(*node).bm.set(0, true);
+            }
+            EventKind::DeleteNode { node } => {
+                if let Some(n) = self.nodes.get_mut(node) {
+                    n.bm.set(0, false);
+                    n.bm.set(1, true);
+                }
+            }
+            EventKind::AddEdge {
+                edge,
+                src,
+                dst,
+                directed,
+            } => {
+                self.ensure_edge(*edge, *src, *dst, *directed);
+                self.edges.get_mut(edge).expect("ensured").bm.set(0, true);
+            }
+            EventKind::DeleteEdge { edge, .. } => {
+                if let Some(e) = self.edges.get_mut(edge) {
+                    e.bm.set(0, false);
+                    e.bm.set(1, true);
+                }
+            }
+            EventKind::SetNodeAttr { node, key, new, .. } => {
+                if let Some(n) = self.nodes.get_mut(node) {
+                    if let Some(values) = n.attrs.get_mut(key) {
+                        for (_, bm) in values.iter_mut() {
+                            bm.set(0, false);
+                        }
+                    }
+                    if let Some(value) = new {
+                        Self::set_attr_bit(&mut n.attrs, key, value, 0);
+                    }
+                }
+            }
+            EventKind::SetEdgeAttr { edge, key, new, .. } => {
+                if let Some(e) = self.edges.get_mut(edge) {
+                    if let Some(values) = e.attrs.get_mut(key) {
+                        for (_, bm) in values.iter_mut() {
+                            bm.set(0, false);
+                        }
+                    }
+                    if let Some(value) = new {
+                        Self::set_attr_bit(&mut e.attrs, key, value, 0);
+                    }
+                }
+            }
+            EventKind::TransientEdge { .. } | EventKind::TransientNode { .. } => {}
+        }
+    }
+
+    /// Overlays a retrieved historical snapshot and returns its handle.
+    pub fn add_historical(&mut self, snapshot: &Snapshot, time: Timestamp) -> GraphId {
+        let (exception, member) = self.alloc_pair();
+        let id = self.register(GraphEntry {
+            id: GraphId(0),
+            kind: GraphKind::Historical,
+            time: Some(time),
+            dependency: None,
+            bits: BitAssignment::Pair { exception, member },
+            active: true,
+        });
+        // Without a dependency the exception bit is set on every overlaid
+        // element (membership is always read from the member bit).
+        self.overlay_with_bits(snapshot, member, Some(exception));
+        id
+    }
+
+    /// Overlays a historical snapshot as *dependent* on an already-registered
+    /// graph (a materialized graph or the current graph): only elements whose
+    /// membership differs from the dependency get their bits touched, which
+    /// is the optimization enabled by the bit pair (Section 6).
+    pub fn add_historical_dependent(
+        &mut self,
+        snapshot: &Snapshot,
+        time: Timestamp,
+        dependency: GraphId,
+    ) -> GraphId {
+        assert!(self.entry(dependency).is_some(), "unknown dependency graph");
+        let (exception, member) = self.alloc_pair();
+        let id = self.register(GraphEntry {
+            id: GraphId(0),
+            kind: GraphKind::Historical,
+            time: Some(time),
+            dependency: Some(dependency),
+            bits: BitAssignment::Pair { exception, member },
+            active: true,
+        });
+
+        // Elements present in the snapshot but absent from the dependency:
+        // record an exception with membership = true.
+        let mut additions: Vec<(NodeId, bool)> = Vec::new();
+        for (node, _) in snapshot.nodes() {
+            if !self.contains_node(dependency, node) {
+                additions.push((node, true));
+            }
+        }
+        for (node, _present) in &additions {
+            let pool_node = self.ensure_node(*node);
+            pool_node.bm.set(exception, true);
+            pool_node.bm.set(member, true);
+        }
+        let mut edge_additions: Vec<EdgeId> = Vec::new();
+        for (edge, data) in snapshot.edges() {
+            if !self.contains_edge(dependency, edge) {
+                self.ensure_edge(edge, data.src, data.dst, data.directed);
+                edge_additions.push(edge);
+            }
+        }
+        for edge in edge_additions {
+            let e = self.edges.get_mut(&edge).expect("ensured");
+            e.bm.set(exception, true);
+            e.bm.set(member, true);
+        }
+
+        // Elements of the dependency that are absent from the snapshot:
+        // record an exception with membership = false.
+        let dep_nodes: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .filter(|(_, n)| self.member(&n.bm, dependency))
+            .map(|(id, _)| *id)
+            .collect();
+        for node in dep_nodes {
+            if !snapshot.has_node(node) {
+                if let Some(n) = self.nodes.get_mut(&node) {
+                    n.bm.set(exception, true);
+                    n.bm.set(member, false);
+                }
+            }
+        }
+        let dep_edges: Vec<EdgeId> = self
+            .edges
+            .iter()
+            .filter(|(_, e)| self.member(&e.bm, dependency))
+            .map(|(id, _)| *id)
+            .collect();
+        for edge in dep_edges {
+            if !snapshot.has_edge(edge) {
+                if let Some(e) = self.edges.get_mut(&edge) {
+                    e.bm.set(exception, true);
+                    e.bm.set(member, false);
+                }
+            }
+        }
+
+        // Attributes: record the snapshot's attribute values explicitly (the
+        // attribute fallback only applies to untouched keys).
+        for (node, data) in snapshot.nodes() {
+            if data.attrs.is_empty() {
+                continue;
+            }
+            let pool_node = self.ensure_node(node);
+            for (key, value) in &data.attrs {
+                Self::set_attr_bit(&mut pool_node.attrs, key, value, member);
+                let values = pool_node.attrs.get_mut(key).expect("just inserted");
+                if let Some((_, bm)) = values.iter_mut().find(|(v, _)| v == value) {
+                    bm.set(exception, true);
+                }
+            }
+        }
+        id
+    }
+
+    /// Overlays a materialized DeltaGraph node graph (single bit).
+    pub fn add_materialized(&mut self, snapshot: &Snapshot) -> GraphId {
+        let member = self.alloc_single();
+        let id = self.register(GraphEntry {
+            id: GraphId(0),
+            kind: GraphKind::Materialized,
+            time: None,
+            dependency: None,
+            bits: BitAssignment::Single { member },
+            active: true,
+        });
+        self.overlay_with_bits(snapshot, member, None);
+        id
+    }
+
+    /// A read view of one active graph.
+    pub fn view(&self, id: GraphId) -> GraphView<'_> {
+        GraphView::new(self, id)
+    }
+
+    // ------------------------------------------------------------------
+    // Clean-up (lazy)
+    // ------------------------------------------------------------------
+
+    /// Releases a graph. Its bits are *not* reset immediately; they are
+    /// reclaimed by the next [`GraphPool::cleanup`] ("we instead perform
+    /// clean-up in a lazy fashion", Section 6). The current graph cannot be
+    /// released.
+    pub fn release(&mut self, id: GraphId) {
+        if id == CURRENT_GRAPH {
+            return;
+        }
+        if let Some(Some(entry)) = self.entries.get_mut(id.0 as usize) {
+            if entry.active {
+                entry.active = false;
+                self.pending_cleanup.push(id);
+            }
+        }
+    }
+
+    /// Number of graphs released but not yet cleaned up.
+    pub fn pending_cleanup(&self) -> usize {
+        self.pending_cleanup.len()
+    }
+
+    /// Scans the pool, resets the bits of released graphs, frees their bits
+    /// for reuse, and removes elements that no longer belong to any active
+    /// graph. Returns the number of elements removed from the union.
+    pub fn cleanup(&mut self) -> usize {
+        if self.pending_cleanup.is_empty() {
+            return 0;
+        }
+        let mut bits_to_clear: Vec<usize> = Vec::new();
+        for id in std::mem::take(&mut self.pending_cleanup) {
+            if let Some(slot) = self.entries.get_mut(id.0 as usize) {
+                if let Some(entry) = slot.take() {
+                    match entry.bits {
+                        BitAssignment::Single { member } => {
+                            bits_to_clear.push(member);
+                            self.free_singles.push(member);
+                        }
+                        BitAssignment::Pair { exception, member } => {
+                            bits_to_clear.extend([exception, member]);
+                            self.free_pairs.push((exception, member));
+                        }
+                    }
+                }
+            }
+        }
+        for node in self.nodes.values_mut() {
+            for &bit in &bits_to_clear {
+                node.bm.set(bit, false);
+            }
+            for values in node.attrs.values_mut() {
+                for (_, bm) in values.iter_mut() {
+                    for &bit in &bits_to_clear {
+                        bm.set(bit, false);
+                    }
+                }
+                values.retain(|(_, bm)| !bm.is_empty());
+            }
+            node.attrs.retain(|_, values| !values.is_empty());
+        }
+        for edge in self.edges.values_mut() {
+            for &bit in &bits_to_clear {
+                edge.bm.set(bit, false);
+            }
+            for values in edge.attrs.values_mut() {
+                for (_, bm) in values.iter_mut() {
+                    for &bit in &bits_to_clear {
+                        bm.set(bit, false);
+                    }
+                }
+                values.retain(|(_, bm)| !bm.is_empty());
+            }
+            edge.attrs.retain(|_, values| !values.is_empty());
+        }
+
+        // Remove elements that belong to nothing any more.
+        let dead_edges: Vec<EdgeId> = self
+            .edges
+            .iter()
+            .filter(|(_, e)| e.bm.is_empty())
+            .map(|(id, _)| *id)
+            .collect();
+        for edge in &dead_edges {
+            if let Some(data) = self.edges.remove(edge) {
+                if let Some(list) = self.adj.get_mut(&data.src) {
+                    list.retain(|(_, e)| e != edge);
+                }
+                if let Some(list) = self.adj.get_mut(&data.dst) {
+                    list.retain(|(_, e)| e != edge);
+                }
+            }
+        }
+        let dead_nodes: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .filter(|(_, n)| n.bm.is_empty())
+            .map(|(id, _)| *id)
+            .collect();
+        for node in &dead_nodes {
+            self.nodes.remove(node);
+            self.adj.remove(node);
+        }
+        dead_nodes.len() + dead_edges.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection used by views and benchmarks
+    // ------------------------------------------------------------------
+
+    pub(crate) fn union_neighbors(&self, node: NodeId) -> &[(NodeId, EdgeId)] {
+        self.adj.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub(crate) fn union_node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    pub(crate) fn union_edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges.keys().copied()
+    }
+
+    pub(crate) fn edge_endpoints(&self, edge: EdgeId) -> Option<(NodeId, NodeId, bool)> {
+        self.edges.get(&edge).map(|e| (e.src, e.dst, e.directed))
+    }
+
+    pub(crate) fn node_attrs_for(
+        &self,
+        id: GraphId,
+        node: NodeId,
+    ) -> Vec<(String, AttrValue)> {
+        let Some(n) = self.nodes.get(&node) else {
+            return Vec::new();
+        };
+        n.attrs
+            .iter()
+            .filter_map(|(key, values)| {
+                values
+                    .iter()
+                    .find(|(_, bm)| self.member_attr(bm, id))
+                    .map(|(v, _)| (key.clone(), v.clone()))
+            })
+            .collect()
+    }
+
+    pub(crate) fn edge_attrs_for(
+        &self,
+        id: GraphId,
+        edge: EdgeId,
+    ) -> Vec<(String, AttrValue)> {
+        let Some(e) = self.edges.get(&edge) else {
+            return Vec::new();
+        };
+        e.attrs
+            .iter()
+            .filter_map(|(key, values)| {
+                values
+                    .iter()
+                    .find(|(_, bm)| self.member_attr(bm, id))
+                    .map(|(v, _)| (key.clone(), v.clone()))
+            })
+            .collect()
+    }
+
+    /// Number of nodes in the union graph.
+    pub fn union_node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges in the union graph.
+    pub fn union_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Approximate memory footprint in bytes of the whole pool: union
+    /// elements, adjacency, attribute values, and bitmaps. This is the
+    /// quantity plotted in Figure 8(a).
+    pub fn approx_memory(&self) -> usize {
+        let mut total = 0usize;
+        for node in self.nodes.values() {
+            total += 48 + node.bm.approx_memory();
+            for (key, values) in &node.attrs {
+                total += key.len();
+                for (v, bm) in values {
+                    total += v.approx_size() + bm.approx_memory() + 16;
+                }
+            }
+        }
+        for edge in self.edges.values() {
+            total += 64 + edge.bm.approx_memory();
+            for (key, values) in &edge.attrs {
+                total += key.len();
+                for (v, bm) in values {
+                    total += v.approx_size() + bm.approx_memory() + 16;
+                }
+            }
+        }
+        for list in self.adj.values() {
+            total += 32 + list.len() * std::mem::size_of::<(NodeId, EdgeId)>();
+        }
+        total
+    }
+}

@@ -1,0 +1,185 @@
+//! Composite store keys.
+//!
+//! Every delta or leaf-eventlist is stored column-wise under the key
+//! `⟨partition id, delta id, component⟩` (Section 4.2), where the component
+//! distinguishes the structure, node-attribute, edge-attribute, and transient
+//! columns. Keys serialize to a fixed-size big-endian byte string so that a
+//! byte-ordered store keeps all columns of one delta adjacent.
+
+use tgraph::{Result, TgError};
+
+/// Which column of a delta / eventlist a key addresses.
+///
+/// This mirrors [`tgraph::event::EventCategory`] but is defined separately so
+/// that the storage layer has a stable, explicitly numbered representation
+/// (the numeric values are part of the on-disk format).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum ComponentKind {
+    /// Structure column (`∆struct`).
+    Structure = 0,
+    /// Node-attribute column (`∆nodeattr`).
+    NodeAttr = 1,
+    /// Edge-attribute column (`∆edgeattr`).
+    EdgeAttr = 2,
+    /// Transient-event column (`E_transient`, leaf-eventlists only).
+    Transient = 3,
+    /// Auxiliary-index column (Section 4.7 extensibility).
+    Auxiliary = 4,
+    /// Metadata column (skeleton descriptors, manifest records).
+    Meta = 5,
+}
+
+impl ComponentKind {
+    /// All delta columns in storage order.
+    pub const ALL: [ComponentKind; 6] = [
+        ComponentKind::Structure,
+        ComponentKind::NodeAttr,
+        ComponentKind::EdgeAttr,
+        ComponentKind::Transient,
+        ComponentKind::Auxiliary,
+        ComponentKind::Meta,
+    ];
+
+    /// Numeric discriminant used in the serialized key.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses a numeric discriminant.
+    pub fn from_u8(v: u8) -> Result<Self> {
+        Ok(match v {
+            0 => ComponentKind::Structure,
+            1 => ComponentKind::NodeAttr,
+            2 => ComponentKind::EdgeAttr,
+            3 => ComponentKind::Transient,
+            4 => ComponentKind::Auxiliary,
+            5 => ComponentKind::Meta,
+            other => {
+                return Err(TgError::Codec(format!(
+                    "invalid component kind discriminant {other}"
+                )))
+            }
+        })
+    }
+}
+
+impl From<tgraph::event::EventCategory> for ComponentKind {
+    fn from(c: tgraph::event::EventCategory) -> Self {
+        match c {
+            tgraph::event::EventCategory::Structure => ComponentKind::Structure,
+            tgraph::event::EventCategory::NodeAttr => ComponentKind::NodeAttr,
+            tgraph::event::EventCategory::EdgeAttr => ComponentKind::EdgeAttr,
+            tgraph::event::EventCategory::Transient => ComponentKind::Transient,
+        }
+    }
+}
+
+/// The composite key `⟨partition id, delta id, component⟩`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StoreKey {
+    /// Horizontal partition (the "machine" in a distributed deployment).
+    pub partition: u32,
+    /// Unique id of the delta or eventlist within the DeltaGraph.
+    pub delta_id: u64,
+    /// Which column is addressed.
+    pub component: ComponentKind,
+}
+
+impl StoreKey {
+    /// Creates a key.
+    pub fn new(partition: u32, delta_id: u64, component: ComponentKind) -> Self {
+        StoreKey {
+            partition,
+            delta_id,
+            component,
+        }
+    }
+
+    /// Serialized length in bytes (fixed).
+    pub const ENCODED_LEN: usize = 4 + 8 + 1;
+
+    /// Serializes to a fixed-width big-endian byte string; lexicographic
+    /// order of the bytes equals the natural order of the key fields.
+    pub fn to_bytes(self) -> [u8; Self::ENCODED_LEN] {
+        let mut out = [0u8; Self::ENCODED_LEN];
+        out[0..4].copy_from_slice(&self.partition.to_be_bytes());
+        out[4..12].copy_from_slice(&self.delta_id.to_be_bytes());
+        out[12] = self.component.as_u8();
+        out
+    }
+
+    /// Parses a serialized key.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() != Self::ENCODED_LEN {
+            return Err(TgError::Codec(format!(
+                "store key must be {} bytes, got {}",
+                Self::ENCODED_LEN,
+                bytes.len()
+            )));
+        }
+        let mut p = [0u8; 4];
+        p.copy_from_slice(&bytes[0..4]);
+        let mut d = [0u8; 8];
+        d.copy_from_slice(&bytes[4..12]);
+        Ok(StoreKey {
+            partition: u32::from_be_bytes(p),
+            delta_id: u64::from_be_bytes(d),
+            component: ComponentKind::from_u8(bytes[12])?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_roundtrip() {
+        let k = StoreKey::new(3, 42, ComponentKind::NodeAttr);
+        let bytes = k.to_bytes();
+        assert_eq!(bytes.len(), StoreKey::ENCODED_LEN);
+        assert_eq!(StoreKey::from_bytes(&bytes).unwrap(), k);
+    }
+
+    #[test]
+    fn key_order_matches_byte_order() {
+        let a = StoreKey::new(0, 5, ComponentKind::Structure);
+        let b = StoreKey::new(0, 5, ComponentKind::EdgeAttr);
+        let c = StoreKey::new(0, 6, ComponentKind::Structure);
+        let d = StoreKey::new(1, 0, ComponentKind::Structure);
+        assert!(a.to_bytes() < b.to_bytes());
+        assert!(b.to_bytes() < c.to_bytes());
+        assert!(c.to_bytes() < d.to_bytes());
+        assert!(a < b && b < c && c < d);
+    }
+
+    #[test]
+    fn component_discriminants_are_stable() {
+        for kind in ComponentKind::ALL {
+            assert_eq!(ComponentKind::from_u8(kind.as_u8()).unwrap(), kind);
+        }
+        assert!(ComponentKind::from_u8(99).is_err());
+    }
+
+    #[test]
+    fn event_category_maps_to_component() {
+        use tgraph::event::EventCategory;
+        assert_eq!(
+            ComponentKind::from(EventCategory::Structure),
+            ComponentKind::Structure
+        );
+        assert_eq!(
+            ComponentKind::from(EventCategory::Transient),
+            ComponentKind::Transient
+        );
+    }
+
+    #[test]
+    fn malformed_keys_are_rejected() {
+        assert!(StoreKey::from_bytes(&[1, 2, 3]).is_err());
+        let mut bytes = StoreKey::new(0, 0, ComponentKind::Meta).to_bytes();
+        bytes[12] = 200;
+        assert!(StoreKey::from_bytes(&bytes).is_err());
+    }
+}

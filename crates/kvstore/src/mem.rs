@@ -1,0 +1,169 @@
+//! In-memory key–value store.
+//!
+//! Used by unit tests, by the in-memory baselines, and for "total
+//! materialization" experiments where the entire index is expected to fit in
+//! RAM. Thread safe via a sharded read–write lock.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::key::StoreKey;
+use crate::stats::{StatsSnapshot, StoreStats};
+use crate::store::{KeyValueStore, StoreResult};
+
+/// Number of lock shards; a small power of two is plenty for the workloads
+/// in this repository (parallel retrieval uses one store per partition).
+const SHARDS: usize = 16;
+
+/// A sharded, in-memory key–value store.
+pub struct MemStore {
+    shards: Vec<RwLock<HashMap<StoreKey, Vec<u8>>>>,
+    stats: StoreStats,
+}
+
+impl Default for MemStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MemStore {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            stats: StoreStats::new(),
+        }
+    }
+
+    fn shard_for(&self, key: &StoreKey) -> &RwLock<HashMap<StoreKey, Vec<u8>>> {
+        let idx = (tgraph::fxhash::hash_u64(key.delta_id) as usize
+            ^ key.partition as usize
+            ^ key.component.as_u8() as usize)
+            % SHARDS;
+        &self.shards[idx]
+    }
+}
+
+impl KeyValueStore for MemStore {
+    fn put(&self, key: StoreKey, value: &[u8]) -> StoreResult<()> {
+        self.stats.record_put(value.len());
+        self.shard_for(&key).write().insert(key, value.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, key: StoreKey) -> StoreResult<Option<Vec<u8>>> {
+        let value = self.shard_for(&key).read().get(&key).cloned();
+        self.stats.record_get(value.as_ref().map(Vec::len));
+        Ok(value)
+    }
+
+    fn delete(&self, key: StoreKey) -> StoreResult<()> {
+        self.stats.record_delete();
+        self.shard_for(&key).write().remove(&key);
+        Ok(())
+    }
+
+    fn contains(&self, key: StoreKey) -> StoreResult<bool> {
+        Ok(self.shard_for(&key).read().contains_key(&key))
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.read().values().map(|v| v.len() as u64).sum::<u64>())
+            .sum()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "mem"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::ComponentKind;
+
+    fn key(d: u64) -> StoreKey {
+        StoreKey::new(0, d, ComponentKind::Structure)
+    }
+
+    #[test]
+    fn put_get_delete_cycle() {
+        let s = MemStore::new();
+        assert!(s.is_empty());
+        s.put(key(1), b"hello").unwrap();
+        assert_eq!(s.get(key(1)).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert!(s.contains(key(1)).unwrap());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.stored_bytes(), 5);
+        s.delete(key(1)).unwrap();
+        assert_eq!(s.get(key(1)).unwrap(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn put_overwrites_previous_value() {
+        let s = MemStore::new();
+        s.put(key(1), b"a").unwrap();
+        s.put(key(1), b"bb").unwrap();
+        assert_eq!(s.get(key(1)).unwrap().as_deref(), Some(&b"bb"[..]));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.stored_bytes(), 2);
+    }
+
+    #[test]
+    fn distinct_components_are_distinct_keys() {
+        let s = MemStore::new();
+        s.put(StoreKey::new(0, 1, ComponentKind::Structure), b"s").unwrap();
+        s.put(StoreKey::new(0, 1, ComponentKind::NodeAttr), b"n").unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(
+            s.get(StoreKey::new(0, 1, ComponentKind::NodeAttr)).unwrap().as_deref(),
+            Some(&b"n"[..])
+        );
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let s = MemStore::new();
+        s.put(key(1), b"abcd").unwrap();
+        s.get(key(1)).unwrap();
+        s.get(key(2)).unwrap();
+        let st = s.stats();
+        assert_eq!(st.puts, 1);
+        assert_eq!(st.bytes_written, 4);
+        assert_eq!(st.gets, 2);
+        assert_eq!(st.get_misses, 1);
+        assert_eq!(st.bytes_read, 4);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_data() {
+        use std::sync::Arc;
+        let s = Arc::new(MemStore::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    s.put(key(t * 1000 + i), &i.to_le_bytes()).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 400);
+    }
+}

@@ -1,0 +1,359 @@
+//! Hash-partitioned store: the distributed deployment substrate.
+//!
+//! In the paper's distributed deployment the DeltaGraph is horizontally
+//! partitioned across machines by hashing the node-id space; each delta is
+//! split into one part per partition, and snapshot retrieval fetches the
+//! parts in parallel with no cross-machine communication (Sections 3.2.2 and
+//! 4.2). [`PartitionedStore`] reproduces that arrangement in-process: one
+//! backing store per "machine", a [`NodePartitioner`] implementing
+//! `partition_id = h_p(node_id)`, and a parallel multi-get that fans reads
+//! out over one thread per partition (Figure 8(b)).
+
+use std::sync::Arc;
+
+use tgraph::fxhash::hash_u64;
+use tgraph::NodeId;
+
+use crate::key::StoreKey;
+use crate::mem::MemStore;
+use crate::stats::StatsSnapshot;
+use crate::store::{KeyValueStore, StoreError, StoreResult};
+
+/// Assigns nodes (and therefore events, edges, and attributes — see
+/// [`tgraph::Event::partition_node`]) to partitions by hashing the node id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodePartitioner {
+    partitions: u32,
+}
+
+impl NodePartitioner {
+    /// A partitioner over `partitions` partitions (at least 1).
+    pub fn new(partitions: u32) -> Self {
+        assert!(partitions >= 1, "need at least one partition");
+        NodePartitioner { partitions }
+    }
+
+    /// A single-partition partitioner (the single-site deployment).
+    pub fn single() -> Self {
+        NodePartitioner::new(1)
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> u32 {
+        self.partitions
+    }
+
+    /// The partition owning `node`.
+    pub fn partition_of(&self, node: NodeId) -> u32 {
+        (hash_u64(node.raw()) % u64::from(self.partitions)) as u32
+    }
+}
+
+/// A set of backing stores, one per partition, addressed through the same
+/// [`KeyValueStore`] interface (the key's `partition` field selects the
+/// backing store).
+pub struct PartitionedStore {
+    partitions: Vec<Arc<dyn KeyValueStore>>,
+    partitioner: NodePartitioner,
+}
+
+impl PartitionedStore {
+    /// Wraps existing backing stores.
+    pub fn new(partitions: Vec<Arc<dyn KeyValueStore>>) -> Self {
+        assert!(!partitions.is_empty(), "need at least one partition");
+        let partitioner = NodePartitioner::new(partitions.len() as u32);
+        PartitionedStore {
+            partitions,
+            partitioner,
+        }
+    }
+
+    /// A partitioned store backed by `n` in-memory stores.
+    pub fn in_memory(n: u32) -> Self {
+        PartitionedStore::new(
+            (0..n)
+                .map(|_| Arc::new(MemStore::new()) as Arc<dyn KeyValueStore>)
+                .collect(),
+        )
+    }
+
+    /// A partitioned store backed by `n` disk stores under `dir`
+    /// (`partition-0.log`, `partition-1.log`, ...).
+    pub fn on_disk(dir: impl AsRef<std::path::Path>, n: u32) -> StoreResult<Self> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut stores: Vec<Arc<dyn KeyValueStore>> = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let store = crate::disk::DiskStore::create(dir.join(format!("partition-{i}.log")))?;
+            stores.push(Arc::new(store));
+        }
+        Ok(PartitionedStore::new(stores))
+    }
+
+    /// The node-id partitioner consistent with this store's layout.
+    pub fn partitioner(&self) -> NodePartitioner {
+        self.partitioner
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> u32 {
+        self.partitions.len() as u32
+    }
+
+    /// The backing store of one partition.
+    pub fn partition(&self, idx: u32) -> StoreResult<&Arc<dyn KeyValueStore>> {
+        self.partitions
+            .get(idx as usize)
+            .ok_or(StoreError::UnknownPartition(idx))
+    }
+
+    fn route(&self, key: StoreKey) -> StoreResult<&Arc<dyn KeyValueStore>> {
+        self.partition(key.partition)
+    }
+
+    /// Fetches many keys, fanning out over at most `threads` worker threads,
+    /// each handling the keys of a subset of partitions. Results are returned
+    /// in input order. With `threads == 1` the fetch is sequential; the
+    /// Figure 8(b) experiment sweeps this parameter to measure multicore
+    /// speedup.
+    pub fn get_many_parallel(
+        &self,
+        keys: &[StoreKey],
+        threads: usize,
+    ) -> StoreResult<Vec<Option<Vec<u8>>>> {
+        let threads = threads.max(1);
+        if threads == 1 || keys.len() <= 1 {
+            return keys.iter().map(|k| self.get(*k)).collect();
+        }
+        // Group key indices by partition, then distribute partitions over
+        // worker threads round-robin.
+        let mut by_partition: Vec<Vec<usize>> = vec![Vec::new(); self.partitions.len()];
+        for (i, key) in keys.iter().enumerate() {
+            let p = key.partition as usize;
+            if p >= by_partition.len() {
+                return Err(StoreError::UnknownPartition(key.partition));
+            }
+            by_partition[p].push(i);
+        }
+        let mut results: Vec<Option<Vec<u8>>> = vec![None; keys.len()];
+        let mut errors: Vec<StoreError> = Vec::new();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (worker, chunk) in partition_round_robin(by_partition.len(), threads)
+                .into_iter()
+                .enumerate()
+            {
+                if chunk.is_empty() {
+                    continue;
+                }
+                let by_partition = &by_partition;
+                let keys = keys;
+                let partitions = &self.partitions;
+                handles.push((
+                    worker,
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, StoreResult<Option<Vec<u8>>>)> = Vec::new();
+                        for p in chunk {
+                            for &key_idx in &by_partition[p] {
+                                let res = partitions[p].get(keys[key_idx]);
+                                local.push((key_idx, res));
+                            }
+                        }
+                        local
+                    }),
+                ));
+            }
+            for (_, handle) in handles {
+                for (idx, res) in handle.join().expect("worker panicked") {
+                    match res {
+                        Ok(v) => results[idx] = v,
+                        Err(e) => errors.push(e),
+                    }
+                }
+            }
+        });
+        if let Some(e) = errors.into_iter().next() {
+            return Err(e);
+        }
+        Ok(results)
+    }
+
+    /// Aggregated statistics over all partitions.
+    pub fn aggregated_stats(&self) -> StatsSnapshot {
+        let mut total = StatsSnapshot::default();
+        for p in &self.partitions {
+            let s = p.stats();
+            total.gets += s.gets;
+            total.get_misses += s.get_misses;
+            total.puts += s.puts;
+            total.deletes += s.deletes;
+            total.bytes_read += s.bytes_read;
+            total.bytes_written += s.bytes_written;
+        }
+        total
+    }
+}
+
+/// Distributes partition indices `0..n` over `workers` buckets round-robin.
+fn partition_round_robin(n: usize, workers: usize) -> Vec<Vec<usize>> {
+    let mut buckets = vec![Vec::new(); workers.max(1)];
+    for p in 0..n {
+        buckets[p % workers.max(1)].push(p);
+    }
+    buckets
+}
+
+impl KeyValueStore for PartitionedStore {
+    fn put(&self, key: StoreKey, value: &[u8]) -> StoreResult<()> {
+        self.route(key)?.put(key, value)
+    }
+
+    fn get(&self, key: StoreKey) -> StoreResult<Option<Vec<u8>>> {
+        self.route(key)?.get(key)
+    }
+
+    fn delete(&self, key: StoreKey) -> StoreResult<()> {
+        self.route(key)?.delete(key)
+    }
+
+    fn contains(&self, key: StoreKey) -> StoreResult<bool> {
+        self.route(key)?.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.partitions.iter().map(|p| p.len()).sum()
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        self.partitions.iter().map(|p| p.stored_bytes()).sum()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.aggregated_stats()
+    }
+
+    fn flush(&self) -> StoreResult<()> {
+        for p in &self.partitions {
+            p.flush()?;
+        }
+        Ok(())
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "partitioned"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::ComponentKind;
+
+    #[test]
+    fn partitioner_is_deterministic_and_in_range() {
+        let p = NodePartitioner::new(4);
+        for n in 0..1000u64 {
+            let a = p.partition_of(NodeId(n));
+            let b = p.partition_of(NodeId(n));
+            assert_eq!(a, b);
+            assert!(a < 4);
+        }
+        assert_eq!(NodePartitioner::single().partition_of(NodeId(99)), 0);
+    }
+
+    #[test]
+    fn partitioner_balances_reasonably() {
+        let p = NodePartitioner::new(4);
+        let mut counts = [0usize; 4];
+        for n in 0..10_000u64 {
+            counts[p.partition_of(NodeId(n)) as usize] += 1;
+        }
+        for c in counts {
+            assert!((2000..3000).contains(&c), "imbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn routing_respects_key_partition() {
+        let store = PartitionedStore::in_memory(3);
+        for part in 0..3u32 {
+            let key = StoreKey::new(part, 7, ComponentKind::Structure);
+            store.put(key, format!("p{part}").as_bytes()).unwrap();
+        }
+        assert_eq!(store.len(), 3);
+        // each backing store holds exactly one pair
+        for part in 0..3u32 {
+            assert_eq!(store.partition(part).unwrap().len(), 1);
+        }
+        let bad = StoreKey::new(9, 0, ComponentKind::Structure);
+        assert!(matches!(
+            store.get(bad),
+            Err(StoreError::UnknownPartition(9))
+        ));
+    }
+
+    #[test]
+    fn parallel_get_matches_sequential() {
+        let store = PartitionedStore::in_memory(4);
+        let mut keys = Vec::new();
+        for i in 0..100u64 {
+            let key = StoreKey::new((i % 4) as u32, i, ComponentKind::Structure);
+            store.put(key, &i.to_le_bytes()).unwrap();
+            keys.push(key);
+        }
+        // add a miss
+        keys.push(StoreKey::new(0, 9999, ComponentKind::Structure));
+        let seq = store.get_many_parallel(&keys, 1).unwrap();
+        for threads in [2, 3, 4, 8] {
+            let par = store.get_many_parallel(&keys, threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+        assert_eq!(seq.last().unwrap(), &None);
+    }
+
+    #[test]
+    fn aggregated_stats_sum_partitions() {
+        let store = PartitionedStore::in_memory(2);
+        store
+            .put(StoreKey::new(0, 1, ComponentKind::Structure), b"aa")
+            .unwrap();
+        store
+            .put(StoreKey::new(1, 1, ComponentKind::Structure), b"bbb")
+            .unwrap();
+        store.get(StoreKey::new(0, 1, ComponentKind::Structure)).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.puts, 2);
+        assert_eq!(stats.bytes_written, 5);
+        assert_eq!(stats.gets, 1);
+        assert_eq!(store.stored_bytes(), 5);
+    }
+
+    #[test]
+    fn on_disk_partitions_create_files() {
+        let dir = std::env::temp_dir().join(format!("pstore-test-{}", std::process::id()));
+        let store = PartitionedStore::on_disk(&dir, 2).unwrap();
+        store
+            .put(StoreKey::new(1, 5, ComponentKind::NodeAttr), b"v")
+            .unwrap();
+        store.flush().unwrap();
+        assert!(dir.join("partition-0.log").exists());
+        assert!(dir.join("partition-1.log").exists());
+        assert_eq!(
+            store
+                .get(StoreKey::new(1, 5, ComponentKind::NodeAttr))
+                .unwrap()
+                .as_deref(),
+            Some(&b"v"[..])
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn round_robin_distribution_covers_all_partitions() {
+        let buckets = partition_round_robin(5, 2);
+        let mut all: Vec<usize> = buckets.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+}

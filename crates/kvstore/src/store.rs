@@ -1,0 +1,98 @@
+//! The `get`/`put` trait every storage backend implements.
+
+use std::fmt;
+
+use crate::key::StoreKey;
+use crate::stats::StatsSnapshot;
+
+/// Errors raised by storage backends.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O error from the underlying file system.
+    Io(std::io::Error),
+    /// A stored record failed its integrity check.
+    Corruption(String),
+    /// The requested partition does not exist.
+    UnknownPartition(u32),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Corruption(msg) => write!(f, "corrupt record: {msg}"),
+            StoreError::UnknownPartition(p) => write!(f, "unknown partition {p}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Result alias for storage operations.
+pub type StoreResult<T> = std::result::Result<T, StoreError>;
+
+/// The minimal interface the DeltaGraph requires from persistent storage:
+/// a keyed blob store with `get`/`put`/`delete`.
+///
+/// The trait is object safe (`Arc<dyn KeyValueStore>`) so that the index can
+/// be pointed at an in-memory store, a disk store, or one partition of a
+/// distributed deployment without generic plumbing.
+pub trait KeyValueStore: Send + Sync {
+    /// Stores `value` under `key`, replacing any previous value.
+    fn put(&self, key: StoreKey, value: &[u8]) -> StoreResult<()>;
+
+    /// Fetches the value stored under `key`, if any.
+    fn get(&self, key: StoreKey) -> StoreResult<Option<Vec<u8>>>;
+
+    /// Removes the value stored under `key`; succeeds silently if absent.
+    fn delete(&self, key: StoreKey) -> StoreResult<()>;
+
+    /// Whether a value is stored under `key`.
+    fn contains(&self, key: StoreKey) -> StoreResult<bool> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    /// Number of stored key–value pairs.
+    fn len(&self) -> usize;
+
+    /// `true` if the store holds no pairs.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total size in bytes of the stored values (the "disk space" reported
+    /// in Figures 7b and 9).
+    fn stored_bytes(&self) -> u64;
+
+    /// Point-in-time operation counters.
+    fn stats(&self) -> StatsSnapshot;
+
+    /// Flushes any buffered writes to durable storage.
+    fn flush(&self) -> StoreResult<()> {
+        Ok(())
+    }
+
+    /// Human-readable backend name used in benchmark output.
+    fn backend_name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_error_display() {
+        let e = StoreError::Corruption("bad crc".into());
+        assert!(e.to_string().contains("bad crc"));
+        let e = StoreError::UnknownPartition(7);
+        assert!(e.to_string().contains('7'));
+        let io: StoreError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        assert!(io.to_string().contains("i/o"));
+    }
+}

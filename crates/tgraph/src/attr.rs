@@ -1,0 +1,227 @@
+//! Attribute values and attribute maps.
+//!
+//! Nodes and edges carry an open-ended list of attribute–value pairs; the
+//! attribute names are not fixed a priori and new attributes may appear at
+//! any time (Section 3.1). Values are dynamically typed.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A dynamically typed attribute value.
+///
+/// `Float` values compare and hash by their bit pattern so that attribute
+/// maps and deltas can treat values as set elements (`NaN == NaN` here,
+/// unlike IEEE semantics — that is intentional: deltas must round-trip).
+#[derive(Clone, Debug)]
+pub enum AttrValue {
+    /// UTF-8 string value.
+    Str(String),
+    /// 64-bit signed integer value.
+    Int(i64),
+    /// 64-bit floating point value (bitwise equality).
+    Float(f64),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// Short type name, used in diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            AttrValue::Str(_) => "str",
+            AttrValue::Int(_) => "int",
+            AttrValue::Float(_) => "float",
+            AttrValue::Bool(_) => "bool",
+        }
+    }
+
+    /// Returns the string payload if this is a `Str` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload if this is an `Int` value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            AttrValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload if this is a `Float` value.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            AttrValue::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload if this is a `Bool` value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            AttrValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Approximate heap + inline size in bytes, used by memory accounting in
+    /// the GraphPool experiments (Figure 8a).
+    pub fn approx_size(&self) -> usize {
+        std::mem::size_of::<AttrValue>()
+            + match self {
+                AttrValue::Str(s) => s.len(),
+                _ => 0,
+            }
+    }
+}
+
+impl PartialEq for AttrValue {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (AttrValue::Str(a), AttrValue::Str(b)) => a == b,
+            (AttrValue::Int(a), AttrValue::Int(b)) => a == b,
+            (AttrValue::Float(a), AttrValue::Float(b)) => a.to_bits() == b.to_bits(),
+            (AttrValue::Bool(a), AttrValue::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for AttrValue {}
+
+impl Hash for AttrValue {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            AttrValue::Str(s) => {
+                state.write_u8(0);
+                s.hash(state);
+            }
+            AttrValue::Int(i) => {
+                state.write_u8(1);
+                i.hash(state);
+            }
+            AttrValue::Float(x) => {
+                state.write_u8(2);
+                x.to_bits().hash(state);
+            }
+            AttrValue::Bool(b) => {
+                state.write_u8(3);
+                b.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Str(s) => write!(f, "{s}"),
+            AttrValue::Int(i) => write!(f, "{i}"),
+            AttrValue::Float(x) => write!(f, "{x}"),
+            AttrValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::Str(s.to_owned())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Str(s)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(i: i64) -> Self {
+        AttrValue::Int(i)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(x: f64) -> Self {
+        AttrValue::Float(x)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(b: bool) -> Self {
+        AttrValue::Bool(b)
+    }
+}
+
+/// An attribute map: attribute name → value.
+///
+/// A `BTreeMap` keeps iteration order deterministic, which matters for
+/// reproducible deltas, codecs, and tests; attribute maps are small (the
+/// paper's Dataset 1 uses 10 attributes per node) so the tree overhead is
+/// negligible.
+pub type AttrMap = BTreeMap<String, AttrValue>;
+
+/// Approximate memory footprint of an attribute map in bytes.
+pub fn attr_map_size(map: &AttrMap) -> usize {
+    map.iter()
+        .map(|(k, v)| k.len() + v.approx_size() + 32)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn equality_and_hash_distinguish_types() {
+        let mut set = HashSet::new();
+        set.insert(AttrValue::Int(1));
+        set.insert(AttrValue::Float(1.0));
+        set.insert(AttrValue::Bool(true));
+        set.insert(AttrValue::Str("1".into()));
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn float_equality_is_bitwise() {
+        assert_eq!(AttrValue::Float(f64::NAN), AttrValue::Float(f64::NAN));
+        assert_ne!(AttrValue::Float(0.0), AttrValue::Float(-0.0));
+        assert_eq!(AttrValue::Float(2.5), AttrValue::Float(2.5));
+    }
+
+    #[test]
+    fn accessors_return_expected_payloads() {
+        assert_eq!(AttrValue::from("x").as_str(), Some("x"));
+        assert_eq!(AttrValue::from(3i64).as_int(), Some(3));
+        assert_eq!(AttrValue::from(2.5).as_float(), Some(2.5));
+        assert_eq!(AttrValue::from(true).as_bool(), Some(true));
+        assert_eq!(AttrValue::from(true).as_int(), None);
+    }
+
+    #[test]
+    fn display_round_trips_simple_values() {
+        assert_eq!(AttrValue::from("ab").to_string(), "ab");
+        assert_eq!(AttrValue::from(7i64).to_string(), "7");
+        assert_eq!(AttrValue::from(false).to_string(), "false");
+    }
+
+    #[test]
+    fn approx_size_counts_string_payload() {
+        let short = AttrValue::from("a");
+        let long = AttrValue::from("abcdefghij");
+        assert!(long.approx_size() > short.approx_size());
+    }
+
+    #[test]
+    fn attr_map_size_grows_with_entries() {
+        let mut m = AttrMap::new();
+        let empty = attr_map_size(&m);
+        m.insert("name".into(), AttrValue::from("alice"));
+        assert!(attr_map_size(&m) > empty);
+    }
+}

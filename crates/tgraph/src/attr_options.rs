@@ -1,0 +1,263 @@
+//! Attribute retrieval options (Table 1 of the paper).
+//!
+//! Every snapshot query specifies which attribute information should be
+//! fetched alongside the graph structure, as a string formed by concatenating
+//! sub-options:
+//!
+//! * `-node:all` (default) — none of the node attributes,
+//! * `+node:all` — all node attributes,
+//! * `+node:attr1` — the node attribute named `attr1` (overrides `-node:all`),
+//! * `-node:attr1` — exclude `attr1` (overrides `+node:all`),
+//!
+//! and the same four forms with `edge:`. For example
+//! `"+node:all-node:salary+edge:name"` fetches every node attribute except
+//! `salary`, plus the edge attribute `name`.
+
+use std::collections::BTreeSet;
+
+use crate::error::{Result, TgError};
+use crate::event::EventCategory;
+
+/// Selection of attributes for one element class (nodes or edges).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AttrSelection {
+    /// If `true`, start from "all attributes" and subtract `excluded`;
+    /// if `false`, start from "no attributes" and add `included`.
+    pub default_all: bool,
+    /// Attributes explicitly included (meaningful when `default_all == false`).
+    pub included: BTreeSet<String>,
+    /// Attributes explicitly excluded (meaningful when `default_all == true`).
+    pub excluded: BTreeSet<String>,
+}
+
+impl AttrSelection {
+    /// A selection that fetches no attributes (the default).
+    pub fn none() -> Self {
+        AttrSelection::default()
+    }
+
+    /// A selection that fetches every attribute.
+    pub fn all() -> Self {
+        AttrSelection {
+            default_all: true,
+            ..Default::default()
+        }
+    }
+
+    /// Whether the attribute named `key` should be fetched.
+    pub fn wants(&self, key: &str) -> bool {
+        if self.default_all {
+            !self.excluded.contains(key)
+        } else {
+            self.included.contains(key)
+        }
+    }
+
+    /// Whether this selection fetches no attributes at all.
+    pub fn is_none(&self) -> bool {
+        !self.default_all && self.included.is_empty()
+    }
+
+    /// Whether this selection fetches every attribute without exception.
+    pub fn is_all(&self) -> bool {
+        self.default_all && self.excluded.is_empty()
+    }
+}
+
+/// Parsed attribute options for one snapshot query.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AttrOptions {
+    /// Node attribute selection.
+    pub node: AttrSelection,
+    /// Edge attribute selection.
+    pub edge: AttrSelection,
+}
+
+impl AttrOptions {
+    /// Structure only: no node or edge attributes (the `""` options string).
+    pub fn structure_only() -> Self {
+        AttrOptions::default()
+    }
+
+    /// All node and edge attributes (`"+node:all+edge:all"`).
+    pub fn all() -> Self {
+        AttrOptions {
+            node: AttrSelection::all(),
+            edge: AttrSelection::all(),
+        }
+    }
+
+    /// Parses an options string such as `"+node:all-node:salary+edge:name"`.
+    ///
+    /// The empty string parses to [`AttrOptions::structure_only`].
+    pub fn parse(s: &str) -> Result<Self> {
+        let mut opts = AttrOptions::default();
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let sign = match bytes[i] as char {
+                '+' => true,
+                '-' => false,
+                c => {
+                    return Err(TgError::InvalidAttrOptions(format!(
+                        "expected '+' or '-' at offset {i}, found '{c}' in {s:?}"
+                    )))
+                }
+            };
+            i += 1;
+            // token runs until the next '+'/'-' or end of string
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'+' && bytes[i] != b'-' {
+                i += 1;
+            }
+            let token = &s[start..i];
+            let (class, name) = token.split_once(':').ok_or_else(|| {
+                TgError::InvalidAttrOptions(format!("missing ':' in option {token:?}"))
+            })?;
+            if name.is_empty() {
+                return Err(TgError::InvalidAttrOptions(format!(
+                    "empty attribute name in option {token:?}"
+                )));
+            }
+            let selection = match class {
+                "node" => &mut opts.node,
+                "edge" => &mut opts.edge,
+                other => {
+                    return Err(TgError::InvalidAttrOptions(format!(
+                        "unknown element class {other:?} (expected 'node' or 'edge')"
+                    )))
+                }
+            };
+            match (sign, name) {
+                (true, "all") => {
+                    selection.default_all = true;
+                    selection.excluded.clear();
+                }
+                (false, "all") => {
+                    selection.default_all = false;
+                    selection.included.clear();
+                }
+                (true, attr) => {
+                    selection.included.insert(attr.to_owned());
+                    selection.excluded.remove(attr);
+                }
+                (false, attr) => {
+                    selection.excluded.insert(attr.to_owned());
+                    selection.included.remove(attr);
+                }
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Whether the named node attribute should be fetched.
+    pub fn wants_node_attr(&self, key: &str) -> bool {
+        self.node.wants(key)
+    }
+
+    /// Whether the named edge attribute should be fetched.
+    pub fn wants_edge_attr(&self, key: &str) -> bool {
+        self.edge.wants(key)
+    }
+
+    /// Whether any node attributes might be fetched at all.
+    pub fn needs_node_attrs(&self) -> bool {
+        !self.node.is_none()
+    }
+
+    /// Whether any edge attributes might be fetched at all.
+    pub fn needs_edge_attrs(&self) -> bool {
+        !self.edge.is_none()
+    }
+
+    /// The delta/eventlist components that must be read from storage to
+    /// satisfy a query with these options. The structure component is always
+    /// required; attribute components only when the corresponding selection
+    /// is non-empty. Transient components are never needed for point
+    /// retrieval (only by interval retrieval).
+    pub fn required_components(&self) -> Vec<EventCategory> {
+        let mut cs = vec![EventCategory::Structure];
+        if self.needs_node_attrs() {
+            cs.push(EventCategory::NodeAttr);
+        }
+        if self.needs_edge_attrs() {
+            cs.push(EventCategory::EdgeAttr);
+        }
+        cs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_string_is_structure_only() {
+        let o = AttrOptions::parse("").unwrap();
+        assert_eq!(o, AttrOptions::structure_only());
+        assert!(!o.needs_node_attrs());
+        assert!(!o.needs_edge_attrs());
+        assert_eq!(o.required_components(), vec![EventCategory::Structure]);
+    }
+
+    #[test]
+    fn paper_example_parses_correctly() {
+        // "all node attributes except salary, and the edge attribute name"
+        let o = AttrOptions::parse("+node:all-node:salary+edge:name").unwrap();
+        assert!(o.wants_node_attr("affiliation"));
+        assert!(!o.wants_node_attr("salary"));
+        assert!(o.wants_edge_attr("name"));
+        assert!(!o.wants_edge_attr("weight"));
+        assert_eq!(
+            o.required_components(),
+            vec![
+                EventCategory::Structure,
+                EventCategory::NodeAttr,
+                EventCategory::EdgeAttr
+            ]
+        );
+    }
+
+    #[test]
+    fn include_overrides_default_none() {
+        let o = AttrOptions::parse("+node:name").unwrap();
+        assert!(o.wants_node_attr("name"));
+        assert!(!o.wants_node_attr("other"));
+        assert!(o.needs_node_attrs());
+        assert!(!o.needs_edge_attrs());
+    }
+
+    #[test]
+    fn exclude_overrides_previous_include() {
+        let o = AttrOptions::parse("+node:name-node:name").unwrap();
+        assert!(!o.wants_node_attr("name"));
+        assert!(o.node.is_none());
+    }
+
+    #[test]
+    fn all_selector_resets_exclusions_when_reapplied() {
+        let o = AttrOptions::parse("+node:all-node:x+node:all").unwrap();
+        assert!(o.wants_node_attr("x"));
+        assert!(o.node.is_all());
+    }
+
+    #[test]
+    fn minus_all_clears_includes() {
+        let o = AttrOptions::parse("+edge:w-edge:all").unwrap();
+        assert!(!o.wants_edge_attr("w"));
+        assert!(o.edge.is_none());
+    }
+
+    #[test]
+    fn malformed_strings_are_rejected() {
+        assert!(AttrOptions::parse("node:all").is_err());
+        assert!(AttrOptions::parse("+nodeall").is_err());
+        assert!(AttrOptions::parse("+vertex:all").is_err());
+        assert!(AttrOptions::parse("+node:").is_err());
+    }
+
+    #[test]
+    fn all_constructor_matches_parsed_form() {
+        assert_eq!(AttrOptions::all(), AttrOptions::parse("+node:all+edge:all").unwrap());
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type shared by the data-model layer.
+
+use std::fmt;
+
+use crate::ids::Timestamp;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, TgError>;
+
+/// Errors raised by the temporal-graph data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TgError {
+    /// A binary payload could not be decoded (corrupt or truncated data,
+    /// or an unknown tag byte).
+    Codec(String),
+    /// An event could not be applied to a snapshot in the requested
+    /// direction, e.g. deleting a node that is not present.
+    InvalidEvent(String),
+    /// A query referenced a time point outside the recorded history.
+    TimeOutOfRange {
+        /// The requested time point.
+        requested: Timestamp,
+        /// First recorded time point.
+        start: Timestamp,
+        /// Last recorded time point.
+        end: Timestamp,
+    },
+    /// An attribute-options string could not be parsed (Table 1 syntax).
+    InvalidAttrOptions(String),
+    /// A [`crate::TimeExpression`] was malformed (e.g. variable index out of
+    /// range).
+    InvalidTimeExpression(String),
+    /// Catch-all for violated internal invariants; indicates a bug.
+    Internal(String),
+}
+
+impl fmt::Display for TgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TgError::Codec(msg) => write!(f, "codec error: {msg}"),
+            TgError::InvalidEvent(msg) => write!(f, "invalid event: {msg}"),
+            TgError::TimeOutOfRange {
+                requested,
+                start,
+                end,
+            } => write!(
+                f,
+                "time {requested} outside recorded history [{start}, {end}]"
+            ),
+            TgError::InvalidAttrOptions(msg) => write!(f, "invalid attribute options: {msg}"),
+            TgError::InvalidTimeExpression(msg) => write!(f, "invalid time expression: {msg}"),
+            TgError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TgError::TimeOutOfRange {
+            requested: Timestamp(50),
+            start: Timestamp(0),
+            end: Timestamp(10),
+        };
+        let s = e.to_string();
+        assert!(s.contains("50"));
+        assert!(s.contains("[0, 10]"));
+        assert!(TgError::Codec("boom".into()).to_string().contains("boom"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&TgError::Internal("x".into()));
+    }
+}

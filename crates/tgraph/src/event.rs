@@ -1,0 +1,412 @@
+//! Events: the atomic, bidirectional unit of change (Section 3.1).
+//!
+//! An event records an atomic activity in the network: creation or deletion
+//! of a node or edge, a change of an attribute value, or a *transient*
+//! occurrence (e.g. a message) valid only at a single time instant.
+//!
+//! Events are **bidirectional**: if `G_k = G_{k-1} + E` then
+//! `G_{k-1} = G_k - E`, where `+`/`-` denote applying the events of `E` in
+//! the forward and backward direction. To make backward application possible
+//! without consulting any other state, deletion and attribute-update events
+//! carry enough information to restore what they removed (the endpoints of a
+//! deleted edge, the old value of an updated attribute, ...).
+
+use crate::attr::AttrValue;
+use crate::ids::{EdgeId, NodeId, Timestamp};
+
+/// Which columnar component of a delta / eventlist an event belongs to
+/// (Section 4.2: `∆struct`, `∆nodeattr`, `∆edgeattr`, plus `E_transient`
+/// for leaf-eventlists).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EventCategory {
+    /// Node or edge addition/deletion.
+    Structure,
+    /// Node attribute change.
+    NodeAttr,
+    /// Edge attribute change.
+    EdgeAttr,
+    /// Transient node/edge occurrence (single time instant).
+    Transient,
+}
+
+/// The payload of an [`Event`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A new node appears (`NN` in the paper's notation).
+    AddNode {
+        /// The node being created.
+        node: NodeId,
+    },
+    /// A node disappears. All its attributes and incident edges must already
+    /// have been removed by earlier events for the stream to be well formed.
+    DeleteNode {
+        /// The node being deleted.
+        node: NodeId,
+    },
+    /// A new edge appears (`NE` in the paper's notation).
+    AddEdge {
+        /// Unique id of the new edge.
+        edge: EdgeId,
+        /// Source endpoint (or one endpoint of an undirected edge).
+        src: NodeId,
+        /// Destination endpoint (or the other endpoint).
+        dst: NodeId,
+        /// Whether the edge is directed.
+        directed: bool,
+    },
+    /// An edge disappears. Carries the endpoints so the event can be applied
+    /// backwards without any additional lookup.
+    DeleteEdge {
+        /// Id of the edge being deleted.
+        edge: EdgeId,
+        /// Source endpoint.
+        src: NodeId,
+        /// Destination endpoint.
+        dst: NodeId,
+        /// Whether the edge was directed.
+        directed: bool,
+    },
+    /// A node attribute changes (`UNA` in the paper). `old == None` means the
+    /// attribute is being created; `new == None` means it is being removed.
+    SetNodeAttr {
+        /// The node whose attribute changes.
+        node: NodeId,
+        /// Attribute name.
+        key: String,
+        /// Previous value (needed for backward application).
+        old: Option<AttrValue>,
+        /// New value.
+        new: Option<AttrValue>,
+    },
+    /// An edge attribute changes (`UEA` in the paper).
+    SetEdgeAttr {
+        /// The edge whose attribute changes.
+        edge: EdgeId,
+        /// Attribute name.
+        key: String,
+        /// Previous value (needed for backward application).
+        old: Option<AttrValue>,
+        /// New value.
+        new: Option<AttrValue>,
+    },
+    /// A transient edge valid only at this time instant (e.g. a message from
+    /// one node to another). Transient events never affect snapshots; they
+    /// are only returned by interval retrieval (`GetHistGraphInterval`).
+    TransientEdge {
+        /// Originating node.
+        src: NodeId,
+        /// Receiving node.
+        dst: NodeId,
+        /// Optional payload.
+        payload: Option<AttrValue>,
+    },
+    /// A transient node occurrence valid only at this time instant.
+    TransientNode {
+        /// The node in question.
+        node: NodeId,
+        /// Optional payload.
+        payload: Option<AttrValue>,
+    },
+}
+
+/// An atomic activity in the network, stamped with the single time point at
+/// which it occurred.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// The time point at which the activity occurred.
+    pub time: Timestamp,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Creates a new event.
+    pub fn new(time: impl Into<Timestamp>, kind: EventKind) -> Self {
+        Event {
+            time: time.into(),
+            kind,
+        }
+    }
+
+    /// The columnar component this event belongs to.
+    pub fn category(&self) -> EventCategory {
+        match &self.kind {
+            EventKind::AddNode { .. }
+            | EventKind::DeleteNode { .. }
+            | EventKind::AddEdge { .. }
+            | EventKind::DeleteEdge { .. } => EventCategory::Structure,
+            EventKind::SetNodeAttr { .. } => EventCategory::NodeAttr,
+            EventKind::SetEdgeAttr { .. } => EventCategory::EdgeAttr,
+            EventKind::TransientEdge { .. } | EventKind::TransientNode { .. } => {
+                EventCategory::Transient
+            }
+        }
+    }
+
+    /// Whether the event is transient (does not affect graph snapshots).
+    pub fn is_transient(&self) -> bool {
+        self.category() == EventCategory::Transient
+    }
+
+    /// Whether the event adds an element to the graph (an *insert* in the
+    /// terminology of the Section 5 analytical model).
+    pub fn is_insert(&self) -> bool {
+        matches!(
+            &self.kind,
+            EventKind::AddNode { .. } | EventKind::AddEdge { .. }
+        ) || matches!(
+            &self.kind,
+            EventKind::SetNodeAttr { old: None, new: Some(_), .. }
+                | EventKind::SetEdgeAttr { old: None, new: Some(_), .. }
+        )
+    }
+
+    /// Whether the event removes an element from the graph (a *delete*).
+    pub fn is_delete(&self) -> bool {
+        matches!(
+            &self.kind,
+            EventKind::DeleteNode { .. } | EventKind::DeleteEdge { .. }
+        ) || matches!(
+            &self.kind,
+            EventKind::SetNodeAttr { old: Some(_), new: None, .. }
+                | EventKind::SetEdgeAttr { old: Some(_), new: None, .. }
+        )
+    }
+
+    /// The node id that determines the horizontal partition of this event
+    /// (Section 4.2: `partition_id = h_p(node_id)`).
+    ///
+    /// Edges (and edge attributes) are assigned to the partition of their
+    /// lexicographically smaller endpoint; this is an arbitrary but
+    /// deterministic convention applied consistently at storage and at
+    /// retrieval time. Edge-attribute events do not carry endpoints, so the
+    /// caller (the index builder, which tracks edge endpoints) is expected to
+    /// resolve those through [`Event::partition_node_with`].
+    pub fn partition_node(&self) -> Option<NodeId> {
+        match &self.kind {
+            EventKind::AddNode { node }
+            | EventKind::DeleteNode { node }
+            | EventKind::SetNodeAttr { node, .. }
+            | EventKind::TransientNode { node, .. } => Some(*node),
+            EventKind::AddEdge { src, dst, .. }
+            | EventKind::DeleteEdge { src, dst, .. }
+            | EventKind::TransientEdge { src, dst, .. } => Some(*src.min(dst)),
+            EventKind::SetEdgeAttr { .. } => None,
+        }
+    }
+
+    /// Like [`Event::partition_node`], but resolves edge-attribute events via
+    /// a caller-provided lookup from edge id to its endpoints.
+    pub fn partition_node_with(
+        &self,
+        edge_endpoints: impl Fn(EdgeId) -> Option<(NodeId, NodeId)>,
+    ) -> Option<NodeId> {
+        match &self.kind {
+            EventKind::SetEdgeAttr { edge, .. } => {
+                edge_endpoints(*edge).map(|(a, b)| a.min(b))
+            }
+            _ => self.partition_node(),
+        }
+    }
+
+    // --- Convenience constructors used pervasively in tests and generators ---
+
+    /// `AddNode` event.
+    pub fn add_node(time: impl Into<Timestamp>, node: impl Into<NodeId>) -> Self {
+        Event::new(time, EventKind::AddNode { node: node.into() })
+    }
+
+    /// `DeleteNode` event.
+    pub fn delete_node(time: impl Into<Timestamp>, node: impl Into<NodeId>) -> Self {
+        Event::new(time, EventKind::DeleteNode { node: node.into() })
+    }
+
+    /// Undirected `AddEdge` event.
+    pub fn add_edge(
+        time: impl Into<Timestamp>,
+        edge: impl Into<EdgeId>,
+        src: impl Into<NodeId>,
+        dst: impl Into<NodeId>,
+    ) -> Self {
+        Event::new(
+            time,
+            EventKind::AddEdge {
+                edge: edge.into(),
+                src: src.into(),
+                dst: dst.into(),
+                directed: false,
+            },
+        )
+    }
+
+    /// Undirected `DeleteEdge` event.
+    pub fn delete_edge(
+        time: impl Into<Timestamp>,
+        edge: impl Into<EdgeId>,
+        src: impl Into<NodeId>,
+        dst: impl Into<NodeId>,
+    ) -> Self {
+        Event::new(
+            time,
+            EventKind::DeleteEdge {
+                edge: edge.into(),
+                src: src.into(),
+                dst: dst.into(),
+                directed: false,
+            },
+        )
+    }
+
+    /// `SetNodeAttr` event.
+    pub fn set_node_attr(
+        time: impl Into<Timestamp>,
+        node: impl Into<NodeId>,
+        key: impl Into<String>,
+        old: Option<AttrValue>,
+        new: Option<AttrValue>,
+    ) -> Self {
+        Event::new(
+            time,
+            EventKind::SetNodeAttr {
+                node: node.into(),
+                key: key.into(),
+                old,
+                new,
+            },
+        )
+    }
+
+    /// `SetEdgeAttr` event.
+    pub fn set_edge_attr(
+        time: impl Into<Timestamp>,
+        edge: impl Into<EdgeId>,
+        key: impl Into<String>,
+        old: Option<AttrValue>,
+        new: Option<AttrValue>,
+    ) -> Self {
+        Event::new(
+            time,
+            EventKind::SetEdgeAttr {
+                edge: edge.into(),
+                key: key.into(),
+                old,
+                new,
+            },
+        )
+    }
+
+    /// Transient edge (message) event.
+    pub fn transient_edge(
+        time: impl Into<Timestamp>,
+        src: impl Into<NodeId>,
+        dst: impl Into<NodeId>,
+        payload: Option<AttrValue>,
+    ) -> Self {
+        Event::new(
+            time,
+            EventKind::TransientEdge {
+                src: src.into(),
+                dst: dst.into(),
+                payload,
+            },
+        )
+    }
+
+    /// Approximate in-memory size in bytes, used as the cost proxy for plan
+    /// weights and for the analytical model validation.
+    pub fn approx_size(&self) -> usize {
+        let base = std::mem::size_of::<Event>();
+        let extra = match &self.kind {
+            EventKind::SetNodeAttr { key, old, new, .. }
+            | EventKind::SetEdgeAttr { key, old, new, .. } => {
+                key.len()
+                    + old.as_ref().map_or(0, AttrValue::approx_size)
+                    + new.as_ref().map_or(0, AttrValue::approx_size)
+            }
+            EventKind::TransientEdge { payload, .. } | EventKind::TransientNode { payload, .. } => {
+                payload.as_ref().map_or(0, AttrValue::approx_size)
+            }
+            _ => 0,
+        };
+        base + extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_match_event_kinds() {
+        assert_eq!(Event::add_node(1, 1).category(), EventCategory::Structure);
+        assert_eq!(
+            Event::delete_edge(1, 1, 1, 2).category(),
+            EventCategory::Structure
+        );
+        assert_eq!(
+            Event::set_node_attr(1, 1, "k", None, Some(AttrValue::Int(1))).category(),
+            EventCategory::NodeAttr
+        );
+        assert_eq!(
+            Event::set_edge_attr(1, 1, "k", None, Some(AttrValue::Int(1))).category(),
+            EventCategory::EdgeAttr
+        );
+        assert_eq!(
+            Event::transient_edge(1, 1, 2, None).category(),
+            EventCategory::Transient
+        );
+    }
+
+    #[test]
+    fn insert_and_delete_classification() {
+        assert!(Event::add_node(1, 1).is_insert());
+        assert!(!Event::add_node(1, 1).is_delete());
+        assert!(Event::delete_edge(1, 1, 1, 2).is_delete());
+        assert!(Event::set_node_attr(1, 1, "k", None, Some(AttrValue::Int(1))).is_insert());
+        assert!(Event::set_node_attr(1, 1, "k", Some(AttrValue::Int(1)), None).is_delete());
+        // A value-to-value update is neither a pure insert nor a pure delete.
+        let upd = Event::set_node_attr(1, 1, "k", Some(AttrValue::Int(1)), Some(AttrValue::Int(2)));
+        assert!(!upd.is_insert() && !upd.is_delete());
+        assert!(!Event::transient_edge(1, 1, 2, None).is_insert());
+    }
+
+    #[test]
+    fn partitioning_uses_min_endpoint_for_edges() {
+        assert_eq!(Event::add_node(1, 9).partition_node(), Some(NodeId(9)));
+        assert_eq!(Event::add_edge(1, 1, 7, 3).partition_node(), Some(NodeId(3)));
+        assert_eq!(
+            Event::transient_edge(1, 5, 2, None).partition_node(),
+            Some(NodeId(2))
+        );
+        let ea = Event::set_edge_attr(1, 4, "w", None, Some(AttrValue::Int(1)));
+        assert_eq!(ea.partition_node(), None);
+        assert_eq!(
+            ea.partition_node_with(|e| if e == EdgeId(4) {
+                Some((NodeId(8), NodeId(6)))
+            } else {
+                None
+            }),
+            Some(NodeId(6))
+        );
+    }
+
+    #[test]
+    fn approx_size_accounts_for_strings() {
+        let small = Event::add_node(1, 1).approx_size();
+        let big = Event::set_node_attr(
+            1,
+            1,
+            "a-rather-long-attribute-name",
+            None,
+            Some(AttrValue::from("a fairly long attribute value")),
+        )
+        .approx_size();
+        assert!(big > small);
+    }
+
+    #[test]
+    fn transient_flag() {
+        assert!(Event::transient_edge(3, 1, 2, None).is_transient());
+        assert!(!Event::add_node(3, 1).is_transient());
+    }
+}

@@ -1,0 +1,320 @@
+//! Eventlists: chronologically ordered lists of events.
+//!
+//! The complete history of a graph is one long eventlist `E`; the DeltaGraph
+//! cuts it into *leaf-eventlists* of `L` events each (Section 4.6). A graph
+//! "as of time `t`" is the empty graph with every event of time `<= t`
+//! applied in order.
+
+use crate::error::{Result, TgError};
+use crate::event::{Event, EventCategory};
+use crate::ids::Timestamp;
+use crate::snapshot::Snapshot;
+
+/// A chronologically ordered list of events.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EventList {
+    events: Vec<Event>,
+}
+
+impl EventList {
+    /// Creates an empty eventlist.
+    pub fn new() -> Self {
+        EventList { events: Vec::new() }
+    }
+
+    /// Builds an eventlist from an unordered collection of events; events are
+    /// stably sorted by timestamp (events sharing a timestamp keep their
+    /// relative order, which matters for e.g. "delete edge then delete node"
+    /// sequences at the same instant).
+    pub fn from_events(mut events: Vec<Event>) -> Self {
+        events.sort_by_key(|e| e.time);
+        EventList { events }
+    }
+
+    /// Appends an event. Returns an error if it would violate chronological
+    /// order.
+    pub fn push(&mut self, event: Event) -> Result<()> {
+        if let Some(last) = self.events.last() {
+            if event.time < last.time {
+                return Err(TgError::InvalidEvent(format!(
+                    "event at {} appended after event at {}",
+                    event.time, last.time
+                )));
+            }
+        }
+        self.events.push(event);
+        Ok(())
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if the list holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events, in chronological order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Consumes the list and returns its events.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+
+    /// Timestamp of the first event, if any.
+    pub fn start_time(&self) -> Option<Timestamp> {
+        self.events.first().map(|e| e.time)
+    }
+
+    /// Timestamp of the last event, if any.
+    pub fn end_time(&self) -> Option<Timestamp> {
+        self.events.last().map(|e| e.time)
+    }
+
+    /// Index of the first event with `time > t` (i.e. the length of the
+    /// prefix that is applied for a query "as of `t`").
+    pub fn partition_point_after(&self, t: Timestamp) -> usize {
+        self.events.partition_point(|e| e.time <= t)
+    }
+
+    /// The prefix of events with `time <= t`.
+    pub fn prefix_at(&self, t: Timestamp) -> &[Event] {
+        &self.events[..self.partition_point_after(t)]
+    }
+
+    /// The suffix of events with `time > t`.
+    pub fn suffix_after(&self, t: Timestamp) -> &[Event] {
+        &self.events[self.partition_point_after(t)..]
+    }
+
+    /// Events with `start <= time < end`.
+    pub fn slice_range(&self, start: Timestamp, end: Timestamp) -> &[Event] {
+        let lo = self.events.partition_point(|e| e.time < start);
+        let hi = self.events.partition_point(|e| e.time < end);
+        &self.events[lo..hi]
+    }
+
+    /// Applies to `snapshot` all events with `time <= t`, in forward order.
+    pub fn apply_prefix_forward(&self, snapshot: &mut Snapshot, t: Timestamp) -> Result<()> {
+        snapshot.apply_events_forward(self.prefix_at(t))
+    }
+
+    /// Undoes from `snapshot` all events with `time > t` (applies them
+    /// backwards, latest first).
+    pub fn apply_suffix_backward(&self, snapshot: &mut Snapshot, t: Timestamp) -> Result<()> {
+        snapshot.apply_events_backward(self.suffix_after(t))
+    }
+
+    /// Applies every event of the list in forward order.
+    pub fn apply_all_forward(&self, snapshot: &mut Snapshot) -> Result<()> {
+        snapshot.apply_events_forward(&self.events)
+    }
+
+    /// Splits the list into consecutive chunks of at most `chunk_len` events.
+    /// The last chunk may be shorter. An empty list yields no chunks.
+    pub fn split_into_chunks(&self, chunk_len: usize) -> Vec<EventList> {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        self.events
+            .chunks(chunk_len)
+            .map(|c| EventList {
+                events: c.to_vec(),
+            })
+            .collect()
+    }
+
+    /// Partitions the events by columnar category (structure / node-attr /
+    /// edge-attr / transient), preserving chronological order within each.
+    pub fn split_by_category(&self) -> [EventList; 4] {
+        let mut out = [
+            EventList::new(),
+            EventList::new(),
+            EventList::new(),
+            EventList::new(),
+        ];
+        for ev in &self.events {
+            let idx = match ev.category() {
+                EventCategory::Structure => 0,
+                EventCategory::NodeAttr => 1,
+                EventCategory::EdgeAttr => 2,
+                EventCategory::Transient => 3,
+            };
+            out[idx].events.push(ev.clone());
+        }
+        out
+    }
+
+    /// Merges per-category lists back into one chronologically ordered list.
+    pub fn merge_categories(parts: &[EventList]) -> EventList {
+        let mut all: Vec<Event> = parts.iter().flat_map(|p| p.events.iter().cloned()).collect();
+        all.sort_by_key(|e| e.time);
+        EventList { events: all }
+    }
+
+    /// Events restricted to the given categories, preserving order.
+    pub fn filter_categories(&self, categories: &[EventCategory]) -> EventList {
+        EventList {
+            events: self
+                .events
+                .iter()
+                .filter(|e| categories.contains(&e.category()))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Number of insert events (see [`Event::is_insert`]).
+    pub fn insert_count(&self) -> usize {
+        self.events.iter().filter(|e| e.is_insert()).count()
+    }
+
+    /// Number of delete events (see [`Event::is_delete`]).
+    pub fn delete_count(&self) -> usize {
+        self.events.iter().filter(|e| e.is_delete()).count()
+    }
+
+    /// Number of transient events.
+    pub fn transient_count(&self) -> usize {
+        self.events.iter().filter(|e| e.is_transient()).count()
+    }
+
+    /// Approximate serialized size in bytes.
+    pub fn approx_size(&self) -> usize {
+        self.events.iter().map(Event::approx_size).sum()
+    }
+
+    /// Approximate serialized size in bytes of only the given categories.
+    pub fn approx_size_of(&self, categories: &[EventCategory]) -> usize {
+        self.events
+            .iter()
+            .filter(|e| categories.contains(&e.category()))
+            .map(Event::approx_size)
+            .sum()
+    }
+}
+
+impl FromIterator<Event> for EventList {
+    fn from_iter<T: IntoIterator<Item = Event>>(iter: T) -> Self {
+        EventList::from_events(iter.into_iter().collect())
+    }
+}
+
+impl IntoIterator for EventList {
+    type Item = Event;
+    type IntoIter = std::vec::IntoIter<Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrValue;
+
+    fn list() -> EventList {
+        EventList::from_events(vec![
+            Event::add_node(1, 1),
+            Event::add_node(2, 2),
+            Event::add_edge(3, 10, 1, 2),
+            Event::set_node_attr(4, 1, "k", None, Some(AttrValue::Int(5))),
+            Event::transient_edge(5, 1, 2, None),
+            Event::delete_edge(6, 10, 1, 2),
+        ])
+    }
+
+    #[test]
+    fn from_events_sorts_by_time() {
+        let l = EventList::from_events(vec![
+            Event::add_node(5, 3),
+            Event::add_node(1, 1),
+            Event::add_node(3, 2),
+        ]);
+        let times: Vec<i64> = l.events().iter().map(|e| e.time.raw()).collect();
+        assert_eq!(times, vec![1, 3, 5]);
+        assert_eq!(l.start_time(), Some(Timestamp(1)));
+        assert_eq!(l.end_time(), Some(Timestamp(5)));
+    }
+
+    #[test]
+    fn push_enforces_chronology() {
+        let mut l = EventList::new();
+        l.push(Event::add_node(1, 1)).unwrap();
+        l.push(Event::add_node(1, 2)).unwrap(); // same time ok
+        assert!(l.push(Event::add_node(0, 3)).is_err());
+    }
+
+    #[test]
+    fn prefix_suffix_partition() {
+        let l = list();
+        assert_eq!(l.prefix_at(Timestamp(3)).len(), 3);
+        assert_eq!(l.suffix_after(Timestamp(3)).len(), 3);
+        assert_eq!(l.prefix_at(Timestamp(0)).len(), 0);
+        assert_eq!(l.prefix_at(Timestamp(100)).len(), 6);
+        assert_eq!(l.slice_range(Timestamp(2), Timestamp(5)).len(), 3);
+    }
+
+    #[test]
+    fn forward_prefix_then_backward_suffix_consistency() {
+        let l = list();
+        // state at t=4 computed two ways: forward from empty, and backward
+        // from the full state.
+        let mut forward = Snapshot::new();
+        l.apply_prefix_forward(&mut forward, Timestamp(4)).unwrap();
+
+        let mut backward = Snapshot::new();
+        l.apply_all_forward(&mut backward).unwrap();
+        l.apply_suffix_backward(&mut backward, Timestamp(4)).unwrap();
+
+        assert_eq!(forward, backward);
+        assert!(forward.has_edge(crate::EdgeId(10)));
+    }
+
+    #[test]
+    fn chunking_covers_all_events() {
+        let l = list();
+        let chunks = l.split_into_chunks(4);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].len(), 4);
+        assert_eq!(chunks[1].len(), 2);
+        let total: usize = chunks.iter().map(EventList::len).sum();
+        assert_eq!(total, l.len());
+        assert!(EventList::new().split_into_chunks(3).is_empty());
+    }
+
+    #[test]
+    fn category_split_and_merge_round_trip() {
+        let l = list();
+        let parts = l.split_by_category();
+        assert_eq!(parts[0].len(), 4); // structure
+        assert_eq!(parts[1].len(), 1); // node attr
+        assert_eq!(parts[2].len(), 0); // edge attr
+        assert_eq!(parts[3].len(), 1); // transient
+        let merged = EventList::merge_categories(&parts);
+        assert_eq!(merged, l);
+    }
+
+    #[test]
+    fn filter_categories_selects_subset() {
+        let l = list();
+        let structure_only = l.filter_categories(&[EventCategory::Structure]);
+        assert_eq!(structure_only.len(), 4);
+        assert!(structure_only.approx_size() < l.approx_size());
+        assert_eq!(
+            l.approx_size_of(&[EventCategory::Structure]),
+            structure_only.approx_size()
+        );
+    }
+
+    #[test]
+    fn insert_delete_transient_counts() {
+        let l = list();
+        assert_eq!(l.insert_count(), 4);
+        assert_eq!(l.delete_count(), 1);
+        assert_eq!(l.transient_count(), 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! A fast, non-cryptographic hasher for integer-keyed maps.
+//!
+//! The hot maps in this workspace are keyed by [`crate::NodeId`] / [`crate::EdgeId`]
+//! (plain `u64` newtypes). The default SipHash hasher of `std::collections::HashMap`
+//! is a poor fit for such keys, so we provide an FxHash-style multiply-xor
+//! hasher (the same family used by rustc) without pulling in an external crate.
+//!
+//! The hasher is *not* HashDoS resistant; it must only be used for internal
+//! ids, never for untrusted external strings used as map keys in a server
+//! context. Attribute maps keyed by user-provided strings keep the default
+//! hasher for this reason.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant used by the Fx hash family (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// An FxHash-style hasher: `state = (state.rotate_left(5) ^ word) * SEED`.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            self.add_to_hash(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `HashMap` using [`FxHasher`]. Drop-in replacement for id-keyed maps.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` using [`FxHasher`]. Drop-in replacement for id-keyed sets.
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Hash a single `u64` to a well-mixed `u64`.
+///
+/// Used wherever the paper calls for "a hash function that maps the events to
+/// 0 or 1" (the Skewed/Balanced/Mixed differential functions of Table 2) and
+/// for hash partitioning of the node-id space (Section 4.2). The function is
+/// deterministic across runs and platforms so that index construction is
+/// reproducible.
+#[inline]
+pub fn hash_u64(value: u64) -> u64 {
+    // splitmix64 finalizer: good avalanche behaviour, cheap, stable.
+    let mut z = value.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Map a `u64` key to a pseudo-random fraction in `[0, 1)`.
+///
+/// Used to decide whether an element participates in an `r`-fraction sample
+/// (Skewed / Mixed / Balanced differential functions).
+#[inline]
+pub fn hash_fraction(value: u64) -> f64 {
+    // Take the top 53 bits so the fraction is uniform in [0, 1).
+    (hash_u64(value) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fxhashmap_works_like_hashmap() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "a");
+        m.insert(2, "b");
+        assert_eq!(m.get(&1), Some(&"a"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn hash_u64_is_deterministic_and_mixes() {
+        assert_eq!(hash_u64(42), hash_u64(42));
+        assert_ne!(hash_u64(42), hash_u64(43));
+        // Adjacent inputs should differ in many bits.
+        let d = (hash_u64(1) ^ hash_u64(2)).count_ones();
+        assert!(d > 10, "poor avalanche: {d} bits differ");
+    }
+
+    #[test]
+    fn hash_fraction_in_unit_interval() {
+        for v in 0..1000u64 {
+            let f = hash_fraction(v);
+            assert!((0.0..1.0).contains(&f), "{f} out of range");
+        }
+    }
+
+    #[test]
+    fn hash_fraction_is_roughly_uniform() {
+        let n = 10_000u64;
+        let below_half = (0..n).filter(|&v| hash_fraction(v) < 0.5).count();
+        let ratio = below_half as f64 / n as f64;
+        assert!((0.45..0.55).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn string_hashing_differs_by_content() {
+        use std::hash::{BuildHasher, BuildHasherDefault, Hash};
+        let bh: BuildHasherDefault<FxHasher> = Default::default();
+        let h = |s: &str| {
+            let mut hasher = bh.build_hasher();
+            s.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_ne!(h("abc"), h("abd"));
+        assert_eq!(h("abc"), h("abc"));
+    }
+}

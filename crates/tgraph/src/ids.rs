@@ -1,0 +1,147 @@
+//! Identifiers and discrete timestamps.
+//!
+//! Nodes and edges are assigned unique ids at creation time. Ids are never
+//! reassigned: a deletion followed by a re-insertion of "the same" entity
+//! yields a new id (Section 3.1 of the paper). The mapping from external,
+//! application-specific keys (user names, paper titles, ...) to internal ids
+//! is the job of the `QueryManager` lookup table in the facade crate.
+
+use std::fmt;
+
+/// Internal identifier of a node. Stable for the lifetime of the trace.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u64);
+
+/// Internal identifier of an edge. Stable for the lifetime of the trace.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(pub u64);
+
+/// Discrete time point. The paper assumes discrete time; we use a signed
+/// 64-bit value so that traces may use seconds-since-epoch, event counters,
+/// or years interchangeably.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub i64);
+
+impl NodeId {
+    /// Raw value of the id.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl EdgeId {
+    /// Raw value of the id.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl Timestamp {
+    /// The smallest representable time point.
+    pub const MIN: Timestamp = Timestamp(i64::MIN);
+    /// The largest representable time point.
+    pub const MAX: Timestamp = Timestamp(i64::MAX);
+
+    /// Raw value of the timestamp.
+    #[inline]
+    pub fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// The immediately following time point, saturating at [`Timestamp::MAX`].
+    #[inline]
+    pub fn next(self) -> Timestamp {
+        Timestamp(self.0.saturating_add(1))
+    }
+
+    /// The immediately preceding time point, saturating at [`Timestamp::MIN`].
+    #[inline]
+    pub fn prev(self) -> Timestamp {
+        Timestamp(self.0.saturating_sub(1))
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(v: u64) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u64> for EdgeId {
+    fn from(v: u64) -> Self {
+        EdgeId(v)
+    }
+}
+
+impl From<i64> for Timestamp {
+    fn from(v: i64) -> Self {
+        Timestamp(v)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_ordering_follows_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(EdgeId(10) > EdgeId(9));
+        assert_eq!(NodeId::from(7).raw(), 7);
+        assert_eq!(EdgeId::from(7).raw(), 7);
+    }
+
+    #[test]
+    fn timestamp_next_prev() {
+        assert_eq!(Timestamp(5).next(), Timestamp(6));
+        assert_eq!(Timestamp(5).prev(), Timestamp(4));
+        assert_eq!(Timestamp::MAX.next(), Timestamp::MAX);
+        assert_eq!(Timestamp::MIN.prev(), Timestamp::MIN);
+    }
+
+    #[test]
+    fn display_formats_are_compact() {
+        assert_eq!(format!("{}", NodeId(3)), "N3");
+        assert_eq!(format!("{}", EdgeId(4)), "E4");
+        assert_eq!(format!("{}", Timestamp(-2)), "-2");
+        assert_eq!(format!("{:?}", Timestamp(9)), "t9");
+    }
+}

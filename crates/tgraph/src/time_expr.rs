@@ -1,0 +1,289 @@
+//! Time expressions: multinomial Boolean expressions over time points.
+//!
+//! `GetHistGraph(TimeExpression, ...)` retrieves a *hypothetical* graph whose
+//! elements are those satisfying a Boolean expression over membership at `k`
+//! time points (Section 3.2.1). For example `t1 ∧ ¬t2` selects the elements
+//! that were valid at `t1` but not at `t2`.
+//!
+//! The expression is evaluated element-wise over the snapshots retrieved for
+//! the referenced time points; the facade crate performs the retrieval and
+//! calls [`TimeExpression::evaluate_membership`] per element.
+
+use crate::error::{Result, TgError};
+use crate::ids::Timestamp;
+use crate::snapshot::Snapshot;
+
+/// A Boolean expression over time-point variables, referenced by index into
+/// [`TimeExpression::times`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoolExpr {
+    /// Membership at the `i`-th time point.
+    Var(usize),
+    /// Logical negation.
+    Not(Box<BoolExpr>),
+    /// Logical conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Logical disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// Convenience constructor for `Var`.
+    pub fn var(i: usize) -> Self {
+        BoolExpr::Var(i)
+    }
+
+    /// Convenience constructor for `Not`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(e: BoolExpr) -> Self {
+        BoolExpr::Not(Box::new(e))
+    }
+
+    /// Convenience constructor for `And`.
+    pub fn and(a: BoolExpr, b: BoolExpr) -> Self {
+        BoolExpr::And(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor for `Or`.
+    pub fn or(a: BoolExpr, b: BoolExpr) -> Self {
+        BoolExpr::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Evaluates the expression given per-variable truth values.
+    pub fn eval(&self, vars: &[bool]) -> Result<bool> {
+        match self {
+            BoolExpr::Var(i) => vars.get(*i).copied().ok_or_else(|| {
+                TgError::InvalidTimeExpression(format!(
+                    "variable t{i} out of range (only {} time points)",
+                    vars.len()
+                ))
+            }),
+            BoolExpr::Not(e) => Ok(!e.eval(vars)?),
+            BoolExpr::And(a, b) => Ok(a.eval(vars)? && b.eval(vars)?),
+            BoolExpr::Or(a, b) => Ok(a.eval(vars)? || b.eval(vars)?),
+        }
+    }
+
+    /// Largest variable index mentioned, if any.
+    pub fn max_var(&self) -> Option<usize> {
+        match self {
+            BoolExpr::Var(i) => Some(*i),
+            BoolExpr::Not(e) => e.max_var(),
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => match (a.max_var(), b.max_var()) {
+                (Some(x), Some(y)) => Some(x.max(y)),
+                (x, y) => x.or(y),
+            },
+        }
+    }
+}
+
+/// A list of time points plus a Boolean expression over them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimeExpression {
+    /// The referenced time points `t_0 .. t_{k-1}`.
+    pub times: Vec<Timestamp>,
+    /// The Boolean expression over those time points.
+    pub expr: BoolExpr,
+}
+
+impl TimeExpression {
+    /// Creates a time expression, validating that every variable referenced
+    /// by the expression has a corresponding time point.
+    pub fn new(times: Vec<Timestamp>, expr: BoolExpr) -> Result<Self> {
+        if let Some(max) = expr.max_var() {
+            if max >= times.len() {
+                return Err(TgError::InvalidTimeExpression(format!(
+                    "expression references t{max} but only {} time points supplied",
+                    times.len()
+                )));
+            }
+        }
+        Ok(TimeExpression { times, expr })
+    }
+
+    /// The shorthand `t_a ∧ ¬t_b` ("valid at `a` but not at `b`").
+    pub fn diff(a: impl Into<Timestamp>, b: impl Into<Timestamp>) -> Self {
+        TimeExpression {
+            times: vec![a.into(), b.into()],
+            expr: BoolExpr::and(BoolExpr::var(0), BoolExpr::not(BoolExpr::var(1))),
+        }
+    }
+
+    /// Evaluates membership of one element given its presence at each time
+    /// point (`present[i]` ↔ present at `times[i]`).
+    pub fn evaluate_membership(&self, present: &[bool]) -> Result<bool> {
+        if present.len() != self.times.len() {
+            return Err(TgError::InvalidTimeExpression(format!(
+                "expected {} membership bits, got {}",
+                self.times.len(),
+                present.len()
+            )));
+        }
+        self.expr.eval(present)
+    }
+
+    /// Builds the hypothetical graph satisfying this expression from the
+    /// snapshots at each referenced time point (`snapshots[i]` is the graph
+    /// as of `times[i]`).
+    ///
+    /// Node membership is evaluated per node, edge membership per edge. The
+    /// endpoints of a selected edge are included in the result even when the
+    /// nodes themselves do not satisfy the expression (e.g. for `t1 ∧ ¬t2`,
+    /// an edge removed between the two time points is returned together with
+    /// its — still existing — endpoints), so the output is always a
+    /// well-formed graph. Attributes are copied from the latest referenced
+    /// snapshot that contains the element.
+    pub fn evaluate(&self, snapshots: &[Snapshot]) -> Result<Snapshot> {
+        if snapshots.len() != self.times.len() {
+            return Err(TgError::InvalidTimeExpression(format!(
+                "expected {} snapshots, got {}",
+                self.times.len(),
+                snapshots.len()
+            )));
+        }
+        let mut out = Snapshot::new();
+
+        // Candidate nodes: union of all snapshots' nodes.
+        let mut node_ids: Vec<_> = snapshots
+            .iter()
+            .flat_map(|s| s.node_ids())
+            .collect();
+        node_ids.sort_unstable();
+        node_ids.dedup();
+        for n in node_ids {
+            let present: Vec<bool> = snapshots.iter().map(|s| s.has_node(n)).collect();
+            if self.expr.eval(&present)? {
+                out.ensure_node(n);
+                // copy attributes from the latest snapshot containing the node
+                if let Some(src) = snapshots
+                    .iter()
+                    .rev()
+                    .find(|s| s.has_node(n))
+                    .and_then(|s| s.node(n))
+                {
+                    for (k, v) in &src.attrs {
+                        out.set_node_attr(n, k, Some(v.clone()))?;
+                    }
+                }
+            }
+        }
+
+        let mut edge_ids: Vec<_> = snapshots
+            .iter()
+            .flat_map(|s| s.edge_ids())
+            .collect();
+        edge_ids.sort_unstable();
+        edge_ids.dedup();
+        for e in edge_ids {
+            let present: Vec<bool> = snapshots.iter().map(|s| s.has_edge(e)).collect();
+            if self.expr.eval(&present)? {
+                let data = snapshots
+                    .iter()
+                    .rev()
+                    .find_map(|s| s.edge(e))
+                    .expect("edge present in at least one snapshot");
+                out.ensure_node(data.src);
+                out.ensure_node(data.dst);
+                out.add_edge(e, data.src, data.dst, data.directed)?;
+                for (k, v) in &data.attrs {
+                    out.set_edge_attr(e, k, Some(v.clone()))?;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{EdgeId, NodeId};
+
+    fn snap(nodes: &[u64], edges: &[(u64, u64, u64)]) -> Snapshot {
+        let mut s = Snapshot::new();
+        for &n in nodes {
+            s.ensure_node(NodeId(n));
+        }
+        for &(e, a, b) in edges {
+            s.add_edge(EdgeId(e), NodeId(a), NodeId(b), false).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn expression_validation_catches_out_of_range_vars() {
+        let bad = TimeExpression::new(vec![Timestamp(1)], BoolExpr::var(3));
+        assert!(bad.is_err());
+        let ok = TimeExpression::new(vec![Timestamp(1)], BoolExpr::var(0));
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn eval_basic_boolean_algebra() {
+        let e = BoolExpr::or(
+            BoolExpr::and(BoolExpr::var(0), BoolExpr::not(BoolExpr::var(1))),
+            BoolExpr::var(2),
+        );
+        assert!(e.eval(&[true, false, false]).unwrap());
+        assert!(!e.eval(&[true, true, false]).unwrap());
+        assert!(e.eval(&[false, true, true]).unwrap());
+        assert_eq!(e.max_var(), Some(2));
+        assert!(e.eval(&[true]).is_err());
+    }
+
+    #[test]
+    fn diff_expression_selects_removed_elements() {
+        // t0: nodes 1,2,3 edge (1-2); t1: nodes 1,3 (node 2 and its edge gone)
+        let s0 = snap(&[1, 2, 3], &[(10, 1, 2)]);
+        let s1 = snap(&[1, 3], &[]);
+        let tex = TimeExpression::diff(0i64, 1i64);
+        let result = tex.evaluate(&[s0, s1]).unwrap();
+        assert!(result.has_node(NodeId(2)));
+        // edge 10 was valid at t0 only, so it is part of the difference; its
+        // endpoint node 1 (which exists at both times and therefore does not
+        // itself satisfy the expression) is pulled in to keep the graph well
+        // formed.
+        assert!(result.has_edge(EdgeId(10)));
+        assert!(result.has_node(NodeId(1)));
+    }
+
+    #[test]
+    fn intersection_expression_keeps_common_elements() {
+        let s0 = snap(&[1, 2], &[(10, 1, 2)]);
+        let s1 = snap(&[1, 2, 3], &[(10, 1, 2), (11, 2, 3)]);
+        let tex = TimeExpression::new(
+            vec![Timestamp(0), Timestamp(1)],
+            BoolExpr::and(BoolExpr::var(0), BoolExpr::var(1)),
+        )
+        .unwrap();
+        let result = tex.evaluate(&[s0, s1]).unwrap();
+        assert_eq!(result.node_count(), 2);
+        assert!(result.has_edge(EdgeId(10)));
+        assert!(!result.has_edge(EdgeId(11)));
+    }
+
+    #[test]
+    fn membership_evaluation_checks_arity() {
+        let tex = TimeExpression::diff(0i64, 1i64);
+        assert!(tex.evaluate_membership(&[true]).is_err());
+        assert!(tex.evaluate_membership(&[true, false]).unwrap());
+        assert!(!tex.evaluate_membership(&[true, true]).unwrap());
+    }
+
+    #[test]
+    fn union_expression_keeps_attributes_from_latest() {
+        let mut s0 = snap(&[1], &[]);
+        s0.set_node_attr(NodeId(1), "v", Some(crate::AttrValue::Int(1)))
+            .unwrap();
+        let mut s1 = snap(&[1], &[]);
+        s1.set_node_attr(NodeId(1), "v", Some(crate::AttrValue::Int(2)))
+            .unwrap();
+        let tex = TimeExpression::new(
+            vec![Timestamp(0), Timestamp(1)],
+            BoolExpr::or(BoolExpr::var(0), BoolExpr::var(1)),
+        )
+        .unwrap();
+        let result = tex.evaluate(&[s0, s1]).unwrap();
+        assert_eq!(result.node_attr(NodeId(1), "v"), Some(&crate::AttrValue::Int(2)));
+    }
+}

@@ -1,0 +1,77 @@
+//! Maintaining the current graph while serving historical queries: appending
+//! new events, watching them become visible, and using memory
+//! materialization to speed up repeated access to a busy period.
+//!
+//! Run with `cargo run --release --example live_updates`.
+
+use std::time::Instant;
+
+use historygraph::datagen::{dblp_like, DblpConfig};
+use historygraph::deltagraph::DeltaGraphConfig;
+use historygraph::tgraph::{Event, Timestamp};
+use historygraph::{GraphManager, GraphManagerConfig};
+
+fn main() {
+    let dataset = dblp_like(&DblpConfig {
+        total_edges: 3_000,
+        ..DblpConfig::default()
+    });
+    let mut gm = GraphManager::build_in_memory(
+        &dataset.events,
+        GraphManagerConfig::default().with_index(DeltaGraphConfig::new(500, 4)),
+    )
+    .expect("build index");
+
+    // Append live updates: a burst of new collaborations "today".
+    let today = dataset.end_time().raw() + 1;
+    let first_new_node = 1_000_000u64;
+    let mut events = Vec::new();
+    for i in 0..600u64 {
+        events.push(Event::add_node(today + i as i64, first_new_node + i));
+        if i > 0 {
+            events.push(Event::add_edge(
+                today + i as i64,
+                2_000_000 + i,
+                first_new_node + i - 1,
+                first_new_node + i,
+            ));
+        }
+    }
+    gm.append_events(events).expect("append updates");
+    println!(
+        "after live updates the index has {} leaves and {} pending recent events",
+        gm.stats().leaves,
+        gm.stats().recent_events
+    );
+
+    // The updates are immediately visible to historical queries.
+    let handle = gm
+        .get_hist_graph(Timestamp(today + 700), "")
+        .expect("query after updates");
+    println!(
+        "snapshot after the burst: {} nodes",
+        gm.graph(handle).node_count()
+    );
+
+    // Materialization: speed up repeated queries against the recent past.
+    let query_times: Vec<Timestamp> = (0..20)
+        .map(|i| Timestamp(dataset.end_time().raw() - i * 2))
+        .collect();
+    let timed = |gm: &mut GraphManager| {
+        let start = Instant::now();
+        for &t in &query_times {
+            let h = gm.get_hist_graph(t, "").expect("query");
+            gm.release(h);
+        }
+        gm.cleanup();
+        start.elapsed()
+    };
+    let cold = timed(&mut gm);
+    gm.materialize_root().expect("materialize root");
+    gm.materialize_descendants(1).expect("materialize children");
+    let warm = timed(&mut gm);
+    println!(
+        "20 repeated queries: {:?} without materialization, {:?} with root+children materialized",
+        cold, warm
+    );
+}

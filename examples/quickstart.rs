@@ -1,0 +1,61 @@
+//! Quickstart: build a historical graph database over a synthetic
+//! co-authorship trace, retrieve a few snapshots, and inspect them.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use historygraph::{GraphManager, GraphManagerConfig};
+use historygraph::deltagraph::{DeltaGraphConfig, DifferentialFunction};
+use historygraph::datagen::{dblp_like, DblpConfig};
+use historygraph::tgraph::Timestamp;
+
+fn main() {
+    // 1. A synthetic growing co-authorship network (stand-in for DBLP).
+    let dataset = dblp_like(&DblpConfig {
+        total_edges: 5_000,
+        ..DblpConfig::default()
+    });
+    println!(
+        "generated {} events spanning years {}..{}",
+        dataset.events.len(),
+        dataset.start_time(),
+        dataset.end_time()
+    );
+
+    // 2. Build the DeltaGraph index (in memory here; see `build_on_disk`).
+    let config = GraphManagerConfig::default().with_index(
+        DeltaGraphConfig::new(1_000, 4).with_diff_fn(DifferentialFunction::Intersection),
+    );
+    let mut gm = GraphManager::build_in_memory(&dataset.events, config).expect("build index");
+    let stats = gm.stats();
+    println!(
+        "index: {} leaves, height {}, {} bytes of deltas on the store",
+        stats.leaves, stats.height, stats.stored_bytes
+    );
+
+    // 3. Retrieve the graph structure as of three different years.
+    for year in [1970, 1990, 2005] {
+        let handle = gm
+            .get_hist_graph(Timestamp(year), "")
+            .expect("snapshot retrieval");
+        let view = gm.graph(handle);
+        println!(
+            "as of {year}: {} authors, {} co-authorship edges",
+            view.node_count(),
+            view.edge_count()
+        );
+        gm.release(handle);
+    }
+    gm.cleanup();
+
+    // 4. A multipoint query: every fifth year, retrieved together so shared
+    //    deltas are fetched only once, and held in the GraphPool compactly.
+    let times: Vec<Timestamp> = (1970..=2005).step_by(5).map(Timestamp).collect();
+    let handles = gm
+        .get_hist_graphs(&times, "")
+        .expect("multipoint retrieval");
+    println!(
+        "retrieved {} snapshots; GraphPool holds them in ~{} KiB",
+        handles.len(),
+        gm.pool_memory() / 1024
+    );
+}

@@ -1,0 +1,61 @@
+//! Temporal-difference analysis on a network with churn: what disappeared
+//! between two time points, how many triangles formed over the last period,
+//! and which collaborations were created inside a window.
+//!
+//! Run with `cargo run --release --example temporal_diff`.
+
+use historygraph::analytics::triangle_count;
+use historygraph::datagen::{churn_trace, ChurnConfig};
+use historygraph::deltagraph::DeltaGraphConfig;
+use historygraph::tgraph::{TimeExpression, Timestamp};
+use historygraph::{GraphManager, GraphManagerConfig};
+
+fn main() {
+    // Dataset 2 analogue: a grown network followed by additions + deletions.
+    let dataset = churn_trace(&ChurnConfig {
+        churn_events: 6_000,
+        ..ChurnConfig::default()
+    });
+    let mut gm = GraphManager::build_in_memory(
+        &dataset.events,
+        GraphManagerConfig::default().with_index(DeltaGraphConfig::new(1_000, 4)),
+    )
+    .expect("build index");
+
+    let (t1, t2) = (Timestamp(2010), Timestamp(2012));
+
+    // "Which edges were valid at t1 but no longer at t2?" — a TimeExpression.
+    let gone = gm
+        .get_hist_graph_expr(&TimeExpression::diff(t1.raw(), t2.raw()), "")
+        .expect("difference query");
+    println!(
+        "elements valid at {t1} but gone by {t2}: {} nodes, {} edges",
+        gm.graph(gone).node_count(),
+        gm.graph(gone).edge_count()
+    );
+
+    // "How many new triangles have been formed over the last period?"
+    let h1 = gm.get_hist_graph(t1, "").unwrap();
+    let h2 = gm.get_hist_graph(t2, "").unwrap();
+    let before = triangle_count(&gm.graph(h1));
+    let after = triangle_count(&gm.graph(h2));
+    println!("triangles at {t1}: {before}, at {t2}: {after} (new: {})", after.saturating_sub(before));
+
+    // "Which collaborations were created during the window [t1, t2)?"
+    let (window, transients) = gm
+        .get_hist_graph_interval(t1, t2, "")
+        .expect("interval query");
+    println!(
+        "elements added in [{t1}, {t2}): {} nodes, {} edges ({} transient events)",
+        gm.graph(window).node_count(),
+        gm.graph(window).edge_count(),
+        transients.len()
+    );
+
+    // GraphPool keeps all retrieved graphs overlaid on one structure.
+    println!(
+        "GraphPool: {} overlaid graphs in ~{} KiB",
+        gm.pool().active_overlay_count(),
+        gm.pool_memory() / 1024
+    );
+}

@@ -1,0 +1,382 @@
+//! The `GraphManager`: the system facade of Figure 2.
+//!
+//! It owns the DeltaGraph index (history manager duties: planning and disk
+//! I/O), the GraphPool (overlaying retrieved graphs and cleaning them up),
+//! and the lookup table translating application-level keys to internal node
+//! ids (the query-manager duty that the paper notes is application specific).
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use deltagraph::{DeltaGraph, DeltaGraphConfig, DgError, DgResult, IndexStats};
+use graphpool::{GraphId, GraphPool, GraphView};
+use kvstore::{DiskStore, KeyValueStore, MemStore};
+use tgraph::{AttrOptions, Event, NodeId, Snapshot, TimeExpression, Timestamp};
+
+/// Configuration of a [`GraphManager`].
+#[derive(Clone, Debug, Default)]
+pub struct GraphManagerConfig {
+    /// DeltaGraph construction parameters.
+    pub index: DeltaGraphConfig,
+    /// If `true`, retrieved historical graphs are overlaid as *dependent* on
+    /// the current graph whenever the number of differing elements is small
+    /// relative to the graph size (the query-time decision of Section 6).
+    pub dependent_overlays: bool,
+}
+
+impl GraphManagerConfig {
+    /// Uses the given DeltaGraph configuration.
+    pub fn with_index(mut self, index: DeltaGraphConfig) -> Self {
+        self.index = index;
+        self
+    }
+}
+
+/// The top-level handle to a historical graph database.
+pub struct GraphManager {
+    index: DeltaGraph,
+    pool: GraphPool,
+    /// application key → internal node id (QueryManager lookup table)
+    key_to_node: HashMap<String, NodeId>,
+    node_to_key: HashMap<NodeId, String>,
+    config: GraphManagerConfig,
+    /// The pool handle of the current graph's last full overlay.
+    current_seeded: bool,
+}
+
+impl GraphManager {
+    /// Builds the database over a complete event trace, storing the index in
+    /// memory.
+    pub fn build_in_memory(
+        events: &tgraph::EventList,
+        config: GraphManagerConfig,
+    ) -> DgResult<Self> {
+        Self::build(events, config, Arc::new(MemStore::new()))
+    }
+
+    /// Builds the database over a complete event trace, storing the index in
+    /// an on-disk key–value store rooted at `path`.
+    pub fn build_on_disk(
+        events: &tgraph::EventList,
+        config: GraphManagerConfig,
+        path: impl AsRef<Path>,
+    ) -> DgResult<Self> {
+        let store = DiskStore::create(path.as_ref().join("deltagraph.log"))?;
+        Self::build(events, config, Arc::new(store))
+    }
+
+    /// Builds the database over a complete event trace on the given backing
+    /// store.
+    pub fn build(
+        events: &tgraph::EventList,
+        config: GraphManagerConfig,
+        store: Arc<dyn KeyValueStore>,
+    ) -> DgResult<Self> {
+        let index = DeltaGraph::build(events, config.index.clone(), store)?;
+        let mut pool = GraphPool::new();
+        pool.set_current(index.current_graph());
+        Ok(GraphManager {
+            index,
+            pool,
+            key_to_node: HashMap::new(),
+            node_to_key: HashMap::new(),
+            config,
+            current_seeded: true,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot retrieval (the paper's programmatic API, Section 3.2.1)
+    // ------------------------------------------------------------------
+
+    /// `GetHistGraph(Time t, String attr_options)`: retrieves the snapshot as
+    /// of `t`, overlays it onto the GraphPool, and returns its handle.
+    pub fn get_hist_graph(&mut self, t: Timestamp, attr_options: &str) -> DgResult<GraphId> {
+        let opts = AttrOptions::parse(attr_options).map_err(DgError::Model)?;
+        let snapshot = self.index.get_snapshot(t, &opts)?;
+        Ok(self.overlay(snapshot, t))
+    }
+
+    /// `GetHistGraphs(List<Time>, String attr_options)`: multipoint retrieval
+    /// through the Steiner-tree planner; all snapshots share fetched deltas
+    /// and are overlaid together.
+    pub fn get_hist_graphs(
+        &mut self,
+        times: &[Timestamp],
+        attr_options: &str,
+    ) -> DgResult<Vec<GraphId>> {
+        let opts = AttrOptions::parse(attr_options).map_err(DgError::Model)?;
+        let snapshots = self.index.get_snapshots(times, &opts)?;
+        Ok(snapshots
+            .into_iter()
+            .zip(times)
+            .map(|(snap, &t)| self.overlay(snap, t))
+            .collect())
+    }
+
+    /// `GetHistGraph(TimeExpression, String attr_options)`: retrieves the
+    /// hypothetical graph satisfying a Boolean expression over time points.
+    pub fn get_hist_graph_expr(
+        &mut self,
+        expr: &TimeExpression,
+        attr_options: &str,
+    ) -> DgResult<GraphId> {
+        let opts = AttrOptions::parse(attr_options).map_err(DgError::Model)?;
+        let snapshot = self.index.get_time_expression(expr, &opts)?;
+        let anchor = expr.times.last().copied().unwrap_or(Timestamp(0));
+        Ok(self.overlay(snapshot, anchor))
+    }
+
+    /// `GetHistGraphInterval(ts, te, attr_options)`: the graph over elements
+    /// added during `[ts, te)` plus the transient events of that window.
+    pub fn get_hist_graph_interval(
+        &mut self,
+        start: Timestamp,
+        end: Timestamp,
+        attr_options: &str,
+    ) -> DgResult<(GraphId, Vec<Event>)> {
+        let opts = AttrOptions::parse(attr_options).map_err(DgError::Model)?;
+        let (snapshot, transients) = self.index.get_snapshot_interval(start, end, &opts)?;
+        Ok((self.overlay(snapshot, start), transients))
+    }
+
+    fn overlay(&mut self, snapshot: Snapshot, t: Timestamp) -> GraphId {
+        if self.config.dependent_overlays && self.current_seeded {
+            // Query-time decision: overlay as dependent on the current graph
+            // when the difference is small relative to the snapshot size.
+            let current = self.index.current_graph();
+            let diff = tgraph::Delta::between(current, &snapshot).change_count();
+            if diff * 4 < snapshot.element_count().max(1) {
+                return self
+                    .pool
+                    .add_historical_dependent(&snapshot, t, graphpool::CURRENT_GRAPH);
+            }
+        }
+        self.pool.add_historical(&snapshot, t)
+    }
+
+    /// A read view of a retrieved graph.
+    pub fn graph(&self, id: GraphId) -> GraphView<'_> {
+        self.pool.view(id)
+    }
+
+    /// Releases a retrieved graph (cleanup happens lazily).
+    pub fn release(&mut self, id: GraphId) {
+        self.pool.release(id);
+    }
+
+    /// Runs the lazy cleaner; returns the number of union elements removed.
+    pub fn cleanup(&mut self) -> usize {
+        self.pool.cleanup()
+    }
+
+    // ------------------------------------------------------------------
+    // Updates and materialization
+    // ------------------------------------------------------------------
+
+    /// Appends a new event: the current graph, the GraphPool overlay of the
+    /// current graph, and the index are all updated.
+    pub fn append_event(&mut self, event: Event) -> DgResult<()> {
+        self.pool.apply_event_to_current(&event);
+        self.index.append_event(event)
+    }
+
+    /// Appends a batch of events.
+    pub fn append_events(&mut self, events: impl IntoIterator<Item = Event>) -> DgResult<()> {
+        for ev in events {
+            self.append_event(ev)?;
+        }
+        Ok(())
+    }
+
+    /// Materializes the DeltaGraph root in memory.
+    pub fn materialize_root(&mut self) -> DgResult<()> {
+        self.index.materialize_root().map(|_| ())
+    }
+
+    /// Materializes every node `depth` levels below the root.
+    pub fn materialize_descendants(&mut self, depth: u32) -> DgResult<usize> {
+        Ok(self.index.materialize_descendants(depth)?.len())
+    }
+
+    // ------------------------------------------------------------------
+    // QueryManager lookup table (external key ↔ internal id)
+    // ------------------------------------------------------------------
+
+    /// Registers an application-level key (user name, paper title, ...) for a
+    /// node id.
+    pub fn register_key(&mut self, key: impl Into<String>, node: NodeId) {
+        let key = key.into();
+        self.key_to_node.insert(key.clone(), node);
+        self.node_to_key.insert(node, key);
+    }
+
+    /// Resolves an application-level key to its internal node id.
+    pub fn resolve_key(&self, key: &str) -> Option<NodeId> {
+        self.key_to_node.get(key).copied()
+    }
+
+    /// The application-level key of an internal node id, if registered.
+    pub fn key_of(&self, node: NodeId) -> Option<&str> {
+        self.node_to_key.get(&node).map(String::as_str)
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// The underlying DeltaGraph index.
+    pub fn index(&self) -> &DeltaGraph {
+        &self.index
+    }
+
+    /// Mutable access to the underlying DeltaGraph index (for benchmark
+    /// harnesses that tune materialization or retrieval threads directly).
+    pub fn index_mut(&mut self) -> &mut DeltaGraph {
+        &mut self.index
+    }
+
+    /// The underlying GraphPool.
+    pub fn pool(&self) -> &GraphPool {
+        &self.pool
+    }
+
+    /// Index statistics (leaves, height, stored bytes, ...).
+    pub fn stats(&self) -> IndexStats {
+        self.index.stats()
+    }
+
+    /// Approximate memory held by the GraphPool, in bytes.
+    pub fn pool_memory(&self) -> usize {
+        self.pool.approx_memory()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::toy_trace;
+    use deltagraph::DifferentialFunction;
+    use tgraph::EdgeId;
+
+    fn manager() -> GraphManager {
+        let cfg = GraphManagerConfig::default().with_index(
+            DeltaGraphConfig::new(3, 2).with_diff_fn(DifferentialFunction::Intersection),
+        );
+        GraphManager::build_in_memory(&toy_trace().events, cfg).unwrap()
+    }
+
+    #[test]
+    fn single_and_multi_point_retrieval_through_the_facade() {
+        let mut gm = manager();
+        let ds = toy_trace();
+        let h6 = gm.get_hist_graph(Timestamp(6), "+node:all+edge:all").unwrap();
+        assert_eq!(gm.graph(h6).to_snapshot(), ds.snapshot_at(Timestamp(6)));
+
+        let handles = gm
+            .get_hist_graphs(&[Timestamp(3), Timestamp(9)], "+node:all+edge:all")
+            .unwrap();
+        assert_eq!(handles.len(), 2);
+        assert_eq!(gm.graph(handles[0]).to_snapshot(), ds.snapshot_at(Timestamp(3)));
+        assert_eq!(gm.graph(handles[1]).to_snapshot(), ds.snapshot_at(Timestamp(9)));
+        assert_eq!(gm.pool().active_overlay_count(), 3);
+    }
+
+    #[test]
+    fn attr_option_strings_are_honoured() {
+        let mut gm = manager();
+        let h = gm.get_hist_graph(Timestamp(7), "").unwrap();
+        let view = gm.graph(h);
+        assert!(view.node_attr(tgraph::NodeId(1), "name").is_none());
+        let h2 = gm.get_hist_graph(Timestamp(7), "+node:name").unwrap();
+        assert_eq!(
+            gm.graph(h2).node_attr(tgraph::NodeId(1), "name").and_then(|v| v.as_str()),
+            Some("alicia")
+        );
+        assert!(gm.get_hist_graph(Timestamp(7), "bogus").is_err());
+    }
+
+    #[test]
+    fn expression_and_interval_queries() {
+        let mut gm = manager();
+        let tex = TimeExpression::diff(6i64, 9i64);
+        let h = gm.get_hist_graph_expr(&tex, "").unwrap();
+        assert!(gm.graph(h).has_edge(EdgeId(100)));
+
+        let (h, transients) = gm
+            .get_hist_graph_interval(Timestamp(5), Timestamp(10), "")
+            .unwrap();
+        assert!(gm.graph(h).has_edge(EdgeId(101)));
+        assert_eq!(transients.len(), 1);
+    }
+
+    #[test]
+    fn release_and_cleanup_through_the_facade() {
+        let mut gm = manager();
+        let a = gm.get_hist_graph(Timestamp(3), "").unwrap();
+        let b = gm.get_hist_graph(Timestamp(9), "").unwrap();
+        gm.release(a);
+        assert!(gm.cleanup() > 0 || gm.pool().active_overlay_count() == 1);
+        assert_eq!(gm.pool().active_overlay_count(), 1);
+        // remaining handle still valid
+        assert!(gm.graph(b).node_count() > 0);
+    }
+
+    #[test]
+    fn updates_flow_to_pool_and_index() {
+        let mut gm = manager();
+        gm.append_event(Event::add_node(20, 777)).unwrap();
+        gm.append_event(Event::add_edge(21, 500, 777, 1)).unwrap();
+        assert!(gm.graph(graphpool::CURRENT_GRAPH).has_node(tgraph::NodeId(777)));
+        let h = gm.get_hist_graph(Timestamp(21), "").unwrap();
+        assert!(gm.graph(h).has_edge(EdgeId(500)));
+    }
+
+    #[test]
+    fn key_lookup_table() {
+        let mut gm = manager();
+        gm.register_key("alice", tgraph::NodeId(1));
+        assert_eq!(gm.resolve_key("alice"), Some(tgraph::NodeId(1)));
+        assert_eq!(gm.key_of(tgraph::NodeId(1)), Some("alice"));
+        assert_eq!(gm.resolve_key("bob"), None);
+    }
+
+    #[test]
+    fn dependent_overlays_produce_identical_views() {
+        let ds = toy_trace();
+        let base = GraphManagerConfig::default().with_index(DeltaGraphConfig::new(3, 2));
+        let mut plain = GraphManager::build_in_memory(&ds.events, base.clone()).unwrap();
+        let mut dependent = GraphManager::build_in_memory(
+            &ds.events,
+            GraphManagerConfig {
+                dependent_overlays: true,
+                ..base
+            },
+        )
+        .unwrap();
+        for t in [3, 6, 9, 10] {
+            let hp = plain.get_hist_graph(Timestamp(t), "+node:all+edge:all").unwrap();
+            let hd = dependent
+                .get_hist_graph(Timestamp(t), "+node:all+edge:all")
+                .unwrap();
+            assert_eq!(
+                plain.graph(hp).to_snapshot(),
+                dependent.graph(hd).to_snapshot(),
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_and_memory_reporting() {
+        let mut gm = manager();
+        let stats = gm.stats();
+        assert!(stats.leaves >= 2);
+        let before = gm.pool_memory();
+        gm.get_hist_graph(Timestamp(9), "+node:all").unwrap();
+        assert!(gm.pool_memory() >= before);
+        gm.materialize_root().unwrap();
+        assert!(gm.materialize_descendants(1).unwrap() >= 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! End-to-end integration tests: datasets → index → retrieval → GraphPool →
+//! analytics, all through the public facade.
+
+use historygraph::analytics::{connected_components, pagerank, top_k_by_rank, triangle_count};
+use historygraph::datagen::{churn_trace, dblp_like, uniform_timepoints, ChurnConfig, DblpConfig};
+use historygraph::deltagraph::{DeltaGraphConfig, DifferentialFunction};
+use historygraph::tgraph::{AttrOptions, Timestamp};
+use historygraph::{GraphManager, GraphManagerConfig};
+
+fn config(leaf: usize, arity: usize, f: DifferentialFunction) -> GraphManagerConfig {
+    GraphManagerConfig::default().with_index(DeltaGraphConfig::new(leaf, arity).with_diff_fn(f))
+}
+
+#[test]
+fn facade_retrieval_matches_oracle_on_growing_trace() {
+    let ds = dblp_like(&DblpConfig::tiny(101));
+    let mut gm = GraphManager::build_in_memory(
+        &ds.events,
+        config(60, 2, DifferentialFunction::Intersection),
+    )
+    .unwrap();
+    for t in uniform_timepoints(ds.start_time(), ds.end_time(), 8) {
+        let handle = gm.get_hist_graph(t, "+node:all+edge:all").unwrap();
+        assert_eq!(gm.graph(handle).to_snapshot(), ds.snapshot_at(t), "t={t}");
+    }
+}
+
+#[test]
+fn facade_retrieval_matches_oracle_on_churn_trace_with_balanced_function() {
+    let ds = churn_trace(&ChurnConfig::tiny(103));
+    let mut gm = GraphManager::build_in_memory(
+        &ds.events,
+        config(90, 3, DifferentialFunction::Balanced),
+    )
+    .unwrap();
+    for t in uniform_timepoints(ds.start_time(), ds.end_time(), 6) {
+        let handle = gm.get_hist_graph(t, "+node:all+edge:all").unwrap();
+        assert_eq!(gm.graph(handle).to_snapshot(), ds.snapshot_at(t), "t={t}");
+    }
+}
+
+#[test]
+fn multipoint_retrieval_overlays_many_snapshots_compactly() {
+    let ds = dblp_like(&DblpConfig::tiny(105));
+    let mut gm = GraphManager::build_in_memory(
+        &ds.events,
+        config(60, 2, DifferentialFunction::Intersection),
+    )
+    .unwrap();
+    let times = uniform_timepoints(ds.start_time(), ds.end_time(), 20);
+    let handles = gm.get_hist_graphs(&times, "").unwrap();
+    assert_eq!(handles.len(), 20);
+    assert_eq!(gm.pool().active_overlay_count(), 20);
+
+    // The union the pool holds is no larger than the largest snapshot (the
+    // trace is growing-only), far below the sum of the individual snapshots.
+    let disjoint: usize = times
+        .iter()
+        .map(|&t| ds.snapshot_at(t).approx_memory())
+        .sum();
+    assert!(gm.pool_memory() < disjoint);
+
+    // Views match the oracle structure-wise.
+    for (h, t) in handles.iter().zip(&times) {
+        let view = gm.graph(*h);
+        let oracle = ds.snapshot_at(*t);
+        assert_eq!(view.node_count(), oracle.node_count());
+        assert_eq!(view.edge_count(), oracle.edge_count());
+    }
+}
+
+#[test]
+fn analytics_run_on_pool_views_and_plain_snapshots_identically() {
+    let ds = dblp_like(&DblpConfig::tiny(107));
+    let mut gm = GraphManager::build_in_memory(
+        &ds.events,
+        config(80, 2, DifferentialFunction::Intersection),
+    )
+    .unwrap();
+    let t = Timestamp(2000);
+    let handle = gm.get_hist_graph(t, "").unwrap();
+    let view = gm.graph(handle);
+    let snapshot = ds.snapshot_at(t).project_attrs(&AttrOptions::structure_only());
+
+    // PageRank through the bitmap-filtered view equals PageRank on the
+    // standalone snapshot.
+    let via_view = pagerank(&view, 15, 0.85);
+    let via_snapshot = pagerank(&snapshot, 15, 0.85);
+    assert_eq!(via_view.len(), via_snapshot.len());
+    let top_view = top_k_by_rank(&via_view, 5);
+    let top_snap = top_k_by_rank(&via_snapshot, 5);
+    for (a, b) in top_view.iter().zip(&top_snap) {
+        assert_eq!(a.0, b.0);
+        assert!((a.1 - b.1).abs() < 1e-12);
+    }
+
+    // Components and triangles agree as well.
+    assert_eq!(
+        connected_components(&view).1,
+        connected_components(&snapshot).1
+    );
+    assert_eq!(triangle_count(&view), triangle_count(&snapshot));
+}
+
+#[test]
+fn live_updates_then_queries_then_cleanup() {
+    let ds = dblp_like(&DblpConfig::tiny(109));
+    let mut gm = GraphManager::build_in_memory(
+        &ds.events,
+        config(50, 2, DifferentialFunction::Intersection),
+    )
+    .unwrap();
+    let end = ds.end_time().raw();
+    let leaves_before = gm.stats().leaves;
+    let mut events = Vec::new();
+    for i in 0..120u64 {
+        events.push(historygraph::tgraph::Event::add_node(end + 1 + i as i64, 500_000 + i));
+    }
+    gm.append_events(events).unwrap();
+    assert!(gm.stats().leaves > leaves_before);
+
+    let handle = gm.get_hist_graph(Timestamp(end + 200), "").unwrap();
+    assert!(gm
+        .graph(handle)
+        .has_node(historygraph::tgraph::NodeId(500_119)));
+
+    // Old snapshots do not contain the new nodes.
+    let old = gm.get_hist_graph(Timestamp(end), "").unwrap();
+    assert!(!gm
+        .graph(old)
+        .has_node(historygraph::tgraph::NodeId(500_000)));
+
+    gm.release(handle);
+    gm.release(old);
+    gm.cleanup();
+    assert_eq!(gm.pool().active_overlay_count(), 0);
+}
+
+#[test]
+fn materialization_preserves_results_through_the_facade() {
+    let ds = churn_trace(&ChurnConfig::tiny(111));
+    let times = uniform_timepoints(ds.start_time(), ds.end_time(), 5);
+
+    let mut plain = GraphManager::build_in_memory(
+        &ds.events,
+        config(80, 4, DifferentialFunction::Intersection),
+    )
+    .unwrap();
+    let mut materialized = GraphManager::build_in_memory(
+        &ds.events,
+        config(80, 4, DifferentialFunction::Intersection),
+    )
+    .unwrap();
+    materialized.materialize_root().unwrap();
+    materialized.materialize_descendants(2).unwrap();
+
+    for &t in &times {
+        let a = plain.get_hist_graph(t, "+node:all+edge:all").unwrap();
+        let b = materialized.get_hist_graph(t, "+node:all+edge:all").unwrap();
+        assert_eq!(
+            plain.graph(a).to_snapshot(),
+            materialized.graph(b).to_snapshot(),
+            "t={t}"
+        );
+    }
+}
