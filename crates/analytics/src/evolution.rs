@@ -79,8 +79,13 @@ mod tests {
             s.ensure_node(NodeId(hub));
             for (i, leaf) in leaves.enumerate() {
                 s.ensure_node(NodeId(leaf));
-                s.add_edge(EdgeId(base_edge + i as u64), NodeId(hub), NodeId(leaf), false)
-                    .unwrap();
+                s.add_edge(
+                    EdgeId(base_edge + i as u64),
+                    NodeId(hub),
+                    NodeId(leaf),
+                    false,
+                )
+                .unwrap();
             }
             s
         };

@@ -126,7 +126,8 @@ mod tests {
             g.ensure_node(NodeId(i));
         }
         for i in 0..4u64 {
-            g.add_edge(EdgeId(i), NodeId(i), NodeId((i + 1) % 4), false).unwrap();
+            g.add_edge(EdgeId(i), NodeId(i), NodeId((i + 1) % 4), false)
+                .unwrap();
         }
         let scores = pagerank(&g, 30, DAMPING);
         let values: Vec<f64> = scores.values().copied().collect();
@@ -152,7 +153,11 @@ mod tests {
         let g = star_graph(20);
         for iterations in [2, 10, 30] {
             let scores = pagerank(&g, iterations, DAMPING);
-            assert_eq!(top_k_by_rank(&scores, 1)[0].0, NodeId(0), "iters={iterations}");
+            assert_eq!(
+                top_k_by_rank(&scores, 1)[0].0,
+                NodeId(0),
+                "iters={iterations}"
+            );
             // the hub always dominates any single leaf
             assert!(scores[&NodeId(0)] > scores[&NodeId(1)] * 2.0);
         }

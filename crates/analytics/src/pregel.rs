@@ -95,8 +95,7 @@ pub fn run<G: GraphRef, P: VertexProgram>(
                 continue;
             }
             let value = values.get_mut(&node).expect("vertex value exists");
-            let outgoing =
-                program.compute(superstep, node, value, incoming, &neighbor_ids[&node]);
+            let outgoing = program.compute(superstep, node, value, incoming, &neighbor_ids[&node]);
             messages_sent += outgoing.len();
             for (target, message) in outgoing {
                 if !graph.contains_node(target) {
@@ -172,7 +171,8 @@ mod tests {
             s.ensure_node(NodeId(i));
         }
         for i in 0..n - 1 {
-            s.add_edge(EdgeId(i), NodeId(i), NodeId(i + 1), false).unwrap();
+            s.add_edge(EdgeId(i), NodeId(i), NodeId(i + 1), false)
+                .unwrap();
         }
         s
     }

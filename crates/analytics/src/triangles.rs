@@ -30,7 +30,9 @@ pub fn triangle_count<G: GraphRef>(graph: &G) -> usize {
             if b <= a {
                 continue;
             }
-            let Some(b_nbrs) = adjacency.get(&b) else { continue };
+            let Some(b_nbrs) = adjacency.get(&b) else {
+                continue;
+            };
             for &c in nbrs {
                 if c <= b {
                     continue;

@@ -238,15 +238,11 @@ impl SnapshotSource for IntervalTree {
         }
         for &i in &stabbed {
             match &self.intervals[i].item {
-                Item::NodeAttr(n, key, value) if opts.wants_node_attr(key) => {
-                    if snap.has_node(*n) {
-                        snap.set_node_attr(*n, key, Some(value.clone()))?;
-                    }
+                Item::NodeAttr(n, key, value) if opts.wants_node_attr(key) && snap.has_node(*n) => {
+                    snap.set_node_attr(*n, key, Some(value.clone()))?;
                 }
-                Item::EdgeAttr(e, key, value) if opts.wants_edge_attr(key) => {
-                    if snap.has_edge(*e) {
-                        snap.set_edge_attr(*e, key, Some(value.clone()))?;
-                    }
+                Item::EdgeAttr(e, key, value) if opts.wants_edge_attr(key) && snap.has_edge(*e) => {
+                    snap.set_edge_attr(*e, key, Some(value.clone()))?;
                 }
                 _ => {}
             }

@@ -44,7 +44,10 @@ fn retrieval_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("attr_options");
     group.sample_size(20);
     group.bench_function("structure_only", |b| {
-        b.iter(|| dg.get_snapshot(mid, &AttrOptions::structure_only()).unwrap())
+        b.iter(|| {
+            dg.get_snapshot(mid, &AttrOptions::structure_only())
+                .unwrap()
+        })
     });
     group.bench_function("all_attributes", |b| {
         b.iter(|| dg.get_snapshot(mid, &AttrOptions::all()).unwrap())
@@ -55,17 +58,23 @@ fn retrieval_benches(c: &mut Criterion) {
     group.sample_size(15);
     for k in [2usize, 4] {
         let batch: Vec<_> = times.iter().copied().take(k).collect();
-        group.bench_with_input(BenchmarkId::new("steiner_multipoint", k), &batch, |b, batch| {
-            b.iter(|| dg.get_snapshots(batch, &AttrOptions::all()).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("repeated_singlepoint", k), &batch, |b, batch| {
-            b.iter(|| {
-                batch
-                    .iter()
-                    .map(|&t| dg.get_snapshot(t, &AttrOptions::all()).unwrap())
-                    .collect::<Vec<_>>()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("steiner_multipoint", k),
+            &batch,
+            |b, batch| b.iter(|| dg.get_snapshots(batch, &AttrOptions::all()).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("repeated_singlepoint", k),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    batch
+                        .iter()
+                        .map(|&t| dg.get_snapshot(t, &AttrOptions::all()).unwrap())
+                        .collect::<Vec<_>>()
+                })
+            },
+        );
     }
     group.finish();
 }

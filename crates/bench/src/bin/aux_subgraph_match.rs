@@ -37,7 +37,10 @@ fn main() {
     let final_aux = dg
         .get_aux_snapshot("path-index", ds.end_time())
         .expect("final aux snapshot");
-    println!("distinct labelled 4-paths in the final snapshot: {}", final_aux.len());
+    println!(
+        "distinct labelled 4-paths in the final snapshot: {}",
+        final_aux.len()
+    );
     let patterns: Vec<String> = {
         let mut keys: Vec<String> = final_aux.iter().map(|(k, _)| k.clone()).collect();
         keys.dedup();

@@ -24,7 +24,8 @@ fn main() {
     );
 
     let store: Arc<dyn KeyValueStore> = if opts.on_disk {
-        let dir = std::env::temp_dir().join(format!("historygraph-bench-{}-ds3", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("historygraph-bench-{}-ds3", std::process::id()));
         Arc::new(PartitionedStore::on_disk(&dir, partitions).expect("partitioned store"))
     } else {
         Arc::new(PartitionedStore::in_memory(partitions))
@@ -70,7 +71,15 @@ fn main() {
     }
     print_table(
         "Dataset 3 — PageRank per snapshot including retrieval (5 partitions, parallel fetch)",
-        &["time", "nodes", "edges", "retrieval ms", "pagerank ms", "total ms", "top node"],
+        &[
+            "time",
+            "nodes",
+            "edges",
+            "retrieval ms",
+            "pagerank ms",
+            "total ms",
+            "top node",
+        ],
         &rows,
     );
     println!("mean total per snapshot: {:.0} ms", mean(&totals));

@@ -49,7 +49,12 @@ fn main() {
     }
     print_table(
         "Figure 10 — effect of materialization (Dataset 2, k=4, Intersection)",
-        &["materialization", "avg query ms", "materialized KiB", "materialized nodes"],
+        &[
+            "materialization",
+            "avg query ms",
+            "materialized KiB",
+            "materialized nodes",
+        ],
         &rows,
     );
 }

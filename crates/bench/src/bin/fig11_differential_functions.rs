@@ -62,7 +62,12 @@ fn main() {
         .collect();
     print_table(
         "Figure 11(a) — Intersection vs Balanced (Dataset 1)",
-        &["time", "intersection ms", "balanced ms", "balanced+root-mat ms"],
+        &[
+            "time",
+            "intersection ms",
+            "balanced ms",
+            "balanced+root-mat ms",
+        ],
         &rows,
     );
     println!(

@@ -22,8 +22,10 @@ fn main() {
         .step_by(5)
         .map(Timestamp)
         .collect();
-    let (snapshots, retrieval_ms) =
-        bench::timed(|| dg.get_snapshots(&years, &AttrOptions::structure_only()).unwrap());
+    let (snapshots, retrieval_ms) = bench::timed(|| {
+        dg.get_snapshots(&years, &AttrOptions::structure_only())
+            .unwrap()
+    });
     println!(
         "retrieved {} yearly snapshots in {:.0} ms via one multipoint query",
         snapshots.len(),
@@ -42,9 +44,11 @@ fn main() {
         .take(10)
         .map(|s| {
             let mut row = vec![s.node.to_string()];
-            row.extend(s.ranks.iter().map(|(_, r)| {
-                r.map(|v| v.to_string()).unwrap_or_else(|| "-".to_string())
-            }));
+            row.extend(
+                s.ranks
+                    .iter()
+                    .map(|(_, r)| r.map(|v| v.to_string()).unwrap_or_else(|| "-".to_string())),
+            );
             row
         })
         .collect();

@@ -74,11 +74,7 @@ fn run(ds: &datagen::Dataset, opts: &HarnessOptions, with_root_mat: bool, with_l
         if let Some(ms) = log_ms {
             log_ms_all.push(ms);
         }
-        let mut row = vec![
-            t.to_string(),
-            format!("{cl_ms:.1}"),
-            format!("{dg_ms:.1}"),
-        ];
+        let mut row = vec![t.to_string(), format!("{cl_ms:.1}"), format!("{dg_ms:.1}")];
         if let Some(ms) = mat_ms {
             row.push(format!("{ms:.1}"));
         }
@@ -95,7 +91,10 @@ fn run(ds: &datagen::Dataset, opts: &HarnessOptions, with_root_mat: bool, with_l
         header.push("log ms");
     }
     print_table(
-        &format!("Figure 6 ({}) — 25 uniformly spaced snapshot retrievals", ds.name),
+        &format!(
+            "Figure 6 ({}) — 25 uniformly spaced snapshot retrievals",
+            ds.name
+        ),
         &header,
         &rows,
     );

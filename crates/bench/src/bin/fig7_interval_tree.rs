@@ -56,7 +56,12 @@ fn main() {
     }
     print_table(
         "Figure 7(a) — retrieval time, Dataset 2 (k=4)",
-        &["time", "interval tree ms", "dg root-grandchildren-mat ms", "dg total-mat ms"],
+        &[
+            "time",
+            "interval tree ms",
+            "dg root-grandchildren-mat ms",
+            "dg total-mat ms",
+        ],
         &rows,
     );
     println!(

@@ -16,7 +16,8 @@ fn main() {
     let partitions = 4u32;
 
     let store: Arc<dyn KeyValueStore> = if opts.on_disk {
-        let dir = std::env::temp_dir().join(format!("historygraph-bench-{}-fig8b", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("historygraph-bench-{}-fig8b", std::process::id()));
         Arc::new(PartitionedStore::on_disk(&dir, partitions).expect("partitioned store"))
     } else {
         Arc::new(PartitionedStore::in_memory(partitions))

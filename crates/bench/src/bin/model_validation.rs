@@ -67,7 +67,11 @@ fn main() {
     ];
     print_table(
         "Section 5 — predicted vs measured delta space (graph elements)",
-        &["differential function", "model prediction", "measured changes"],
+        &[
+            "differential function",
+            "model prediction",
+            "measured changes",
+        ],
         &rows,
     );
 

@@ -1,0 +1,181 @@
+//! Query throughput of the `histql` TCP server: N concurrent client
+//! connections issue a mixed workload (point, multipoint, interval, diff,
+//! entity, stats, append) against one shared index for a fixed duration.
+//!
+//! ```text
+//! cargo run --release -p bench --bin query_throughput -- \
+//!     [--scale 0.2] [--memory] [--clients 8] [--seconds 5]
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bench::{dataset2, fresh_store, print_table, HarnessOptions};
+use historygraph::{GraphManager, GraphManagerConfig, SharedGraphManager};
+use server::{serve, Client, ServerConfig};
+use tgraph::Timestamp;
+
+const QUERY_CLASSES: [&str; 7] = [
+    "point",
+    "multipoint",
+    "interval",
+    "diff",
+    "node",
+    "stats",
+    "append",
+];
+
+fn arg_value(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Deterministic per-thread generator (splitmix64), so runs are repeatable.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let clients = arg_value("--clients", 8);
+    let seconds = arg_value("--seconds", 5);
+
+    println!(
+        "query_throughput: scale={} store={} clients={clients} duration={seconds}s",
+        opts.scale,
+        if opts.on_disk { "disk" } else { "memory" }
+    );
+
+    let ds = dataset2(opts.scale * 0.2);
+    let start_t = ds.start_time().raw();
+    let end_t = ds.end_time().raw();
+    let store = fresh_store(&opts, "query_throughput");
+    let gm = GraphManager::build(&ds.events, GraphManagerConfig::default(), store)
+        .expect("index construction");
+    // Bind one key per client for the entity queries.
+    let shared = SharedGraphManager::new(gm);
+    let sample_nodes: Vec<u64> = {
+        let snap = ds.snapshot_at(Timestamp((start_t + end_t) / 2));
+        let mut ids: Vec<u64> = snap.node_ids().map(|n| n.raw()).collect();
+        ids.sort_unstable();
+        ids.truncate(clients.max(1));
+        ids
+    };
+
+    let server = serve(
+        shared,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            max_connections: clients + 2,
+        },
+    )
+    .expect("server start");
+    let addr = server.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let node = sample_nodes[c % sample_nodes.len()];
+            thread::spawn(move || {
+                let mut rng = Rng(0xC0FFEE ^ c as u64);
+                let mut client = Client::connect(addr).expect("connect");
+                let key = format!("bench{c}");
+                client.send_ok(&format!("BIND {key} {node}")).unwrap();
+                let span = (end_t - start_t).max(1);
+                let mut counts = [0u64; QUERY_CLASSES.len()];
+                let mut issued = 0u64;
+                // Appends must use non-decreasing, post-history timestamps.
+                let mut append_t = end_t + 1;
+                while !stop.load(Ordering::Relaxed) {
+                    let t1 = start_t + (rng.next() % span as u64) as i64;
+                    let t2 = start_t + (rng.next() % span as u64) as i64;
+                    let (lo, hi) = (t1.min(t2), t1.max(t2).max(t1.min(t2) + 1));
+                    let class = match rng.pick(20) {
+                        0..=7 => 0,   // 40% point
+                        8..=11 => 1,  // 20% multipoint
+                        12..=13 => 2, // 10% interval
+                        14..=15 => 3, // 10% diff
+                        16..=17 => 4, // 10% entity
+                        18 => 5,      // 5% stats
+                        _ => 6,       // 5% append
+                    };
+                    let request = match class {
+                        0 => format!("GET GRAPH AT {t1} WITH +node:all"),
+                        1 => format!("GET GRAPHS AT {lo}, {hi}"),
+                        2 => format!("GET GRAPH BETWEEN {lo} AND {hi}"),
+                        3 => format!("DIFF {hi} {lo}"),
+                        4 => format!("NODE {key} AT {t1}"),
+                        5 => "STATS".into(),
+                        _ => {
+                            append_t += 1;
+                            format!(
+                                "APPEND NODE {append_t} {}",
+                                1_000_000 + rng.next() % 100_000
+                            )
+                        }
+                    };
+                    match client.send(&request) {
+                        Ok(lines) if lines.first().is_some_and(|l| l.starts_with("OK")) => {
+                            counts[class] += 1;
+                        }
+                        Ok(_) | Err(_) => {}
+                    }
+                    issued += 1;
+                    if issued.is_multiple_of(64) {
+                        // Bound pool growth: drop this session's overlays.
+                        let _ = client.send("RELEASE ALL");
+                    }
+                }
+                counts
+            })
+        })
+        .collect();
+
+    let started = Instant::now();
+    thread::sleep(Duration::from_secs(seconds as u64));
+    stop.store(true, Ordering::Relaxed);
+    let all: Vec<[u64; QUERY_CLASSES.len()]> =
+        workers.into_iter().map(|w| w.join().unwrap()).collect();
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut rows = Vec::new();
+    let mut total = 0u64;
+    for (i, class) in QUERY_CLASSES.iter().enumerate() {
+        let n: u64 = all.iter().map(|c| c[i]).sum();
+        total += n;
+        rows.push(vec![
+            class.to_string(),
+            n.to_string(),
+            format!("{:.0}", n as f64 / elapsed),
+        ]);
+    }
+    rows.push(vec![
+        "total".into(),
+        total.to_string(),
+        format!("{:.0}", total as f64 / elapsed),
+    ]);
+    print_table(
+        "histql server throughput",
+        &["class", "queries", "qps"],
+        &rows,
+    );
+}

@@ -141,7 +141,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .map(|(i, c)| format!("{:>width$}", c, width = widths[i] + 2))
             .collect::<String>()
     };
-    println!("{}", fmt_row(header.iter().map(|s| s.to_string()).collect()));
+    println!(
+        "{}",
+        fmt_row(header.iter().map(|s| s.to_string()).collect())
+    );
     for row in rows {
         println!("{}", fmt_row(row.clone()));
     }

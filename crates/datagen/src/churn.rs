@@ -71,10 +71,8 @@ pub fn churn_trace(cfg: &ChurnConfig) -> Dataset {
     // Track alive edges (with endpoints) and known nodes so that deletion
     // events are well formed.
     let final_base = base.final_snapshot();
-    let mut alive: Vec<(EdgeId, NodeId, NodeId)> = final_base
-        .edges()
-        .map(|(e, d)| (e, d.src, d.dst))
-        .collect();
+    let mut alive: Vec<(EdgeId, NodeId, NodeId)> =
+        final_base.edges().map(|(e, d)| (e, d.src, d.dst)).collect();
     alive.sort_by_key(|(e, _, _)| *e);
     let nodes: Vec<NodeId> = {
         let mut v: Vec<NodeId> = final_base.node_ids().collect();
@@ -166,7 +164,10 @@ mod tests {
         assert!(adds > 0, "expected churn additions");
         assert!(dels > 0, "expected churn deletions");
         // roughly balanced (within a factor of two)
-        assert!(adds < dels * 2 && dels < adds * 2, "adds={adds} dels={dels}");
+        assert!(
+            adds < dels * 2 && dels < adds * 2,
+            "adds={adds} dels={dels}"
+        );
     }
 
     #[test]

@@ -109,7 +109,13 @@ pub fn dblp_like(cfg: &DblpConfig) -> Dataset {
         events.push(Event::new(time, tgraph::EventKind::AddNode { node: id }));
         for key in attr_keys.iter().take(cfg.attrs_per_node) {
             let value = AttrValue::Int(rng.gen_range(0..1_000_000));
-            events.push(Event::set_node_attr(time, id, key.clone(), None, Some(value)));
+            events.push(Event::set_node_attr(
+                time,
+                id,
+                key.clone(),
+                None,
+                Some(value),
+            ));
         }
         pool.push(id);
         id

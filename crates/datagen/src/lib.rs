@@ -87,7 +87,13 @@ pub fn toy_trace() -> Dataset {
         Event::set_node_attr(4, 1, "name", None, Some(AttrValue::from("alice"))),
         Event::add_node(5, 3),
         Event::add_edge(6, 101, 2, 3),
-        Event::set_node_attr(7, 1, "name", Some(AttrValue::from("alice")), Some(AttrValue::from("alicia"))),
+        Event::set_node_attr(
+            7,
+            1,
+            "name",
+            Some(AttrValue::from("alice")),
+            Some(AttrValue::from("alicia")),
+        ),
         Event::delete_edge(8, 100, 1, 2),
         Event::transient_edge(9, 3, 1, Some(AttrValue::from("ping"))),
         Event::add_edge(10, 102, 1, 3),

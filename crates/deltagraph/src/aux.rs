@@ -332,9 +332,8 @@ impl PathIndex {
     /// contain it for deletions).
     fn paths_through_edge(&self, graph: &Snapshot, u: NodeId, v: NodeId) -> Vec<Vec<NodeId>> {
         let mut out = Vec::new();
-        let neighbors = |n: NodeId| -> Vec<NodeId> {
-            graph.neighbors(n).iter().map(|(m, _)| *m).collect()
-        };
+        let neighbors =
+            |n: NodeId| -> Vec<NodeId> { graph.neighbors(n).iter().map(|(m, _)| *m).collect() };
         // Pattern x - u - v - y (edge in the middle).
         for x in neighbors(u) {
             if x == v {
@@ -384,8 +383,7 @@ impl PathIndex {
     ) -> Vec<AuxEvent> {
         let mut events = Vec::new();
         for path in self.paths_through_edge(graph, u, v) {
-            let labels: Option<Vec<String>> =
-                path.iter().map(|n| self.label(graph, *n)).collect();
+            let labels: Option<Vec<String>> = path.iter().map(|n| self.label(graph, *n)).collect();
             let Some(labels) = labels else { continue };
             // Canonicalize: a path and its reverse are the same undirected path.
             let reversed: Vec<NodeId> = path.iter().rev().copied().collect();
@@ -419,7 +417,11 @@ impl AuxIndex for PathIndex {
     ) -> Vec<AuxEvent> {
         match &event.kind {
             EventKind::AddEdge {
-                edge, src, dst, directed, ..
+                edge,
+                src,
+                dst,
+                directed,
+                ..
             } => {
                 // Evaluate against the graph *with* the new edge present.
                 let mut graph_after = graph_before.clone();
@@ -478,7 +480,8 @@ mod tests {
             Arc::new(MemStore::new()),
         )
         .unwrap();
-        dg.build_aux_index(Box::new(PathIndex::new("label"))).unwrap();
+        dg.build_aux_index(Box::new(PathIndex::new("label")))
+            .unwrap();
         dg
     }
 
@@ -538,9 +541,7 @@ mod tests {
         );
         let dg = build_with_path_index(&ds.events, 80);
         // Count matches over history for every key actually present at the end.
-        let final_aux = dg
-            .get_aux_snapshot("path-index", ds.end_time())
-            .unwrap();
+        let final_aux = dg.get_aux_snapshot("path-index", ds.end_time()).unwrap();
         assert!(!final_aux.is_empty(), "expected some 4-node paths");
         let (key, _) = final_aux.iter().next().unwrap().clone();
         let matches = dg.aux_history_values("path-index", &key).unwrap();

@@ -36,9 +36,7 @@ impl DeltaGraphBuilder {
 
     /// Builds the index over a complete historical event trace.
     pub fn build(self, events: &EventList) -> DgResult<DeltaGraph> {
-        self.config
-            .validate()
-            .map_err(DgError::InvalidParameter)?;
+        self.config.validate().map_err(DgError::InvalidParameter)?;
         if events.is_empty() {
             return Err(DgError::EmptyIndex);
         }
@@ -208,9 +206,7 @@ fn flush_pending(
         if pending[level].is_empty() {
             level += 1;
             if level >= pending.len() {
-                return Err(DgError::NoPlan(
-                    "construction produced no root node".into(),
-                ));
+                return Err(DgError::NoPlan("construction produced no root node".into()));
             }
             continue;
         }
@@ -305,21 +301,15 @@ mod tests {
 
     #[test]
     fn empty_trace_is_rejected() {
-        let res = DeltaGraphBuilder::new(
-            DeltaGraphConfig::default(),
-            Arc::new(MemStore::new()),
-        )
-        .build(&EventList::new());
+        let res = DeltaGraphBuilder::new(DeltaGraphConfig::default(), Arc::new(MemStore::new()))
+            .build(&EventList::new());
         assert!(matches!(res, Err(DgError::EmptyIndex)));
     }
 
     #[test]
     fn invalid_config_is_rejected() {
-        let res = DeltaGraphBuilder::new(
-            DeltaGraphConfig::new(0, 2),
-            Arc::new(MemStore::new()),
-        )
-        .build(&toy_trace().events);
+        let res = DeltaGraphBuilder::new(DeltaGraphConfig::new(0, 2), Arc::new(MemStore::new()))
+            .build(&toy_trace().events);
         assert!(matches!(res, Err(DgError::InvalidParameter(_))));
     }
 
@@ -398,10 +388,7 @@ mod tests {
             intervals.first().unwrap().start,
             initial_leaf_time(&ds.events).unwrap()
         );
-        assert_eq!(
-            intervals.last().unwrap().end,
-            ds.events.end_time().unwrap()
-        );
+        assert_eq!(intervals.last().unwrap().end, ds.events.end_time().unwrap());
     }
 
     #[test]

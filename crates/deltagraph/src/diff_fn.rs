@@ -131,9 +131,7 @@ impl DifferentialFunction {
                 .iter()
                 .skip(1)
                 .fold(children[0].clone(), |acc, c| acc.union(c)),
-            DifferentialFunction::Skewed { r } => {
-                mixed_combine(children, r, r)
-            }
+            DifferentialFunction::Skewed { r } => mixed_combine(children, r, r),
             DifferentialFunction::Mixed { r1, r2 } => mixed_combine(children, r1, r2),
             DifferentialFunction::Balanced => mixed_combine(children, 0.5, 0.5),
             DifferentialFunction::RightSkewed { r } => {
@@ -220,13 +218,21 @@ fn apply_sampled(target: &mut Snapshot, delta: &Delta, add_frac: f64, del_frac: 
         }
     }
     for a in &delta.node_attrs {
-        let frac = if a.value.is_some() { add_frac } else { del_frac };
+        let frac = if a.value.is_some() {
+            add_frac
+        } else {
+            del_frac
+        };
         if selected(attr_key(a.id.raw() ^ NODE_SALT, &a.key), frac) && target.has_node(a.id) {
             let _ = target.set_node_attr(a.id, &a.key, a.value.clone());
         }
     }
     for a in &delta.edge_attrs {
-        let frac = if a.value.is_some() { add_frac } else { del_frac };
+        let frac = if a.value.is_some() {
+            add_frac
+        } else {
+            del_frac
+        };
         if selected(attr_key(a.id.raw() ^ EDGE_SALT, &a.key), frac) && target.has_edge(a.id) {
             let _ = target.set_edge_attr(a.id, &a.key, a.value.clone());
         }
@@ -322,7 +328,10 @@ mod tests {
         let min = cs.iter().map(Snapshot::element_count).min().unwrap();
         let max = cs.iter().map(Snapshot::element_count).max().unwrap();
         let got = p.element_count();
-        assert!(got >= min / 2 && got <= max, "size {got} not within [{min}/2, {max}]");
+        assert!(
+            got >= min / 2 && got <= max,
+            "size {got} not within [{min}/2, {max}]"
+        );
     }
 
     #[test]
@@ -367,8 +376,12 @@ mod tests {
 
     #[test]
     fn validation_rules() {
-        assert!(DifferentialFunction::Mixed { r1: 0.5, r2: 0.6 }.validate().is_err());
-        assert!(DifferentialFunction::Mixed { r1: 0.6, r2: 0.5 }.validate().is_ok());
+        assert!(DifferentialFunction::Mixed { r1: 0.5, r2: 0.6 }
+            .validate()
+            .is_err());
+        assert!(DifferentialFunction::Mixed { r1: 0.6, r2: 0.5 }
+            .validate()
+            .is_ok());
         assert!(DifferentialFunction::Skewed { r: -0.1 }.validate().is_err());
         assert!(DifferentialFunction::Intersection.validate().is_ok());
     }

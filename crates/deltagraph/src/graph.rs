@@ -204,9 +204,11 @@ impl DeltaGraph {
         for (i, leaf) in leaves.iter().enumerate() {
             if i > 0 {
                 let interval = &intervals[i - 1];
-                let events =
-                    self.payloads
-                        .read_eventlist(interval.eventlist_id, &AttrOptions::all(), false)?;
+                let events = self.payloads.read_eventlist(
+                    interval.eventlist_id,
+                    &AttrOptions::all(),
+                    false,
+                )?;
                 events.apply_all_forward(&mut graph)?;
             }
             if !self.materialized.contains_key(leaf) {
@@ -234,7 +236,10 @@ impl DeltaGraph {
 
     /// Approximate memory held by materialized graphs, in bytes.
     pub fn materialized_memory(&self) -> usize {
-        self.materialized.values().map(Snapshot::approx_memory).sum()
+        self.materialized
+            .values()
+            .map(Snapshot::approx_memory)
+            .sum()
     }
 
     /// Indices of currently materialized nodes.
@@ -271,6 +276,25 @@ impl DeltaGraph {
     /// eventlist. Once the recent eventlist reaches the leaf size `L`, it is
     /// folded into the index as a new leaf.
     pub fn append_event(&mut self, event: Event) -> DgResult<()> {
+        // Validate chronology before touching the current graph: the recent
+        // list would reject the event below, but by then `apply_forward` has
+        // already mutated `current`, leaving an event in the graph that no
+        // eventlist records. When the recent list is empty (right after a
+        // leaf fold, or after build), the bound is the end of indexed
+        // history — otherwise an out-of-order event would create a leaf
+        // interval that ends before it starts.
+        let bound = self
+            .recent
+            .end_time()
+            .or_else(|| self.skeleton.history_end().ok());
+        if let Some(last) = bound {
+            if event.time < last {
+                return Err(DgError::Model(tgraph::TgError::InvalidEvent(format!(
+                    "event at {} appended after event at {last}",
+                    event.time
+                ))));
+            }
+        }
         self.current.apply_forward(&event)?;
         self.recent.push(event).map_err(DgError::Model)?;
         if self.recent.len() >= self.config.leaf_size {
@@ -383,6 +407,33 @@ impl DeltaGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn out_of_order_appends_are_rejected_even_across_leaf_folds() {
+        let (ds, mut dg) = small_index();
+        let end = ds.end_time().raw();
+        let leaf = dg.config().leaf_size;
+        // Fill exactly one leaf so the recent list is folded and left empty,
+        // then try to append into the past: the chronology guard must hold
+        // against the indexed history, not just the (now empty) recent list.
+        for i in 0..leaf {
+            dg.append_event(Event::add_node(end + 1, 900_000 + i as u64))
+                .unwrap();
+        }
+        assert!(dg.recent_events().is_empty(), "leaf fold should have fired");
+        let before = dg.current_graph().clone();
+        let err = dg
+            .append_event(Event::add_node(end - 1, 999_999))
+            .unwrap_err();
+        assert!(err.to_string().contains("appended after"), "{err}");
+        assert_eq!(
+            *dg.current_graph(),
+            before,
+            "rejected event must not mutate"
+        );
+        // Equal-to-boundary times remain legal, as for EventList::push.
+        dg.append_event(Event::add_node(end + 1, 999_998)).unwrap();
+    }
     use crate::diff_fn::DifferentialFunction;
     use datagen::{dblp_like, DblpConfig};
     use kvstore::MemStore;
@@ -457,7 +508,7 @@ mod tests {
     }
 
     #[test]
-    fn materialize_current_leaf_matches_last_leaf_state(){
+    fn materialize_current_leaf_matches_last_leaf_state() {
         let (ds, mut dg) = small_index();
         let last = dg.materialize_current_leaf().unwrap();
         let leaf_time = dg.skeleton().node(last).unwrap().time.unwrap();

@@ -22,7 +22,12 @@ pub struct DynamicsModel {
 
 impl DynamicsModel {
     /// Creates a model; fractions must satisfy `δ* + ρ* <= 1`.
-    pub fn new(insert_fraction: f64, delete_fraction: f64, initial_size: f64, total_events: f64) -> Self {
+    pub fn new(
+        insert_fraction: f64,
+        delete_fraction: f64,
+        initial_size: f64,
+        total_events: f64,
+    ) -> Self {
         assert!(insert_fraction >= 0.0 && delete_fraction >= 0.0);
         assert!(
             insert_fraction + delete_fraction <= 1.0 + 1e-9,
@@ -176,7 +181,11 @@ mod tests {
     /// A constant-rate trace: every event adds a node (growing-only),
     /// `δ* = 1`, `ρ* = 0`.
     fn growing_trace(n: usize) -> EventList {
-        EventList::from_events((0..n).map(|i| Event::add_node(i as i64, i as u64)).collect())
+        EventList::from_events(
+            (0..n)
+                .map(|i| Event::add_node(i as i64, i as u64))
+                .collect(),
+        )
     }
 
     /// A constant-size trace with long-lived elements: after a warm-up that
@@ -187,8 +196,9 @@ mod tests {
     fn churn_trace(n: usize) -> EventList {
         use std::collections::VecDeque;
         let n_u = n as u64;
-        let mut events: Vec<Event> =
-            (0..n).map(|i| Event::add_node(i as i64, i as u64)).collect();
+        let mut events: Vec<Event> = (0..n)
+            .map(|i| Event::add_node(i as i64, i as u64))
+            .collect();
         let mut t = n as i64;
         let mut alive: VecDeque<(u64, u64, u64)> = VecDeque::new();
         let mut next_edge = 0u64;
@@ -298,8 +308,8 @@ mod tests {
                 measured_changes += delta.change_count() as f64;
             }
         }
-        let predicted = balanced::total_delta_space(&model, arity, leaf_size)
-            + balanced::root_size(&model);
+        let predicted =
+            balanced::total_delta_space(&model, arity, leaf_size) + balanced::root_size(&model);
         assert!(
             measured_changes < predicted * 3.0 && measured_changes > predicted / 3.0,
             "measured {measured_changes:.0} elements vs predicted {predicted:.0}"

@@ -14,9 +14,7 @@
 //!   of the same machinery.
 
 use tgraph::fxhash::{FxHashMap, FxHashSet};
-use tgraph::{
-    AttrOptions, Event, EventKind, EventList, Snapshot, TimeExpression, Timestamp,
-};
+use tgraph::{AttrOptions, Event, EventKind, EventList, Snapshot, TimeExpression, Timestamp};
 
 use crate::error::{DgError, DgResult};
 use crate::graph::DeltaGraph;
@@ -168,9 +166,9 @@ impl DeltaGraph {
             if interval.end < start || interval.start >= end {
                 continue;
             }
-            let events = self
-                .payloads
-                .read_eventlist(interval.eventlist_id, &AttrOptions::all(), true)?;
+            let events =
+                self.payloads
+                    .read_eventlist(interval.eventlist_id, &AttrOptions::all(), true)?;
             consume(events.events())?;
         }
         consume(self.recent.events())?;
@@ -209,7 +207,12 @@ impl DeltaGraph {
     // Singlepoint planning and execution
     // ------------------------------------------------------------------
 
-    fn plan_point(&self, interval_idx: usize, t: Timestamp, opts: &AttrOptions) -> DgResult<PointPlan> {
+    fn plan_point(
+        &self,
+        interval_idx: usize,
+        t: Timestamp,
+        opts: &AttrOptions,
+    ) -> DgResult<PointPlan> {
         let best = self.skeleton.dijkstra(&self.skeleton.plan_sources(), opts);
         let interval = &self.skeleton.intervals()[interval_idx];
 
@@ -422,15 +425,33 @@ impl DeltaGraph {
             let (leaf, anchor) = match (left, right) {
                 (Some(l), Some(r)) => {
                     if (l as f64 + list_weight * frac) <= (r as f64 + list_weight * (1.0 - frac)) {
-                        (interval.left_leaf, Anchor::Forward { interval: interval_idx })
+                        (
+                            interval.left_leaf,
+                            Anchor::Forward {
+                                interval: interval_idx,
+                            },
+                        )
                     } else {
-                        (interval.right_leaf, Anchor::Backward { interval: interval_idx })
+                        (
+                            interval.right_leaf,
+                            Anchor::Backward {
+                                interval: interval_idx,
+                            },
+                        )
                     }
                 }
-                (Some(_), None) => (interval.left_leaf, Anchor::Forward { interval: interval_idx }),
-                (None, Some(_)) => {
-                    (interval.right_leaf, Anchor::Backward { interval: interval_idx })
-                }
+                (Some(_), None) => (
+                    interval.left_leaf,
+                    Anchor::Forward {
+                        interval: interval_idx,
+                    },
+                ),
+                (None, Some(_)) => (
+                    interval.right_leaf,
+                    Anchor::Backward {
+                        interval: interval_idx,
+                    },
+                ),
                 (None, None) => {
                     return Err(DgError::NoPlan(format!(
                         "neither leaf of interval {interval_idx} is reachable"
@@ -511,14 +532,15 @@ impl DeltaGraph {
         let Some(children) = tree_children.get(&node) else {
             return Ok(());
         };
+        let mut graph = Some(graph);
         for (i, &edge_idx) in children.iter().enumerate() {
             let edge = self.skeleton.edge(edge_idx).clone();
-            // The last child may consume the parent graph; earlier children
+            // The last child consumes the parent graph; earlier children
             // work on clones.
             let mut child_graph = if i + 1 == children.len() {
-                graph.clone()
+                graph.take().expect("parent graph consumed early")
             } else {
-                graph.clone()
+                graph.as_ref().expect("parent graph consumed early").clone()
             };
             self.apply_edge_payload(&mut child_graph, &edge, opts, cache)?;
             self.walk_tree(
@@ -681,7 +703,10 @@ mod tests {
 
         let oracle = ds.snapshot_at(t);
         assert_eq!(full, oracle);
-        assert_eq!(structure, oracle.project_attrs(&AttrOptions::structure_only()));
+        assert_eq!(
+            structure,
+            oracle.project_attrs(&AttrOptions::structure_only())
+        );
         assert!(
             structure_read < full_read,
             "structure-only read {structure_read} bytes, full read {full_read}"
@@ -695,7 +720,8 @@ mod tests {
         let opts = AttrOptions::parse("+node:name").unwrap();
         let snap = dg.get_snapshot(Timestamp(7), &opts).unwrap();
         assert_eq!(
-            snap.node_attr(tgraph::NodeId(1), "name").and_then(|v| v.as_str()),
+            snap.node_attr(tgraph::NodeId(1), "name")
+                .and_then(|v| v.as_str()),
             Some("alicia")
         );
         // structure matches the oracle even though other attributes are dropped
@@ -841,7 +867,10 @@ mod tests {
         let plan = dg.plan_snapshot(t, &AttrOptions::all()).unwrap().unwrap();
         assert!(!plan.path.is_empty());
         assert!(plan.estimated_cost > 0);
-        assert!(matches!(plan.anchor, Anchor::Forward { .. } | Anchor::Backward { .. }));
+        assert!(matches!(
+            plan.anchor,
+            Anchor::Forward { .. } | Anchor::Backward { .. }
+        ));
         // out-of-range plans are None
         assert!(dg
             .plan_snapshot(Timestamp(end.raw() + 10), &AttrOptions::all())
@@ -863,7 +892,9 @@ mod tests {
         let old = dg.get_snapshot(Timestamp(10), &AttrOptions::all()).unwrap();
         assert!(!old.has_node(tgraph::NodeId(555)));
         // force integration and re-check
-        let more: Vec<Event> = (0..4).map(|i| Event::add_node(22 + i, 600 + i as u64)).collect();
+        let more: Vec<Event> = (0..4)
+            .map(|i| Event::add_node(22 + i, 600 + i as u64))
+            .collect();
         dg.append_events(more).unwrap();
         let snap = dg.get_snapshot(Timestamp(26), &AttrOptions::all()).unwrap();
         assert!(snap.has_node(tgraph::NodeId(603)));

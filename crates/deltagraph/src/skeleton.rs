@@ -333,9 +333,7 @@ impl Skeleton {
             return Ok(Location::AfterLastLeaf);
         }
         // binary search over interval end times
-        let i = self
-            .intervals
-            .partition_point(|iv| iv.end <= t);
+        let i = self.intervals.partition_point(|iv| iv.end <= t);
         if i < self.intervals.len() {
             Ok(Location::Interval(i))
         } else {
@@ -361,19 +359,19 @@ impl Skeleton {
         let mut best: Vec<Option<(usize, Option<usize>)>> = vec![None; self.nodes.len()];
         let mut heap: BinaryHeap<Reverse<(usize, NodeIdx)>> = BinaryHeap::new();
         for &(src, cost) in sources {
-            if best[src].map_or(true, |(c, _)| cost < c) {
+            if best[src].is_none_or(|(c, _)| cost < c) {
                 best[src] = Some((cost, None));
                 heap.push(Reverse((cost, src)));
             }
         }
         while let Some(Reverse((cost, node))) = heap.pop() {
-            if best[node].map_or(false, |(c, _)| cost > c) {
+            if best[node].is_some_and(|(c, _)| cost > c) {
                 continue;
             }
             for &edge_idx in &self.out[node] {
                 let edge = &self.edges[edge_idx];
                 let next_cost = cost + edge.weights.for_options(opts);
-                if best[edge.to].map_or(true, |(c, _)| next_cost < c) {
+                if best[edge.to].is_none_or(|(c, _)| next_cost < c) {
                     best[edge.to] = Some((next_cost, Some(edge_idx)));
                     heap.push(Reverse((next_cost, edge.to)));
                 }
@@ -453,10 +451,30 @@ mod tests {
         s.add_edge(p, l0, EdgePayload::Delta { delta_id: 101 }, w(10));
         s.add_edge(p, l1, EdgePayload::Delta { delta_id: 102 }, w(12));
         s.add_edge(p, l2, EdgePayload::Delta { delta_id: 103 }, w(80));
-        s.add_edge(l0, l1, EdgePayload::EventsForward { eventlist_id: 200 }, w(6));
-        s.add_edge(l1, l0, EdgePayload::EventsBackward { eventlist_id: 200 }, w(6));
-        s.add_edge(l1, l2, EdgePayload::EventsForward { eventlist_id: 201 }, w(6));
-        s.add_edge(l2, l1, EdgePayload::EventsBackward { eventlist_id: 201 }, w(6));
+        s.add_edge(
+            l0,
+            l1,
+            EdgePayload::EventsForward { eventlist_id: 200 },
+            w(6),
+        );
+        s.add_edge(
+            l1,
+            l0,
+            EdgePayload::EventsBackward { eventlist_id: 200 },
+            w(6),
+        );
+        s.add_edge(
+            l1,
+            l2,
+            EdgePayload::EventsForward { eventlist_id: 201 },
+            w(6),
+        );
+        s.add_edge(
+            l2,
+            l1,
+            EdgePayload::EventsBackward { eventlist_id: 201 },
+            w(6),
+        );
         s.add_interval(LeafInterval {
             eventlist_id: 200,
             left_leaf: l0,
@@ -513,8 +531,14 @@ mod tests {
         assert_eq!(cost_l2, 68);
         let path = s.path_to(&best, 2).unwrap();
         assert_eq!(path.len(), 3);
-        assert_eq!(s.edge(path[0]).payload, EdgePayload::Delta { delta_id: 100 });
-        assert_eq!(s.edge(path[1]).payload, EdgePayload::Delta { delta_id: 102 });
+        assert_eq!(
+            s.edge(path[0]).payload,
+            EdgePayload::Delta { delta_id: 100 }
+        );
+        assert_eq!(
+            s.edge(path[1]).payload,
+            EdgePayload::Delta { delta_id: 102 }
+        );
         assert_eq!(
             s.edge(path[2]).payload,
             EdgePayload::EventsForward { eventlist_id: 201 }

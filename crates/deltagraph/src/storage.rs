@@ -27,7 +27,11 @@ pub struct PayloadStore {
 
 impl PayloadStore {
     /// Creates a payload store over `store` with the given partitioning.
-    pub fn new(store: Arc<dyn KeyValueStore>, partitioner: NodePartitioner, threads: usize) -> Self {
+    pub fn new(
+        store: Arc<dyn KeyValueStore>,
+        partitioner: NodePartitioner,
+        threads: usize,
+    ) -> Self {
         PayloadStore {
             store,
             partitioner,
@@ -71,20 +75,26 @@ impl PayloadStore {
             if !part.structure.is_empty() {
                 let bytes = part.structure.to_bytes();
                 weights.structure += bytes.len();
-                self.store
-                    .put(StoreKey::new(partition, id, ComponentKind::Structure), &bytes)?;
+                self.store.put(
+                    StoreKey::new(partition, id, ComponentKind::Structure),
+                    &bytes,
+                )?;
             }
             if !part.node_attrs.is_empty() {
                 let bytes = part.node_attrs.to_bytes();
                 weights.node_attr += bytes.len();
-                self.store
-                    .put(StoreKey::new(partition, id, ComponentKind::NodeAttr), &bytes)?;
+                self.store.put(
+                    StoreKey::new(partition, id, ComponentKind::NodeAttr),
+                    &bytes,
+                )?;
             }
             if !part.edge_attrs.is_empty() {
                 let bytes = part.edge_attrs.to_bytes();
                 weights.edge_attr += bytes.len();
-                self.store
-                    .put(StoreKey::new(partition, id, ComponentKind::EdgeAttr), &bytes)?;
+                self.store.put(
+                    StoreKey::new(partition, id, ComponentKind::EdgeAttr),
+                    &bytes,
+                )?;
             }
         }
         Ok(weights)
@@ -250,14 +260,18 @@ impl PayloadStore {
             let mut handles = Vec::new();
             for (ci, ks) in keys.chunks(chunk).enumerate() {
                 let store = &self.store;
-                handles.push((ci, scope.spawn(move || {
-                    ks.iter()
-                        .map(|k| store.get(*k))
-                        .collect::<Vec<_>>()
-                })));
+                handles.push((
+                    ci,
+                    scope.spawn(move || ks.iter().map(|k| store.get(*k)).collect::<Vec<_>>()),
+                ));
             }
             for (ci, handle) in handles {
-                for (j, res) in handle.join().expect("fetch worker panicked").into_iter().enumerate() {
+                for (j, res) in handle
+                    .join()
+                    .expect("fetch worker panicked")
+                    .into_iter()
+                    .enumerate()
+                {
                     match res {
                         Ok(v) => results[ci * chunk + j] = v,
                         Err(e) => first_err = Some(e),
@@ -402,10 +416,13 @@ mod tests {
             to.ensure_node(NodeId(n));
         }
         for e in 0..10u64 {
-            to.add_edge(EdgeId(e), NodeId(e), NodeId(e + 1), false).unwrap();
+            to.add_edge(EdgeId(e), NodeId(e), NodeId(e + 1), false)
+                .unwrap();
         }
-        to.set_node_attr(NodeId(1), "name", Some(AttrValue::from("x"))).unwrap();
-        to.set_edge_attr(EdgeId(2), "w", Some(AttrValue::Int(5))).unwrap();
+        to.set_node_attr(NodeId(1), "name", Some(AttrValue::from("x")))
+            .unwrap();
+        to.set_edge_attr(EdgeId(2), "w", Some(AttrValue::Int(5)))
+            .unwrap();
         Delta::between(&from, &to)
     }
 
@@ -492,7 +509,10 @@ mod tests {
             .read_eventlist(11, &AttrOptions::structure_only(), false)
             .unwrap();
         assert_eq!(structure.len(), 4);
-        assert!(structure.events().iter().all(|e| e.category() == EventCategory::Structure));
+        assert!(structure
+            .events()
+            .iter()
+            .all(|e| e.category() == EventCategory::Structure));
     }
 
     #[test]

@@ -37,7 +37,7 @@ impl BitMap {
     pub fn get(&self, i: usize) -> bool {
         self.words
             .get(i / 64)
-            .map_or(false, |w| w & (1u64 << (i % 64)) != 0)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
     }
 
     /// `true` if no bit is set.

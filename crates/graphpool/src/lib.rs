@@ -29,7 +29,8 @@ mod tests {
             s.ensure_node(NodeId(i));
         }
         for i in 0..n {
-            s.add_edge(EdgeId(i), NodeId(i), NodeId(i + 1), false).unwrap();
+            s.add_edge(EdgeId(i), NodeId(i), NodeId(i + 1), false)
+                .unwrap();
         }
         s
     }
@@ -68,7 +69,8 @@ mod tests {
         let mut hist = base.clone();
         hist.remove_edge(EdgeId(3)).unwrap();
         hist.ensure_node(NodeId(999));
-        hist.add_edge(EdgeId(900), NodeId(999), NodeId(0), false).unwrap();
+        hist.add_edge(EdgeId(900), NodeId(999), NodeId(0), false)
+            .unwrap();
 
         let dependent = pool.add_historical_dependent(&hist, Timestamp(5), materialized);
         let plain = pool.add_historical(&hist, Timestamp(5));
@@ -124,10 +126,12 @@ mod tests {
         let mut pool = GraphPool::new();
         let mut s1 = Snapshot::new();
         s1.ensure_node(NodeId(1));
-        s1.set_node_attr(NodeId(1), "rank", Some(tgraph::AttrValue::Int(10))).unwrap();
+        s1.set_node_attr(NodeId(1), "rank", Some(tgraph::AttrValue::Int(10)))
+            .unwrap();
         let mut s2 = Snapshot::new();
         s2.ensure_node(NodeId(1));
-        s2.set_node_attr(NodeId(1), "rank", Some(tgraph::AttrValue::Int(20))).unwrap();
+        s2.set_node_attr(NodeId(1), "rank", Some(tgraph::AttrValue::Int(20)))
+            .unwrap();
         let g1 = pool.add_historical(&s1, Timestamp(1));
         let g2 = pool.add_historical(&s2, Timestamp(2));
         assert_eq!(

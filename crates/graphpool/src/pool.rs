@@ -207,14 +207,14 @@ impl GraphPool {
     pub fn contains_node(&self, id: GraphId, node: NodeId) -> bool {
         self.nodes
             .get(&node)
-            .map_or(false, |n| self.member(&n.bm, id))
+            .is_some_and(|n| self.member(&n.bm, id))
     }
 
     /// Whether `edge` belongs to graph `id`.
     pub fn contains_edge(&self, id: GraphId, edge: EdgeId) -> bool {
         self.edges
             .get(&edge)
-            .map_or(false, |e| self.member(&e.bm, id))
+            .is_some_and(|e| self.member(&e.bm, id))
     }
 
     /// The value of `node`'s attribute `key` in graph `id`, if any.
@@ -301,7 +301,12 @@ impl GraphPool {
         }
     }
 
-    fn overlay_with_bits(&mut self, snapshot: &Snapshot, member_bit: usize, exception_bit: Option<usize>) {
+    fn overlay_with_bits(
+        &mut self,
+        snapshot: &Snapshot,
+        member_bit: usize,
+        exception_bit: Option<usize>,
+    ) {
         for (node, data) in snapshot.nodes() {
             let pool_node = self.ensure_node(node);
             pool_node.bm.set(member_bit, true);
@@ -680,11 +685,7 @@ impl GraphPool {
         self.edges.get(&edge).map(|e| (e.src, e.dst, e.directed))
     }
 
-    pub(crate) fn node_attrs_for(
-        &self,
-        id: GraphId,
-        node: NodeId,
-    ) -> Vec<(String, AttrValue)> {
+    pub(crate) fn node_attrs_for(&self, id: GraphId, node: NodeId) -> Vec<(String, AttrValue)> {
         let Some(n) = self.nodes.get(&node) else {
             return Vec::new();
         };
@@ -699,11 +700,7 @@ impl GraphPool {
             .collect()
     }
 
-    pub(crate) fn edge_attrs_for(
-        &self,
-        id: GraphId,
-        edge: EdgeId,
-    ) -> Vec<(String, AttrValue)> {
+    pub(crate) fn edge_attrs_for(&self, id: GraphId, edge: EdgeId) -> Vec<(String, AttrValue)> {
         let Some(e) = self.edges.get(&edge) else {
             return Vec::new();
         };

@@ -178,9 +178,15 @@ mod tests {
         let id = pool.add_historical(&original, Timestamp(7));
         let view = pool.view(id);
         assert_eq!(view.to_snapshot(), original);
-        assert_eq!(view.node_attr(NodeId(1), "name"), Some(&AttrValue::from("n1")));
+        assert_eq!(
+            view.node_attr(NodeId(1), "name"),
+            Some(&AttrValue::from("n1"))
+        );
         assert_eq!(view.edge_attr(EdgeId(5), "w"), Some(&AttrValue::Int(3)));
-        assert_eq!(view.edge_endpoints(EdgeId(5)), Some((NodeId(1), NodeId(2), false)));
+        assert_eq!(
+            view.edge_endpoints(EdgeId(5)),
+            Some((NodeId(1), NodeId(2), false))
+        );
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! The `histql` error type.
+
+use std::fmt;
+
+use deltagraph::DgError;
+use tgraph::TgError;
+
+/// Result alias for query parsing and execution.
+pub type QlResult<T> = std::result::Result<T, QlError>;
+
+/// Errors raised while lexing, parsing, or executing a `histql` query.
+#[derive(Debug)]
+pub enum QlError {
+    /// The query text is malformed; the message names the offending token
+    /// and its position.
+    Parse(String),
+    /// The query is well formed but cannot be executed (unknown key, time
+    /// before history, storage failure, ...).
+    Exec(String),
+}
+
+impl QlError {
+    /// A parse error at a character offset.
+    pub fn parse_at(offset: usize, msg: impl fmt::Display) -> Self {
+        QlError::Parse(format!("at offset {offset}: {msg}"))
+    }
+}
+
+impl fmt::Display for QlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QlError::Parse(msg) => write!(f, "parse error: {msg}"),
+            QlError::Exec(msg) => write!(f, "execution error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QlError {}
+
+impl From<DgError> for QlError {
+    fn from(e: DgError) -> Self {
+        QlError::Exec(e.to_string())
+    }
+}
+
+impl From<TgError> for QlError {
+    fn from(e: TgError) -> Self {
+        QlError::Exec(e.to_string())
+    }
+}

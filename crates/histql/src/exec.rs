@@ -1,0 +1,364 @@
+//! Query execution over a [`SharedGraphManager`].
+//!
+//! The executor is the read/write split in action: snapshot computation runs
+//! under the shared read lock (many executors run concurrently), while
+//! overlays, appends, binds, and releases take the write lock briefly. Every
+//! retrieved graph is overlaid onto the GraphPool through the executor's
+//! [`PoolSession`], so dropping the executor (a client disconnecting)
+//! releases everything it retrieved.
+
+use historygraph::{PoolSession, SharedGraphManager};
+use tgraph::{AttrOptions, NodeId, TimeExpression, Timestamp};
+
+use crate::ast::Query;
+use crate::error::{QlError, QlResult};
+use crate::parser::parse;
+use crate::wire::{HistorySample, Response};
+
+/// Upper bound on `HISTORY NODE` samples per query, so a tiny `STEP` over a
+/// huge range cannot run the server out of memory.
+pub const MAX_HISTORY_SAMPLES: usize = 64;
+
+/// Executes parsed queries against one shared store.
+pub struct Executor {
+    shared: SharedGraphManager,
+    session: PoolSession,
+}
+
+impl Executor {
+    /// Creates an executor (one per client session).
+    pub fn new(shared: SharedGraphManager) -> Self {
+        let session = shared.session();
+        Executor { shared, session }
+    }
+
+    /// Pool handles this executor's session currently tracks.
+    pub fn session_handles(&self) -> &[graphpool::GraphId] {
+        self.session.handles()
+    }
+
+    /// Parses and executes one query line.
+    pub fn execute_line(&mut self, line: &str) -> QlResult<Response> {
+        let query = parse(line)?;
+        self.execute(&query)
+    }
+
+    /// Executes one parsed query.
+    pub fn execute(&mut self, query: &Query) -> QlResult<Response> {
+        match query {
+            Query::GetGraphAt { t, attrs } => {
+                let opts = AttrOptions::parse(attrs)?;
+                let graph = self.shared.snapshot_at(*t, &opts)?;
+                self.session.overlay(&graph, *t);
+                Ok(Response::Graph { t: *t, graph })
+            }
+            Query::GetGraphsAt { times, attrs } => {
+                let opts = AttrOptions::parse(attrs)?;
+                let snaps = self.shared.snapshots_at(times, &opts)?;
+                let items: Vec<_> = times.iter().copied().zip(snaps).collect();
+                for (t, graph) in &items {
+                    self.session.overlay(graph, *t);
+                }
+                Ok(Response::Graphs { items })
+            }
+            Query::GetGraphBetween { start, end, attrs } => {
+                let opts = AttrOptions::parse(attrs)?;
+                let (graph, transients) = self.shared.snapshot_interval(*start, *end, &opts)?;
+                self.session.overlay(&graph, *start);
+                Ok(Response::Interval {
+                    start: *start,
+                    end: *end,
+                    graph,
+                    transients,
+                })
+            }
+            Query::GetGraphMatching { expr, attrs } => {
+                let opts = AttrOptions::parse(attrs)?;
+                let tex = expr.to_time_expression()?;
+                self.execute_expr(&tex, &opts)
+            }
+            Query::Diff { a, b, attrs } => {
+                let opts = AttrOptions::parse(attrs)?;
+                let tex = TimeExpression::diff(*a, *b);
+                self.execute_expr(&tex, &opts)
+            }
+            Query::NodeAt { key, t } => {
+                let node = self.resolve(key)?;
+                let snap = self.shared.snapshot_at(*t, &AttrOptions::all())?;
+                let present = snap.has_node(node);
+                let attrs = snap
+                    .node(node)
+                    .map(|d| {
+                        d.attrs
+                            .iter()
+                            .map(|(k, v)| (k.clone(), v.clone()))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let mut neighbors: Vec<_> = snap.neighbors(node).to_vec();
+                neighbors.sort_unstable();
+                Ok(Response::Node {
+                    key: key.clone(),
+                    node,
+                    t: *t,
+                    present,
+                    attrs,
+                    neighbors,
+                })
+            }
+            Query::NodeHistory {
+                key,
+                from,
+                to,
+                step,
+            } => {
+                let node = self.resolve(key)?;
+                if to < from {
+                    return Err(QlError::Exec(format!(
+                        "empty history range: {} > {}",
+                        from.raw(),
+                        to.raw()
+                    )));
+                }
+                let span = to.raw().checked_sub(from.raw()).ok_or_else(|| {
+                    QlError::Exec("history range exceeds the representable span".into())
+                })?;
+                let step = step.unwrap_or_else(|| (span / 8).max(1));
+                let count = (span / step) as usize + 1;
+                if count > MAX_HISTORY_SAMPLES {
+                    return Err(QlError::Exec(format!(
+                        "{count} samples exceed the limit of {MAX_HISTORY_SAMPLES}; raise STEP"
+                    )));
+                }
+                let times: Vec<Timestamp> = (0..count as i64)
+                    .map(|i| Timestamp(from.raw() + i * step))
+                    .collect();
+                // Multipoint retrieval: the Steiner planner shares deltas
+                // across the samples.
+                let snaps = self.shared.snapshots_at(&times, &AttrOptions::all())?;
+                let samples = times
+                    .iter()
+                    .zip(&snaps)
+                    .map(|(&t, snap)| HistorySample {
+                        t,
+                        present: snap.has_node(node),
+                        degree: snap.degree(node),
+                        attrs: snap
+                            .node(node)
+                            .map(|d| {
+                                d.attrs
+                                    .iter()
+                                    .map(|(k, v)| (k.clone(), v.clone()))
+                                    .collect()
+                            })
+                            .unwrap_or_default(),
+                    })
+                    .collect();
+                Ok(Response::History {
+                    key: key.clone(),
+                    node,
+                    from: *from,
+                    to: *to,
+                    step,
+                    samples,
+                })
+            }
+            Query::Stats => {
+                let stats = self.shared.read().stats();
+                Ok(Response::Stats {
+                    leaves: stats.leaves,
+                    interior: stats.interior_nodes,
+                    height: stats.height,
+                    stored_bytes: stats.stored_bytes,
+                    materialized_nodes: stats.materialized_nodes,
+                    materialized_bytes: stats.materialized_bytes,
+                    recent_events: stats.recent_events,
+                })
+            }
+            Query::Append(spec) => {
+                let mut gm = self.shared.write();
+                let event = spec.to_event(gm.index().current_graph());
+                gm.append_event(event)?;
+                Ok(Response::Appended { t: spec.time() })
+            }
+            Query::Bind { key, node } => {
+                self.shared.write().register_key(key.clone(), NodeId(*node));
+                Ok(Response::Bound {
+                    key: key.clone(),
+                    node: *node,
+                })
+            }
+            Query::ReleaseAll => {
+                // Scoped to this session's own overlays: in a multi-session
+                // server, releasing pool-wide would pull graphs out from
+                // under concurrent connections.
+                let count = self.session.release_now();
+                Ok(Response::Released { count })
+            }
+            Query::Ping => Ok(Response::Pong),
+        }
+    }
+
+    fn execute_expr(&mut self, tex: &TimeExpression, opts: &AttrOptions) -> QlResult<Response> {
+        let anchor = *tex
+            .times
+            .last()
+            .ok_or_else(|| QlError::Exec("time expression references no time points".into()))?;
+        let graph = self.shared.snapshot_expr(tex, opts)?;
+        self.session.overlay(&graph, anchor);
+        Ok(Response::Graph { t: anchor, graph })
+    }
+
+    fn resolve(&self, key: &str) -> QlResult<NodeId> {
+        self.shared
+            .read()
+            .resolve_key(key)
+            .ok_or_else(|| QlError::Exec(format!("unknown key {key:?} (use BIND first)")))
+    }
+}
+
+// Re-exported here so `Executor::session_handles` has a nameable type without
+// forcing callers to depend on graphpool directly.
+pub use graphpool::GraphId;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use historygraph::{GraphManager, GraphManagerConfig};
+    use tgraph::Timestamp;
+
+    fn executor() -> (Executor, SharedGraphManager) {
+        let gm = GraphManager::build_in_memory(
+            &datagen::toy_trace().events,
+            GraphManagerConfig::default(),
+        )
+        .unwrap();
+        let shared = SharedGraphManager::new(gm);
+        (Executor::new(shared.clone()), shared)
+    }
+
+    fn run(exec: &mut Executor, line: &str) -> String {
+        exec.execute_line(line)
+            .unwrap_or_else(|e| panic!("{line:?}: {e}"))
+            .to_text()
+    }
+
+    #[test]
+    fn point_query_matches_direct_retrieval() {
+        let (mut exec, shared) = executor();
+        let text = run(&mut exec, "GET GRAPH AT 6 WITH +node:all+edge:all");
+        let direct = shared
+            .snapshot_at(Timestamp(6), &AttrOptions::all())
+            .unwrap();
+        let expected = crate::wire::Response::Graph {
+            t: Timestamp(6),
+            graph: direct,
+        }
+        .to_text();
+        assert_eq!(text, expected);
+        assert_eq!(exec.session_handles().len(), 1);
+    }
+
+    #[test]
+    fn diff_equals_matching_sugar() {
+        let (mut exec, _shared) = executor();
+        let diff = run(&mut exec, "DIFF 6 9");
+        let matching = run(&mut exec, "GET GRAPH MATCHING 6 AND NOT 9");
+        assert_eq!(diff, matching);
+    }
+
+    #[test]
+    fn node_and_history_use_the_key_table() {
+        let (mut exec, _shared) = executor();
+        let err = exec.execute_line("NODE alice AT 6").unwrap_err();
+        assert!(err.to_string().contains("unknown key"), "{err}");
+        run(&mut exec, "BIND alice 1");
+        let node = run(&mut exec, "NODE alice AT 6");
+        assert!(
+            node.starts_with("OK NODE \"alice\" id=1 t=6 present=true"),
+            "{node}"
+        );
+        let hist = run(&mut exec, "HISTORY NODE alice FROM 0 TO 10 STEP 2");
+        assert!(hist.contains("samples=6"), "{hist}");
+        assert_eq!(hist.lines().filter(|l| l.starts_with("H ")).count(), 6);
+    }
+
+    #[test]
+    fn history_sample_cap_is_enforced() {
+        let (mut exec, _shared) = executor();
+        run(&mut exec, "BIND alice 1");
+        let err = exec
+            .execute_line("HISTORY NODE alice FROM 0 TO 1000000 STEP 1")
+            .unwrap_err();
+        assert!(err.to_string().contains("raise STEP"), "{err}");
+    }
+
+    #[test]
+    fn appends_are_queryable_and_stats_move() {
+        let (mut exec, _shared) = executor();
+        let before = run(&mut exec, "STATS");
+        run(&mut exec, "APPEND NODE 20 777");
+        run(&mut exec, "APPEND EDGE 21 500 777 1 DIRECTED");
+        run(&mut exec, "APPEND NODEATTR 22 777 name \"new\"");
+        let after = run(&mut exec, "STATS");
+        assert_ne!(before, after);
+        let g = run(&mut exec, "GET GRAPH AT 22 WITH +node:all+edge:all");
+        assert!(g.contains("N 777 name=\"new\""), "{g}");
+        assert!(g.contains("E 500 777 1 d"), "{g}");
+    }
+
+    #[test]
+    fn empty_time_expression_is_surfaced() {
+        // Built directly (the parser cannot produce an empty expression).
+        let expr = crate::ast::TimeExpr::At(Timestamp(3));
+        assert!(expr.to_time_expression().is_ok());
+        let (mut exec, _shared) = executor();
+        let q = Query::GetGraphMatching {
+            expr: crate::ast::TimeExpr::Not(Box::new(crate::ast::TimeExpr::At(Timestamp(3)))),
+            attrs: String::new(),
+        };
+        // NOT 3 has a time point, so it executes (complement against union).
+        assert!(exec.execute(&q).is_ok());
+    }
+
+    #[test]
+    fn release_all_clears_overlays() {
+        let (mut exec, shared) = executor();
+        run(&mut exec, "GET GRAPH AT 3");
+        run(&mut exec, "GET GRAPH AT 9");
+        assert_eq!(shared.read().pool().active_overlay_count(), 2);
+        let released = run(&mut exec, "RELEASE ALL");
+        assert_eq!(released, "OK RELEASED 2");
+        assert_eq!(shared.read().pool().active_overlay_count(), 0);
+    }
+
+    #[test]
+    fn release_all_is_scoped_to_the_issuing_session() {
+        let (mut exec, shared) = executor();
+        let mut other = Executor::new(shared.clone());
+        run(&mut other, "GET GRAPH AT 6");
+        run(&mut exec, "GET GRAPH AT 3");
+        assert_eq!(shared.read().pool().active_overlay_count(), 2);
+        // exec releases only its own overlay; other's survives.
+        assert_eq!(run(&mut exec, "RELEASE ALL"), "OK RELEASED 1");
+        assert_eq!(shared.read().pool().active_overlay_count(), 1);
+        assert_eq!(other.session_handles().len(), 1);
+        assert!(exec.session_handles().is_empty());
+        drop(other);
+        assert_eq!(shared.read().pool().active_overlay_count(), 0);
+    }
+
+    #[test]
+    fn history_span_overflow_is_an_error_not_a_panic() {
+        let (mut exec, _shared) = executor();
+        run(&mut exec, "BIND alice 1");
+        let err = exec
+            .execute_line(&format!(
+                "HISTORY NODE alice FROM {} TO {} STEP 1",
+                i64::MIN,
+                i64::MAX
+            ))
+            .unwrap_err();
+        assert!(err.to_string().contains("representable span"), "{err}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Hand-written lexer for `histql`.
+//!
+//! The token set is small: signed integer and float literals, double-quoted
+//! strings with backslash escapes, bare words (keywords, identifiers, and
+//! attribute-option strings like `+node:all-node:salary`), commas, and
+//! parentheses. Words are lexed as a maximal run of word characters and then
+//! classified, so `-5` is an integer while `-node:all` is a word.
+
+use crate::error::{QlError, QlResult};
+
+/// One lexical token, tagged with its byte offset for diagnostics.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// A signed integer literal.
+    Int(i64),
+    /// A float literal (contains `.`, `e`, or `E`).
+    Float(f64),
+    /// A double-quoted string, unescaped.
+    Str(String),
+    /// A bare word: keyword, identifier, or attribute-options string.
+    Word(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+}
+
+impl Token {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Int(v) => format!("integer {v}"),
+            Token::Float(v) => format!("float {v}"),
+            Token::Str(s) => format!("string {s:?}"),
+            Token::Word(w) => format!("'{w}'"),
+            Token::Comma => "','".into(),
+            Token::LParen => "'('".into(),
+            Token::RParen => "')'".into(),
+        }
+    }
+}
+
+/// A token plus the byte offset where it starts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset in the input line.
+    pub offset: usize,
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '+' | '-' | ':' | '.' | '*' | '/' | '@')
+}
+
+/// Tokenizes one query line.
+pub fn lex(input: &str) -> QlResult<Vec<Spanned>> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            ',' => {
+                tokens.push(Spanned {
+                    token: Token::Comma,
+                    offset: i,
+                });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Spanned {
+                    token: Token::LParen,
+                    offset: i,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Spanned {
+                    token: Token::RParen,
+                    offset: i,
+                });
+                i += 1;
+            }
+            '"' => {
+                let (s, next) = lex_string(input, i)?;
+                tokens.push(Spanned {
+                    token: Token::Str(s),
+                    offset: i,
+                });
+                i = next;
+            }
+            c if is_word_char(c) => {
+                let start = i;
+                while i < bytes.len() && is_word_char(bytes[i] as char) {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                tokens.push(Spanned {
+                    token: classify_word(word),
+                    offset: start,
+                });
+            }
+            c => {
+                return Err(QlError::parse_at(i, format!("unexpected character '{c}'")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// A word that parses as a number is a number; everything else stays a word
+/// (this is what lets `-5` be an integer while `-node:all` is an
+/// attribute-options string).
+fn classify_word(word: &str) -> Token {
+    if let Ok(v) = word.parse::<i64>() {
+        return Token::Int(v);
+    }
+    if word.contains(['.', 'e', 'E']) && !word.contains(':') {
+        if let Ok(v) = word.parse::<f64>() {
+            return Token::Float(v);
+        }
+    }
+    Token::Word(word.to_string())
+}
+
+fn lex_string(input: &str, start: usize) -> QlResult<(String, usize)> {
+    let mut out = String::new();
+    let mut chars = input[start + 1..].char_indices();
+    while let Some((j, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, start + 1 + j + 1)),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, other)) => {
+                    return Err(QlError::parse_at(
+                        start + 1 + j,
+                        format!("unknown escape '\\{other}'"),
+                    ))
+                }
+                None => break,
+            },
+            c => out.push(c),
+        }
+    }
+    Err(QlError::parse_at(start, "unterminated string literal"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Token> {
+        lex(input).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn words_numbers_and_attr_options() {
+        assert_eq!(
+            toks("GET GRAPH AT -5 WITH +node:all-node:salary"),
+            vec![
+                Token::Word("GET".into()),
+                Token::Word("GRAPH".into()),
+                Token::Word("AT".into()),
+                Token::Int(-5),
+                Token::Word("WITH".into()),
+                Token::Word("+node:all-node:salary".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn floats_strings_and_punctuation() {
+        assert_eq!(
+            toks(r#"1.5 "a \"b\"" (3, 4)"#),
+            vec![
+                Token::Float(1.5),
+                Token::Str("a \"b\"".into()),
+                Token::LParen,
+                Token::Int(3),
+                Token::Comma,
+                Token::Int(4),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = lex("GET %").unwrap_err();
+        assert!(err.to_string().contains("offset 4"), "{err}");
+        assert!(lex("\"open").is_err());
+    }
+}

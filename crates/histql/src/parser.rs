@@ -1,0 +1,401 @@
+//! Hand-written recursive-descent parser for `histql`.
+//!
+//! See the crate docs for the full grammar. Keywords are case-insensitive;
+//! the canonical form produced by [`Query`]'s `Display` uses upper case.
+
+use tgraph::{AttrOptions, AttrValue, Timestamp};
+
+use crate::ast::{AppendSpec, Query, TimeExpr};
+use crate::error::{QlError, QlResult};
+use crate::lexer::{lex, Spanned, Token};
+
+/// Parses one query line.
+pub fn parse(input: &str) -> QlResult<Query> {
+    let tokens = lex(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        end: input.len(),
+    };
+    let query = p.parse_query()?;
+    p.expect_eof()?;
+    Ok(query)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn parse_query(&mut self) -> QlResult<Query> {
+        let verb = self.next_keyword("a query verb")?;
+        match verb.as_str() {
+            "GET" => self.parse_get(),
+            "DIFF" => {
+                let a = self.next_time()?;
+                let b = self.next_time()?;
+                let attrs = self.parse_with()?;
+                Ok(Query::Diff { a, b, attrs })
+            }
+            "NODE" => {
+                let key = self.next_key()?;
+                self.expect_keyword("AT")?;
+                let t = self.next_time()?;
+                Ok(Query::NodeAt { key, t })
+            }
+            "HISTORY" => {
+                self.expect_keyword("NODE")?;
+                let key = self.next_key()?;
+                self.expect_keyword("FROM")?;
+                let from = self.next_time()?;
+                self.expect_keyword("TO")?;
+                let to = self.next_time()?;
+                let step = if self.eat_keyword("STEP") {
+                    let s = self.next_int()?;
+                    if s <= 0 {
+                        return Err(self.error_here("STEP must be positive"));
+                    }
+                    Some(s)
+                } else {
+                    None
+                };
+                Ok(Query::NodeHistory {
+                    key,
+                    from,
+                    to,
+                    step,
+                })
+            }
+            "STATS" => Ok(Query::Stats),
+            "APPEND" => self.parse_append(),
+            "BIND" => {
+                let key = self.next_key()?;
+                let node = self.next_id()?;
+                Ok(Query::Bind { key, node })
+            }
+            "RELEASE" => {
+                self.expect_keyword("ALL")?;
+                Ok(Query::ReleaseAll)
+            }
+            "PING" => Ok(Query::Ping),
+            other => Err(self.error_here(format!(
+                "unknown verb '{other}' (expected GET, DIFF, NODE, HISTORY, STATS, APPEND, BIND, RELEASE, or PING)"
+            ))),
+        }
+    }
+
+    fn parse_get(&mut self) -> QlResult<Query> {
+        let noun = self.next_keyword("GRAPH or GRAPHS")?;
+        match noun.as_str() {
+            "GRAPH" => {
+                let kind = self.next_keyword("AT, BETWEEN, or MATCHING")?;
+                match kind.as_str() {
+                    "AT" => {
+                        let t = self.next_time()?;
+                        let attrs = self.parse_with()?;
+                        Ok(Query::GetGraphAt { t, attrs })
+                    }
+                    "BETWEEN" => {
+                        let start = self.next_time()?;
+                        self.expect_keyword("AND")?;
+                        let end = self.next_time()?;
+                        let attrs = self.parse_with()?;
+                        Ok(Query::GetGraphBetween { start, end, attrs })
+                    }
+                    "MATCHING" => {
+                        let expr = self.parse_time_expr()?;
+                        let attrs = self.parse_with()?;
+                        Ok(Query::GetGraphMatching { expr, attrs })
+                    }
+                    other => Err(self.error_here(format!(
+                        "expected AT, BETWEEN, or MATCHING after GET GRAPH, found '{other}'"
+                    ))),
+                }
+            }
+            "GRAPHS" => {
+                self.expect_keyword("AT")?;
+                let mut times = vec![self.next_time()?];
+                while self.eat(&Token::Comma) {
+                    times.push(self.next_time()?);
+                }
+                let attrs = self.parse_with()?;
+                Ok(Query::GetGraphsAt { times, attrs })
+            }
+            other => Err(self.error_here(format!(
+                "expected GRAPH or GRAPHS after GET, found '{other}'"
+            ))),
+        }
+    }
+
+    fn parse_append(&mut self) -> QlResult<Query> {
+        let kind = self.next_keyword("an event kind")?;
+        let t = self.next_time()?;
+        let spec = match kind.as_str() {
+            "NODE" => AppendSpec::Node {
+                t,
+                node: self.next_id()?,
+            },
+            "DELNODE" => AppendSpec::DelNode {
+                t,
+                node: self.next_id()?,
+            },
+            "EDGE" | "DELEDGE" => {
+                let edge = self.next_id()?;
+                let src = self.next_id()?;
+                let dst = self.next_id()?;
+                let directed = self.eat_keyword("DIRECTED");
+                if kind == "EDGE" {
+                    AppendSpec::Edge {
+                        t,
+                        edge,
+                        src,
+                        dst,
+                        directed,
+                    }
+                } else {
+                    AppendSpec::DelEdge {
+                        t,
+                        edge,
+                        src,
+                        dst,
+                        directed,
+                    }
+                }
+            }
+            "NODEATTR" | "EDGEATTR" => {
+                let id = self.next_id()?;
+                let name = self.next_key()?;
+                let value = self.next_value()?;
+                if kind == "NODEATTR" {
+                    AppendSpec::NodeAttr {
+                        t,
+                        node: id,
+                        name,
+                        value,
+                    }
+                } else {
+                    AppendSpec::EdgeAttr {
+                        t,
+                        edge: id,
+                        name,
+                        value,
+                    }
+                }
+            }
+            other => {
+                return Err(self.error_here(format!(
+                    "unknown APPEND kind '{other}' (expected NODE, DELNODE, EDGE, DELEDGE, NODEATTR, or EDGEATTR)"
+                )))
+            }
+        };
+        Ok(Query::Append(spec))
+    }
+
+    // --- time expressions -------------------------------------------------
+
+    fn parse_time_expr(&mut self) -> QlResult<TimeExpr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> QlResult<TimeExpr> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("OR") {
+            let right = self.parse_and()?;
+            left = TimeExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> QlResult<TimeExpr> {
+        let mut left = self.parse_unary()?;
+        while self.eat_keyword("AND") {
+            let right = self.parse_unary()?;
+            left = TimeExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> QlResult<TimeExpr> {
+        if self.eat_keyword("NOT") {
+            return Ok(TimeExpr::Not(Box::new(self.parse_unary()?)));
+        }
+        if self.eat(&Token::LParen) {
+            let inner = self.parse_time_expr()?;
+            if !self.eat(&Token::RParen) {
+                return Err(self.error_here("expected ')'"));
+            }
+            return Ok(inner);
+        }
+        Ok(TimeExpr::At(self.next_time()?))
+    }
+
+    // --- primitive helpers ------------------------------------------------
+
+    /// `WITH <attr options>` — validated eagerly so malformed option strings
+    /// fail at parse time, but the raw text is kept for display.
+    fn parse_with(&mut self) -> QlResult<String> {
+        if !self.eat_keyword("WITH") {
+            return Ok(String::new());
+        }
+        let offset = self.offset_here();
+        let raw = match self.next() {
+            Some(Token::Word(w)) => w,
+            Some(Token::Str(s)) => s,
+            other => {
+                return Err(QlError::parse_at(
+                    offset,
+                    format!(
+                        "expected an attribute-options string after WITH, found {}",
+                        describe(other)
+                    ),
+                ))
+            }
+        };
+        AttrOptions::parse(&raw)
+            .map_err(|e| QlError::parse_at(offset, format!("bad attribute options: {e}")))?;
+        Ok(raw)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn offset_here(&self) -> usize {
+        self.tokens.get(self.pos).map_or(self.end, |s| s.offset)
+    }
+
+    fn error_here(&self, msg: impl std::fmt::Display) -> QlError {
+        // Point at the token *before* the cursor when we just consumed it.
+        let offset = self
+            .tokens
+            .get(self.pos.saturating_sub(1))
+            .map_or(self.end, |s| s.offset);
+        QlError::parse_at(offset, msg)
+    }
+
+    fn eat(&mut self, token: &Token) -> bool {
+        if self.tokens.get(self.pos).map(|s| &s.token) == Some(token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        match self.tokens.get(self.pos).map(|s| &s.token) {
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case(kw) => {
+                self.pos += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> QlResult<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            let offset = self.offset_here();
+            Err(QlError::parse_at(
+                offset,
+                format!(
+                    "expected {kw}, found {}",
+                    describe(self.tokens.get(self.pos).map(|s| s.token.clone()))
+                ),
+            ))
+        }
+    }
+
+    fn next_keyword(&mut self, what: &str) -> QlResult<String> {
+        let offset = self.offset_here();
+        match self.next() {
+            Some(Token::Word(w)) => Ok(w.to_ascii_uppercase()),
+            other => Err(QlError::parse_at(
+                offset,
+                format!("expected {what}, found {}", describe(other)),
+            )),
+        }
+    }
+
+    fn next_int(&mut self) -> QlResult<i64> {
+        let offset = self.offset_here();
+        match self.next() {
+            Some(Token::Int(v)) => Ok(v),
+            other => Err(QlError::parse_at(
+                offset,
+                format!("expected an integer, found {}", describe(other)),
+            )),
+        }
+    }
+
+    fn next_time(&mut self) -> QlResult<Timestamp> {
+        let offset = self.offset_here();
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Timestamp(v)),
+            other => Err(QlError::parse_at(
+                offset,
+                format!("expected a timestamp, found {}", describe(other)),
+            )),
+        }
+    }
+
+    fn next_id(&mut self) -> QlResult<u64> {
+        let offset = self.offset_here();
+        match self.next() {
+            Some(Token::Int(v)) if v >= 0 => Ok(v as u64),
+            other => Err(QlError::parse_at(
+                offset,
+                format!("expected a non-negative id, found {}", describe(other)),
+            )),
+        }
+    }
+
+    fn next_key(&mut self) -> QlResult<String> {
+        let offset = self.offset_here();
+        match self.next() {
+            Some(Token::Word(w)) => Ok(w),
+            Some(Token::Str(s)) => Ok(s),
+            other => Err(QlError::parse_at(
+                offset,
+                format!("expected a key, found {}", describe(other)),
+            )),
+        }
+    }
+
+    fn next_value(&mut self) -> QlResult<AttrValue> {
+        let offset = self.offset_here();
+        match self.next() {
+            Some(Token::Int(v)) => Ok(AttrValue::Int(v)),
+            Some(Token::Float(v)) => Ok(AttrValue::Float(v)),
+            Some(Token::Str(s)) => Ok(AttrValue::Str(s)),
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("TRUE") => Ok(AttrValue::Bool(true)),
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("FALSE") => Ok(AttrValue::Bool(false)),
+            other => Err(QlError::parse_at(
+                offset,
+                format!("expected a value literal, found {}", describe(other)),
+            )),
+        }
+    }
+
+    fn expect_eof(&mut self) -> QlResult<()> {
+        if let Some(s) = self.tokens.get(self.pos) {
+            Err(QlError::parse_at(
+                s.offset,
+                format!("unexpected trailing {}", s.token.describe()),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+fn describe(token: Option<Token>) -> String {
+    token.map_or_else(|| "end of input".into(), |t| t.describe())
+}

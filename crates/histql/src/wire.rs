@@ -1,0 +1,409 @@
+//! The `histql` wire format: responses as lines of text.
+//!
+//! Every response is a sequence of lines; the first starts with `OK` (the
+//! server adds a final `END` sentinel, and renders failures as `ERR <msg>`).
+//! Graphs serialize deterministically — nodes and edges sorted by id,
+//! attributes sorted by name — so two executions of the same query over the
+//! same history produce byte-identical responses. That determinism is what
+//! the end-to-end tests compare against direct [`GraphManager`]
+//! execution.
+//!
+//! [`GraphManager`]: historygraph::GraphManager
+
+use tgraph::{AttrValue, Event, EventKind, NodeId, Snapshot, Timestamp};
+
+use crate::ast::{fmt_value, quote};
+
+/// The result of executing one [`crate::Query`].
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// A single retrieved graph (point, expression, or diff query).
+    Graph {
+        /// The query's time point (the anchor, for expression queries).
+        t: Timestamp,
+        /// The retrieved snapshot.
+        graph: Snapshot,
+    },
+    /// Several graphs from one multipoint query.
+    Graphs {
+        /// `(time, snapshot)` per queried point, in query order.
+        items: Vec<(Timestamp, Snapshot)>,
+    },
+    /// An interval graph plus the window's transient events.
+    Interval {
+        /// Start of the window (inclusive).
+        start: Timestamp,
+        /// End of the window (exclusive).
+        end: Timestamp,
+        /// Elements valid during the window.
+        graph: Snapshot,
+        /// Transient (message) events inside the window.
+        transients: Vec<Event>,
+    },
+    /// One entity's state at one time.
+    Node {
+        /// The queried application key.
+        key: String,
+        /// The resolved internal id.
+        node: NodeId,
+        /// The queried time point.
+        t: Timestamp,
+        /// Whether the node exists at `t`.
+        present: bool,
+        /// Attribute values, sorted by name.
+        attrs: Vec<(String, AttrValue)>,
+        /// Adjacent `(neighbor, edge)` pairs, sorted.
+        neighbors: Vec<(NodeId, tgraph::EdgeId)>,
+    },
+    /// One entity's evolution over a sampled time range.
+    History {
+        /// The queried application key.
+        key: String,
+        /// The resolved internal id.
+        node: NodeId,
+        /// First sampled time.
+        from: Timestamp,
+        /// Last sampled time.
+        to: Timestamp,
+        /// The sampling stride used.
+        step: i64,
+        /// One sample per line, chronological.
+        samples: Vec<HistorySample>,
+    },
+    /// Index statistics.
+    Stats {
+        /// Leaf count of the DeltaGraph.
+        leaves: usize,
+        /// Interior node count.
+        interior: usize,
+        /// Hierarchy height.
+        height: u32,
+        /// Persisted payload bytes.
+        stored_bytes: u64,
+        /// Materialized skeleton nodes.
+        materialized_nodes: usize,
+        /// Bytes of materialized in-memory graphs.
+        materialized_bytes: usize,
+        /// Events newer than the last indexed leaf.
+        recent_events: usize,
+    },
+    /// An `APPEND` was applied.
+    Appended {
+        /// The event's time.
+        t: Timestamp,
+    },
+    /// A `BIND` registered a key.
+    Bound {
+        /// The registered key.
+        key: String,
+        /// The node id it maps to.
+        node: u64,
+    },
+    /// A `RELEASE ALL` released this many overlays.
+    Released {
+        /// Number of overlays released.
+        count: usize,
+    },
+    /// Reply to `PING`.
+    Pong,
+}
+
+/// One row of a `HISTORY NODE` response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistorySample {
+    /// The sampled time point.
+    pub t: Timestamp,
+    /// Whether the node exists at `t`.
+    pub present: bool,
+    /// The node's degree at `t`.
+    pub degree: usize,
+    /// Attribute values at `t`, sorted by name.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+impl Response {
+    /// Renders the response as protocol lines (without the `END` sentinel).
+    pub fn to_lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        match self {
+            Response::Graph { t, graph } => {
+                out.push(format!(
+                    "OK GRAPH t={} nodes={} edges={}",
+                    t.raw(),
+                    graph.node_count(),
+                    graph.edge_count()
+                ));
+                push_graph_body(&mut out, graph);
+            }
+            Response::Graphs { items } => {
+                out.push(format!("OK GRAPHS count={}", items.len()));
+                for (t, graph) in items {
+                    out.push(format!(
+                        "GRAPH t={} nodes={} edges={}",
+                        t.raw(),
+                        graph.node_count(),
+                        graph.edge_count()
+                    ));
+                    push_graph_body(&mut out, graph);
+                }
+            }
+            Response::Interval {
+                start,
+                end,
+                graph,
+                transients,
+            } => {
+                out.push(format!(
+                    "OK INTERVAL start={} end={} nodes={} edges={} transients={}",
+                    start.raw(),
+                    end.raw(),
+                    graph.node_count(),
+                    graph.edge_count(),
+                    transients.len()
+                ));
+                push_graph_body(&mut out, graph);
+                for ev in transients {
+                    out.push(format!("T {}", fmt_event(ev)));
+                }
+            }
+            Response::Node {
+                key,
+                node,
+                t,
+                present,
+                attrs,
+                neighbors,
+            } => {
+                out.push(format!(
+                    "OK NODE {} id={} t={} present={} degree={}",
+                    quote(key),
+                    node.raw(),
+                    t.raw(),
+                    present,
+                    neighbors.len()
+                ));
+                for (name, value) in attrs {
+                    out.push(format!("A {}={}", fmt_attr_name(name), fmt_value(value)));
+                }
+                for (nbr, edge) in neighbors {
+                    out.push(format!("ADJ {} {}", nbr.raw(), edge.raw()));
+                }
+            }
+            Response::History {
+                key,
+                node,
+                from,
+                to,
+                step,
+                samples,
+            } => {
+                out.push(format!(
+                    "OK HISTORY {} id={} from={} to={} step={} samples={}",
+                    quote(key),
+                    node.raw(),
+                    from.raw(),
+                    to.raw(),
+                    step,
+                    samples.len()
+                ));
+                for s in samples {
+                    let mut line = format!(
+                        "H t={} present={} degree={}",
+                        s.t.raw(),
+                        s.present,
+                        s.degree
+                    );
+                    for (name, value) in &s.attrs {
+                        line.push_str(&format!(" {}={}", fmt_attr_name(name), fmt_value(value)));
+                    }
+                    out.push(line);
+                }
+            }
+            Response::Stats {
+                leaves,
+                interior,
+                height,
+                stored_bytes,
+                materialized_nodes,
+                materialized_bytes,
+                recent_events,
+            } => {
+                out.push(format!(
+                    "OK STATS leaves={leaves} interior={interior} height={height} \
+                     stored_bytes={stored_bytes} materialized_nodes={materialized_nodes} \
+                     materialized_bytes={materialized_bytes} recent_events={recent_events}"
+                ));
+            }
+            Response::Appended { t } => out.push(format!("OK APPENDED t={}", t.raw())),
+            Response::Bound { key, node } => out.push(format!("OK BOUND {} {node}", quote(key))),
+            Response::Released { count } => out.push(format!("OK RELEASED {count}")),
+            Response::Pong => out.push("OK PONG".into()),
+        }
+        out
+    }
+
+    /// The response as one newline-joined string.
+    pub fn to_text(&self) -> String {
+        self.to_lines().join("\n")
+    }
+}
+
+/// Renders an attribute name: bare when it is a plain identifier, quoted
+/// otherwise — so names containing spaces, `=`, or control characters (which
+/// would break the line framing) always round-trip safely.
+fn fmt_attr_name(name: &str) -> String {
+    let plain = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':'));
+    if plain {
+        name.to_string()
+    } else {
+        quote(name)
+    }
+}
+
+/// Appends the `N`/`E` lines of a graph: nodes then edges, sorted by id,
+/// attributes sorted by name (attribute maps are ordered already).
+fn push_graph_body(out: &mut Vec<String>, graph: &Snapshot) {
+    let mut nodes: Vec<_> = graph.nodes().collect();
+    nodes.sort_by_key(|(id, _)| *id);
+    for (id, data) in nodes {
+        let mut line = format!("N {}", id.raw());
+        for (name, value) in &data.attrs {
+            line.push_str(&format!(" {}={}", fmt_attr_name(name), fmt_value(value)));
+        }
+        out.push(line);
+    }
+    let mut edges: Vec<_> = graph.edges().collect();
+    edges.sort_by_key(|(id, _)| *id);
+    for (id, data) in edges {
+        let mut line = format!(
+            "E {} {} {} {}",
+            id.raw(),
+            data.src.raw(),
+            data.dst.raw(),
+            if data.directed { "d" } else { "u" }
+        );
+        for (name, value) in &data.attrs {
+            line.push_str(&format!(" {}={}", fmt_attr_name(name), fmt_value(value)));
+        }
+        out.push(line);
+    }
+}
+
+/// Renders one event (used for interval transients).
+fn fmt_event(ev: &Event) -> String {
+    let t = ev.time.raw();
+    match &ev.kind {
+        EventKind::AddNode { node } => format!("{t} ADDNODE {}", node.raw()),
+        EventKind::DeleteNode { node } => format!("{t} DELNODE {}", node.raw()),
+        EventKind::AddEdge {
+            edge,
+            src,
+            dst,
+            directed,
+        } => format!(
+            "{t} ADDEDGE {} {} {} {}",
+            edge.raw(),
+            src.raw(),
+            dst.raw(),
+            if *directed { "d" } else { "u" }
+        ),
+        EventKind::DeleteEdge {
+            edge,
+            src,
+            dst,
+            directed,
+        } => format!(
+            "{t} DELEDGE {} {} {} {}",
+            edge.raw(),
+            src.raw(),
+            dst.raw(),
+            if *directed { "d" } else { "u" }
+        ),
+        EventKind::SetNodeAttr { node, key, new, .. } => format!(
+            "{t} NODEATTR {} {}={}",
+            node.raw(),
+            fmt_attr_name(key),
+            new.as_ref().map_or("null".into(), fmt_value)
+        ),
+        EventKind::SetEdgeAttr { edge, key, new, .. } => format!(
+            "{t} EDGEATTR {} {}={}",
+            edge.raw(),
+            fmt_attr_name(key),
+            new.as_ref().map_or("null".into(), fmt_value)
+        ),
+        EventKind::TransientEdge { src, dst, payload } => {
+            let mut s = format!("{t} TEDGE {} {}", src.raw(), dst.raw());
+            if let Some(p) = payload {
+                s.push_str(&format!(" payload={}", fmt_value(p)));
+            }
+            s
+        }
+        EventKind::TransientNode { node, payload } => {
+            let mut s = format!("{t} TNODE {}", node.raw());
+            if let Some(p) = payload {
+                s.push_str(&format!(" payload={}", fmt_value(p)));
+            }
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph::EdgeId;
+
+    #[test]
+    fn graph_serialization_is_sorted_and_typed() {
+        let mut s = Snapshot::new();
+        s.ensure_node(NodeId(2));
+        s.ensure_node(NodeId(1));
+        s.add_edge(EdgeId(9), NodeId(1), NodeId(2), true).unwrap();
+        s.set_node_attr(NodeId(1), "name", Some(AttrValue::Str("a b".into())))
+            .unwrap();
+        s.set_edge_attr(EdgeId(9), "w", Some(AttrValue::Float(1.5)))
+            .unwrap();
+        let lines = Response::Graph {
+            t: Timestamp(6),
+            graph: s,
+        }
+        .to_lines();
+        assert_eq!(
+            lines,
+            vec![
+                "OK GRAPH t=6 nodes=2 edges=1",
+                "N 1 name=\"a b\"",
+                "N 2",
+                "E 9 1 2 d w=1.5",
+            ]
+        );
+    }
+
+    #[test]
+    fn hostile_attribute_names_cannot_break_line_framing() {
+        let mut s = Snapshot::new();
+        s.ensure_node(NodeId(1));
+        s.set_node_attr(NodeId(1), "x\nEND\nOK PONG", Some(AttrValue::Int(1)))
+            .unwrap();
+        s.set_node_attr(NodeId(1), "a b=c", Some(AttrValue::Int(2)))
+            .unwrap();
+        let lines = Response::Graph {
+            t: Timestamp(1),
+            graph: s,
+        }
+        .to_lines();
+        assert_eq!(lines.len(), 2, "one header + one node line: {lines:?}");
+        assert!(!lines.iter().any(|l| l == "END" || l == "OK PONG"));
+        assert!(lines[1].contains("\"a b=c\"=2"), "{lines:?}");
+        assert!(lines[1].contains("\"x\\nEND\\nOK PONG\"=1"), "{lines:?}");
+    }
+
+    #[test]
+    fn transient_events_render() {
+        let ev = Event::transient_edge(7, 1, 2, Some(AttrValue::Str("m".into())));
+        assert_eq!(fmt_event(&ev), "7 TEDGE 1 2 payload=\"m\"");
+    }
+}

@@ -197,10 +197,7 @@ impl DiskStore {
             let value = read_value(&mut inner.file, off, len)?;
             let record = build_record(key, Some(&value));
             tmp.write_all(&record)?;
-            new_index.insert(
-                key,
-                (new_tail + RECORD_HEADER_LEN as u64, len),
-            );
+            new_index.insert(key, (new_tail + RECORD_HEADER_LEN as u64, len));
             new_tail += record.len() as u64;
         }
         tmp.sync_data()?;
@@ -268,7 +265,11 @@ fn parse_record(
             "crc mismatch for {key:?} at offset {pos}"
         )));
     }
-    Ok(Some((key, Some((value_start as u64, value_len)), value_end)))
+    Ok(Some((
+        key,
+        Some((value_start as u64, value_len)),
+        value_end,
+    )))
 }
 
 fn read_value(file: &mut File, offset: u64, len: u32) -> StoreResult<Vec<u8>> {
@@ -359,10 +360,7 @@ mod tests {
     }
 
     fn tmpdir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "kvstore-test-{name}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("kvstore-test-{name}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir
     }

@@ -125,11 +125,15 @@ mod tests {
     #[test]
     fn distinct_components_are_distinct_keys() {
         let s = MemStore::new();
-        s.put(StoreKey::new(0, 1, ComponentKind::Structure), b"s").unwrap();
-        s.put(StoreKey::new(0, 1, ComponentKind::NodeAttr), b"n").unwrap();
+        s.put(StoreKey::new(0, 1, ComponentKind::Structure), b"s")
+            .unwrap();
+        s.put(StoreKey::new(0, 1, ComponentKind::NodeAttr), b"n")
+            .unwrap();
         assert_eq!(s.len(), 2);
         assert_eq!(
-            s.get(StoreKey::new(0, 1, ComponentKind::NodeAttr)).unwrap().as_deref(),
+            s.get(StoreKey::new(0, 1, ComponentKind::NodeAttr))
+                .unwrap()
+                .as_deref(),
             Some(&b"n"[..])
         );
     }

@@ -148,7 +148,6 @@ impl PartitionedStore {
                     continue;
                 }
                 let by_partition = &by_partition;
-                let keys = keys;
                 let partitions = &self.partitions;
                 handles.push((
                     worker,
@@ -321,7 +320,9 @@ mod tests {
         store
             .put(StoreKey::new(1, 1, ComponentKind::Structure), b"bbb")
             .unwrap();
-        store.get(StoreKey::new(0, 1, ComponentKind::Structure)).unwrap();
+        store
+            .get(StoreKey::new(0, 1, ComponentKind::Structure))
+            .unwrap();
         let stats = store.stats();
         assert_eq!(stats.puts, 2);
         assert_eq!(stats.bytes_written, 5);

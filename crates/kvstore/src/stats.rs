@@ -59,7 +59,8 @@ impl StoreStats {
     /// Records a `put` of `bytes` bytes.
     pub fn record_put(&self, bytes: usize) {
         self.puts.fetch_add(1, Ordering::Relaxed);
-        self.bytes_written.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Records a `delete`.

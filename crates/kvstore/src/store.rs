@@ -92,7 +92,7 @@ mod tests {
         assert!(e.to_string().contains("bad crc"));
         let e = StoreError::UnknownPartition(7);
         assert!(e.to_string().contains('7'));
-        let io: StoreError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        let io: StoreError = std::io::Error::other("x").into();
         assert!(io.to_string().contains("i/o"));
     }
 }

@@ -1,0 +1,67 @@
+//! Standalone `histql` snapshot server over a generated dataset.
+//!
+//! ```text
+//! cargo run --release -p server --bin histql_server -- \
+//!     [--addr 127.0.0.1:7171] [--toy | --churn] [--scale 1.0] [--max-conns 64]
+//! ```
+//!
+//! Prints the bound address on stdout, then serves until killed. Talk to it
+//! with any line client:
+//!
+//! ```text
+//! $ nc 127.0.0.1 7171
+//! GET GRAPH AT 6 WITH +node:all
+//! OK GRAPH t=6 nodes=3 edges=2
+//! ...
+//! END
+//! ```
+
+use historygraph::datagen::{churn_trace, toy_trace, ChurnConfig};
+use historygraph::{GraphManager, GraphManagerConfig, SharedGraphManager};
+use server::{serve, ServerConfig};
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:7171".into());
+    let max_connections = arg_value("--max-conns")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let scale: f64 = arg_value("--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let toy = std::env::args().any(|a| a == "--toy");
+
+    let (events, label) = if toy {
+        (toy_trace().events, "toy trace".to_string())
+    } else {
+        let ds = churn_trace(&ChurnConfig::default().scaled(scale * 0.1));
+        (ds.events, format!("churn trace (scale {scale})"))
+    };
+    eprintln!("building index over a {label} ({} events)...", events.len());
+    let gm = GraphManager::build_in_memory(&events, GraphManagerConfig::default())
+        .expect("index construction");
+    let (start, end) = gm.index().history_range().expect("non-empty history");
+    let server = serve(
+        SharedGraphManager::new(gm),
+        ServerConfig {
+            addr,
+            max_connections,
+        },
+    )
+    .expect("bind");
+    println!(
+        "histql server on {} — history [{start}, {end}]",
+        server.addr()
+    );
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,79 @@
+//! A tiny blocking client for the `histql` line protocol, used by tests,
+//! the benchmark harness, and as a reference implementation of the framing.
+
+use std::io::{self, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One protocol connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request line and reads the response (without the `END`
+    /// sentinel).
+    pub fn send(&mut self, request: &str) -> io::Result<Vec<String>> {
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.recv()
+    }
+
+    /// Reads one response (lines up to the `END` sentinel). Useful when the
+    /// server talks first, e.g. the `ERR server busy` refusal.
+    pub fn recv(&mut self) -> io::Result<Vec<String>> {
+        // Response lines are short (one graph element each); a misbehaving
+        // server must not be able to grow a single line without bound.
+        const MAX_RESPONSE_LINE: usize = 1024 * 1024;
+        let mut lines = Vec::new();
+        let mut line = String::new();
+        loop {
+            match crate::read_bounded_line(&mut self.reader, &mut line, MAX_RESPONSE_LINE)? {
+                Some(()) => {}
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-response",
+                    ))
+                }
+            }
+            let trimmed = line.trim_end_matches(['\r', '\n']);
+            if trimmed == "END" {
+                return Ok(lines);
+            }
+            lines.push(trimmed.to_string());
+        }
+    }
+
+    /// Sends a request and fails unless the response starts with `OK`.
+    pub fn send_ok(&mut self, request: &str) -> io::Result<Vec<String>> {
+        let lines = self.send(request)?;
+        match lines.first() {
+            Some(first) if first.starts_with("OK") => Ok(lines),
+            Some(first) => Err(io::Error::other(format!(
+                "request {request:?} failed: {first}"
+            ))),
+            None => Err(io::Error::other(format!(
+                "request {request:?} got an empty response"
+            ))),
+        }
+    }
+
+    /// Sends `QUIT` and waits for the goodbye, ignoring errors.
+    pub fn quit(mut self) {
+        let _ = self.send("QUIT");
+    }
+}

@@ -1,0 +1,404 @@
+//! # server — a concurrent TCP snapshot server speaking `histql`
+//!
+//! Std-only (``TcpListener`` + thread per connection, bounded by a
+//! connection cap). All sessions share one [`SharedGraphManager`]: snapshot
+//! computation runs under its read lock so retrievals proceed concurrently,
+//! while `APPEND` takes the write lock — live events flow in while readers
+//! retrieve history. Each connection owns a [`histql::Executor`], whose pool
+//! session releases every overlay the connection created when it
+//! disconnects, so a dropped client can never leak GraphPool bits.
+//!
+//! ## Wire protocol
+//!
+//! Requests are single lines of `histql` (see the `histql` crate docs for
+//! the grammar). Every response is one or more lines terminated by a lone
+//! `END` line; successful responses start with `OK`, failures with
+//! `ERR <message>`. `QUIT` closes the connection gracefully.
+//!
+//! ```text
+//! C: GET GRAPH AT 6 WITH +node:name
+//! S: OK GRAPH t=6 nodes=3 edges=2
+//! S: N 1 name="alicia"
+//! S: ...
+//! S: END
+//! ```
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use historygraph::SharedGraphManager;
+use histql::Executor;
+
+pub mod client;
+
+pub use client::Client;
+
+/// Maximum accepted request-line length; longer lines get an error and the
+/// connection is closed.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Maximum simultaneously served connections; further clients are
+    /// refused with `ERR server busy`.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            max_connections: 64,
+        }
+    }
+}
+
+/// Handle to a running server; shuts it down on drop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the actual port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting connections and joins the accept loop. Connections
+    /// already being served run until their client disconnects.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Starts serving `shared` according to `config`; returns once the listener
+/// is bound, with the accept loop running in a background thread.
+pub fn serve(shared: SharedGraphManager, config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+
+    let accept_thread = {
+        let shutdown = Arc::clone(&shutdown);
+        let active = Arc::clone(&active);
+        thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                if active.load(Ordering::SeqCst) >= config.max_connections {
+                    refuse(stream);
+                    continue;
+                }
+                active.fetch_add(1, Ordering::SeqCst);
+                let guard = ConnGuard(Arc::clone(&active));
+                let shared = shared.clone();
+                thread::spawn(move || {
+                    let _guard = guard;
+                    // The executor's pool session releases this connection's
+                    // overlays when the thread ends, however it ends.
+                    let mut executor = Executor::new(shared);
+                    let _ = serve_connection(stream, &mut executor);
+                });
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        active,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn refuse(stream: TcpStream) {
+    let mut w = BufWriter::new(stream);
+    let _ = w.write_all(b"ERR server busy\nEND\n");
+    let _ = w.flush();
+}
+
+/// Reads one `\n`-terminated line without buffering more than `max` bytes:
+/// `Ok(None)` on a clean EOF, `Err(InvalidData)` when the cap is exceeded
+/// (the line is abandoned unread). `read_line` alone would buffer an entire
+/// newline-less stream into memory before any length check could run.
+pub(crate) fn read_bounded_line(
+    reader: &mut impl BufRead,
+    line: &mut String,
+    max: usize,
+) -> io::Result<Option<()>> {
+    line.clear();
+    let mut bytes = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            // EOF: a non-empty unterminated tail still counts as a line.
+            return Ok(if bytes.is_empty() {
+                None
+            } else {
+                *line = String::from_utf8_lossy(&bytes).into_owned();
+                Some(())
+            });
+        }
+        let (chunk, found) = match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => (&buf[..=i], true),
+            None => (buf, false),
+        };
+        if bytes.len() + chunk.len() > max {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "line exceeds maximum length",
+            ));
+        }
+        bytes.extend_from_slice(chunk);
+        let consumed = chunk.len();
+        reader.consume(consumed);
+        if found {
+            *line = String::from_utf8_lossy(&bytes).into_owned();
+            return Ok(Some(()));
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, executor: &mut Executor) -> io::Result<()> {
+    // A generous read timeout so half-dead peers cannot pin a connection
+    // slot forever.
+    stream.set_read_timeout(Some(Duration::from_secs(300)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        match read_bounded_line(&mut reader, &mut line, MAX_LINE_BYTES) {
+            Ok(Some(())) => {}
+            Ok(None) => return Ok(()), // client closed the connection
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                writer.write_all(b"ERR request line too long\nEND\n")?;
+                writer.flush()?;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+        let request = line.trim();
+        if request.is_empty() {
+            continue;
+        }
+        if request.eq_ignore_ascii_case("QUIT") {
+            writer.write_all(b"OK BYE\nEND\n")?;
+            writer.flush()?;
+            return Ok(());
+        }
+        match executor.execute_line(request) {
+            Ok(response) => {
+                for l in response.to_lines() {
+                    writer.write_all(l.as_bytes())?;
+                    writer.write_all(b"\n")?;
+                }
+            }
+            Err(e) => {
+                // Keep the error on one line so the framing survives.
+                let msg = e.to_string().replace('\n', " ");
+                writer.write_all(format!("ERR {msg}\n").as_bytes())?;
+            }
+        }
+        writer.write_all(b"END\n")?;
+        writer.flush()?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use historygraph::{GraphManager, GraphManagerConfig};
+    use std::time::Instant;
+    use tgraph::{AttrOptions, Timestamp};
+
+    fn start(max_connections: usize) -> (ServerHandle, SharedGraphManager) {
+        let gm = GraphManager::build_in_memory(
+            &datagen::toy_trace().events,
+            GraphManagerConfig::default(),
+        )
+        .unwrap();
+        let shared = SharedGraphManager::new(gm);
+        let handle = serve(
+            shared.clone(),
+            ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                max_connections,
+            },
+        )
+        .unwrap();
+        (handle, shared)
+    }
+
+    #[test]
+    fn round_trip_matches_direct_execution() {
+        let (server, shared) = start(8);
+        let mut client = Client::connect(server.addr()).unwrap();
+        let lines = client
+            .send("GET GRAPH AT 6 WITH +node:all+edge:all")
+            .unwrap();
+        let direct = shared
+            .snapshot_at(Timestamp(6), &AttrOptions::all())
+            .unwrap();
+        let expected = histql::Response::Graph {
+            t: Timestamp(6),
+            graph: direct,
+        }
+        .to_lines();
+        assert_eq!(lines, expected);
+    }
+
+    #[test]
+    fn parse_errors_are_reported_not_fatal() {
+        let (server, _shared) = start(8);
+        let mut client = Client::connect(server.addr()).unwrap();
+        let lines = client.send("FROB 12").unwrap();
+        assert!(lines[0].starts_with("ERR "), "{lines:?}");
+        // The connection survives an error.
+        assert_eq!(client.send("PING").unwrap(), vec!["OK PONG"]);
+    }
+
+    #[test]
+    fn connection_cap_refuses_excess_clients() {
+        let (server, _shared) = start(2);
+        let mut a = Client::connect(server.addr()).unwrap();
+        let mut b = Client::connect(server.addr()).unwrap();
+        // Make sure both connections are fully established server-side.
+        a.send("PING").unwrap();
+        b.send("PING").unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        let lines = c.recv().unwrap();
+        assert_eq!(lines, vec!["ERR server busy"]);
+    }
+
+    #[test]
+    fn disconnect_releases_session_overlays() {
+        let (server, shared) = start(8);
+        {
+            let mut client = Client::connect(server.addr()).unwrap();
+            client.send("GET GRAPH AT 3").unwrap();
+            client.send("GET GRAPHS AT 6, 9").unwrap();
+            assert_eq!(shared.read().pool().active_overlay_count(), 3);
+        }
+        // The client dropped; its session must release all three overlays,
+        // leaving only the current graph active.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let active = shared.read().pool().active_graphs().len();
+            if active == 1 {
+                assert_eq!(shared.read().pool().active_overlay_count(), 0);
+                break;
+            }
+            assert!(Instant::now() < deadline, "overlays were not released");
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn bounded_line_reader_rejects_newline_less_floods() {
+        use std::io::Cursor;
+        let mut line = String::new();
+        // A 1 MiB stream with no newline must be rejected once the cap is
+        // exceeded, long before the whole stream is buffered.
+        let flood = vec![b'a'; 1024 * 1024];
+        let mut r = std::io::BufReader::new(Cursor::new(flood));
+        let err = read_bounded_line(&mut r, &mut line, 4096).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Normal lines and EOF behave like read_line.
+        let mut r = std::io::BufReader::new(Cursor::new(b"hello\nworld".to_vec()));
+        assert!(read_bounded_line(&mut r, &mut line, 4096)
+            .unwrap()
+            .is_some());
+        assert_eq!(line, "hello\n");
+        assert!(read_bounded_line(&mut r, &mut line, 4096)
+            .unwrap()
+            .is_some());
+        assert_eq!(line, "world");
+        assert!(read_bounded_line(&mut r, &mut line, 4096)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn oversized_request_line_is_refused() {
+        let (server, _shared) = start(4);
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // Stream well past the cap without ever sending a newline.
+        let chunk = vec![b'9'; 8 * 1024];
+        for _ in 0..((MAX_LINE_BYTES / chunk.len()) + 2) {
+            if stream.write_all(&chunk).is_err() {
+                break; // server already hung up, which is fine too
+            }
+        }
+        let mut reply = String::new();
+        let mut reader = BufReader::new(&stream);
+        let _ = reader.read_line(&mut reply);
+        assert!(
+            reply.is_empty() || reply.starts_with("ERR request line too long"),
+            "{reply:?}"
+        );
+    }
+
+    #[test]
+    fn appends_interleave_with_reads() {
+        let (server, _shared) = start(8);
+        let addr = server.addr();
+        let writer = thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            for i in 0..20 {
+                let lines = c.send(&format!("APPEND NODE 20 {}", 900 + i)).unwrap();
+                assert_eq!(lines, vec!["OK APPENDED t=20"]);
+            }
+        });
+        let reader = thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            for _ in 0..20 {
+                let lines = c.send("GET GRAPH AT 6").unwrap();
+                assert!(lines[0].starts_with("OK GRAPH t=6"), "{lines:?}");
+            }
+        });
+        writer.join().unwrap();
+        reader.join().unwrap();
+    }
+}

@@ -1,0 +1,56 @@
+//! Workspace-local stand-in for the `bytes` crate.
+//!
+//! The container this workspace builds in has no registry access, so the
+//! handful of `Buf`/`BufMut` methods the codec uses are provided here over
+//! plain slices and `Vec<u8>`. Semantics match the real crate for the
+//! methods that exist; anything else is deliberately absent.
+
+/// Read side: a cursor-like view that consumes from the front.
+pub trait Buf {
+    /// Pops the first byte, advancing the view.
+    ///
+    /// # Panics
+    /// Panics if the buffer is empty (same contract as the real crate).
+    fn get_u8(&mut self) -> u8;
+}
+
+impl Buf for &[u8] {
+    fn get_u8(&mut self) -> u8 {
+        let (first, rest) = self.split_first().expect("get_u8 on empty buffer");
+        *self = rest;
+        *first
+    }
+}
+
+/// Write side: append primitives to a growable buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a `u64` in little-endian byte order.
+    fn put_u64_le(&mut self, v: u64);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u8_and_u64() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u64_le(0x0102_0304_0506_0708);
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r, 0x0102_0304_0506_0708u64.to_le_bytes());
+    }
+}

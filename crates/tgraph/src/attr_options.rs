@@ -258,6 +258,9 @@ mod tests {
 
     #[test]
     fn all_constructor_matches_parsed_form() {
-        assert_eq!(AttrOptions::all(), AttrOptions::parse("+node:all+edge:all").unwrap());
+        assert_eq!(
+            AttrOptions::all(),
+            AttrOptions::parse("+node:all+edge:all").unwrap()
+        );
     }
 }

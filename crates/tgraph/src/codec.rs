@@ -741,7 +741,9 @@ mod tests {
         let bytes = s.to_bytes();
         let decoded = Snapshot::from_bytes(&bytes).unwrap();
         assert_eq!(decoded, s);
-        assert!(decoded.neighbors(NodeId(2)).contains(&(NodeId(1), EdgeId(1))));
+        assert!(decoded
+            .neighbors(NodeId(2))
+            .contains(&(NodeId(1), EdgeId(1))));
     }
 
     #[test]

@@ -373,7 +373,8 @@ mod tests {
         let a = Snapshot::new();
         let mut b = Snapshot::new();
         b.add_node(NodeId(5)).unwrap();
-        b.set_node_attr(NodeId(5), "k", Some(AttrValue::Int(1))).unwrap();
+        b.set_node_attr(NodeId(5), "k", Some(AttrValue::Int(1)))
+            .unwrap();
         let d = Delta::between(&a, &b);
         assert_eq!(d.structure.add_nodes, vec![NodeId(5)]);
         assert_eq!(d.node_attrs.len(), 1);
@@ -388,8 +389,10 @@ mod tests {
     #[test]
     fn projection_selects_components() {
         let mut a = snap(&[1, 2], &[(1, 1, 2)]);
-        a.set_node_attr(NodeId(1), "n", Some(AttrValue::Int(1))).unwrap();
-        a.set_edge_attr(EdgeId(1), "e", Some(AttrValue::Int(2))).unwrap();
+        a.set_node_attr(NodeId(1), "n", Some(AttrValue::Int(1)))
+            .unwrap();
+        a.set_edge_attr(EdgeId(1), "e", Some(AttrValue::Int(2)))
+            .unwrap();
         let d = Delta::between(&Snapshot::new(), &a);
         let s = d.project(&[DeltaComponent::Structure]);
         assert!(!s.structure.is_empty());

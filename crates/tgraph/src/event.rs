@@ -156,8 +156,15 @@ impl Event {
             EventKind::AddNode { .. } | EventKind::AddEdge { .. }
         ) || matches!(
             &self.kind,
-            EventKind::SetNodeAttr { old: None, new: Some(_), .. }
-                | EventKind::SetEdgeAttr { old: None, new: Some(_), .. }
+            EventKind::SetNodeAttr {
+                old: None,
+                new: Some(_),
+                ..
+            } | EventKind::SetEdgeAttr {
+                old: None,
+                new: Some(_),
+                ..
+            }
         )
     }
 
@@ -168,8 +175,15 @@ impl Event {
             EventKind::DeleteNode { .. } | EventKind::DeleteEdge { .. }
         ) || matches!(
             &self.kind,
-            EventKind::SetNodeAttr { old: Some(_), new: None, .. }
-                | EventKind::SetEdgeAttr { old: Some(_), new: None, .. }
+            EventKind::SetNodeAttr {
+                old: Some(_),
+                new: None,
+                ..
+            } | EventKind::SetEdgeAttr {
+                old: Some(_),
+                new: None,
+                ..
+            }
         )
     }
 
@@ -202,9 +216,7 @@ impl Event {
         edge_endpoints: impl Fn(EdgeId) -> Option<(NodeId, NodeId)>,
     ) -> Option<NodeId> {
         match &self.kind {
-            EventKind::SetEdgeAttr { edge, .. } => {
-                edge_endpoints(*edge).map(|(a, b)| a.min(b))
-            }
+            EventKind::SetEdgeAttr { edge, .. } => edge_endpoints(*edge).map(|(a, b)| a.min(b)),
             _ => self.partition_node(),
         }
     }
@@ -373,7 +385,10 @@ mod tests {
     #[test]
     fn partitioning_uses_min_endpoint_for_edges() {
         assert_eq!(Event::add_node(1, 9).partition_node(), Some(NodeId(9)));
-        assert_eq!(Event::add_edge(1, 1, 7, 3).partition_node(), Some(NodeId(3)));
+        assert_eq!(
+            Event::add_edge(1, 1, 7, 3).partition_node(),
+            Some(NodeId(3))
+        );
         assert_eq!(
             Event::transient_edge(1, 5, 2, None).partition_node(),
             Some(NodeId(2))

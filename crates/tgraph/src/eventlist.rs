@@ -121,9 +121,7 @@ impl EventList {
         assert!(chunk_len > 0, "chunk_len must be positive");
         self.events
             .chunks(chunk_len)
-            .map(|c| EventList {
-                events: c.to_vec(),
-            })
+            .map(|c| EventList { events: c.to_vec() })
             .collect()
     }
 
@@ -150,7 +148,10 @@ impl EventList {
 
     /// Merges per-category lists back into one chronologically ordered list.
     pub fn merge_categories(parts: &[EventList]) -> EventList {
-        let mut all: Vec<Event> = parts.iter().flat_map(|p| p.events.iter().cloned()).collect();
+        let mut all: Vec<Event> = parts
+            .iter()
+            .flat_map(|p| p.events.iter().cloned())
+            .collect();
         all.sort_by_key(|e| e.time);
         EventList { events: all }
     }
@@ -268,7 +269,8 @@ mod tests {
 
         let mut backward = Snapshot::new();
         l.apply_all_forward(&mut backward).unwrap();
-        l.apply_suffix_backward(&mut backward, Timestamp(4)).unwrap();
+        l.apply_suffix_backward(&mut backward, Timestamp(4))
+            .unwrap();
 
         assert_eq!(forward, backward);
         assert!(forward.has_edge(crate::EdgeId(10)));

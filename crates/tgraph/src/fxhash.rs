@@ -149,13 +149,9 @@ mod tests {
 
     #[test]
     fn string_hashing_differs_by_content() {
-        use std::hash::{BuildHasher, BuildHasherDefault, Hash};
+        use std::hash::{BuildHasher, BuildHasherDefault};
         let bh: BuildHasherDefault<FxHasher> = Default::default();
-        let h = |s: &str| {
-            let mut hasher = bh.build_hasher();
-            s.hash(&mut hasher);
-            hasher.finish()
-        };
+        let h = |s: &str| bh.hash_one(s);
         assert_ne!(h("abc"), h("abd"));
         assert_eq!(h("abc"), h("abc"));
     }

@@ -207,13 +207,7 @@ impl Snapshot {
     /// Adds an edge; creates missing endpoints implicitly (the generators in
     /// `datagen` always emit node-add events first, but deltas produced by
     /// sampling differential functions may not preserve that ordering).
-    pub fn add_edge(
-        &mut self,
-        e: EdgeId,
-        src: NodeId,
-        dst: NodeId,
-        directed: bool,
-    ) -> Result<()> {
+    pub fn add_edge(&mut self, e: EdgeId, src: NodeId, dst: NodeId, directed: bool) -> Result<()> {
         if self.edges.contains_key(&e) {
             return Err(TgError::InvalidEvent(format!("edge {e} already exists")));
         }
@@ -253,12 +247,7 @@ impl Snapshot {
     }
 
     /// Sets (or with `None` removes) a node attribute. The node must exist.
-    pub fn set_node_attr(
-        &mut self,
-        n: NodeId,
-        key: &str,
-        value: Option<AttrValue>,
-    ) -> Result<()> {
+    pub fn set_node_attr(&mut self, n: NodeId, key: &str, value: Option<AttrValue>) -> Result<()> {
         let node = self
             .nodes
             .get_mut(&n)
@@ -275,12 +264,7 @@ impl Snapshot {
     }
 
     /// Sets (or with `None` removes) an edge attribute. The edge must exist.
-    pub fn set_edge_attr(
-        &mut self,
-        e: EdgeId,
-        key: &str,
-        value: Option<AttrValue>,
-    ) -> Result<()> {
+    pub fn set_edge_attr(&mut self, e: EdgeId, key: &str, value: Option<AttrValue>) -> Result<()> {
         let edge = self
             .edges
             .get_mut(&e)
@@ -557,9 +541,7 @@ mod tests {
     fn duplicate_node_and_edge_are_errors() {
         let mut s = sample();
         assert!(s.add_node(NodeId(1)).is_err());
-        assert!(s
-            .add_edge(EdgeId(10), NodeId(1), NodeId(3), false)
-            .is_err());
+        assert!(s.add_edge(EdgeId(10), NodeId(1), NodeId(3), false).is_err());
         assert!(s.remove_edge(EdgeId(99)).is_err());
         assert!(s.remove_node(NodeId(99)).is_err());
     }
@@ -576,10 +558,7 @@ mod tests {
     #[test]
     fn attribute_set_and_remove() {
         let mut s = sample();
-        assert_eq!(
-            s.node_attr(NodeId(1), "name"),
-            Some(&AttrValue::from("a"))
-        );
+        assert_eq!(s.node_attr(NodeId(1), "name"), Some(&AttrValue::from("a")));
         s.set_node_attr(NodeId(1), "name", None).unwrap();
         assert_eq!(s.node_attr(NodeId(1), "name"), None);
         assert!(s

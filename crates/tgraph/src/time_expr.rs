@@ -144,10 +144,7 @@ impl TimeExpression {
         let mut out = Snapshot::new();
 
         // Candidate nodes: union of all snapshots' nodes.
-        let mut node_ids: Vec<_> = snapshots
-            .iter()
-            .flat_map(|s| s.node_ids())
-            .collect();
+        let mut node_ids: Vec<_> = snapshots.iter().flat_map(|s| s.node_ids()).collect();
         node_ids.sort_unstable();
         node_ids.dedup();
         for n in node_ids {
@@ -168,10 +165,7 @@ impl TimeExpression {
             }
         }
 
-        let mut edge_ids: Vec<_> = snapshots
-            .iter()
-            .flat_map(|s| s.edge_ids())
-            .collect();
+        let mut edge_ids: Vec<_> = snapshots.iter().flat_map(|s| s.edge_ids()).collect();
         edge_ids.sort_unstable();
         edge_ids.dedup();
         for e in edge_ids {
@@ -284,6 +278,9 @@ mod tests {
         )
         .unwrap();
         let result = tex.evaluate(&[s0, s1]).unwrap();
-        assert_eq!(result.node_attr(NodeId(1), "v"), Some(&crate::AttrValue::Int(2)));
+        assert_eq!(
+            result.node_attr(NodeId(1), "v"),
+            Some(&crate::AttrValue::Int(2))
+        );
     }
 }

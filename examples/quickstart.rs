@@ -3,10 +3,10 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use historygraph::{GraphManager, GraphManagerConfig};
-use historygraph::deltagraph::{DeltaGraphConfig, DifferentialFunction};
 use historygraph::datagen::{dblp_like, DblpConfig};
+use historygraph::deltagraph::{DeltaGraphConfig, DifferentialFunction};
 use historygraph::tgraph::Timestamp;
+use historygraph::{GraphManager, GraphManagerConfig};
 
 fn main() {
     // 1. A synthetic growing co-authorship network (stand-in for DBLP).

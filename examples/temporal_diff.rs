@@ -39,7 +39,10 @@ fn main() {
     let h2 = gm.get_hist_graph(t2, "").unwrap();
     let before = triangle_count(&gm.graph(h1));
     let after = triangle_count(&gm.graph(h2));
-    println!("triangles at {t1}: {before}, at {t2}: {after} (new: {})", after.saturating_sub(before));
+    println!(
+        "triangles at {t1}: {before}, at {t2}: {after} (new: {})",
+        after.saturating_sub(before)
+    );
 
     // "Which collaborations were created during the window [t1, t2)?"
     let (window, transients) = gm

@@ -46,7 +46,9 @@ pub use kvstore;
 pub use tgraph;
 
 pub mod manager;
+pub mod shared;
 pub mod source;
 
 pub use manager::{GraphManager, GraphManagerConfig};
+pub use shared::{PoolSession, SharedGraphManager};
 pub use source::DeltaGraphSource;

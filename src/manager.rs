@@ -95,7 +95,7 @@ impl GraphManager {
     pub fn get_hist_graph(&mut self, t: Timestamp, attr_options: &str) -> DgResult<GraphId> {
         let opts = AttrOptions::parse(attr_options).map_err(DgError::Model)?;
         let snapshot = self.index.get_snapshot(t, &opts)?;
-        Ok(self.overlay(snapshot, t))
+        Ok(self.overlay(&snapshot, t))
     }
 
     /// `GetHistGraphs(List<Time>, String attr_options)`: multipoint retrieval
@@ -111,21 +111,26 @@ impl GraphManager {
         Ok(snapshots
             .into_iter()
             .zip(times)
-            .map(|(snap, &t)| self.overlay(snap, t))
+            .map(|(snap, &t)| self.overlay(&snap, t))
             .collect())
     }
 
     /// `GetHistGraph(TimeExpression, String attr_options)`: retrieves the
     /// hypothetical graph satisfying a Boolean expression over time points.
+    ///
+    /// An expression referencing no time points is rejected: there is no
+    /// meaningful snapshot (or overlay anchor) for it.
     pub fn get_hist_graph_expr(
         &mut self,
         expr: &TimeExpression,
         attr_options: &str,
     ) -> DgResult<GraphId> {
         let opts = AttrOptions::parse(attr_options).map_err(DgError::Model)?;
+        let anchor = *expr.times.last().ok_or_else(|| {
+            DgError::InvalidParameter("time expression references no time points".into())
+        })?;
         let snapshot = self.index.get_time_expression(expr, &opts)?;
-        let anchor = expr.times.last().copied().unwrap_or(Timestamp(0));
-        Ok(self.overlay(snapshot, anchor))
+        Ok(self.overlay(&snapshot, anchor))
     }
 
     /// `GetHistGraphInterval(ts, te, attr_options)`: the graph over elements
@@ -138,22 +143,31 @@ impl GraphManager {
     ) -> DgResult<(GraphId, Vec<Event>)> {
         let opts = AttrOptions::parse(attr_options).map_err(DgError::Model)?;
         let (snapshot, transients) = self.index.get_snapshot_interval(start, end, &opts)?;
-        Ok((self.overlay(snapshot, start), transients))
+        Ok((self.overlay(&snapshot, start), transients))
     }
 
-    fn overlay(&mut self, snapshot: Snapshot, t: Timestamp) -> GraphId {
+    fn overlay(&mut self, snapshot: &Snapshot, t: Timestamp) -> GraphId {
         if self.config.dependent_overlays && self.current_seeded {
             // Query-time decision: overlay as dependent on the current graph
             // when the difference is small relative to the snapshot size.
             let current = self.index.current_graph();
-            let diff = tgraph::Delta::between(current, &snapshot).change_count();
+            let diff = tgraph::Delta::between(current, snapshot).change_count();
             if diff * 4 < snapshot.element_count().max(1) {
                 return self
                     .pool
-                    .add_historical_dependent(&snapshot, t, graphpool::CURRENT_GRAPH);
+                    .add_historical_dependent(snapshot, t, graphpool::CURRENT_GRAPH);
             }
         }
-        self.pool.add_historical(&snapshot, t)
+        self.pool.add_historical(snapshot, t)
+    }
+
+    /// Overlays an already-retrieved snapshot onto the GraphPool and returns
+    /// its handle. This is the overlay half of [`GraphManager::get_hist_graph`],
+    /// exposed so callers that compute snapshots under a shared read lock
+    /// (see [`crate::SharedGraphManager`]) can attach them to the pool
+    /// without recomputing.
+    pub fn overlay_snapshot(&mut self, snapshot: &Snapshot, t: Timestamp) -> GraphId {
+        self.overlay(snapshot, t)
     }
 
     /// A read view of a retrieved graph.
@@ -164,6 +178,33 @@ impl GraphManager {
     /// Releases a retrieved graph (cleanup happens lazily).
     pub fn release(&mut self, id: GraphId) {
         self.pool.release(id);
+    }
+
+    /// Releases every retrieved historical graph (materialized index nodes
+    /// and the current graph stay), runs the cleaner, and returns the number
+    /// of graphs released. This is an administrative, pool-wide reset —
+    /// per-session cleanup (the server's disconnect path and the `RELEASE
+    /// ALL` verb) goes through [`crate::PoolSession`], which releases only
+    /// the session's own handles.
+    pub fn release_all(&mut self) -> usize {
+        let ids: Vec<GraphId> = self
+            .pool
+            .active_graphs()
+            .into_iter()
+            .filter(|&id| {
+                id != graphpool::CURRENT_GRAPH
+                    && self
+                        .pool
+                        .entry(id)
+                        .is_some_and(|e| e.kind == graphpool::GraphKind::Historical)
+            })
+            .collect();
+        let released = ids.len();
+        for id in ids {
+            self.pool.release(id);
+        }
+        self.pool.cleanup();
+        released
     }
 
     /// Runs the lazy cleaner; returns the number of union elements removed.
@@ -177,9 +218,14 @@ impl GraphManager {
 
     /// Appends a new event: the current graph, the GraphPool overlay of the
     /// current graph, and the index are all updated.
+    ///
+    /// The index goes first — it validates the event (chronology, duplicate
+    /// elements) — so a rejected event never reaches the pool and the two
+    /// views of the current graph cannot diverge.
     pub fn append_event(&mut self, event: Event) -> DgResult<()> {
+        self.index.append_event(event.clone())?;
         self.pool.apply_event_to_current(&event);
-        self.index.append_event(event)
+        Ok(())
     }
 
     /// Appends a batch of events.
@@ -271,15 +317,23 @@ mod tests {
     fn single_and_multi_point_retrieval_through_the_facade() {
         let mut gm = manager();
         let ds = toy_trace();
-        let h6 = gm.get_hist_graph(Timestamp(6), "+node:all+edge:all").unwrap();
+        let h6 = gm
+            .get_hist_graph(Timestamp(6), "+node:all+edge:all")
+            .unwrap();
         assert_eq!(gm.graph(h6).to_snapshot(), ds.snapshot_at(Timestamp(6)));
 
         let handles = gm
             .get_hist_graphs(&[Timestamp(3), Timestamp(9)], "+node:all+edge:all")
             .unwrap();
         assert_eq!(handles.len(), 2);
-        assert_eq!(gm.graph(handles[0]).to_snapshot(), ds.snapshot_at(Timestamp(3)));
-        assert_eq!(gm.graph(handles[1]).to_snapshot(), ds.snapshot_at(Timestamp(9)));
+        assert_eq!(
+            gm.graph(handles[0]).to_snapshot(),
+            ds.snapshot_at(Timestamp(3))
+        );
+        assert_eq!(
+            gm.graph(handles[1]).to_snapshot(),
+            ds.snapshot_at(Timestamp(9))
+        );
         assert_eq!(gm.pool().active_overlay_count(), 3);
     }
 
@@ -291,7 +345,9 @@ mod tests {
         assert!(view.node_attr(tgraph::NodeId(1), "name").is_none());
         let h2 = gm.get_hist_graph(Timestamp(7), "+node:name").unwrap();
         assert_eq!(
-            gm.graph(h2).node_attr(tgraph::NodeId(1), "name").and_then(|v| v.as_str()),
+            gm.graph(h2)
+                .node_attr(tgraph::NodeId(1), "name")
+                .and_then(|v| v.as_str()),
             Some("alicia")
         );
         assert!(gm.get_hist_graph(Timestamp(7), "bogus").is_err());
@@ -324,13 +380,64 @@ mod tests {
     }
 
     #[test]
+    fn empty_time_expression_is_rejected() {
+        let mut gm = manager();
+        let empty = TimeExpression {
+            times: vec![],
+            expr: tgraph::BoolExpr::var(0),
+        };
+        let err = gm.get_hist_graph_expr(&empty, "").unwrap_err();
+        assert!(matches!(err, DgError::InvalidParameter(_)), "{err}");
+    }
+
+    #[test]
+    fn release_all_clears_every_historical_overlay() {
+        let mut gm = manager();
+        gm.get_hist_graph(Timestamp(3), "").unwrap();
+        gm.get_hist_graph(Timestamp(6), "").unwrap();
+        gm.get_hist_graph(Timestamp(9), "").unwrap();
+        assert_eq!(gm.pool().active_overlay_count(), 3);
+        assert_eq!(gm.release_all(), 3);
+        assert_eq!(gm.pool().active_overlay_count(), 0);
+        assert_eq!(gm.pool().pending_cleanup(), 0);
+        // The current graph survives and the pool remains usable.
+        assert!(gm.graph(graphpool::CURRENT_GRAPH).node_count() > 0);
+        let h = gm.get_hist_graph(Timestamp(6), "").unwrap();
+        assert!(gm.graph(h).node_count() > 0);
+        assert_eq!(gm.release_all(), 1);
+    }
+
+    #[test]
     fn updates_flow_to_pool_and_index() {
         let mut gm = manager();
         gm.append_event(Event::add_node(20, 777)).unwrap();
         gm.append_event(Event::add_edge(21, 500, 777, 1)).unwrap();
-        assert!(gm.graph(graphpool::CURRENT_GRAPH).has_node(tgraph::NodeId(777)));
+        assert!(gm
+            .graph(graphpool::CURRENT_GRAPH)
+            .has_node(tgraph::NodeId(777)));
         let h = gm.get_hist_graph(Timestamp(21), "").unwrap();
         assert!(gm.graph(h).has_edge(EdgeId(500)));
+    }
+
+    #[test]
+    fn rejected_appends_leave_current_views_untouched() {
+        let mut gm = manager();
+        gm.append_event(Event::add_node(20, 700)).unwrap();
+        // Out-of-order event: must be rejected without a phantom node
+        // appearing in either view of the current graph.
+        let err = gm.append_event(Event::add_node(15, 701)).unwrap_err();
+        assert!(err.to_string().contains("appended after"), "{err}");
+        assert!(!gm.index().current_graph().has_node(tgraph::NodeId(701)));
+        assert!(!gm
+            .graph(graphpool::CURRENT_GRAPH)
+            .has_node(tgraph::NodeId(701)));
+        // Duplicate node: same guarantee, and the pool keeps matching the
+        // index afterwards.
+        assert!(gm.append_event(Event::add_node(21, 700)).is_err());
+        assert_eq!(
+            gm.graph(graphpool::CURRENT_GRAPH).to_snapshot(),
+            *gm.index().current_graph()
+        );
     }
 
     #[test]
@@ -356,7 +463,9 @@ mod tests {
         )
         .unwrap();
         for t in [3, 6, 9, 10] {
-            let hp = plain.get_hist_graph(Timestamp(t), "+node:all+edge:all").unwrap();
+            let hp = plain
+                .get_hist_graph(Timestamp(t), "+node:all+edge:all")
+                .unwrap();
             let hd = dependent
                 .get_hist_graph(Timestamp(t), "+node:all+edge:all")
                 .unwrap();

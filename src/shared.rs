@@ -1,0 +1,199 @@
+//! Concurrent access to one [`GraphManager`]: the read/write split.
+//!
+//! A [`GraphManager`] is single-threaded by design — retrieval overlays
+//! snapshots onto the GraphPool, which mutates shared bitmaps. The snapshot
+//! *computation* itself, however, only reads the DeltaGraph index. The
+//! [`SharedGraphManager`] exploits that split: the expensive part of a query
+//! (planning, delta fetches, eventlist replay) runs under a shared read
+//! lock, so many sessions retrieve concurrently, and only the cheap overlay
+//! and append operations take the exclusive write lock.
+//!
+//! Sessions track the pool handles they create through a [`PoolSession`];
+//! dropping the session releases its overlays and runs the lazy cleaner, so
+//! a disconnecting client can never leak pool bits.
+
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use deltagraph::DgResult;
+use graphpool::GraphId;
+use tgraph::{AttrOptions, Event, Snapshot, TimeExpression, Timestamp};
+
+use crate::manager::GraphManager;
+
+/// A cloneable, thread-safe handle to one [`GraphManager`].
+#[derive(Clone)]
+pub struct SharedGraphManager {
+    inner: Arc<RwLock<GraphManager>>,
+}
+
+// GraphManager must stay usable across threads for the server; assert it here
+// so a future non-Send field fails at this line rather than at a use site.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GraphManager>();
+};
+
+impl SharedGraphManager {
+    /// Wraps a manager for shared use.
+    pub fn new(manager: GraphManager) -> Self {
+        SharedGraphManager {
+            inner: Arc::new(RwLock::new(manager)),
+        }
+    }
+
+    /// Shared read access. Snapshot computation through
+    /// [`GraphManager::index`] needs only this.
+    pub fn read(&self) -> RwLockReadGuard<'_, GraphManager> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Exclusive write access, for overlays, appends, and releases.
+    pub fn write(&self) -> RwLockWriteGuard<'_, GraphManager> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Computes the snapshot as of `t` under the read lock (no overlay).
+    pub fn snapshot_at(&self, t: Timestamp, opts: &AttrOptions) -> DgResult<Snapshot> {
+        self.read().index().get_snapshot(t, opts)
+    }
+
+    /// Computes several snapshots through the Steiner-tree planner under the
+    /// read lock (no overlays).
+    pub fn snapshots_at(&self, times: &[Timestamp], opts: &AttrOptions) -> DgResult<Vec<Snapshot>> {
+        self.read().index().get_snapshots(times, opts)
+    }
+
+    /// Computes the interval graph over `[start, end)` plus its transient
+    /// events under the read lock.
+    pub fn snapshot_interval(
+        &self,
+        start: Timestamp,
+        end: Timestamp,
+        opts: &AttrOptions,
+    ) -> DgResult<(Snapshot, Vec<Event>)> {
+        self.read().index().get_snapshot_interval(start, end, opts)
+    }
+
+    /// Evaluates a Boolean time expression under the read lock.
+    pub fn snapshot_expr(&self, expr: &TimeExpression, opts: &AttrOptions) -> DgResult<Snapshot> {
+        self.read().index().get_time_expression(expr, opts)
+    }
+
+    /// Appends a live event under the write lock.
+    pub fn append_event(&self, event: Event) -> DgResult<()> {
+        self.write().append_event(event)
+    }
+
+    /// Starts a session whose overlays are released when it drops.
+    pub fn session(&self) -> PoolSession {
+        PoolSession {
+            shared: self.clone(),
+            handles: Vec::new(),
+        }
+    }
+}
+
+/// Tracks the GraphPool handles one session created, releasing them (and
+/// running the cleaner) when dropped — the server's per-connection guard.
+pub struct PoolSession {
+    shared: SharedGraphManager,
+    handles: Vec<GraphId>,
+}
+
+impl PoolSession {
+    /// Overlays an already-computed snapshot, recording the handle against
+    /// this session. Takes the write lock briefly.
+    pub fn overlay(&mut self, snapshot: &Snapshot, t: Timestamp) -> GraphId {
+        let id = self.shared.write().overlay_snapshot(snapshot, t);
+        self.handles.push(id);
+        id
+    }
+
+    /// Handles created by this session, in creation order.
+    pub fn handles(&self) -> &[GraphId] {
+        &self.handles
+    }
+
+    /// Releases every handle this session created, runs the cleaner, and
+    /// returns how many were released. Called automatically on drop.
+    pub fn release_now(&mut self) -> usize {
+        if self.handles.is_empty() {
+            return 0;
+        }
+        let released = self.handles.len();
+        let mut gm = self.shared.write();
+        for id in self.handles.drain(..) {
+            gm.release(id);
+        }
+        gm.cleanup();
+        released
+    }
+
+    /// The shared manager this session runs against.
+    pub fn shared(&self) -> &SharedGraphManager {
+        &self.shared
+    }
+}
+
+impl Drop for PoolSession {
+    fn drop(&mut self) {
+        self.release_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphManagerConfig;
+    use datagen::toy_trace;
+    use std::thread;
+
+    fn shared() -> SharedGraphManager {
+        let gm = GraphManager::build_in_memory(&toy_trace().events, GraphManagerConfig::default())
+            .unwrap();
+        SharedGraphManager::new(gm)
+    }
+
+    #[test]
+    fn concurrent_readers_agree_with_direct_retrieval() {
+        let sm = shared();
+        let ds = toy_trace();
+        let workers: Vec<_> = [3i64, 6, 9, 10]
+            .into_iter()
+            .map(|t| {
+                let sm = sm.clone();
+                let expected = ds.snapshot_at(Timestamp(t));
+                thread::spawn(move || {
+                    for _ in 0..20 {
+                        let snap = sm.snapshot_at(Timestamp(t), &AttrOptions::all()).unwrap();
+                        assert_eq!(snap, expected);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn session_overlays_release_on_drop() {
+        let sm = shared();
+        {
+            let mut session = sm.session();
+            let snap = sm.snapshot_at(Timestamp(6), &AttrOptions::all()).unwrap();
+            let id = session.overlay(&snap, Timestamp(6));
+            assert_eq!(session.handles(), &[id]);
+            assert_eq!(sm.read().pool().active_overlay_count(), 1);
+        }
+        assert_eq!(sm.read().pool().active_overlay_count(), 0);
+    }
+
+    #[test]
+    fn appends_are_visible_to_subsequent_reads() {
+        let sm = shared();
+        sm.append_event(Event::add_node(20, 777)).unwrap();
+        let snap = sm.snapshot_at(Timestamp(20), &AttrOptions::all()).unwrap();
+        assert!(snap.has_node(tgraph::NodeId(777)));
+    }
+}

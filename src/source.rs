@@ -57,7 +57,9 @@ mod tests {
         assert!(source.storage_bytes() > 0);
         for t in [2, 6, 10] {
             assert_eq!(
-                source.snapshot_at(Timestamp(t), &AttrOptions::all()).unwrap(),
+                source
+                    .snapshot_at(Timestamp(t), &AttrOptions::all())
+                    .unwrap(),
                 ds.snapshot_at(Timestamp(t))
             );
         }

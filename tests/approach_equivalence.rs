@@ -41,8 +41,16 @@ fn all_approaches_return_identical_snapshots() {
     for opts in [AttrOptions::all(), AttrOptions::structure_only()] {
         for &t in &times {
             let reference = log.snapshot_at(t, &opts).unwrap();
-            assert_eq!(copylog.snapshot_at(t, &opts).unwrap(), reference, "copy+log t={t}");
-            assert_eq!(tree.snapshot_at(t, &opts).unwrap(), reference, "interval tree t={t}");
+            assert_eq!(
+                copylog.snapshot_at(t, &opts).unwrap(),
+                reference,
+                "copy+log t={t}"
+            );
+            assert_eq!(
+                tree.snapshot_at(t, &opts).unwrap(),
+                reference,
+                "interval tree t={t}"
+            );
             for dg in &deltagraphs {
                 let source = DeltaGraphSource::new(dg);
                 assert_eq!(

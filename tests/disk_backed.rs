@@ -58,6 +58,6 @@ fn partitioned_disk_deployment_with_parallel_fetch_matches_oracle() {
         );
     }
     // every partition holds part of the index
-    assert!(store.len() > 0);
+    assert!(!store.is_empty());
     std::fs::remove_dir_all(&dir).ok();
 }

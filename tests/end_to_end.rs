@@ -28,11 +28,9 @@ fn facade_retrieval_matches_oracle_on_growing_trace() {
 #[test]
 fn facade_retrieval_matches_oracle_on_churn_trace_with_balanced_function() {
     let ds = churn_trace(&ChurnConfig::tiny(103));
-    let mut gm = GraphManager::build_in_memory(
-        &ds.events,
-        config(90, 3, DifferentialFunction::Balanced),
-    )
-    .unwrap();
+    let mut gm =
+        GraphManager::build_in_memory(&ds.events, config(90, 3, DifferentialFunction::Balanced))
+            .unwrap();
     for t in uniform_timepoints(ds.start_time(), ds.end_time(), 6) {
         let handle = gm.get_hist_graph(t, "+node:all+edge:all").unwrap();
         assert_eq!(gm.graph(handle).to_snapshot(), ds.snapshot_at(t), "t={t}");
@@ -80,7 +78,9 @@ fn analytics_run_on_pool_views_and_plain_snapshots_identically() {
     let t = Timestamp(2000);
     let handle = gm.get_hist_graph(t, "").unwrap();
     let view = gm.graph(handle);
-    let snapshot = ds.snapshot_at(t).project_attrs(&AttrOptions::structure_only());
+    let snapshot = ds
+        .snapshot_at(t)
+        .project_attrs(&AttrOptions::structure_only());
 
     // PageRank through the bitmap-filtered view equals PageRank on the
     // standalone snapshot.
@@ -114,7 +114,10 @@ fn live_updates_then_queries_then_cleanup() {
     let leaves_before = gm.stats().leaves;
     let mut events = Vec::new();
     for i in 0..120u64 {
-        events.push(historygraph::tgraph::Event::add_node(end + 1 + i as i64, 500_000 + i));
+        events.push(historygraph::tgraph::Event::add_node(
+            end + 1 + i as i64,
+            500_000 + i,
+        ));
     }
     gm.append_events(events).unwrap();
     assert!(gm.stats().leaves > leaves_before);
@@ -156,7 +159,9 @@ fn materialization_preserves_results_through_the_facade() {
 
     for &t in &times {
         let a = plain.get_hist_graph(t, "+node:all+edge:all").unwrap();
-        let b = materialized.get_hist_graph(t, "+node:all+edge:all").unwrap();
+        let b = materialized
+            .get_hist_graph(t, "+node:all+edge:all")
+            .unwrap();
         assert_eq!(
             plain.graph(a).to_snapshot(),
             materialized.graph(b).to_snapshot(),
