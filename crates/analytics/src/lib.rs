@@ -13,8 +13,8 @@
 //!   every algorithm runs directly against the GraphPool (and the bitmap
 //!   filtering penalty of Section 7 can be measured),
 //! * [`pregel`] — a vertex-centric, superstep-based computation framework,
-//! * [`pagerank`], [`components`], [`triangles`], [`degree`] — the analyses
-//!   used in the paper's motivation and evaluation,
+//! * [`mod@pagerank`], [`components`], [`mod@triangles`], [`degree`] — the
+//!   analyses used in the paper's motivation and evaluation,
 //! * [`evolution`] — helpers for temporal analyses over a sequence of
 //!   snapshots (rank evolution, density over time).
 

@@ -4,8 +4,16 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin query_throughput -- \
-//!     [--scale 0.2] [--memory] [--clients 8] [--seconds 5]
+//!     [--scale 0.2] [--memory] [--clients 8] [--seconds 5] \
+//!     [--hot] [--cache 256] [--hot-points 4]
 //! ```
+//!
+//! `--hot` switches to the hot-point workload: every client hammers `GET
+//! GRAPH AT t` over a small set of shared timestamps — the scenario the
+//! shared snapshot cache exists for. The workload runs twice, cache
+//! disabled then enabled (`--cache` entries), and reports both throughputs
+//! plus the measured hit rate, so the cache's win is measured, not
+//! asserted.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -53,10 +61,157 @@ impl Rng {
     }
 }
 
+/// One pass of the hot-point workload: `clients` connections all issuing
+/// `GET GRAPH AT t` over the same few `hot` timestamps for `seconds`.
+/// Returns (queries completed, elapsed seconds, cache hits, cache misses).
+fn run_hot_pass(
+    ds: &datagen::Dataset,
+    store: std::sync::Arc<dyn kvstore::KeyValueStore>,
+    cache_capacity: usize,
+    clients: usize,
+    seconds: usize,
+    hot: &[i64],
+) -> (u64, f64, u64, u64) {
+    let gm = GraphManager::build(
+        &ds.events,
+        GraphManagerConfig::default().with_snapshot_cache(cache_capacity),
+        store,
+    )
+    .expect("index construction");
+    let shared = SharedGraphManager::new(gm);
+    let server = serve(
+        shared,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            max_connections: clients + 2,
+            ..Default::default()
+        },
+    )
+    .expect("server start");
+    let addr = server.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let hot = hot.to_vec();
+            thread::spawn(move || {
+                let mut rng = Rng(0xFACADE ^ c as u64);
+                let mut client = Client::connect(addr).expect("connect");
+                let mut completed = 0u64;
+                let mut issued = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let t = hot[rng.pick(hot.len())];
+                    let request = format!("GET GRAPH AT {t} WITH +node:all");
+                    match client.send(&request) {
+                        Ok(lines) if lines.first().is_some_and(|l| l.starts_with("OK")) => {
+                            completed += 1;
+                        }
+                        Ok(_) | Err(_) => {}
+                    }
+                    issued += 1;
+                    if issued.is_multiple_of(64) {
+                        // Sessions drop their references; with the cache on,
+                        // the shared overlays stay warm for the next round.
+                        let _ = client.send("RELEASE ALL");
+                    }
+                }
+                completed
+            })
+        })
+        .collect();
+
+    let started = Instant::now();
+    thread::sleep(Duration::from_secs(seconds as u64));
+    stop.store(true, Ordering::Relaxed);
+    let completed: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Read the hit/miss counters off the server before it goes down.
+    let mut probe = Client::connect(addr).expect("stats connect");
+    let cache_line = probe
+        .send("STATS CACHE")
+        .expect("stats cache")
+        .into_iter()
+        .next()
+        .expect("stats cache header");
+    let field = |name: &str| -> u64 {
+        cache_line
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix(&format!("{name}=")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    (completed, elapsed, field("hits"), field("misses"))
+}
+
+fn run_hot(opts: &HarnessOptions, clients: usize, seconds: usize) {
+    let cache = arg_value("--cache", 256);
+    let hot_points = arg_value("--hot-points", 4).max(1);
+    // Full scale (the mixed workload shrinks to 0.2×): the cache's win is
+    // the skipped index traversal, so the history must be deep enough for
+    // that traversal to be the dominant cost.
+    let ds = dataset2(opts.scale);
+    let start_t = ds.start_time().raw();
+    let end_t = ds.end_time().raw();
+    let span = (end_t - start_t).max(1);
+    let hot: Vec<i64> = (0..hot_points)
+        .map(|i| start_t + span * (i as i64 + 1) / (hot_points as i64 + 1))
+        .collect();
+    println!(
+        "hot-point workload: {clients} clients x {seconds}s over {hot_points} \
+         timestamps {hot:?}, cache capacity {cache}"
+    );
+
+    let (q_off, el_off, _, _) =
+        run_hot_pass(&ds, fresh_store(opts, "hot_off"), 0, clients, seconds, &hot);
+    let (q_on, el_on, hits, misses) = run_hot_pass(
+        &ds,
+        fresh_store(opts, "hot_on"),
+        cache,
+        clients,
+        seconds,
+        &hot,
+    );
+
+    let qps_off = q_off as f64 / el_off;
+    let qps_on = q_on as f64 / el_on;
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    print_table(
+        "hot-point throughput (cache off vs on)",
+        &["config", "queries", "qps", "hit rate", "speedup"],
+        &[
+            vec![
+                "cache off".into(),
+                q_off.to_string(),
+                format!("{qps_off:.0}"),
+                "-".into(),
+                "1.00x".into(),
+            ],
+            vec![
+                format!("cache {cache}"),
+                q_on.to_string(),
+                format!("{qps_on:.0}"),
+                format!("{:.1}%", hit_rate * 100.0),
+                format!("{:.2}x", qps_on / qps_off.max(f64::MIN_POSITIVE)),
+            ],
+        ],
+    );
+}
+
 fn main() {
     let opts = HarnessOptions::from_args();
     let clients = arg_value("--clients", 8);
     let seconds = arg_value("--seconds", 5);
+
+    if std::env::args().any(|a| a == "--hot") {
+        run_hot(&opts, clients, seconds);
+        return;
+    }
 
     println!(
         "query_throughput: scale={} store={} clients={clients} duration={seconds}s",
@@ -85,6 +240,7 @@ fn main() {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             max_connections: clients + 2,
+            ..Default::default()
         },
     )
     .expect("server start");

@@ -146,6 +146,45 @@ mod tests {
     }
 
     #[test]
+    fn retained_overlays_survive_until_the_last_release() {
+        let mut pool = GraphPool::new();
+        let g = pool.add_historical(&chain_snapshot(5), Timestamp(1));
+        assert_eq!(pool.refcount(g), Some(1));
+        assert!(pool.retain(g)); // a second sharer
+        assert!(pool.retain(g)); // and a third
+        assert_eq!(pool.refcount(g), Some(3));
+
+        pool.release(g);
+        pool.release(g);
+        // two of three references gone: still active, nothing to clean
+        assert!(pool.entry(g).is_some());
+        assert_eq!(pool.pending_cleanup(), 0);
+        assert_eq!(pool.cleanup(), 0);
+
+        pool.release(g);
+        assert!(pool.entry(g).is_none());
+        assert_eq!(pool.pending_cleanup(), 1);
+        assert!(pool.cleanup() > 0);
+        assert_eq!(pool.union_node_count(), 0);
+
+        // retain on inactive/current/unknown ids is refused
+        assert!(!pool.retain(g));
+        assert!(!pool.retain(CURRENT_GRAPH));
+        assert!(!pool.retain(GraphId(999)));
+    }
+
+    #[test]
+    fn force_release_ignores_outstanding_references() {
+        let mut pool = GraphPool::new();
+        let g = pool.add_historical(&chain_snapshot(5), Timestamp(1));
+        pool.retain(g);
+        pool.retain(g);
+        pool.force_release(g);
+        assert!(pool.entry(g).is_none());
+        assert!(pool.cleanup() > 0);
+    }
+
+    #[test]
     fn graph_registry_reports_kinds_and_times() {
         let mut pool = GraphPool::new();
         let h = pool.add_historical(&chain_snapshot(2), Timestamp(42));

@@ -63,6 +63,18 @@ pub struct GraphEntry {
     bits: BitAssignment,
     /// `false` once the graph has been released and awaits cleanup.
     active: bool,
+    /// Number of outstanding references. Registration hands out one; sharers
+    /// (concurrent sessions, a snapshot cache) add more with
+    /// [`GraphPool::retain`], and the entry is only deactivated once
+    /// [`GraphPool::release`] has matched every reference.
+    refs: usize,
+}
+
+impl GraphEntry {
+    /// Number of outstanding references to this graph.
+    pub fn refcount(&self) -> usize {
+        self.refs
+    }
 }
 
 #[derive(Clone, Debug, Default)]
@@ -113,6 +125,7 @@ impl GraphPool {
             dependency: None,
             bits: BitAssignment::Single { member: 0 },
             active: true,
+            refs: 1,
         };
         GraphPool {
             nodes: FxHashMap::default(),
@@ -434,6 +447,7 @@ impl GraphPool {
             dependency: None,
             bits: BitAssignment::Pair { exception, member },
             active: true,
+            refs: 1,
         });
         // Without a dependency the exception bit is set on every overlaid
         // element (membership is always read from the member bit).
@@ -460,6 +474,7 @@ impl GraphPool {
             dependency: Some(dependency),
             bits: BitAssignment::Pair { exception, member },
             active: true,
+            refs: 1,
         });
 
         // Elements present in the snapshot but absent from the dependency:
@@ -547,6 +562,7 @@ impl GraphPool {
             dependency: None,
             bits: BitAssignment::Single { member },
             active: true,
+            refs: 1,
         });
         self.overlay_with_bits(snapshot, member, None);
         id
@@ -561,7 +577,30 @@ impl GraphPool {
     // Clean-up (lazy)
     // ------------------------------------------------------------------
 
-    /// Releases a graph. Its bits are *not* reset immediately; they are
+    /// Adds a reference to an active graph, so a later [`GraphPool::release`]
+    /// by one sharer does not tear the overlay down under the others.
+    /// Returns `false` (and does nothing) if the graph is unknown, inactive,
+    /// or the current graph (which is not reference-managed).
+    pub fn retain(&mut self, id: GraphId) -> bool {
+        if id == CURRENT_GRAPH {
+            return false;
+        }
+        if let Some(Some(entry)) = self.entries.get_mut(id.0 as usize) {
+            if entry.active {
+                entry.refs += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of outstanding references to a graph, if it is active.
+    pub fn refcount(&self, id: GraphId) -> Option<usize> {
+        self.entry(id).map(|e| e.refs)
+    }
+
+    /// Drops one reference to a graph. When the last reference goes, the
+    /// graph is deactivated — its bits are *not* reset immediately; they are
     /// reclaimed by the next [`GraphPool::cleanup`] ("we instead perform
     /// clean-up in a lazy fashion", Section 6). The current graph cannot be
     /// released.
@@ -571,6 +610,25 @@ impl GraphPool {
         }
         if let Some(Some(entry)) = self.entries.get_mut(id.0 as usize) {
             if entry.active {
+                entry.refs = entry.refs.saturating_sub(1);
+                if entry.refs == 0 {
+                    entry.active = false;
+                    self.pending_cleanup.push(id);
+                }
+            }
+        }
+    }
+
+    /// Releases a graph unconditionally, ignoring outstanding references —
+    /// the administrative big hammer behind pool-wide resets. The current
+    /// graph still cannot be released.
+    pub fn force_release(&mut self, id: GraphId) {
+        if id == CURRENT_GRAPH {
+            return;
+        }
+        if let Some(Some(entry)) = self.entries.get_mut(id.0 as usize) {
+            if entry.active {
+                entry.refs = 0;
                 entry.active = false;
                 self.pending_cleanup.push(id);
             }

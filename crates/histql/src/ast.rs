@@ -72,6 +72,8 @@ pub enum Query {
     },
     /// `STATS` — index statistics.
     Stats,
+    /// `STATS CACHE` — snapshot-cache statistics and per-entry refcounts.
+    CacheStats,
     /// `APPEND ...` — one live update event.
     Append(AppendSpec),
     /// `BIND <key> <node id>` — register an application key.
@@ -400,6 +402,7 @@ impl fmt::Display for Query {
                 Ok(())
             }
             Query::Stats => f.write_str("STATS"),
+            Query::CacheStats => f.write_str("STATS CACHE"),
             Query::Append(spec) => match spec {
                 AppendSpec::Node { t, node } => write!(f, "APPEND NODE {} {node}", t.raw()),
                 AppendSpec::DelNode { t, node } => {

@@ -47,9 +47,11 @@ impl Executor {
     pub fn execute(&mut self, query: &Query) -> QlResult<Response> {
         match query {
             Query::GetGraphAt { t, attrs } => {
+                // Point retrievals route through the shared snapshot cache:
+                // a hot `t` is computed once and its pool overlay is shared
+                // (reference-counted) by every session that asks for it.
                 let opts = AttrOptions::parse(attrs)?;
-                let graph = self.shared.snapshot_at(*t, &opts)?;
-                self.session.overlay(&graph, *t);
+                let (graph, _hit) = self.session.retrieve_cached(*t, &opts)?;
                 Ok(Response::Graph { t: *t, graph })
             }
             Query::GetGraphsAt { times, attrs } => {
@@ -84,7 +86,14 @@ impl Executor {
             }
             Query::NodeAt { key, t } => {
                 let node = self.resolve(key)?;
-                let snap = self.shared.snapshot_at(*t, &AttrOptions::all())?;
+                // A cached full snapshot at `t` answers the entity query
+                // without touching the index (read-only peek: no overlay
+                // reference changes hands).
+                let opts = AttrOptions::all();
+                let snap = match self.shared.peek_cached(*t, &opts) {
+                    Some(cached) => cached,
+                    None => std::sync::Arc::new(self.shared.snapshot_at(*t, &opts)?),
+                };
                 let present = snap.has_node(node);
                 let attrs = snap
                     .node(node)
@@ -175,6 +184,15 @@ impl Executor {
                     recent_events: stats.recent_events,
                 })
             }
+            Query::CacheStats => {
+                let gm = self.shared.read();
+                Ok(Response::CacheStats {
+                    capacity: gm.cache_capacity(),
+                    stats: gm.cache_stats(),
+                    overlays: gm.pool().active_overlay_count(),
+                    entries: gm.cache_entries(),
+                })
+            }
             Query::Append(spec) => {
                 let mut gm = self.shared.write();
                 let event = spec.to_event(gm.index().current_graph());
@@ -206,7 +224,10 @@ impl Executor {
             .ok_or_else(|| QlError::Exec("time expression references no time points".into()))?;
         let graph = self.shared.snapshot_expr(tex, opts)?;
         self.session.overlay(&graph, anchor);
-        Ok(Response::Graph { t: anchor, graph })
+        Ok(Response::Graph {
+            t: anchor,
+            graph: std::sync::Arc::new(graph),
+        })
     }
 
     fn resolve(&self, key: &str) -> QlResult<NodeId> {
@@ -237,6 +258,16 @@ mod tests {
         (Executor::new(shared.clone()), shared)
     }
 
+    fn cached_executor(capacity: usize) -> (Executor, SharedGraphManager) {
+        let gm = GraphManager::build_in_memory(
+            &datagen::toy_trace().events,
+            GraphManagerConfig::default().with_snapshot_cache(capacity),
+        )
+        .unwrap();
+        let shared = SharedGraphManager::new(gm);
+        (Executor::new(shared.clone()), shared)
+    }
+
     fn run(exec: &mut Executor, line: &str) -> String {
         exec.execute_line(line)
             .unwrap_or_else(|e| panic!("{line:?}: {e}"))
@@ -252,7 +283,7 @@ mod tests {
             .unwrap();
         let expected = crate::wire::Response::Graph {
             t: Timestamp(6),
-            graph: direct,
+            graph: std::sync::Arc::new(direct),
         }
         .to_text();
         assert_eq!(text, expected);
@@ -346,6 +377,81 @@ mod tests {
         assert!(exec.session_handles().is_empty());
         drop(other);
         assert_eq!(shared.read().pool().active_overlay_count(), 0);
+    }
+
+    #[test]
+    fn cached_point_queries_share_one_overlay_between_executors() {
+        let (mut exec, shared) = cached_executor(8);
+        let mut other = Executor::new(shared.clone());
+        let a = run(&mut exec, "GET GRAPH AT 6 WITH +node:all+edge:all");
+        let b = run(&mut other, "GET GRAPH AT 6 WITH +node:all+edge:all");
+        assert_eq!(a, b);
+        // one shared overlay: cache ref + one per executor session
+        assert_eq!(shared.read().pool().active_overlay_count(), 1);
+        let id = exec.session_handles()[0];
+        assert_eq!(other.session_handles(), &[id]);
+        assert_eq!(shared.read().pool().refcount(id), Some(3));
+
+        let cache = run(&mut exec, "STATS CACHE");
+        assert!(
+            cache.starts_with("OK CACHE entries=1 capacity=8 hits=1 misses=1"),
+            "{cache}"
+        );
+        assert!(
+            cache.contains("C t=6 opts=\"+node:all+edge:all\"") && cache.contains("refs=3"),
+            "{cache}"
+        );
+
+        // RELEASE ALL drops only this session's reference
+        assert_eq!(run(&mut exec, "RELEASE ALL"), "OK RELEASED 1");
+        assert_eq!(shared.read().pool().refcount(id), Some(2));
+        drop(other);
+        assert_eq!(shared.read().pool().refcount(id), Some(1));
+        assert_eq!(shared.read().pool().active_overlay_count(), 1);
+    }
+
+    #[test]
+    fn append_invalidates_cache_over_the_wire() {
+        let (mut exec, shared) = cached_executor(8);
+        run(&mut exec, "GET GRAPH AT 6");
+        run(&mut exec, "GET GRAPH AT 25");
+        assert_eq!(shared.read().cache_len(), 2);
+        run(&mut exec, "APPEND NODE 20 777");
+        // the t=25 entry is at/after the append, the t=6 entry is before it
+        let cache = run(&mut exec, "STATS CACHE");
+        assert!(cache.contains("entries=1"), "{cache}");
+        assert!(cache.contains("C t=6 "), "{cache}");
+        let g = run(&mut exec, "GET GRAPH AT 25");
+        assert!(g.contains("N 777"), "{g}");
+    }
+
+    #[test]
+    fn node_queries_peek_the_cache_without_holding_references() {
+        let (mut exec, shared) = cached_executor(8);
+        run(&mut exec, "BIND alice 1");
+        // GET with full attributes caches (6, all); NODE peeks it
+        run(&mut exec, "GET GRAPH AT 6 WITH +node:all+edge:all");
+        let refs_before = {
+            let gm = shared.read();
+            gm.cache_entries()[0].refs
+        };
+        let node = run(&mut exec, "NODE alice AT 6");
+        assert!(node.contains("present=true"), "{node}");
+        let gm = shared.read();
+        assert_eq!(gm.cache_entries()[0].refs, refs_before);
+        assert_eq!(gm.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn stats_cache_reports_disabled_cache() {
+        let (mut exec, _shared) = executor();
+        run(&mut exec, "GET GRAPH AT 6");
+        let cache = run(&mut exec, "STATS CACHE");
+        assert_eq!(
+            cache,
+            "OK CACHE entries=0 capacity=0 hits=0 misses=0 insertions=0 \
+             invalidations=0 evictions=0 overlays=1"
+        );
     }
 
     #[test]

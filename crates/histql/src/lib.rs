@@ -22,6 +22,7 @@
 //! NODE <key> AT <t>                                one entity at one time
 //! HISTORY NODE <key> FROM <t1> TO <t2> [STEP <k>]  entity evolution (multipoint)
 //! STATS                                            index statistics
+//! STATS CACHE                                      snapshot-cache statistics
 //! APPEND NODE <t> <id>                             live updates ...
 //! APPEND DELNODE <t> <id>
 //! APPEND EDGE <t> <id> <src> <dst> [DIRECTED]
@@ -42,7 +43,9 @@
 //! * [`Query`]'s `Display` — the canonical text form; parse∘display = id,
 //! * [`Executor`] — runs queries against a [`historygraph::SharedGraphManager`],
 //!   computing snapshots under the shared read lock and overlaying them
-//!   through a per-session pool handle set,
+//!   through a per-session pool handle set; point retrievals (`GET GRAPH
+//!   AT`) route through the shared snapshot cache, so concurrent sessions
+//!   asking for the same `(t, opts)` share one reference-counted overlay,
 //! * [`Response`] — deterministic line-oriented serialization of results.
 //!
 //! ```
@@ -125,6 +128,8 @@ mod roundtrip_tests {
                 "HISTORY NODE \"alice\" FROM 0 TO 12 STEP 3",
             ),
             ("stats", "STATS"),
+            ("stats cache", "STATS CACHE"),
+            ("STATS  CACHE", "STATS CACHE"),
             ("append node 20 777", "APPEND NODE 20 777"),
             ("APPEND DELNODE 21 5", "APPEND DELNODE 21 5"),
             ("append edge 21 500 777 1", "APPEND EDGE 21 500 777 1"),

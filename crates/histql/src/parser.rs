@@ -68,7 +68,13 @@ impl Parser {
                     step,
                 })
             }
-            "STATS" => Ok(Query::Stats),
+            "STATS" => {
+                if self.eat_keyword("CACHE") {
+                    Ok(Query::CacheStats)
+                } else {
+                    Ok(Query::Stats)
+                }
+            }
             "APPEND" => self.parse_append(),
             "BIND" => {
                 let key = self.next_key()?;

@@ -10,6 +10,9 @@
 //!
 //! [`GraphManager`]: historygraph::GraphManager
 
+use std::sync::Arc;
+
+use historygraph::{CacheEntryInfo, CacheStats};
 use tgraph::{AttrValue, Event, EventKind, NodeId, Snapshot, Timestamp};
 
 use crate::ast::{fmt_value, quote};
@@ -21,8 +24,9 @@ pub enum Response {
     Graph {
         /// The query's time point (the anchor, for expression queries).
         t: Timestamp,
-        /// The retrieved snapshot.
-        graph: Snapshot,
+        /// The retrieved snapshot. Shared (`Arc`) so cache hits serve the
+        /// materialized snapshot without copying it per response.
+        graph: Arc<Snapshot>,
     },
     /// Several graphs from one multipoint query.
     Graphs {
@@ -86,6 +90,19 @@ pub enum Response {
         materialized_bytes: usize,
         /// Events newer than the last indexed leaf.
         recent_events: usize,
+    },
+    /// Snapshot-cache statistics (`STATS CACHE`): behavior counters, pool
+    /// overlay count, and one `C` line per cached entry with its live
+    /// overlay reference count.
+    CacheStats {
+        /// Cache capacity in entries (0 = disabled).
+        capacity: usize,
+        /// The cache's behavior counters.
+        stats: CacheStats,
+        /// Active historical overlays in the pool (cached or not).
+        overlays: usize,
+        /// The cached entries, sorted by `(t, opts)`.
+        entries: Vec<CacheEntryInfo>,
     },
     /// An `APPEND` was applied.
     Appended {
@@ -234,6 +251,32 @@ impl Response {
                      materialized_bytes={materialized_bytes} recent_events={recent_events}"
                 ));
             }
+            Response::CacheStats {
+                capacity,
+                stats,
+                overlays,
+                entries,
+            } => {
+                out.push(format!(
+                    "OK CACHE entries={} capacity={capacity} hits={} misses={} \
+                     insertions={} invalidations={} evictions={} overlays={overlays}",
+                    entries.len(),
+                    stats.hits,
+                    stats.misses,
+                    stats.insertions,
+                    stats.invalidations,
+                    stats.evictions
+                ));
+                for e in entries {
+                    out.push(format!(
+                        "C t={} opts={} overlay={} refs={}",
+                        e.t.raw(),
+                        quote(&e.opts),
+                        e.overlay.0,
+                        e.refs
+                    ));
+                }
+            }
             Response::Appended { t } => out.push(format!("OK APPENDED t={}", t.raw())),
             Response::Bound { key, node } => out.push(format!("OK BOUND {} {node}", quote(key))),
             Response::Released { count } => out.push(format!("OK RELEASED {count}")),
@@ -368,7 +411,7 @@ mod tests {
             .unwrap();
         let lines = Response::Graph {
             t: Timestamp(6),
-            graph: s,
+            graph: Arc::new(s),
         }
         .to_lines();
         assert_eq!(
@@ -392,7 +435,7 @@ mod tests {
             .unwrap();
         let lines = Response::Graph {
             t: Timestamp(1),
-            graph: s,
+            graph: Arc::new(s),
         }
         .to_lines();
         assert_eq!(lines.len(), 2, "one header + one node line: {lines:?}");

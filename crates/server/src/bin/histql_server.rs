@@ -2,8 +2,13 @@
 //!
 //! ```text
 //! cargo run --release -p server --bin histql_server -- \
-//!     [--addr 127.0.0.1:7171] [--toy | --churn] [--scale 1.0] [--max-conns 64]
+//!     [--addr 127.0.0.1:7171] [--toy | --churn] [--scale 1.0] \
+//!     [--max-conns 64] [--cache 128]
 //! ```
+//!
+//! `--cache N` sizes the shared snapshot cache (entries; 0 disables it):
+//! repeated `GET GRAPH AT t` across sessions is served from one shared,
+//! reference-counted pool overlay instead of recomputing per session.
 //!
 //! Prints the bound address on stdout, then serves until killed. Talk to it
 //! with any line client:
@@ -36,6 +41,9 @@ fn main() {
     let scale: f64 = arg_value("--scale")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1.0);
+    let cache: usize = arg_value("--cache")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128);
     let toy = std::env::args().any(|a| a == "--toy");
 
     let (events, label) = if toy {
@@ -44,15 +52,22 @@ fn main() {
         let ds = churn_trace(&ChurnConfig::default().scaled(scale * 0.1));
         (ds.events, format!("churn trace (scale {scale})"))
     };
-    eprintln!("building index over a {label} ({} events)...", events.len());
-    let gm = GraphManager::build_in_memory(&events, GraphManagerConfig::default())
-        .expect("index construction");
+    eprintln!(
+        "building index over a {label} ({} events, snapshot cache {cache})...",
+        events.len()
+    );
+    let gm = GraphManager::build_in_memory(
+        &events,
+        GraphManagerConfig::default().with_snapshot_cache(cache),
+    )
+    .expect("index construction");
     let (start, end) = gm.index().history_range().expect("non-empty history");
     let server = serve(
         SharedGraphManager::new(gm),
         ServerConfig {
             addr,
             max_connections,
+            ..Default::default()
         },
     )
     .expect("bind");

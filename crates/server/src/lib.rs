@@ -8,11 +8,22 @@
 //! session releases every overlay the connection created when it
 //! disconnects, so a dropped client can never leak GraphPool bits.
 //!
+//! Point retrievals are served through the shared snapshot cache (when the
+//! [`SharedGraphManager`]'s manager was configured with one): sessions
+//! asking for the same `(t, opts)` share one reference-counted pool
+//! overlay, and `RELEASE ALL` / disconnect drop only the session's own
+//! references.
+//!
+//! Shutdown drains with a deadline ([`ServerHandle::shutdown_within`]):
+//! idle sessions are closed immediately, in-flight requests get to finish,
+//! and stragglers are force-closed when the deadline passes.
+//!
 //! ## Wire protocol
 //!
 //! Requests are single lines of `histql` (see the `histql` crate docs for
-//! the grammar). Every response is one or more lines terminated by a lone
-//! `END` line; successful responses start with `OK`, failures with
+//! the grammar, and `docs/PROTOCOL.md` in the repository root for the full
+//! protocol reference). Every response is one or more lines terminated by a
+//! lone `END` line; successful responses start with `OK`, failures with
 //! `ERR <message>`. `QUIT` closes the connection gracefully.
 //!
 //! ```text
@@ -23,12 +34,13 @@
 //! S: END
 //! ```
 
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use historygraph::SharedGraphManager;
 use histql::Executor;
@@ -49,6 +61,9 @@ pub struct ServerConfig {
     /// Maximum simultaneously served connections; further clients are
     /// refused with `ERR server busy`.
     pub max_connections: usize,
+    /// How long [`ServerHandle::shutdown`] waits for connections to finish
+    /// on their own before force-closing the remaining (idle) sessions.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -56,15 +71,65 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             max_connections: 64,
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
 
-/// Handle to a running server; shuts it down on drop.
+/// Registry of the streams behind live connections, so a draining shutdown
+/// can reach sessions that sit idle in a blocking read.
+#[derive(Default)]
+struct ConnRegistry {
+    streams: Mutex<HashMap<u64, TcpStream>>,
+    next_id: AtomicU64,
+}
+
+impl ConnRegistry {
+    fn register(&self, stream: TcpStream) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        self.streams
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, stream);
+        id
+    }
+
+    fn deregister(&self, id: u64) {
+        self.streams
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&id);
+    }
+
+    /// Shuts down the *read* half of every registered stream. A session
+    /// parked in a blocking read observes EOF and exits cleanly; a session
+    /// mid-request is untouched on the write side, so its in-flight
+    /// response still goes out in full — there is no window in which an
+    /// accepted request can lose its reply.
+    fn shutdown_reads(&self) {
+        let streams = self.streams.lock().unwrap_or_else(|e| e.into_inner());
+        for stream in streams.values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+    }
+
+    /// Closes every registered stream in both directions, mid-request or
+    /// not — the force applied when the drain deadline passes.
+    fn close_all(&self) {
+        let streams = self.streams.lock().unwrap_or_else(|e| e.into_inner());
+        for stream in streams.values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Handle to a running server; shuts it down (with a drain) on drop.
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
+    registry: Arc<ConnRegistry>,
+    drain_timeout: Duration,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -79,9 +144,23 @@ impl ServerHandle {
         self.active.load(Ordering::SeqCst)
     }
 
-    /// Stops accepting connections and joins the accept loop. Connections
-    /// already being served run until their client disconnects.
+    /// Stops accepting connections and drains the existing ones with the
+    /// configured [`ServerConfig::drain_timeout`] deadline. See
+    /// [`ServerHandle::shutdown_within`].
     pub fn shutdown(&mut self) {
+        self.shutdown_within(self.drain_timeout);
+    }
+
+    /// Stops accepting connections, then drains with a deadline: the read
+    /// half of every session's socket is shut immediately, so idle sessions
+    /// (parked in a blocking read) observe EOF at once, unwind, and release
+    /// their pool overlays, while sessions mid-request keep their write
+    /// half and finish their in-flight response in full before exiting.
+    /// Whatever still lingers after the deadline is force-closed in both
+    /// directions. Returns once every connection thread has observed the
+    /// close (bounded by a second deadline of the same length, so a wedged
+    /// thread cannot hang the caller forever).
+    pub fn shutdown_within(&mut self, deadline: Duration) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
@@ -90,6 +169,24 @@ impl ServerHandle {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        self.registry.shutdown_reads();
+        if !self.await_quiesce(deadline) {
+            self.registry.close_all();
+            self.await_quiesce(deadline);
+        }
+    }
+
+    /// Polls until no connection is active or `deadline` passes; `true` if
+    /// the server quiesced.
+    fn await_quiesce(&self, deadline: Duration) -> bool {
+        let until = Instant::now() + deadline;
+        while self.active.load(Ordering::SeqCst) > 0 {
+            if Instant::now() >= until {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        true
     }
 }
 
@@ -106,10 +203,12 @@ pub fn serve(shared: SharedGraphManager, config: ServerConfig) -> io::Result<Ser
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let active = Arc::new(AtomicUsize::new(0));
+    let registry = Arc::new(ConnRegistry::default());
 
     let accept_thread = {
         let shutdown = Arc::clone(&shutdown);
         let active = Arc::clone(&active);
+        let registry = Arc::clone(&registry);
         thread::spawn(move || {
             for stream in listener.incoming() {
                 if shutdown.load(Ordering::SeqCst) {
@@ -120,15 +219,30 @@ pub fn serve(shared: SharedGraphManager, config: ServerConfig) -> io::Result<Ser
                     refuse(stream);
                     continue;
                 }
+                // A connection the registry cannot reach would be invisible
+                // to the drain (shutdown would stall the full deadline and
+                // still leave it running); refuse it instead. try_clone only
+                // fails under fd exhaustion, where shedding load is the
+                // right call anyway.
+                let Ok(clone) = stream.try_clone() else {
+                    refuse(stream);
+                    continue;
+                };
                 active.fetch_add(1, Ordering::SeqCst);
-                let guard = ConnGuard(Arc::clone(&active));
+                let conn_id = registry.register(clone);
+                let guard = ConnGuard {
+                    active: Arc::clone(&active),
+                    registry: Arc::clone(&registry),
+                    conn_id,
+                };
                 let shared = shared.clone();
+                let shutdown = Arc::clone(&shutdown);
                 thread::spawn(move || {
                     let _guard = guard;
                     // The executor's pool session releases this connection's
                     // overlays when the thread ends, however it ends.
                     let mut executor = Executor::new(shared);
-                    let _ = serve_connection(stream, &mut executor);
+                    let _ = serve_connection(stream, &mut executor, &shutdown);
                 });
             }
         })
@@ -138,15 +252,22 @@ pub fn serve(shared: SharedGraphManager, config: ServerConfig) -> io::Result<Ser
         addr,
         shutdown,
         active,
+        registry,
+        drain_timeout: config.drain_timeout,
         accept_thread: Some(accept_thread),
     })
 }
 
-struct ConnGuard(Arc<AtomicUsize>);
+struct ConnGuard {
+    active: Arc<AtomicUsize>,
+    registry: Arc<ConnRegistry>,
+    conn_id: u64,
+}
 
 impl Drop for ConnGuard {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+        self.registry.deregister(self.conn_id);
+        self.active.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -198,7 +319,11 @@ pub(crate) fn read_bounded_line(
     }
 }
 
-fn serve_connection(stream: TcpStream, executor: &mut Executor) -> io::Result<()> {
+fn serve_connection(
+    stream: TcpStream,
+    executor: &mut Executor,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
     // A generous read timeout so half-dead peers cannot pin a connection
     // slot forever.
     stream.set_read_timeout(Some(Duration::from_secs(300)))?;
@@ -206,6 +331,9 @@ fn serve_connection(stream: TcpStream, executor: &mut Executor) -> io::Result<()
     let mut writer = BufWriter::new(stream);
     let mut line = String::new();
     loop {
+        // A draining shutdown shuts this socket's read half, which
+        // surfaces here as EOF (or an error) — both paths drop the
+        // executor and release the session's overlays.
         match read_bounded_line(&mut reader, &mut line, MAX_LINE_BYTES) {
             Ok(Some(())) => {}
             Ok(None) => return Ok(()), // client closed the connection
@@ -240,6 +368,10 @@ fn serve_connection(stream: TcpStream, executor: &mut Executor) -> io::Result<()
         }
         writer.write_all(b"END\n")?;
         writer.flush()?;
+        if shutdown.load(Ordering::SeqCst) {
+            // Draining: the in-flight request got its response; close now.
+            return Ok(());
+        }
     }
 }
 
@@ -262,6 +394,7 @@ mod tests {
             ServerConfig {
                 addr: "127.0.0.1:0".into(),
                 max_connections,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -280,7 +413,7 @@ mod tests {
             .unwrap();
         let expected = histql::Response::Graph {
             t: Timestamp(6),
-            graph: direct,
+            graph: std::sync::Arc::new(direct),
         }
         .to_lines();
         assert_eq!(lines, expected);
@@ -378,6 +511,65 @@ mod tests {
             reply.is_empty() || reply.starts_with("ERR request line too long"),
             "{reply:?}"
         );
+    }
+
+    #[test]
+    fn shutdown_drains_idle_sessions_and_releases_their_overlays() {
+        let (mut server, shared) = start(8);
+        let mut a = Client::connect(server.addr()).unwrap();
+        let mut b = Client::connect(server.addr()).unwrap();
+        a.send_ok("GET GRAPH AT 6").unwrap();
+        b.send_ok("GET GRAPH AT 9").unwrap();
+        assert_eq!(shared.read().pool().active_overlay_count(), 2);
+        // Both clients now sit idle in a blocking read. A drain must not
+        // wait out their 300 s read timeout: it closes them at the socket.
+        let started = Instant::now();
+        server.shutdown_within(Duration::from_secs(5));
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "drain should close idle sessions well before the deadline"
+        );
+        assert_eq!(server.active_connections(), 0);
+        // The force-closed sessions released their overlays on the way out.
+        assert_eq!(shared.read().pool().active_overlay_count(), 0);
+        // The clients observe the close as EOF/error, not a hang.
+        assert!(a.send("PING").is_err());
+        assert!(b.send("PING").is_err());
+        // New connections are refused (nothing is listening any more).
+        assert!(
+            Client::connect(server.addr()).is_err()
+                || Client::connect(server.addr())
+                    .and_then(|mut c| c.send("PING"))
+                    .is_err()
+        );
+    }
+
+    #[test]
+    fn shutdown_lets_an_in_flight_request_finish() {
+        let (mut server, _shared) = start(8);
+        let addr = server.addr();
+        // One client keeps issuing requests while we drain: the drain must
+        // not cut off a response mid-frame — the client either gets a full
+        // OK..END response or a clean close.
+        let worker = thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            let mut completed = 0usize;
+            loop {
+                match c.send("GET GRAPH AT 6") {
+                    Ok(lines) => {
+                        assert!(lines[0].starts_with("OK GRAPH"), "{lines:?}");
+                        completed += 1;
+                    }
+                    Err(_) => return completed, // drained
+                }
+            }
+        });
+        // Let the worker get going, then drain.
+        thread::sleep(Duration::from_millis(50));
+        server.shutdown_within(Duration::from_secs(5));
+        let completed = worker.join().unwrap();
+        assert!(completed > 0, "worker should have completed some requests");
+        assert_eq!(server.active_connections(), 0);
     }
 
     #[test]

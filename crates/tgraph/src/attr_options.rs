@@ -19,7 +19,7 @@ use crate::error::{Result, TgError};
 use crate::event::EventCategory;
 
 /// Selection of attributes for one element class (nodes or edges).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct AttrSelection {
     /// If `true`, start from "all attributes" and subtract `excluded`;
     /// if `false`, start from "no attributes" and add `included`.
@@ -65,7 +65,12 @@ impl AttrSelection {
 }
 
 /// Parsed attribute options for one snapshot query.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// `AttrOptions` is `Eq + Hash`, so it can key caches of materialized
+/// snapshots: two options strings that select the same attributes (for
+/// example `"+node:all+edge:all"` written in any order) compare equal and
+/// hash identically.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct AttrOptions {
     /// Node attribute selection.
     pub node: AttrSelection,
@@ -128,22 +133,36 @@ impl AttrOptions {
                     )))
                 }
             };
+            // Invariant kept here: `included` is only populated when
+            // `default_all == false`, `excluded` only when it is `true`.
+            // Without it, semantically identical option strings (e.g.
+            // "+node:foo+node:all" vs "+node:all") would compare unequal,
+            // fragmenting anything keyed by `AttrOptions`, and
+            // `canonical_string` would not round-trip.
             match (sign, name) {
                 (true, "all") => {
                     selection.default_all = true;
                     selection.excluded.clear();
+                    selection.included.clear();
                 }
                 (false, "all") => {
                     selection.default_all = false;
                     selection.included.clear();
+                    selection.excluded.clear();
                 }
                 (true, attr) => {
-                    selection.included.insert(attr.to_owned());
-                    selection.excluded.remove(attr);
+                    if selection.default_all {
+                        selection.excluded.remove(attr);
+                    } else {
+                        selection.included.insert(attr.to_owned());
+                    }
                 }
                 (false, attr) => {
-                    selection.excluded.insert(attr.to_owned());
-                    selection.included.remove(attr);
+                    if selection.default_all {
+                        selection.excluded.insert(attr.to_owned());
+                    } else {
+                        selection.included.remove(attr);
+                    }
                 }
             }
         }
@@ -168,6 +187,27 @@ impl AttrOptions {
     /// Whether any edge attributes might be fetched at all.
     pub fn needs_edge_attrs(&self) -> bool {
         !self.edge.is_none()
+    }
+
+    /// Renders the canonical options string these options parse from:
+    /// sub-options ordered node before edge, `all` selectors first, explicit
+    /// attribute names in lexicographic order. The empty selection renders
+    /// as `""`; [`AttrOptions::parse`] of the result reproduces `self`.
+    pub fn canonical_string(&self) -> String {
+        let mut out = String::new();
+        for (class, sel) in [("node", &self.node), ("edge", &self.edge)] {
+            if sel.default_all {
+                out.push_str(&format!("+{class}:all"));
+                for name in &sel.excluded {
+                    out.push_str(&format!("-{class}:{name}"));
+                }
+            } else {
+                for name in &sel.included {
+                    out.push_str(&format!("+{class}:{name}"));
+                }
+            }
+        }
+        out
     }
 
     /// The delta/eventlist components that must be read from storage to
@@ -254,6 +294,42 @@ mod tests {
         assert!(AttrOptions::parse("+nodeall").is_err());
         assert!(AttrOptions::parse("+vertex:all").is_err());
         assert!(AttrOptions::parse("+node:").is_err());
+    }
+
+    #[test]
+    fn equivalent_option_strings_compare_equal() {
+        // Stale include/exclude entries must not survive an "all" selector:
+        // these pairs select identical attributes and must be one cache key.
+        for (a, b) in [
+            ("+node:foo+node:all", "+node:all"),
+            ("-node:x+node:x+node:all", "+node:all"),
+            ("+edge:w-edge:all", ""),
+            ("+node:all-node:x+node:x", "+node:all"),
+        ] {
+            let pa = AttrOptions::parse(a).unwrap();
+            let pb = AttrOptions::parse(b).unwrap();
+            assert_eq!(pa, pb, "{a:?} vs {b:?}");
+            assert_eq!(pa.canonical_string(), pb.canonical_string());
+        }
+    }
+
+    #[test]
+    fn canonical_string_round_trips() {
+        for s in [
+            "",
+            "+node:all+edge:all",
+            "+node:all-node:salary+edge:name",
+            "+edge:w",
+            "+node:b+node:a",
+            "+node:foo+node:all",
+            "+node:all-node:x+node:y",
+        ] {
+            let o = AttrOptions::parse(s).unwrap();
+            let canon = o.canonical_string();
+            assert_eq!(AttrOptions::parse(&canon).unwrap(), o, "{s:?} -> {canon:?}");
+        }
+        assert_eq!(AttrOptions::all().canonical_string(), "+node:all+edge:all");
+        assert_eq!(AttrOptions::structure_only().canonical_string(), "");
     }
 
     #[test]

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Checks that relative markdown links in the given files resolve.
+
+Usage: check_doc_links.py FILE.md [FILE.md ...]
+
+External links (http/https/mailto) are skipped — CI runs offline and
+flaky remote checks would make the docs gate unreliable. Anchors are
+verified against the target file's headings (GitHub-style slugs).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style heading slug: lowercase, spaces to dashes, drop
+    everything that is not alphanumeric, dash, or underscore."""
+    slug = heading.strip().lower().replace(" ", "-")
+    return re.sub(r"[^a-z0-9_-]", "", slug)
+
+
+def anchors_of(path: Path) -> set:
+    return {slugify(m.group(1)) for m in HEADING.finditer(path.read_text())}
+
+
+def check(path: Path) -> list:
+    errors = []
+    for match in LINK.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        dest = path if not file_part else (path.parent / file_part).resolve()
+        if not dest.exists():
+            errors.append(f"{path}: broken link {target!r} (no {dest})")
+            continue
+        if anchor and dest.suffix == ".md" and slugify(anchor) not in anchors_of(dest):
+            errors.append(f"{path}: broken anchor {target!r}")
+    return errors
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    for name in sys.argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            errors.append(f"no such file: {name}")
+            continue
+        errors.extend(check(path))
+    for err in errors:
+        print(err, file=sys.stderr)
+    if not errors:
+        print(f"ok: {len(sys.argv) - 1} file(s), all relative links resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

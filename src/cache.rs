@@ -1,0 +1,357 @@
+//! The shared snapshot cache: hot points become pool lookups.
+//!
+//! The paper's central claim is that snapshot retrieval should cost little
+//! more than a GraphPool lookup once the DeltaGraph has been traversed — yet
+//! without a cache every `GET GRAPH AT t` re-traverses the index, and two
+//! sessions asking for the same instant build two separate pool overlays,
+//! defeating the pool's sharing design (Section 6). The [`SnapshotCache`]
+//! closes both gaps:
+//!
+//! * an LRU of recently materialized snapshots keyed by
+//!   `(t, `[`AttrOptions`]`)`, so a hot point is computed once and then
+//!   served from memory, and
+//! * one reference-counted pool overlay per cached snapshot, shared by every
+//!   session that retrieves that `(t, opts)` — the GraphPool's overlay
+//!   sharing finally kicks in *across* connections, not just within one.
+//!
+//! Consistency is kept by the append path: an `APPEND` at time `ta`
+//! invalidates every cached entry with `t >= ta` (those snapshots could now
+//! differ from a fresh computation), while entries strictly before `ta`
+//! stay valid — history already written never changes.
+//!
+//! The cache itself only bookkeeps; reference counts live in the
+//! [`GraphPool`](graphpool::GraphPool) and locking lives in
+//! [`SharedGraphManager`](crate::SharedGraphManager). See
+//! `docs/ARCHITECTURE.md` for where the cache sits in a request's life.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use graphpool::GraphId;
+use tgraph::{AttrOptions, Snapshot, Timestamp};
+
+/// Monotonically increasing counters describing cache behavior, reported
+/// over the wire by `STATS CACHE`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Point retrievals that had to traverse the DeltaGraph (read-only
+    /// peeks that find nothing are not counted — nothing is computed or
+    /// inserted on their behalf).
+    pub misses: u64,
+    /// Snapshots inserted after a miss.
+    pub insertions: u64,
+    /// Entries dropped because an `APPEND` landed at or before their time.
+    pub invalidations: u64,
+    /// Entries dropped to make room (LRU order).
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One cached snapshot as reported by `STATS CACHE`: its key, its shared
+/// overlay, and how many references that overlay currently has (the cache's
+/// own plus one per session holding it).
+#[derive(Clone, Debug)]
+pub struct CacheEntryInfo {
+    /// The cached time point.
+    pub t: Timestamp,
+    /// Canonical attribute-options string of the key.
+    pub opts: String,
+    /// The pool overlay shared by every session retrieving this entry.
+    pub overlay: GraphId,
+    /// Outstanding references to the overlay.
+    pub refs: usize,
+}
+
+struct CacheEntry {
+    snapshot: Arc<Snapshot>,
+    overlay: GraphId,
+    last_used: u64,
+}
+
+/// An LRU cache of materialized snapshots keyed by `(t, AttrOptions)`.
+///
+/// Capacity 0 disables the cache entirely: lookups always miss without
+/// touching the counters, and nothing is retained. Entries own one pool
+/// reference to their overlay; dropping an entry (eviction, invalidation,
+/// purge) returns the overlay id so the owner can release that reference.
+pub struct SnapshotCache {
+    capacity: usize,
+    entries: HashMap<(Timestamp, AttrOptions), CacheEntry>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl SnapshotCache {
+    /// Creates a cache holding at most `capacity` snapshots (0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        SnapshotCache {
+            capacity,
+            entries: HashMap::new(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Maximum number of cached snapshots (0 = disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of snapshots currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The behavior counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up `(t, opts)`, refreshing its LRU position. `count` controls
+    /// whether the hit/miss counters move (the double-checked re-probe after
+    /// a miss passes `false` so one logical lookup is counted once).
+    pub(crate) fn lookup(
+        &mut self,
+        t: Timestamp,
+        opts: &AttrOptions,
+        count: bool,
+    ) -> Option<(Arc<Snapshot>, GraphId)> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.tick += 1;
+        // Borrow-friendly: probe with a borrowed tuple key is not possible
+        // with a (Timestamp, AttrOptions) key, so clone the small key parts.
+        match self.entries.get_mut(&(t, opts.clone())) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                if count {
+                    self.stats.hits += 1;
+                }
+                Some((Arc::clone(&entry.snapshot), entry.overlay))
+            }
+            None => {
+                if count {
+                    self.stats.misses += 1;
+                }
+                None
+            }
+        }
+    }
+
+    /// Read-only probe: the cached snapshot for `(t, opts)` if present,
+    /// refreshing its LRU position. A hit counts as a hit; finding nothing
+    /// counts as nothing — unlike a [`SnapshotCache::lookup`] miss, no
+    /// computation or insertion follows a failed peek, so counting it as a
+    /// miss would skew the hit rate of the retrieval path.
+    pub(crate) fn peek(&mut self, t: Timestamp, opts: &AttrOptions) -> Option<Arc<Snapshot>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.tick += 1;
+        let entry = self.entries.get_mut(&(t, opts.clone()))?;
+        entry.last_used = self.tick;
+        self.stats.hits += 1;
+        Some(Arc::clone(&entry.snapshot))
+    }
+
+    /// Inserts a freshly materialized snapshot. Returns the overlays this
+    /// displaced — a previous entry under the same key (replaced) and/or the
+    /// least-recently-used entry (evicted to make room) — whose cache
+    /// references the caller must release. Must not be called when the
+    /// cache is disabled.
+    pub(crate) fn insert(
+        &mut self,
+        t: Timestamp,
+        opts: AttrOptions,
+        snapshot: Arc<Snapshot>,
+        overlay: GraphId,
+    ) -> Vec<GraphId> {
+        debug_assert!(self.capacity > 0, "insert into a disabled cache");
+        let mut displaced = Vec::new();
+        if let Some(old) = self.entries.remove(&(t, opts.clone())) {
+            // Same key re-inserted: the old overlay's cache reference must
+            // not leak. (Unreachable from the double-checked retrieval path,
+            // but cheap to keep correct for any future caller.)
+            displaced.push(old.overlay);
+        } else if self.entries.len() >= self.capacity {
+            if let Some(key) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                let old = self.entries.remove(&key).expect("key just found");
+                self.stats.evictions += 1;
+                displaced.push(old.overlay);
+            }
+        }
+        self.tick += 1;
+        self.stats.insertions += 1;
+        self.entries.insert(
+            (t, opts),
+            CacheEntry {
+                snapshot,
+                overlay,
+                last_used: self.tick,
+            },
+        );
+        displaced
+    }
+
+    /// Drops every entry at or after `t` (an `APPEND` at `t` may change any
+    /// snapshot from `t` onwards; earlier history is immutable). Returns the
+    /// overlays whose cache references must be released.
+    pub(crate) fn invalidate_from(&mut self, t: Timestamp) -> Vec<GraphId> {
+        let doomed: Vec<(Timestamp, AttrOptions)> = self
+            .entries
+            .keys()
+            .filter(|(et, _)| *et >= t)
+            .cloned()
+            .collect();
+        let mut overlays = Vec::with_capacity(doomed.len());
+        for key in doomed {
+            if let Some(entry) = self.entries.remove(&key) {
+                self.stats.invalidations += 1;
+                overlays.push(entry.overlay);
+            }
+        }
+        overlays
+    }
+
+    /// Drops every entry (administrative reset). Returns the overlays whose
+    /// cache references must be released.
+    pub(crate) fn purge(&mut self) -> Vec<GraphId> {
+        self.entries.drain().map(|(_, e)| e.overlay).collect()
+    }
+
+    /// The cached keys and overlays, sorted by `(t, opts)` for deterministic
+    /// reporting. Reference counts are the pool's business; the manager
+    /// fills them in (see `GraphManager::cache_entries`).
+    pub(crate) fn entry_list(&self) -> Vec<(Timestamp, AttrOptions, GraphId)> {
+        let mut list: Vec<_> = self
+            .entries
+            .iter()
+            .map(|((t, opts), e)| (*t, opts.clone(), e.overlay))
+            .collect();
+        list.sort_by_key(|(t, opts, _)| (*t, opts.canonical_string()));
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> Arc<Snapshot> {
+        Arc::new(Snapshot::new())
+    }
+
+    #[test]
+    fn disabled_cache_never_hits_or_counts() {
+        let mut c = SnapshotCache::new(0);
+        assert!(c.lookup(Timestamp(1), &AttrOptions::all(), true).is_none());
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries() {
+        let mut c = SnapshotCache::new(2);
+        let o = AttrOptions::all();
+        assert!(c
+            .insert(Timestamp(1), o.clone(), snap(), GraphId(10))
+            .is_empty());
+        assert!(c
+            .insert(Timestamp(2), o.clone(), snap(), GraphId(11))
+            .is_empty());
+        // touch t=1 so t=2 is the LRU victim
+        assert!(c.lookup(Timestamp(1), &o, true).is_some());
+        let evicted = c.insert(Timestamp(3), o.clone(), snap(), GraphId(12));
+        assert_eq!(evicted, vec![GraphId(11)]);
+        assert!(c.lookup(Timestamp(1), &o, true).is_some());
+        assert!(c.lookup(Timestamp(2), &o, true).is_none());
+        assert!(c.lookup(Timestamp(3), &o, true).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (3, 1, 1));
+    }
+
+    #[test]
+    fn uncounted_lookup_leaves_stats_alone() {
+        let mut c = SnapshotCache::new(4);
+        c.insert(Timestamp(1), AttrOptions::all(), snap(), GraphId(9));
+        assert!(c.lookup(Timestamp(1), &AttrOptions::all(), false).is_some());
+        assert!(c.lookup(Timestamp(2), &AttrOptions::all(), false).is_none());
+        assert_eq!((c.stats().hits, c.stats().misses), (0, 0));
+    }
+
+    #[test]
+    fn reinserting_a_key_returns_the_replaced_overlay() {
+        let mut c = SnapshotCache::new(2);
+        let o = AttrOptions::all();
+        c.insert(Timestamp(1), o.clone(), snap(), GraphId(10));
+        c.insert(Timestamp(2), o.clone(), snap(), GraphId(11));
+        // Re-inserting t=1 at full capacity replaces in place: the old
+        // overlay comes back, and no innocent LRU victim is evicted.
+        let displaced = c.insert(Timestamp(1), o.clone(), snap(), GraphId(12));
+        assert_eq!(displaced, vec![GraphId(10)]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.lookup(Timestamp(1), &o, true).unwrap().1, GraphId(12));
+        assert_eq!(c.lookup(Timestamp(2), &o, true).unwrap().1, GraphId(11));
+    }
+
+    #[test]
+    fn peek_counts_hits_but_never_misses() {
+        let mut c = SnapshotCache::new(4);
+        assert!(c.peek(Timestamp(1), &AttrOptions::all()).is_none());
+        assert_eq!((c.stats().hits, c.stats().misses), (0, 0));
+        c.insert(Timestamp(1), AttrOptions::all(), snap(), GraphId(9));
+        assert!(c.peek(Timestamp(1), &AttrOptions::all()).is_some());
+        assert_eq!((c.stats().hits, c.stats().misses), (1, 0));
+    }
+
+    #[test]
+    fn invalidation_is_a_strict_time_cut() {
+        let mut c = SnapshotCache::new(8);
+        let o = AttrOptions::all();
+        for t in [1i64, 5, 9] {
+            c.insert(Timestamp(t), o.clone(), snap(), GraphId(100 + t as u32));
+        }
+        let dropped = c.invalidate_from(Timestamp(5));
+        let mut ids: Vec<u32> = dropped.iter().map(|g| g.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![105, 109]); // t=5 and t=9 go, t=1 stays
+        assert!(c.lookup(Timestamp(1), &o, true).is_some());
+        assert_eq!(c.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn distinct_attr_options_are_distinct_entries() {
+        let mut c = SnapshotCache::new(8);
+        let all = AttrOptions::all();
+        let bare = AttrOptions::structure_only();
+        c.insert(Timestamp(1), all.clone(), snap(), GraphId(1));
+        c.insert(Timestamp(1), bare.clone(), snap(), GraphId(2));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup(Timestamp(1), &all, true).unwrap().1, GraphId(1));
+        assert_eq!(c.lookup(Timestamp(1), &bare, true).unwrap().1, GraphId(2));
+    }
+}

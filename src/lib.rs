@@ -24,6 +24,10 @@
 //! (GraphPool maintenance), the embedded history manager (DeltaGraph
 //! planning and I/O), and the query-manager duties of translating external
 //! keys to internal ids and attribute-option strings into typed options.
+//! On top of the facade sit [`SharedGraphManager`] (the concurrent
+//! read/write split used by the TCP server) and the [`cache`] module's
+//! shared snapshot cache, which serves hot point retrievals from one
+//! reference-counted pool overlay shared across sessions.
 //!
 //! ```
 //! use historygraph::{GraphManager, GraphManagerConfig};
@@ -45,10 +49,12 @@ pub use graphpool;
 pub use kvstore;
 pub use tgraph;
 
+pub mod cache;
 pub mod manager;
 pub mod shared;
 pub mod source;
 
+pub use cache::{CacheEntryInfo, CacheStats, SnapshotCache};
 pub use manager::{GraphManager, GraphManagerConfig};
 pub use shared::{PoolSession, SharedGraphManager};
 pub use source::DeltaGraphSource;

@@ -14,6 +14,8 @@ use graphpool::{GraphId, GraphPool, GraphView};
 use kvstore::{DiskStore, KeyValueStore, MemStore};
 use tgraph::{AttrOptions, Event, NodeId, Snapshot, TimeExpression, Timestamp};
 
+use crate::cache::{CacheEntryInfo, CacheStats, SnapshotCache};
+
 /// Configuration of a [`GraphManager`].
 #[derive(Clone, Debug, Default)]
 pub struct GraphManagerConfig {
@@ -23,12 +25,25 @@ pub struct GraphManagerConfig {
     /// the current graph whenever the number of differing elements is small
     /// relative to the graph size (the query-time decision of Section 6).
     pub dependent_overlays: bool,
+    /// Capacity of the shared snapshot cache used by point retrievals routed
+    /// through [`crate::PoolSession::retrieve_cached`]: an LRU of
+    /// materialized snapshots keyed by `(t, AttrOptions)`, whose pool
+    /// overlays are shared (reference-counted) across sessions. `0` (the
+    /// default) disables caching; the paper-API methods on [`GraphManager`]
+    /// itself never consult the cache.
+    pub snapshot_cache_capacity: usize,
 }
 
 impl GraphManagerConfig {
     /// Uses the given DeltaGraph configuration.
     pub fn with_index(mut self, index: DeltaGraphConfig) -> Self {
         self.index = index;
+        self
+    }
+
+    /// Enables the shared snapshot cache with the given capacity (entries).
+    pub fn with_snapshot_cache(mut self, capacity: usize) -> Self {
+        self.snapshot_cache_capacity = capacity;
         self
     }
 }
@@ -43,6 +58,11 @@ pub struct GraphManager {
     config: GraphManagerConfig,
     /// The pool handle of the current graph's last full overlay.
     current_seeded: bool,
+    /// Shared snapshot cache (disabled at capacity 0); see [`crate::cache`].
+    cache: SnapshotCache,
+    /// Bumped on every successful append; guards cache inserts against
+    /// racing with invalidation (see [`GraphManager::append_epoch`]).
+    append_epoch: u64,
 }
 
 impl GraphManager {
@@ -76,6 +96,7 @@ impl GraphManager {
         let index = DeltaGraph::build(events, config.index.clone(), store)?;
         let mut pool = GraphPool::new();
         pool.set_current(index.current_graph());
+        let cache = SnapshotCache::new(config.snapshot_cache_capacity);
         Ok(GraphManager {
             index,
             pool,
@@ -83,6 +104,8 @@ impl GraphManager {
             node_to_key: HashMap::new(),
             config,
             current_seeded: true,
+            cache,
+            append_epoch: 0,
         })
     }
 
@@ -170,6 +193,109 @@ impl GraphManager {
         self.overlay(snapshot, t)
     }
 
+    // ------------------------------------------------------------------
+    // Shared snapshot cache (see `crate::cache`)
+    // ------------------------------------------------------------------
+
+    /// Cache lookup for a point retrieval. On a hit the overlay gains one
+    /// reference for the calling session (which must eventually
+    /// [`GraphManager::release`] it). `count` controls the hit/miss
+    /// counters; the double-checked re-probe after a miss passes `false`.
+    pub(crate) fn cache_acquire(
+        &mut self,
+        t: Timestamp,
+        opts: &AttrOptions,
+        count: bool,
+    ) -> Option<(Arc<Snapshot>, GraphId)> {
+        let (snapshot, overlay) = self.cache.lookup(t, opts, count)?;
+        if !self.pool.retain(overlay) {
+            // Defensive: the cache's own reference should keep the overlay
+            // active, but never hand out a dead handle.
+            return None;
+        }
+        Some((snapshot, overlay))
+    }
+
+    /// Overlays a freshly computed snapshot and, when the cache is enabled,
+    /// caches it. The returned handle carries one reference for the calling
+    /// session; the cache holds its own (the registration reference), so
+    /// the overlay outlives the session for future sharers.
+    ///
+    /// `computed_at_epoch` is the [`GraphManager::append_epoch`] observed
+    /// while the snapshot was computed (under the read lock). If an append
+    /// has landed since, the snapshot may predate events at or before `t`,
+    /// so it is overlaid for the calling session only and *not* cached —
+    /// a racing insert must never resurrect an invalidated time range.
+    pub(crate) fn cache_insert_overlay(
+        &mut self,
+        snapshot: &Arc<Snapshot>,
+        t: Timestamp,
+        opts: &AttrOptions,
+        computed_at_epoch: u64,
+    ) -> GraphId {
+        if self.cache.capacity() == 0 || self.append_epoch != computed_at_epoch {
+            // Plain session-owned overlay, nothing cached.
+            return self.overlay(snapshot.as_ref(), t);
+        }
+        // Cached overlays are always self-contained (never dependent on the
+        // current graph): a dependent overlay's view silently changes when
+        // appends mutate its dependency, which would corrupt cache entries
+        // at t < event-time — exactly the entries invalidation keeps.
+        let id = self.pool.add_historical(snapshot.as_ref(), t);
+        self.pool.retain(id); // the session's reference (registration = cache's)
+        for displaced in self.cache.insert(t, opts.clone(), Arc::clone(snapshot), id) {
+            self.pool.release(displaced);
+        }
+        id
+    }
+
+    /// Read-only cache probe: returns the cached snapshot for `(t, opts)`
+    /// without touching overlay references. Used by queries that only need
+    /// the snapshot's data (e.g. `NODE ... AT`), not a pool handle. A probe
+    /// that finds nothing does not count as a miss — nothing is computed or
+    /// inserted on its behalf.
+    pub(crate) fn cache_peek(&mut self, t: Timestamp, opts: &AttrOptions) -> Option<Arc<Snapshot>> {
+        self.cache.peek(t, opts)
+    }
+
+    /// Number of successful appends so far. Snapshot computations record
+    /// the epoch they ran under so a result that raced an append is never
+    /// inserted into the cache (the insert path compares epochs and falls
+    /// back to a plain session-owned overlay on mismatch).
+    pub fn append_epoch(&self) -> u64 {
+        self.append_epoch
+    }
+
+    /// The snapshot cache's behavior counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Number of snapshots currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Capacity of the snapshot cache (0 = disabled).
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    /// The cached entries with live overlay reference counts, sorted by
+    /// `(t, opts)` — the payload of `STATS CACHE`.
+    pub fn cache_entries(&self) -> Vec<CacheEntryInfo> {
+        self.cache
+            .entry_list()
+            .into_iter()
+            .map(|(t, opts, overlay)| CacheEntryInfo {
+                t,
+                opts: opts.canonical_string(),
+                overlay,
+                refs: self.pool.refcount(overlay).unwrap_or(0),
+            })
+            .collect()
+    }
+
     /// A read view of a retrieved graph.
     pub fn graph(&self, id: GraphId) -> GraphView<'_> {
         self.pool.view(id)
@@ -181,11 +307,12 @@ impl GraphManager {
     }
 
     /// Releases every retrieved historical graph (materialized index nodes
-    /// and the current graph stay), runs the cleaner, and returns the number
-    /// of graphs released. This is an administrative, pool-wide reset —
+    /// and the current graph stay), purges the snapshot cache, runs the
+    /// cleaner, and returns the number of graphs released. Outstanding
+    /// references are ignored — this is an administrative, pool-wide reset;
     /// per-session cleanup (the server's disconnect path and the `RELEASE
-    /// ALL` verb) goes through [`crate::PoolSession`], which releases only
-    /// the session's own handles.
+    /// ALL` verb) goes through [`crate::PoolSession`], which only drops the
+    /// session's own references.
     pub fn release_all(&mut self) -> usize {
         let ids: Vec<GraphId> = self
             .pool
@@ -200,8 +327,9 @@ impl GraphManager {
             })
             .collect();
         let released = ids.len();
+        self.cache.purge(); // cached overlays are force-released below
         for id in ids {
-            self.pool.release(id);
+            self.pool.force_release(id);
         }
         self.pool.cleanup();
         released
@@ -221,10 +349,16 @@ impl GraphManager {
     ///
     /// The index goes first — it validates the event (chronology, duplicate
     /// elements) — so a rejected event never reaches the pool and the two
-    /// views of the current graph cannot diverge.
+    /// views of the current graph cannot diverge. Cached snapshots at or
+    /// after the event's time are invalidated (they could now differ from a
+    /// fresh computation); entries strictly before it stay valid.
     pub fn append_event(&mut self, event: Event) -> DgResult<()> {
         self.index.append_event(event.clone())?;
         self.pool.apply_event_to_current(&event);
+        self.append_epoch += 1;
+        for overlay in self.cache.invalidate_from(event.time) {
+            self.pool.release(overlay);
+        }
         Ok(())
     }
 

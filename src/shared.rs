@@ -18,12 +18,16 @@ use deltagraph::DgResult;
 use graphpool::GraphId;
 use tgraph::{AttrOptions, Event, Snapshot, TimeExpression, Timestamp};
 
+use crate::cache::CacheStats;
 use crate::manager::GraphManager;
 
 /// A cloneable, thread-safe handle to one [`GraphManager`].
 #[derive(Clone)]
 pub struct SharedGraphManager {
     inner: Arc<RwLock<GraphManager>>,
+    /// Snapshot-cache capacity, copied out at wrap time (it is immutable
+    /// config) so the disabled-cache fast path never touches the lock.
+    cache_capacity: usize,
 }
 
 // GraphManager must stay usable across threads for the server; assert it here
@@ -36,9 +40,16 @@ const _: fn() = || {
 impl SharedGraphManager {
     /// Wraps a manager for shared use.
     pub fn new(manager: GraphManager) -> Self {
+        let cache_capacity = manager.cache_capacity();
         SharedGraphManager {
             inner: Arc::new(RwLock::new(manager)),
+            cache_capacity,
         }
+    }
+
+    /// Whether the manager was configured with a snapshot cache.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_capacity > 0
     }
 
     /// Shared read access. Snapshot computation through
@@ -79,9 +90,28 @@ impl SharedGraphManager {
         self.read().index().get_time_expression(expr, opts)
     }
 
-    /// Appends a live event under the write lock.
+    /// Appends a live event under the write lock. Cached snapshots at or
+    /// after the event's time are invalidated as part of the append.
     pub fn append_event(&self, event: Event) -> DgResult<()> {
         self.write().append_event(event)
+    }
+
+    /// The snapshot cache's behavior counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.read().cache_stats()
+    }
+
+    /// Read-only probe of the shared snapshot cache: the cached snapshot for
+    /// `(t, opts)` if present, without touching overlay references. `None`
+    /// on a miss — the caller computes the snapshot itself (and decides
+    /// whether that result is worth caching). Takes the write lock briefly
+    /// (LRU and hit counters move on a hit); with the cache disabled it
+    /// returns `None` without locking at all.
+    pub fn peek_cached(&self, t: Timestamp, opts: &AttrOptions) -> Option<Arc<Snapshot>> {
+        if !self.cache_enabled() {
+            return None;
+        }
+        self.write().cache_peek(t, opts)
     }
 
     /// Starts a session whose overlays are released when it drops.
@@ -107,6 +137,62 @@ impl PoolSession {
         let id = self.shared.write().overlay_snapshot(snapshot, t);
         self.handles.push(id);
         id
+    }
+
+    /// Point retrieval through the shared snapshot cache: returns the
+    /// snapshot as of `t` and whether it was served from the cache.
+    ///
+    /// On a hit the session shares the cached pool overlay (its reference
+    /// count goes up; no new overlay is built). On a miss the snapshot is
+    /// computed under the shared read lock — concurrent sessions retrieve in
+    /// parallel — then overlaid and cached under the write lock, with a
+    /// re-probe in between so two sessions racing on the same `(t, opts)`
+    /// still end up sharing one overlay. Either way the handle is recorded
+    /// against this session and released (one reference) when the session
+    /// drops. With the cache disabled (capacity 0) this is exactly the old
+    /// compute-then-overlay path.
+    pub fn retrieve_cached(
+        &mut self,
+        t: Timestamp,
+        opts: &AttrOptions,
+    ) -> DgResult<(Arc<Snapshot>, bool)> {
+        if !self.shared.cache_enabled() {
+            // Plain path, exactly as before the cache existed: compute under
+            // the read lock, overlay under the write lock, no extra probes.
+            let snapshot = Arc::new(self.shared.read().index().get_snapshot(t, opts)?);
+            let id = self.shared.write().overlay_snapshot(&snapshot, t);
+            self.handles.push(id);
+            return Ok((snapshot, false));
+        }
+        // Fast path: a hit is a refcount bump under a brief write lock.
+        if let Some((snap, id)) = self.shared.write().cache_acquire(t, opts, true) {
+            self.handles.push(id);
+            return Ok((snap, true));
+        }
+        // Miss: the expensive DeltaGraph traversal runs under the read
+        // lock. The append epoch is read under the same guard, so it is
+        // exactly the history the snapshot saw.
+        let (snapshot, epoch) = {
+            let gm = self.shared.read();
+            let snapshot = Arc::new(gm.index().get_snapshot(t, opts)?);
+            (snapshot, gm.append_epoch())
+        };
+        let mut gm = self.shared.write();
+        // Double-check: another session may have cached (t, opts) while we
+        // computed. Counted as neither hit nor miss — this lookup already
+        // recorded its miss above.
+        if let Some((snap, id)) = gm.cache_acquire(t, opts, false) {
+            drop(gm);
+            self.handles.push(id);
+            return Ok((snap, true));
+        }
+        // If an append landed between our compute and this insert, the
+        // manager declines to cache the (possibly stale) snapshot and
+        // hands back a plain session-owned overlay.
+        let id = gm.cache_insert_overlay(&snapshot, t, opts, epoch);
+        drop(gm);
+        self.handles.push(id);
+        Ok((snapshot, false))
     }
 
     /// Handles created by this session, in creation order.
@@ -187,6 +273,159 @@ mod tests {
             assert_eq!(sm.read().pool().active_overlay_count(), 1);
         }
         assert_eq!(sm.read().pool().active_overlay_count(), 0);
+    }
+
+    fn shared_cached(capacity: usize) -> SharedGraphManager {
+        let gm = GraphManager::build_in_memory(
+            &toy_trace().events,
+            GraphManagerConfig::default().with_snapshot_cache(capacity),
+        )
+        .unwrap();
+        SharedGraphManager::new(gm)
+    }
+
+    #[test]
+    fn cached_retrievals_share_one_overlay_across_sessions() {
+        let sm = shared_cached(8);
+        let opts = AttrOptions::all();
+        let mut s1 = sm.session();
+        let mut s2 = sm.session();
+        let (snap1, hit1) = s1.retrieve_cached(Timestamp(6), &opts).unwrap();
+        let (snap2, hit2) = s2.retrieve_cached(Timestamp(6), &opts).unwrap();
+        assert!(!hit1, "first retrieval must miss");
+        assert!(hit2, "second retrieval must hit");
+        assert_eq!(*snap1, *snap2);
+        // exactly one overlay, shared: cache ref + one per session
+        assert_eq!(sm.read().pool().active_overlay_count(), 1);
+        let id = s1.handles()[0];
+        assert_eq!(s2.handles(), &[id]);
+        assert_eq!(sm.read().pool().refcount(id), Some(3));
+        drop(s1);
+        assert_eq!(sm.read().pool().refcount(id), Some(2));
+        drop(s2);
+        // both sessions gone: the cache keeps the overlay warm
+        assert_eq!(sm.read().pool().refcount(id), Some(1));
+        assert_eq!(sm.read().pool().active_overlay_count(), 1);
+        let stats = sm.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn append_invalidates_cached_snapshots_at_or_after_the_event() {
+        let sm = shared_cached(8);
+        let opts = AttrOptions::all();
+        let mut session = sm.session();
+        session.retrieve_cached(Timestamp(6), &opts).unwrap();
+        session.retrieve_cached(Timestamp(25), &opts).unwrap();
+        assert_eq!(sm.read().cache_len(), 2);
+        sm.append_event(Event::add_node(20, 777)).unwrap();
+        // t=25 (>= 20) invalidated, t=6 (< 20) still cached
+        assert_eq!(sm.read().cache_len(), 1);
+        let (_, hit) = session.retrieve_cached(Timestamp(6), &opts).unwrap();
+        assert!(hit);
+        // a fresh retrieval at 25 sees the appended node
+        let (snap, hit) = session.retrieve_cached(Timestamp(25), &opts).unwrap();
+        assert!(!hit);
+        assert!(snap.has_node(tgraph::NodeId(777)));
+        assert_eq!(sm.cache_stats().invalidations, 1);
+    }
+
+    #[test]
+    fn cached_overlays_are_immune_to_appends_even_with_dependent_overlays_on() {
+        // Cached overlays must be self-contained: a dependent overlay's view
+        // follows its dependency (the current graph), so caching one would
+        // let an append silently corrupt entries *before* the append point —
+        // exactly the entries invalidation keeps.
+        let gm = GraphManager::build_in_memory(
+            &toy_trace().events,
+            GraphManagerConfig {
+                dependent_overlays: true,
+                ..GraphManagerConfig::default().with_snapshot_cache(8)
+            },
+        )
+        .unwrap();
+        let sm = SharedGraphManager::new(gm);
+        let mut session = sm.session();
+        let opts = AttrOptions::all();
+        let (snap, _) = session.retrieve_cached(Timestamp(10), &opts).unwrap();
+        let id = session.handles()[0];
+        sm.append_event(Event::add_node(20, 777)).unwrap();
+        // The t=10 entry survives the append (10 < 20) and its pool view
+        // must still equal the snapshot it was built from — no phantom 777.
+        {
+            let gm = sm.read();
+            assert_eq!(gm.cache_len(), 1);
+            assert!(!gm.graph(id).has_node(tgraph::NodeId(777)));
+            assert_eq!(gm.graph(id).to_snapshot(), *snap);
+        }
+        // And a cache hit hands other sessions the same clean view.
+        let mut other = sm.session();
+        let (snap2, hit) = other.retrieve_cached(Timestamp(10), &opts).unwrap();
+        assert!(hit);
+        assert!(!snap2.has_node(tgraph::NodeId(777)));
+    }
+
+    #[test]
+    fn snapshot_that_raced_an_append_is_not_cached() {
+        let sm = shared_cached(8);
+        let opts = AttrOptions::all();
+        // Replay retrieve_cached's miss path by hand with an append landing
+        // between the compute and the insert: the pre-append snapshot must
+        // not enter the cache (it would serve stale reads at t>=20 forever).
+        let (stale, epoch) = {
+            let gm = sm.read();
+            let snap = Arc::new(gm.index().get_snapshot(Timestamp(25), &opts).unwrap());
+            (snap, gm.append_epoch())
+        };
+        sm.append_event(Event::add_node(20, 777)).unwrap();
+        let id = sm
+            .write()
+            .cache_insert_overlay(&stale, Timestamp(25), &opts, epoch);
+        assert_eq!(
+            sm.read().cache_len(),
+            0,
+            "stale snapshot must not be cached"
+        );
+        // The caller still got a plain session-owned overlay (refs = 1).
+        assert_eq!(sm.read().pool().refcount(id), Some(1));
+        // A fresh retrieval computes post-append state and caches that.
+        let mut session = sm.session();
+        let (snap, hit) = session.retrieve_cached(Timestamp(25), &opts).unwrap();
+        assert!(!hit);
+        assert!(snap.has_node(tgraph::NodeId(777)));
+        assert_eq!(sm.read().cache_len(), 1);
+    }
+
+    #[test]
+    fn disabled_cache_keeps_per_session_overlays() {
+        let sm = shared_cached(0);
+        let opts = AttrOptions::all();
+        let mut s1 = sm.session();
+        let mut s2 = sm.session();
+        let (_, hit1) = s1.retrieve_cached(Timestamp(6), &opts).unwrap();
+        let (_, hit2) = s2.retrieve_cached(Timestamp(6), &opts).unwrap();
+        assert!(!hit1 && !hit2);
+        // no sharing: one overlay per session, gone when the sessions drop
+        assert_eq!(sm.read().pool().active_overlay_count(), 2);
+        drop(s1);
+        drop(s2);
+        assert_eq!(sm.read().pool().active_overlay_count(), 0);
+        assert_eq!(sm.cache_stats(), crate::CacheStats::default());
+    }
+
+    #[test]
+    fn repeated_retrievals_in_one_session_release_cleanly() {
+        let sm = shared_cached(4);
+        let opts = AttrOptions::all();
+        let mut session = sm.session();
+        for _ in 0..3 {
+            session.retrieve_cached(Timestamp(6), &opts).unwrap();
+        }
+        let id = session.handles()[0];
+        assert_eq!(session.handles(), &[id, id, id]);
+        assert_eq!(sm.read().pool().refcount(id), Some(4)); // cache + 3 holds
+        assert_eq!(session.release_now(), 3);
+        assert_eq!(sm.read().pool().refcount(id), Some(1));
     }
 
     #[test]

@@ -79,6 +79,7 @@ fn concurrent_sessions_match_direct_execution() {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             max_connections: SESSIONS + 4,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -151,7 +152,7 @@ fn concurrent_sessions_match_direct_execution() {
     let raw_snapshot = direct.read().graph(handle).to_snapshot();
     let raw_lines = Response::Graph {
         t: t1,
-        graph: raw_snapshot,
+        graph: std::sync::Arc::new(raw_snapshot),
     }
     .to_lines();
     let from_server = recorded[0]

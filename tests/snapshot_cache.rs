@@ -1,0 +1,200 @@
+//! End-to-end tests of the shared snapshot cache over the TCP server:
+//! cross-session overlay sharing (observed through `STATS CACHE` reference
+//! counts), invalidation on `APPEND`, and reference release on client
+//! disconnect.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use historygraph::datagen::toy_trace;
+use historygraph::{GraphManager, GraphManagerConfig, SharedGraphManager};
+use server::{serve, Client, ServerConfig, ServerHandle};
+
+fn start(cache: usize) -> (ServerHandle, SharedGraphManager) {
+    let gm = GraphManager::build_in_memory(
+        &toy_trace().events,
+        GraphManagerConfig::default().with_snapshot_cache(cache),
+    )
+    .unwrap();
+    let shared = SharedGraphManager::new(gm);
+    let server = serve(shared.clone(), ServerConfig::default()).unwrap();
+    (server, shared)
+}
+
+/// Parses `name=value` integers out of a `STATS CACHE` line.
+fn field(line: &str, name: &str) -> u64 {
+    line.split_whitespace()
+        .find_map(|kv| kv.strip_prefix(&format!("{name}=")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no {name}= in {line:?}"))
+}
+
+/// Waits until the pool's overlay count settles to `expected` (disconnect
+/// cleanup runs on the connection thread, slightly after the client drops).
+fn await_overlays(shared: &SharedGraphManager, expected: usize) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let count = shared.read().pool().active_overlay_count();
+        if count == expected {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "pool stuck at {count} overlays (want {expected})"
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn concurrent_sessions_at_one_instant_share_one_overlay() {
+    const CLIENTS: usize = 6;
+    let (server, shared) = start(16);
+    let addr = server.addr();
+
+    // CLIENTS concurrent sessions all retrieving the same (t, opts) at once:
+    // whatever the interleaving, they must end up sharing one overlay, and
+    // every response must be byte-identical.
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                barrier.wait();
+                let lines = client
+                    .send_ok("GET GRAPH AT 6 WITH +node:all+edge:all")
+                    .unwrap();
+                // Hold the connection (and thus the session's reference)
+                // until every response is in.
+                (client, lines)
+            })
+        })
+        .collect();
+    let mut results: Vec<(Client, Vec<String>)> =
+        workers.into_iter().map(|w| w.join().unwrap()).collect();
+    for (_, lines) in &results {
+        assert_eq!(lines, &results[0].1, "responses must be identical");
+    }
+
+    // Exactly one overlay exists, with one reference per session plus the
+    // cache's own — observed both in-process and over the wire.
+    assert_eq!(shared.read().pool().active_overlay_count(), 1);
+    let (probe, _) = &mut results[0];
+    let cache = probe.send_ok("STATS CACHE").unwrap();
+    assert_eq!(field(&cache[0], "entries"), 1);
+    assert_eq!(field(&cache[0], "overlays"), 1);
+    assert_eq!(field(&cache[0], "misses"), 1, "{:?}", cache[0]);
+    assert_eq!(
+        field(&cache[0], "hits"),
+        CLIENTS as u64 - 1,
+        "{:?}",
+        cache[0]
+    );
+    let entry = cache
+        .iter()
+        .find(|l| l.starts_with("C t=6 "))
+        .expect("entry line");
+    assert_eq!(field(entry, "refs"), CLIENTS as u64 + 1);
+
+    // Disconnecting clients decrements the shared refcount one by one.
+    let (probe, _) = results.pop().unwrap();
+    drop(results); // CLIENTS-1 sessions gone
+    let mut probe = probe;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let cache = probe.send_ok("STATS CACHE").unwrap();
+        let entry = cache.iter().find(|l| l.starts_with("C t=6 ")).unwrap();
+        let refs = field(entry, "refs");
+        if refs == 2 {
+            break; // this probe's session + the cache
+        }
+        assert!(Instant::now() < deadline, "refs stuck at {refs}");
+        thread::sleep(Duration::from_millis(10));
+    }
+    drop(probe);
+    // All sessions gone: the cache alone keeps the overlay warm.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let cache_ref_only = {
+            let gm = shared.read();
+            let overlay = gm.cache_entries()[0].overlay;
+            gm.pool().refcount(overlay) == Some(1)
+        };
+        if cache_ref_only {
+            break;
+        }
+        assert!(Instant::now() < deadline, "cache ref not restored");
+        thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(shared.read().pool().active_overlay_count(), 1);
+}
+
+#[test]
+fn append_invalidates_entries_at_or_after_the_event_time() {
+    let (server, shared) = start(16);
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.send_ok("GET GRAPH AT 6").unwrap();
+    client.send_ok("GET GRAPH AT 25").unwrap();
+    let cache = client.send_ok("STATS CACHE").unwrap();
+    assert_eq!(field(&cache[0], "entries"), 2);
+
+    client.send_ok("APPEND NODE 20 777").unwrap();
+    let cache = client.send_ok("STATS CACHE").unwrap();
+    assert_eq!(field(&cache[0], "entries"), 1, "{:?}", cache);
+    assert!(
+        cache.iter().any(|l| l.starts_with("C t=6 ")),
+        "the entry before the append point must survive: {cache:?}"
+    );
+    assert_eq!(field(&cache[0], "invalidations"), 1);
+
+    // A re-retrieval at 25 sees the appended node and re-caches.
+    let graph = client.send_ok("GET GRAPH AT 25").unwrap();
+    assert!(graph.iter().any(|l| l == "N 777"), "{graph:?}");
+    let cache = client.send_ok("STATS CACHE").unwrap();
+    assert_eq!(field(&cache[0], "entries"), 2);
+    assert_eq!(shared.cache_stats().invalidations, 1);
+}
+
+#[test]
+fn release_all_drops_only_the_issuing_sessions_references() {
+    let (server, shared) = start(16);
+    let mut a = Client::connect(server.addr()).unwrap();
+    let mut b = Client::connect(server.addr()).unwrap();
+    a.send_ok("GET GRAPH AT 6").unwrap();
+    b.send_ok("GET GRAPH AT 6").unwrap();
+    let cache = a.send_ok("STATS CACHE").unwrap();
+    let entry = cache.iter().find(|l| l.starts_with("C t=6 ")).unwrap();
+    assert_eq!(field(entry, "refs"), 3); // cache + a + b
+
+    assert_eq!(a.send_ok("RELEASE ALL").unwrap(), vec!["OK RELEASED 1"]);
+    let cache = b.send_ok("STATS CACHE").unwrap();
+    let entry = cache.iter().find(|l| l.starts_with("C t=6 ")).unwrap();
+    assert_eq!(field(entry, "refs"), 2); // cache + b
+
+    // b still reads its graph through the shared overlay
+    let lines = b.send_ok("GET GRAPH AT 6").unwrap();
+    assert!(lines[0].starts_with("OK GRAPH t=6"));
+    drop(a);
+    drop(b);
+    await_overlays(&shared, 1); // the cached overlay outlives both sessions
+}
+
+#[test]
+fn cache_disabled_server_behaves_like_before() {
+    let (server, shared) = start(0);
+    {
+        let mut a = Client::connect(server.addr()).unwrap();
+        let mut b = Client::connect(server.addr()).unwrap();
+        a.send_ok("GET GRAPH AT 6").unwrap();
+        b.send_ok("GET GRAPH AT 6").unwrap();
+        // no sharing without the cache: one overlay per session
+        assert_eq!(shared.read().pool().active_overlay_count(), 2);
+        let cache = a.send_ok("STATS CACHE").unwrap();
+        assert_eq!(field(&cache[0], "capacity"), 0);
+        assert_eq!(field(&cache[0], "hits"), 0);
+        assert_eq!(field(&cache[0], "misses"), 0);
+    }
+    await_overlays(&shared, 0);
+}
