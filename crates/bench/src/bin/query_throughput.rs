@@ -5,15 +5,19 @@
 //! ```text
 //! cargo run --release -p bench --bin query_throughput -- \
 //!     [--scale 0.2] [--memory] [--clients 8] [--seconds 5] \
-//!     [--hot] [--cache 256] [--hot-points 4]
+//!     [--hot] [--cache 256] [--resp-cache 256] [--hot-points 4] \
+//!     [--proto text|binary]
 //! ```
 //!
 //! `--hot` switches to the hot-point workload: every client hammers `GET
 //! GRAPH AT t` over a small set of shared timestamps — the scenario the
-//! shared snapshot cache exists for. The workload runs twice, cache
-//! disabled then enabled (`--cache` entries), and reports both throughputs
-//! plus the measured hit rate, so the cache's win is measured, not
-//! asserted.
+//! two cache tiers exist for. The workload runs one pass per
+//! configuration — snapshot cache off/on, response cache off/on, text vs
+//! binary protocol — and reports each throughput, hit rates, and the
+//! speedup against the text/snapshot-cache-on baseline (the PR 3 state),
+//! so both the byte cache's and the binary protocol's wins are measured,
+//! not asserted. `--proto` restricts the passes to one protocol (the
+//! text/cache-on baseline always runs, for the speedup column).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -35,11 +39,16 @@ const QUERY_CLASSES: [&str; 7] = [
     "append",
 ];
 
-fn arg_value(name: &str, default: usize) -> usize {
+fn arg_str(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn arg_value(name: &str, default: usize) -> usize {
+    arg_str(name)
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
 }
@@ -61,20 +70,44 @@ impl Rng {
     }
 }
 
+/// One hot-pass configuration: cache capacities and wire protocol.
+struct HotPass {
+    label: &'static str,
+    snap_cache: usize,
+    resp_cache: usize,
+    binary: bool,
+}
+
+/// Measurements from one hot pass.
+struct HotResult {
+    queries: u64,
+    elapsed: f64,
+    snap_hits: u64,
+    snap_misses: u64,
+    resp_hits: u64,
+    resp_misses: u64,
+}
+
+fn hit_rate(hits: u64, misses: u64) -> Option<f64> {
+    (hits + misses > 0).then(|| hits as f64 / (hits + misses) as f64)
+}
+
 /// One pass of the hot-point workload: `clients` connections all issuing
-/// `GET GRAPH AT t` over the same few `hot` timestamps for `seconds`.
-/// Returns (queries completed, elapsed seconds, cache hits, cache misses).
+/// `GET GRAPH AT t` over the same few `hot` timestamps for `seconds`,
+/// in the pass's protocol and cache configuration.
 fn run_hot_pass(
     ds: &datagen::Dataset,
     store: std::sync::Arc<dyn kvstore::KeyValueStore>,
-    cache_capacity: usize,
+    pass: &HotPass,
     clients: usize,
     seconds: usize,
     hot: &[i64],
-) -> (u64, f64, u64, u64) {
+) -> HotResult {
     let gm = GraphManager::build(
         &ds.events,
-        GraphManagerConfig::default().with_snapshot_cache(cache_capacity),
+        GraphManagerConfig::default()
+            .with_snapshot_cache(pass.snap_cache)
+            .with_response_cache(pass.resp_cache),
         store,
     )
     .expect("index construction");
@@ -90,6 +123,7 @@ fn run_hot_pass(
     .expect("server start");
     let addr = server.addr();
     let stop = Arc::new(AtomicBool::new(false));
+    let binary = pass.binary;
 
     let workers: Vec<_> = (0..clients)
         .map(|c| {
@@ -98,22 +132,39 @@ fn run_hot_pass(
             thread::spawn(move || {
                 let mut rng = Rng(0xFACADE ^ c as u64);
                 let mut client = Client::connect(addr).expect("connect");
+                if binary {
+                    client.binary().expect("protocol switch");
+                }
                 let mut completed = 0u64;
                 let mut issued = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     let t = hot[rng.pick(hot.len())];
                     let request = format!("GET GRAPH AT {t} WITH +node:all");
-                    match client.send(&request) {
-                        Ok(lines) if lines.first().is_some_and(|l| l.starts_with("OK")) => {
-                            completed += 1;
+                    if binary {
+                        // Count frames without decoding them (payload =
+                        // version byte + envelope; envelope tag 0 = Ok):
+                        // the server-side cost is what is being measured.
+                        match client.send_binary_raw(&request) {
+                            Ok(payload) if payload.get(1) == Some(&0) => completed += 1,
+                            Ok(_) | Err(_) => {}
                         }
-                        Ok(_) | Err(_) => {}
+                    } else {
+                        match client.send(&request) {
+                            Ok(lines) if lines.first().is_some_and(|l| l.starts_with("OK")) => {
+                                completed += 1;
+                            }
+                            Ok(_) | Err(_) => {}
+                        }
                     }
                     issued += 1;
                     if issued.is_multiple_of(64) {
                         // Sessions drop their references; with the cache on,
                         // the shared overlays stay warm for the next round.
-                        let _ = client.send("RELEASE ALL");
+                        let _ = if binary {
+                            client.send_binary_raw("RELEASE ALL").map(|_| ())
+                        } else {
+                            client.send("RELEASE ALL").map(|_| ())
+                        };
                     }
                 }
                 completed
@@ -127,26 +178,42 @@ fn run_hot_pass(
     let completed: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
     let elapsed = started.elapsed().as_secs_f64();
 
-    // Read the hit/miss counters off the server before it goes down.
+    // Read the hit/miss counters off the server before it goes down. The
+    // probe is a fresh text-mode session; `OK CACHE` carries the snapshot
+    // cache's counters, the `RC` line the response cache's.
     let mut probe = Client::connect(addr).expect("stats connect");
-    let cache_line = probe
-        .send("STATS CACHE")
-        .expect("stats cache")
-        .into_iter()
-        .next()
-        .expect("stats cache header");
-    let field = |name: &str| -> u64 {
-        cache_line
-            .split_whitespace()
-            .find_map(|kv| kv.strip_prefix(&format!("{name}=")))
+    let lines = probe.send("STATS CACHE").expect("stats cache");
+    let field = |prefix: &str, name: &str| -> u64 {
+        lines
+            .iter()
+            .find(|l| l.starts_with(prefix))
+            .and_then(|line| {
+                line.split_whitespace()
+                    .find_map(|kv| kv.strip_prefix(&format!("{name}=")))
+            })
             .and_then(|v| v.parse().ok())
             .unwrap_or(0)
     };
-    (completed, elapsed, field("hits"), field("misses"))
+    HotResult {
+        queries: completed,
+        elapsed,
+        snap_hits: field("OK CACHE", "hits"),
+        snap_misses: field("OK CACHE", "misses"),
+        resp_hits: field("RC", "hits"),
+        resp_misses: field("RC", "misses"),
+    }
 }
 
 fn run_hot(opts: &HarnessOptions, clients: usize, seconds: usize) {
     let cache = arg_value("--cache", 256);
+    let resp_cache = arg_value("--resp-cache", 256);
+    let proto = arg_str("--proto").map(|v| v.to_ascii_lowercase());
+    if let Some(p) = &proto {
+        assert!(
+            p == "text" || p == "binary",
+            "--proto takes 'text' or 'binary', got {p:?}"
+        );
+    }
     let hot_points = arg_value("--hot-points", 4).max(1);
     // Full scale (the mixed workload shrinks to 0.2×): the cache's win is
     // the skipped index traversal, so the history must be deep enough for
@@ -160,46 +227,88 @@ fn run_hot(opts: &HarnessOptions, clients: usize, seconds: usize) {
         .collect();
     println!(
         "hot-point workload: {clients} clients x {seconds}s over {hot_points} \
-         timestamps {hot:?}, cache capacity {cache}"
+         timestamps {hot:?}, snapshot cache {cache}, response cache {resp_cache}"
     );
 
-    let (q_off, el_off, _, _) =
-        run_hot_pass(&ds, fresh_store(opts, "hot_off"), 0, clients, seconds, &hot);
-    let (q_on, el_on, hits, misses) = run_hot_pass(
-        &ds,
-        fresh_store(opts, "hot_on"),
-        cache,
-        clients,
-        seconds,
-        &hot,
-    );
-
-    let qps_off = q_off as f64 / el_off;
-    let qps_on = q_on as f64 / el_on;
-    let hit_rate = if hits + misses > 0 {
-        hits as f64 / (hits + misses) as f64
-    } else {
-        0.0
+    // The text/snapshot-cache-on/response-cache-off pass is the PR 3
+    // baseline every speedup is measured against; it always runs.
+    let all = [
+        HotPass {
+            label: "text cache-off",
+            snap_cache: 0,
+            resp_cache: 0,
+            binary: false,
+        },
+        HotPass {
+            label: "text",
+            snap_cache: cache,
+            resp_cache: 0,
+            binary: false,
+        },
+        HotPass {
+            label: "text+rc",
+            snap_cache: cache,
+            resp_cache,
+            binary: false,
+        },
+        HotPass {
+            label: "binary",
+            snap_cache: cache,
+            resp_cache: 0,
+            binary: true,
+        },
+        HotPass {
+            label: "binary+rc",
+            snap_cache: cache,
+            resp_cache,
+            binary: true,
+        },
+    ];
+    let passes: Vec<&HotPass> = match proto.as_deref() {
+        Some("text") => all.iter().filter(|p| !p.binary).collect(),
+        Some("binary") => all
+            .iter()
+            .filter(|p| p.binary || p.label == "text")
+            .collect(),
+        _ => all.iter().collect(),
     };
+
+    let results: Vec<(&HotPass, HotResult)> = passes
+        .into_iter()
+        .map(|pass| {
+            let store = fresh_store(opts, &format!("hot_{}", pass.label.replace('+', "_")));
+            let result = run_hot_pass(&ds, store, pass, clients, seconds, &hot);
+            (pass, result)
+        })
+        .collect();
+
+    let baseline_qps = results
+        .iter()
+        .find(|(p, _)| p.label == "text")
+        .map(|(_, r)| r.queries as f64 / r.elapsed)
+        .unwrap_or(f64::MIN_POSITIVE);
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(pass, r)| {
+            let qps = r.queries as f64 / r.elapsed;
+            let fmt_rate =
+                |rate: Option<f64>| rate.map_or("-".into(), |x| format!("{:.1}%", x * 100.0));
+            vec![
+                pass.label.into(),
+                r.queries.to_string(),
+                format!("{qps:.0}"),
+                fmt_rate(hit_rate(r.snap_hits, r.snap_misses)),
+                fmt_rate(hit_rate(r.resp_hits, r.resp_misses)),
+                format!("{:.2}x", qps / baseline_qps),
+            ]
+        })
+        .collect();
     print_table(
-        "hot-point throughput (cache off vs on)",
-        &["config", "queries", "qps", "hit rate", "speedup"],
+        "hot-point throughput (speedup vs the text/cache-on baseline)",
         &[
-            vec![
-                "cache off".into(),
-                q_off.to_string(),
-                format!("{qps_off:.0}"),
-                "-".into(),
-                "1.00x".into(),
-            ],
-            vec![
-                format!("cache {cache}"),
-                q_on.to_string(),
-                format!("{qps_on:.0}"),
-                format!("{:.1}%", hit_rate * 100.0),
-                format!("{:.2}x", qps_on / qps_off.max(f64::MIN_POSITIVE)),
-            ],
+            "config", "queries", "qps", "snap hit", "resp hit", "speedup",
         ],
+        &rows,
     );
 }
 

@@ -6,6 +6,7 @@
 
 use std::fmt;
 
+use historygraph::WireFormat;
 use tgraph::{AttrValue, BoolExpr, Event, Snapshot, TimeExpression, Timestamp};
 
 use crate::error::{QlError, QlResult};
@@ -85,8 +86,18 @@ pub enum Query {
     },
     /// `RELEASE ALL` — release every historical overlay in the pool.
     ReleaseAll,
+    /// `PROTOCOL TEXT|BINARY` — switch this session's response encoding.
+    Protocol(WireFormat),
     /// `PING` — liveness check.
     Ping,
+}
+
+/// The canonical keyword of a [`WireFormat`] in `PROTOCOL` syntax.
+pub(crate) fn format_keyword(format: WireFormat) -> &'static str {
+    match format {
+        WireFormat::Text => "TEXT",
+        WireFormat::Binary => "BINARY",
+    }
 }
 
 /// A Boolean expression over time points, as written in a query
@@ -459,6 +470,7 @@ impl fmt::Display for Query {
             },
             Query::Bind { key, node } => write!(f, "BIND {} {node}", quote(key)),
             Query::ReleaseAll => f.write_str("RELEASE ALL"),
+            Query::Protocol(mode) => write!(f, "PROTOCOL {}", format_keyword(*mode)),
             Query::Ping => f.write_str("PING"),
         }
     }

@@ -6,30 +6,63 @@
 //! retrieved graph is overlaid onto the GraphPool through the executor's
 //! [`PoolSession`], so dropping the executor (a client disconnecting)
 //! releases everything it retrieved.
+//!
+//! The executor also owns the session's response encoding (the `PROTOCOL`
+//! verb) and, through [`Executor::execute_framed`], the rendered-response
+//! byte cache: hot `GET GRAPH AT` replies are served as pre-framed bytes
+//! with zero per-request rendering.
 
-use historygraph::{PoolSession, SharedGraphManager};
+use std::sync::Arc;
+
+use historygraph::{PoolSession, SharedGraphManager, WireFormat};
 use tgraph::{AttrOptions, NodeId, TimeExpression, Timestamp};
 
 use crate::ast::Query;
 use crate::error::{QlError, QlResult};
 use crate::parser::parse;
-use crate::wire::{HistorySample, Response};
+use crate::wire::{frame_error, HistorySample, Response};
 
 /// Upper bound on `HISTORY NODE` samples per query, so a tiny `STEP` over a
 /// huge range cannot run the server out of memory.
 pub const MAX_HISTORY_SAMPLES: usize = 64;
 
+/// One complete reply, framed for the session's current protocol: either
+/// bytes shared with the response cache or a freshly rendered buffer.
+/// Dereferences to the raw bytes either way.
+pub enum Reply {
+    /// Pre-framed bytes served from (or just inserted into) the cache.
+    Shared(Arc<[u8]>),
+    /// A freshly rendered, uncached reply.
+    Owned(Vec<u8>),
+}
+
+impl AsRef<[u8]> for Reply {
+    fn as_ref(&self) -> &[u8] {
+        match self {
+            Reply::Shared(b) => b,
+            Reply::Owned(b) => b,
+        }
+    }
+}
+
 /// Executes parsed queries against one shared store.
 pub struct Executor {
     shared: SharedGraphManager,
     session: PoolSession,
+    /// The session's response encoding, switched by the `PROTOCOL` verb.
+    protocol: WireFormat,
 }
 
 impl Executor {
-    /// Creates an executor (one per client session).
+    /// Creates an executor (one per client session). Sessions start in
+    /// [`WireFormat::Text`].
     pub fn new(shared: SharedGraphManager) -> Self {
         let session = shared.session();
-        Executor { shared, session }
+        Executor {
+            shared,
+            session,
+            protocol: WireFormat::Text,
+        }
     }
 
     /// Pool handles this executor's session currently tracks.
@@ -37,10 +70,71 @@ impl Executor {
         self.session.handles()
     }
 
+    /// The session's current response encoding.
+    pub fn protocol(&self) -> WireFormat {
+        self.protocol
+    }
+
     /// Parses and executes one query line.
     pub fn execute_line(&mut self, line: &str) -> QlResult<Response> {
         let query = parse(line)?;
         self.execute(&query)
+    }
+
+    /// Parses and executes one query line, returning the complete reply
+    /// bytes in the session's current encoding (including the text `END`
+    /// sentinel or the binary length prefix). Failures are rendered as
+    /// error frames, never surfaced as `Err` — this is the server's whole
+    /// per-request path.
+    ///
+    /// `GET GRAPH AT` replies route through the rendered-response byte
+    /// cache when the manager has one: the first render of a
+    /// `(t, opts, protocol)` is cached (under the append-epoch guard) and
+    /// every later hit is served with zero rendering. The session's
+    /// snapshot-cache overlay reference is still acquired on every request,
+    /// so refcount semantics (`STATS CACHE`, `RELEASE ALL`, disconnect) are
+    /// identical in both paths.
+    pub fn execute_framed(&mut self, line: &str) -> Reply {
+        let query = match parse(line) {
+            Ok(q) => q,
+            Err(e) => return Reply::Owned(frame_error(&e.to_string(), self.protocol)),
+        };
+        let result = if let Query::GetGraphAt { t, attrs } = &query {
+            self.execute_point_framed(*t, attrs)
+        } else {
+            self.execute(&query)
+                .map(|resp| Reply::Owned(resp.to_frame(self.protocol)))
+        };
+        // Render the error in the protocol that was current when the query
+        // ran (a failed PROTOCOL verb never switches modes).
+        result.unwrap_or_else(|e| Reply::Owned(frame_error(&e.to_string(), self.protocol)))
+    }
+
+    /// The `GET GRAPH AT` fast path: snapshot-cache retrieval (preserving
+    /// overlay refcounts), then response-cache probe, then render + insert.
+    fn execute_point_framed(&mut self, t: Timestamp, attrs: &str) -> QlResult<Reply> {
+        let opts = AttrOptions::parse(attrs)?;
+        let point = self.session.retrieve_cached(t, &opts)?;
+        if !self.shared.response_cache_enabled() {
+            let resp = Response::Graph {
+                t,
+                graph: point.snapshot,
+            };
+            return Ok(Reply::Owned(resp.to_frame(self.protocol)));
+        }
+        if let Some(bytes) = self.shared.response_cache_get(t, &opts, self.protocol) {
+            return Ok(Reply::Shared(bytes));
+        }
+        let resp = Response::Graph {
+            t,
+            graph: point.snapshot,
+        };
+        let bytes: Arc<[u8]> = resp.to_frame(self.protocol).into();
+        // Declined (not cached) if an append raced the retrieval — the
+        // reply is still correct for this request, just not reusable.
+        self.shared
+            .response_cache_put(t, &opts, self.protocol, Arc::clone(&bytes), point.epoch);
+        Ok(Reply::Shared(bytes))
     }
 
     /// Executes one parsed query.
@@ -51,17 +145,46 @@ impl Executor {
                 // a hot `t` is computed once and its pool overlay is shared
                 // (reference-counted) by every session that asks for it.
                 let opts = AttrOptions::parse(attrs)?;
-                let (graph, _hit) = self.session.retrieve_cached(*t, &opts)?;
-                Ok(Response::Graph { t: *t, graph })
+                let point = self.session.retrieve_cached(*t, &opts)?;
+                Ok(Response::Graph {
+                    t: *t,
+                    graph: point.snapshot,
+                })
             }
             Query::GetGraphsAt { times, attrs } => {
+                // Hybrid multipoint: each point first probes the shared
+                // snapshot cache — hot points share one reference-counted
+                // overlay across sessions and across the points of one
+                // query. The remaining cold points go through the Steiner
+                // planner together (sharing fetched deltas) and get private
+                // overlays, deliberately *without* inserting into the
+                // cache: one wide cold scan must not evict the hot set that
+                // point queries built up.
                 let opts = AttrOptions::parse(attrs)?;
-                let snaps = self.shared.snapshots_at(times, &opts)?;
-                let items: Vec<_> = times.iter().copied().zip(snaps).collect();
-                for (t, graph) in &items {
-                    self.session.overlay(graph, *t);
+                let mut items: Vec<(Timestamp, Option<Arc<tgraph::Snapshot>>)> = times
+                    .iter()
+                    .map(|&t| (t, self.session.acquire_cached(t, &opts)))
+                    .collect();
+                let missing: Vec<Timestamp> = items
+                    .iter()
+                    .filter(|(_, snap)| snap.is_none())
+                    .map(|(t, _)| *t)
+                    .collect();
+                if !missing.is_empty() {
+                    let snaps = self.shared.snapshots_at(&missing, &opts)?;
+                    let mut computed = snaps.into_iter();
+                    for (t, slot) in items.iter_mut().filter(|(_, snap)| snap.is_none()) {
+                        let snapshot = Arc::new(computed.next().expect("one snapshot per miss"));
+                        self.session.overlay(&snapshot, *t);
+                        *slot = Some(snapshot);
+                    }
                 }
-                Ok(Response::Graphs { items })
+                Ok(Response::Graphs {
+                    items: items
+                        .into_iter()
+                        .map(|(t, snap)| (t, snap.expect("every slot filled")))
+                        .collect(),
+                })
             }
             Query::GetGraphBetween { start, end, attrs } => {
                 let opts = AttrOptions::parse(attrs)?;
@@ -191,6 +314,9 @@ impl Executor {
                     stats: gm.cache_stats(),
                     overlays: gm.pool().active_overlay_count(),
                     entries: gm.cache_entries(),
+                    response_capacity: gm.response_cache_capacity(),
+                    response_entries: gm.response_cache_len(),
+                    response: gm.response_cache_stats(),
                 })
             }
             Query::Append(spec) => {
@@ -212,6 +338,12 @@ impl Executor {
                 // under concurrent connections.
                 let count = self.session.release_now();
                 Ok(Response::Released { count })
+            }
+            Query::Protocol(mode) => {
+                // Switched before rendering: the acknowledgment itself goes
+                // out in the new encoding.
+                self.protocol = *mode;
+                Ok(Response::Protocol { mode: *mode })
             }
             Query::Ping => Ok(Response::Pong),
         }
@@ -450,8 +582,124 @@ mod tests {
         assert_eq!(
             cache,
             "OK CACHE entries=0 capacity=0 hits=0 misses=0 insertions=0 \
-             invalidations=0 evictions=0 overlays=1"
+             invalidations=0 evictions=0 overlays=1\n\
+             RC entries=0 capacity=0 hits=0 misses=0 insertions=0 \
+             invalidations=0 evictions=0 bytes=0"
         );
+    }
+
+    fn full_executor(snap_cache: usize, resp_cache: usize) -> (Executor, SharedGraphManager) {
+        let gm = GraphManager::build_in_memory(
+            &datagen::toy_trace().events,
+            GraphManagerConfig::default()
+                .with_snapshot_cache(snap_cache)
+                .with_response_cache(resp_cache),
+        )
+        .unwrap();
+        let shared = SharedGraphManager::new(gm);
+        (Executor::new(shared.clone()), shared)
+    }
+
+    #[test]
+    fn protocol_verb_switches_the_session_encoding() {
+        let (mut exec, _shared) = executor();
+        assert_eq!(exec.protocol(), WireFormat::Text);
+        let resp = exec.execute_line("PROTOCOL BINARY").unwrap();
+        assert_eq!(resp.to_text(), "OK PROTOCOL BINARY");
+        assert_eq!(exec.protocol(), WireFormat::Binary);
+        // The acknowledgment of a switch back is already framed as binary
+        // (the new encoding applies to the verb's own reply only after the
+        // switch — TEXT's ack goes out as text).
+        exec.execute_line("PROTOCOL TEXT").unwrap();
+        assert_eq!(exec.protocol(), WireFormat::Text);
+        // A malformed PROTOCOL verb never switches modes.
+        assert!(exec.execute_line("PROTOCOL MORSE").is_err());
+        assert_eq!(exec.protocol(), WireFormat::Text);
+    }
+
+    #[test]
+    fn framed_point_queries_are_served_from_the_response_cache() {
+        let (mut exec, shared) = full_executor(8, 8);
+        let first = exec.execute_framed("GET GRAPH AT 6 WITH +node:all");
+        let second = exec.execute_framed("GET GRAPH AT 6 WITH +node:all");
+        assert_eq!(first.as_ref(), second.as_ref());
+        let rc = shared.response_cache_stats();
+        assert_eq!((rc.hits, rc.misses, rc.insertions), (1, 1, 1));
+        assert_eq!(rc.bytes, first.as_ref().len() as u64);
+        // The second request still took a snapshot-cache overlay reference.
+        assert_eq!(exec.session_handles().len(), 2);
+        // A different protocol renders (and caches) separately.
+        exec.execute_line("PROTOCOL BINARY").unwrap();
+        let binary = exec.execute_framed("GET GRAPH AT 6 WITH +node:all");
+        assert_ne!(binary.as_ref(), first.as_ref());
+        assert_eq!(shared.read().response_cache_len(), 2);
+        // And the binary frame decodes back to the same graph.
+        let payload = &binary.as_ref()[4..];
+        let crate::wire::Frame::Response(resp) = crate::wire::Frame::from_payload(payload).unwrap()
+        else {
+            panic!("expected a response frame");
+        };
+        assert_eq!(
+            resp.to_frame(WireFormat::Text).as_slice(),
+            first.as_ref(),
+            "binary round-trip must re-render to the text reply"
+        );
+    }
+
+    #[test]
+    fn framed_errors_render_in_the_current_protocol() {
+        let (mut exec, _shared) = full_executor(8, 8);
+        let text_err = exec.execute_framed("FROB 12");
+        assert!(text_err.as_ref().starts_with(b"ERR "), "text error frame");
+        assert!(text_err.as_ref().ends_with(b"END\n"));
+        exec.execute_line("PROTOCOL BINARY").unwrap();
+        let bin_err = exec.execute_framed("FROB 12");
+        let payload = &bin_err.as_ref()[4..];
+        match crate::wire::Frame::from_payload(payload).unwrap() {
+            crate::wire::Frame::Error(msg) => assert!(msg.contains("unknown verb"), "{msg}"),
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn append_invalidates_response_cache_entries() {
+        let (mut exec, shared) = full_executor(8, 8);
+        let before = exec.execute_framed("GET GRAPH AT 25");
+        assert_eq!(shared.read().response_cache_len(), 1);
+        run(&mut exec, "APPEND NODE 20 777");
+        assert_eq!(
+            shared.read().response_cache_len(),
+            0,
+            "stale bytes must be dropped at the append point"
+        );
+        let after = exec.execute_framed("GET GRAPH AT 25");
+        assert_ne!(before.as_ref(), after.as_ref(), "stale bytes were served");
+        assert!(std::str::from_utf8(after.as_ref())
+            .unwrap()
+            .contains("N 777"));
+        assert_eq!(shared.response_cache_stats().invalidations, 1);
+    }
+
+    #[test]
+    fn multipoint_queries_share_cached_overlays_without_polluting_the_cache() {
+        let (mut exec, shared) = cached_executor(8);
+        let mut other = Executor::new(shared.clone());
+        run(&mut exec, "GET GRAPH AT 6");
+        // Multipoint over the same instant plus one more: the t=6 overlay is
+        // reused (cache hit, shared across sessions), t=9 goes through the
+        // Steiner planner into a private overlay and is *not* inserted —
+        // cold multipoint scans must not evict the hot set.
+        let a = run(&mut other, "GET GRAPHS AT 6, 9");
+        assert!(a.starts_with("OK GRAPHS count=2"), "{a}");
+        assert_eq!(shared.read().pool().active_overlay_count(), 2);
+        assert_eq!(shared.read().cache_len(), 1, "t=9 must not be cached");
+        let stats = shared.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        // Both sessions hold the same t=6 overlay.
+        assert_eq!(exec.session_handles()[0], other.session_handles()[0]);
+        // And the result matches the uncached multipoint path.
+        let (mut plain, _) = executor();
+        assert_eq!(run(&mut plain, "GET GRAPHS AT 6, 9"), a);
     }
 
     #[test]

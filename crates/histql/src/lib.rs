@@ -31,6 +31,7 @@
 //! APPEND EDGEATTR <t> <id> <name> <value>
 //! BIND <key> <node id>                             register an application key
 //! RELEASE ALL                                      drop every pool overlay
+//! PROTOCOL TEXT|BINARY                             switch the response encoding
 //! PING
 //! ```
 //!
@@ -46,7 +47,10 @@
 //!   through a per-session pool handle set; point retrievals (`GET GRAPH
 //!   AT`) route through the shared snapshot cache, so concurrent sessions
 //!   asking for the same `(t, opts)` share one reference-counted overlay,
-//! * [`Response`] — deterministic line-oriented serialization of results.
+//! * [`Response`] — deterministic serialization of results, as text lines
+//!   or binary codec frames ([`Frame`], after `PROTOCOL BINARY`); hot
+//!   point-query replies are served as pre-framed bytes from the
+//!   rendered-response cache via [`Executor::execute_framed`].
 //!
 //! ```
 //! use historygraph::{GraphManager, GraphManagerConfig, SharedGraphManager};
@@ -69,9 +73,12 @@ pub mod wire;
 
 pub use ast::{AppendSpec, Query, TimeExpr};
 pub use error::{QlError, QlResult};
-pub use exec::{Executor, MAX_HISTORY_SAMPLES};
+pub use exec::{Executor, Reply, MAX_HISTORY_SAMPLES};
+pub use historygraph::WireFormat;
 pub use parser::parse;
-pub use wire::{HistorySample, Response};
+pub use wire::{
+    frame_error, Frame, HistorySample, Response, BINARY_FRAME_VERSION, MAX_FRAME_BYTES,
+};
 
 #[cfg(test)]
 mod roundtrip_tests {

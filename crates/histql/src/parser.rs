@@ -3,6 +3,7 @@
 //! See the crate docs for the full grammar. Keywords are case-insensitive;
 //! the canonical form produced by [`Query`]'s `Display` uses upper case.
 
+use historygraph::WireFormat;
 use tgraph::{AttrOptions, AttrValue, Timestamp};
 
 use crate::ast::{AppendSpec, Query, TimeExpr};
@@ -85,9 +86,19 @@ impl Parser {
                 self.expect_keyword("ALL")?;
                 Ok(Query::ReleaseAll)
             }
+            "PROTOCOL" => {
+                let mode = self.next_keyword("TEXT or BINARY")?;
+                match mode.as_str() {
+                    "TEXT" => Ok(Query::Protocol(WireFormat::Text)),
+                    "BINARY" => Ok(Query::Protocol(WireFormat::Binary)),
+                    other => Err(self.error_here(format!(
+                        "expected TEXT or BINARY after PROTOCOL, found '{other}'"
+                    ))),
+                }
+            }
             "PING" => Ok(Query::Ping),
             other => Err(self.error_here(format!(
-                "unknown verb '{other}' (expected GET, DIFF, NODE, HISTORY, STATS, APPEND, BIND, RELEASE, or PING)"
+                "unknown verb '{other}' (expected GET, DIFF, NODE, HISTORY, STATS, APPEND, BIND, RELEASE, PROTOCOL, or PING)"
             ))),
         }
     }

@@ -1,21 +1,27 @@
-//! The `histql` wire format: responses as lines of text.
+//! The `histql` wire format: responses as text lines or binary frames.
 //!
-//! Every response is a sequence of lines; the first starts with `OK` (the
-//! server adds a final `END` sentinel, and renders failures as `ERR <msg>`).
-//! Graphs serialize deterministically — nodes and edges sorted by id,
-//! attributes sorted by name — so two executions of the same query over the
-//! same history produce byte-identical responses. That determinism is what
-//! the end-to-end tests compare against direct [`GraphManager`]
-//! execution.
+//! In **text** mode (the default) every response is a sequence of lines
+//! terminated by an `END` sentinel; the first starts with `OK` (failures
+//! render as `ERR <msg>`). In **binary** mode (after `PROTOCOL BINARY`)
+//! every response is one length-prefixed frame of `tgraph::codec` bytes —
+//! see [`Frame`] for the envelope and `docs/PROTOCOL.md` for the layout.
+//!
+//! Both encodings serialize graphs deterministically — nodes and edges
+//! sorted by id, attributes sorted by name — so two executions of the same
+//! query over the same history produce byte-identical responses, in either
+//! mode. That determinism is what the end-to-end tests compare against
+//! direct [`GraphManager`] execution, and what makes whole replies safe to
+//! cache as bytes (see `historygraph::response_cache`).
 //!
 //! [`GraphManager`]: historygraph::GraphManager
 
 use std::sync::Arc;
 
-use historygraph::{CacheEntryInfo, CacheStats};
-use tgraph::{AttrValue, Event, EventKind, NodeId, Snapshot, Timestamp};
+use historygraph::{CacheEntryInfo, CacheStats, ResponseCacheStats, WireFormat};
+use tgraph::codec::{write_varint, Decode, Encode, Reader};
+use tgraph::{AttrValue, Event, EventKind, NodeId, Snapshot, TgError, Timestamp};
 
-use crate::ast::{fmt_value, quote};
+use crate::ast::{fmt_value, format_keyword, quote};
 
 /// The result of executing one [`crate::Query`].
 #[derive(Clone, Debug)]
@@ -30,8 +36,9 @@ pub enum Response {
     },
     /// Several graphs from one multipoint query.
     Graphs {
-        /// `(time, snapshot)` per queried point, in query order.
-        items: Vec<(Timestamp, Snapshot)>,
+        /// `(time, snapshot)` per queried point, in query order. Shared
+        /// (`Arc`) so per-point snapshot-cache hits serve without copying.
+        items: Vec<(Timestamp, Arc<Snapshot>)>,
     },
     /// An interval graph plus the window's transient events.
     Interval {
@@ -91,18 +98,24 @@ pub enum Response {
         /// Events newer than the last indexed leaf.
         recent_events: usize,
     },
-    /// Snapshot-cache statistics (`STATS CACHE`): behavior counters, pool
-    /// overlay count, and one `C` line per cached entry with its live
-    /// overlay reference count.
+    /// Snapshot- and response-cache statistics (`STATS CACHE`): behavior
+    /// counters for both tiers, pool overlay count, and one `C` line per
+    /// cached snapshot with its live overlay reference count.
     CacheStats {
-        /// Cache capacity in entries (0 = disabled).
+        /// Snapshot-cache capacity in entries (0 = disabled).
         capacity: usize,
-        /// The cache's behavior counters.
+        /// The snapshot cache's behavior counters.
         stats: CacheStats,
         /// Active historical overlays in the pool (cached or not).
         overlays: usize,
-        /// The cached entries, sorted by `(t, opts)`.
+        /// The cached snapshot entries, sorted by `(t, opts)`.
         entries: Vec<CacheEntryInfo>,
+        /// Response-cache capacity in entries (0 = disabled).
+        response_capacity: usize,
+        /// Number of framed replies currently cached.
+        response_entries: usize,
+        /// The response cache's behavior counters (the `RC` line).
+        response: ResponseCacheStats,
     },
     /// An `APPEND` was applied.
     Appended {
@@ -121,6 +134,14 @@ pub enum Response {
         /// Number of overlays released.
         count: usize,
     },
+    /// A `PROTOCOL` verb switched the session's response encoding. The
+    /// acknowledgment is already sent in the *new* encoding.
+    Protocol {
+        /// The encoding now in effect.
+        mode: WireFormat,
+    },
+    /// Reply to `QUIT` (produced by the server, not the parser).
+    Bye,
     /// Reply to `PING`.
     Pong,
 }
@@ -256,6 +277,9 @@ impl Response {
                 stats,
                 overlays,
                 entries,
+                response_capacity,
+                response_entries,
+                response,
             } => {
                 out.push(format!(
                     "OK CACHE entries={} capacity={capacity} hits={} misses={} \
@@ -266,6 +290,16 @@ impl Response {
                     stats.insertions,
                     stats.invalidations,
                     stats.evictions
+                ));
+                out.push(format!(
+                    "RC entries={response_entries} capacity={response_capacity} hits={} \
+                     misses={} insertions={} invalidations={} evictions={} bytes={}",
+                    response.hits,
+                    response.misses,
+                    response.insertions,
+                    response.invalidations,
+                    response.evictions,
+                    response.bytes
                 ));
                 for e in entries {
                     out.push(format!(
@@ -280,6 +314,10 @@ impl Response {
             Response::Appended { t } => out.push(format!("OK APPENDED t={}", t.raw())),
             Response::Bound { key, node } => out.push(format!("OK BOUND {} {node}", quote(key))),
             Response::Released { count } => out.push(format!("OK RELEASED {count}")),
+            Response::Protocol { mode } => {
+                out.push(format!("OK PROTOCOL {}", format_keyword(*mode)))
+            }
+            Response::Bye => out.push("OK BYE".into()),
             Response::Pong => out.push("OK PONG".into()),
         }
         out
@@ -288,6 +326,360 @@ impl Response {
     /// The response as one newline-joined string.
     pub fn to_text(&self) -> String {
         self.to_lines().join("\n")
+    }
+
+    /// The complete reply as the bytes a server writes for this response in
+    /// the given encoding: text lines plus the `END` sentinel, or one binary
+    /// frame. These are exactly the bytes the response cache stores.
+    pub fn to_frame(&self, format: WireFormat) -> Vec<u8> {
+        match format {
+            WireFormat::Text => {
+                let mut out = Vec::new();
+                for line in self.to_lines() {
+                    out.extend_from_slice(line.as_bytes());
+                    out.push(b'\n');
+                }
+                out.extend_from_slice(b"END\n");
+                out
+            }
+            WireFormat::Binary => Frame::Response(self.clone()).to_frame_bytes(),
+        }
+    }
+}
+
+// --- binary framing ---------------------------------------------------------
+
+/// Version byte leading every binary frame's payload, for forward
+/// compatibility: a client seeing an unknown version knows to bail rather
+/// than misparse.
+pub const BINARY_FRAME_VERSION: u8 = 1;
+
+/// Upper bound on one binary frame, enforced on both sides: the server
+/// replaces any reply that would exceed it with an error frame, and a
+/// client should refuse larger length prefixes (the prefix is
+/// attacker-controlled from the client's perspective).
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// The binary reply envelope: one frame is either a successful [`Response`]
+/// or an error message — the binary counterpart of `OK ...` vs `ERR ...`
+/// text lines.
+///
+/// On the wire a frame is `[len: u32 LE] [version: u8] [envelope]`, where
+/// `len` counts the version byte plus the envelope. The envelope is one tag
+/// byte (0 = response, 1 = error) followed by `tgraph::codec` bytes; inside,
+/// integers are LEB128 varints (signed values zigzag-encoded), strings and
+/// sequences are length-prefixed, exactly as in the storage codec.
+#[derive(Clone, Debug)]
+pub enum Frame {
+    /// A successful response.
+    Response(Response),
+    /// A failure, carrying the single-line error message.
+    Error(String),
+}
+
+impl Frame {
+    /// Serializes the frame as the full on-wire bytes (length prefix,
+    /// version byte, envelope). A frame that would exceed
+    /// [`MAX_FRAME_BYTES`] — which a conforming client must refuse, and
+    /// which could not be length-prefixed past `u32::MAX` anyway — is
+    /// replaced by an error frame, so a binary session never desyncs on an
+    /// oversized reply.
+    pub fn to_frame_bytes(&self) -> Vec<u8> {
+        self.to_frame_bytes_bounded(MAX_FRAME_BYTES)
+    }
+
+    /// [`Frame::to_frame_bytes`] with an explicit bound (exposed at crate
+    /// level so tests can exercise the oversized path cheaply).
+    pub(crate) fn to_frame_bytes_bounded(&self, max: usize) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(128);
+        payload.push(BINARY_FRAME_VERSION);
+        self.encode(&mut payload);
+        if payload.len() > max {
+            // Replace with a short error frame, built directly rather than
+            // recursing — if even the replacement exceeds a pathologically
+            // small `max` it is emitted anyway (it is ~150 bytes; any
+            // conforming bound is far larger than one error frame).
+            let replacement = Frame::Error(format!(
+                "reply of {} bytes exceeds the binary frame limit ({max}); \
+                 narrow the query or use PROTOCOL TEXT",
+                payload.len()
+            ));
+            payload.clear();
+            payload.push(BINARY_FRAME_VERSION);
+            replacement.encode(&mut payload);
+        }
+        let mut out = Vec::with_capacity(payload.len() + 4);
+        // Fits u32: payload is bounded by `max` (<= MAX_FRAME_BYTES in
+        // production) or is the ~150-byte replacement.
+        out.extend_from_slice(&u32::try_from(payload.len()).expect("bounded").to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decodes one frame payload (the bytes *after* the length prefix:
+    /// version byte plus envelope).
+    pub fn from_payload(payload: &[u8]) -> tgraph::Result<Frame> {
+        let (&version, envelope) = payload
+            .split_first()
+            .ok_or_else(|| TgError::Codec("empty frame payload".into()))?;
+        if version != BINARY_FRAME_VERSION {
+            return Err(TgError::Codec(format!(
+                "unsupported frame version {version} (expected {BINARY_FRAME_VERSION})"
+            )));
+        }
+        Frame::from_bytes(envelope)
+    }
+}
+
+impl Encode for Frame {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Frame::Response(resp) => {
+                buf.push(0);
+                resp.encode(buf);
+            }
+            Frame::Error(msg) => {
+                buf.push(1);
+                msg.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for Frame {
+    fn decode(r: &mut Reader<'_>) -> tgraph::Result<Self> {
+        match u64::decode(r)? {
+            0 => Ok(Frame::Response(Response::decode(r)?)),
+            1 => Ok(Frame::Error(String::decode(r)?)),
+            t => Err(TgError::Codec(format!("invalid Frame tag {t}"))),
+        }
+    }
+}
+
+/// The complete error reply in the given encoding: `ERR <msg>` plus `END`
+/// in text, or one [`Frame::Error`] binary frame. Embedded newlines are
+/// flattened so the text framing always survives.
+pub fn frame_error(msg: &str, format: WireFormat) -> Vec<u8> {
+    match format {
+        WireFormat::Text => {
+            let msg = msg.replace('\n', " ");
+            format!("ERR {msg}\nEND\n").into_bytes()
+        }
+        WireFormat::Binary => Frame::Error(msg.to_string()).to_frame_bytes(),
+    }
+}
+
+impl Encode for HistorySample {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.t.encode(buf);
+        self.present.encode(buf);
+        self.degree.encode(buf);
+        self.attrs.encode(buf);
+    }
+}
+
+impl Decode for HistorySample {
+    fn decode(r: &mut Reader<'_>) -> tgraph::Result<Self> {
+        Ok(HistorySample {
+            t: Timestamp::decode(r)?,
+            present: bool::decode(r)?,
+            degree: usize::decode(r)?,
+            attrs: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Encode for Response {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Response::Graph { t, graph } => {
+                buf.push(0);
+                t.encode(buf);
+                graph.encode(buf);
+            }
+            Response::Graphs { items } => {
+                buf.push(1);
+                items.encode(buf);
+            }
+            Response::Interval {
+                start,
+                end,
+                graph,
+                transients,
+            } => {
+                buf.push(2);
+                start.encode(buf);
+                end.encode(buf);
+                graph.encode(buf);
+                transients.encode(buf);
+            }
+            Response::Node {
+                key,
+                node,
+                t,
+                present,
+                attrs,
+                neighbors,
+            } => {
+                buf.push(3);
+                key.encode(buf);
+                node.encode(buf);
+                t.encode(buf);
+                present.encode(buf);
+                attrs.encode(buf);
+                neighbors.encode(buf);
+            }
+            Response::History {
+                key,
+                node,
+                from,
+                to,
+                step,
+                samples,
+            } => {
+                buf.push(4);
+                key.encode(buf);
+                node.encode(buf);
+                from.encode(buf);
+                to.encode(buf);
+                step.encode(buf);
+                samples.encode(buf);
+            }
+            Response::Stats {
+                leaves,
+                interior,
+                height,
+                stored_bytes,
+                materialized_nodes,
+                materialized_bytes,
+                recent_events,
+            } => {
+                buf.push(5);
+                leaves.encode(buf);
+                interior.encode(buf);
+                write_varint(buf, u64::from(*height));
+                stored_bytes.encode(buf);
+                materialized_nodes.encode(buf);
+                materialized_bytes.encode(buf);
+                recent_events.encode(buf);
+            }
+            Response::CacheStats {
+                capacity,
+                stats,
+                overlays,
+                entries,
+                response_capacity,
+                response_entries,
+                response,
+            } => {
+                buf.push(6);
+                capacity.encode(buf);
+                stats.encode(buf);
+                overlays.encode(buf);
+                entries.encode(buf);
+                response_capacity.encode(buf);
+                response_entries.encode(buf);
+                response.encode(buf);
+            }
+            Response::Appended { t } => {
+                buf.push(7);
+                t.encode(buf);
+            }
+            Response::Bound { key, node } => {
+                buf.push(8);
+                key.encode(buf);
+                node.encode(buf);
+            }
+            Response::Released { count } => {
+                buf.push(9);
+                count.encode(buf);
+            }
+            Response::Pong => buf.push(10),
+            Response::Protocol { mode } => {
+                buf.push(11);
+                mode.encode(buf);
+            }
+            Response::Bye => buf.push(12),
+        }
+    }
+}
+
+impl Decode for Response {
+    fn decode(r: &mut Reader<'_>) -> tgraph::Result<Self> {
+        Ok(match u64::decode(r)? {
+            0 => Response::Graph {
+                t: Timestamp::decode(r)?,
+                graph: Arc::new(Snapshot::decode(r)?),
+            },
+            1 => Response::Graphs {
+                items: Vec::decode(r)?,
+            },
+            2 => Response::Interval {
+                start: Timestamp::decode(r)?,
+                end: Timestamp::decode(r)?,
+                graph: Snapshot::decode(r)?,
+                transients: Vec::<Event>::decode(r)?,
+            },
+            3 => {
+                let key = String::decode(r)?;
+                let node = NodeId::decode(r)?;
+                let t = Timestamp::decode(r)?;
+                let present = bool::decode(r)?;
+                let attrs = Vec::decode(r)?;
+                let neighbors = Vec::decode(r)?;
+                Response::Node {
+                    key,
+                    node,
+                    t,
+                    present,
+                    attrs,
+                    neighbors,
+                }
+            }
+            4 => Response::History {
+                key: String::decode(r)?,
+                node: NodeId::decode(r)?,
+                from: Timestamp::decode(r)?,
+                to: Timestamp::decode(r)?,
+                step: i64::decode(r)?,
+                samples: Vec::<HistorySample>::decode(r)?,
+            },
+            5 => Response::Stats {
+                leaves: usize::decode(r)?,
+                interior: usize::decode(r)?,
+                height: u32::try_from(r.read_varint()?)
+                    .map_err(|_| TgError::Codec("height exceeds u32 range".into()))?,
+                stored_bytes: u64::decode(r)?,
+                materialized_nodes: usize::decode(r)?,
+                materialized_bytes: usize::decode(r)?,
+                recent_events: usize::decode(r)?,
+            },
+            6 => Response::CacheStats {
+                capacity: usize::decode(r)?,
+                stats: CacheStats::decode(r)?,
+                overlays: usize::decode(r)?,
+                entries: Vec::<CacheEntryInfo>::decode(r)?,
+                response_capacity: usize::decode(r)?,
+                response_entries: usize::decode(r)?,
+                response: ResponseCacheStats::decode(r)?,
+            },
+            7 => Response::Appended {
+                t: Timestamp::decode(r)?,
+            },
+            8 => Response::Bound {
+                key: String::decode(r)?,
+                node: u64::decode(r)?,
+            },
+            9 => Response::Released {
+                count: usize::decode(r)?,
+            },
+            10 => Response::Pong,
+            11 => Response::Protocol {
+                mode: WireFormat::decode(r)?,
+            },
+            12 => Response::Bye,
+            t => return Err(TgError::Codec(format!("invalid Response tag {t}"))),
+        })
     }
 }
 
@@ -448,5 +840,218 @@ mod tests {
     fn transient_events_render() {
         let ev = Event::transient_edge(7, 1, 2, Some(AttrValue::Str("m".into())));
         assert_eq!(fmt_event(&ev), "7 TEDGE 1 2 payload=\"m\"");
+    }
+
+    // --- binary framing ------------------------------------------------
+
+    use proptest::prelude::*;
+
+    /// Round-trips a response through the full binary frame (length prefix,
+    /// version byte, envelope) and asserts the decoded response renders to
+    /// the same text — the determinism guarantee extended to binary.
+    fn assert_binary_roundtrip(resp: &Response) {
+        let framed = resp.to_frame(WireFormat::Binary);
+        let (len_bytes, payload) = framed.split_at(4);
+        let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+        assert_eq!(len, payload.len(), "length prefix must cover the payload");
+        assert_eq!(payload[0], BINARY_FRAME_VERSION);
+        let Frame::Response(decoded) = Frame::from_payload(payload).expect("decode") else {
+            panic!("expected a response frame");
+        };
+        assert_eq!(
+            decoded.to_lines(),
+            resp.to_lines(),
+            "decoded binary must re-render to the original text"
+        );
+        // And re-encoding the decoded response is byte-identical.
+        assert_eq!(decoded.to_frame(WireFormat::Binary), framed);
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        let mut s = Snapshot::new();
+        s.ensure_node(NodeId(2));
+        s.ensure_node(NodeId(1));
+        s.add_edge(EdgeId(9), NodeId(1), NodeId(2), true).unwrap();
+        s.set_node_attr(NodeId(1), "name", Some(AttrValue::Str("a b".into())))
+            .unwrap();
+        s.set_edge_attr(EdgeId(9), "w", Some(AttrValue::Float(1.5)))
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn every_response_variant_roundtrips_in_binary() {
+        let snap = sample_snapshot();
+        let cases = vec![
+            Response::Graph {
+                t: Timestamp(-6),
+                graph: Arc::new(snap.clone()),
+            },
+            Response::Graphs {
+                items: vec![
+                    (Timestamp(1), Arc::new(snap.clone())),
+                    (Timestamp(2), Arc::new(Snapshot::new())),
+                ],
+            },
+            Response::Interval {
+                start: Timestamp(0),
+                end: Timestamp(10),
+                graph: snap.clone(),
+                transients: vec![Event::transient_edge(
+                    7,
+                    1,
+                    2,
+                    Some(AttrValue::Str("m".into())),
+                )],
+            },
+            Response::Node {
+                key: "bob smith".into(),
+                node: NodeId(4),
+                t: Timestamp(3),
+                present: true,
+                attrs: vec![("k".into(), AttrValue::Int(-2))],
+                neighbors: vec![(NodeId(1), EdgeId(9))],
+            },
+            Response::History {
+                key: "a".into(),
+                node: NodeId(1),
+                from: Timestamp(0),
+                to: Timestamp(8),
+                step: 2,
+                samples: vec![HistorySample {
+                    t: Timestamp(0),
+                    present: false,
+                    degree: 0,
+                    attrs: vec![("x".into(), AttrValue::Bool(true))],
+                }],
+            },
+            Response::Stats {
+                leaves: 4,
+                interior: 2,
+                height: 3,
+                stored_bytes: 1 << 40,
+                materialized_nodes: 1,
+                materialized_bytes: 9000,
+                recent_events: 7,
+            },
+            Response::CacheStats {
+                capacity: 8,
+                stats: CacheStats {
+                    hits: 5,
+                    misses: 2,
+                    insertions: 2,
+                    invalidations: 1,
+                    evictions: 0,
+                },
+                overlays: 3,
+                entries: vec![CacheEntryInfo {
+                    t: Timestamp(6),
+                    opts: "+node:all".into(),
+                    overlay: graphpool::GraphId(7),
+                    refs: 2,
+                }],
+                response_capacity: 16,
+                response_entries: 1,
+                response: ResponseCacheStats {
+                    hits: 9,
+                    misses: 1,
+                    insertions: 1,
+                    invalidations: 0,
+                    evictions: 0,
+                    bytes: 512,
+                },
+            },
+            Response::Appended { t: Timestamp(20) },
+            Response::Bound {
+                key: "alice".into(),
+                node: 1,
+            },
+            Response::Released { count: 3 },
+            Response::Protocol {
+                mode: WireFormat::Binary,
+            },
+            Response::Bye,
+            Response::Pong,
+        ];
+        for resp in &cases {
+            assert_binary_roundtrip(resp);
+        }
+    }
+
+    #[test]
+    fn error_frames_roundtrip() {
+        let framed = frame_error("unknown verb 'FROB'", WireFormat::Binary);
+        match Frame::from_payload(&framed[4..]).unwrap() {
+            Frame::Error(msg) => assert_eq!(msg, "unknown verb 'FROB'"),
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+        assert_eq!(
+            frame_error("multi\nline", WireFormat::Text),
+            b"ERR multi line\nEND\n"
+        );
+    }
+
+    #[test]
+    fn text_frame_is_lines_plus_end() {
+        let resp = Response::Pong;
+        assert_eq!(resp.to_frame(WireFormat::Text), b"OK PONG\nEND\n");
+    }
+
+    #[test]
+    fn oversized_replies_become_error_frames_not_desyncs() {
+        let resp = Response::Graph {
+            t: Timestamp(6),
+            graph: Arc::new(sample_snapshot()),
+        };
+        let framed = Frame::Response(resp).to_frame_bytes_bounded(8);
+        let len = u32::from_le_bytes(framed[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, framed.len() - 4, "error frame is well-formed");
+        match Frame::from_payload(&framed[4..]).unwrap() {
+            Frame::Error(msg) => assert!(msg.contains("frame limit"), "{msg}"),
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_frame_version_is_rejected() {
+        let mut framed = Frame::Response(Response::Pong).to_frame_bytes();
+        framed[4] = BINARY_FRAME_VERSION + 1;
+        let err = Frame::from_payload(&framed[4..]).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        assert!(Frame::from_payload(&[]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_graph_responses_roundtrip_in_binary(
+            t in -1000i64..1000,
+            nodes in 0u64..12,
+            attr in 0u64..5,
+        ) {
+            let mut s = Snapshot::new();
+            for n in 0..nodes {
+                s.ensure_node(NodeId(n));
+                if n % 2 == 0 {
+                    s.set_node_attr(NodeId(n), "v", Some(AttrValue::Int(attr as i64 + n as i64)))
+                        .unwrap();
+                }
+            }
+            for n in 1..nodes {
+                s.add_edge(EdgeId(100 + n), NodeId(n - 1), NodeId(n), n % 3 == 0)
+                    .unwrap();
+            }
+            assert_binary_roundtrip(&Response::Graph {
+                t: Timestamp(t),
+                graph: Arc::new(s),
+            });
+        }
+
+        #[test]
+        fn prop_decoding_random_frames_never_panics(
+            bytes in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            // Any outcome is fine as long as it does not panic.
+            let _ = Frame::from_payload(&bytes);
+        }
     }
 }

@@ -3,12 +3,15 @@
 //! ```text
 //! cargo run --release -p server --bin histql_server -- \
 //!     [--addr 127.0.0.1:7171] [--toy | --churn] [--scale 1.0] \
-//!     [--max-conns 64] [--cache 128]
+//!     [--max-conns 64] [--cache 128] [--resp-cache 128]
 //! ```
 //!
 //! `--cache N` sizes the shared snapshot cache (entries; 0 disables it):
 //! repeated `GET GRAPH AT t` across sessions is served from one shared,
 //! reference-counted pool overlay instead of recomputing per session.
+//! `--resp-cache N` sizes the rendered-response byte cache on top of it:
+//! hot point replies are served as pre-framed bytes (text or binary, per
+//! the session's `PROTOCOL`) with zero per-request rendering.
 //!
 //! Prints the bound address on stdout, then serves until killed. Talk to it
 //! with any line client:
@@ -44,6 +47,9 @@ fn main() {
     let cache: usize = arg_value("--cache")
         .and_then(|v| v.parse().ok())
         .unwrap_or(128);
+    let resp_cache: usize = arg_value("--resp-cache")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128);
     let toy = std::env::args().any(|a| a == "--toy");
 
     let (events, label) = if toy {
@@ -53,12 +59,15 @@ fn main() {
         (ds.events, format!("churn trace (scale {scale})"))
     };
     eprintln!(
-        "building index over a {label} ({} events, snapshot cache {cache})...",
+        "building index over a {label} ({} events, snapshot cache {cache}, \
+         response cache {resp_cache})...",
         events.len()
     );
     let gm = GraphManager::build_in_memory(
         &events,
-        GraphManagerConfig::default().with_snapshot_cache(cache),
+        GraphManagerConfig::default()
+            .with_snapshot_cache(cache)
+            .with_response_cache(resp_cache),
     )
     .expect("index construction");
     let (start, end) = gm.index().history_range().expect("non-empty history");

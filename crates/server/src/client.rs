@@ -1,9 +1,12 @@
-//! A tiny blocking client for the `histql` line protocol, used by tests,
-//! the benchmark harness, and as a reference implementation of the framing.
+//! A tiny blocking client for the `histql` protocol, used by tests, the
+//! benchmark harness, and as a reference implementation of both framings
+//! (text lines and binary length-prefixed frames).
 
-use std::io::{self, BufReader, Write};
+use std::io::{self, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+use histql::{Frame, Response, WireFormat};
 
 /// One protocol connection.
 pub struct Client {
@@ -75,5 +78,56 @@ impl Client {
     /// Sends `QUIT` and waits for the goodbye, ignoring errors.
     pub fn quit(mut self) {
         let _ = self.send("QUIT");
+    }
+
+    // --- binary protocol --------------------------------------------------
+
+    /// Switches the connection to binary responses: sends `PROTOCOL BINARY`
+    /// and consumes the acknowledgment, which already arrives as a binary
+    /// frame. Requests remain text lines.
+    pub fn binary(&mut self) -> io::Result<()> {
+        match self.send_binary("PROTOCOL BINARY")? {
+            Frame::Response(Response::Protocol {
+                mode: WireFormat::Binary,
+            }) => Ok(()),
+            other => Err(io::Error::other(format!(
+                "unexpected PROTOCOL acknowledgment: {other:?}"
+            ))),
+        }
+    }
+
+    /// Sends one request line and reads one binary frame, decoded into the
+    /// response envelope. Only valid after [`Client::binary`].
+    pub fn send_binary(&mut self, request: &str) -> io::Result<Frame> {
+        let payload = self.send_binary_raw(request)?;
+        Frame::from_payload(&payload).map_err(io::Error::other)
+    }
+
+    /// Sends one request line and reads one binary frame's payload (version
+    /// byte + envelope, after the length prefix) without decoding it —
+    /// for callers that only need the bytes (e.g. throughput harnesses).
+    pub fn send_binary_raw(&mut self, request: &str) -> io::Result<Vec<u8>> {
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.recv_binary_raw()
+    }
+
+    /// Reads one binary frame's payload.
+    pub fn recv_binary_raw(&mut self) -> io::Result<Vec<u8>> {
+        let mut len_bytes = [0u8; 4];
+        self.reader.read_exact(&mut len_bytes)?;
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        // The length prefix is server-controlled, but a confused or
+        // malicious peer must not make us allocate without bound.
+        if len == 0 || len > histql::MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("implausible frame length {len}"),
+            ));
+        }
+        let mut payload = vec![0u8; len];
+        self.reader.read_exact(&mut payload)?;
+        Ok(payload)
     }
 }

@@ -18,13 +18,25 @@
 //! idle sessions are closed immediately, in-flight requests get to finish,
 //! and stragglers are force-closed when the deadline passes.
 //!
+//! Hot `GET GRAPH AT` replies are additionally served through the
+//! rendered-response byte cache (when configured): the first render of a
+//! `(t, opts, protocol)` is cached as fully framed bytes and every later
+//! hit is written to the socket with zero per-request rendering.
+//!
 //! ## Wire protocol
 //!
 //! Requests are single lines of `histql` (see the `histql` crate docs for
 //! the grammar, and `docs/PROTOCOL.md` in the repository root for the full
-//! protocol reference). Every response is one or more lines terminated by a
-//! lone `END` line; successful responses start with `OK`, failures with
-//! `ERR <message>`. `QUIT` closes the connection gracefully.
+//! protocol reference). Responses come in the session's current encoding:
+//!
+//! * **text** (the default) — one or more lines terminated by a lone `END`
+//!   line; successful responses start with `OK`, failures with
+//!   `ERR <message>`;
+//! * **binary** (after `PROTOCOL BINARY`) — one length-prefixed frame of
+//!   `tgraph::codec` bytes per response (see [`histql::Frame`]).
+//!
+//! Requests stay text lines in both modes; only responses switch. `QUIT`
+//! closes the connection gracefully.
 //!
 //! ```text
 //! C: GET GRAPH AT 6 WITH +node:name
@@ -43,7 +55,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use historygraph::SharedGraphManager;
-use histql::Executor;
+use histql::{frame_error, Executor, Response};
 
 pub mod client;
 
@@ -338,7 +350,7 @@ fn serve_connection(
             Ok(Some(())) => {}
             Ok(None) => return Ok(()), // client closed the connection
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                writer.write_all(b"ERR request line too long\nEND\n")?;
+                writer.write_all(&frame_error("request line too long", executor.protocol()))?;
                 writer.flush()?;
                 return Ok(());
             }
@@ -349,24 +361,17 @@ fn serve_connection(
             continue;
         }
         if request.eq_ignore_ascii_case("QUIT") {
-            writer.write_all(b"OK BYE\nEND\n")?;
+            // Handled outside the language; the goodbye honors the
+            // session's current encoding.
+            writer.write_all(&Response::Bye.to_frame(executor.protocol()))?;
             writer.flush()?;
             return Ok(());
         }
-        match executor.execute_line(request) {
-            Ok(response) => {
-                for l in response.to_lines() {
-                    writer.write_all(l.as_bytes())?;
-                    writer.write_all(b"\n")?;
-                }
-            }
-            Err(e) => {
-                // Keep the error on one line so the framing survives.
-                let msg = e.to_string().replace('\n', " ");
-                writer.write_all(format!("ERR {msg}\n").as_bytes())?;
-            }
-        }
-        writer.write_all(b"END\n")?;
+        // One complete reply frame — text lines + END or one binary frame —
+        // rendered by the executor (or served pre-framed from the response
+        // cache). Errors arrive already rendered as error frames.
+        let reply = executor.execute_framed(request);
+        writer.write_all(reply.as_ref())?;
         writer.flush()?;
         if shutdown.load(Ordering::SeqCst) {
             // Draining: the in-flight request got its response; close now.
@@ -417,6 +422,38 @@ mod tests {
         }
         .to_lines();
         assert_eq!(lines, expected);
+    }
+
+    #[test]
+    fn binary_sessions_round_trip_and_can_switch_back() {
+        let (server, shared) = start(8);
+        let mut client = Client::connect(server.addr()).unwrap();
+        client.binary().unwrap();
+        let frame = client
+            .send_binary("GET GRAPH AT 6 WITH +node:all+edge:all")
+            .unwrap();
+        let histql::Frame::Response(resp) = frame else {
+            panic!("expected a response frame")
+        };
+        let direct = shared
+            .snapshot_at(Timestamp(6), &AttrOptions::all())
+            .unwrap();
+        let expected = histql::Response::Graph {
+            t: Timestamp(6),
+            graph: std::sync::Arc::new(direct),
+        };
+        assert_eq!(resp.to_lines(), expected.to_lines());
+        // Errors arrive as binary error frames, and the connection survives.
+        match client.send_binary("FROB 12").unwrap() {
+            histql::Frame::Error(msg) => assert!(msg.contains("unknown verb"), "{msg}"),
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+        // PROTOCOL TEXT acknowledges in text again.
+        assert_eq!(
+            client.send("PROTOCOL TEXT").unwrap(),
+            vec!["OK PROTOCOL TEXT"]
+        );
+        assert_eq!(client.send("PING").unwrap(), vec!["OK PONG"]);
     }
 
     #[test]

@@ -248,6 +248,31 @@ impl<T: Encode> Encode for Vec<T> {
     }
 }
 
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<T: Encode> Encode for std::sync::Arc<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        T::encode(self, buf);
+    }
+}
+
+impl<T: Decode> Decode for std::sync::Arc<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(std::sync::Arc::new(T::decode(r)?))
+    }
+}
+
 impl<T: Decode> Decode for Vec<T> {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         let len = r.read_varint()? as usize;

@@ -28,6 +28,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use graphpool::GraphId;
+use tgraph::codec::{write_varint, Decode, Encode, Reader};
 use tgraph::{AttrOptions, Snapshot, Timestamp};
 
 /// Monotonically increasing counters describing cache behavior, reported
@@ -36,9 +37,10 @@ use tgraph::{AttrOptions, Snapshot, Timestamp};
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
-    /// Point retrievals that had to traverse the DeltaGraph (read-only
-    /// peeks that find nothing are not counted — nothing is computed or
-    /// inserted on their behalf).
+    /// Lookups that found nothing — point retrievals that had to traverse
+    /// the DeltaGraph, and read-only peeks that fell back to a direct
+    /// computation. Both count, so the reported hit rate reflects every
+    /// query that consulted the cache.
     pub misses: u64,
     /// Snapshots inserted after a miss.
     pub insertions: u64,
@@ -60,6 +62,28 @@ impl CacheStats {
     }
 }
 
+impl Encode for CacheStats {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        write_varint(buf, self.hits);
+        write_varint(buf, self.misses);
+        write_varint(buf, self.insertions);
+        write_varint(buf, self.invalidations);
+        write_varint(buf, self.evictions);
+    }
+}
+
+impl Decode for CacheStats {
+    fn decode(r: &mut Reader<'_>) -> tgraph::Result<Self> {
+        Ok(CacheStats {
+            hits: r.read_varint()?,
+            misses: r.read_varint()?,
+            insertions: r.read_varint()?,
+            invalidations: r.read_varint()?,
+            evictions: r.read_varint()?,
+        })
+    }
+}
+
 /// One cached snapshot as reported by `STATS CACHE`: its key, its shared
 /// overlay, and how many references that overlay currently has (the cache's
 /// own plus one per session holding it).
@@ -73,6 +97,31 @@ pub struct CacheEntryInfo {
     pub overlay: GraphId,
     /// Outstanding references to the overlay.
     pub refs: usize,
+}
+
+impl Encode for CacheEntryInfo {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.t.encode(buf);
+        self.opts.encode(buf);
+        // GraphId is a graphpool type, so its codec impl cannot live there
+        // (the trait is tgraph's); encode the raw u32 field instead.
+        write_varint(buf, u64::from(self.overlay.0));
+        self.refs.encode(buf);
+    }
+}
+
+impl Decode for CacheEntryInfo {
+    fn decode(r: &mut Reader<'_>) -> tgraph::Result<Self> {
+        Ok(CacheEntryInfo {
+            t: Timestamp::decode(r)?,
+            opts: String::decode(r)?,
+            overlay: GraphId(
+                u32::try_from(r.read_varint()?)
+                    .map_err(|_| tgraph::TgError::Codec("graph id exceeds u32 range".into()))?,
+            ),
+            refs: usize::decode(r)?,
+        })
+    }
 }
 
 struct CacheEntry {
@@ -158,16 +207,21 @@ impl SnapshotCache {
     }
 
     /// Read-only probe: the cached snapshot for `(t, opts)` if present,
-    /// refreshing its LRU position. A hit counts as a hit; finding nothing
-    /// counts as nothing — unlike a [`SnapshotCache::lookup`] miss, no
-    /// computation or insertion follows a failed peek, so counting it as a
-    /// miss would skew the hit rate of the retrieval path.
+    /// refreshing its LRU position. Hits and misses both count — a failed
+    /// peek forces the caller into a direct snapshot computation, which is
+    /// exactly the work the hit rate is supposed to describe. (PR 3 counted
+    /// only peek hits, which inflated the reported rate.) The probe still
+    /// differs from [`SnapshotCache::lookup`] in that nothing is inserted
+    /// after a miss.
     pub(crate) fn peek(&mut self, t: Timestamp, opts: &AttrOptions) -> Option<Arc<Snapshot>> {
         if self.capacity == 0 {
             return None;
         }
         self.tick += 1;
-        let entry = self.entries.get_mut(&(t, opts.clone()))?;
+        let Some(entry) = self.entries.get_mut(&(t, opts.clone())) else {
+            self.stats.misses += 1;
+            return None;
+        };
         entry.last_used = self.tick;
         self.stats.hits += 1;
         Some(Arc::clone(&entry.snapshot))
@@ -319,13 +373,17 @@ mod tests {
     }
 
     #[test]
-    fn peek_counts_hits_but_never_misses() {
+    fn peek_counts_both_hits_and_misses() {
         let mut c = SnapshotCache::new(4);
         assert!(c.peek(Timestamp(1), &AttrOptions::all()).is_none());
-        assert_eq!((c.stats().hits, c.stats().misses), (0, 0));
+        assert_eq!((c.stats().hits, c.stats().misses), (0, 1));
         c.insert(Timestamp(1), AttrOptions::all(), snap(), GraphId(9));
         assert!(c.peek(Timestamp(1), &AttrOptions::all()).is_some());
-        assert_eq!((c.stats().hits, c.stats().misses), (1, 0));
+        assert_eq!((c.stats().hits, c.stats().misses), (1, 1));
+        // A disabled cache's peek stays silent: nothing was consulted.
+        let mut off = SnapshotCache::new(0);
+        assert!(off.peek(Timestamp(1), &AttrOptions::all()).is_none());
+        assert_eq!(off.stats(), CacheStats::default());
     }
 
     #[test]
@@ -341,6 +399,29 @@ mod tests {
         assert_eq!(ids, vec![105, 109]); // t=5 and t=9 go, t=1 stays
         assert!(c.lookup(Timestamp(1), &o, true).is_some());
         assert_eq!(c.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn stats_and_entry_info_round_trip_through_the_codec() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            insertions: 1,
+            invalidations: 0,
+            evictions: 2,
+        };
+        assert_eq!(CacheStats::from_bytes(&s.to_bytes()).unwrap(), s);
+        let e = CacheEntryInfo {
+            t: Timestamp(-6),
+            opts: "+node:all".into(),
+            overlay: GraphId(42),
+            refs: 3,
+        };
+        let d = CacheEntryInfo::from_bytes(&e.to_bytes()).unwrap();
+        assert_eq!(
+            (d.t, d.opts, d.overlay, d.refs),
+            (e.t, e.opts, e.overlay, e.refs)
+        );
     }
 
     #[test]

@@ -51,10 +51,12 @@ pub use tgraph;
 
 pub mod cache;
 pub mod manager;
+pub mod response_cache;
 pub mod shared;
 pub mod source;
 
 pub use cache::{CacheEntryInfo, CacheStats, SnapshotCache};
 pub use manager::{GraphManager, GraphManagerConfig};
-pub use shared::{PoolSession, SharedGraphManager};
+pub use response_cache::{ResponseCache, ResponseCacheStats, WireFormat};
+pub use shared::{CachedPoint, PoolSession, SharedGraphManager};
 pub use source::DeltaGraphSource;

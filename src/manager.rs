@@ -15,6 +15,7 @@ use kvstore::{DiskStore, KeyValueStore, MemStore};
 use tgraph::{AttrOptions, Event, NodeId, Snapshot, TimeExpression, Timestamp};
 
 use crate::cache::{CacheEntryInfo, CacheStats, SnapshotCache};
+use crate::response_cache::{ResponseCache, ResponseCacheStats, WireFormat};
 
 /// Configuration of a [`GraphManager`].
 #[derive(Clone, Debug, Default)]
@@ -32,6 +33,12 @@ pub struct GraphManagerConfig {
     /// default) disables caching; the paper-API methods on [`GraphManager`]
     /// itself never consult the cache.
     pub snapshot_cache_capacity: usize,
+    /// Capacity of the rendered-response byte cache (entries; 0 — the
+    /// default — disables it): fully framed replies for hot point queries,
+    /// keyed by `(t, AttrOptions, WireFormat)` and kept consistent by the
+    /// same `APPEND` invalidation rule as the snapshot cache. See
+    /// [`crate::response_cache`].
+    pub response_cache_capacity: usize,
 }
 
 impl GraphManagerConfig {
@@ -44,6 +51,13 @@ impl GraphManagerConfig {
     /// Enables the shared snapshot cache with the given capacity (entries).
     pub fn with_snapshot_cache(mut self, capacity: usize) -> Self {
         self.snapshot_cache_capacity = capacity;
+        self
+    }
+
+    /// Enables the rendered-response byte cache with the given capacity
+    /// (entries).
+    pub fn with_response_cache(mut self, capacity: usize) -> Self {
+        self.response_cache_capacity = capacity;
         self
     }
 }
@@ -60,6 +74,9 @@ pub struct GraphManager {
     current_seeded: bool,
     /// Shared snapshot cache (disabled at capacity 0); see [`crate::cache`].
     cache: SnapshotCache,
+    /// Rendered-response byte cache (disabled at capacity 0); see
+    /// [`crate::response_cache`].
+    response_cache: ResponseCache,
     /// Bumped on every successful append; guards cache inserts against
     /// racing with invalidation (see [`GraphManager::append_epoch`]).
     append_epoch: u64,
@@ -97,6 +114,7 @@ impl GraphManager {
         let mut pool = GraphPool::new();
         pool.set_current(index.current_graph());
         let cache = SnapshotCache::new(config.snapshot_cache_capacity);
+        let response_cache = ResponseCache::new(config.response_cache_capacity);
         Ok(GraphManager {
             index,
             pool,
@@ -105,6 +123,7 @@ impl GraphManager {
             config,
             current_seeded: true,
             cache,
+            response_cache,
             append_epoch: 0,
         })
     }
@@ -251,9 +270,9 @@ impl GraphManager {
 
     /// Read-only cache probe: returns the cached snapshot for `(t, opts)`
     /// without touching overlay references. Used by queries that only need
-    /// the snapshot's data (e.g. `NODE ... AT`), not a pool handle. A probe
-    /// that finds nothing does not count as a miss — nothing is computed or
-    /// inserted on its behalf.
+    /// the snapshot's data (e.g. `NODE ... AT`), not a pool handle. Hits
+    /// and misses both count (a failed probe forces the caller into a
+    /// direct computation).
     pub(crate) fn cache_peek(&mut self, t: Timestamp, opts: &AttrOptions) -> Option<Arc<Snapshot>> {
         self.cache.peek(t, opts)
     }
@@ -261,9 +280,57 @@ impl GraphManager {
     /// Number of successful appends so far. Snapshot computations record
     /// the epoch they ran under so a result that raced an append is never
     /// inserted into the cache (the insert path compares epochs and falls
-    /// back to a plain session-owned overlay on mismatch).
+    /// back to a plain session-owned overlay on mismatch). The response
+    /// cache applies the same guard to rendered bytes.
     pub fn append_epoch(&self) -> u64 {
         self.append_epoch
+    }
+
+    /// Looks up the pre-framed reply for `(t, opts, format)` in the
+    /// rendered-response cache, counting a hit or miss.
+    pub fn response_cache_get(
+        &mut self,
+        t: Timestamp,
+        opts: &AttrOptions,
+        format: WireFormat,
+    ) -> Option<Arc<[u8]>> {
+        self.response_cache.get(t, opts, format)
+    }
+
+    /// Caches a freshly framed reply. `computed_at_epoch` is the
+    /// [`GraphManager::append_epoch`] the underlying snapshot was acquired
+    /// under: if an append has landed since, the bytes may predate events at
+    /// or before `t`, so they are discarded rather than cached — a racing
+    /// insert must never resurrect an invalidated time range. Returns
+    /// whether the reply was cached.
+    pub fn response_cache_put(
+        &mut self,
+        t: Timestamp,
+        opts: &AttrOptions,
+        format: WireFormat,
+        bytes: Arc<[u8]>,
+        computed_at_epoch: u64,
+    ) -> bool {
+        if self.response_cache.capacity() == 0 || self.append_epoch != computed_at_epoch {
+            return false;
+        }
+        self.response_cache.insert(t, opts.clone(), format, bytes);
+        true
+    }
+
+    /// The response cache's behavior counters.
+    pub fn response_cache_stats(&self) -> ResponseCacheStats {
+        self.response_cache.stats()
+    }
+
+    /// Number of replies currently cached.
+    pub fn response_cache_len(&self) -> usize {
+        self.response_cache.len()
+    }
+
+    /// Capacity of the response cache (0 = disabled).
+    pub fn response_cache_capacity(&self) -> usize {
+        self.response_cache.capacity()
     }
 
     /// The snapshot cache's behavior counters.
@@ -328,6 +395,7 @@ impl GraphManager {
             .collect();
         let released = ids.len();
         self.cache.purge(); // cached overlays are force-released below
+        self.response_cache.purge();
         for id in ids {
             self.pool.force_release(id);
         }
@@ -359,6 +427,7 @@ impl GraphManager {
         for overlay in self.cache.invalidate_from(event.time) {
             self.pool.release(overlay);
         }
+        self.response_cache.invalidate_from(event.time);
         Ok(())
     }
 

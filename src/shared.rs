@@ -20,6 +20,7 @@ use tgraph::{AttrOptions, Event, Snapshot, TimeExpression, Timestamp};
 
 use crate::cache::CacheStats;
 use crate::manager::GraphManager;
+use crate::response_cache::{ResponseCacheStats, WireFormat};
 
 /// A cloneable, thread-safe handle to one [`GraphManager`].
 #[derive(Clone)]
@@ -28,6 +29,8 @@ pub struct SharedGraphManager {
     /// Snapshot-cache capacity, copied out at wrap time (it is immutable
     /// config) so the disabled-cache fast path never touches the lock.
     cache_capacity: usize,
+    /// Response-cache capacity, copied out for the same reason.
+    response_cache_capacity: usize,
 }
 
 // GraphManager must stay usable across threads for the server; assert it here
@@ -41,15 +44,61 @@ impl SharedGraphManager {
     /// Wraps a manager for shared use.
     pub fn new(manager: GraphManager) -> Self {
         let cache_capacity = manager.cache_capacity();
+        let response_cache_capacity = manager.response_cache_capacity();
         SharedGraphManager {
             inner: Arc::new(RwLock::new(manager)),
             cache_capacity,
+            response_cache_capacity,
         }
     }
 
     /// Whether the manager was configured with a snapshot cache.
     pub fn cache_enabled(&self) -> bool {
         self.cache_capacity > 0
+    }
+
+    /// Whether the manager was configured with a rendered-response cache.
+    pub fn response_cache_enabled(&self) -> bool {
+        self.response_cache_capacity > 0
+    }
+
+    /// Pre-framed reply lookup (see
+    /// [`GraphManager::response_cache_get`]). Takes the write lock briefly
+    /// on an enabled cache; with it disabled this returns `None` without
+    /// locking at all.
+    pub fn response_cache_get(
+        &self,
+        t: Timestamp,
+        opts: &AttrOptions,
+        format: WireFormat,
+    ) -> Option<Arc<[u8]>> {
+        if !self.response_cache_enabled() {
+            return None;
+        }
+        self.write().response_cache_get(t, opts, format)
+    }
+
+    /// Caches a freshly framed reply under the append-epoch guard (see
+    /// [`GraphManager::response_cache_put`]). A no-op with the cache
+    /// disabled.
+    pub fn response_cache_put(
+        &self,
+        t: Timestamp,
+        opts: &AttrOptions,
+        format: WireFormat,
+        bytes: Arc<[u8]>,
+        computed_at_epoch: u64,
+    ) -> bool {
+        if !self.response_cache_enabled() {
+            return false;
+        }
+        self.write()
+            .response_cache_put(t, opts, format, bytes, computed_at_epoch)
+    }
+
+    /// The response cache's behavior counters.
+    pub fn response_cache_stats(&self) -> ResponseCacheStats {
+        self.read().response_cache_stats()
     }
 
     /// Shared read access. Snapshot computation through
@@ -123,6 +172,20 @@ impl SharedGraphManager {
     }
 }
 
+/// One point retrieval served through [`PoolSession::retrieve_cached`].
+#[derive(Clone, Debug)]
+pub struct CachedPoint {
+    /// The materialized snapshot (shared with the cache on a hit).
+    pub snapshot: Arc<Snapshot>,
+    /// Whether the snapshot came from the shared cache.
+    pub cache_hit: bool,
+    /// The append epoch the snapshot is consistent with, read under the
+    /// same lock that produced it. Callers caching anything derived from
+    /// the snapshot (e.g. rendered response bytes) pass this to the insert
+    /// path so a result that raced an `APPEND` is never cached.
+    pub epoch: u64,
+}
+
 /// Tracks the GraphPool handles one session created, releasing them (and
 /// running the cleaner) when dropped — the server's per-connection guard.
 pub struct PoolSession {
@@ -140,7 +203,8 @@ impl PoolSession {
     }
 
     /// Point retrieval through the shared snapshot cache: returns the
-    /// snapshot as of `t` and whether it was served from the cache.
+    /// snapshot as of `t`, whether it was served from the cache, and the
+    /// append epoch it is consistent with (see [`CachedPoint`]).
     ///
     /// On a hit the session shares the cached pool overlay (its reference
     /// count goes up; no new overlay is built). On a miss the snapshot is
@@ -151,23 +215,39 @@ impl PoolSession {
     /// against this session and released (one reference) when the session
     /// drops. With the cache disabled (capacity 0) this is exactly the old
     /// compute-then-overlay path.
-    pub fn retrieve_cached(
-        &mut self,
-        t: Timestamp,
-        opts: &AttrOptions,
-    ) -> DgResult<(Arc<Snapshot>, bool)> {
+    pub fn retrieve_cached(&mut self, t: Timestamp, opts: &AttrOptions) -> DgResult<CachedPoint> {
         if !self.shared.cache_enabled() {
             // Plain path, exactly as before the cache existed: compute under
             // the read lock, overlay under the write lock, no extra probes.
-            let snapshot = Arc::new(self.shared.read().index().get_snapshot(t, opts)?);
+            let (snapshot, epoch) = {
+                let gm = self.shared.read();
+                let snapshot = Arc::new(gm.index().get_snapshot(t, opts)?);
+                (snapshot, gm.append_epoch())
+            };
             let id = self.shared.write().overlay_snapshot(&snapshot, t);
             self.handles.push(id);
-            return Ok((snapshot, false));
+            return Ok(CachedPoint {
+                snapshot,
+                cache_hit: false,
+                epoch,
+            });
         }
-        // Fast path: a hit is a refcount bump under a brief write lock.
-        if let Some((snap, id)) = self.shared.write().cache_acquire(t, opts, true) {
-            self.handles.push(id);
-            return Ok((snap, true));
+        // Fast path: a hit is a refcount bump under a brief write lock. The
+        // epoch is read under the same guard — a cached entry is always
+        // consistent with the epoch observed while holding the lock,
+        // because appends (which bump it) also invalidate under it.
+        {
+            let mut gm = self.shared.write();
+            if let Some((snap, id)) = gm.cache_acquire(t, opts, true) {
+                let epoch = gm.append_epoch();
+                drop(gm);
+                self.handles.push(id);
+                return Ok(CachedPoint {
+                    snapshot: snap,
+                    cache_hit: true,
+                    epoch,
+                });
+            }
         }
         // Miss: the expensive DeltaGraph traversal runs under the read
         // lock. The append epoch is read under the same guard, so it is
@@ -182,9 +262,14 @@ impl PoolSession {
         // computed. Counted as neither hit nor miss — this lookup already
         // recorded its miss above.
         if let Some((snap, id)) = gm.cache_acquire(t, opts, false) {
+            let epoch = gm.append_epoch();
             drop(gm);
             self.handles.push(id);
-            return Ok((snap, true));
+            return Ok(CachedPoint {
+                snapshot: snap,
+                cache_hit: true,
+                epoch,
+            });
         }
         // If an append landed between our compute and this insert, the
         // manager declines to cache the (possibly stale) snapshot and
@@ -192,7 +277,31 @@ impl PoolSession {
         let id = gm.cache_insert_overlay(&snapshot, t, opts, epoch);
         drop(gm);
         self.handles.push(id);
-        Ok((snapshot, false))
+        Ok(CachedPoint {
+            snapshot,
+            cache_hit: false,
+            epoch,
+        })
+    }
+
+    /// Cache-only point acquisition: on a hit the session shares the cached
+    /// overlay (its reference count goes up) and the materialized snapshot
+    /// is returned; on a miss nothing is computed or inserted — the caller
+    /// retrieves however it prefers (e.g. the Steiner multipoint planner).
+    /// Hits and misses both count toward the cache statistics. `None`
+    /// without locking when the cache is disabled.
+    ///
+    /// This is the probe half of [`PoolSession::retrieve_cached`], used by
+    /// queries that want overlay sharing for hot points without letting a
+    /// wide cold scan (multipoint over many distinct times) evict the hot
+    /// set by force-inserting every point.
+    pub fn acquire_cached(&mut self, t: Timestamp, opts: &AttrOptions) -> Option<Arc<Snapshot>> {
+        if !self.shared.cache_enabled() {
+            return None;
+        }
+        let (snapshot, id) = self.shared.write().cache_acquire(t, opts, true)?;
+        self.handles.push(id);
+        Some(snapshot)
     }
 
     /// Handles created by this session, in creation order.
@@ -290,11 +399,12 @@ mod tests {
         let opts = AttrOptions::all();
         let mut s1 = sm.session();
         let mut s2 = sm.session();
-        let (snap1, hit1) = s1.retrieve_cached(Timestamp(6), &opts).unwrap();
-        let (snap2, hit2) = s2.retrieve_cached(Timestamp(6), &opts).unwrap();
-        assert!(!hit1, "first retrieval must miss");
-        assert!(hit2, "second retrieval must hit");
-        assert_eq!(*snap1, *snap2);
+        let p1 = s1.retrieve_cached(Timestamp(6), &opts).unwrap();
+        let p2 = s2.retrieve_cached(Timestamp(6), &opts).unwrap();
+        assert!(!p1.cache_hit, "first retrieval must miss");
+        assert!(p2.cache_hit, "second retrieval must hit");
+        assert_eq!(p1.epoch, p2.epoch);
+        assert_eq!(*p1.snapshot, *p2.snapshot);
         // exactly one overlay, shared: cache ref + one per session
         assert_eq!(sm.read().pool().active_overlay_count(), 1);
         let id = s1.handles()[0];
@@ -321,12 +431,14 @@ mod tests {
         sm.append_event(Event::add_node(20, 777)).unwrap();
         // t=25 (>= 20) invalidated, t=6 (< 20) still cached
         assert_eq!(sm.read().cache_len(), 1);
-        let (_, hit) = session.retrieve_cached(Timestamp(6), &opts).unwrap();
-        assert!(hit);
-        // a fresh retrieval at 25 sees the appended node
-        let (snap, hit) = session.retrieve_cached(Timestamp(25), &opts).unwrap();
-        assert!(!hit);
-        assert!(snap.has_node(tgraph::NodeId(777)));
+        let hit = session.retrieve_cached(Timestamp(6), &opts).unwrap();
+        assert!(hit.cache_hit);
+        // a fresh retrieval at 25 sees the appended node, under the bumped
+        // append epoch
+        let point = session.retrieve_cached(Timestamp(25), &opts).unwrap();
+        assert!(!point.cache_hit);
+        assert_eq!(point.epoch, 1);
+        assert!(point.snapshot.has_node(tgraph::NodeId(777)));
         assert_eq!(sm.cache_stats().invalidations, 1);
     }
 
@@ -347,7 +459,10 @@ mod tests {
         let sm = SharedGraphManager::new(gm);
         let mut session = sm.session();
         let opts = AttrOptions::all();
-        let (snap, _) = session.retrieve_cached(Timestamp(10), &opts).unwrap();
+        let snap = session
+            .retrieve_cached(Timestamp(10), &opts)
+            .unwrap()
+            .snapshot;
         let id = session.handles()[0];
         sm.append_event(Event::add_node(20, 777)).unwrap();
         // The t=10 entry survives the append (10 < 20) and its pool view
@@ -360,9 +475,9 @@ mod tests {
         }
         // And a cache hit hands other sessions the same clean view.
         let mut other = sm.session();
-        let (snap2, hit) = other.retrieve_cached(Timestamp(10), &opts).unwrap();
-        assert!(hit);
-        assert!(!snap2.has_node(tgraph::NodeId(777)));
+        let p2 = other.retrieve_cached(Timestamp(10), &opts).unwrap();
+        assert!(p2.cache_hit);
+        assert!(!p2.snapshot.has_node(tgraph::NodeId(777)));
     }
 
     #[test]
@@ -390,9 +505,9 @@ mod tests {
         assert_eq!(sm.read().pool().refcount(id), Some(1));
         // A fresh retrieval computes post-append state and caches that.
         let mut session = sm.session();
-        let (snap, hit) = session.retrieve_cached(Timestamp(25), &opts).unwrap();
-        assert!(!hit);
-        assert!(snap.has_node(tgraph::NodeId(777)));
+        let point = session.retrieve_cached(Timestamp(25), &opts).unwrap();
+        assert!(!point.cache_hit);
+        assert!(point.snapshot.has_node(tgraph::NodeId(777)));
         assert_eq!(sm.read().cache_len(), 1);
     }
 
@@ -402,9 +517,9 @@ mod tests {
         let opts = AttrOptions::all();
         let mut s1 = sm.session();
         let mut s2 = sm.session();
-        let (_, hit1) = s1.retrieve_cached(Timestamp(6), &opts).unwrap();
-        let (_, hit2) = s2.retrieve_cached(Timestamp(6), &opts).unwrap();
-        assert!(!hit1 && !hit2);
+        let h1 = s1.retrieve_cached(Timestamp(6), &opts).unwrap().cache_hit;
+        let h2 = s2.retrieve_cached(Timestamp(6), &opts).unwrap().cache_hit;
+        assert!(!h1 && !h2);
         // no sharing: one overlay per session, gone when the sessions drop
         assert_eq!(sm.read().pool().active_overlay_count(), 2);
         drop(s1);
