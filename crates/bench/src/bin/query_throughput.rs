@@ -6,7 +6,7 @@
 //! cargo run --release -p bench --bin query_throughput -- \
 //!     [--scale 0.2] [--memory] [--clients 8] [--seconds 5] \
 //!     [--hot] [--cache 256] [--resp-cache 256] [--hot-points 4] \
-//!     [--proto text|binary]
+//!     [--proto text|binary] [--shards 4]
 //! ```
 //!
 //! `--hot` switches to the hot-point workload: every client hammers `GET
@@ -18,6 +18,14 @@
 //! so both the byte cache's and the binary protocol's wins are measured,
 //! not asserted. `--proto` restricts the passes to one protocol (the
 //! text/cache-on baseline always runs, for the speedup column).
+//!
+//! `--shards N` switches to the sharded mixed workload: half the clients
+//! append at the tail while the other half hammer hot *historical* points,
+//! once against a 1-shard serving layer (every session funnelled through
+//! one `RwLock`) and once against N time-range shards behind the router.
+//! The table reports append and read throughput for both, so the claim
+//! that sharding unserializes writers from historical readers is measured,
+//! not asserted. Sharded passes build one in-memory store per shard.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -25,8 +33,10 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use bench::{dataset2, fresh_store, print_table, HarnessOptions};
-use historygraph::{GraphManager, GraphManagerConfig, SharedGraphManager};
-use server::{serve, Client, ServerConfig};
+use historygraph::{
+    GraphManager, GraphManagerConfig, ShardedConfig, ShardedGraphManager, SharedGraphManager,
+};
+use server::{serve, serve_sharded, Client, ServerConfig};
 use tgraph::Timestamp;
 
 const QUERY_CLASSES: [&str; 7] = [
@@ -312,11 +322,228 @@ fn run_hot(opts: &HarnessOptions, clients: usize, seconds: usize) {
     );
 }
 
+/// Measurements from one sharded mixed-workload pass.
+struct ShardedResult {
+    shards: usize,
+    appends: u64,
+    reads: u64,
+    elapsed: f64,
+    snap_hits: u64,
+    snap_misses: u64,
+    historical_invalidations: u64,
+}
+
+/// One sharded-pass configuration: shard count, per-shard caches, and the
+/// writer/reader split.
+struct ShardedPass {
+    shards: usize,
+    cache: usize,
+    resp_cache: usize,
+    writers: usize,
+    readers: usize,
+}
+
+/// One pass of the sharded mixed workload: `writers` connections append at
+/// the tail while `readers` connections hammer hot historical points, all
+/// against a `shards`-way time-range-sharded serving layer.
+fn run_sharded_pass(
+    ds: &datagen::Dataset,
+    pass: &ShardedPass,
+    seconds: usize,
+    hot: &[i64],
+) -> ShardedResult {
+    let ShardedPass {
+        shards,
+        cache,
+        resp_cache,
+        writers,
+        readers,
+    } = *pass;
+    let router = ShardedGraphManager::build_in_memory(
+        &ds.events,
+        ShardedConfig::default().with_shards(shards).with_manager(
+            GraphManagerConfig::default()
+                .with_snapshot_cache(cache)
+                .with_response_cache(resp_cache),
+        ),
+    )
+    .expect("sharded index construction");
+    let shard_count = router.shard_count();
+    let server = serve_sharded(
+        router.clone(),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            max_connections: writers + readers + 2,
+            ..Default::default()
+        },
+    )
+    .expect("server start");
+    let addr = server.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    // Appends must be globally non-decreasing; writers draw times from one
+    // shared counter past the built history.
+    let append_t = Arc::new(std::sync::atomic::AtomicI64::new(ds.end_time().raw() + 1));
+
+    let write_workers: Vec<_> = (0..writers)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let append_t = Arc::clone(&append_t);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut completed = 0u64;
+                let mut node = 2_000_000 + c as u64 * 1_000_000;
+                while !stop.load(Ordering::Relaxed) {
+                    let t = append_t.fetch_add(1, Ordering::Relaxed);
+                    node += 1;
+                    match client.send(&format!("APPEND NODE {t} {node}")) {
+                        Ok(lines) if lines.first().is_some_and(|l| l.starts_with("OK")) => {
+                            completed += 1;
+                        }
+                        Ok(_) | Err(_) => {}
+                    }
+                }
+                completed
+            })
+        })
+        .collect();
+    let read_workers: Vec<_> = (0..readers)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let hot = hot.to_vec();
+            thread::spawn(move || {
+                let mut rng = Rng(0x5AD ^ c as u64);
+                let mut client = Client::connect(addr).expect("connect");
+                let mut completed = 0u64;
+                let mut issued = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let t = hot[rng.pick(hot.len())];
+                    match client.send(&format!("GET GRAPH AT {t} WITH +node:all")) {
+                        Ok(lines) if lines.first().is_some_and(|l| l.starts_with("OK")) => {
+                            completed += 1;
+                        }
+                        Ok(_) | Err(_) => {}
+                    }
+                    issued += 1;
+                    if issued.is_multiple_of(64) {
+                        let _ = client.send("RELEASE ALL");
+                    }
+                }
+                completed
+            })
+        })
+        .collect();
+
+    let started = Instant::now();
+    thread::sleep(Duration::from_secs(seconds as u64));
+    stop.store(true, Ordering::Relaxed);
+    let appends: u64 = write_workers.into_iter().map(|w| w.join().unwrap()).sum();
+    let reads: u64 = read_workers.into_iter().map(|w| w.join().unwrap()).sum();
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Read counters off the router directly: summed snapshot-cache hit
+    // rates plus the invalidations ingest caused on *historical* (non-tail)
+    // shards — the number that must stay 0 under sharding.
+    let infos = router.shard_infos();
+    let historical_invalidations = infos
+        .iter()
+        .take(infos.len().saturating_sub(1))
+        .map(|i| i.cache.invalidations)
+        .sum();
+    let overview = router.cache_overview();
+    ShardedResult {
+        shards: shard_count,
+        appends,
+        reads,
+        elapsed,
+        snap_hits: overview.stats.hits,
+        snap_misses: overview.stats.misses,
+        historical_invalidations,
+    }
+}
+
+fn run_sharded(opts: &HarnessOptions, clients: usize, seconds: usize) {
+    let shards = arg_value("--shards", 4).max(1);
+    let cache = arg_value("--cache", 256);
+    let resp_cache = arg_value("--resp-cache", 256);
+    let hot_points = arg_value("--hot-points", 4).max(1);
+    let writers = (clients / 2).max(1);
+    let readers = (clients - writers).max(1);
+    let ds = dataset2(opts.scale);
+    let start_t = ds.start_time().raw();
+    let end_t = ds.end_time().raw();
+    // Hot points in the first half of the history: under sharding they live
+    // on historical shards, far from the tail the writers hammer.
+    let half = (end_t - start_t).max(1) / 2;
+    let hot: Vec<i64> = (0..hot_points)
+        .map(|i| start_t + half * (i as i64 + 1) / (hot_points as i64 + 1))
+        .collect();
+    println!(
+        "sharded mixed workload: {writers} writers + {readers} readers x {seconds}s, \
+         hot historical points {hot:?}, snapshot cache {cache}/shard, \
+         response cache {resp_cache}/shard"
+    );
+
+    let mut passes = vec![1usize];
+    if shards > 1 {
+        passes.push(shards);
+    }
+    let results: Vec<ShardedResult> = passes
+        .into_iter()
+        .map(|n| {
+            let pass = ShardedPass {
+                shards: n,
+                cache,
+                resp_cache,
+                writers,
+                readers,
+            };
+            run_sharded_pass(&ds, &pass, seconds, &hot)
+        })
+        .collect();
+
+    let base_append = results[0].appends as f64 / results[0].elapsed;
+    let base_read = results[0].reads as f64 / results[0].elapsed;
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            let aps = r.appends as f64 / r.elapsed;
+            let rps = r.reads as f64 / r.elapsed;
+            vec![
+                format!("{} shard(s)", r.shards),
+                format!("{aps:.0}"),
+                format!("{rps:.0}"),
+                hit_rate(r.snap_hits, r.snap_misses)
+                    .map_or("-".into(), |x| format!("{:.1}%", x * 100.0)),
+                r.historical_invalidations.to_string(),
+                format!("{:.2}x", aps / base_append.max(f64::MIN_POSITIVE)),
+                format!("{:.2}x", rps / base_read.max(f64::MIN_POSITIVE)),
+            ]
+        })
+        .collect();
+    print_table(
+        "sharded append/read throughput (speedup vs 1 shard)",
+        &[
+            "config",
+            "append qps",
+            "read qps",
+            "snap hit",
+            "hist inval",
+            "append speedup",
+            "read speedup",
+        ],
+        &rows,
+    );
+}
+
 fn main() {
     let opts = HarnessOptions::from_args();
     let clients = arg_value("--clients", 8);
     let seconds = arg_value("--seconds", 5);
 
+    if arg_str("--shards").is_some() {
+        run_sharded(&opts, clients, seconds);
+        return;
+    }
     if std::env::args().any(|a| a == "--hot") {
         run_hot(&opts, clients, seconds);
         return;

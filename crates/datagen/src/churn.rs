@@ -68,18 +68,31 @@ pub fn churn_trace(cfg: &ChurnConfig) -> Dataset {
     let base_end = base.end_time();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
-    // Track alive edges (with endpoints) and known nodes so that deletion
-    // events are well formed.
+    // Track alive edges (with endpoints and any attributes they carry) and
+    // known nodes so that deletion events are well formed: an edge's
+    // attributes must be cleared by earlier events before the edge itself
+    // is deleted, or backward application (which restores a deleted edge
+    // from only its endpoints) could not reproduce the forward states.
     let final_base = base.final_snapshot();
-    let mut alive: Vec<(EdgeId, NodeId, NodeId)> =
-        final_base.edges().map(|(e, d)| (e, d.src, d.dst)).collect();
-    alive.sort_by_key(|(e, _, _)| *e);
+    type AliveEdge = (EdgeId, NodeId, NodeId, Vec<(String, AttrValue)>);
+    let mut alive: Vec<AliveEdge> = final_base
+        .edges()
+        .map(|(e, d)| {
+            let attrs = d
+                .attrs
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            (e, d.src, d.dst, attrs)
+        })
+        .collect();
+    alive.sort_by_key(|(e, _, _, _)| *e);
     let nodes: Vec<NodeId> = {
         let mut v: Vec<NodeId> = final_base.node_ids().collect();
         v.sort_unstable();
         v
     };
-    let mut next_edge: u64 = alive.iter().map(|(e, _, _)| e.raw()).max().unwrap_or(0) + 1;
+    let mut next_edge: u64 = alive.iter().map(|(e, _, _, _)| e.raw()).max().unwrap_or(0) + 1;
 
     let mut events: Vec<Event> = base.events.clone().into_events();
     let churn_start = base_end.raw() + 1;
@@ -88,7 +101,10 @@ pub fn churn_trace(cfg: &ChurnConfig) -> Dataset {
         let delete = rng.gen_bool(0.5) && !alive.is_empty();
         if delete {
             let idx = rng.gen_range(0..alive.len());
-            let (e, src, dst) = alive.swap_remove(idx);
+            let (e, src, dst, attrs) = alive.swap_remove(idx);
+            for (key, value) in attrs {
+                events.push(Event::set_edge_attr(time, e, key, Some(value), None));
+            }
             events.push(Event::delete_edge(time, e, src, dst));
         } else {
             let src = nodes[rng.gen_range(0..nodes.len())];
@@ -104,16 +120,19 @@ pub fn churn_trace(cfg: &ChurnConfig) -> Dataset {
             let e = EdgeId(next_edge);
             next_edge += 1;
             events.push(Event::add_edge(time, e, src, dst));
+            let mut attrs = Vec::new();
             if rng.gen_bool(cfg.attr_fraction) {
+                let value = AttrValue::Int(rng.gen_range(1..20));
                 events.push(Event::set_edge_attr(
                     time,
                     e,
                     "papers",
                     None,
-                    Some(AttrValue::Int(rng.gen_range(1..20))),
+                    Some(value.clone()),
                 ));
+                attrs.push(("papers".to_string(), value));
             }
-            alive.push((e, src, dst));
+            alive.push((e, src, dst, attrs));
         }
     }
 
@@ -181,6 +200,29 @@ mod tests {
             (0.6..1.6).contains(&ratio),
             "edge count should stay roughly flat during churn, ratio {ratio:.2}"
         );
+    }
+
+    #[test]
+    fn edges_are_attribute_free_when_deleted() {
+        // Bidirectionality (paper §3.1): a DeleteEdge event only carries the
+        // endpoints, so backward application can restore exactly what
+        // forward application removed only if the edge's attributes were
+        // cleared by earlier events. A trace violating this makes snapshot
+        // answers depend on the direction an index replays events in.
+        let ds = churn_trace(&ChurnConfig::tiny(13));
+        let mut snap = tgraph::Snapshot::new();
+        for ev in ds.events.events() {
+            if let tgraph::EventKind::DeleteEdge { edge, .. } = &ev.kind {
+                let data = snap.edge(*edge).expect("deleting a live edge");
+                assert!(
+                    data.attrs.is_empty(),
+                    "edge {edge} deleted at {} while still carrying {:?}",
+                    ev.time.raw(),
+                    data.attrs
+                );
+            }
+            snap.apply_forward(ev).unwrap();
+        }
     }
 
     #[test]

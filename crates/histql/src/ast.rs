@@ -71,10 +71,14 @@ pub enum Query {
         /// Sampling stride; defaults to an 8-sample spread.
         step: Option<i64>,
     },
-    /// `STATS` — index statistics.
+    /// `STATS` — index statistics (summed across shards).
     Stats,
-    /// `STATS CACHE` — snapshot-cache statistics and per-entry refcounts.
+    /// `STATS CACHE` — snapshot-cache statistics and per-entry refcounts,
+    /// aggregated across shards.
     CacheStats,
+    /// `STATS SHARDS` — per-shard serving statistics: time bounds, event
+    /// counts, overlay counts, and both cache tiers' counters.
+    ShardStats,
     /// `APPEND ...` — one live update event.
     Append(AppendSpec),
     /// `BIND <key> <node id>` — register an application key.
@@ -414,6 +418,7 @@ impl fmt::Display for Query {
             }
             Query::Stats => f.write_str("STATS"),
             Query::CacheStats => f.write_str("STATS CACHE"),
+            Query::ShardStats => f.write_str("STATS SHARDS"),
             Query::Append(spec) => match spec {
                 AppendSpec::Node { t, node } => write!(f, "APPEND NODE {} {node}", t.raw()),
                 AppendSpec::DelNode { t, node } => {

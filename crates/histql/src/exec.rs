@@ -1,20 +1,26 @@
-//! Query execution over a [`SharedGraphManager`].
+//! Query execution over a [`ShardedGraphManager`] router.
 //!
-//! The executor is the read/write split in action: snapshot computation runs
-//! under the shared read lock (many executors run concurrently), while
-//! overlays, appends, binds, and releases take the write lock briefly. Every
-//! retrieved graph is overlaid onto the GraphPool through the executor's
-//! [`PoolSession`], so dropping the executor (a client disconnecting)
-//! releases everything it retrieved.
+//! The executor targets the router: point, entity, and history queries are
+//! routed to the shard owning their time; multipoint queries fan out across
+//! shards in parallel and reassemble in request order; `APPEND` goes to the
+//! tail shard. A single-shard router (the [`Executor::new`] path) behaves
+//! exactly like the pre-sharding executor over one [`SharedGraphManager`]:
+//! snapshot computation runs under the owning shard's read lock, while
+//! overlays, appends, binds, and releases take that shard's write lock
+//! briefly. Every retrieved graph is overlaid through the executor's
+//! [`ShardedSession`], so dropping the executor (a client disconnecting)
+//! releases everything it retrieved, on every shard it touched.
 //!
 //! The executor also owns the session's response encoding (the `PROTOCOL`
 //! verb) and, through [`Executor::execute_framed`], the rendered-response
 //! byte cache: hot `GET GRAPH AT` replies are served as pre-framed bytes
-//! with zero per-request rendering.
+//! with zero per-request rendering, from the owning shard's cache.
+//!
+//! [`SharedGraphManager`]: historygraph::SharedGraphManager
 
 use std::sync::Arc;
 
-use historygraph::{PoolSession, SharedGraphManager, WireFormat};
+use historygraph::{ShardedGraphManager, ShardedSession, SharedGraphManager, WireFormat};
 use tgraph::{AttrOptions, NodeId, TimeExpression, Timestamp};
 
 use crate::ast::Query;
@@ -45,28 +51,34 @@ impl AsRef<[u8]> for Reply {
     }
 }
 
-/// Executes parsed queries against one shared store.
+/// Executes parsed queries against one (possibly sharded) store.
 pub struct Executor {
-    shared: SharedGraphManager,
-    session: PoolSession,
+    router: ShardedGraphManager,
+    session: ShardedSession,
     /// The session's response encoding, switched by the `PROTOCOL` verb.
     protocol: WireFormat,
 }
 
 impl Executor {
-    /// Creates an executor (one per client session). Sessions start in
-    /// [`WireFormat::Text`].
+    /// Creates an executor over a single shared manager (wrapped as a
+    /// one-shard router). Sessions start in [`WireFormat::Text`].
     pub fn new(shared: SharedGraphManager) -> Self {
-        let session = shared.session();
+        Self::for_router(ShardedGraphManager::single(shared))
+    }
+
+    /// Creates an executor over a sharded router (one per client session).
+    pub fn for_router(router: ShardedGraphManager) -> Self {
+        let session = router.session();
         Executor {
-            shared,
+            router,
             session,
             protocol: WireFormat::Text,
         }
     }
 
-    /// Pool handles this executor's session currently tracks.
-    pub fn session_handles(&self) -> &[graphpool::GraphId] {
+    /// Pool handles this executor's session currently tracks, across every
+    /// shard it touched (in shard order).
+    pub fn session_handles(&self) -> Vec<graphpool::GraphId> {
         self.session.handles()
     }
 
@@ -110,19 +122,24 @@ impl Executor {
         result.unwrap_or_else(|e| Reply::Owned(frame_error(&e.to_string(), self.protocol)))
     }
 
-    /// The `GET GRAPH AT` fast path: snapshot-cache retrieval (preserving
-    /// overlay refcounts), then response-cache probe, then render + insert.
+    /// The `GET GRAPH AT` fast path: snapshot-cache retrieval on the owning
+    /// shard (preserving overlay refcounts), then that *same* shard's
+    /// response-cache probe, then render + insert. The shard is resolved
+    /// exactly once — the get and the epoch-guarded put go through the
+    /// handle the snapshot came from, so a tail shard rolled between the
+    /// render and the insert can never be handed bytes computed from the
+    /// old tail (its fresh epoch could coincide with the old one).
     fn execute_point_framed(&mut self, t: Timestamp, attrs: &str) -> QlResult<Reply> {
         let opts = AttrOptions::parse(attrs)?;
-        let point = self.session.retrieve_cached(t, &opts)?;
-        if !self.shared.response_cache_enabled() {
+        let (shared, point) = self.session.retrieve_cached_routed(t, &opts)?;
+        if !shared.response_cache_enabled() {
             let resp = Response::Graph {
                 t,
                 graph: point.snapshot,
             };
             return Ok(Reply::Owned(resp.to_frame(self.protocol)));
         }
-        if let Some(bytes) = self.shared.response_cache_get(t, &opts, self.protocol) {
+        if let Some(bytes) = shared.response_cache_get(t, &opts, self.protocol) {
             return Ok(Reply::Shared(bytes));
         }
         let resp = Response::Graph {
@@ -132,8 +149,7 @@ impl Executor {
         let bytes: Arc<[u8]> = resp.to_frame(self.protocol).into();
         // Declined (not cached) if an append raced the retrieval — the
         // reply is still correct for this request, just not reusable.
-        self.shared
-            .response_cache_put(t, &opts, self.protocol, Arc::clone(&bytes), point.epoch);
+        shared.response_cache_put(t, &opts, self.protocol, Arc::clone(&bytes), point.epoch);
         Ok(Reply::Shared(bytes))
     }
 
@@ -152,44 +168,26 @@ impl Executor {
                 })
             }
             Query::GetGraphsAt { times, attrs } => {
-                // Hybrid multipoint: each point first probes the shared
-                // snapshot cache — hot points share one reference-counted
-                // overlay across sessions and across the points of one
-                // query. The remaining cold points go through the Steiner
-                // planner together (sharing fetched deltas) and get private
-                // overlays, deliberately *without* inserting into the
-                // cache: one wide cold scan must not evict the hot set that
-                // point queries built up.
+                // Hybrid multipoint, fanned out across shards in parallel:
+                // within each owning shard every point first probes that
+                // shard's snapshot cache — hot points share one
+                // reference-counted overlay across sessions and across the
+                // points of one query. The remaining cold points go through
+                // the shard's Steiner planner together (sharing fetched
+                // deltas) and get private overlays, deliberately *without*
+                // inserting into the cache: one wide cold scan must not
+                // evict the hot set that point queries built up. Replies
+                // are reassembled in request order regardless of shard
+                // completion order.
                 let opts = AttrOptions::parse(attrs)?;
-                let mut items: Vec<(Timestamp, Option<Arc<tgraph::Snapshot>>)> = times
-                    .iter()
-                    .map(|&t| (t, self.session.acquire_cached(t, &opts)))
-                    .collect();
-                let missing: Vec<Timestamp> = items
-                    .iter()
-                    .filter(|(_, snap)| snap.is_none())
-                    .map(|(t, _)| *t)
-                    .collect();
-                if !missing.is_empty() {
-                    let snaps = self.shared.snapshots_at(&missing, &opts)?;
-                    let mut computed = snaps.into_iter();
-                    for (t, slot) in items.iter_mut().filter(|(_, snap)| snap.is_none()) {
-                        let snapshot = Arc::new(computed.next().expect("one snapshot per miss"));
-                        self.session.overlay(&snapshot, *t);
-                        *slot = Some(snapshot);
-                    }
-                }
+                let snaps = self.session.get_graphs_at(times, &opts)?;
                 Ok(Response::Graphs {
-                    items: items
-                        .into_iter()
-                        .map(|(t, snap)| (t, snap.expect("every slot filled")))
-                        .collect(),
+                    items: times.iter().copied().zip(snaps).collect(),
                 })
             }
             Query::GetGraphBetween { start, end, attrs } => {
                 let opts = AttrOptions::parse(attrs)?;
-                let (graph, transients) = self.shared.snapshot_interval(*start, *end, &opts)?;
-                self.session.overlay(&graph, *start);
+                let (graph, transients) = self.session.interval(*start, *end, &opts)?;
                 Ok(Response::Interval {
                     start: *start,
                     end: *end,
@@ -209,13 +207,13 @@ impl Executor {
             }
             Query::NodeAt { key, t } => {
                 let node = self.resolve(key)?;
-                // A cached full snapshot at `t` answers the entity query
-                // without touching the index (read-only peek: no overlay
-                // reference changes hands).
+                // A cached full snapshot at `t` on the owning shard answers
+                // the entity query without touching the index (read-only
+                // peek: no overlay reference changes hands).
                 let opts = AttrOptions::all();
-                let snap = match self.shared.peek_cached(*t, &opts) {
+                let snap = match self.router.peek_cached(*t, &opts) {
                     Some(cached) => cached,
-                    None => std::sync::Arc::new(self.shared.snapshot_at(*t, &opts)?),
+                    None => std::sync::Arc::new(self.router.snapshot_at(*t, &opts)?),
                 };
                 let present = snap.has_node(node);
                 let attrs = snap
@@ -265,9 +263,10 @@ impl Executor {
                 let times: Vec<Timestamp> = (0..count as i64)
                     .map(|i| Timestamp(from.raw() + i * step))
                     .collect();
-                // Multipoint retrieval: the Steiner planner shares deltas
-                // across the samples.
-                let snaps = self.shared.snapshots_at(&times, &AttrOptions::all())?;
+                // Multipoint retrieval: within each owning shard the
+                // Steiner planner shares deltas across the samples, and
+                // distinct shards compute in parallel.
+                let snaps = self.router.snapshots_at(&times, &AttrOptions::all())?;
                 let samples = times
                     .iter()
                     .zip(&snaps)
@@ -296,37 +295,60 @@ impl Executor {
                 })
             }
             Query::Stats => {
-                let stats = self.shared.read().stats();
+                // Index statistics summed across shards (height is the
+                // deepest shard's).
+                let mut leaves = 0;
+                let mut interior = 0;
+                let mut height = 0;
+                let mut stored_bytes = 0;
+                let mut materialized_nodes = 0;
+                let mut materialized_bytes = 0;
+                let mut recent_events = 0;
+                for shared in self.router.shard_handles() {
+                    let stats = shared.read().stats();
+                    leaves += stats.leaves;
+                    interior += stats.interior_nodes;
+                    height = height.max(stats.height);
+                    stored_bytes += stats.stored_bytes;
+                    materialized_nodes += stats.materialized_nodes;
+                    materialized_bytes += stats.materialized_bytes;
+                    recent_events += stats.recent_events;
+                }
                 Ok(Response::Stats {
-                    leaves: stats.leaves,
-                    interior: stats.interior_nodes,
-                    height: stats.height,
-                    stored_bytes: stats.stored_bytes,
-                    materialized_nodes: stats.materialized_nodes,
-                    materialized_bytes: stats.materialized_bytes,
-                    recent_events: stats.recent_events,
+                    leaves,
+                    interior,
+                    height,
+                    stored_bytes,
+                    materialized_nodes,
+                    materialized_bytes,
+                    recent_events,
                 })
             }
             Query::CacheStats => {
-                let gm = self.shared.read();
+                let overview = self.router.cache_overview();
                 Ok(Response::CacheStats {
-                    capacity: gm.cache_capacity(),
-                    stats: gm.cache_stats(),
-                    overlays: gm.pool().active_overlay_count(),
-                    entries: gm.cache_entries(),
-                    response_capacity: gm.response_cache_capacity(),
-                    response_entries: gm.response_cache_len(),
-                    response: gm.response_cache_stats(),
+                    capacity: overview.capacity,
+                    stats: overview.stats,
+                    overlays: overview.overlays,
+                    entries: overview.entries,
+                    response_capacity: overview.response_capacity,
+                    response_entries: overview.response_entries,
+                    response: overview.response,
                 })
             }
+            Query::ShardStats => Ok(Response::Shards {
+                shards: self.router.shard_infos(),
+            }),
             Query::Append(spec) => {
-                let mut gm = self.shared.write();
-                let event = spec.to_event(gm.index().current_graph());
-                gm.append_event(event)?;
+                // Routed to the tail shard; the event is built against the
+                // tail's current graph under the same locks that apply it
+                // (attribute appends read the old value from it), and the
+                // tail may roll a new shard first when over budget.
+                self.router.append_with(|current| spec.to_event(current))?;
                 Ok(Response::Appended { t: spec.time() })
             }
             Query::Bind { key, node } => {
-                self.shared.write().register_key(key.clone(), NodeId(*node));
+                self.router.register_key(key.clone(), NodeId(*node));
                 Ok(Response::Bound {
                     key: key.clone(),
                     node: *node,
@@ -354,8 +376,7 @@ impl Executor {
             .times
             .last()
             .ok_or_else(|| QlError::Exec("time expression references no time points".into()))?;
-        let graph = self.shared.snapshot_expr(tex, opts)?;
-        self.session.overlay(&graph, anchor);
+        let graph = self.session.expr(tex, anchor, opts)?;
         Ok(Response::Graph {
             t: anchor,
             graph: std::sync::Arc::new(graph),
@@ -363,8 +384,7 @@ impl Executor {
     }
 
     fn resolve(&self, key: &str) -> QlResult<NodeId> {
-        self.shared
-            .read()
+        self.router
             .resolve_key(key)
             .ok_or_else(|| QlError::Exec(format!("unknown key {key:?} (use BIND first)")))
     }
@@ -377,7 +397,7 @@ pub use graphpool::GraphId;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use historygraph::{GraphManager, GraphManagerConfig};
+    use historygraph::{GraphManager, GraphManagerConfig, ShardedGraphManager};
     use tgraph::Timestamp;
 
     fn executor() -> (Executor, SharedGraphManager) {
@@ -700,6 +720,152 @@ mod tests {
         // And the result matches the uncached multipoint path.
         let (mut plain, _) = executor();
         assert_eq!(run(&mut plain, "GET GRAPHS AT 6, 9"), a);
+    }
+
+    fn sharded_executor(shards: usize) -> (Executor, ShardedGraphManager) {
+        use tgraph::Event;
+        // 60 nodes appearing at t = 1..=60 → predictable shard contents.
+        let events = tgraph::EventList::from_events(
+            (1..=60)
+                .map(|i| Event::add_node(i, 1000 + i as u64))
+                .collect(),
+        );
+        let router = ShardedGraphManager::build_in_memory(
+            &events,
+            historygraph::ShardedConfig::default()
+                .with_shards(shards)
+                .with_manager(GraphManagerConfig::default().with_snapshot_cache(16)),
+        )
+        .unwrap();
+        (Executor::for_router(router.clone()), router)
+    }
+
+    #[test]
+    fn stats_shards_reports_per_shard_counters() {
+        let (mut exec, router) = sharded_executor(3);
+        assert_eq!(router.shard_count(), 3);
+        run(&mut exec, "GET GRAPH AT 10");
+        run(&mut exec, "GET GRAPH AT 10");
+        let shards = run(&mut exec, "STATS SHARDS");
+        assert!(shards.starts_with("OK SHARDS count=3"), "{shards}");
+        let s0 = shards.lines().find(|l| l.starts_with("S 0 ")).unwrap();
+        assert!(s0.contains("lower=- upper=20"), "{s0}");
+        assert!(s0.contains("cache_hits=1 cache_misses=1"), "{s0}");
+        let s2 = shards.lines().find(|l| l.starts_with("S 2 ")).unwrap();
+        assert!(s2.contains("lower=40 upper=-"), "{s2}");
+        // STATS CACHE aggregates the same counters across shards.
+        let cache = run(&mut exec, "STATS CACHE");
+        assert!(cache.contains("hits=1 misses=1"), "{cache}");
+    }
+
+    #[test]
+    fn sharded_multipoint_preserves_request_order() {
+        let (mut exec, _router) = sharded_executor(3);
+        let reply = run(&mut exec, "GET GRAPHS AT 55, 5, 35");
+        let order: Vec<&str> = reply
+            .lines()
+            .filter(|l| l.starts_with("GRAPH t="))
+            .map(|l| l.split_whitespace().nth(1).unwrap())
+            .collect();
+        assert_eq!(order, ["t=55", "t=5", "t=35"]);
+        // And the snapshots are the right ones, not just relabeled.
+        assert!(reply.contains("GRAPH t=5 nodes=5 edges=0"), "{reply}");
+        assert!(reply.contains("GRAPH t=55 nodes=55 edges=0"), "{reply}");
+    }
+
+    #[test]
+    fn sharded_appends_route_to_the_tail_and_reject_history_writes() {
+        let (mut exec, router) = sharded_executor(3);
+        run(&mut exec, "APPEND NODE 61 9001");
+        let g = run(&mut exec, "GET GRAPH AT 61");
+        assert!(g.contains("N 9001"), "{g}");
+        // Writing into a historical shard's range is refused.
+        let err = exec.execute_line("APPEND NODE 5 9002").unwrap_err();
+        assert!(err.to_string().contains("immutable"), "{err}");
+        // Chronology violations surface from the tail shard itself.
+        let err = exec.execute_line("APPEND NODE 45 9003").unwrap_err();
+        assert!(err.to_string().contains("appended after"), "{err}");
+        // Historical shards saw no invalidations from any of this.
+        let infos = router.shard_infos();
+        assert_eq!(infos[0].cache.invalidations, 0);
+        assert_eq!(infos[1].cache.invalidations, 0);
+    }
+
+    #[test]
+    fn response_bytes_never_survive_a_tail_roll() {
+        use tgraph::Event;
+        // Response cache on, tiny roll budget: the built tail is already
+        // over budget, so the first strictly-later append rolls a new tail
+        // shard (whose fresh append epoch is 0, like an untouched shard's).
+        let events = tgraph::EventList::from_events(
+            (1..=20)
+                .map(|i| Event::add_node(i, 1000 + i as u64))
+                .collect(),
+        );
+        let router = ShardedGraphManager::build_in_memory(
+            &events,
+            historygraph::ShardedConfig::default()
+                .with_shards(2)
+                .with_shard_events(4)
+                .with_manager(
+                    GraphManagerConfig::default()
+                        .with_snapshot_cache(8)
+                        .with_response_cache(8),
+                ),
+        )
+        .unwrap();
+        let mut exec = Executor::for_router(router.clone());
+        // Render (and cache, on the pre-roll tail) a future point.
+        let before = exec.execute_framed("GET GRAPH AT 1000");
+        assert!(std::str::from_utf8(before.as_ref())
+            .unwrap()
+            .starts_with("OK GRAPH t=1000 nodes=20"));
+        // This append rolls a fresh tail owning [25, ∞) — including t=1000.
+        run(&mut exec, "APPEND NODE 25 9000");
+        assert_eq!(router.shard_count(), 3);
+        // The pre-roll bytes must not be served from the new tail: the
+        // reply reflects the append.
+        let after = exec.execute_framed("GET GRAPH AT 1000");
+        assert!(
+            std::str::from_utf8(after.as_ref())
+                .unwrap()
+                .starts_with("OK GRAPH t=1000 nodes=21"),
+            "stale pre-roll bytes were served: {:?}",
+            std::str::from_utf8(after.as_ref()).unwrap().lines().next()
+        );
+    }
+
+    #[test]
+    fn cross_shard_interval_queries_error_clearly() {
+        let (mut exec, _router) = sharded_executor(3);
+        let ok = run(&mut exec, "GET GRAPH BETWEEN 25 AND 30");
+        assert!(ok.starts_with("OK INTERVAL"), "{ok}");
+        let err = exec
+            .execute_line("GET GRAPH BETWEEN 10 AND 50")
+            .unwrap_err();
+        assert!(err.to_string().contains("spans shards"), "{err}");
+        let err = exec.execute_line("DIFF 50 10").unwrap_err();
+        assert!(err.to_string().contains("spans shards"), "{err}");
+        // DIFF within one shard still works.
+        let ok = run(&mut exec, "DIFF 30 25");
+        assert!(ok.starts_with("OK GRAPH"), "{ok}");
+    }
+
+    #[test]
+    fn sharded_bind_resolves_on_every_shard() {
+        let (mut exec, _router) = sharded_executor(3);
+        run(&mut exec, "BIND n10 1010");
+        // The node appears at t=10 (shard 0) and persists into shard 2.
+        let early = run(&mut exec, "NODE n10 AT 10");
+        assert!(early.contains("present=true"), "{early}");
+        let late = run(&mut exec, "NODE n10 AT 55");
+        assert!(late.contains("present=true"), "{late}");
+        let history = run(&mut exec, "HISTORY NODE n10 FROM 5 TO 55 STEP 10");
+        assert_eq!(
+            history.lines().filter(|l| l.starts_with("H ")).count(),
+            6,
+            "{history}"
+        );
     }
 
     #[test]

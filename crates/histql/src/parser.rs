@@ -72,6 +72,8 @@ impl Parser {
             "STATS" => {
                 if self.eat_keyword("CACHE") {
                     Ok(Query::CacheStats)
+                } else if self.eat_keyword("SHARDS") {
+                    Ok(Query::ShardStats)
                 } else {
                     Ok(Query::Stats)
                 }

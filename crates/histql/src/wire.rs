@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use historygraph::{CacheEntryInfo, CacheStats, ResponseCacheStats, WireFormat};
+use historygraph::{CacheEntryInfo, CacheStats, ResponseCacheStats, ShardInfo, WireFormat};
 use tgraph::codec::{write_varint, Decode, Encode, Reader};
 use tgraph::{AttrValue, Event, EventKind, NodeId, Snapshot, TgError, Timestamp};
 
@@ -116,6 +116,13 @@ pub enum Response {
         response_entries: usize,
         /// The response cache's behavior counters (the `RC` line).
         response: ResponseCacheStats,
+    },
+    /// Per-shard serving statistics (`STATS SHARDS`): one `S` line per
+    /// shard with its time bounds, event count, overlay count, and both
+    /// cache tiers' counters.
+    Shards {
+        /// One entry per shard, in time order (tail last).
+        shards: Vec<ShardInfo>,
     },
     /// An `APPEND` was applied.
     Appended {
@@ -308,6 +315,30 @@ impl Response {
                         quote(&e.opts),
                         e.overlay.0,
                         e.refs
+                    ));
+                }
+            }
+            Response::Shards { shards } => {
+                out.push(format!("OK SHARDS count={}", shards.len()));
+                let fmt_bound =
+                    |b: Option<Timestamp>| b.map_or("-".to_string(), |t| t.raw().to_string());
+                for s in shards {
+                    out.push(format!(
+                        "S {} lower={} upper={} events={} overlays={} \
+                         cache_entries={} cache_hits={} cache_misses={} \
+                         cache_invalidations={} rc_entries={} rc_hits={} rc_misses={}",
+                        s.index,
+                        fmt_bound(s.lower),
+                        fmt_bound(s.upper),
+                        s.events,
+                        s.overlays,
+                        s.cache_entries,
+                        s.cache.hits,
+                        s.cache.misses,
+                        s.cache.invalidations,
+                        s.response_entries,
+                        s.response.hits,
+                        s.response.misses
                     ));
                 }
             }
@@ -585,6 +616,10 @@ impl Encode for Response {
                 buf.push(7);
                 t.encode(buf);
             }
+            Response::Shards { shards } => {
+                buf.push(13);
+                shards.encode(buf);
+            }
             Response::Bound { key, node } => {
                 buf.push(8);
                 key.encode(buf);
@@ -678,6 +713,9 @@ impl Decode for Response {
                 mode: WireFormat::decode(r)?,
             },
             12 => Response::Bye,
+            13 => Response::Shards {
+                shards: Vec::<ShardInfo>::decode(r)?,
+            },
             t => return Err(TgError::Codec(format!("invalid Response tag {t}"))),
         })
     }
@@ -960,6 +998,45 @@ mod tests {
                     evictions: 0,
                     bytes: 512,
                 },
+            },
+            Response::Shards {
+                shards: vec![
+                    ShardInfo {
+                        index: 0,
+                        lower: None,
+                        upper: Some(Timestamp(50)),
+                        events: 120,
+                        overlays: 2,
+                        cache_entries: 1,
+                        cache: CacheStats {
+                            hits: 3,
+                            misses: 1,
+                            insertions: 1,
+                            invalidations: 0,
+                            evictions: 0,
+                        },
+                        response_entries: 1,
+                        response: ResponseCacheStats {
+                            hits: 2,
+                            misses: 1,
+                            insertions: 1,
+                            invalidations: 0,
+                            evictions: 0,
+                            bytes: 64,
+                        },
+                    },
+                    ShardInfo {
+                        index: 1,
+                        lower: Some(Timestamp(50)),
+                        upper: None,
+                        events: 7,
+                        overlays: 0,
+                        cache_entries: 0,
+                        cache: CacheStats::default(),
+                        response_entries: 0,
+                        response: ResponseCacheStats::default(),
+                    },
+                ],
             },
             Response::Appended { t: Timestamp(20) },
             Response::Bound {

@@ -3,15 +3,23 @@
 //! ```text
 //! cargo run --release -p server --bin histql_server -- \
 //!     [--addr 127.0.0.1:7171] [--toy | --churn] [--scale 1.0] \
-//!     [--max-conns 64] [--cache 128] [--resp-cache 128]
+//!     [--max-conns 64] [--cache 128] [--resp-cache 128] \
+//!     [--shards 1] [--shard-events 0]
 //! ```
 //!
-//! `--cache N` sizes the shared snapshot cache (entries; 0 disables it):
+//! `--cache N` sizes each shard's snapshot cache (entries; 0 disables it):
 //! repeated `GET GRAPH AT t` across sessions is served from one shared,
 //! reference-counted pool overlay instead of recomputing per session.
 //! `--resp-cache N` sizes the rendered-response byte cache on top of it:
 //! hot point replies are served as pre-framed bytes (text or binary, per
 //! the session's `PROTOCOL`) with zero per-request rendering.
+//!
+//! `--shards N` splits the serving layer into N time-range shards behind a
+//! router (equi-width over the built history): reads route to the shard
+//! owning their time, multipoint queries fan out in parallel, and `APPEND`s
+//! go to the tail shard only — historical shards (and their caches) are
+//! immutable. `--shard-events M` rolls a fresh tail shard once the tail
+//! holds M events (0 = never roll). `STATS SHARDS` reports the layout.
 //!
 //! Prints the bound address on stdout, then serves until killed. Talk to it
 //! with any line client:
@@ -25,8 +33,8 @@
 //! ```
 
 use historygraph::datagen::{churn_trace, toy_trace, ChurnConfig};
-use historygraph::{GraphManager, GraphManagerConfig, SharedGraphManager};
-use server::{serve, ServerConfig};
+use historygraph::{GraphManagerConfig, ShardedConfig, ShardedGraphManager};
+use server::{serve_sharded, ServerConfig};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -50,6 +58,13 @@ fn main() {
     let resp_cache: usize = arg_value("--resp-cache")
         .and_then(|v| v.parse().ok())
         .unwrap_or(128);
+    let shards: usize = arg_value("--shards")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    let shard_events: usize = arg_value("--shard-events")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let toy = std::env::args().any(|a| a == "--toy");
 
     let (events, label) = if toy {
@@ -59,20 +74,33 @@ fn main() {
         (ds.events, format!("churn trace (scale {scale})"))
     };
     eprintln!(
-        "building index over a {label} ({} events, snapshot cache {cache}, \
-         response cache {resp_cache})...",
+        "building index over a {label} ({} events, {shards} shard(s), snapshot \
+         cache {cache}/shard, response cache {resp_cache}/shard)...",
         events.len()
     );
-    let gm = GraphManager::build_in_memory(
+    let router = ShardedGraphManager::build_in_memory(
         &events,
-        GraphManagerConfig::default()
-            .with_snapshot_cache(cache)
-            .with_response_cache(resp_cache),
+        ShardedConfig::default()
+            .with_shards(shards)
+            .with_shard_events(shard_events)
+            .with_manager(
+                GraphManagerConfig::default()
+                    .with_snapshot_cache(cache)
+                    .with_response_cache(resp_cache),
+            ),
     )
     .expect("index construction");
-    let (start, end) = gm.index().history_range().expect("non-empty history");
-    let server = serve(
-        SharedGraphManager::new(gm),
+    let infos = router.shard_infos();
+    let (start, end) = {
+        let handles = router.shard_handles();
+        let first = handles.first().expect("at least one shard");
+        let last = handles.last().expect("at least one shard");
+        let (start, _) = first.read().index().history_range().expect("non-empty");
+        let (_, end) = last.read().index().history_range().expect("non-empty");
+        (start, end)
+    };
+    let server = serve_sharded(
+        router,
         ServerConfig {
             addr,
             max_connections,
@@ -81,8 +109,9 @@ fn main() {
     )
     .expect("bind");
     println!(
-        "histql server on {} — history [{start}, {end}]",
-        server.addr()
+        "histql server on {} — history [{start}, {end}], {} shard(s)",
+        server.addr(),
+        infos.len()
     );
     // Serve until killed.
     loop {

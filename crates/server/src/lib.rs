@@ -1,12 +1,15 @@
 //! # server — a concurrent TCP snapshot server speaking `histql`
 //!
 //! Std-only (``TcpListener`` + thread per connection, bounded by a
-//! connection cap). All sessions share one [`SharedGraphManager`]: snapshot
-//! computation runs under its read lock so retrievals proceed concurrently,
-//! while `APPEND` takes the write lock — live events flow in while readers
-//! retrieve history. Each connection owns a [`histql::Executor`], whose pool
-//! session releases every overlay the connection created when it
-//! disconnects, so a dropped client can never leak GraphPool bits.
+//! connection cap). All sessions share one [`ShardedGraphManager`] router
+//! (a single shard when started through [`serve`]): snapshot computation
+//! runs under the owning shard's read lock so retrievals proceed
+//! concurrently, while `APPEND` takes only the tail shard's write lock —
+//! live events flow in without contending with historical reads on other
+//! shards. Each connection owns a [`histql::Executor`], whose sharded
+//! session releases every overlay the connection created (on every shard
+//! it touched) when it disconnects, so a dropped client can never leak
+//! GraphPool bits.
 //!
 //! Point retrievals are served through the shared snapshot cache (when the
 //! [`SharedGraphManager`]'s manager was configured with one): sessions
@@ -54,7 +57,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use historygraph::SharedGraphManager;
+use historygraph::{ShardedGraphManager, SharedGraphManager};
 use histql::{frame_error, Executor, Response};
 
 pub mod client;
@@ -211,6 +214,18 @@ impl Drop for ServerHandle {
 /// Starts serving `shared` according to `config`; returns once the listener
 /// is bound, with the accept loop running in a background thread.
 pub fn serve(shared: SharedGraphManager, config: ServerConfig) -> io::Result<ServerHandle> {
+    serve_sharded(ShardedGraphManager::single(shared), config)
+}
+
+/// Starts serving a time-range-sharded store: every session's executor
+/// targets the router, so point queries land on the shard owning their
+/// time, multipoint queries fan out across shards in parallel, and
+/// `APPEND`s go to the tail shard without contending with historical
+/// reads. A single-shard router behaves exactly like [`serve`].
+pub fn serve_sharded(
+    router: ShardedGraphManager,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -247,13 +262,14 @@ pub fn serve(shared: SharedGraphManager, config: ServerConfig) -> io::Result<Ser
                     registry: Arc::clone(&registry),
                     conn_id,
                 };
-                let shared = shared.clone();
+                let router = router.clone();
                 let shutdown = Arc::clone(&shutdown);
                 thread::spawn(move || {
                     let _guard = guard;
-                    // The executor's pool session releases this connection's
-                    // overlays when the thread ends, however it ends.
-                    let mut executor = Executor::new(shared);
+                    // The executor's sharded session releases this
+                    // connection's overlays on every shard when the thread
+                    // ends, however it ends.
+                    let mut executor = Executor::for_router(router);
                     let _ = serve_connection(stream, &mut executor, &shutdown);
                 });
             }
@@ -607,6 +623,125 @@ mod tests {
         let completed = worker.join().unwrap();
         assert!(completed > 0, "worker should have completed some requests");
         assert_eq!(server.active_connections(), 0);
+    }
+
+    fn start_sharded(shards: usize, max_connections: usize) -> (ServerHandle, ShardedGraphManager) {
+        use tgraph::Event;
+        // 60 nodes appearing at t = 1..=60 → three equal time ranges.
+        let events = tgraph::EventList::from_events(
+            (1..=60)
+                .map(|i| Event::add_node(i, 1000 + i as u64))
+                .collect(),
+        );
+        let router = ShardedGraphManager::build_in_memory(
+            &events,
+            historygraph::ShardedConfig::default()
+                .with_shards(shards)
+                .with_manager(historygraph::GraphManagerConfig::default().with_snapshot_cache(16)),
+        )
+        .unwrap();
+        let handle = serve_sharded(
+            router.clone(),
+            ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                max_connections,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (handle, router)
+    }
+
+    #[test]
+    fn sharded_shutdown_drains_idle_sessions_across_shards() {
+        let (mut server, router) = start_sharded(3, 8);
+        let mut a = Client::connect(server.addr()).unwrap();
+        let mut b = Client::connect(server.addr()).unwrap();
+        // Each session holds overlays on more than one shard.
+        a.send_ok("GET GRAPHS AT 10, 50").unwrap();
+        b.send_ok("GET GRAPH AT 30").unwrap();
+        let overlays = |router: &ShardedGraphManager| -> usize {
+            router.shard_infos().iter().map(|i| i.overlays).sum()
+        };
+        assert_eq!(overlays(&router), 3);
+        let started = Instant::now();
+        server.shutdown_within(Duration::from_secs(5));
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "drain should close idle sharded sessions well before the deadline"
+        );
+        assert_eq!(server.active_connections(), 0);
+        // Cached overlays keep only the cache's own reference; no session
+        // references leak on any shard.
+        for shared in router.shard_handles() {
+            let gm = shared.read();
+            for entry in gm.cache_entries() {
+                assert_eq!(entry.refs, 1, "session references must be released");
+            }
+        }
+        assert!(a.send("PING").is_err());
+        assert!(b.send("PING").is_err());
+    }
+
+    #[test]
+    fn sharded_shutdown_lets_in_flight_multipoint_queries_finish() {
+        let (mut server, _router) = start_sharded(3, 8);
+        let addr = server.addr();
+        // A worker keeps issuing cross-shard multipoint queries while we
+        // drain: every accepted request must still get its complete,
+        // request-ordered reply — never a truncated frame.
+        let worker = thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            let mut completed = 0usize;
+            loop {
+                match c.send("GET GRAPHS AT 55, 5, 35") {
+                    Ok(lines) => {
+                        assert!(lines[0].starts_with("OK GRAPHS count=3"), "{lines:?}");
+                        let order: Vec<&str> = lines
+                            .iter()
+                            .filter(|l| l.starts_with("GRAPH t="))
+                            .map(|l| l.split_whitespace().nth(1).unwrap())
+                            .collect();
+                        assert_eq!(order, ["t=55", "t=5", "t=35"], "request order broke");
+                        completed += 1;
+                    }
+                    Err(_) => return completed, // drained
+                }
+            }
+        });
+        thread::sleep(Duration::from_millis(50));
+        server.shutdown_within(Duration::from_secs(5));
+        let completed = worker.join().unwrap();
+        assert!(completed > 0, "worker should have completed some requests");
+        assert_eq!(server.active_connections(), 0);
+    }
+
+    #[test]
+    fn sharded_appends_interleave_with_historical_reads() {
+        let (server, router) = start_sharded(3, 8);
+        let addr = server.addr();
+        let writer = thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            for i in 0..20 {
+                let lines = c
+                    .send(&format!("APPEND NODE {} {}", 61 + i, 900 + i))
+                    .unwrap();
+                assert_eq!(lines, vec![format!("OK APPENDED t={}", 61 + i)]);
+            }
+        });
+        let reader = thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            for _ in 0..20 {
+                let lines = c.send("GET GRAPH AT 10").unwrap();
+                assert!(lines[0].starts_with("OK GRAPH t=10 nodes=10"), "{lines:?}");
+            }
+        });
+        writer.join().unwrap();
+        reader.join().unwrap();
+        // Historical shards never saw an invalidation from the tail ingest.
+        let infos = router.shard_infos();
+        assert_eq!(infos[0].cache.invalidations, 0);
+        assert_eq!(infos[1].cache.invalidations, 0);
     }
 
     #[test]

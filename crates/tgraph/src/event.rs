@@ -55,7 +55,10 @@ pub enum EventKind {
         directed: bool,
     },
     /// An edge disappears. Carries the endpoints so the event can be applied
-    /// backwards without any additional lookup.
+    /// backwards without any additional lookup. All its attributes must
+    /// already have been removed by earlier events for the stream to be
+    /// well formed — backward application restores only the bare edge, so
+    /// an attribute still set at deletion time could not be recovered.
     DeleteEdge {
         /// Id of the edge being deleted.
         edge: EdgeId,

@@ -25,9 +25,12 @@
 //! planning and I/O), and the query-manager duties of translating external
 //! keys to internal ids and attribute-option strings into typed options.
 //! On top of the facade sit [`SharedGraphManager`] (the concurrent
-//! read/write split used by the TCP server) and the [`cache`] module's
+//! read/write split used by the TCP server), the [`cache`] module's
 //! shared snapshot cache, which serves hot point retrievals from one
-//! reference-counted pool overlay shared across sessions.
+//! reference-counted pool overlay shared across sessions, and the
+//! [`sharded`] module's [`ShardedGraphManager`]: a router over N
+//! time-range shards (each a complete `SharedGraphManager` with its own
+//! caches) so appends stop serializing against historical reads.
 //!
 //! ```
 //! use historygraph::{GraphManager, GraphManagerConfig};
@@ -52,11 +55,13 @@ pub use tgraph;
 pub mod cache;
 pub mod manager;
 pub mod response_cache;
+pub mod sharded;
 pub mod shared;
 pub mod source;
 
 pub use cache::{CacheEntryInfo, CacheStats, SnapshotCache};
 pub use manager::{GraphManager, GraphManagerConfig};
 pub use response_cache::{ResponseCache, ResponseCacheStats, WireFormat};
+pub use sharded::{CacheOverview, ShardInfo, ShardedConfig, ShardedGraphManager, ShardedSession};
 pub use shared::{CachedPoint, PoolSession, SharedGraphManager};
 pub use source::DeltaGraphSource;

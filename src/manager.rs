@@ -471,6 +471,16 @@ impl GraphManager {
         self.node_to_key.get(&node).map(String::as_str)
     }
 
+    /// Every registered `(key, node)` binding. Used when rolling a new tail
+    /// shard (see [`crate::ShardedGraphManager`]): the fresh shard inherits
+    /// the table so keys resolve on every shard.
+    pub fn key_bindings(&self) -> Vec<(String, NodeId)> {
+        self.key_to_node
+            .iter()
+            .map(|(k, n)| (k.clone(), *n))
+            .collect()
+    }
+
     // ------------------------------------------------------------------
     // Introspection
     // ------------------------------------------------------------------

@@ -1,0 +1,1372 @@
+//! Time-range sharding of the serving layer: the [`ShardedGraphManager`].
+//!
+//! The paper's distributed design (Section 4.2, Figure 8(b)) partitions
+//! DeltaGraph storage across machines; `kvstore::PartitionedStore` already
+//! reproduces that below the index. This module pushes the same idea *up*
+//! into query serving: instead of funnelling every session through one
+//! [`SharedGraphManager`] — where `APPEND`s serialize all writers and every
+//! read contends on a single `RwLock` — a router owns N shards, each a
+//! complete `SharedGraphManager` over one time range of the history.
+//!
+//! * **Routing** — `GET GRAPH AT t` (and `NODE`, and each `HISTORY` sample)
+//!   goes to the single shard owning `t`; `GET GRAPHS AT t1,t2,...` fans out
+//!   across the owning shards in parallel and reassembles the replies in
+//!   request order.
+//! * **Appends** — always go to the *tail* shard. When the tail exceeds a
+//!   configurable event budget, the router rolls a new tail shard seeded
+//!   from the old tail's current graph. Historical shards are therefore
+//!   immutable: their snapshot and response caches are never invalidated by
+//!   ingest, so hot historical points stay cached forever.
+//! * **Self-contained shards** — shard `i` over `[lower_i, upper_i)` is
+//!   built from the full graph state as of `lower_i` (collapsed into
+//!   synthetic *seed events* at `lower_i - 1`) plus the real events in its
+//!   range, so it answers any `t` in its range identically to a single
+//!   manager replaying the whole stream (property-tested in
+//!   `tests/approach_equivalence.rs`).
+//!
+//! Queries whose time range spans shards and cannot be decomposed per point
+//! (`GET GRAPH BETWEEN`, `GET GRAPH MATCHING`, `DIFF`) execute on the single
+//! shard covering all referenced points and are rejected with a clear error
+//! otherwise — see `docs/PROTOCOL.md`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::thread;
+
+use deltagraph::{DgError, DgResult};
+use graphpool::GraphId;
+use kvstore::{KeyValueStore, MemStore};
+use tgraph::codec::{Decode, Encode, Reader};
+use tgraph::{AttrOptions, Event, EventKind, EventList, Snapshot, TimeExpression, Timestamp};
+
+use crate::cache::{CacheEntryInfo, CacheStats};
+use crate::manager::{GraphManager, GraphManagerConfig};
+use crate::response_cache::ResponseCacheStats;
+use crate::shared::{CachedPoint, PoolSession, SharedGraphManager};
+
+/// Configuration of a [`ShardedGraphManager`].
+#[derive(Clone, Debug)]
+pub struct ShardedConfig {
+    /// Per-shard manager configuration (index parameters and the two cache
+    /// tiers). Each shard owns its own caches of these capacities.
+    pub manager: GraphManagerConfig,
+    /// Number of shards to split the built history into when no explicit
+    /// boundaries are given (equi-width over the event time range). `<= 1`
+    /// builds a single shard.
+    pub shards: usize,
+    /// Explicit ascending shard boundaries; shard `i` owns
+    /// `[boundaries[i-1], boundaries[i])` (the first shard is unbounded
+    /// below, the last unbounded above). Overrides [`ShardedConfig::shards`].
+    pub boundaries: Option<Vec<Timestamp>>,
+    /// Tail event budget: once the tail shard holds this many real (non-seed)
+    /// events, the next strictly-later append rolls a new tail shard.
+    /// `0` (the default) never rolls.
+    pub shard_events: usize,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            manager: GraphManagerConfig::default(),
+            shards: 1,
+            boundaries: None,
+            shard_events: 0,
+        }
+    }
+}
+
+impl ShardedConfig {
+    /// Uses the given per-shard manager configuration.
+    pub fn with_manager(mut self, manager: GraphManagerConfig) -> Self {
+        self.manager = manager;
+        self
+    }
+
+    /// Splits the built history into `n` equi-width shards.
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Uses explicit ascending shard boundaries.
+    pub fn with_boundaries(mut self, boundaries: Vec<Timestamp>) -> Self {
+        self.boundaries = Some(boundaries);
+        self
+    }
+
+    /// Sets the tail event budget that triggers rolling a new shard.
+    pub fn with_shard_events(mut self, budget: usize) -> Self {
+        self.shard_events = budget;
+        self
+    }
+}
+
+/// One time-range shard: a complete manager plus its routing bounds.
+struct Shard {
+    shared: SharedGraphManager,
+    /// Inclusive lower bound of the owned range; `None` for the first shard
+    /// (unbounded below).
+    lower: Option<Timestamp>,
+    /// Real (non-seed) events this shard holds, counted against the roll
+    /// budget.
+    events: AtomicUsize,
+}
+
+/// Per-shard serving statistics, the payload of `STATS SHARDS`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// Position of the shard in time order (the tail has the highest index).
+    pub index: usize,
+    /// Inclusive lower bound of the owned time range (`None` = unbounded).
+    pub lower: Option<Timestamp>,
+    /// Exclusive upper bound of the owned time range (`None` = unbounded;
+    /// only the tail shard is unbounded above).
+    pub upper: Option<Timestamp>,
+    /// Real (non-seed) events the shard holds.
+    pub events: usize,
+    /// Active historical overlays in the shard's pool.
+    pub overlays: usize,
+    /// Entries in the shard's snapshot cache.
+    pub cache_entries: usize,
+    /// The shard's snapshot-cache counters.
+    pub cache: CacheStats,
+    /// Entries in the shard's rendered-response cache.
+    pub response_entries: usize,
+    /// The shard's response-cache counters.
+    pub response: ResponseCacheStats,
+}
+
+impl Encode for ShardInfo {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.index.encode(buf);
+        self.lower.encode(buf);
+        self.upper.encode(buf);
+        self.events.encode(buf);
+        self.overlays.encode(buf);
+        self.cache_entries.encode(buf);
+        self.cache.encode(buf);
+        self.response_entries.encode(buf);
+        self.response.encode(buf);
+    }
+}
+
+impl Decode for ShardInfo {
+    fn decode(r: &mut Reader<'_>) -> tgraph::Result<Self> {
+        Ok(ShardInfo {
+            index: usize::decode(r)?,
+            lower: Option::decode(r)?,
+            upper: Option::decode(r)?,
+            events: usize::decode(r)?,
+            overlays: usize::decode(r)?,
+            cache_entries: usize::decode(r)?,
+            cache: CacheStats::decode(r)?,
+            response_entries: usize::decode(r)?,
+            response: ResponseCacheStats::decode(r)?,
+        })
+    }
+}
+
+/// Cross-shard aggregation of the two cache tiers, the payload of
+/// `STATS CACHE` under sharding. Counters are summed; capacities are
+/// *per shard* (every shard owns caches of the configured capacity).
+#[derive(Clone, Debug)]
+pub struct CacheOverview {
+    /// Per-shard snapshot-cache capacity (0 = disabled).
+    pub capacity: usize,
+    /// Snapshot-cache counters summed across shards.
+    pub stats: CacheStats,
+    /// Active historical overlays summed across shards.
+    pub overlays: usize,
+    /// Cached snapshot entries of every shard, sorted by `(t, opts)`.
+    pub entries: Vec<CacheEntryInfo>,
+    /// Per-shard response-cache capacity (0 = disabled).
+    pub response_capacity: usize,
+    /// Cached replies summed across shards.
+    pub response_entries: usize,
+    /// Response-cache counters summed across shards.
+    pub response: ResponseCacheStats,
+}
+
+fn sum_cache_stats(into: &mut CacheStats, s: CacheStats) {
+    into.hits += s.hits;
+    into.misses += s.misses;
+    into.insertions += s.insertions;
+    into.invalidations += s.invalidations;
+    into.evictions += s.evictions;
+}
+
+fn sum_response_stats(into: &mut ResponseCacheStats, s: ResponseCacheStats) {
+    into.hits += s.hits;
+    into.misses += s.misses;
+    into.insertions += s.insertions;
+    into.invalidations += s.invalidations;
+    into.evictions += s.evictions;
+    into.bytes += s.bytes;
+}
+
+/// Factory handing each shard (by index) its backing store. Rolled tail
+/// shards are numbered after the built ones, so a persistent deployment
+/// keeps every shard durable.
+type StoreFactory = Box<dyn Fn(usize) -> Arc<dyn KeyValueStore> + Send + Sync>;
+
+struct Inner {
+    shards: RwLock<Vec<Shard>>,
+    config: ShardedConfig,
+    make_store: StoreFactory,
+}
+
+/// A cloneable router over N time-range shards of one history, each a
+/// [`SharedGraphManager`] with its own caches and its own `RwLock`.
+#[derive(Clone)]
+pub struct ShardedGraphManager {
+    inner: Arc<Inner>,
+}
+
+/// Collapses a graph state into the synthetic *seed events* that recreate it
+/// at time `at`: node adds, node attributes, edge adds, edge attributes, in
+/// deterministic id order. Replaying them yields exactly `state`.
+fn seed_events(state: &Snapshot, at: Timestamp) -> Vec<Event> {
+    let mut out = Vec::new();
+    let mut nodes: Vec<_> = state.nodes().collect();
+    nodes.sort_by_key(|(id, _)| *id);
+    for (id, data) in &nodes {
+        out.push(Event::new(at, EventKind::AddNode { node: *id }));
+        for (key, value) in &data.attrs {
+            out.push(Event::new(
+                at,
+                EventKind::SetNodeAttr {
+                    node: *id,
+                    key: key.clone(),
+                    old: None,
+                    new: Some(value.clone()),
+                },
+            ));
+        }
+    }
+    let mut edges: Vec<_> = state.edges().collect();
+    edges.sort_by_key(|(id, _)| *id);
+    for (id, data) in &edges {
+        out.push(Event::new(
+            at,
+            EventKind::AddEdge {
+                edge: *id,
+                src: data.src,
+                dst: data.dst,
+                directed: data.directed,
+            },
+        ));
+        for (key, value) in &data.attrs {
+            out.push(Event::new(
+                at,
+                EventKind::SetEdgeAttr {
+                    edge: *id,
+                    key: key.clone(),
+                    old: None,
+                    new: Some(value.clone()),
+                },
+            ));
+        }
+    }
+    out
+}
+
+impl ShardedGraphManager {
+    /// Builds a sharded store over a complete event trace, one in-memory
+    /// backing store per shard.
+    pub fn build_in_memory(events: &EventList, config: ShardedConfig) -> DgResult<Self> {
+        Self::build(events, config, |_shard| Arc::new(MemStore::new()))
+    }
+
+    /// Builds a sharded store over a complete event trace; `make_store`
+    /// supplies one backing store per shard index. The factory is retained:
+    /// every shard rolled later gets its store from it too (indexes
+    /// continue past the built shards).
+    pub fn build(
+        events: &EventList,
+        config: ShardedConfig,
+        make_store: impl Fn(usize) -> Arc<dyn KeyValueStore> + Send + Sync + 'static,
+    ) -> DgResult<Self> {
+        if events.is_empty() {
+            return Err(DgError::EmptyIndex);
+        }
+        let start = events.start_time().expect("non-empty");
+        let boundaries = Self::resolve_boundaries(events, &config, start)?;
+
+        // Walk the trace once, cutting at each boundary. A shard's event
+        // list is its seed (the running state collapsed to `lower - 1`)
+        // plus the real events in `[lower, next boundary)`; boundaries
+        // whose seed state is empty are dropped so no shard ever builds
+        // over an empty list (the index rejects those).
+        let evs = events.events();
+        let mut shards: Vec<Shard> = Vec::new();
+        let mut state = Snapshot::new();
+        let mut cut = 0usize;
+        let mut lower: Option<Timestamp> = None;
+        let mut seed: Vec<Event> = Vec::new();
+        let close_shard = |lower: Option<Timestamp>,
+                           seed: Vec<Event>,
+                           range: &[Event],
+                           index: usize|
+         -> DgResult<Shard> {
+            let real = range.len();
+            let mut list = seed;
+            list.extend_from_slice(range);
+            let gm = GraphManager::build(
+                &EventList::from_events(list),
+                config.manager.clone(),
+                make_store(index),
+            )?;
+            Ok(Shard {
+                shared: SharedGraphManager::new(gm),
+                lower,
+                events: AtomicUsize::new(real),
+            })
+        };
+        for b in boundaries {
+            let upto = evs.partition_point(|e| e.time < b);
+            let range = &evs[cut..upto];
+            for ev in range {
+                state
+                    .apply_forward(ev)
+                    .map_err(|e| DgError::InvalidParameter(format!("malformed trace: {e}")))?;
+            }
+            let next_seed = seed_events(&state, b.prev());
+            if seed.is_empty() && range.is_empty() {
+                // This shard would be empty; extend the current one over the
+                // range instead (routing stays correct: the previous shard
+                // holds every event below the next kept boundary).
+                seed = next_seed;
+                lower = Some(b);
+                cut = upto;
+                continue;
+            }
+            if next_seed.is_empty() && upto == evs.len() {
+                // Everything after `b` would be an empty tail; fold the
+                // remainder into the current shard instead.
+                break;
+            }
+            shards.push(close_shard(lower, seed, range, shards.len())?);
+            seed = next_seed;
+            lower = Some(b);
+            cut = upto;
+        }
+        shards.push(close_shard(lower, seed, &evs[cut..], shards.len())?);
+        // The suppression above can only *merge* candidate shards, so the
+        // first shard always exists and owns everything below its
+        // successor's bound.
+        shards[0].lower = None;
+        Ok(ShardedGraphManager {
+            inner: Arc::new(Inner {
+                shards: RwLock::new(shards),
+                config,
+                make_store: Box::new(make_store),
+            }),
+        })
+    }
+
+    fn resolve_boundaries(
+        events: &EventList,
+        config: &ShardedConfig,
+        start: Timestamp,
+    ) -> DgResult<Vec<Timestamp>> {
+        let mut bounds = match &config.boundaries {
+            Some(explicit) => {
+                let mut b = explicit.clone();
+                b.sort_unstable();
+                b.dedup();
+                if b.first().is_some_and(|&t| t == Timestamp(i64::MIN)) {
+                    return Err(DgError::InvalidParameter(
+                        "shard boundary at the minimum timestamp is not representable".into(),
+                    ));
+                }
+                b
+            }
+            None => {
+                let n = config.shards.max(1);
+                let end = events.end_time().expect("non-empty");
+                let span = i128::from(end.raw()) - i128::from(start.raw());
+                (1..n)
+                    .map(|i| {
+                        let off = span * i as i128 / n as i128;
+                        Timestamp((i128::from(start.raw()) + off) as i64)
+                    })
+                    .collect()
+            }
+        };
+        // A boundary at or below the first event would make the first shard
+        // empty; the range it would delimit is served by the first shard.
+        bounds.retain(|&b| b > start);
+        bounds.dedup();
+        Ok(bounds)
+    }
+
+    /// Wraps one existing shared manager as a single-shard router (no
+    /// boundaries, no rolling) — the compatibility path for callers built
+    /// around [`SharedGraphManager`]. The router cannot see how many
+    /// events the wrapped manager was built over, so `STATS SHARDS`
+    /// counts only events appended *through* the router.
+    pub fn single(shared: SharedGraphManager) -> Self {
+        ShardedGraphManager {
+            inner: Arc::new(Inner {
+                shards: RwLock::new(vec![Shard {
+                    shared,
+                    lower: None,
+                    events: AtomicUsize::new(0),
+                }]),
+                config: ShardedConfig::default(),
+                // Unreachable while shard_events is 0 (rolling disabled).
+                make_store: Box::new(|_| Arc::new(MemStore::new())),
+            }),
+        }
+    }
+
+    fn read_shards(&self) -> RwLockReadGuard<'_, Vec<Shard>> {
+        self.inner
+            .shards
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_shards(&self) -> RwLockWriteGuard<'_, Vec<Shard>> {
+        self.inner
+            .shards
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Number of shards currently serving.
+    pub fn shard_count(&self) -> usize {
+        self.read_shards().len()
+    }
+
+    /// Index of the shard owning time `t`: the last shard whose lower bound
+    /// is at or below `t`.
+    pub fn shard_index_for(&self, t: Timestamp) -> usize {
+        let shards = self.read_shards();
+        shard_index_in(&shards, t)
+    }
+
+    /// The shard handle at `index` (shard indexes are stable: rolls only
+    /// append).
+    pub fn shard_at(&self, index: usize) -> SharedGraphManager {
+        self.read_shards()[index].shared.clone()
+    }
+
+    /// Handles to every shard, in time order (tail last).
+    pub fn shard_handles(&self) -> Vec<SharedGraphManager> {
+        self.read_shards()
+            .iter()
+            .map(|s| s.shared.clone())
+            .collect()
+    }
+
+    /// The shard owning time `t`.
+    pub fn shard_for(&self, t: Timestamp) -> SharedGraphManager {
+        let shards = self.read_shards();
+        shards[shard_index_in(&shards, t)].shared.clone()
+    }
+
+    /// The single shard covering every `t` in `[min, max]`, or an error when
+    /// the range spans shards (interval and expression queries cannot be
+    /// decomposed per point).
+    pub fn covering_shard(
+        &self,
+        min: Timestamp,
+        max: Timestamp,
+    ) -> DgResult<(usize, SharedGraphManager)> {
+        let shards = self.read_shards();
+        let lo = shard_index_in(&shards, min);
+        let hi = shard_index_in(&shards, max);
+        if lo != hi {
+            return Err(DgError::InvalidParameter(format!(
+                "time range [{}, {}] spans shards {lo} and {hi}; interval and \
+                 expression queries must fall within one shard's time range",
+                min.raw(),
+                max.raw()
+            )));
+        }
+        Ok((lo, shards[lo].shared.clone()))
+    }
+
+    /// Whether the per-shard managers were configured with a snapshot cache.
+    pub fn cache_enabled(&self) -> bool {
+        self.read_shards()[0].shared.cache_enabled()
+    }
+
+    /// Whether the per-shard managers were configured with a response cache.
+    pub fn response_cache_enabled(&self) -> bool {
+        self.read_shards()[0].shared.response_cache_enabled()
+    }
+
+    // Note: there are deliberately no router-level response-cache get/put —
+    // rendered bytes must be looked up and inserted on the *same* shard the
+    // snapshot was retrieved from (see `ShardedSession::retrieve_cached_routed`).
+    // Re-routing a put by time could land it on a tail shard rolled *after*
+    // the render, whose fresh append epoch can coincide with the old tail's
+    // and defeat the staleness guard.
+
+    /// Routes a read-only snapshot-cache probe to the shard owning `t`.
+    pub fn peek_cached(&self, t: Timestamp, opts: &AttrOptions) -> Option<Arc<Snapshot>> {
+        self.shard_for(t).peek_cached(t, opts)
+    }
+
+    /// Computes the snapshot as of `t` on the owning shard (no overlay).
+    pub fn snapshot_at(&self, t: Timestamp, opts: &AttrOptions) -> DgResult<Snapshot> {
+        self.shard_for(t).snapshot_at(t, opts)
+    }
+
+    /// Computes several snapshots, each on its owning shard, in request
+    /// order. Times within one shard go through that shard's Steiner-tree
+    /// multipoint planner together; distinct shards compute in parallel.
+    /// No overlays are created.
+    pub fn snapshots_at(&self, times: &[Timestamp], opts: &AttrOptions) -> DgResult<Vec<Snapshot>> {
+        let groups = self.group_by_shard(times);
+        let mut slots: Vec<Option<Snapshot>> = times.iter().map(|_| None).collect();
+        if groups.len() <= 1 {
+            for (shard, points) in groups {
+                let ts: Vec<Timestamp> = points.iter().map(|&(_, t)| t).collect();
+                let snaps = self.shard_at(shard).snapshots_at(&ts, opts)?;
+                for ((pos, _), snap) in points.into_iter().zip(snaps) {
+                    slots[pos] = Some(snap);
+                }
+            }
+        } else {
+            let tasks: Vec<(SharedGraphManager, Vec<(usize, Timestamp)>)> = groups
+                .into_iter()
+                .map(|(shard, points)| (self.shard_at(shard), points))
+                .collect();
+            let results: Vec<DgResult<Vec<(usize, Snapshot)>>> = thread::scope(|scope| {
+                let handles: Vec<_> = tasks
+                    .iter()
+                    .map(|(shared, points)| {
+                        scope.spawn(move || {
+                            let ts: Vec<Timestamp> = points.iter().map(|&(_, t)| t).collect();
+                            let snaps = shared.snapshots_at(&ts, opts)?;
+                            Ok(points
+                                .iter()
+                                .map(|&(pos, _)| pos)
+                                .zip(snaps)
+                                .collect::<Vec<_>>())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
+            for result in results {
+                for (pos, snap) in result? {
+                    slots[pos] = Some(snap);
+                }
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every requested point computed"))
+            .collect())
+    }
+
+    /// Groups request positions by owning shard, preserving request order
+    /// within each group.
+    fn group_by_shard(&self, times: &[Timestamp]) -> Vec<(usize, Vec<(usize, Timestamp)>)> {
+        let shards = self.read_shards();
+        let mut groups: Vec<(usize, Vec<(usize, Timestamp)>)> = Vec::new();
+        for (pos, &t) in times.iter().enumerate() {
+            let shard = shard_index_in(&shards, t);
+            match groups.iter_mut().find(|(s, _)| *s == shard) {
+                Some((_, points)) => points.push((pos, t)),
+                None => groups.push((shard, vec![(pos, t)])),
+            }
+        }
+        groups
+    }
+
+    /// Appends one live event to the tail shard; `build` constructs the
+    /// event against the tail's current graph under the same locks that
+    /// apply it (attribute appends read the *old* value from it). Rolls a
+    /// new tail shard first when the event budget is exceeded and the event
+    /// is strictly later than everything the tail holds.
+    pub fn append_with(&self, build: impl Fn(&Snapshot) -> Event) -> DgResult<Event> {
+        // Fast path under the router's shared lock: rolls are excluded, and
+        // concurrent appenders serialize only on the tail's own write lock.
+        {
+            let shards = self.read_shards();
+            let tail = shards.last().expect("at least one shard");
+            let mut gm = tail.shared.write();
+            let event = build(gm.index().current_graph());
+            check_tail_range(tail, &event)?;
+            if !self.wants_roll(tail, &gm, &event) {
+                gm.append_event(event.clone())?;
+                tail.events.fetch_add(1, Ordering::Relaxed);
+                return Ok(event);
+            }
+        }
+        // Roll path under the exclusive router lock; the decision is re-run
+        // because another appender may have rolled in between.
+        let mut shards = self.write_shards();
+        let tail = shards.last().expect("at least one shard");
+        let mut gm = tail.shared.write();
+        let event = build(gm.index().current_graph());
+        check_tail_range(tail, &event)?;
+        if !self.wants_roll(tail, &gm, &event) {
+            gm.append_event(event.clone())?;
+            tail.events.fetch_add(1, Ordering::Relaxed);
+            return Ok(event);
+        }
+        let boundary = event.time;
+        let mut list = seed_events(gm.index().current_graph(), boundary.prev());
+        let keys = gm.key_bindings();
+        drop(gm);
+        list.push(event.clone());
+        // Building the new shard validates the event exactly like an append
+        // would (a malformed event fails the build and the old tail stays).
+        // The store comes from the same factory as the built shards', so a
+        // persistent deployment keeps rolled history durable too.
+        let mut next = GraphManager::build(
+            &EventList::from_events(list),
+            self.inner.config.manager.clone(),
+            (self.inner.make_store)(shards.len()),
+        )?;
+        for (key, node) in keys {
+            next.register_key(key, node);
+        }
+        shards.push(Shard {
+            shared: SharedGraphManager::new(next),
+            lower: Some(boundary),
+            events: AtomicUsize::new(1),
+        });
+        Ok(event)
+    }
+
+    /// Appends a ready-made event (no old-value lookup needed).
+    pub fn append_event(&self, event: Event) -> DgResult<()> {
+        self.append_with(|_| event.clone()).map(|_| ())
+    }
+
+    fn wants_roll(&self, tail: &Shard, gm: &GraphManager, event: &Event) -> bool {
+        let budget = self.inner.config.shard_events;
+        budget > 0
+            && tail.events.load(Ordering::Relaxed) >= budget
+            && gm
+                .index()
+                .history_range()
+                .is_ok_and(|(_, end)| event.time > end)
+    }
+
+    /// Registers an application key on every shard (rolled shards inherit
+    /// the tail's table).
+    pub fn register_key(&self, key: impl Into<String>, node: tgraph::NodeId) {
+        let key = key.into();
+        for shard in self.read_shards().iter() {
+            shard.shared.write().register_key(key.clone(), node);
+        }
+    }
+
+    /// Resolves an application key (the table is identical on every shard).
+    pub fn resolve_key(&self, key: &str) -> Option<tgraph::NodeId> {
+        self.read_shards()[0].shared.read().resolve_key(key)
+    }
+
+    /// Per-shard serving statistics, in time order (tail last).
+    pub fn shard_infos(&self) -> Vec<ShardInfo> {
+        let shards = self.read_shards();
+        shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let gm = s.shared.read();
+                ShardInfo {
+                    index: i,
+                    lower: s.lower,
+                    upper: shards.get(i + 1).and_then(|n| n.lower),
+                    events: s.events.load(Ordering::Relaxed),
+                    overlays: gm.pool().active_overlay_count(),
+                    cache_entries: gm.cache_len(),
+                    cache: gm.cache_stats(),
+                    response_entries: gm.response_cache_len(),
+                    response: gm.response_cache_stats(),
+                }
+            })
+            .collect()
+    }
+
+    /// Cross-shard aggregation of both cache tiers (the `STATS CACHE`
+    /// payload): counters summed, entry lists concatenated and sorted by
+    /// `(t, opts)`; capacities are per shard.
+    pub fn cache_overview(&self) -> CacheOverview {
+        let shards = self.read_shards();
+        let mut overview = {
+            let gm = shards[0].shared.read();
+            CacheOverview {
+                capacity: gm.cache_capacity(),
+                stats: CacheStats::default(),
+                overlays: 0,
+                entries: Vec::new(),
+                response_capacity: gm.response_cache_capacity(),
+                response_entries: 0,
+                response: ResponseCacheStats::default(),
+            }
+        };
+        for shard in shards.iter() {
+            let gm = shard.shared.read();
+            sum_cache_stats(&mut overview.stats, gm.cache_stats());
+            sum_response_stats(&mut overview.response, gm.response_cache_stats());
+            overview.overlays += gm.pool().active_overlay_count();
+            overview.response_entries += gm.response_cache_len();
+            overview.entries.extend(gm.cache_entries());
+        }
+        overview.entries.sort_by(|a, b| {
+            a.t.cmp(&b.t)
+                .then_with(|| a.opts.cmp(&b.opts))
+                .then_with(|| a.overlay.cmp(&b.overlay))
+        });
+        overview
+    }
+
+    /// Starts a session whose per-shard overlays are released when it drops.
+    pub fn session(&self) -> ShardedSession {
+        ShardedSession {
+            router: self.clone(),
+            sessions: HashMap::new(),
+        }
+    }
+}
+
+fn shard_index_in(shards: &[Shard], t: Timestamp) -> usize {
+    // The first shard is unbounded below; later shards own [lower, next).
+    shards
+        .iter()
+        .rposition(|s| s.lower.is_none_or(|lower| lower <= t))
+        .unwrap_or(0)
+}
+
+fn check_tail_range(tail: &Shard, event: &Event) -> DgResult<()> {
+    if let Some(lower) = tail.lower {
+        if event.time < lower {
+            return Err(DgError::InvalidParameter(format!(
+                "event at t={} predates the tail shard's lower bound {} — \
+                 historical shards are immutable",
+                event.time.raw(),
+                lower.raw()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// A session over the router: one lazily created [`PoolSession`] per shard
+/// the session touches. Dropping it releases every overlay on every shard.
+pub struct ShardedSession {
+    router: ShardedGraphManager,
+    sessions: HashMap<usize, PoolSession>,
+}
+
+/// The per-shard half of a multipoint query: probe the shard's snapshot
+/// cache per point (hot points share the cached overlay), then compute the
+/// remaining cold points together through the shard's Steiner planner into
+/// private overlays — deliberately without inserting, so a wide cold scan
+/// cannot evict the hot set.
+fn shard_multipoint(
+    session: &mut PoolSession,
+    points: &[(usize, Timestamp)],
+    opts: &AttrOptions,
+) -> DgResult<Vec<(usize, Arc<Snapshot>)>> {
+    let mut out: Vec<(usize, Option<Arc<Snapshot>>)> = points
+        .iter()
+        .map(|&(pos, t)| (pos, session.acquire_cached(t, opts)))
+        .collect();
+    let missing: Vec<Timestamp> = out
+        .iter()
+        .zip(points)
+        .filter(|((_, snap), _)| snap.is_none())
+        .map(|(_, &(_, t))| t)
+        .collect();
+    if !missing.is_empty() {
+        let snaps = session.shared().snapshots_at(&missing, opts)?;
+        let mut computed = snaps.into_iter();
+        for ((_, slot), &(_, t)) in out
+            .iter_mut()
+            .zip(points)
+            .filter(|((_, snap), _)| snap.is_none())
+        {
+            let snapshot = Arc::new(computed.next().expect("one snapshot per miss"));
+            session.overlay(&snapshot, t);
+            *slot = Some(snapshot);
+        }
+    }
+    Ok(out
+        .into_iter()
+        .map(|(pos, snap)| (pos, snap.expect("every slot filled")))
+        .collect())
+}
+
+impl ShardedSession {
+    /// The router this session runs against.
+    pub fn router(&self) -> &ShardedGraphManager {
+        &self.router
+    }
+
+    fn session_for(&mut self, shard: usize) -> &mut PoolSession {
+        if !self.sessions.contains_key(&shard) {
+            let session = self.router.shard_at(shard).session();
+            self.sessions.insert(shard, session);
+        }
+        self.sessions.get_mut(&shard).expect("just inserted")
+    }
+
+    /// Point retrieval through the owning shard's snapshot cache (see
+    /// [`PoolSession::retrieve_cached`]).
+    pub fn retrieve_cached(&mut self, t: Timestamp, opts: &AttrOptions) -> DgResult<CachedPoint> {
+        self.retrieve_cached_routed(t, opts).map(|(_, point)| point)
+    }
+
+    /// Like [`ShardedSession::retrieve_cached`], but also returns a handle
+    /// to the shard that served the point. Anything derived from the
+    /// snapshot — in particular rendered response bytes guarded by
+    /// [`CachedPoint::epoch`] — must be cached through *this* handle: the
+    /// epoch is only meaningful on the shard that produced it, and
+    /// re-routing by time could reach a tail shard rolled after the
+    /// retrieval, whose fresh epoch can coincide with the old tail's.
+    pub fn retrieve_cached_routed(
+        &mut self,
+        t: Timestamp,
+        opts: &AttrOptions,
+    ) -> DgResult<(SharedGraphManager, CachedPoint)> {
+        let shard = self.router.shard_index_for(t);
+        let session = self.session_for(shard);
+        let point = session.retrieve_cached(t, opts)?;
+        Ok((session.shared().clone(), point))
+    }
+
+    /// Multipoint retrieval: times are grouped by owning shard; each group
+    /// runs the hybrid cached/Steiner path on its shard, distinct shards in
+    /// parallel, and the snapshots are reassembled in **request order**
+    /// regardless of shard completion order.
+    pub fn get_graphs_at(
+        &mut self,
+        times: &[Timestamp],
+        opts: &AttrOptions,
+    ) -> DgResult<Vec<Arc<Snapshot>>> {
+        let groups = self.router.group_by_shard(times);
+        let mut slots: Vec<Option<Arc<Snapshot>>> = times.iter().map(|_| None).collect();
+        if groups.len() <= 1 {
+            for (shard, points) in groups {
+                for (pos, snap) in shard_multipoint(self.session_for(shard), &points, opts)? {
+                    slots[pos] = Some(snap);
+                }
+            }
+        } else {
+            // Fan out: move each shard's PoolSession into a scoped worker,
+            // then put them back — overlays acquired by a shard that
+            // succeeded are retained (and released with the session) even
+            // if another shard failed.
+            type ShardTask = (usize, PoolSession, Vec<(usize, Timestamp)>);
+            let mut tasks: Vec<ShardTask> = groups
+                .into_iter()
+                .map(|(shard, points)| {
+                    self.session_for(shard); // ensure it exists
+                    let session = self.sessions.remove(&shard).expect("just created");
+                    (shard, session, points)
+                })
+                .collect();
+            type ShardResult = DgResult<Vec<(usize, Arc<Snapshot>)>>;
+            let results: Vec<ShardResult> = thread::scope(|scope| {
+                let handles: Vec<_> = tasks
+                    .iter_mut()
+                    .map(|(_, session, points)| {
+                        let points = &*points;
+                        scope.spawn(move || shard_multipoint(session, points, opts))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
+            for (shard, session, _) in tasks {
+                self.sessions.insert(shard, session);
+            }
+            let mut first_err = None;
+            for result in results {
+                match result {
+                    Ok(items) => {
+                        for (pos, snap) in items {
+                            slots[pos] = Some(snap);
+                        }
+                    }
+                    Err(e) => first_err = first_err.or(Some(e)),
+                }
+            }
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every requested point resolved"))
+            .collect())
+    }
+
+    /// Interval retrieval on the single shard covering `[start, end)`; the
+    /// graph is overlaid into that shard's pool under this session.
+    pub fn interval(
+        &mut self,
+        start: Timestamp,
+        end: Timestamp,
+        opts: &AttrOptions,
+    ) -> DgResult<(Snapshot, Vec<Event>)> {
+        let max = if end > start { end.prev() } else { start };
+        let (shard, shared) = self.router.covering_shard(start.min(max), start.max(max))?;
+        let (graph, transients) = shared.snapshot_interval(start, end, opts)?;
+        self.session_for(shard).overlay(&graph, start);
+        Ok((graph, transients))
+    }
+
+    /// Boolean time-expression retrieval on the single shard covering every
+    /// referenced point; the hypothetical graph is overlaid at the anchor.
+    pub fn expr(
+        &mut self,
+        tex: &TimeExpression,
+        anchor: Timestamp,
+        opts: &AttrOptions,
+    ) -> DgResult<Snapshot> {
+        let min = tex.times.iter().copied().min().unwrap_or(anchor);
+        let max = tex.times.iter().copied().max().unwrap_or(anchor);
+        let (shard, shared) = self.router.covering_shard(min, max)?;
+        let graph = shared.snapshot_expr(tex, opts)?;
+        self.session_for(shard).overlay(&graph, anchor);
+        Ok(graph)
+    }
+
+    /// Pool handles this session holds, across every shard in shard order.
+    pub fn handles(&self) -> Vec<GraphId> {
+        let mut shards: Vec<_> = self.sessions.iter().collect();
+        shards.sort_by_key(|(idx, _)| **idx);
+        shards
+            .into_iter()
+            .flat_map(|(_, s)| s.handles().iter().copied())
+            .collect()
+    }
+
+    /// Releases every handle on every shard; returns how many were released.
+    pub fn release_now(&mut self) -> usize {
+        self.sessions
+            .values_mut()
+            .map(PoolSession::release_now)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{churn_trace, toy_trace, ChurnConfig};
+
+    /// 60 nodes appearing at t = 1..=60, so shard contents are predictable.
+    fn linear_trace() -> EventList {
+        EventList::from_events(
+            (1..=60)
+                .map(|i| Event::add_node(i, 1000 + i as u64))
+                .collect(),
+        )
+    }
+
+    fn router(shards: usize) -> ShardedGraphManager {
+        ShardedGraphManager::build_in_memory(
+            &linear_trace(),
+            ShardedConfig::default()
+                .with_shards(shards)
+                .with_manager(GraphManagerConfig::default().with_snapshot_cache(16)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sharded_snapshots_match_single_manager() {
+        let events = linear_trace();
+        let single = GraphManager::build_in_memory(&events, GraphManagerConfig::default()).unwrap();
+        let single = SharedGraphManager::new(single);
+        for shards in [1, 2, 3, 5] {
+            let sharded = router(shards);
+            assert!(sharded.shard_count() >= 1 && sharded.shard_count() <= shards);
+            for t in [0i64, 1, 15, 20, 21, 40, 41, 59, 60, 99] {
+                let opts = AttrOptions::all();
+                let want = single.snapshot_at(Timestamp(t), &opts).unwrap();
+                let got = sharded.snapshot_at(Timestamp(t), &opts).unwrap();
+                assert_eq!(got, want, "shards={shards} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_respects_boundaries() {
+        let sharded = ShardedGraphManager::build_in_memory(
+            &linear_trace(),
+            ShardedConfig::default().with_boundaries(vec![Timestamp(21), Timestamp(41)]),
+        )
+        .unwrap();
+        assert_eq!(sharded.shard_count(), 3);
+        assert_eq!(sharded.shard_index_for(Timestamp(i64::MIN)), 0);
+        assert_eq!(sharded.shard_index_for(Timestamp(20)), 0);
+        assert_eq!(sharded.shard_index_for(Timestamp(21)), 1);
+        assert_eq!(sharded.shard_index_for(Timestamp(40)), 1);
+        assert_eq!(sharded.shard_index_for(Timestamp(41)), 2);
+        assert_eq!(sharded.shard_index_for(Timestamp(i64::MAX)), 2);
+        let infos = sharded.shard_infos();
+        assert_eq!(infos[0].lower, None);
+        assert_eq!(infos[0].upper, Some(Timestamp(21)));
+        assert_eq!(infos[2].lower, Some(Timestamp(41)));
+        assert_eq!(infos[2].upper, None);
+        assert_eq!(infos.iter().map(|i| i.events).sum::<usize>(), 60);
+    }
+
+    #[test]
+    fn degenerate_boundaries_are_suppressed() {
+        // Boundaries below, at, and above the whole history collapse into a
+        // single shard rather than building empty indexes.
+        let sharded = ShardedGraphManager::build_in_memory(
+            &linear_trace(),
+            ShardedConfig::default().with_boundaries(vec![
+                Timestamp(-100),
+                Timestamp(1),
+                Timestamp(30),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(sharded.shard_count(), 2);
+        let snap = sharded
+            .snapshot_at(Timestamp(60), &AttrOptions::all())
+            .unwrap();
+        assert_eq!(snap.node_count(), 60);
+    }
+
+    #[test]
+    fn appends_route_to_the_tail_and_historical_shards_stay_clean() {
+        let sharded = router(3);
+        let opts = AttrOptions::all();
+        // Prime a historical point's cache on shard 0.
+        let mut session = sharded.session();
+        session.retrieve_cached(Timestamp(10), &opts).unwrap();
+        session.retrieve_cached(Timestamp(10), &opts).unwrap();
+        let before = sharded.shard_infos();
+        assert_eq!(before[0].cache_entries, 1);
+        sharded.append_event(Event::add_node(61, 9001)).unwrap();
+        sharded.append_event(Event::add_node(62, 9002)).unwrap();
+        let after = sharded.shard_infos();
+        // The historical entry survived the tail appends.
+        assert_eq!(after[0].cache_entries, 1);
+        assert_eq!(after[0].cache.invalidations, 0);
+        assert_eq!(
+            after.last().unwrap().events,
+            before.last().unwrap().events + 2
+        );
+        // And the appended nodes are visible at the tail.
+        let snap = sharded.snapshot_at(Timestamp(62), &opts).unwrap();
+        assert!(snap.has_node(tgraph::NodeId(9001)));
+        assert!(snap.has_node(tgraph::NodeId(9002)));
+    }
+
+    #[test]
+    fn appends_below_the_tail_bound_are_rejected() {
+        let sharded = router(3);
+        let err = sharded.append_event(Event::add_node(5, 9001)).unwrap_err();
+        assert!(err.to_string().contains("immutable"), "{err}");
+        // Ordinary chronology violations still surface from the tail shard.
+        sharded.append_event(Event::add_node(70, 9001)).unwrap();
+        let err = sharded.append_event(Event::add_node(65, 9002)).unwrap_err();
+        assert!(err.to_string().contains("appended after"), "{err}");
+    }
+
+    #[test]
+    fn tail_rolls_when_the_event_budget_is_exceeded() {
+        let sharded = ShardedGraphManager::build_in_memory(
+            &linear_trace(),
+            ShardedConfig::default().with_shards(2).with_shard_events(5),
+        )
+        .unwrap();
+        let shards_before = sharded.shard_count();
+        // The built tail already exceeds the budget, so the first
+        // strictly-later append rolls.
+        sharded.append_event(Event::add_node(100, 9000)).unwrap();
+        assert_eq!(sharded.shard_count(), shards_before + 1);
+        let infos = sharded.shard_infos();
+        assert_eq!(infos.last().unwrap().lower, Some(Timestamp(100)));
+        assert_eq!(infos.last().unwrap().events, 1);
+        // Appends keep landing on the new tail until it too fills up.
+        for i in 1..5 {
+            sharded
+                .append_event(Event::add_node(100 + i, 9000 + i as u64))
+                .unwrap();
+        }
+        assert_eq!(sharded.shard_count(), shards_before + 1);
+        sharded.append_event(Event::add_node(200, 9500)).unwrap();
+        assert_eq!(sharded.shard_count(), shards_before + 2);
+        // History is intact across every roll.
+        let snap = sharded
+            .snapshot_at(Timestamp(200), &AttrOptions::all())
+            .unwrap();
+        assert_eq!(snap.node_count(), 60 + 6);
+        assert!(snap.has_node(tgraph::NodeId(9500)));
+        // And pre-roll history still answers from the rolled-over shards.
+        let mid = sharded
+            .snapshot_at(Timestamp(102), &AttrOptions::all())
+            .unwrap();
+        assert_eq!(mid.node_count(), 60 + 3);
+    }
+
+    #[test]
+    fn response_bytes_put_after_a_roll_stay_on_the_shard_that_rendered_them() {
+        use crate::response_cache::WireFormat;
+        // The exact race the pinned-handle API exists for: a reply is
+        // rendered from the tail, a concurrent append rolls a new tail
+        // (fresh epoch 0, same as the old tail's), and only then does the
+        // renderer insert its bytes. The insert must land on the shard the
+        // snapshot came from — where it is harmless — never on the new
+        // tail, which would serve pre-roll bytes for post-roll queries.
+        let sharded = ShardedGraphManager::build_in_memory(
+            &linear_trace(),
+            ShardedConfig::default()
+                .with_shards(2)
+                .with_shard_events(4)
+                .with_manager(
+                    GraphManagerConfig::default()
+                        .with_snapshot_cache(8)
+                        .with_response_cache(8),
+                ),
+        )
+        .unwrap();
+        let opts = AttrOptions::all();
+        let t = Timestamp(1000);
+        let mut session = sharded.session();
+        let (old_shard, point) = session.retrieve_cached_routed(t, &opts).unwrap();
+        let bytes: Arc<[u8]> = b"pre-roll reply".to_vec().into();
+        // The roll happens between the render and the insert.
+        sharded.append_event(Event::add_node(100, 9000)).unwrap();
+        assert_eq!(sharded.shard_count(), 3);
+        assert!(
+            old_shard.response_cache_put(
+                t,
+                &opts,
+                WireFormat::Text,
+                Arc::clone(&bytes),
+                point.epoch
+            ),
+            "the rendering shard's epoch is unchanged, so it may cache"
+        );
+        // t=1000 now routes to the rolled tail, whose cache never saw the
+        // stale bytes.
+        let owning = sharded.shard_for(t);
+        assert!(owning
+            .response_cache_get(t, &opts, WireFormat::Text)
+            .is_none());
+        // And a fresh retrieval reflects the append.
+        let snap = sharded.snapshot_at(t, &opts).unwrap();
+        assert!(snap.has_node(tgraph::NodeId(9000)));
+    }
+
+    #[test]
+    fn rolled_shards_draw_their_store_from_the_factory() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let counting = {
+            let calls = Arc::clone(&calls);
+            move |_shard: usize| -> Arc<dyn KeyValueStore> {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Arc::new(MemStore::new())
+            }
+        };
+        let sharded = ShardedGraphManager::build(
+            &linear_trace(),
+            ShardedConfig::default().with_shards(2).with_shard_events(5),
+            counting,
+        )
+        .unwrap();
+        let built = sharded.shard_count();
+        assert_eq!(calls.load(Ordering::Relaxed), built);
+        // A roll must go back to the same factory (durable deployments keep
+        // rolled history durable), not silently fall back to a MemStore.
+        sharded.append_event(Event::add_node(100, 9000)).unwrap();
+        assert_eq!(sharded.shard_count(), built + 1);
+        assert_eq!(calls.load(Ordering::Relaxed), built + 1);
+    }
+
+    #[test]
+    fn multipoint_preserves_request_order_across_shards() {
+        let sharded = router(3);
+        let opts = AttrOptions::all();
+        let times: Vec<Timestamp> = [55i64, 5, 35, 15, 45, 25]
+            .into_iter()
+            .map(Timestamp)
+            .collect();
+        let mut session = sharded.session();
+        let snaps = session.get_graphs_at(&times, &opts).unwrap();
+        assert_eq!(snaps.len(), times.len());
+        for (t, snap) in times.iter().zip(&snaps) {
+            assert_eq!(
+                snap.node_count(),
+                t.raw() as usize,
+                "snapshot order must follow request order (t={})",
+                t.raw()
+            );
+        }
+        // Overlays were recorded across multiple shard sessions.
+        assert_eq!(session.handles().len(), times.len());
+        assert_eq!(session.release_now(), times.len());
+    }
+
+    #[test]
+    fn history_samples_span_shards() {
+        let sharded = router(4);
+        let times: Vec<Timestamp> = (0..=5).map(|i| Timestamp(i * 12)).collect();
+        let snaps = sharded.snapshots_at(&times, &AttrOptions::all()).unwrap();
+        for (t, snap) in times.iter().zip(&snaps) {
+            assert_eq!(snap.node_count(), (t.raw().clamp(0, 60)) as usize);
+        }
+    }
+
+    #[test]
+    fn interval_and_expr_are_range_restricted() {
+        let sharded = router(3);
+        let opts = AttrOptions::all();
+        let mut session = sharded.session();
+        // Fully inside shard 1 ([21, 41)): fine.
+        let (graph, transients) = session
+            .interval(Timestamp(25), Timestamp(30), &opts)
+            .unwrap();
+        assert_eq!(graph.node_count(), 5); // nodes 25..29
+        assert!(transients.is_empty());
+        // Spanning shards: a clear error, not a wrong answer.
+        let err = session
+            .interval(Timestamp(10), Timestamp(50), &opts)
+            .unwrap_err();
+        assert!(err.to_string().contains("spans shards"), "{err}");
+        let tex = TimeExpression::diff(30i64, 25i64);
+        assert!(session.expr(&tex, Timestamp(25), &opts).is_ok());
+        let spanning = TimeExpression::diff(50i64, 10i64);
+        let err = session.expr(&spanning, Timestamp(10), &opts).unwrap_err();
+        assert!(err.to_string().contains("spans shards"), "{err}");
+    }
+
+    #[test]
+    fn keys_registered_before_a_roll_survive_it() {
+        let sharded = ShardedGraphManager::build_in_memory(
+            &linear_trace(),
+            ShardedConfig::default().with_shard_events(5),
+        )
+        .unwrap();
+        sharded.register_key("alice", tgraph::NodeId(1001));
+        sharded.append_event(Event::add_node(100, 9000)).unwrap();
+        assert!(sharded.shard_count() > 1);
+        assert_eq!(sharded.resolve_key("alice"), Some(tgraph::NodeId(1001)));
+        // The rolled tail resolves it too.
+        let tail = sharded.shard_handles().pop().unwrap();
+        assert_eq!(tail.read().resolve_key("alice"), Some(tgraph::NodeId(1001)));
+    }
+
+    #[test]
+    fn sessions_release_across_shards_on_drop() {
+        let sharded = router(3);
+        let opts = AttrOptions::all();
+        {
+            let mut session = sharded.session();
+            session.retrieve_cached(Timestamp(10), &opts).unwrap();
+            session.retrieve_cached(Timestamp(50), &opts).unwrap();
+            let overlays: usize = sharded.shard_infos().iter().map(|i| i.overlays).sum();
+            assert_eq!(overlays, 2);
+        }
+        // The cache (capacity 16) keeps the overlays warm, but the sessions'
+        // own references are gone.
+        for shared in sharded.shard_handles() {
+            let gm = shared.read();
+            for entry in gm.cache_entries() {
+                assert_eq!(entry.refs, 1, "only the cache reference remains");
+            }
+        }
+    }
+
+    #[test]
+    fn churn_trace_equivalence_with_appends() {
+        let ds = churn_trace(&ChurnConfig::tiny(424));
+        let single =
+            GraphManager::build_in_memory(&ds.events, GraphManagerConfig::default()).unwrap();
+        let single = SharedGraphManager::new(single);
+        let sharded = ShardedGraphManager::build_in_memory(
+            &ds.events,
+            ShardedConfig::default().with_shards(4).with_shard_events(8),
+        )
+        .unwrap();
+        let end = ds.end_time().raw();
+        for i in 0..20 {
+            let ev = Event::add_node(end + 1 + i, 77_000 + i as u64);
+            single.append_event(ev.clone()).unwrap();
+            sharded.append_event(ev).unwrap();
+        }
+        let opts = AttrOptions::all();
+        for t in [
+            ds.start_time().raw(),
+            (ds.start_time().raw() + end) / 2,
+            end,
+            end + 10,
+            end + 20,
+        ] {
+            assert_eq!(
+                sharded.snapshot_at(Timestamp(t), &opts).unwrap(),
+                single.snapshot_at(Timestamp(t), &opts).unwrap(),
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_wrapping_preserves_shared_manager_behavior() {
+        let gm = GraphManager::build_in_memory(
+            &toy_trace().events,
+            GraphManagerConfig::default().with_snapshot_cache(8),
+        )
+        .unwrap();
+        let shared = SharedGraphManager::new(gm);
+        let sharded = ShardedGraphManager::single(shared.clone());
+        assert_eq!(sharded.shard_count(), 1);
+        assert!(sharded.cache_enabled());
+        let mut session = sharded.session();
+        let point = session
+            .retrieve_cached(Timestamp(6), &AttrOptions::all())
+            .unwrap();
+        assert!(!point.cache_hit);
+        // The wrapped handle and the router see the same manager.
+        assert_eq!(shared.read().cache_len(), 1);
+    }
+
+    #[test]
+    fn shard_info_roundtrips_through_the_codec() {
+        let info = ShardInfo {
+            index: 2,
+            lower: Some(Timestamp(-5)),
+            upper: None,
+            events: 42,
+            overlays: 3,
+            cache_entries: 2,
+            cache: CacheStats {
+                hits: 9,
+                misses: 4,
+                insertions: 4,
+                invalidations: 1,
+                evictions: 0,
+            },
+            response_entries: 1,
+            response: ResponseCacheStats {
+                hits: 7,
+                misses: 2,
+                insertions: 2,
+                invalidations: 0,
+                evictions: 1,
+                bytes: 128,
+            },
+        };
+        let mut buf = Vec::new();
+        info.encode(&mut buf);
+        let decoded = ShardInfo::decode(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(decoded, info);
+    }
+}

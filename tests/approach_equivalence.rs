@@ -9,8 +9,11 @@ use historygraph::baselines::{CopyLog, IntervalTree, NaiveLog, SnapshotSource};
 use historygraph::datagen::{churn_trace, uniform_timepoints, ChurnConfig};
 use historygraph::deltagraph::{DeltaGraph, DeltaGraphConfig, DifferentialFunction};
 use historygraph::kvstore::MemStore;
-use historygraph::tgraph::AttrOptions;
-use historygraph::DeltaGraphSource;
+use historygraph::tgraph::{AttrOptions, Event, Timestamp};
+use historygraph::{
+    DeltaGraphSource, GraphManager, GraphManagerConfig, ShardedConfig, ShardedGraphManager,
+};
+use proptest::prelude::*;
 
 #[test]
 fn all_approaches_return_identical_snapshots() {
@@ -61,6 +64,85 @@ fn all_approaches_return_identical_snapshots() {
                 );
             }
         }
+    }
+}
+
+proptest! {
+    /// The sharded serving layer extends the cross-approach invariant: for
+    /// random event streams, random shard boundaries (explicit or
+    /// equi-width), and a random roll budget, `ShardedGraphManager`
+    /// snapshots are node/edge/attribute-identical to a single
+    /// `GraphManager` replaying the same stream — across the built history,
+    /// at and around every shard boundary, and through live appends that
+    /// roll new tail shards.
+    #[test]
+    fn prop_sharded_router_matches_single_manager_replay(
+        seed in 0u64..6,
+        shard_count in 1usize..6,
+        fracs in proptest::collection::vec(1u64..100, 0..4),
+        budget in 0usize..12,
+    ) {
+        let ds = churn_trace(&ChurnConfig::tiny(500 + seed));
+        let start = ds.start_time().raw();
+        let end = ds.end_time().raw();
+        let span = (end - start).max(1);
+        let base = if fracs.is_empty() {
+            ShardedConfig::default().with_shards(shard_count)
+        } else {
+            let bounds: Vec<Timestamp> = fracs
+                .iter()
+                .map(|&f| Timestamp(start + span * f as i64 / 100))
+                .collect();
+            ShardedConfig::default().with_boundaries(bounds)
+        };
+        let sharded =
+            ShardedGraphManager::build_in_memory(&ds.events, base.with_shard_events(budget))
+                .unwrap();
+        let mut single =
+            GraphManager::build_in_memory(&ds.events, GraphManagerConfig::default()).unwrap();
+
+        // Probe times: a uniform spread plus every shard boundary and its
+        // neighbours (the seams the seeding logic must get right).
+        let mut times: Vec<Timestamp> =
+            uniform_timepoints(ds.start_time(), ds.end_time(), 7);
+        for info in sharded.shard_infos() {
+            if let Some(lower) = info.lower {
+                times.extend([lower.prev(), lower, lower.next()]);
+            }
+        }
+        let compare = |sharded: &ShardedGraphManager, single: &GraphManager, times: &[Timestamp]| {
+            for opts in [AttrOptions::all(), AttrOptions::structure_only()] {
+                for &t in times {
+                    let got = sharded.snapshot_at(t, &opts).unwrap();
+                    let want = single.index().get_snapshot(t, &opts).unwrap();
+                    assert_eq!(got, want, "t={} opts={}", t.raw(), opts.canonical_string());
+                }
+            }
+        };
+        compare(&sharded, &single, &times);
+
+        // Live appends land on the tail (rolling new shards under small
+        // budgets) and must stay equivalent, including around the rolls.
+        let mut append_times = Vec::new();
+        for i in 0..15i64 {
+            let t = end + 1 + i;
+            let node = 900_000 + i as u64;
+            let ev = Event::add_node(t, node);
+            sharded.append_event(ev.clone()).unwrap();
+            single.append_event(ev).unwrap();
+            let attr = Event::set_node_attr(
+                t,
+                node,
+                "w",
+                None,
+                Some(historygraph::tgraph::AttrValue::Int(i)),
+            );
+            sharded.append_event(attr.clone()).unwrap();
+            single.append_event(attr).unwrap();
+            append_times.push(Timestamp(t));
+        }
+        compare(&sharded, &single, &times);
+        compare(&sharded, &single, &append_times);
     }
 }
 
