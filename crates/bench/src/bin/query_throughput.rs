@@ -6,7 +6,8 @@
 //! cargo run --release -p bench --bin query_throughput -- \
 //!     [--scale 0.2] [--memory] [--clients 8] [--seconds 5] \
 //!     [--hot] [--cache 256] [--resp-cache 256] [--hot-points 4] \
-//!     [--proto text|binary] [--shards 4]
+//!     [--proto text|binary] [--shards 4] [--connections 1000,4000] \
+//!     [--workers 4]
 //! ```
 //!
 //! `--hot` switches to the hot-point workload: every client hammers `GET
@@ -26,17 +27,32 @@
 //! The table reports append and read throughput for both, so the claim
 //! that sharding unserializes writers from historical readers is measured,
 //! not asserted. Sharded passes build one in-memory store per shard.
+//!
+//! `--connections N[,M,...]` switches to the connection-scaling workload.
+//! The baseline pass drives the thread-per-connection core with 8
+//! blocking [`Client`] threads — that architecture's native client, and
+//! how every earlier PR measured it. Each listed N then runs against the
+//! event-driven core under open-loop load: one load-generator thread
+//! multiplexing N simultaneous connections over the same readiness poller
+//! the server uses, each connection keeping one hot-point request in
+//! flight. The table (and `BENCH_connections.json`) reports qps plus
+//! p50/p99 request latency per pass. This mode defaults to `--scale 0.05`
+//! (a few-KiB reply) so it measures the serving core's per-connection
+//! overhead rather than reply memcpy bandwidth; pass `--scale` to
+//! override. The mixed and hot modes likewise emit
+//! `BENCH_query_throughput.json` next to their tables.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use bench::json::{write_json, Json};
 use bench::{dataset2, fresh_store, print_table, HarnessOptions};
 use historygraph::{
     GraphManager, GraphManagerConfig, ShardedConfig, ShardedGraphManager, SharedGraphManager,
 };
-use server::{serve, serve_sharded, Client, ServerConfig};
+use server::{serve, serve_sharded, serve_threaded, Client, ServerConfig};
 use tgraph::Timestamp;
 
 const QUERY_CLASSES: [&str; 7] = [
@@ -320,6 +336,41 @@ fn run_hot(opts: &HarnessOptions, clients: usize, seconds: usize) {
         ],
         &rows,
     );
+
+    let passes_json: Vec<Json> = results
+        .iter()
+        .map(|(pass, r)| {
+            let opt_rate = |rate: Option<f64>| rate.map_or(Json::Null, Json::Num);
+            Json::obj(vec![
+                ("config", Json::from(pass.label)),
+                ("queries", Json::from(r.queries)),
+                ("qps", Json::from(r.queries as f64 / r.elapsed)),
+                (
+                    "snap_hit_rate",
+                    opt_rate(hit_rate(r.snap_hits, r.snap_misses)),
+                ),
+                (
+                    "resp_hit_rate",
+                    opt_rate(hit_rate(r.resp_hits, r.resp_misses)),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Json::obj(vec![
+        ("bench", Json::from("query_throughput")),
+        ("mode", Json::from("hot")),
+        ("clients", Json::from(clients)),
+        ("seconds", Json::from(seconds)),
+        ("scale", Json::from(opts.scale)),
+        (
+            "hot_points",
+            Json::Arr(hot.iter().map(|&t| Json::Int(t)).collect()),
+        ),
+        ("passes", Json::Arr(passes_json)),
+    ]);
+    if let Err(e) = write_json("BENCH_query_throughput.json", &doc) {
+        eprintln!("warning: could not write BENCH_query_throughput.json: {e}");
+    }
 }
 
 /// Measurements from one sharded mixed-workload pass.
@@ -535,11 +586,522 @@ fn run_sharded(opts: &HarnessOptions, clients: usize, seconds: usize) {
     );
 }
 
+/// One multiplexed load-generator connection: a single request in flight,
+/// reply bytes scanned chunk-by-chunk for the lone `END` terminator line.
+///
+/// Reply bytes are *not* accumulated — only the qps/latency numbers are
+/// needed, so each read chunk is scanned in place and discarded. `tail`
+/// carries the last four bytes across chunk boundaries so a straddling
+/// `\nEND\n` is still seen; it is seeded with a single `\n` at issue time
+/// so a reply beginning with `END` matches too. Keeping no per-connection
+/// reply buffer matters at 1k+ connections: it is the difference between
+/// a ~16 KiB shared scratch buffer and tens of MiB of cold per-connection
+/// heap in the measurement loop.
+struct LoadConn {
+    stream: std::net::TcpStream,
+    tail: [u8; 4],
+    tail_len: usize,
+    pending: Vec<u8>,
+    pending_pos: usize,
+    sent_at: Instant,
+    /// The in-flight request is a `RELEASE ALL` housekeeping round, not a
+    /// measured query.
+    maintenance: bool,
+    issued: u64,
+    hot_idx: usize,
+    interest: epoll::Interest,
+}
+
+impl LoadConn {
+    fn has_pending(&self) -> bool {
+        self.pending_pos < self.pending.len()
+    }
+
+    /// READABLE always (a reply may be arriving), WRITABLE only while part
+    /// of the request is still unwritten.
+    fn desired_interest(&self) -> epoll::Interest {
+        if self.has_pending() {
+            epoll::Interest::BOTH
+        } else {
+            epoll::Interest::READABLE
+        }
+    }
+
+    /// Feeds one read chunk through the terminator scanner. Returns `true`
+    /// when the chunk (or its straddle with the previous one) completes
+    /// the in-flight reply with a lone `END` line.
+    fn saw_reply_end(&mut self, chunk: &[u8]) -> bool {
+        const TERM: &[u8; 5] = b"\nEND\n";
+        // The straddle window: carried tail plus the first four new bytes.
+        let mut window = [0u8; 8];
+        window[..self.tail_len].copy_from_slice(&self.tail[..self.tail_len]);
+        let head = chunk.len().min(4);
+        window[self.tail_len..self.tail_len + head].copy_from_slice(&chunk[..head]);
+        let done = window[..self.tail_len + head].windows(5).any(|w| w == TERM)
+            || chunk.windows(5).any(|w| w == TERM);
+        if !done {
+            // Carry the last four bytes seen into the next chunk's window.
+            if chunk.len() >= 4 {
+                self.tail.copy_from_slice(&chunk[chunk.len() - 4..]);
+                self.tail_len = 4;
+            } else {
+                let keep = (self.tail_len + chunk.len()).min(4);
+                let from_tail = keep - chunk.len();
+                self.tail
+                    .copy_within(self.tail_len - from_tail..self.tail_len, 0);
+                self.tail[from_tail..keep].copy_from_slice(chunk);
+                self.tail_len = keep;
+            }
+        }
+        done
+    }
+}
+
+/// Measurements from one open-loop pass.
+struct OpenLoopResult {
+    core: &'static str,
+    connections: usize,
+    completed: u64,
+    elapsed: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+impl OpenLoopResult {
+    fn qps(&self) -> f64 {
+        self.completed as f64 / self.elapsed.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// The thread-per-connection baseline, driven the way that architecture
+/// is actually used (and the way every earlier PR measured it): one
+/// blocking [`Client`] per connection on its own OS thread, closed-loop
+/// over the hot points. The event-core rows use the open-loop multiplexed
+/// client instead — floating thousands of blocking client threads on one
+/// host is exactly the cost the event core exists to avoid.
+fn run_blocking_clients(
+    addr: std::net::SocketAddr,
+    core: &'static str,
+    connections: usize,
+    seconds: usize,
+    hot: &[i64],
+) -> OpenLoopResult {
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..connections)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let hot = hot.to_vec();
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut latencies_us: Vec<u64> = Vec::new();
+                let mut issued = 0u64;
+                let mut hot_idx = c % hot.len();
+                while !stop.load(Ordering::Relaxed) {
+                    hot_idx = (hot_idx + 1) % hot.len();
+                    let request = format!("GET GRAPH AT {}", hot[hot_idx]);
+                    let sent = Instant::now();
+                    match client.send(&request) {
+                        Ok(lines) if lines.first().is_some_and(|l| l.starts_with("OK")) => {
+                            latencies_us.push(sent.elapsed().as_micros() as u64);
+                        }
+                        Ok(_) | Err(_) => {}
+                    }
+                    issued += 1;
+                    if issued.is_multiple_of(64) {
+                        let _ = client.send("RELEASE ALL");
+                    }
+                }
+                latencies_us
+            })
+        })
+        .collect();
+    let started = Instant::now();
+    thread::sleep(Duration::from_secs(seconds as u64));
+    stop.store(true, Ordering::Relaxed);
+    let mut latencies_us: Vec<u64> = Vec::new();
+    for w in workers {
+        latencies_us.extend(w.join().expect("client thread"));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies_us.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies_us.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies_us.len() as f64 * p) as usize).min(latencies_us.len() - 1);
+        latencies_us[idx]
+    };
+    OpenLoopResult {
+        core,
+        connections,
+        completed: latencies_us.len() as u64,
+        elapsed,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+    }
+}
+
+/// Runs `connections` simultaneous hot-point sessions against `addr` for
+/// `seconds`, all multiplexed on this thread over the same readiness
+/// poller the event server uses. Each connection keeps exactly one request
+/// in flight (with a `RELEASE ALL` every 64th round to bound overlay
+/// refcounts), so the offered load scales with the connection count.
+fn run_open_loop(
+    addr: std::net::SocketAddr,
+    core: &'static str,
+    connections: usize,
+    seconds: usize,
+    hot: &[i64],
+) -> OpenLoopResult {
+    use epoll::{Events, Interest, Poller, Token};
+    use std::io::{ErrorKind, Read, Write};
+
+    let mut poller = Poller::new().expect("poller");
+    let mut conns: Vec<Option<LoadConn>> = Vec::with_capacity(connections);
+    for i in 0..connections {
+        // Momentary backlog overflow while thousands of sockets connect is
+        // expected; retry briefly rather than failing the pass.
+        let mut attempts = 0;
+        let stream = loop {
+            match std::net::TcpStream::connect(addr) {
+                Ok(s) => break s,
+                Err(e) => {
+                    attempts += 1;
+                    assert!(attempts < 100, "connect {i}: {e}");
+                    thread::sleep(Duration::from_millis(10));
+                }
+            }
+        };
+        stream.set_nonblocking(true).expect("nonblocking");
+        let _ = stream.set_nodelay(true);
+        conns.push(Some(LoadConn {
+            stream,
+            tail: [0u8; 4],
+            tail_len: 0,
+            pending: Vec::new(),
+            pending_pos: 0,
+            sent_at: Instant::now(),
+            maintenance: false,
+            issued: 0,
+            hot_idx: i % hot.len(),
+            interest: Interest::READABLE,
+        }));
+    }
+
+    let mut latencies_us: Vec<u64> = Vec::new();
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs(seconds as u64);
+    let mut completed = 0u64;
+
+    let issue = |conn: &mut LoadConn, hot: &[i64]| {
+        conn.issued += 1;
+        conn.maintenance = conn.issued.is_multiple_of(64);
+        let request = if conn.maintenance {
+            "RELEASE ALL\n".to_string()
+        } else {
+            conn.hot_idx = (conn.hot_idx + 1) % hot.len();
+            format!("GET GRAPH AT {}\n", hot[conn.hot_idx])
+        };
+        conn.pending = request.into_bytes();
+        conn.pending_pos = 0;
+        // Virtual preceding newline so a reply that *starts* with the
+        // `END` line still matches the `\nEND\n` scanner.
+        conn.tail = [b'\n', 0, 0, 0];
+        conn.tail_len = 1;
+        conn.sent_at = Instant::now();
+    };
+
+    let flush = |conn: &mut LoadConn| -> bool {
+        while conn.pending_pos < conn.pending.len() {
+            match conn.stream.write(&conn.pending[conn.pending_pos..]) {
+                Ok(0) => return false,
+                Ok(n) => conn.pending_pos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        true
+    };
+
+    // Prime every connection with its first request, then register.
+    for (i, slot) in conns.iter_mut().enumerate() {
+        let conn = slot.as_mut().expect("fresh conn");
+        issue(conn, hot);
+        if !flush(conn) {
+            *slot = None;
+            continue;
+        }
+        let desired = conn.desired_interest();
+        conn.interest = desired;
+        use std::os::fd::AsRawFd;
+        poller
+            .register(conn.stream.as_raw_fd(), Token(i), desired)
+            .expect("register");
+    }
+
+    let mut events = Events::new();
+    // One shared read scratch: zeroing a fresh 16 KiB chunk per readiness
+    // event would dominate the measurement loop at high event rates.
+    let mut chunk = vec![0u8; 16 * 1024];
+    'run: loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break 'run;
+        }
+        if poller.wait(&mut events, Some(deadline - now)).is_err() {
+            break 'run;
+        }
+        for event in events.iter() {
+            let i = event.token().0;
+            let Some(conn) = conns.get_mut(i).and_then(|s| s.as_mut()) else {
+                continue;
+            };
+            let mut dead = false;
+            if event.is_writable() && !flush(conn) {
+                dead = true;
+            }
+            if !dead && event.is_readable() {
+                let mut done = false;
+                loop {
+                    match conn.stream.read(&mut chunk) {
+                        Ok(0) => {
+                            dead = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            if conn.saw_reply_end(&chunk[..n]) {
+                                // One request in flight: the terminator is
+                                // the last byte the server will send.
+                                done = true;
+                                break;
+                            }
+                            if n < chunk.len() {
+                                // Short read: skip the would-be EAGAIN; the
+                                // level-triggered poller re-reports leftovers.
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            dead = true;
+                            break;
+                        }
+                    }
+                }
+                if !dead && done && !conn.has_pending() {
+                    if !conn.maintenance {
+                        completed += 1;
+                        latencies_us.push(conn.sent_at.elapsed().as_micros() as u64);
+                    }
+                    issue(conn, hot);
+                    if !flush(conn) {
+                        dead = true;
+                    }
+                }
+            }
+            if dead {
+                use std::os::fd::AsRawFd;
+                let _ = poller.deregister(conn.stream.as_raw_fd());
+                conns[i] = None;
+                continue;
+            }
+            let desired = conn.desired_interest();
+            if desired != conn.interest {
+                use std::os::fd::AsRawFd;
+                if poller
+                    .reregister(conn.stream.as_raw_fd(), Token(i), desired)
+                    .is_ok()
+                {
+                    conn.interest = desired;
+                }
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    latencies_us.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies_us.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies_us.len() as f64 * p) as usize).min(latencies_us.len() - 1);
+        latencies_us[idx]
+    };
+    OpenLoopResult {
+        core,
+        connections,
+        completed,
+        elapsed,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+    }
+}
+
+/// The connection-scaling workload: a threaded-core baseline at 8
+/// connections, then the event-driven core at each requested count.
+fn run_connections(opts: &HarnessOptions, seconds: usize) {
+    let counts: Vec<usize> = arg_str("--connections")
+        .expect("--connections")
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+    assert!(!counts.is_empty(), "--connections needs at least one count");
+    let cache = arg_value("--cache", 256);
+    let resp_cache = arg_value("--resp-cache", 256);
+    let workers = arg_value("--workers", 4);
+    let hot_points = arg_value("--hot-points", 4).max(1);
+    // Connection scaling measures the serving core — accept/poll/dispatch
+    // overhead per request — so the per-request payload is kept small
+    // (a few KiB), like redis-benchmark's. `--scale` still overrides.
+    let scale = if arg_str("--scale").is_some() {
+        opts.scale
+    } else {
+        0.05
+    };
+
+    let max_conns = counts.iter().copied().max().unwrap_or(8).max(8);
+    // fds: one per load-generator socket plus one per server-side socket,
+    // plus headroom for the poller, waker, and listener.
+    let counts: Vec<usize> = match epoll::raise_nofile_limit((2 * max_conns + 256) as u64) {
+        Ok(limit) => {
+            // Both sides of every connection live in this process, so the
+            // hard fd cap bounds the feasible count; clamp rather than die
+            // so a `--connections 10000` run still reports what fits.
+            let ceiling = (limit.saturating_sub(256) / 2) as usize;
+            counts
+                .into_iter()
+                .map(|n| {
+                    if n > ceiling {
+                        eprintln!(
+                            "warning: clamping {n} connections to {ceiling} \
+                             (fd limit {limit})"
+                        );
+                        ceiling
+                    } else {
+                        n
+                    }
+                })
+                .collect()
+        }
+        Err(e) => {
+            eprintln!("warning: could not raise fd limit: {e}");
+            counts
+        }
+    };
+
+    let ds = dataset2(scale);
+    let start_t = ds.start_time().raw();
+    let end_t = ds.end_time().raw();
+    let span = (end_t - start_t).max(1);
+    let hot: Vec<i64> = (0..hot_points)
+        .map(|i| start_t + span * (i as i64 + 1) / (hot_points as i64 + 1))
+        .collect();
+    println!(
+        "open-loop connection scaling: {seconds}s per pass over hot points {hot:?} \
+         (scale {scale}), snapshot cache {cache}, response cache {resp_cache}, \
+         {workers} worker(s)"
+    );
+
+    let run_pass = |core: &'static str, n: usize| -> OpenLoopResult {
+        let gm = GraphManager::build_in_memory(
+            &ds.events,
+            GraphManagerConfig::default()
+                .with_snapshot_cache(cache)
+                .with_response_cache(resp_cache),
+        )
+        .expect("index construction");
+        let shared = SharedGraphManager::new(gm);
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            max_connections: n + 8,
+            worker_threads: workers,
+            ..Default::default()
+        };
+        if core == "threaded" {
+            let server = serve_threaded(shared, config).expect("server start");
+            run_blocking_clients(server.addr(), core, n, seconds, &hot)
+        } else {
+            let server = serve(shared, config).expect("server start");
+            run_open_loop(server.addr(), core, n, seconds, &hot)
+        }
+    };
+
+    let mut results = vec![run_pass("threaded", 8)];
+    for &n in &counts {
+        results.push(run_pass("event", n));
+    }
+
+    let baseline_qps = results[0].qps().max(f64::MIN_POSITIVE);
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{} @ {}", r.core, r.connections),
+                r.completed.to_string(),
+                format!("{:.0}", r.qps()),
+                format!("{:.2}", r.p50_us as f64 / 1000.0),
+                format!("{:.2}", r.p99_us as f64 / 1000.0),
+                format!("{:.2}x", r.qps() / baseline_qps),
+            ]
+        })
+        .collect();
+    print_table(
+        "hot-point throughput: event core under open-loop load vs \
+         threaded core with blocking clients @ 8",
+        &["config", "queries", "qps", "p50 ms", "p99 ms", "speedup"],
+        &rows,
+    );
+
+    let passes: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("core", Json::from(r.core)),
+                (
+                    "client",
+                    Json::from(if r.core == "threaded" {
+                        "blocking-threads"
+                    } else {
+                        "open-loop"
+                    }),
+                ),
+                ("connections", Json::from(r.connections)),
+                ("completed", Json::from(r.completed)),
+                ("elapsed_s", Json::from(r.elapsed)),
+                ("qps", Json::from(r.qps())),
+                ("p50_us", Json::from(r.p50_us)),
+                ("p99_us", Json::from(r.p99_us)),
+            ])
+        })
+        .collect();
+    let doc = Json::obj(vec![
+        ("bench", Json::from("connections")),
+        ("seconds", Json::from(seconds)),
+        ("scale", Json::from(scale)),
+        (
+            "hot_points",
+            Json::Arr(hot.iter().map(|&t| Json::Int(t)).collect()),
+        ),
+        ("workers", Json::from(workers)),
+        ("passes", Json::Arr(passes)),
+    ]);
+    if let Err(e) = write_json("BENCH_connections.json", &doc) {
+        eprintln!("warning: could not write BENCH_connections.json: {e}");
+    }
+}
+
 fn main() {
     let opts = HarnessOptions::from_args();
     let clients = arg_value("--clients", 8);
     let seconds = arg_value("--seconds", 5);
 
+    if arg_str("--connections").is_some() {
+        run_connections(&opts, seconds);
+        return;
+    }
     if arg_str("--shards").is_some() {
         run_sharded(&opts, clients, seconds);
         return;
@@ -670,4 +1232,31 @@ fn main() {
         &["class", "queries", "qps"],
         &rows,
     );
+
+    let classes: Vec<Json> = QUERY_CLASSES
+        .iter()
+        .enumerate()
+        .map(|(i, class)| {
+            let n: u64 = all.iter().map(|c| c[i]).sum();
+            Json::obj(vec![
+                ("class", Json::from(*class)),
+                ("queries", Json::from(n)),
+                ("qps", Json::from(n as f64 / elapsed)),
+            ])
+        })
+        .collect();
+    let doc = Json::obj(vec![
+        ("bench", Json::from("query_throughput")),
+        ("mode", Json::from("mixed")),
+        ("clients", Json::from(clients)),
+        ("seconds", Json::from(seconds)),
+        ("scale", Json::from(opts.scale)),
+        ("elapsed_s", Json::from(elapsed)),
+        ("classes", Json::Arr(classes)),
+        ("total_queries", Json::from(total)),
+        ("total_qps", Json::from(total as f64 / elapsed)),
+    ]);
+    if let Err(e) = write_json("BENCH_query_throughput.json", &doc) {
+        eprintln!("warning: could not write BENCH_query_throughput.json: {e}");
+    }
 }

@@ -8,6 +8,8 @@
 //! hardware, scaled datasets, a reimplemented storage engine); the harness is
 //! about reproducing the *shape* of each result.
 
+pub mod json;
+
 use std::sync::Arc;
 use std::time::Instant;
 

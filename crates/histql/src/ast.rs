@@ -79,6 +79,10 @@ pub enum Query {
     /// `STATS SHARDS` — per-shard serving statistics: time bounds, event
     /// counts, overlay counts, and both cache tiers' counters.
     ShardStats,
+    /// `STATS SERVER` — serving-core counters: live connections, accept and
+    /// reject totals, worker-pool queue depth, and single-flight coalescing
+    /// counters. Only answerable inside a server session.
+    ServerStats,
     /// `APPEND ...` — one live update event.
     Append(AppendSpec),
     /// `BIND <key> <node id>` — register an application key.
@@ -419,6 +423,7 @@ impl fmt::Display for Query {
             Query::Stats => f.write_str("STATS"),
             Query::CacheStats => f.write_str("STATS CACHE"),
             Query::ShardStats => f.write_str("STATS SHARDS"),
+            Query::ServerStats => f.write_str("STATS SERVER"),
             Query::Append(spec) => match spec {
                 AppendSpec::Node { t, node } => write!(f, "APPEND NODE {} {node}", t.raw()),
                 AppendSpec::DelNode { t, node } => {

@@ -18,6 +18,7 @@
 //!
 //! [`SharedGraphManager`]: historygraph::SharedGraphManager
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use historygraph::{ShardedGraphManager, ShardedSession, SharedGraphManager, WireFormat};
@@ -25,8 +26,9 @@ use tgraph::{AttrOptions, NodeId, TimeExpression, Timestamp};
 
 use crate::ast::Query;
 use crate::error::{QlError, QlResult};
+use crate::flight::{FlightResult, FlightStats, FlightTable, Joined};
 use crate::parser::parse;
-use crate::wire::{frame_error, HistorySample, Response};
+use crate::wire::{frame_error, HistorySample, Response, ServerCounters};
 
 /// Upper bound on `HISTORY NODE` samples per query, so a tiny `STEP` over a
 /// huge range cannot run the server out of memory.
@@ -51,12 +53,56 @@ impl AsRef<[u8]> for Reply {
     }
 }
 
+/// Live serving-core counters, shared between a server's reactor, its
+/// worker pool, and every session's executor (which renders them for
+/// `STATS SERVER`). The executor only reads; the server updates.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections currently open.
+    pub live_connections: AtomicU64,
+    /// Connections accepted since the server started.
+    pub accepted: AtomicU64,
+    /// Connections refused at the connection cap.
+    pub rejected: AtomicU64,
+    /// Requests parsed and waiting for a worker.
+    pub queue_depth: AtomicU64,
+    /// Worker threads executing requests (set once at startup).
+    pub workers: AtomicU64,
+}
+
+impl ServerStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        ServerStats::default()
+    }
+
+    /// Snapshots the counters together with the single-flight table's.
+    pub fn counters(&self, flights: FlightStats) -> ServerCounters {
+        ServerCounters {
+            live_connections: self.live_connections.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            workers: self.workers.load(Ordering::Relaxed),
+            sf_leaders: flights.leaders,
+            sf_coalesced: flights.coalesced,
+            sf_stale_rerenders: flights.stale_rerenders,
+        }
+    }
+}
+
 /// Executes parsed queries against one (possibly sharded) store.
 pub struct Executor {
     router: ShardedGraphManager,
     session: ShardedSession,
     /// The session's response encoding, switched by the `PROTOCOL` verb.
     protocol: WireFormat,
+    /// Single-flight render table shared with the other sessions of a
+    /// server, when attached; point renders coalesce through it.
+    flights: Option<Arc<FlightTable>>,
+    /// The serving core's counters, when this executor belongs to a server
+    /// session (required by `STATS SERVER`).
+    server_stats: Option<Arc<ServerStats>>,
 }
 
 impl Executor {
@@ -73,7 +119,23 @@ impl Executor {
             router,
             session,
             protocol: WireFormat::Text,
+            flights: None,
+            server_stats: None,
         }
+    }
+
+    /// Attaches a shared single-flight table: concurrent `GET GRAPH AT`
+    /// renders for the same `(t, opts, protocol)` across every executor
+    /// holding the same table coalesce into one render.
+    pub fn with_flights(mut self, flights: Arc<FlightTable>) -> Self {
+        self.flights = Some(flights);
+        self
+    }
+
+    /// Attaches the serving core's counters, enabling `STATS SERVER`.
+    pub fn with_server_stats(mut self, stats: Arc<ServerStats>) -> Self {
+        self.server_stats = Some(stats);
+        self
     }
 
     /// Pool handles this executor's session currently tracks, across every
@@ -122,16 +184,57 @@ impl Executor {
         result.unwrap_or_else(|e| Reply::Owned(frame_error(&e.to_string(), self.protocol)))
     }
 
-    /// The `GET GRAPH AT` fast path: snapshot-cache retrieval on the owning
-    /// shard (preserving overlay refcounts), then that *same* shard's
+    /// Bounded-time fast path for `GET GRAPH AT`, for callers that must
+    /// never block on a render — the event-driven server's reactor thread
+    /// serves hot points through this without a worker-pool round trip.
+    ///
+    /// Returns `Some` only when the answer is already resident: the owning
+    /// shard's snapshot cache holds `(t, opts)` (the session takes its
+    /// overlay reference, exactly like the full path) and the response
+    /// byte cache is enabled — a cached-bytes hit is returned as-is, a
+    /// byte miss is framed from the cached snapshot and inserted under the
+    /// pre-acquire append epoch. Anything else — other verbs, parse
+    /// errors, snapshot-cache misses, a disabled byte cache — returns
+    /// `None` with **no** counters or refcounts touched, so the request
+    /// can take [`Executor::execute_framed`] with identical accounting.
+    pub fn try_execute_hot(&mut self, line: &str) -> Option<Reply> {
+        let Ok(Query::GetGraphAt { t, attrs }) = parse(line) else {
+            return None;
+        };
+        let opts = AttrOptions::parse(&attrs).ok()?;
+        if !self.router.shard_for(t).response_cache_enabled() {
+            return None;
+        }
+        let (shared, epoch, snapshot) = self.session.acquire_cached_point_routed(t, &opts)?;
+        if let Some(bytes) = shared.response_cache_get(t, &opts, self.protocol) {
+            return Some(Reply::Shared(bytes));
+        }
+        let resp = Response::Graph { t, graph: snapshot };
+        let bytes: Arc<[u8]> = resp.to_frame(self.protocol).into();
+        shared.response_cache_put(t, &opts, self.protocol, Arc::clone(&bytes), epoch);
+        Some(Reply::Shared(bytes))
+    }
+
+    /// The `GET GRAPH AT` fast path. With a [`FlightTable`] attached (a
+    /// server session) concurrent renders of the same key coalesce; without
+    /// one this is a plain render through both cache tiers.
+    fn execute_point_framed(&mut self, t: Timestamp, attrs: &str) -> QlResult<Reply> {
+        let opts = AttrOptions::parse(attrs)?;
+        match self.flights.clone() {
+            Some(table) => self.execute_point_coalesced(&table, t, opts),
+            None => self.render_point(t, &opts),
+        }
+    }
+
+    /// Plain point render: snapshot-cache retrieval on the owning shard
+    /// (preserving overlay refcounts), then that *same* shard's
     /// response-cache probe, then render + insert. The shard is resolved
     /// exactly once — the get and the epoch-guarded put go through the
     /// handle the snapshot came from, so a tail shard rolled between the
     /// render and the insert can never be handed bytes computed from the
     /// old tail (its fresh epoch could coincide with the old one).
-    fn execute_point_framed(&mut self, t: Timestamp, attrs: &str) -> QlResult<Reply> {
-        let opts = AttrOptions::parse(attrs)?;
-        let (shared, point) = self.session.retrieve_cached_routed(t, &opts)?;
+    fn render_point(&mut self, t: Timestamp, opts: &AttrOptions) -> QlResult<Reply> {
+        let (shared, point) = self.session.retrieve_cached_routed(t, opts)?;
         if !shared.response_cache_enabled() {
             let resp = Response::Graph {
                 t,
@@ -139,7 +242,7 @@ impl Executor {
             };
             return Ok(Reply::Owned(resp.to_frame(self.protocol)));
         }
-        if let Some(bytes) = shared.response_cache_get(t, &opts, self.protocol) {
+        if let Some(bytes) = shared.response_cache_get(t, opts, self.protocol) {
             return Ok(Reply::Shared(bytes));
         }
         let resp = Response::Graph {
@@ -149,8 +252,75 @@ impl Executor {
         let bytes: Arc<[u8]> = resp.to_frame(self.protocol).into();
         // Declined (not cached) if an append raced the retrieval — the
         // reply is still correct for this request, just not reusable.
-        shared.response_cache_put(t, &opts, self.protocol, Arc::clone(&bytes), point.epoch);
+        shared.response_cache_put(t, opts, self.protocol, Arc::clone(&bytes), point.epoch);
         Ok(Reply::Shared(bytes))
+    }
+
+    /// [`Executor::render_point`] in always-shareable form: the framed
+    /// bytes plus the shard and append epoch they were computed under, so a
+    /// single-flight leader can publish them for validation by followers.
+    fn render_point_shared(
+        &mut self,
+        t: Timestamp,
+        opts: &AttrOptions,
+    ) -> QlResult<(SharedGraphManager, u64, Arc<[u8]>)> {
+        let (shared, point) = self.session.retrieve_cached_routed(t, opts)?;
+        let epoch = point.epoch;
+        if let Some(bytes) = shared.response_cache_get(t, opts, self.protocol) {
+            return Ok((shared, epoch, bytes));
+        }
+        let resp = Response::Graph {
+            t,
+            graph: point.snapshot,
+        };
+        let bytes: Arc<[u8]> = resp.to_frame(self.protocol).into();
+        shared.response_cache_put(t, opts, self.protocol, Arc::clone(&bytes), epoch);
+        Ok((shared, epoch, bytes))
+    }
+
+    /// Single-flight point render. The first request for a key becomes the
+    /// leader and renders through [`Executor::render_point_shared`];
+    /// followers block on the flight and accept the leader's bytes only if
+    /// (a) the shard owning `t` is still the same manager at the same
+    /// append epoch — the response cache's staleness guard — and (b) they
+    /// can take their own snapshot-cache overlay reference, so refcount
+    /// semantics (`STATS CACHE`, `RELEASE ALL`, disconnect) are identical
+    /// to the uncoalesced path. Anything else falls back to a full render.
+    fn execute_point_coalesced(
+        &mut self,
+        table: &Arc<FlightTable>,
+        t: Timestamp,
+        opts: AttrOptions,
+    ) -> QlResult<Reply> {
+        match table.join((t, opts.clone(), self.protocol)) {
+            Joined::Leader(guard) => match self.render_point_shared(t, &opts) {
+                Ok((shard, epoch, bytes)) => {
+                    guard.publish(FlightResult {
+                        bytes: Arc::clone(&bytes),
+                        shard,
+                        epoch,
+                    });
+                    Ok(Reply::Shared(bytes))
+                }
+                Err(e) => {
+                    guard.fail();
+                    Err(e)
+                }
+            },
+            Joined::Follower(flight) => {
+                if let Some(result) = flight.wait() {
+                    let owner = self.router.shard_for(t);
+                    let fresh = owner.same_manager(&result.shard)
+                        && owner.read().append_epoch() == result.epoch;
+                    if fresh && self.session.acquire_cached_routed(t, &opts).is_some() {
+                        table.note_coalesced();
+                        return Ok(Reply::Shared(result.bytes));
+                    }
+                }
+                table.note_stale();
+                self.render_point(t, &opts)
+            }
+        }
     }
 
     /// Executes one parsed query.
@@ -332,6 +502,7 @@ impl Executor {
                     overlays: overview.overlays,
                     entries: overview.entries,
                     response_capacity: overview.response_capacity,
+                    response_byte_budget: overview.response_byte_budget,
                     response_entries: overview.response_entries,
                     response: overview.response,
                 })
@@ -339,6 +510,21 @@ impl Executor {
             Query::ShardStats => Ok(Response::Shards {
                 shards: self.router.shard_infos(),
             }),
+            Query::ServerStats => {
+                let stats = self.server_stats.as_ref().ok_or_else(|| {
+                    QlError::Exec(
+                        "STATS SERVER requires a server session (no serving core attached)".into(),
+                    )
+                })?;
+                let flights = self
+                    .flights
+                    .as_deref()
+                    .map(FlightTable::stats)
+                    .unwrap_or_default();
+                Ok(Response::Server {
+                    counters: stats.counters(flights),
+                })
+            }
             Query::Append(spec) => {
                 // Routed to the tail shard; the event is built against the
                 // tail's current graph under the same locks that apply it
@@ -603,7 +789,7 @@ mod tests {
             cache,
             "OK CACHE entries=0 capacity=0 hits=0 misses=0 insertions=0 \
              invalidations=0 evictions=0 overlays=1\n\
-             RC entries=0 capacity=0 hits=0 misses=0 insertions=0 \
+             RC entries=0 capacity=0 byte_budget=0 hits=0 misses=0 insertions=0 \
              invalidations=0 evictions=0 bytes=0"
         );
     }
@@ -866,6 +1052,144 @@ mod tests {
             6,
             "{history}"
         );
+    }
+
+    #[test]
+    fn stats_server_requires_a_serving_core() {
+        let (mut exec, _shared) = executor();
+        let err = exec.execute_line("STATS SERVER").unwrap_err();
+        assert!(err.to_string().contains("server session"), "{err}");
+    }
+
+    #[test]
+    fn stats_server_renders_core_and_flight_counters() {
+        let (_, shared) = executor();
+        let stats = Arc::new(ServerStats::new());
+        stats.live_connections.store(3, Ordering::Relaxed);
+        stats.accepted.store(10, Ordering::Relaxed);
+        stats.workers.store(2, Ordering::Relaxed);
+        let flights = Arc::new(FlightTable::new());
+        flights.note_coalesced();
+        let mut exec = Executor::new(shared)
+            .with_server_stats(Arc::clone(&stats))
+            .with_flights(flights);
+        let text = run(&mut exec, "STATS SERVER");
+        assert_eq!(
+            text,
+            "OK SERVER connections=3 accepted=10 rejected=0 queue_depth=0 workers=2\n\
+             SF leaders=0 coalesced=1 stale_rerenders=0"
+        );
+    }
+
+    #[test]
+    fn concurrent_identical_points_coalesce_into_one_render() {
+        // Deterministic, no timing: the test leads the flight itself so
+        // every session is forced into the follower path, and publishes
+        // only once all of them have joined.
+        let (_, shared) = full_executor(8, 8);
+        let flights = Arc::new(FlightTable::new());
+        let opts = AttrOptions::parse("").unwrap();
+        let crate::flight::Joined::Leader(guard) =
+            flights.join((Timestamp(6), opts.clone(), WireFormat::Text))
+        else {
+            panic!("fresh key must elect a leader");
+        };
+        const N: usize = 4;
+        let replies: Vec<Vec<u8>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..N)
+                .map(|_| {
+                    let shared = shared.clone();
+                    let flights = Arc::clone(&flights);
+                    scope.spawn(move || {
+                        let mut exec = Executor::new(shared).with_flights(flights);
+                        exec.execute_framed("GET GRAPH AT 6").as_ref().to_vec()
+                    })
+                })
+                .collect();
+            // Each joined follower holds a handle on the pending flight.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+            while guard.waiters() < N {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "followers never joined the flight"
+                );
+                std::thread::yield_now();
+            }
+            let mut leader = Executor::new(shared.clone()).with_flights(Arc::clone(&flights));
+            let (shard, epoch, bytes) = leader
+                .render_point_shared(Timestamp(6), &opts)
+                .expect("leader render");
+            guard.publish(crate::flight::FlightResult {
+                bytes,
+                shard,
+                epoch,
+            });
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in &replies {
+            assert_eq!(r, &replies[0], "all coalesced replies identical");
+            assert!(
+                r.starts_with(b"OK GRAPH"),
+                "no errors under coalescing: {:?}",
+                String::from_utf8_lossy(r)
+            );
+        }
+        let s = flights.stats();
+        assert_eq!(
+            s.coalesced, N as u64,
+            "every session was served the one shared render: {s:?}"
+        );
+        assert_eq!(s.stale_rerenders, 0, "{s:?}");
+    }
+
+    #[test]
+    fn follower_never_accepts_bytes_across_an_append() {
+        // Deterministic staleness check, no timing: a follower that joins a
+        // flight whose result was computed before an APPEND must re-render.
+        let (_, shared) = full_executor(8, 8);
+        let flights = Arc::new(FlightTable::new());
+        // Renders outside the flight table, so producing the stale bytes
+        // does not join (and wait on) the very flight the test holds open.
+        let mut renderer = Executor::new(shared.clone());
+        let mut follower = Executor::new(shared.clone()).with_flights(Arc::clone(&flights));
+
+        // Manufacture the race: lead a flight, publish a result captured at
+        // the current epoch, then APPEND (bumping the epoch) before the
+        // follower validates.
+        let opts = AttrOptions::parse("").unwrap();
+        let crate::flight::Joined::Leader(guard) =
+            flights.join((Timestamp(25), opts.clone(), WireFormat::Text))
+        else {
+            panic!("must lead");
+        };
+        let crate::flight::Joined::Follower(flight) =
+            flights.join((Timestamp(25), opts.clone(), WireFormat::Text))
+        else {
+            panic!("must follow");
+        };
+        let stale = renderer.execute_framed("GET GRAPH AT 25");
+        let epoch = shared.read().append_epoch();
+        guard.publish(crate::flight::FlightResult {
+            bytes: Arc::from(stale.as_ref()),
+            shard: shared.clone(),
+            epoch,
+        });
+        run(&mut renderer, "APPEND NODE 20 777");
+
+        // The follower sees the published flight but must reject it.
+        let result = flight.wait().expect("flight published");
+        assert!(
+            !(shared.same_manager(&result.shard) && shared.read().append_epoch() == result.epoch),
+            "stale result must fail validation"
+        );
+        let fresh = follower.execute_framed("GET GRAPH AT 25");
+        assert!(
+            std::str::from_utf8(fresh.as_ref())
+                .unwrap()
+                .contains("N 777"),
+            "follower render must reflect the append"
+        );
+        assert_ne!(fresh.as_ref(), stale.as_ref());
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! HISTORY NODE <key> FROM <t1> TO <t2> [STEP <k>]  entity evolution (multipoint)
 //! STATS                                            index statistics
 //! STATS CACHE                                      snapshot-cache statistics
+//! STATS SHARDS                                     per-shard serving statistics
+//! STATS SERVER                                     serving-core counters (server sessions)
 //! APPEND NODE <t> <id>                             live updates ...
 //! APPEND DELNODE <t> <id>
 //! APPEND EDGE <t> <id> <src> <dst> [DIRECTED]
@@ -67,17 +69,20 @@
 pub mod ast;
 pub mod error;
 pub mod exec;
+pub mod flight;
 pub mod lexer;
 pub mod parser;
 pub mod wire;
 
 pub use ast::{AppendSpec, Query, TimeExpr};
 pub use error::{QlError, QlResult};
-pub use exec::{Executor, Reply, MAX_HISTORY_SAMPLES};
+pub use exec::{Executor, Reply, ServerStats, MAX_HISTORY_SAMPLES};
+pub use flight::{FlightStats, FlightTable};
 pub use historygraph::WireFormat;
 pub use parser::parse;
 pub use wire::{
-    frame_error, Frame, HistorySample, Response, BINARY_FRAME_VERSION, MAX_FRAME_BYTES,
+    frame_error, Frame, HistorySample, Response, ServerCounters, BINARY_FRAME_VERSION,
+    MAX_FRAME_BYTES,
 };
 
 #[cfg(test)]
@@ -137,6 +142,8 @@ mod roundtrip_tests {
             ("stats", "STATS"),
             ("stats cache", "STATS CACHE"),
             ("STATS  CACHE", "STATS CACHE"),
+            ("stats shards", "STATS SHARDS"),
+            ("stats server", "STATS SERVER"),
             ("append node 20 777", "APPEND NODE 20 777"),
             ("APPEND DELNODE 21 5", "APPEND DELNODE 21 5"),
             ("append edge 21 500 777 1", "APPEND EDGE 21 500 777 1"),

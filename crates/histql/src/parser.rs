@@ -74,6 +74,8 @@ impl Parser {
                     Ok(Query::CacheStats)
                 } else if self.eat_keyword("SHARDS") {
                     Ok(Query::ShardStats)
+                } else if self.eat_keyword("SERVER") {
+                    Ok(Query::ServerStats)
                 } else {
                     Ok(Query::Stats)
                 }

@@ -112,6 +112,8 @@ pub enum Response {
         entries: Vec<CacheEntryInfo>,
         /// Response-cache capacity in entries (0 = disabled).
         response_capacity: usize,
+        /// Response-cache byte budget (0 = uncapped).
+        response_byte_budget: u64,
         /// Number of framed replies currently cached.
         response_entries: usize,
         /// The response cache's behavior counters (the `RC` line).
@@ -123,6 +125,13 @@ pub enum Response {
     Shards {
         /// One entry per shard, in time order (tail last).
         shards: Vec<ShardInfo>,
+    },
+    /// Serving-core counters (`STATS SERVER`): the event loop's connection
+    /// totals, the worker pool's queue depth, and the single-flight table's
+    /// coalescing counters.
+    Server {
+        /// The counter snapshot.
+        counters: ServerCounters,
     },
     /// An `APPEND` was applied.
     Appended {
@@ -151,6 +160,59 @@ pub enum Response {
     Bye,
     /// Reply to `PING`.
     Pong,
+}
+
+/// The counter snapshot behind a `STATS SERVER` reply.
+///
+/// Connection and queue counters come from the serving core; the `sf_*`
+/// counters from the single-flight render table. Everything is a plain
+/// point-in-time `u64` so the reply is encoding-agnostic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// Connections currently open.
+    pub live_connections: u64,
+    /// Connections accepted since the server started.
+    pub accepted: u64,
+    /// Connections refused (`ERR server busy`) at the cap.
+    pub rejected: u64,
+    /// Requests parsed and waiting for a worker right now.
+    pub queue_depth: u64,
+    /// Worker threads executing requests.
+    pub workers: u64,
+    /// Point renders that led a single-flight (one per coalescible miss).
+    pub sf_leaders: u64,
+    /// Requests served another request's render (the coalesced count).
+    pub sf_coalesced: u64,
+    /// Followers that re-rendered because the shared result was stale.
+    pub sf_stale_rerenders: u64,
+}
+
+impl Encode for ServerCounters {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.live_connections.encode(buf);
+        self.accepted.encode(buf);
+        self.rejected.encode(buf);
+        self.queue_depth.encode(buf);
+        self.workers.encode(buf);
+        self.sf_leaders.encode(buf);
+        self.sf_coalesced.encode(buf);
+        self.sf_stale_rerenders.encode(buf);
+    }
+}
+
+impl Decode for ServerCounters {
+    fn decode(r: &mut Reader<'_>) -> tgraph::Result<Self> {
+        Ok(ServerCounters {
+            live_connections: u64::decode(r)?,
+            accepted: u64::decode(r)?,
+            rejected: u64::decode(r)?,
+            queue_depth: u64::decode(r)?,
+            workers: u64::decode(r)?,
+            sf_leaders: u64::decode(r)?,
+            sf_coalesced: u64::decode(r)?,
+            sf_stale_rerenders: u64::decode(r)?,
+        })
+    }
 }
 
 /// One row of a `HISTORY NODE` response.
@@ -285,6 +347,7 @@ impl Response {
                 overlays,
                 entries,
                 response_capacity,
+                response_byte_budget,
                 response_entries,
                 response,
             } => {
@@ -299,7 +362,8 @@ impl Response {
                     stats.evictions
                 ));
                 out.push(format!(
-                    "RC entries={response_entries} capacity={response_capacity} hits={} \
+                    "RC entries={response_entries} capacity={response_capacity} \
+                     byte_budget={response_byte_budget} hits={} \
                      misses={} insertions={} invalidations={} evictions={} bytes={}",
                     response.hits,
                     response.misses,
@@ -341,6 +405,21 @@ impl Response {
                         s.response.misses
                     ));
                 }
+            }
+            Response::Server { counters } => {
+                out.push(format!(
+                    "OK SERVER connections={} accepted={} rejected={} \
+                     queue_depth={} workers={}",
+                    counters.live_connections,
+                    counters.accepted,
+                    counters.rejected,
+                    counters.queue_depth,
+                    counters.workers
+                ));
+                out.push(format!(
+                    "SF leaders={} coalesced={} stale_rerenders={}",
+                    counters.sf_leaders, counters.sf_coalesced, counters.sf_stale_rerenders
+                ));
             }
             Response::Appended { t } => out.push(format!("OK APPENDED t={}", t.raw())),
             Response::Bound { key, node } => out.push(format!("OK BOUND {} {node}", quote(key))),
@@ -600,6 +679,7 @@ impl Encode for Response {
                 overlays,
                 entries,
                 response_capacity,
+                response_byte_budget,
                 response_entries,
                 response,
             } => {
@@ -609,6 +689,7 @@ impl Encode for Response {
                 overlays.encode(buf);
                 entries.encode(buf);
                 response_capacity.encode(buf);
+                response_byte_budget.encode(buf);
                 response_entries.encode(buf);
                 response.encode(buf);
             }
@@ -619,6 +700,10 @@ impl Encode for Response {
             Response::Shards { shards } => {
                 buf.push(13);
                 shards.encode(buf);
+            }
+            Response::Server { counters } => {
+                buf.push(14);
+                counters.encode(buf);
             }
             Response::Bound { key, node } => {
                 buf.push(8);
@@ -695,6 +780,7 @@ impl Decode for Response {
                 overlays: usize::decode(r)?,
                 entries: Vec::<CacheEntryInfo>::decode(r)?,
                 response_capacity: usize::decode(r)?,
+                response_byte_budget: u64::decode(r)?,
                 response_entries: usize::decode(r)?,
                 response: ResponseCacheStats::decode(r)?,
             },
@@ -715,6 +801,9 @@ impl Decode for Response {
             12 => Response::Bye,
             13 => Response::Shards {
                 shards: Vec::<ShardInfo>::decode(r)?,
+            },
+            14 => Response::Server {
+                counters: ServerCounters::decode(r)?,
             },
             t => return Err(TgError::Codec(format!("invalid Response tag {t}"))),
         })
@@ -989,6 +1078,7 @@ mod tests {
                     refs: 2,
                 }],
                 response_capacity: 16,
+                response_byte_budget: 65536,
                 response_entries: 1,
                 response: ResponseCacheStats {
                     hits: 9,
@@ -1037,6 +1127,18 @@ mod tests {
                         response: ResponseCacheStats::default(),
                     },
                 ],
+            },
+            Response::Server {
+                counters: ServerCounters {
+                    live_connections: 12,
+                    accepted: 100,
+                    rejected: 3,
+                    queue_depth: 2,
+                    workers: 4,
+                    sf_leaders: 40,
+                    sf_coalesced: 360,
+                    sf_stale_rerenders: 1,
+                },
             },
             Response::Appended { t: Timestamp(20) },
             Response::Bound {

@@ -4,6 +4,7 @@
 //! cargo run --release -p server --bin histql_server -- \
 //!     [--addr 127.0.0.1:7171] [--toy | --churn] [--scale 1.0] \
 //!     [--max-conns 64] [--cache 128] [--resp-cache 128] \
+//!     [--resp-cache-bytes 0] [--workers 4] [--threaded] \
 //!     [--shards 1] [--shard-events 0]
 //! ```
 //!
@@ -13,6 +14,15 @@
 //! `--resp-cache N` sizes the rendered-response byte cache on top of it:
 //! hot point replies are served as pre-framed bytes (text or binary, per
 //! the session's `PROTOCOL`) with zero per-request rendering.
+//! `--resp-cache-bytes B` additionally caps that cache's total payload
+//! bytes per shard (0 = entry count only); the least recently used entries
+//! are evicted until the cache fits.
+//!
+//! The server runs on the event-driven core by default: one reactor thread
+//! multiplexes all connections, `--workers N` threads execute requests,
+//! and concurrent identical point queries are coalesced into single
+//! renders (`STATS SERVER` shows the counters). `--threaded` selects the
+//! original thread-per-connection core instead (the benchmark baseline).
 //!
 //! `--shards N` splits the serving layer into N time-range shards behind a
 //! router (equi-width over the built history): reads route to the shard
@@ -34,7 +44,7 @@
 
 use historygraph::datagen::{churn_trace, toy_trace, ChurnConfig};
 use historygraph::{GraphManagerConfig, ShardedConfig, ShardedGraphManager};
-use server::{serve_sharded, ServerConfig};
+use server::{serve_sharded, serve_sharded_threaded, ServerConfig};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -58,6 +68,13 @@ fn main() {
     let resp_cache: usize = arg_value("--resp-cache")
         .and_then(|v| v.parse().ok())
         .unwrap_or(128);
+    let resp_cache_bytes: u64 = arg_value("--resp-cache-bytes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let workers: usize = arg_value("--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let threaded = std::env::args().any(|a| a == "--threaded");
     let shards: usize = arg_value("--shards")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1)
@@ -86,7 +103,8 @@ fn main() {
             .with_manager(
                 GraphManagerConfig::default()
                     .with_snapshot_cache(cache)
-                    .with_response_cache(resp_cache),
+                    .with_response_cache(resp_cache)
+                    .with_response_cache_bytes(resp_cache_bytes),
             ),
     )
     .expect("index construction");
@@ -99,19 +117,23 @@ fn main() {
         let (_, end) = last.read().index().history_range().expect("non-empty");
         (start, end)
     };
-    let server = serve_sharded(
-        router,
-        ServerConfig {
-            addr,
-            max_connections,
-            ..Default::default()
-        },
-    )
+    let config = ServerConfig {
+        addr,
+        max_connections,
+        worker_threads: workers,
+        ..Default::default()
+    };
+    let server = if threaded {
+        serve_sharded_threaded(router, config)
+    } else {
+        serve_sharded(router, config)
+    }
     .expect("bind");
     println!(
-        "histql server on {} — history [{start}, {end}], {} shard(s)",
+        "histql server on {} — history [{start}, {end}], {} shard(s), {} core",
         server.addr(),
-        infos.len()
+        infos.len(),
+        if threaded { "threaded" } else { "event" }
     );
     // Serve until killed.
     loop {

@@ -1,0 +1,899 @@
+//! The event-driven serving core: one reactor thread multiplexing every
+//! connection over a readiness poller, plus a fixed worker pool executing
+//! parsed requests.
+//!
+//! ## Life of a query
+//!
+//! 1. The **reactor** owns the listener and every connection's socket,
+//!    read buffer, and outbox. On read readiness it drains the socket into
+//!    the connection's buffer and splits off complete request lines
+//!    (bounded by [`MAX_LINE_BYTES`], exactly like the threaded core).
+//! 2. A parsed line is pushed onto the **worker queue** together with the
+//!    connection's [`Executor`] — the executor is *checked out*, which is
+//!    what serializes a session: at most one request per connection is in
+//!    flight, later pipelined lines stay buffered until the executor
+//!    returns.
+//! 3. A **worker** pops the item, runs `execute_framed` (snapshot cache →
+//!    single-flight table → response byte cache → render), and pushes the
+//!    framed reply plus the executor onto the completion list, waking the
+//!    reactor through the poller's [`Waker`].
+//! 4. The reactor reinstalls the executor, appends the reply to the
+//!    connection's outbox, and writes as much as the socket accepts,
+//!    keeping write interest registered for the rest.
+//!
+//! ## Backpressure and limits
+//!
+//! A connection whose executor is checked out and whose buffer already
+//! holds [`MAX_LINE_BYTES`] is deregistered from the poller until the
+//! executor returns — a client cannot grow server memory by pipelining
+//! faster than it executes. Connections over the cap are refused with
+//! `ERR server busy`.
+//!
+//! ## Drain
+//!
+//! Shutdown mirrors the threaded core: idle connections (executor home,
+//! outbox empty) are closed immediately — the client observes EOF — while
+//! connections with a request in flight get their response written in
+//! full before closing. Whatever remains past the deadline is
+//! force-closed; executors still out with a worker are dropped (releasing
+//! their pool overlays) when the completion surfaces.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use epoll::{Events, Interest, Poller, Token, Waker};
+use historygraph::ShardedGraphManager;
+use histql::{frame_error, Executor, FlightTable, Reply, Response, ServerStats};
+
+use crate::{ServerConfig, MAX_LINE_BYTES};
+
+/// Poller token of the listening socket; connection tokens start above it.
+const LISTENER_TOKEN: usize = 0;
+
+/// Idle connections are swept after this long without a request — the
+/// event-core replacement for the threaded core's per-socket read timeout.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// How often the reactor wakes to run the idle sweep.
+const SWEEP_INTERVAL: Duration = Duration::from_secs(30);
+
+/// One request checked out to the worker pool.
+struct Work {
+    token: usize,
+    line: String,
+    executor: Executor,
+}
+
+/// A finished request on its way back to the reactor.
+struct Completion {
+    token: usize,
+    reply: Reply,
+    executor: Executor,
+}
+
+/// The queue feeding the worker pool.
+#[derive(Default)]
+struct WorkQueue {
+    state: Mutex<(VecDeque<Work>, bool)>,
+    cv: Condvar,
+}
+
+impl WorkQueue {
+    fn push(&self, work: Work) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.0.push_back(work);
+        drop(state);
+        self.cv.notify_one();
+    }
+
+    /// Blocks for the next item; `None` once closed and drained.
+    fn pop(&self) -> Option<Work> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(work) = state.0.pop_front() {
+                return Some(work);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).1 = true;
+        self.cv.notify_all();
+    }
+}
+
+/// One multiplexed connection, owned by the reactor.
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed request bytes.
+    read_buf: Vec<u8>,
+    /// Reply bytes not yet written, from `out_pos` on.
+    outbox: Vec<u8>,
+    out_pos: usize,
+    /// The session's executor; `None` while a worker runs its request.
+    executor: Option<Executor>,
+    /// Close once the outbox is flushed; parse no further requests.
+    closing: bool,
+    /// The peer closed its write half (EOF observed).
+    peer_eof: bool,
+    /// Interest currently registered with the poller ([`Interest::NONE`]
+    /// means the fd is deregistered — backpressure masking).
+    interest: Interest,
+    /// Last time a complete request arrived (for the idle sweep).
+    last_activity: Instant,
+}
+
+impl Conn {
+    fn busy(&self) -> bool {
+        self.executor.is_none()
+    }
+
+    fn has_output(&self) -> bool {
+        self.out_pos < self.outbox.len()
+    }
+
+    /// The readiness classes this connection currently needs. Reads are
+    /// masked while the executor is out and the buffer is already full
+    /// (backpressure), and once the connection is closing or the peer
+    /// EOFed (no further requests will be parsed).
+    fn desired_interest(&self) -> Interest {
+        let wants_read = !(self.closing
+            || self.peer_eof
+            || (self.busy() && self.read_buf.len() >= MAX_LINE_BYTES));
+        match (wants_read, self.has_output()) {
+            (true, true) => Interest::BOTH,
+            (true, false) => Interest::READABLE,
+            (false, true) => Interest::WRITABLE,
+            (false, false) => Interest::NONE,
+        }
+    }
+}
+
+/// Outcome of scanning the read buffer for the next request line.
+enum NextLine {
+    Line(String),
+    TooLong,
+    NeedMore,
+}
+
+/// Splits the next `\n`-terminated line off `buf` (lossily decoded, like
+/// the threaded core's bounded reader). At EOF a non-empty unterminated
+/// tail still counts as a line.
+fn take_line(buf: &mut Vec<u8>, eof: bool) -> NextLine {
+    if let Some(i) = buf.iter().position(|&b| b == b'\n') {
+        if i + 1 > MAX_LINE_BYTES {
+            return NextLine::TooLong;
+        }
+        let line = String::from_utf8_lossy(&buf[..=i]).into_owned();
+        buf.drain(..=i);
+        return NextLine::Line(line);
+    }
+    if buf.len() > MAX_LINE_BYTES {
+        return NextLine::TooLong;
+    }
+    if eof && !buf.is_empty() {
+        let line = String::from_utf8_lossy(buf).into_owned();
+        buf.clear();
+        return NextLine::Line(line);
+    }
+    NextLine::NeedMore
+}
+
+/// The event-driven serving core behind a [`crate::ServerHandle`].
+pub(crate) struct Core {
+    shutdown: Arc<AtomicBool>,
+    force: Arc<AtomicBool>,
+    /// Live connections plus closed connections whose executor is still
+    /// checked out (their overlays are not yet released).
+    active: Arc<AtomicUsize>,
+    waker: Waker,
+    reactor: Option<JoinHandle<()>>,
+}
+
+impl Core {
+    pub(crate) fn active(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn shutdown_within(&mut self, deadline: Duration) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.waker.wake();
+        if !self.await_quiesce(deadline) {
+            self.force.store(true, Ordering::SeqCst);
+            self.waker.wake();
+            self.await_quiesce(deadline);
+        }
+        if let Some(t) = self.reactor.take() {
+            let _ = t.join();
+        }
+    }
+
+    fn await_quiesce(&self, deadline: Duration) -> bool {
+        let until = Instant::now() + deadline;
+        while self.active.load(Ordering::SeqCst) > 0 {
+            if Instant::now() >= until {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        true
+    }
+}
+
+/// Starts the reactor and worker pool; returns once the listener is bound.
+pub(crate) fn start(
+    router: ShardedGraphManager,
+    config: &ServerConfig,
+) -> io::Result<(SocketAddr, Core)> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let force = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+    let stats = Arc::new(ServerStats::new());
+    let flights = Arc::new(FlightTable::new());
+    let queue = Arc::new(WorkQueue::default());
+    let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let mut poller = Poller::new()?;
+    let waker = poller.waker()?;
+    poller.register(
+        listener.as_raw_fd(),
+        Token(LISTENER_TOKEN),
+        Interest::READABLE,
+    )?;
+
+    let workers = config.worker_threads.max(1);
+    stats.workers.store(workers as u64, Ordering::Relaxed);
+    for _ in 0..workers {
+        let queue = Arc::clone(&queue);
+        let completions = Arc::clone(&completions);
+        let worker_waker = poller.waker()?;
+        let stats = Arc::clone(&stats);
+        thread::spawn(move || {
+            while let Some(mut work) = queue.pop() {
+                stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                let reply = work.executor.execute_framed(&work.line);
+                completions
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(Completion {
+                        token: work.token,
+                        reply,
+                        executor: work.executor,
+                    });
+                worker_waker.wake();
+            }
+        });
+    }
+
+    let reactor = {
+        let shutdown = Arc::clone(&shutdown);
+        let force = Arc::clone(&force);
+        let active = Arc::clone(&active);
+        let max_connections = config.max_connections;
+        thread::spawn(move || {
+            let mut r = Reactor {
+                poller,
+                listener: Some(listener),
+                router,
+                conns: ConnSlab::new(),
+                pending_exec: 0,
+                queue,
+                completions,
+                stats,
+                flights,
+                active,
+                max_connections,
+                draining: false,
+                scratch: vec![0u8; 16 * 1024],
+            };
+            r.run(&shutdown, &force);
+            // Closing the queue releases the workers once it drains; any
+            // completion they still push simply drops its executor when
+            // the last queue/completions reference goes away.
+            r.queue.close();
+        })
+    };
+
+    Ok((
+        addr,
+        Core {
+            shutdown,
+            force,
+            active,
+            waker,
+            reactor: Some(reactor),
+        },
+    ))
+}
+
+/// Slot half of a slab token; the rest is the slot's reuse generation.
+/// 2^20 slots bounds concurrent connections at ~1M, far above any
+/// realistic `max_connections`, while leaving ≥ 12 generation bits even
+/// on 32-bit targets.
+const SLOT_BITS: u32 = 20;
+const SLOT_MASK: usize = (1 << SLOT_BITS) - 1;
+
+/// Generation-tagged connection slab. Tokens index a contiguous slot
+/// vector directly — no hashing on the per-event hot path — and carry the
+/// slot's generation so a completion for a closed connection can never
+/// reach a later connection that reused the slot. Slot numbers are offset
+/// by one inside the token so no token collides with [`LISTENER_TOKEN`].
+struct ConnSlab {
+    slots: Vec<(usize, Option<Conn>)>,
+    free: Vec<usize>,
+    live: usize,
+}
+
+impl ConnSlab {
+    fn new() -> ConnSlab {
+        ConnSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn token_for(slot: usize, generation: usize) -> usize {
+        (generation << SLOT_BITS) | (slot + 1)
+    }
+
+    fn parts(token: usize) -> (usize, usize) {
+        ((token & SLOT_MASK) - 1, token >> SLOT_BITS)
+    }
+
+    fn insert(&mut self, conn: Conn) -> usize {
+        let slot = self.free.pop().unwrap_or_else(|| {
+            // Generations start at 1 so no token is ever LISTENER_TOKEN.
+            self.slots.push((1, None));
+            self.slots.len() - 1
+        });
+        assert!(slot < SLOT_MASK, "connection slab exhausted");
+        let generation = self.slots[slot].0;
+        self.slots[slot].1 = Some(conn);
+        self.live += 1;
+        Self::token_for(slot, generation)
+    }
+
+    fn get_mut(&mut self, token: usize) -> Option<&mut Conn> {
+        let (slot, generation) = Self::parts(token);
+        match self.slots.get_mut(slot) {
+            Some((g, Some(conn))) if *g == generation => Some(conn),
+            _ => None,
+        }
+    }
+
+    fn remove(&mut self, token: usize) -> Option<Conn> {
+        let (slot, generation) = Self::parts(token);
+        match self.slots.get_mut(slot) {
+            Some((g, c @ Some(_))) if *g == generation => {
+                // Bump the generation (masked so reuse stays encodable on
+                // 32-bit targets) and recycle the slot.
+                *g = (*g + 1) & (usize::MAX >> SLOT_BITS);
+                if *g == 0 {
+                    *g = 1;
+                }
+                self.free.push(slot);
+                self.live -= 1;
+                c.take()
+            }
+            _ => None,
+        }
+    }
+
+    /// Tokens of every live connection (snapshot, for mutate-while-walking
+    /// sweeps).
+    fn tokens(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, c))| c.is_some())
+            .map(|(slot, (g, _))| Self::token_for(slot, *g))
+            .collect()
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (usize, &Conn)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, (g, c))| c.as_ref().map(|c| (Self::token_for(slot, *g), c)))
+    }
+}
+
+struct Reactor {
+    poller: Poller,
+    listener: Option<TcpListener>,
+    router: ShardedGraphManager,
+    conns: ConnSlab,
+    /// Executors checked out for connections that no longer exist.
+    pending_exec: usize,
+    queue: Arc<WorkQueue>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    stats: Arc<ServerStats>,
+    flights: Arc<FlightTable>,
+    active: Arc<AtomicUsize>,
+    max_connections: usize,
+    draining: bool,
+    /// Reusable read scratch — allocating (and zeroing) a fresh chunk
+    /// buffer per readiness event costs a visible fraction of a request
+    /// at six-figure event rates.
+    scratch: Vec<u8>,
+}
+
+impl Reactor {
+    fn run(&mut self, shutdown: &AtomicBool, force: &AtomicBool) {
+        let mut events = Events::new();
+        let mut last_sweep = Instant::now();
+        loop {
+            if self.poller.wait(&mut events, Some(SWEEP_INTERVAL)).is_err() {
+                // A failing poller leaves no way to serve anything.
+                break;
+            }
+            for event in events.iter() {
+                let token = event.token().0;
+                if token == LISTENER_TOKEN {
+                    self.accept_ready();
+                    continue;
+                }
+                if event.is_readable() {
+                    self.conn_readable(token);
+                }
+                if event.is_writable() {
+                    self.conn_writable(token);
+                }
+            }
+            self.drain_completions(shutdown);
+            if shutdown.load(Ordering::SeqCst) && !self.draining {
+                self.begin_drain();
+            }
+            if force.load(Ordering::SeqCst) {
+                self.force_close_all();
+            }
+            if last_sweep.elapsed() >= SWEEP_INTERVAL {
+                self.sweep_idle();
+                last_sweep = Instant::now();
+            }
+            if self.draining
+                && self.conns.is_empty()
+                && (self.pending_exec == 0 || force.load(Ordering::SeqCst))
+            {
+                break;
+            }
+        }
+    }
+
+    fn publish_active(&self) {
+        let n = self.conns.len() + self.pending_exec;
+        self.active.store(n, Ordering::SeqCst);
+        self.stats
+            .live_connections
+            .store(self.conns.len() as u64, Ordering::Relaxed);
+    }
+
+    // --- accept ----------------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = self.listener.as_ref() else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => self.admit(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return, // transient (per-connection) accept error
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        if self.draining {
+            return; // dropped: the listener is about to go away anyway
+        }
+        if self.conns.len() >= self.max_connections {
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            refuse(stream);
+            return;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let executor = Executor::for_router(self.router.clone())
+            .with_flights(Arc::clone(&self.flights))
+            .with_server_stats(Arc::clone(&self.stats));
+        let fd = stream.as_raw_fd();
+        let token = self.conns.insert(Conn {
+            stream,
+            read_buf: Vec::new(),
+            outbox: Vec::new(),
+            out_pos: 0,
+            executor: Some(executor),
+            closing: false,
+            peer_eof: false,
+            interest: Interest::READABLE,
+            last_activity: Instant::now(),
+        });
+        if self
+            .poller
+            .register(fd, Token(token), Interest::READABLE)
+            .is_err()
+        {
+            let conn = self.conns.remove(token).expect("just inserted");
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            refuse(conn.stream);
+            return;
+        }
+        self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        self.publish_active();
+    }
+
+    // --- per-connection I/O ----------------------------------------------
+
+    fn conn_readable(&mut self, token: usize) {
+        let mut failed = false;
+        {
+            let Some(conn) = self.conns.get_mut(token) else {
+                return;
+            };
+            if !conn.interest.is_readable() {
+                // Stale event for a connection that since masked its
+                // reads; the next executor return unmasks and reads.
+                return;
+            }
+            let chunk = &mut self.scratch[..];
+            loop {
+                match conn.stream.read(chunk) {
+                    Ok(0) => {
+                        conn.peer_eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.read_buf.extend_from_slice(&chunk[..n]);
+                        if conn.busy() && conn.read_buf.len() >= MAX_LINE_BYTES {
+                            break; // backpressure: stop pulling input
+                        }
+                        if n < chunk.len() {
+                            // Short read: the socket is almost certainly
+                            // drained. Skip the would-be EAGAIN round trip;
+                            // level-triggered readiness re-reports any
+                            // bytes that did arrive in the meantime.
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if failed {
+            self.close(token);
+            return;
+        }
+        self.process_lines(token);
+        self.settle(token);
+    }
+
+    fn conn_writable(&mut self, token: usize) {
+        if self.try_write(token) {
+            self.settle(token);
+        }
+    }
+
+    /// Writes as much buffered output as the socket accepts. Returns
+    /// `false` when the connection is gone or was closed on a write error.
+    fn try_write(&mut self, token: usize) -> bool {
+        let mut failed = false;
+        {
+            let Some(conn) = self.conns.get_mut(token) else {
+                return false;
+            };
+            while conn.out_pos < conn.outbox.len() {
+                match conn.stream.write(&conn.outbox[conn.out_pos..]) {
+                    Ok(0) => {
+                        failed = true;
+                        break;
+                    }
+                    Ok(n) => conn.out_pos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            if !failed && conn.out_pos == conn.outbox.len() {
+                conn.outbox.clear();
+                conn.out_pos = 0;
+            }
+        }
+        if failed {
+            self.close(token);
+            return false;
+        }
+        true
+    }
+
+    /// Parses buffered lines while the session is idle, dispatching at
+    /// most one request to the pool (the executor checkout serializes the
+    /// session; the rest stay buffered).
+    fn process_lines(&mut self, token: usize) {
+        loop {
+            let Some(conn) = self.conns.get_mut(token) else {
+                return;
+            };
+            if conn.busy() || conn.closing {
+                return;
+            }
+            match take_line(&mut conn.read_buf, conn.peer_eof) {
+                NextLine::Line(line) => {
+                    let request = line.trim();
+                    if request.is_empty() {
+                        continue;
+                    }
+                    conn.last_activity = Instant::now();
+                    if request.eq_ignore_ascii_case("QUIT") {
+                        // Handled outside the language; the goodbye honors
+                        // the session's current encoding.
+                        let proto = conn
+                            .executor
+                            .as_ref()
+                            .expect("idle conn has executor")
+                            .protocol();
+                        let bye = Response::Bye.to_frame(proto);
+                        conn.outbox.extend_from_slice(&bye);
+                        conn.closing = true;
+                        return;
+                    }
+                    // Cache-resident hot points are answered right here in
+                    // the reactor — no executor checkout, no worker-pool
+                    // round trip. Anything that might render or block
+                    // takes the pool.
+                    let fast = conn
+                        .executor
+                        .as_mut()
+                        .expect("idle conn has executor")
+                        .try_execute_hot(request);
+                    if let Some(reply) = fast {
+                        let bytes = reply.as_ref();
+                        let mut written = 0;
+                        if !conn.has_output() {
+                            // Write straight from the shared reply bytes;
+                            // only the tail the socket refuses is copied
+                            // into the outbox. Errors are left for the
+                            // settle/write path to observe and close on.
+                            loop {
+                                match conn.stream.write(&bytes[written..]) {
+                                    Ok(0) => break,
+                                    Ok(n) => {
+                                        written += n;
+                                        if written == bytes.len() {
+                                            break;
+                                        }
+                                    }
+                                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                                    Err(_) => break,
+                                }
+                            }
+                        }
+                        if written < bytes.len() {
+                            conn.outbox.extend_from_slice(&bytes[written..]);
+                        }
+                        continue;
+                    }
+                    let executor = conn.executor.take().expect("idle conn has executor");
+                    let line = request.to_string();
+                    self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+                    self.queue.push(Work {
+                        token,
+                        line,
+                        executor,
+                    });
+                }
+                NextLine::TooLong => {
+                    let proto = conn
+                        .executor
+                        .as_ref()
+                        .expect("idle conn has executor")
+                        .protocol();
+                    conn.outbox
+                        .extend_from_slice(&frame_error("request line too long", proto));
+                    conn.closing = true;
+                    return;
+                }
+                NextLine::NeedMore => {
+                    if conn.peer_eof {
+                        // No further requests will ever arrive.
+                        conn.closing = true;
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Flushes, closes a finished connection, and refreshes poller
+    /// interest — the epilogue of every state change.
+    fn settle(&mut self, token: usize) {
+        if !self.try_write(token) {
+            return; // gone, or closed on a write error
+        }
+        let done = {
+            let Some(conn) = self.conns.get_mut(token) else {
+                return;
+            };
+            // `closing` finishes once the reply is flushed and no request
+            // is in flight; an EOFed idle connection with nothing left to
+            // say is likewise done.
+            (conn.closing || conn.peer_eof) && !conn.busy() && !conn.has_output()
+        };
+        if done {
+            self.close(token);
+            return;
+        }
+        self.update_interest(token);
+    }
+
+    /// Syncs the poller registration with the connection's needs.
+    /// [`Interest::NONE`] deregisters the fd entirely — with level-
+    /// triggered readiness that is the only way to actually silence it.
+    fn update_interest(&mut self, token: usize) {
+        let Some(conn) = self.conns.get_mut(token) else {
+            return;
+        };
+        let desired = conn.desired_interest();
+        if desired == conn.interest {
+            return;
+        }
+        let fd = conn.stream.as_raw_fd();
+        let result = if desired == Interest::NONE {
+            self.poller.deregister(fd)
+        } else if conn.interest == Interest::NONE {
+            self.poller.register(fd, Token(token), desired)
+        } else {
+            self.poller.reregister(fd, Token(token), desired)
+        };
+        if result.is_ok() {
+            conn.interest = desired;
+        }
+    }
+
+    /// Removes a connection. If its executor is checked out, the token is
+    /// remembered so the eventual completion drops the executor (and its
+    /// pool overlays).
+    fn close(&mut self, token: usize) {
+        if let Some(conn) = self.conns.remove(token) {
+            if conn.interest != Interest::NONE {
+                let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            }
+            if conn.executor.is_none() {
+                self.pending_exec += 1;
+            }
+            // conn (stream + executor, if home) drops here.
+        }
+        self.publish_active();
+    }
+
+    // --- completions ------------------------------------------------------
+
+    fn drain_completions(&mut self, shutdown: &AtomicBool) {
+        let done: Vec<Completion> = {
+            let mut list = self
+                .completions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            std::mem::take(&mut *list)
+        };
+        for completion in done {
+            let token = completion.token;
+            let installed = match self.conns.get_mut(token) {
+                Some(conn) => {
+                    conn.outbox.extend_from_slice(completion.reply.as_ref());
+                    conn.executor = Some(completion.executor);
+                    if shutdown.load(Ordering::SeqCst) {
+                        // Draining: the in-flight request got its
+                        // response; close once it is flushed.
+                        conn.closing = true;
+                    }
+                    true
+                }
+                None => {
+                    // The connection died while its request ran; dropping
+                    // the executor here releases its overlays.
+                    self.pending_exec = self.pending_exec.saturating_sub(1);
+                    self.publish_active();
+                    false
+                }
+            };
+            if installed {
+                if !shutdown.load(Ordering::SeqCst) {
+                    self.process_lines(token);
+                }
+                self.settle(token);
+            }
+        }
+    }
+
+    // --- drain and sweep --------------------------------------------------
+
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(listener.as_raw_fd());
+        }
+        let tokens: Vec<usize> = self.conns.tokens();
+        for token in tokens {
+            let close_now = {
+                let Some(conn) = self.conns.get_mut(token) else {
+                    continue;
+                };
+                // In-flight or unflushed connections finish their reply
+                // first (the completion/write paths close them); idle
+                // sessions observe EOF immediately.
+                conn.closing = true;
+                !conn.busy() && !conn.has_output()
+            };
+            if close_now {
+                self.close(token);
+            } else {
+                self.settle(token);
+            }
+        }
+    }
+
+    fn force_close_all(&mut self) {
+        let tokens: Vec<usize> = self.conns.tokens();
+        for token in tokens {
+            self.close(token);
+        }
+    }
+
+    fn sweep_idle(&mut self) {
+        let doomed: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| !c.busy() && c.last_activity.elapsed() >= IDLE_TIMEOUT)
+            .map(|(t, _)| t)
+            .collect();
+        for token in doomed {
+            self.close(token);
+        }
+    }
+}
+
+fn refuse(stream: TcpStream) {
+    // The socket buffer of a fresh connection always has room for this
+    // short refusal; a failed write means the peer is already gone.
+    let mut stream = stream;
+    let _ = stream.write_all(b"ERR server busy\nEND\n");
+}

@@ -1,30 +1,38 @@
 //! # server — a concurrent TCP snapshot server speaking `histql`
 //!
-//! Std-only (``TcpListener`` + thread per connection, bounded by a
-//! connection cap). All sessions share one [`ShardedGraphManager`] router
-//! (a single shard when started through [`serve`]): snapshot computation
-//! runs under the owning shard's read lock so retrievals proceed
-//! concurrently, while `APPEND` takes only the tail shard's write lock —
-//! live events flow in without contending with historical reads on other
-//! shards. Each connection owns a [`histql::Executor`], whose sharded
-//! session releases every overlay the connection created (on every shard
-//! it touched) when it disconnects, so a dropped client can never leak
-//! GraphPool bits.
+//! Std-only. The default serving core ([`serve`] / [`serve_sharded`]) is
+//! **event-driven**: one reactor thread multiplexes every connection over a
+//! readiness poller (`epoll` on linux, `poll` elsewhere — see the `epoll`
+//! shim crate) and a fixed worker pool executes parsed requests, so
+//! thousands of mostly-idle connections cost file descriptors, not OS
+//! threads. The original thread-per-connection core is still available
+//! ([`serve_threaded`] / [`serve_sharded_threaded`]) as the benchmark
+//! baseline. Framing, limits, refusal, and drain semantics are identical
+//! between the two.
+//!
+//! All sessions share one [`ShardedGraphManager`] router (a single shard
+//! when started through [`serve`]): snapshot computation runs under the
+//! owning shard's read lock so retrievals proceed concurrently, while
+//! `APPEND` takes only the tail shard's write lock — live events flow in
+//! without contending with historical reads on other shards. Each
+//! connection owns a [`histql::Executor`], whose sharded session releases
+//! every overlay the connection created (on every shard it touched) when
+//! it disconnects, so a dropped client can never leak GraphPool bits.
 //!
 //! Point retrievals are served through the shared snapshot cache (when the
 //! [`SharedGraphManager`]'s manager was configured with one): sessions
 //! asking for the same `(t, opts)` share one reference-counted pool
 //! overlay, and `RELEASE ALL` / disconnect drop only the session's own
-//! references.
+//! references. Hot `GET GRAPH AT` replies are additionally served through
+//! the rendered-response byte cache (when configured), and concurrent
+//! cache misses for the same `(t, opts, protocol)` are **coalesced**: a
+//! single-flight table makes one session render while the rest wait and
+//! share the framed bytes (see `histql::FlightTable`). `STATS SERVER`
+//! reports the event core's connection, queue, and coalescing counters.
 //!
 //! Shutdown drains with a deadline ([`ServerHandle::shutdown_within`]):
 //! idle sessions are closed immediately, in-flight requests get to finish,
 //! and stragglers are force-closed when the deadline passes.
-//!
-//! Hot `GET GRAPH AT` replies are additionally served through the
-//! rendered-response byte cache (when configured): the first render of a
-//! `(t, opts, protocol)` is cached as fully framed bytes and every later
-//! hit is written to the socket with zero per-request rendering.
 //!
 //! ## Wire protocol
 //!
@@ -49,18 +57,15 @@
 //! S: END
 //! ```
 
-use std::collections::HashMap;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::{self, JoinHandle};
-use std::time::{Duration, Instant};
+use std::io::{self, BufRead};
+use std::net::SocketAddr;
+use std::time::Duration;
 
 use historygraph::{ShardedGraphManager, SharedGraphManager};
-use histql::{frame_error, Executor, Response};
 
 pub mod client;
+mod event;
+mod threaded;
 
 pub use client::Client;
 
@@ -79,6 +84,10 @@ pub struct ServerConfig {
     /// How long [`ServerHandle::shutdown`] waits for connections to finish
     /// on their own before force-closing the remaining (idle) sessions.
     pub drain_timeout: Duration,
+    /// Worker threads executing requests in the event-driven core (clamped
+    /// to at least 1; ignored by the threaded core, which spends a thread
+    /// per connection instead).
+    pub worker_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -87,65 +96,21 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             max_connections: 64,
             drain_timeout: Duration::from_secs(5),
+            worker_threads: 4,
         }
     }
 }
 
-/// Registry of the streams behind live connections, so a draining shutdown
-/// can reach sessions that sit idle in a blocking read.
-#[derive(Default)]
-struct ConnRegistry {
-    streams: Mutex<HashMap<u64, TcpStream>>,
-    next_id: AtomicU64,
-}
-
-impl ConnRegistry {
-    fn register(&self, stream: TcpStream) -> u64 {
-        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
-        self.streams
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(id, stream);
-        id
-    }
-
-    fn deregister(&self, id: u64) {
-        self.streams
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .remove(&id);
-    }
-
-    /// Shuts down the *read* half of every registered stream. A session
-    /// parked in a blocking read observes EOF and exits cleanly; a session
-    /// mid-request is untouched on the write side, so its in-flight
-    /// response still goes out in full — there is no window in which an
-    /// accepted request can lose its reply.
-    fn shutdown_reads(&self) {
-        let streams = self.streams.lock().unwrap_or_else(|e| e.into_inner());
-        for stream in streams.values() {
-            let _ = stream.shutdown(Shutdown::Read);
-        }
-    }
-
-    /// Closes every registered stream in both directions, mid-request or
-    /// not — the force applied when the drain deadline passes.
-    fn close_all(&self) {
-        let streams = self.streams.lock().unwrap_or_else(|e| e.into_inner());
-        for stream in streams.values() {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-    }
+enum HandleInner {
+    Event(event::Core),
+    Threaded(threaded::Core),
 }
 
 /// Handle to a running server; shuts it down (with a drain) on drop.
 pub struct ServerHandle {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    active: Arc<AtomicUsize>,
-    registry: Arc<ConnRegistry>,
     drain_timeout: Duration,
-    accept_thread: Option<JoinHandle<()>>,
+    inner: HandleInner,
 }
 
 impl ServerHandle {
@@ -154,9 +119,14 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Number of connections currently being served.
+    /// Number of connections currently being served (including, in the
+    /// event core, closed connections whose in-flight request has not yet
+    /// returned from the worker pool — their overlays are still held).
     pub fn active_connections(&self) -> usize {
-        self.active.load(Ordering::SeqCst)
+        match &self.inner {
+            HandleInner::Event(core) => core.active(),
+            HandleInner::Threaded(core) => core.active(),
+        }
     }
 
     /// Stops accepting connections and drains the existing ones with the
@@ -166,42 +136,18 @@ impl ServerHandle {
         self.shutdown_within(self.drain_timeout);
     }
 
-    /// Stops accepting connections, then drains with a deadline: the read
-    /// half of every session's socket is shut immediately, so idle sessions
-    /// (parked in a blocking read) observe EOF at once, unwind, and release
-    /// their pool overlays, while sessions mid-request keep their write
-    /// half and finish their in-flight response in full before exiting.
-    /// Whatever still lingers after the deadline is force-closed in both
-    /// directions. Returns once every connection thread has observed the
-    /// close (bounded by a second deadline of the same length, so a wedged
-    /// thread cannot hang the caller forever).
+    /// Stops accepting connections, then drains with a deadline: idle
+    /// sessions observe EOF at once, unwind, and release their pool
+    /// overlays, while sessions with a request in flight finish their
+    /// response in full before closing. Whatever still lingers after the
+    /// deadline is force-closed. Returns once the server quiesced (bounded
+    /// by a second deadline of the same length, so a wedged request cannot
+    /// hang the caller forever).
     pub fn shutdown_within(&mut self, deadline: Duration) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
-            return;
+        match &mut self.inner {
+            HandleInner::Event(core) => core.shutdown_within(deadline),
+            HandleInner::Threaded(core) => core.shutdown_within(deadline),
         }
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        self.registry.shutdown_reads();
-        if !self.await_quiesce(deadline) {
-            self.registry.close_all();
-            self.await_quiesce(deadline);
-        }
-    }
-
-    /// Polls until no connection is active or `deadline` passes; `true` if
-    /// the server quiesced.
-    fn await_quiesce(&self, deadline: Duration) -> bool {
-        let until = Instant::now() + deadline;
-        while self.active.load(Ordering::SeqCst) > 0 {
-            if Instant::now() >= until {
-                return false;
-            }
-            thread::sleep(Duration::from_millis(5));
-        }
-        true
     }
 }
 
@@ -211,98 +157,51 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Starts serving `shared` according to `config`; returns once the listener
-/// is bound, with the accept loop running in a background thread.
+/// Starts serving `shared` according to `config` on the event-driven core;
+/// returns once the listener is bound, with the reactor and worker pool
+/// running in background threads.
 pub fn serve(shared: SharedGraphManager, config: ServerConfig) -> io::Result<ServerHandle> {
     serve_sharded(ShardedGraphManager::single(shared), config)
 }
 
-/// Starts serving a time-range-sharded store: every session's executor
-/// targets the router, so point queries land on the shard owning their
-/// time, multipoint queries fan out across shards in parallel, and
-/// `APPEND`s go to the tail shard without contending with historical
-/// reads. A single-shard router behaves exactly like [`serve`].
+/// Starts serving a time-range-sharded store on the event-driven core:
+/// every session's executor targets the router, so point queries land on
+/// the shard owning their time, multipoint queries fan out across shards
+/// in parallel, and `APPEND`s go to the tail shard without contending with
+/// historical reads. A single-shard router behaves exactly like [`serve`].
 pub fn serve_sharded(
     router: ShardedGraphManager,
     config: ServerConfig,
 ) -> io::Result<ServerHandle> {
-    let listener = TcpListener::bind(&config.addr)?;
-    let addr = listener.local_addr()?;
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let active = Arc::new(AtomicUsize::new(0));
-    let registry = Arc::new(ConnRegistry::default());
-
-    let accept_thread = {
-        let shutdown = Arc::clone(&shutdown);
-        let active = Arc::clone(&active);
-        let registry = Arc::clone(&registry);
-        thread::spawn(move || {
-            for stream in listener.incoming() {
-                if shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                if active.load(Ordering::SeqCst) >= config.max_connections {
-                    refuse(stream);
-                    continue;
-                }
-                // A connection the registry cannot reach would be invisible
-                // to the drain (shutdown would stall the full deadline and
-                // still leave it running); refuse it instead. try_clone only
-                // fails under fd exhaustion, where shedding load is the
-                // right call anyway.
-                let Ok(clone) = stream.try_clone() else {
-                    refuse(stream);
-                    continue;
-                };
-                active.fetch_add(1, Ordering::SeqCst);
-                let conn_id = registry.register(clone);
-                let guard = ConnGuard {
-                    active: Arc::clone(&active),
-                    registry: Arc::clone(&registry),
-                    conn_id,
-                };
-                let router = router.clone();
-                let shutdown = Arc::clone(&shutdown);
-                thread::spawn(move || {
-                    let _guard = guard;
-                    // The executor's sharded session releases this
-                    // connection's overlays on every shard when the thread
-                    // ends, however it ends.
-                    let mut executor = Executor::for_router(router);
-                    let _ = serve_connection(stream, &mut executor, &shutdown);
-                });
-            }
-        })
-    };
-
+    let (addr, core) = event::start(router, &config)?;
     Ok(ServerHandle {
         addr,
-        shutdown,
-        active,
-        registry,
         drain_timeout: config.drain_timeout,
-        accept_thread: Some(accept_thread),
+        inner: HandleInner::Event(core),
     })
 }
 
-struct ConnGuard {
-    active: Arc<AtomicUsize>,
-    registry: Arc<ConnRegistry>,
-    conn_id: u64,
+/// Starts serving on the original thread-per-connection core — the
+/// baseline the event-driven core is benchmarked against. Same protocol,
+/// limits, and drain semantics as [`serve`].
+pub fn serve_threaded(
+    shared: SharedGraphManager,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    serve_sharded_threaded(ShardedGraphManager::single(shared), config)
 }
 
-impl Drop for ConnGuard {
-    fn drop(&mut self) {
-        self.registry.deregister(self.conn_id);
-        self.active.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
-fn refuse(stream: TcpStream) {
-    let mut w = BufWriter::new(stream);
-    let _ = w.write_all(b"ERR server busy\nEND\n");
-    let _ = w.flush();
+/// Sharded variant of [`serve_threaded`].
+pub fn serve_sharded_threaded(
+    router: ShardedGraphManager,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let (addr, core) = threaded::start(router, &config)?;
+    Ok(ServerHandle {
+        addr,
+        drain_timeout: config.drain_timeout,
+        inner: HandleInner::Threaded(core),
+    })
 }
 
 /// Reads one `\n`-terminated line without buffering more than `max` bytes:
@@ -347,59 +246,12 @@ pub(crate) fn read_bounded_line(
     }
 }
 
-fn serve_connection(
-    stream: TcpStream,
-    executor: &mut Executor,
-    shutdown: &AtomicBool,
-) -> io::Result<()> {
-    // A generous read timeout so half-dead peers cannot pin a connection
-    // slot forever.
-    stream.set_read_timeout(Some(Duration::from_secs(300)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
-    loop {
-        // A draining shutdown shuts this socket's read half, which
-        // surfaces here as EOF (or an error) — both paths drop the
-        // executor and release the session's overlays.
-        match read_bounded_line(&mut reader, &mut line, MAX_LINE_BYTES) {
-            Ok(Some(())) => {}
-            Ok(None) => return Ok(()), // client closed the connection
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                writer.write_all(&frame_error("request line too long", executor.protocol()))?;
-                writer.flush()?;
-                return Ok(());
-            }
-            Err(e) => return Err(e),
-        }
-        let request = line.trim();
-        if request.is_empty() {
-            continue;
-        }
-        if request.eq_ignore_ascii_case("QUIT") {
-            // Handled outside the language; the goodbye honors the
-            // session's current encoding.
-            writer.write_all(&Response::Bye.to_frame(executor.protocol()))?;
-            writer.flush()?;
-            return Ok(());
-        }
-        // One complete reply frame — text lines + END or one binary frame —
-        // rendered by the executor (or served pre-framed from the response
-        // cache). Errors arrive already rendered as error frames.
-        let reply = executor.execute_framed(request);
-        writer.write_all(reply.as_ref())?;
-        writer.flush()?;
-        if shutdown.load(Ordering::SeqCst) {
-            // Draining: the in-flight request got its response; close now.
-            return Ok(());
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use historygraph::{GraphManager, GraphManagerConfig};
+    use std::io::{BufReader, Write};
+    use std::thread;
     use std::time::Instant;
     use tgraph::{AttrOptions, Timestamp};
 
@@ -764,5 +616,49 @@ mod tests {
         });
         writer.join().unwrap();
         reader.join().unwrap();
+    }
+
+    // --- threaded-core parity ---------------------------------------------
+
+    fn start_threaded(max_connections: usize) -> (ServerHandle, SharedGraphManager) {
+        let gm = GraphManager::build_in_memory(
+            &datagen::toy_trace().events,
+            GraphManagerConfig::default(),
+        )
+        .unwrap();
+        let shared = SharedGraphManager::new(gm);
+        let handle = serve_threaded(
+            shared.clone(),
+            ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                max_connections,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (handle, shared)
+    }
+
+    #[test]
+    fn threaded_core_round_trips_and_refuses_at_cap() {
+        let (server, _shared) = start_threaded(2);
+        let mut a = Client::connect(server.addr()).unwrap();
+        let mut b = Client::connect(server.addr()).unwrap();
+        assert_eq!(a.send("PING").unwrap(), vec!["OK PONG"]);
+        assert!(b.send("GET GRAPH AT 6").unwrap()[0].starts_with("OK GRAPH"));
+        let mut c = Client::connect(server.addr()).unwrap();
+        assert_eq!(c.recv().unwrap(), vec!["ERR server busy"]);
+    }
+
+    #[test]
+    fn threaded_core_drains_idle_sessions() {
+        let (mut server, shared) = start_threaded(8);
+        let mut a = Client::connect(server.addr()).unwrap();
+        a.send_ok("GET GRAPH AT 6").unwrap();
+        assert_eq!(shared.read().pool().active_overlay_count(), 1);
+        server.shutdown_within(Duration::from_secs(5));
+        assert_eq!(server.active_connections(), 0);
+        assert_eq!(shared.read().pool().active_overlay_count(), 0);
+        assert!(a.send("PING").is_err());
     }
 }

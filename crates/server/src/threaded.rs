@@ -1,0 +1,251 @@
+//! The original thread-per-connection serving core, kept as the baseline
+//! the event-driven core ([`crate::event`]) is benchmarked against
+//! (`query_throughput --connections N --threaded`).
+//!
+//! One OS thread per accepted connection, blocking reads with a generous
+//! timeout, and a connection registry so a draining shutdown can reach
+//! sessions parked in a blocking read. Semantics are identical to the
+//! event core: same framing, same `ERR server busy` refusal at the cap,
+//! same drain behavior (idle sessions observe EOF immediately, in-flight
+//! requests finish their response in full).
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use historygraph::ShardedGraphManager;
+use histql::{frame_error, Executor, Response};
+
+use crate::{read_bounded_line, ServerConfig, MAX_LINE_BYTES};
+
+/// Registry of the streams behind live connections, so a draining shutdown
+/// can reach sessions that sit idle in a blocking read.
+#[derive(Default)]
+struct ConnRegistry {
+    streams: Mutex<HashMap<u64, TcpStream>>,
+    next_id: AtomicU64,
+}
+
+impl ConnRegistry {
+    fn register(&self, stream: TcpStream) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        self.streams
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, stream);
+        id
+    }
+
+    fn deregister(&self, id: u64) {
+        self.streams
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&id);
+    }
+
+    /// Shuts down the *read* half of every registered stream. A session
+    /// parked in a blocking read observes EOF and exits cleanly; a session
+    /// mid-request is untouched on the write side, so its in-flight
+    /// response still goes out in full — there is no window in which an
+    /// accepted request can lose its reply.
+    fn shutdown_reads(&self) {
+        let streams = self.streams.lock().unwrap_or_else(|e| e.into_inner());
+        for stream in streams.values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+    }
+
+    /// Closes every registered stream in both directions, mid-request or
+    /// not — the force applied when the drain deadline passes.
+    fn close_all(&self) {
+        let streams = self.streams.lock().unwrap_or_else(|e| e.into_inner());
+        for stream in streams.values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// The threaded serving core behind a [`crate::ServerHandle`].
+pub(crate) struct Core {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    registry: Arc<ConnRegistry>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Core {
+    pub(crate) fn active(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn shutdown_within(&mut self, deadline: Duration) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.registry.shutdown_reads();
+        if !self.await_quiesce(deadline) {
+            self.registry.close_all();
+            self.await_quiesce(deadline);
+        }
+    }
+
+    /// Polls until no connection is active or `deadline` passes; `true` if
+    /// the server quiesced.
+    fn await_quiesce(&self, deadline: Duration) -> bool {
+        let until = Instant::now() + deadline;
+        while self.active.load(Ordering::SeqCst) > 0 {
+            if Instant::now() >= until {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        true
+    }
+}
+
+/// Starts the thread-per-connection accept loop; returns once the listener
+/// is bound.
+pub(crate) fn start(
+    router: ShardedGraphManager,
+    config: &ServerConfig,
+) -> io::Result<(SocketAddr, Core)> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+    let registry = Arc::new(ConnRegistry::default());
+    let max_connections = config.max_connections;
+
+    let accept_thread = {
+        let shutdown = Arc::clone(&shutdown);
+        let active = Arc::clone(&active);
+        let registry = Arc::clone(&registry);
+        thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                if active.load(Ordering::SeqCst) >= max_connections {
+                    refuse(stream);
+                    continue;
+                }
+                // A connection the registry cannot reach would be invisible
+                // to the drain (shutdown would stall the full deadline and
+                // still leave it running); refuse it instead. try_clone only
+                // fails under fd exhaustion, where shedding load is the
+                // right call anyway.
+                let Ok(clone) = stream.try_clone() else {
+                    refuse(stream);
+                    continue;
+                };
+                active.fetch_add(1, Ordering::SeqCst);
+                let conn_id = registry.register(clone);
+                let guard = ConnGuard {
+                    active: Arc::clone(&active),
+                    registry: Arc::clone(&registry),
+                    conn_id,
+                };
+                let router = router.clone();
+                let shutdown = Arc::clone(&shutdown);
+                thread::spawn(move || {
+                    let _guard = guard;
+                    // The executor's sharded session releases this
+                    // connection's overlays on every shard when the thread
+                    // ends, however it ends.
+                    let mut executor = Executor::for_router(router);
+                    let _ = serve_connection(stream, &mut executor, &shutdown);
+                });
+            }
+        })
+    };
+
+    Ok((
+        addr,
+        Core {
+            addr,
+            shutdown,
+            active,
+            registry,
+            accept_thread: Some(accept_thread),
+        },
+    ))
+}
+
+struct ConnGuard {
+    active: Arc<AtomicUsize>,
+    registry: Arc<ConnRegistry>,
+    conn_id: u64,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.registry.deregister(self.conn_id);
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn refuse(stream: TcpStream) {
+    let mut w = BufWriter::new(stream);
+    let _ = w.write_all(b"ERR server busy\nEND\n");
+    let _ = w.flush();
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    executor: &mut Executor,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    // A generous read timeout so half-dead peers cannot pin a connection
+    // slot forever.
+    stream.set_read_timeout(Some(Duration::from_secs(300)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        // A draining shutdown shuts this socket's read half, which
+        // surfaces here as EOF (or an error) — both paths drop the
+        // executor and release the session's overlays.
+        match read_bounded_line(&mut reader, &mut line, MAX_LINE_BYTES) {
+            Ok(Some(())) => {}
+            Ok(None) => return Ok(()), // client closed the connection
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                writer.write_all(&frame_error("request line too long", executor.protocol()))?;
+                writer.flush()?;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+        let request = line.trim();
+        if request.is_empty() {
+            continue;
+        }
+        if request.eq_ignore_ascii_case("QUIT") {
+            // Handled outside the language; the goodbye honors the
+            // session's current encoding.
+            writer.write_all(&Response::Bye.to_frame(executor.protocol()))?;
+            writer.flush()?;
+            return Ok(());
+        }
+        // One complete reply frame — text lines + END or one binary frame —
+        // rendered by the executor (or served pre-framed from the response
+        // cache). Errors arrive already rendered as error frames.
+        let reply = executor.execute_framed(request);
+        writer.write_all(reply.as_ref())?;
+        writer.flush()?;
+        if shutdown.load(Ordering::SeqCst) {
+            // Draining: the in-flight request got its response; close now.
+            return Ok(());
+        }
+    }
+}

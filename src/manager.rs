@@ -39,6 +39,10 @@ pub struct GraphManagerConfig {
     /// same `APPEND` invalidation rule as the snapshot cache. See
     /// [`crate::response_cache`].
     pub response_cache_capacity: usize,
+    /// Byte budget of the rendered-response cache (0 — the default —
+    /// leaves the byte total uncapped): on top of the entry count, the
+    /// cache evicts LRU replies until the cached bytes fit this budget.
+    pub response_cache_bytes: u64,
 }
 
 impl GraphManagerConfig {
@@ -58,6 +62,13 @@ impl GraphManagerConfig {
     /// (entries).
     pub fn with_response_cache(mut self, capacity: usize) -> Self {
         self.response_cache_capacity = capacity;
+        self
+    }
+
+    /// Caps the rendered-response cache at the given total reply bytes
+    /// (0 = uncapped).
+    pub fn with_response_cache_bytes(mut self, bytes: u64) -> Self {
+        self.response_cache_bytes = bytes;
         self
     }
 }
@@ -114,7 +125,10 @@ impl GraphManager {
         let mut pool = GraphPool::new();
         pool.set_current(index.current_graph());
         let cache = SnapshotCache::new(config.snapshot_cache_capacity);
-        let response_cache = ResponseCache::new(config.response_cache_capacity);
+        let response_cache = ResponseCache::with_byte_budget(
+            config.response_cache_capacity,
+            config.response_cache_bytes,
+        );
         Ok(GraphManager {
             index,
             pool,
@@ -331,6 +345,11 @@ impl GraphManager {
     /// Capacity of the response cache (0 = disabled).
     pub fn response_cache_capacity(&self) -> usize {
         self.response_cache.capacity()
+    }
+
+    /// Byte budget of the response cache (0 = uncapped).
+    pub fn response_cache_byte_budget(&self) -> u64 {
+        self.response_cache.byte_budget()
     }
 
     /// The snapshot cache's behavior counters.

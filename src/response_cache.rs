@@ -121,19 +121,30 @@ struct RespEntry {
 
 /// An LRU cache of fully framed replies keyed by `(t, AttrOptions,
 /// WireFormat)`. Capacity 0 disables it: lookups always miss without
-/// touching the counters, and nothing is retained.
+/// touching the counters, and nothing is retained. An optional byte
+/// budget (0 = unlimited) caps the total cached reply bytes on top of
+/// the entry count, evicting in LRU order until back under budget.
 pub struct ResponseCache {
     capacity: usize,
+    byte_budget: u64,
     entries: HashMap<(Timestamp, AttrOptions, WireFormat), RespEntry>,
     tick: u64,
     stats: ResponseCacheStats,
 }
 
 impl ResponseCache {
-    /// Creates a cache holding at most `capacity` replies (0 disables it).
+    /// Creates a cache holding at most `capacity` replies (0 disables it)
+    /// with no byte budget.
     pub fn new(capacity: usize) -> Self {
+        Self::with_byte_budget(capacity, 0)
+    }
+
+    /// Creates a cache holding at most `capacity` replies (0 disables it)
+    /// totalling at most `byte_budget` reply bytes (0 = unlimited).
+    pub fn with_byte_budget(capacity: usize, byte_budget: u64) -> Self {
         ResponseCache {
             capacity,
+            byte_budget,
             entries: HashMap::new(),
             tick: 0,
             stats: ResponseCacheStats::default(),
@@ -143,6 +154,11 @@ impl ResponseCache {
     /// Maximum number of cached replies (0 = disabled).
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Maximum total cached reply bytes (0 = unlimited).
+    pub fn byte_budget(&self) -> u64 {
+        self.byte_budget
     }
 
     /// Number of replies currently cached.
@@ -221,6 +237,29 @@ impl ResponseCache {
                 last_used: self.tick,
             },
         );
+        self.enforce_byte_budget();
+    }
+
+    /// Evicts LRU entries until total cached bytes fit the budget. The
+    /// just-inserted entry is the MRU, so it is only dropped when it alone
+    /// exceeds the budget and nothing older is left to shed.
+    fn enforce_byte_budget(&mut self) {
+        if self.byte_budget == 0 {
+            return;
+        }
+        while self.stats.bytes > self.byte_budget {
+            let Some(key) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            let old = self.entries.remove(&key).expect("key just found");
+            self.stats.evictions += 1;
+            self.stats.bytes -= old.bytes.len() as u64;
+        }
     }
 
     /// Drops every entry at or after `t` (an `APPEND` at `t` may change any
@@ -341,6 +380,63 @@ mod tests {
         assert!(c.get(Timestamp(5), &o, WireFormat::Binary).is_none());
         assert_eq!(c.stats().invalidations, 4);
         assert_eq!(c.stats().bytes, 2);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_until_under_budget() {
+        let mut c = ResponseCache::with_byte_budget(100, 8);
+        assert_eq!(c.byte_budget(), 8);
+        let o = AttrOptions::all();
+        c.insert(Timestamp(1), o.clone(), WireFormat::Text, bytes("aaa"));
+        c.insert(Timestamp(2), o.clone(), WireFormat::Text, bytes("bbb"));
+        assert_eq!(c.stats().bytes, 6);
+        // touch t=1 so t=2 becomes the LRU victim
+        assert!(c.get(Timestamp(1), &o, WireFormat::Text).is_some());
+        // +4 bytes puts the total at 10 > 8; one eviction (t=2) lands at 7
+        c.insert(Timestamp(3), o.clone(), WireFormat::Text, bytes("cccc"));
+        assert!(c.get(Timestamp(2), &o, WireFormat::Text).is_none());
+        assert!(c.get(Timestamp(1), &o, WireFormat::Text).is_some());
+        assert!(c.get(Timestamp(3), &o, WireFormat::Text).is_some());
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.bytes, 7);
+    }
+
+    #[test]
+    fn byte_budget_can_evict_multiple_entries_for_one_insert() {
+        let mut c = ResponseCache::with_byte_budget(100, 6);
+        let o = AttrOptions::all();
+        c.insert(Timestamp(1), o.clone(), WireFormat::Text, bytes("aa"));
+        c.insert(Timestamp(2), o.clone(), WireFormat::Text, bytes("bb"));
+        // 5 new bytes only fit after both older entries go
+        c.insert(Timestamp(3), o.clone(), WireFormat::Text, bytes("ccccc"));
+        assert_eq!(c.len(), 1);
+        assert!(c.get(Timestamp(3), &o, WireFormat::Text).is_some());
+        assert_eq!(c.stats().evictions, 2);
+        assert_eq!(c.stats().bytes, 5);
+    }
+
+    #[test]
+    fn oversized_single_entry_is_dropped_by_the_budget() {
+        let mut c = ResponseCache::with_byte_budget(100, 4);
+        let o = AttrOptions::all();
+        c.insert(Timestamp(1), o.clone(), WireFormat::Text, bytes("toolarge"));
+        assert!(c.is_empty());
+        assert_eq!(c.stats().bytes, 0);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_budget_means_unlimited_bytes() {
+        let mut c = ResponseCache::new(100);
+        assert_eq!(c.byte_budget(), 0);
+        let o = AttrOptions::all();
+        for t in 0..10 {
+            c.insert(Timestamp(t), o.clone(), WireFormat::Text, bytes("xxxxxxxx"));
+        }
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.stats().bytes, 80);
     }
 
     #[test]

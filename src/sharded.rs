@@ -182,6 +182,8 @@ pub struct CacheOverview {
     pub entries: Vec<CacheEntryInfo>,
     /// Per-shard response-cache capacity (0 = disabled).
     pub response_capacity: usize,
+    /// Per-shard response-cache byte budget (0 = uncapped).
+    pub response_byte_budget: u64,
     /// Cached replies summed across shards.
     pub response_entries: usize,
     /// Response-cache counters summed across shards.
@@ -705,6 +707,7 @@ impl ShardedGraphManager {
                 overlays: 0,
                 entries: Vec::new(),
                 response_capacity: gm.response_cache_capacity(),
+                response_byte_budget: gm.response_cache_byte_budget(),
                 response_entries: 0,
                 response: ResponseCacheStats::default(),
             }
@@ -838,6 +841,39 @@ impl ShardedSession {
         let session = self.session_for(shard);
         let point = session.retrieve_cached(t, opts)?;
         Ok((session.shared().clone(), point))
+    }
+
+    /// Probe-only point acquisition on the owning shard's snapshot cache: a
+    /// hit bumps the cached overlay's refcount into this session — the same
+    /// bookkeeping as a [`ShardedSession::retrieve_cached`] hit — but a miss
+    /// computes nothing and acquires nothing. Single-flight followers use
+    /// this to take their overlay reference before accepting a leader's
+    /// shared bytes; a `None` sends them down the full retrieval path.
+    pub fn acquire_cached_routed(
+        &mut self,
+        t: Timestamp,
+        opts: &AttrOptions,
+    ) -> Option<Arc<Snapshot>> {
+        let shard = self.router.shard_index_for(t);
+        self.session_for(shard).acquire_cached(t, opts)
+    }
+
+    /// [`ShardedSession::acquire_cached_routed`] plus the context needed to
+    /// cache bytes rendered from the hit: the owning shard handle and its
+    /// append epoch, read *before* the acquire — so a response-cache insert
+    /// guarded by this epoch is declined if an `APPEND` races the render,
+    /// exactly like a full retrieval's epoch guard. The event-driven
+    /// server's reactor fast path is built on this.
+    pub fn acquire_cached_point_routed(
+        &mut self,
+        t: Timestamp,
+        opts: &AttrOptions,
+    ) -> Option<(SharedGraphManager, u64, Arc<Snapshot>)> {
+        let shard = self.router.shard_index_for(t);
+        let session = self.session_for(shard);
+        let epoch = session.shared().read().append_epoch();
+        let snapshot = session.acquire_cached(t, opts)?;
+        Some((session.shared().clone(), epoch, snapshot))
     }
 
     /// Multipoint retrieval: times are grouped by owning shard; each group

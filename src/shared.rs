@@ -57,6 +57,14 @@ impl SharedGraphManager {
         self.cache_capacity > 0
     }
 
+    /// Whether two handles wrap the *same* underlying manager. Epoch values
+    /// are only comparable between handles for which this holds — a rolled
+    /// tail shard is a different manager whose fresh epoch can coincide
+    /// with the old tail's.
+    pub fn same_manager(&self, other: &SharedGraphManager) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
     /// Whether the manager was configured with a rendered-response cache.
     pub fn response_cache_enabled(&self) -> bool {
         self.response_cache_capacity > 0
