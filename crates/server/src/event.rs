@@ -23,11 +23,15 @@
 //!
 //! ## Backpressure and limits
 //!
-//! A connection whose executor is checked out and whose buffer already
-//! holds [`MAX_LINE_BYTES`] is deregistered from the poller until the
-//! executor returns — a client cannot grow server memory by pipelining
-//! faster than it executes. Connections over the cap are refused with
-//! `ERR server busy`.
+//! Both directions are bounded. A connection whose executor is checked
+//! out and whose buffer already holds [`MAX_LINE_BYTES`] stops being read
+//! until the executor returns, and a connection whose unwritten reply
+//! backlog exceeds [`OUTBOX_HIGH_WATER`] has its reads masked *and* its
+//! buffered lines left unparsed until the socket drains below the mark —
+//! the event-core replacement for the blocking writes that gave the
+//! threaded core its write-side backpressure. A client cannot grow server
+//! memory by pipelining faster than it executes or reads. Connections
+//! over the cap are refused with `ERR server busy`.
 //!
 //! ## Drain
 //!
@@ -62,6 +66,14 @@ const IDLE_TIMEOUT: Duration = Duration::from_secs(300);
 
 /// How often the reactor wakes to run the idle sweep.
 const SWEEP_INTERVAL: Duration = Duration::from_secs(30);
+
+/// Soft cap on a connection's buffered, unwritten reply bytes. Over the
+/// mark the connection's reads are masked and its buffered lines stay
+/// unparsed until the socket drains the backlog, so a client pipelining
+/// requests without reading replies holds at most one in-flight reply
+/// plus roughly this much backlog. The cap gates *additional* requests,
+/// not frame size — a single reply larger than this still goes out.
+const OUTBOX_HIGH_WATER: usize = 256 * 1024;
 
 /// One request checked out to the worker pool.
 struct Work {
@@ -142,13 +154,21 @@ impl Conn {
         self.out_pos < self.outbox.len()
     }
 
+    /// Write-side backpressure: the unwritten reply backlog is over
+    /// [`OUTBOX_HIGH_WATER`], so no further requests may be parsed.
+    fn output_backlogged(&self) -> bool {
+        self.outbox.len() - self.out_pos > OUTBOX_HIGH_WATER
+    }
+
     /// The readiness classes this connection currently needs. Reads are
-    /// masked while the executor is out and the buffer is already full
-    /// (backpressure), and once the connection is closing or the peer
+    /// masked while the executor is out and the buffer is already full,
+    /// while the outbox is over its high-water mark (backpressure in
+    /// either direction), and once the connection is closing or the peer
     /// EOFed (no further requests will be parsed).
     fn desired_interest(&self) -> Interest {
         let wants_read = !(self.closing
             || self.peer_eof
+            || self.output_backlogged()
             || (self.busy() && self.read_buf.len() >= MAX_LINE_BYTES));
         match (wants_read, self.has_output()) {
             (true, true) => Interest::BOTH,
@@ -464,6 +484,19 @@ impl Reactor {
                 if event.is_writable() {
                     self.conn_writable(token);
                 }
+                if event.is_hangup() || event.is_error() {
+                    // With reads masked (backpressure) a hangup/error-only
+                    // event is consumed by neither handler above, and
+                    // level-triggered readiness would re-report it every
+                    // wait. The peer is gone either way: close.
+                    let unconsumed = self
+                        .conns
+                        .get_mut(token)
+                        .is_some_and(|c| !c.interest.is_readable());
+                    if unconsumed {
+                        self.close(token);
+                    }
+                }
             }
             self.drain_completions(shutdown);
             if shutdown.load(Ordering::SeqCst) && !self.draining {
@@ -574,7 +607,9 @@ impl Reactor {
                     }
                     Ok(n) => {
                         conn.read_buf.extend_from_slice(&chunk[..n]);
-                        if conn.busy() && conn.read_buf.len() >= MAX_LINE_BYTES {
+                        if (conn.busy() || conn.output_backlogged())
+                            && conn.read_buf.len() >= MAX_LINE_BYTES
+                        {
                             break; // backpressure: stop pulling input
                         }
                         if n < chunk.len() {
@@ -598,7 +633,6 @@ impl Reactor {
             self.close(token);
             return;
         }
-        self.process_lines(token);
         self.settle(token);
     }
 
@@ -645,13 +679,15 @@ impl Reactor {
 
     /// Parses buffered lines while the session is idle, dispatching at
     /// most one request to the pool (the executor checkout serializes the
-    /// session; the rest stay buffered).
+    /// session; the rest stay buffered). Stops — leaving lines buffered —
+    /// once the outbox is over its high-water mark; [`Reactor::settle`]
+    /// resumes parsing after `try_write` drains the backlog.
     fn process_lines(&mut self, token: usize) {
         loop {
             let Some(conn) = self.conns.get_mut(token) else {
                 return;
             };
-            if conn.busy() || conn.closing {
+            if conn.busy() || conn.closing || conn.output_backlogged() {
                 return;
             }
             match take_line(&mut conn.read_buf, conn.peer_eof) {
@@ -742,11 +778,19 @@ impl Reactor {
         }
     }
 
-    /// Flushes, closes a finished connection, and refreshes poller
-    /// interest — the epilogue of every state change.
+    /// Flushes, parses, closes a finished connection, and refreshes
+    /// poller interest — the epilogue of every state change. Writing
+    /// *before* parsing matters: draining the outbox may drop the backlog
+    /// below the high-water mark, which is what lets a backpressured
+    /// connection resume parsing its buffered lines (the second flush
+    /// pushes out whatever the fast path just produced).
     fn settle(&mut self, token: usize) {
         if !self.try_write(token) {
             return; // gone, or closed on a write error
+        }
+        self.process_lines(token);
+        if !self.try_write(token) {
+            return;
         }
         let done = {
             let Some(conn) = self.conns.get_mut(token) else {
@@ -836,9 +880,8 @@ impl Reactor {
                 }
             };
             if installed {
-                if !shutdown.load(Ordering::SeqCst) {
-                    self.process_lines(token);
-                }
+                // settle parses any buffered lines; during a drain the
+                // `closing` flag set above keeps it from dispatching more.
                 self.settle(token);
             }
         }

@@ -4,7 +4,9 @@
 //! syscalls (declared via `extern "C"` against the libc that `std` already
 //! links — no external crate). Everywhere else it falls back to `poll(2)`
 //! with an internal registration table, which is slower per wakeup but
-//! semantically identical for the level-triggered subset used here.
+//! semantically identical for the level-triggered subset used here. The
+//! libc constant values are audited per-OS (linux, macos/ios, freebsd);
+//! any other target fails to compile rather than misbehave at runtime.
 //!
 //! The API surface is deliberately small: register a file descriptor with a
 //! [`Token`] and an [`Interest`], call [`Poller::wait`], and get back
@@ -22,7 +24,10 @@ use std::time::Duration;
 pub struct Token(pub usize);
 
 /// Token value reserved for the internal [`Waker`] pipe; never reported.
-const WAKER_TOKEN: u64 = u64::MAX;
+/// `usize::MAX` rather than `u64::MAX`: reported tokens round-trip through
+/// `Token(usize)`, so on 32-bit targets a wider sentinel would come back
+/// truncated, never match, and leak waker events to the caller.
+const WAKER_TOKEN: u64 = usize::MAX as u64;
 
 /// Which readiness classes a registration is interested in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -292,11 +297,49 @@ pub fn raise_nofile_limit(target: u64) -> io::Result<u64> {
 // supported platform, so these resolve without adding a dependency.
 // ---------------------------------------------------------------------------
 
+// F_GETFL/F_SETFL share their values across every supported platform; the
+// constants that differ are gated per-OS below. An unaudited target is a
+// compile error, not silently-wrong syscalls (a mis-valued O_NONBLOCK, for
+// instance, would leave the waker pipe blocking and wedge the reactor).
 const F_SETFL: c_int = 4;
 const F_GETFL: c_int = 3;
-const F_DUPFD_CLOEXEC: c_int = 1030;
-const O_NONBLOCK: c_int = 0o4000;
-const RLIMIT_NOFILE: c_int = 7;
+
+#[cfg(target_os = "linux")]
+mod os_consts {
+    use super::c_int;
+    pub const F_DUPFD_CLOEXEC: c_int = 1030;
+    pub const O_NONBLOCK: c_int = 0o4000;
+    pub const RLIMIT_NOFILE: c_int = 7;
+}
+
+#[cfg(any(target_os = "macos", target_os = "ios"))]
+mod os_consts {
+    use super::c_int;
+    pub const F_DUPFD_CLOEXEC: c_int = 67;
+    pub const O_NONBLOCK: c_int = 0x4;
+    pub const RLIMIT_NOFILE: c_int = 8;
+}
+
+#[cfg(target_os = "freebsd")]
+mod os_consts {
+    use super::c_int;
+    pub const F_DUPFD_CLOEXEC: c_int = 17;
+    pub const O_NONBLOCK: c_int = 0x4;
+    pub const RLIMIT_NOFILE: c_int = 8;
+}
+
+#[cfg(not(any(
+    target_os = "linux",
+    target_os = "macos",
+    target_os = "ios",
+    target_os = "freebsd"
+)))]
+compile_error!(
+    "the epoll shim's libc constants have only been audited for \
+     linux/macos/ios/freebsd; add an os_consts module for this target"
+);
+
+use os_consts::{F_DUPFD_CLOEXEC, O_NONBLOCK, RLIMIT_NOFILE};
 
 #[repr(C)]
 struct Rlimit {

@@ -5,10 +5,21 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use historygraph::tgraph::{Event, EventList};
 use historygraph::{GraphManager, GraphManagerConfig, SharedGraphManager};
 use server::{serve, Client, ServerConfig, ServerHandle};
+
+/// Serializes the tests in this binary. Each starts its own server inside
+/// this process, and the coalescing proof is timing-sensitive: a sibling
+/// test saturating every core can starve its reactor long enough that no
+/// followers ever pile up on the leader's flight.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 fn start(events: &EventList, snap_cache: usize, resp_cache: usize) -> ServerHandle {
     let gm = GraphManager::build_in_memory(
@@ -67,7 +78,13 @@ fn flight_counters(probe: &mut Client) -> (u64, u64) {
 /// and a bounded retry make the proof robust on a single-core host.
 #[test]
 fn concurrent_sessions_coalesce_renders_over_the_wire() {
-    const NODES: i64 = 40_000;
+    let _serial = serial();
+    // Large enough that one render spans several scheduler timeslices
+    // even on a single-core host — the proof needs the OS to run the
+    // queued follower workers *during* the leader's render, so a render
+    // that fits inside one timeslice can sporadically finish before any
+    // follower joins the flight.
+    const NODES: i64 = 120_000;
     const SESSIONS: usize = 8;
     let events = EventList::from_events(
         (1..=NODES)
@@ -137,6 +154,7 @@ fn concurrent_sessions_coalesce_renders_over_the_wire() {
 /// cache) served the earlier copies.
 #[test]
 fn append_is_never_served_stale_bytes() {
+    let _serial = serial();
     let events = EventList::from_events(
         (1..=60)
             .map(|i| Event::add_node(i, 1000 + i as u64))
@@ -170,4 +188,61 @@ fn append_is_never_served_stale_bytes() {
     let mut other = Client::connect(server.addr()).unwrap();
     let seen = other.send_ok("GET GRAPH AT 70").unwrap();
     assert!(seen[0].starts_with("OK GRAPH t=70 nodes=61"), "{seen:?}");
+}
+
+/// A client that pipelines thousands of requests before reading a single
+/// reply exercises the write-side backpressure: the total reply volume is
+/// far beyond the outbox high-water mark, so the server must repeatedly
+/// stall parsing (reads masked, lines buffered) and resume as the client
+/// drains. Every pipelined request still gets its complete reply, in
+/// order, and the session stays usable afterwards.
+#[test]
+fn pipelined_requests_without_reads_are_backpressured_not_dropped() {
+    let _serial = serial();
+    const REQUESTS: usize = 2000;
+    let events = EventList::from_events(
+        (1..=60)
+            .map(|i| Event::add_node(i, 1000 + i as u64))
+            .collect(),
+    );
+    let server = start(&events, 32, 32);
+    let mut sock = TcpStream::connect(server.addr()).unwrap();
+    sock.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+
+    // ~2000 replies of ~1.3 KiB each (61 attribute lines) ≈ 2.6 MiB —
+    // an order of magnitude over the high-water mark plus both socket
+    // buffers — while the requests themselves fit in the send buffer, so
+    // this write never blocks on the server reading.
+    let mut pipelined = Vec::new();
+    for _ in 0..REQUESTS {
+        pipelined.extend_from_slice(b"GET GRAPH AT 70\n");
+    }
+    sock.write_all(&pipelined).unwrap();
+    sock.flush().unwrap();
+
+    let mut reader = std::io::BufReader::new(sock.try_clone().unwrap());
+    let mut heads = 0usize;
+    let mut replies = 0usize;
+    let mut line = String::new();
+    while replies < REQUESTS {
+        line.clear();
+        let n = std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+        assert!(n > 0, "server closed after {replies} of {REQUESTS} replies");
+        if line.starts_with("OK GRAPH t=70 nodes=60") {
+            heads += 1;
+        } else if line == "END\n" {
+            replies += 1;
+        }
+    }
+    assert_eq!(heads, REQUESTS, "every reply must arrive intact");
+
+    // The connection survived the backpressure cycles.
+    writeln!(sock, "PING").unwrap();
+    line.clear();
+    std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+    assert_eq!(line, "OK PONG\n");
+    line.clear();
+    std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+    assert_eq!(line, "END\n");
 }
