@@ -96,12 +96,15 @@ impl Rng {
     }
 }
 
-/// One hot-pass configuration: cache capacities and wire protocol.
+/// One hot-pass configuration: cache capacities, wire protocol, and
+/// whether latency-histogram collection is on (the overhead guard turns
+/// it off for one comparison pass).
 struct HotPass {
     label: &'static str,
     snap_cache: usize,
     resp_cache: usize,
     binary: bool,
+    metrics: bool,
 }
 
 /// Measurements from one hot pass.
@@ -112,10 +115,56 @@ struct HotResult {
     snap_misses: u64,
     resp_hits: u64,
     resp_misses: u64,
+    verb_latency: Json,
 }
 
 fn hit_rate(hits: u64, misses: u64) -> Option<f64> {
     (hits + misses > 0).then(|| hits as f64 / (hits + misses) as f64)
+}
+
+/// Snapshots `STATS METRICS` off a live server and distills the per-verb
+/// latency histograms with traffic into JSON rows (count / p50 / p99 per
+/// verb) for the bench artifacts.
+fn verb_latency_json(addr: std::net::SocketAddr) -> Json {
+    let lines = match Client::connect(addr).and_then(|mut probe| probe.send("STATS METRICS")) {
+        Ok(lines) => lines,
+        Err(e) => {
+            eprintln!("warning: STATS METRICS probe failed: {e}");
+            return Json::Arr(Vec::new());
+        }
+    };
+    let rows = lines
+        .iter()
+        .filter_map(|line| {
+            // "M verb_us_<verb> hist count=N p50=N p90=N p99=N max=N sum=N"
+            let rest = line.strip_prefix("M verb_us_")?;
+            let mut parts = rest.split_whitespace();
+            let verb = parts.next()?;
+            let field = |name: &str| -> u64 {
+                rest.split_whitespace()
+                    .find_map(|kv| kv.strip_prefix(&format!("{name}=")))
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0)
+            };
+            (parts.next() == Some("hist") && field("count") > 0).then(|| {
+                Json::obj(vec![
+                    ("verb", Json::from(verb)),
+                    ("count", Json::from(field("count"))),
+                    ("p50_us", Json::from(field("p50"))),
+                    ("p99_us", Json::from(field("p99"))),
+                ])
+            })
+        })
+        .collect();
+    Json::Arr(rows)
+}
+
+/// `--slow-query-us N` passthrough: capture over-threshold requests in the
+/// server's slow-query ring during the run (0 = off, the default).
+fn slow_query_us_arg() -> u64 {
+    arg_str("--slow-query-us")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 /// One pass of the hot-point workload: `clients` connections all issuing
@@ -143,6 +192,8 @@ fn run_hot_pass(
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             max_connections: clients + 2,
+            metrics_enabled: pass.metrics,
+            slow_query_us: slow_query_us_arg(),
             ..Default::default()
         },
     )
@@ -227,6 +278,7 @@ fn run_hot_pass(
         snap_misses: field("OK CACHE", "misses"),
         resp_hits: field("RC", "hits"),
         resp_misses: field("RC", "misses"),
+        verb_latency: verb_latency_json(addr),
     }
 }
 
@@ -264,30 +316,35 @@ fn run_hot(opts: &HarnessOptions, clients: usize, seconds: usize) {
             snap_cache: 0,
             resp_cache: 0,
             binary: false,
+            metrics: true,
         },
         HotPass {
             label: "text",
             snap_cache: cache,
             resp_cache: 0,
             binary: false,
+            metrics: true,
         },
         HotPass {
             label: "text+rc",
             snap_cache: cache,
             resp_cache,
             binary: false,
+            metrics: true,
         },
         HotPass {
             label: "binary",
             snap_cache: cache,
             resp_cache: 0,
             binary: true,
+            metrics: true,
         },
         HotPass {
             label: "binary+rc",
             snap_cache: cache,
             resp_cache,
             binary: true,
+            metrics: true,
         },
     ];
     let passes: Vec<&HotPass> = match proto.as_deref() {
@@ -337,6 +394,26 @@ fn run_hot(opts: &HarnessOptions, clients: usize, seconds: usize) {
         &rows,
     );
 
+    // Overhead guard: rerun the baseline configuration with histogram
+    // collection disabled and report the delta. The hot path records into
+    // relaxed atomics only, so this should stay within the run-to-run
+    // noise floor (the CI budget is a few percent).
+    let guard = HotPass {
+        label: "text metrics-off",
+        snap_cache: cache,
+        resp_cache: 0,
+        binary: false,
+        metrics: false,
+    };
+    let store = fresh_store(opts, "hot_metrics_off");
+    let off = run_hot_pass(&ds, store, &guard, clients, seconds, &hot);
+    let off_qps = off.queries as f64 / off.elapsed;
+    let overhead_pct = (off_qps - baseline_qps) / off_qps.max(f64::MIN_POSITIVE) * 100.0;
+    println!(
+        "metrics overhead (text/cache-on): {baseline_qps:.0} qps instrumented vs \
+         {off_qps:.0} qps with --no-metrics ({overhead_pct:+.1}%)"
+    );
+
     let passes_json: Vec<Json> = results
         .iter()
         .map(|(pass, r)| {
@@ -353,6 +430,7 @@ fn run_hot(opts: &HarnessOptions, clients: usize, seconds: usize) {
                     "resp_hit_rate",
                     opt_rate(hit_rate(r.resp_hits, r.resp_misses)),
                 ),
+                ("verb_latency_us", r.verb_latency.clone()),
             ])
         })
         .collect();
@@ -367,6 +445,14 @@ fn run_hot(opts: &HarnessOptions, clients: usize, seconds: usize) {
             Json::Arr(hot.iter().map(|&t| Json::Int(t)).collect()),
         ),
         ("passes", Json::Arr(passes_json)),
+        (
+            "metrics_overhead",
+            Json::obj(vec![
+                ("qps_metrics_on", Json::from(baseline_qps)),
+                ("qps_metrics_off", Json::from(off_qps)),
+                ("overhead_pct", Json::from(overhead_pct)),
+            ]),
+        ),
     ]);
     if let Err(e) = write_json("BENCH_query_throughput.json", &doc) {
         eprintln!("warning: could not write BENCH_query_throughput.json: {e}");
@@ -1005,7 +1091,10 @@ fn run_connections(opts: &HarnessOptions, seconds: usize) {
          {workers} worker(s)"
     );
 
-    let run_pass = |core: &'static str, n: usize| -> OpenLoopResult {
+    // Each pass probes STATS METRICS before its server goes down, so the
+    // JSON artifact carries per-verb service latency alongside the
+    // end-to-end request latency the load generator measures.
+    let run_pass = |core: &'static str, n: usize| -> (OpenLoopResult, Json) {
         let gm = GraphManager::build_in_memory(
             &ds.events,
             GraphManagerConfig::default()
@@ -1018,14 +1107,19 @@ fn run_connections(opts: &HarnessOptions, seconds: usize) {
             addr: "127.0.0.1:0".into(),
             max_connections: n + 8,
             worker_threads: workers,
+            slow_query_us: slow_query_us_arg(),
             ..Default::default()
         };
         if core == "threaded" {
             let server = serve_threaded(shared, config).expect("server start");
-            run_blocking_clients(server.addr(), core, n, seconds, &hot)
+            let result = run_blocking_clients(server.addr(), core, n, seconds, &hot);
+            let verbs = verb_latency_json(server.addr());
+            (result, verbs)
         } else {
             let server = serve(shared, config).expect("server start");
-            run_open_loop(server.addr(), core, n, seconds, &hot)
+            let result = run_open_loop(server.addr(), core, n, seconds, &hot);
+            let verbs = verb_latency_json(server.addr());
+            (result, verbs)
         }
     };
 
@@ -1034,10 +1128,10 @@ fn run_connections(opts: &HarnessOptions, seconds: usize) {
         results.push(run_pass("event", n));
     }
 
-    let baseline_qps = results[0].qps().max(f64::MIN_POSITIVE);
+    let baseline_qps = results[0].0.qps().max(f64::MIN_POSITIVE);
     let rows: Vec<Vec<String>> = results
         .iter()
-        .map(|r| {
+        .map(|(r, _)| {
             vec![
                 format!("{} @ {}", r.core, r.connections),
                 r.completed.to_string(),
@@ -1057,7 +1151,7 @@ fn run_connections(opts: &HarnessOptions, seconds: usize) {
 
     let passes: Vec<Json> = results
         .iter()
-        .map(|r| {
+        .map(|(r, verbs)| {
             Json::obj(vec![
                 ("core", Json::from(r.core)),
                 (
@@ -1074,6 +1168,7 @@ fn run_connections(opts: &HarnessOptions, seconds: usize) {
                 ("qps", Json::from(r.qps())),
                 ("p50_us", Json::from(r.p50_us)),
                 ("p99_us", Json::from(r.p99_us)),
+                ("verb_latency_us", verbs.clone()),
             ])
         })
         .collect();
@@ -1138,6 +1233,7 @@ fn main() {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             max_connections: clients + 2,
+            slow_query_us: slow_query_us_arg(),
             ..Default::default()
         },
     )
@@ -1255,6 +1351,7 @@ fn main() {
         ("classes", Json::Arr(classes)),
         ("total_queries", Json::from(total)),
         ("total_qps", Json::from(total as f64 / elapsed)),
+        ("verb_latency_us", verb_latency_json(addr)),
     ]);
     if let Err(e) = write_json("BENCH_query_throughput.json", &doc) {
         eprintln!("warning: could not write BENCH_query_throughput.json: {e}");

@@ -83,6 +83,13 @@ pub enum Query {
     /// reject totals, worker-pool queue depth, and single-flight coalescing
     /// counters. Only answerable inside a server session.
     ServerStats,
+    /// `STATS METRICS` — the full metric catalog: per-verb and per-phase
+    /// latency histograms (count/p50/p90/p99/max), path and cache counters,
+    /// single-flight totals, and per-shard skew counters.
+    MetricsStats,
+    /// `STATS SLOW` — drains the slow-query ring buffer (requests over the
+    /// server's `--slow-query-us` threshold).
+    SlowStats,
     /// `APPEND ...` — one live update event.
     Append(AppendSpec),
     /// `BIND <key> <node id>` — register an application key.
@@ -424,6 +431,8 @@ impl fmt::Display for Query {
             Query::CacheStats => f.write_str("STATS CACHE"),
             Query::ShardStats => f.write_str("STATS SHARDS"),
             Query::ServerStats => f.write_str("STATS SERVER"),
+            Query::MetricsStats => f.write_str("STATS METRICS"),
+            Query::SlowStats => f.write_str("STATS SLOW"),
             Query::Append(spec) => match spec {
                 AppendSpec::Node { t, node } => write!(f, "APPEND NODE {} {node}", t.raw()),
                 AppendSpec::DelNode { t, node } => {

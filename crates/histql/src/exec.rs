@@ -20,6 +20,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use historygraph::{ShardedGraphManager, ShardedSession, SharedGraphManager, WireFormat};
 use tgraph::{AttrOptions, NodeId, TimeExpression, Timestamp};
@@ -27,8 +28,9 @@ use tgraph::{AttrOptions, NodeId, TimeExpression, Timestamp};
 use crate::ast::Query;
 use crate::error::{QlError, QlResult};
 use crate::flight::{FlightResult, FlightStats, FlightTable, Joined};
+use crate::obs::{metrics_report, MetricsHub, VerbKind};
 use crate::parser::parse;
-use crate::wire::{frame_error, HistorySample, Response, ServerCounters};
+use crate::wire::{frame_error, HistorySample, Response, ServerCounters, SlowQueryInfo};
 
 /// Upper bound on `HISTORY NODE` samples per query, so a tiny `STEP` over a
 /// huge range cannot run the server out of memory.
@@ -103,6 +105,15 @@ pub struct Executor {
     /// The serving core's counters, when this executor belongs to a server
     /// session (required by `STATS SERVER`).
     server_stats: Option<Arc<ServerStats>>,
+    /// The server's metrics hub, when attached: per-verb and phase latency
+    /// histograms plus the slow-query ring. `None` keeps every request
+    /// completely uninstrumented.
+    hub: Option<Arc<MetricsHub>>,
+    /// Identifies this serving session in slow-query entries.
+    session_id: u64,
+    /// Queue wait measured by the serving core for the next request,
+    /// consumed by the next [`Executor::execute_framed`] call.
+    pending_queue_us: u64,
 }
 
 impl Executor {
@@ -121,6 +132,9 @@ impl Executor {
             protocol: WireFormat::Text,
             flights: None,
             server_stats: None,
+            hub: None,
+            session_id: 0,
+            pending_queue_us: 0,
         }
     }
 
@@ -136,6 +150,27 @@ impl Executor {
     pub fn with_server_stats(mut self, stats: Arc<ServerStats>) -> Self {
         self.server_stats = Some(stats);
         self
+    }
+
+    /// Attaches the server's metrics hub: every framed request records into
+    /// the per-verb and `phase_us_service` histograms, and requests over the
+    /// hub's slow threshold land in its slow-query ring.
+    pub fn with_metrics(mut self, hub: Arc<MetricsHub>) -> Self {
+        self.hub = Some(hub);
+        self
+    }
+
+    /// Tags this executor's slow-query entries with a serving session id.
+    pub fn with_session_id(mut self, id: u64) -> Self {
+        self.session_id = id;
+        self
+    }
+
+    /// Reports the queue wait the serving core measured for the request it
+    /// is about to execute; folded into that one request's slow-query total
+    /// by the next [`Executor::execute_framed`] call.
+    pub fn note_queue_wait(&mut self, us: u64) {
+        self.pending_queue_us = us;
     }
 
     /// Pool handles this executor's session currently tracks, across every
@@ -169,10 +204,20 @@ impl Executor {
     /// so refcount semantics (`STATS CACHE`, `RELEASE ALL`, disconnect) are
     /// identical in both paths.
     pub fn execute_framed(&mut self, line: &str) -> Reply {
+        let queue_us = std::mem::take(&mut self.pending_queue_us);
+        let started = self.hub.as_ref().map(|_| Instant::now());
         let query = match parse(line) {
             Ok(q) => q,
-            Err(e) => return Reply::Owned(frame_error(&e.to_string(), self.protocol)),
+            Err(e) => {
+                let reply = Reply::Owned(frame_error(&e.to_string(), self.protocol));
+                if let Some(start) = started {
+                    self.record_request(VerbKind::Other, None, queue_us, start);
+                }
+                return reply;
+            }
         };
+        let verb = VerbKind::of(&query);
+        let t = primary_time(&query);
         let result = if let Query::GetGraphAt { t, attrs } = &query {
             self.execute_point_framed(*t, attrs)
         } else {
@@ -181,7 +226,35 @@ impl Executor {
         };
         // Render the error in the protocol that was current when the query
         // ran (a failed PROTOCOL verb never switches modes).
-        result.unwrap_or_else(|e| Reply::Owned(frame_error(&e.to_string(), self.protocol)))
+        let reply =
+            result.unwrap_or_else(|e| Reply::Owned(frame_error(&e.to_string(), self.protocol)));
+        if let Some(start) = started {
+            self.record_request(verb, t, queue_us, start);
+        }
+        reply
+    }
+
+    /// Records one completed request into the hub (no-op without one):
+    /// verb and service histograms always, a slow-query entry when the
+    /// total (queue wait plus service) crosses the threshold.
+    fn record_request(&self, verb: VerbKind, t: Option<Timestamp>, queue_us: u64, start: Instant) {
+        let Some(hub) = &self.hub else { return };
+        let service_us = start.elapsed().as_micros() as u64;
+        hub.verb(verb).record(service_us);
+        hub.phase_service.record(service_us);
+        let threshold = hub.slow_threshold_us();
+        let total_us = queue_us.saturating_add(service_us);
+        if threshold > 0 && total_us >= threshold {
+            hub.note_slow(SlowQueryInfo {
+                verb: verb.verb_text().to_string(),
+                t,
+                shard: t.map(|t| self.router.shard_index_for(t) as u64),
+                total_us,
+                queue_us,
+                service_us,
+                session: self.session_id,
+            });
+        }
     }
 
     /// Bounded-time fast path for `GET GRAPH AT`, for callers that must
@@ -198,6 +271,7 @@ impl Executor {
     /// `None` with **no** counters or refcounts touched, so the request
     /// can take [`Executor::execute_framed`] with identical accounting.
     pub fn try_execute_hot(&mut self, line: &str) -> Option<Reply> {
+        let started = self.hub.as_ref().map(|_| Instant::now());
         let Ok(Query::GetGraphAt { t, attrs }) = parse(line) else {
             return None;
         };
@@ -206,13 +280,24 @@ impl Executor {
             return None;
         }
         let (shared, epoch, snapshot) = self.session.acquire_cached_point_routed(t, &opts)?;
-        if let Some(bytes) = shared.response_cache_get(t, &opts, self.protocol) {
-            return Some(Reply::Shared(bytes));
+        let reply = match shared.response_cache_get(t, &opts, self.protocol) {
+            Some(bytes) => Reply::Shared(bytes),
+            None => {
+                let resp = Response::Graph { t, graph: snapshot };
+                let bytes: Arc<[u8]> = resp.to_frame(self.protocol).into();
+                shared.response_cache_put(t, &opts, self.protocol, Arc::clone(&bytes), epoch);
+                Reply::Shared(bytes)
+            }
+        };
+        // Instrumented only on the hit path (a `None` above touched no
+        // counters): a handful of relaxed atomics, no locks, no allocation.
+        if let Some(start) = started {
+            self.record_request(VerbKind::GetGraphAt, Some(t), 0, start);
+            if let Some(hub) = &self.hub {
+                hub.path_fast.inc();
+            }
         }
-        let resp = Response::Graph { t, graph: snapshot };
-        let bytes: Arc<[u8]> = resp.to_frame(self.protocol).into();
-        shared.response_cache_put(t, &opts, self.protocol, Arc::clone(&bytes), epoch);
-        Some(Reply::Shared(bytes))
+        Some(reply)
     }
 
     /// The `GET GRAPH AT` fast path. With a [`FlightTable`] attached (a
@@ -525,6 +610,27 @@ impl Executor {
                     counters: stats.counters(flights),
                 })
             }
+            Query::MetricsStats => Ok(Response::Metrics {
+                // Works in any session: push-model histograms need an
+                // attached hub (a server session), the pulled counters —
+                // caches, single-flight, server, per-shard skew — come from
+                // whatever is reachable from here.
+                entries: metrics_report(
+                    self.hub.as_deref(),
+                    &self.router,
+                    self.flights.as_deref(),
+                    self.server_stats.as_deref(),
+                ),
+            }),
+            Query::SlowStats => Ok(Response::Slow {
+                // Draining empties the ring; without a hub (no serving core
+                // attached) there is nothing captured and the reply is empty.
+                entries: self
+                    .hub
+                    .as_deref()
+                    .map(MetricsHub::drain_slow)
+                    .unwrap_or_default(),
+            }),
             Query::Append(spec) => {
                 // Routed to the tail shard; the event is built against the
                 // tail's current graph under the same locks that apply it
@@ -573,6 +679,21 @@ impl Executor {
         self.router
             .resolve_key(key)
             .ok_or_else(|| QlError::Exec(format!("unknown key {key:?} (use BIND first)")))
+    }
+}
+
+/// The primary time point of a query, for slow-log shard attribution.
+/// Multipoint and range verbs are attributed to their first point; verbs
+/// with no time (`STATS`, `PING`, ...) have no shard to attribute.
+fn primary_time(query: &Query) -> Option<Timestamp> {
+    match query {
+        Query::GetGraphAt { t, .. } | Query::NodeAt { t, .. } => Some(*t),
+        Query::GetGraphsAt { times, .. } => times.first().copied(),
+        Query::GetGraphBetween { start, .. } => Some(*start),
+        Query::Diff { a, .. } => Some(*a),
+        Query::NodeHistory { from, .. } => Some(*from),
+        Query::Append(spec) => Some(spec.time()),
+        _ => None,
     }
 }
 
@@ -1079,6 +1200,107 @@ mod tests {
             "OK SERVER connections=3 accepted=10 rejected=0 queue_depth=0 workers=2\n\
              SF leaders=0 coalesced=1 stale_rerenders=0"
         );
+    }
+
+    #[test]
+    fn stats_metrics_answers_without_a_hub() {
+        // Pull-only entries (caches, per-shard skew) are always reportable;
+        // push-model histograms need a serving core's hub.
+        let (mut exec, _router) = sharded_executor(3);
+        run(&mut exec, "GET GRAPH AT 10");
+        let text = run(&mut exec, "STATS METRICS");
+        assert!(text.starts_with("OK METRICS entries="), "{text}");
+        assert!(
+            text.contains("M cache_misses_total counter value=1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("M shard0_queries_total counter value=1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("M shard1_queries_total counter value=0"),
+            "{text}"
+        );
+        assert!(!text.contains("verb_us_"), "no hub, no histograms: {text}");
+    }
+
+    #[test]
+    fn stats_metrics_reports_verb_histograms_and_slow_queries() {
+        let (_, router) = sharded_executor(3);
+        let hub = Arc::new(crate::obs::MetricsHub::new());
+        hub.set_slow_threshold_us(1); // everything is slow
+        let mut exec = Executor::for_router(router)
+            .with_metrics(Arc::clone(&hub))
+            .with_session_id(7);
+        exec.execute_framed("GET GRAPH AT 10");
+        exec.execute_framed("GET GRAPH AT 45");
+        exec.execute_framed("HISTORY NODE nobody FROM 0 TO 9"); // errors still time
+        let text = run(&mut exec, "STATS METRICS");
+        let hist = text
+            .lines()
+            .find(|l| l.starts_with("M verb_us_get_graph_at "))
+            .unwrap_or_else(|| panic!("{text}"));
+        assert!(hist.contains("hist count=2"), "{hist}");
+        assert!(
+            text.contains("M phase_us_service hist count=3"),
+            "errors are timed too: {text}"
+        );
+        // Both routed shards saw their query.
+        assert!(
+            text.contains("M shard0_queries_total counter value=1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("M shard2_queries_total counter value=1"),
+            "{text}"
+        );
+        // The slow ring captured each request with shard attribution.
+        let slow = run(&mut exec, "STATS SLOW");
+        assert!(slow.starts_with("OK SLOW entries="), "{slow}");
+        let q = slow
+            .lines()
+            .find(|l| l.starts_with("Q verb=\"GET GRAPH AT\" t=45 "))
+            .unwrap_or_else(|| panic!("{slow}"));
+        assert!(q.contains("shard=2"), "{q}");
+        assert!(q.contains("session=7"), "{q}");
+        // Draining emptied the ring.
+        let again = run(&mut exec, "STATS SLOW");
+        assert!(again.contains("entries=0"), "drain empties: {again}");
+    }
+
+    #[test]
+    fn under_threshold_requests_are_not_captured() {
+        let (_, shared) = executor();
+        let hub = Arc::new(crate::obs::MetricsHub::new());
+        hub.set_slow_threshold_us(u64::MAX); // nothing is slow
+        let mut exec = Executor::new(shared).with_metrics(Arc::clone(&hub));
+        exec.execute_framed("GET GRAPH AT 6");
+        exec.execute_framed("PING");
+        assert!(hub.drain_slow().is_empty());
+        // But the histograms still recorded.
+        let text = run(&mut exec, "STATS METRICS");
+        assert!(
+            text.contains("M verb_us_get_graph_at hist count=1"),
+            "{text}"
+        );
+        assert!(text.contains("M verb_us_other hist count=1"), "{text}");
+    }
+
+    #[test]
+    fn hot_path_records_fast_path_metrics_only_on_hits() {
+        let (_, shared) = full_executor(8, 8);
+        let hub = Arc::new(crate::obs::MetricsHub::new());
+        let mut exec = Executor::new(shared).with_metrics(Arc::clone(&hub));
+        // Cold: the hot path declines and must record nothing.
+        assert!(exec.try_execute_hot("GET GRAPH AT 6").is_none());
+        assert_eq!(hub.path_fast.get(), 0);
+        assert_eq!(hub.verb(VerbKind::GetGraphAt).snapshot().count, 0);
+        // Warm it through the full path, then hit the fast path.
+        exec.execute_framed("GET GRAPH AT 6");
+        assert!(exec.try_execute_hot("GET GRAPH AT 6").is_some());
+        assert_eq!(hub.path_fast.get(), 1);
+        assert_eq!(hub.verb(VerbKind::GetGraphAt).snapshot().count, 2);
     }
 
     #[test]

@@ -25,6 +25,8 @@
 //! STATS CACHE                                      snapshot-cache statistics
 //! STATS SHARDS                                     per-shard serving statistics
 //! STATS SERVER                                     serving-core counters (server sessions)
+//! STATS METRICS                                    the full metric catalog (latency histograms)
+//! STATS SLOW                                       drain the slow-query log
 //! APPEND NODE <t> <id>                             live updates ...
 //! APPEND DELNODE <t> <id>
 //! APPEND EDGE <t> <id> <src> <dst> [DIRECTED]
@@ -71,6 +73,7 @@ pub mod error;
 pub mod exec;
 pub mod flight;
 pub mod lexer;
+pub mod obs;
 pub mod parser;
 pub mod wire;
 
@@ -79,10 +82,11 @@ pub use error::{QlError, QlResult};
 pub use exec::{Executor, Reply, ServerStats, MAX_HISTORY_SAMPLES};
 pub use flight::{FlightStats, FlightTable};
 pub use historygraph::WireFormat;
+pub use obs::{metrics_report, MetricsHub, VerbKind};
 pub use parser::parse;
 pub use wire::{
-    frame_error, Frame, HistorySample, Response, ServerCounters, BINARY_FRAME_VERSION,
-    MAX_FRAME_BYTES,
+    frame_error, render_prometheus, Frame, HistogramStats, HistorySample, MetricEntry, MetricValue,
+    Response, ServerCounters, SlowQueryInfo, BINARY_FRAME_VERSION, MAX_FRAME_BYTES,
 };
 
 #[cfg(test)]
@@ -144,6 +148,8 @@ mod roundtrip_tests {
             ("STATS  CACHE", "STATS CACHE"),
             ("stats shards", "STATS SHARDS"),
             ("stats server", "STATS SERVER"),
+            ("stats metrics", "STATS METRICS"),
+            ("stats slow", "STATS SLOW"),
             ("append node 20 777", "APPEND NODE 20 777"),
             ("APPEND DELNODE 21 5", "APPEND DELNODE 21 5"),
             ("append edge 21 500 777 1", "APPEND EDGE 21 500 777 1"),

@@ -76,6 +76,10 @@ impl Parser {
                     Ok(Query::ShardStats)
                 } else if self.eat_keyword("SERVER") {
                     Ok(Query::ServerStats)
+                } else if self.eat_keyword("METRICS") {
+                    Ok(Query::MetricsStats)
+                } else if self.eat_keyword("SLOW") {
+                    Ok(Query::SlowStats)
                 } else {
                     Ok(Query::Stats)
                 }

@@ -133,6 +133,20 @@ pub enum Response {
         /// The counter snapshot.
         counters: ServerCounters,
     },
+    /// The full metric catalog (`STATS METRICS`): one `M` line per metric —
+    /// counters and gauges with their value, histograms with
+    /// count/p50/p90/p99/max/sum. Same entries, same names, as the HTTP
+    /// `GET /metrics` scrape endpoint.
+    Metrics {
+        /// Every metric, sorted by name.
+        entries: Vec<MetricEntry>,
+    },
+    /// The drained slow-query log (`STATS SLOW`): one `Q` line per captured
+    /// over-threshold request, oldest first. Draining empties the ring.
+    Slow {
+        /// The captured requests, oldest first.
+        entries: Vec<SlowQueryInfo>,
+    },
     /// An `APPEND` was applied.
     Appended {
         /// The event's time.
@@ -211,6 +225,162 @@ impl Decode for ServerCounters {
             sf_leaders: u64::decode(r)?,
             sf_coalesced: u64::decode(r)?,
             sf_stale_rerenders: u64::decode(r)?,
+        })
+    }
+}
+
+/// One metric in a `STATS METRICS` reply (and the `/metrics` scrape).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricEntry {
+    /// The metric's registry name (e.g. `verb_us_get_graph_at`).
+    pub name: String,
+    /// Its current value.
+    pub value: MetricValue,
+}
+
+/// The value side of a [`MetricEntry`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A monotonically increasing total.
+    Counter(u64),
+    /// A point-in-time level.
+    Gauge(u64),
+    /// A latency distribution summary.
+    Histogram(HistogramStats),
+}
+
+/// The reported summary of one latency histogram. Quantiles are the upper
+/// bound of the log bucket holding the rank (clamped to the observed
+/// maximum), so they over-estimate by at most 2x — plain `u64`s so the
+/// reply is encoding-agnostic, like [`ServerCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramStats {
+    /// Recorded observations.
+    pub count: u64,
+    /// Sum of observed values (wraps at `u64::MAX`).
+    pub sum: u64,
+    /// Median upper bound.
+    pub p50: u64,
+    /// 90th-percentile upper bound.
+    pub p90: u64,
+    /// 99th-percentile upper bound.
+    pub p99: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl HistogramStats {
+    /// Summarizes a histogram snapshot into the reported quantile set.
+    pub fn of(snap: &metrics::HistogramSnapshot) -> HistogramStats {
+        HistogramStats {
+            count: snap.count,
+            sum: snap.sum,
+            p50: snap.p50(),
+            p90: snap.p90(),
+            p99: snap.p99(),
+            max: snap.max,
+        }
+    }
+}
+
+impl Encode for HistogramStats {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.count.encode(buf);
+        self.sum.encode(buf);
+        self.p50.encode(buf);
+        self.p90.encode(buf);
+        self.p99.encode(buf);
+        self.max.encode(buf);
+    }
+}
+
+impl Decode for HistogramStats {
+    fn decode(r: &mut Reader<'_>) -> tgraph::Result<Self> {
+        Ok(HistogramStats {
+            count: u64::decode(r)?,
+            sum: u64::decode(r)?,
+            p50: u64::decode(r)?,
+            p90: u64::decode(r)?,
+            p99: u64::decode(r)?,
+            max: u64::decode(r)?,
+        })
+    }
+}
+
+impl Encode for MetricEntry {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.name.encode(buf);
+        match &self.value {
+            MetricValue::Counter(v) => {
+                buf.push(0);
+                v.encode(buf);
+            }
+            MetricValue::Gauge(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+            MetricValue::Histogram(h) => {
+                buf.push(2);
+                h.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for MetricEntry {
+    fn decode(r: &mut Reader<'_>) -> tgraph::Result<Self> {
+        let name = String::decode(r)?;
+        let value = match u64::decode(r)? {
+            0 => MetricValue::Counter(u64::decode(r)?),
+            1 => MetricValue::Gauge(u64::decode(r)?),
+            2 => MetricValue::Histogram(HistogramStats::decode(r)?),
+            t => return Err(TgError::Codec(format!("invalid MetricValue tag {t}"))),
+        };
+        Ok(MetricEntry { name, value })
+    }
+}
+
+/// One captured over-threshold request in a `STATS SLOW` reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowQueryInfo {
+    /// The request's verb class (`GET GRAPH AT`, `APPEND`, ...).
+    pub verb: String,
+    /// The primary queried time point, when the verb has one.
+    pub t: Option<Timestamp>,
+    /// The shard that served `t`, when routable.
+    pub shard: Option<u64>,
+    /// Total time over threshold: queue wait plus service.
+    pub total_us: u64,
+    /// Time spent queued for the worker pool (0 on inline paths).
+    pub queue_us: u64,
+    /// Time spent executing the request.
+    pub service_us: u64,
+    /// The serving connection's session id.
+    pub session: u64,
+}
+
+impl Encode for SlowQueryInfo {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.verb.encode(buf);
+        self.t.encode(buf);
+        self.shard.encode(buf);
+        self.total_us.encode(buf);
+        self.queue_us.encode(buf);
+        self.service_us.encode(buf);
+        self.session.encode(buf);
+    }
+}
+
+impl Decode for SlowQueryInfo {
+    fn decode(r: &mut Reader<'_>) -> tgraph::Result<Self> {
+        Ok(SlowQueryInfo {
+            verb: String::decode(r)?,
+            t: Option::decode(r)?,
+            shard: Option::decode(r)?,
+            total_us: u64::decode(r)?,
+            queue_us: u64::decode(r)?,
+            service_us: u64::decode(r)?,
+            session: u64::decode(r)?,
         })
     }
 }
@@ -390,7 +560,8 @@ impl Response {
                     out.push(format!(
                         "S {} lower={} upper={} events={} overlays={} \
                          cache_entries={} cache_hits={} cache_misses={} \
-                         cache_invalidations={} rc_entries={} rc_hits={} rc_misses={}",
+                         cache_invalidations={} rc_entries={} rc_hits={} rc_misses={} \
+                         queries={} appends={}",
                         s.index,
                         fmt_bound(s.lower),
                         fmt_bound(s.upper),
@@ -402,7 +573,9 @@ impl Response {
                         s.cache.invalidations,
                         s.response_entries,
                         s.response.hits,
-                        s.response.misses
+                        s.response.misses,
+                        s.queries,
+                        s.appends
                     ));
                 }
             }
@@ -420,6 +593,38 @@ impl Response {
                     "SF leaders={} coalesced={} stale_rerenders={}",
                     counters.sf_leaders, counters.sf_coalesced, counters.sf_stale_rerenders
                 ));
+            }
+            Response::Metrics { entries } => {
+                out.push(format!("OK METRICS entries={}", entries.len()));
+                for e in entries {
+                    match &e.value {
+                        MetricValue::Counter(v) => {
+                            out.push(format!("M {} counter value={v}", e.name))
+                        }
+                        MetricValue::Gauge(v) => out.push(format!("M {} gauge value={v}", e.name)),
+                        MetricValue::Histogram(h) => out.push(format!(
+                            "M {} hist count={} p50={} p90={} p99={} max={} sum={}",
+                            e.name, h.count, h.p50, h.p90, h.p99, h.max, h.sum
+                        )),
+                    }
+                }
+            }
+            Response::Slow { entries } => {
+                out.push(format!("OK SLOW entries={}", entries.len()));
+                let fmt_opt = |v: Option<i64>| v.map_or("-".to_string(), |v| v.to_string());
+                for q in entries {
+                    out.push(format!(
+                        "Q verb={} t={} shard={} total_us={} queue_us={} \
+                         service_us={} session={}",
+                        quote(&q.verb),
+                        fmt_opt(q.t.map(|t| t.raw())),
+                        fmt_opt(q.shard.map(|s| s as i64)),
+                        q.total_us,
+                        q.queue_us,
+                        q.service_us,
+                        q.session
+                    ));
+                }
             }
             Response::Appended { t } => out.push(format!("OK APPENDED t={}", t.raw())),
             Response::Bound { key, node } => out.push(format!("OK BOUND {} {node}", quote(key))),
@@ -579,6 +784,40 @@ pub fn frame_error(msg: &str, format: WireFormat) -> Vec<u8> {
     }
 }
 
+/// Renders a metric catalog in the Prometheus plaintext exposition format
+/// (version 0.0.4), the body of the HTTP `GET /metrics` scrape endpoint.
+/// Every name is prefixed `histql_`; histograms render as summaries
+/// (`quantile` labels plus `_sum`/`_count`) with the observed maximum as a
+/// companion `_max` gauge.
+pub fn render_prometheus(entries: &[MetricEntry]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for e in entries {
+        let name = &e.name;
+        match &e.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "# TYPE histql_{name} counter");
+                let _ = writeln!(out, "histql_{name} {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE histql_{name} gauge");
+                let _ = writeln!(out, "histql_{name} {v}");
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE histql_{name} summary");
+                let _ = writeln!(out, "histql_{name}{{quantile=\"0.5\"}} {}", h.p50);
+                let _ = writeln!(out, "histql_{name}{{quantile=\"0.9\"}} {}", h.p90);
+                let _ = writeln!(out, "histql_{name}{{quantile=\"0.99\"}} {}", h.p99);
+                let _ = writeln!(out, "histql_{name}_sum {}", h.sum);
+                let _ = writeln!(out, "histql_{name}_count {}", h.count);
+                let _ = writeln!(out, "# TYPE histql_{name}_max gauge");
+                let _ = writeln!(out, "histql_{name}_max {}", h.max);
+            }
+        }
+    }
+    out
+}
+
 impl Encode for HistorySample {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.t.encode(buf);
@@ -705,6 +944,14 @@ impl Encode for Response {
                 buf.push(14);
                 counters.encode(buf);
             }
+            Response::Metrics { entries } => {
+                buf.push(15);
+                entries.encode(buf);
+            }
+            Response::Slow { entries } => {
+                buf.push(16);
+                entries.encode(buf);
+            }
             Response::Bound { key, node } => {
                 buf.push(8);
                 key.encode(buf);
@@ -804,6 +1051,12 @@ impl Decode for Response {
             },
             14 => Response::Server {
                 counters: ServerCounters::decode(r)?,
+            },
+            15 => Response::Metrics {
+                entries: Vec::<MetricEntry>::decode(r)?,
+            },
+            16 => Response::Slow {
+                entries: Vec::<SlowQueryInfo>::decode(r)?,
             },
             t => return Err(TgError::Codec(format!("invalid Response tag {t}"))),
         })
@@ -1114,6 +1367,8 @@ mod tests {
                             evictions: 0,
                             bytes: 64,
                         },
+                        queries: 90,
+                        appends: 0,
                     },
                     ShardInfo {
                         index: 1,
@@ -1125,6 +1380,8 @@ mod tests {
                         cache: CacheStats::default(),
                         response_entries: 0,
                         response: ResponseCacheStats::default(),
+                        queries: 10,
+                        appends: 7,
                     },
                 ],
             },
@@ -1139,6 +1396,51 @@ mod tests {
                     sf_coalesced: 360,
                     sf_stale_rerenders: 1,
                 },
+            },
+            Response::Metrics {
+                entries: vec![
+                    MetricEntry {
+                        name: "path_fast_total".into(),
+                        value: MetricValue::Counter(42),
+                    },
+                    MetricEntry {
+                        name: "server_queue_depth".into(),
+                        value: MetricValue::Gauge(3),
+                    },
+                    MetricEntry {
+                        name: "verb_us_get_graph_at".into(),
+                        value: MetricValue::Histogram(HistogramStats {
+                            count: 100,
+                            sum: 12345,
+                            p50: 127,
+                            p90: 255,
+                            p99: 1023,
+                            max: 900,
+                        }),
+                    },
+                ],
+            },
+            Response::Slow {
+                entries: vec![
+                    SlowQueryInfo {
+                        verb: "GET GRAPH AT".into(),
+                        t: Some(Timestamp(-6)),
+                        shard: Some(2),
+                        total_us: 1500,
+                        queue_us: 100,
+                        service_us: 1400,
+                        session: 9,
+                    },
+                    SlowQueryInfo {
+                        verb: "OTHER".into(),
+                        t: None,
+                        shard: None,
+                        total_us: 80,
+                        queue_us: 0,
+                        service_us: 80,
+                        session: 1,
+                    },
+                ],
             },
             Response::Appended { t: Timestamp(20) },
             Response::Bound {
@@ -1174,6 +1476,50 @@ mod tests {
     fn text_frame_is_lines_plus_end() {
         let resp = Response::Pong;
         assert_eq!(resp.to_frame(WireFormat::Text), b"OK PONG\nEND\n");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let entries = vec![
+            MetricEntry {
+                name: "path_fast_total".into(),
+                value: MetricValue::Counter(42),
+            },
+            MetricEntry {
+                name: "server_queue_depth".into(),
+                value: MetricValue::Gauge(3),
+            },
+            MetricEntry {
+                name: "verb_us_get_graph_at".into(),
+                value: MetricValue::Histogram(HistogramStats {
+                    count: 100,
+                    sum: 12345,
+                    p50: 127,
+                    p90: 255,
+                    p99: 1023,
+                    max: 900,
+                }),
+            },
+        ];
+        let body = render_prometheus(&entries);
+        assert!(body.contains("# TYPE histql_path_fast_total counter\n"));
+        assert!(body.contains("histql_path_fast_total 42\n"));
+        assert!(body.contains("# TYPE histql_server_queue_depth gauge\n"));
+        assert!(body.contains("# TYPE histql_verb_us_get_graph_at summary\n"));
+        assert!(body.contains("histql_verb_us_get_graph_at{quantile=\"0.5\"} 127\n"));
+        assert!(body.contains("histql_verb_us_get_graph_at{quantile=\"0.99\"} 1023\n"));
+        assert!(body.contains("histql_verb_us_get_graph_at_sum 12345\n"));
+        assert!(body.contains("histql_verb_us_get_graph_at_count 100\n"));
+        assert!(body.contains("histql_verb_us_get_graph_at_max 900\n"));
+        // Every line is either a comment or `name[{labels}] value`.
+        for line in body.lines() {
+            assert!(
+                line.starts_with("# TYPE histql_")
+                    || (line.starts_with("histql_") && line.split(' ').count() == 2),
+                "malformed exposition line: {line}"
+            );
+        }
+        assert!(body.ends_with('\n'));
     }
 
     #[test]

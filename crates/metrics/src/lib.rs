@@ -1,0 +1,520 @@
+//! Lock-free observability primitives for the historical graph store.
+//!
+//! This crate provides the three instrument kinds the serving stack records
+//! into on its hot paths — [`Counter`], [`Gauge`], and a log-bucketed
+//! latency [`Histogram`] — plus a [`Registry`] that hands them out by name
+//! and snapshots them all at scrape time.
+//!
+//! The design contract is that **recording never blocks and never
+//! allocates**: every instrument is a fixed set of `AtomicU64`s updated with
+//! `Relaxed` operations, so a request on the reactor's fast path pays a few
+//! uncontended atomic adds and nothing else. All coordination cost is pushed
+//! to the *read* side ([`Histogram::snapshot`], [`Registry::snapshot`]),
+//! which runs only when an operator asks (`STATS METRICS`, the HTTP
+//! `/metrics` scrape).
+//!
+//! ## Histogram layout
+//!
+//! A [`Histogram`] is 64 power-of-two buckets (HDR-style, log-bucketed):
+//! bucket 0 holds exactly the value `0`, bucket `i` (1..=62) holds
+//! `[2^(i-1), 2^i)`, and bucket 63 holds everything from `2^62` up to
+//! `u64::MAX`. Values are microseconds in this workspace's usage, so the
+//! relative error from bucketing is at most 2x anywhere on the scale —
+//! plenty for latency quantiles — while `record` stays three relaxed atomic
+//! operations.
+//!
+//! Snapshots are computed *from the buckets* (the count is the bucket sum),
+//! so a snapshot raced by concurrent `record` calls is always internally
+//! consistent: quantiles are derived from the same bucket totals the count
+//! was. The `sum` field uses wrapping addition and can overflow for
+//! pathological inputs (e.g. recording `u64::MAX`); `count`, `max`, and the
+//! quantiles stay exact regardless.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Number of buckets in a [`Histogram`]: one zero bucket plus one per
+/// power-of-two magnitude of `u64`.
+pub const BUCKETS: usize = 64;
+
+/// A monotonically increasing event counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (wrapping, like all `u64` counters here).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time level (queue depth, live connections, resident bytes).
+#[derive(Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the level.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the level by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by `n` (saturating at zero would require a CAS loop;
+    /// callers pair `add`/`sub` so wrapping is fine and cheaper).
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The bucket a value lands in: 0 for the value `0`, otherwise one bucket
+/// per power-of-two magnitude (bucket `i` covers `[2^(i-1), 2^i)`, with the
+/// top bucket absorbing everything from `2^62` to `u64::MAX`).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// The largest value bucket `i` can hold (used as the quantile estimate for
+/// ranks that land in the bucket).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1..=62 => (1u64 << i) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// A fixed-size log-bucketed latency histogram. See the crate docs for the
+/// bucket layout and the concurrency contract.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation. Three relaxed atomic operations, no
+    /// allocation, no lock — safe on any hot path.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram. The count is derived from the
+    /// bucket totals, so quantiles computed from the snapshot are always
+    /// consistent with its count even when `record` races the read.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        let mut count = 0u64;
+        for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            let n = bucket.load(Ordering::Relaxed);
+            *slot = n;
+            count = count.wrapping_add(n);
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], with quantile estimation and
+/// merge (for aggregating per-shard or per-worker histograms).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations (sum of the buckets).
+    pub count: u64,
+    /// Sum of all observed values (wrapping on overflow).
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Per-bucket observation counts.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0..=1.0`): the upper bound of the
+    /// bucket containing the ceil(q * count)-th observation, clamped to the
+    /// observed maximum so the estimate never exceeds a real value. Returns
+    /// 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// The 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Folds `other` into `self` (bucket-wise addition; `max` of maxima).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a = a.wrapping_add(*b);
+        }
+    }
+}
+
+/// One named instrument's value at snapshot time. The histogram variant
+/// carries its 64 buckets inline: samples are produced once per scrape and
+/// consumed immediately, never stored in bulk, so indirection would only
+/// add an allocation per histogram per scrape.
+#[derive(Clone, Debug, PartialEq)]
+#[allow(clippy::large_enum_variant)]
+pub enum Sample {
+    /// A [`Counter`] total.
+    Counter(u64),
+    /// A [`Gauge`] level.
+    Gauge(u64),
+    /// A [`Histogram`] snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// A process-wide (or per-server) collection of named instruments.
+///
+/// Registration takes a mutex, so instruments are fetched **once** at
+/// startup and held as `Arc`s; recording through the returned handles never
+/// touches the registry again. Names are free-form but this workspace uses
+/// `snake_case` with a unit suffix (`verb_us_get_graph_at`,
+/// `path_fast_total`), which doubles as a valid Prometheus metric name.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Returns the counter named `name`, creating it at zero if absent.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Returns the gauge named `name`, creating it at zero if absent.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Returns the histogram named `name`, creating it empty if absent.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self
+            .histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Snapshots every registered instrument, sorted by name (counters,
+    /// gauges, and histograms interleaved into one ordered list).
+    pub fn snapshot(&self) -> Vec<(String, Sample)> {
+        let mut out: BTreeMap<String, Sample> = BTreeMap::new();
+        for (name, c) in self
+            .counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            out.insert(name.clone(), Sample::Counter(c.get()));
+        }
+        for (name, g) in self
+            .gauges
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            out.insert(name.clone(), Sample::Gauge(g.get()));
+        }
+        for (name, h) in self
+            .histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            out.insert(name.clone(), Sample::Histogram(h.snapshot()));
+        }
+        out.into_iter().collect()
+    }
+}
+
+/// The process-wide default registry. Servers normally build their own
+/// [`Registry`] (so tests and A/B benches stay isolated), but library code
+/// without a better home can register here.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        // Every power of two starts a new bucket; one less stays below.
+        for i in 1..63 {
+            let p = 1u64 << i;
+            assert_eq!(bucket_index(p), i + 1, "2^{i}");
+            assert_eq!(bucket_index(p - 1), i, "2^{i} - 1");
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_index(1u64 << 62), BUCKETS - 1);
+        assert_eq!(bucket_index((1u64 << 62) - 1), BUCKETS - 2);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_cover_their_indices() {
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i, "bucket {i}");
+        }
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(63), u64::MAX);
+    }
+
+    #[test]
+    fn records_zero_one_and_max() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[BUCKETS - 1], 1);
+        // sum wraps (0 + 1 + MAX) — documented; count and max stay exact.
+        assert_eq!(s.sum, 0);
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.p99(), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution() {
+        let h = Histogram::new();
+        // 90 fast observations at ~100, 10 slow at ~100_000.
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 100_000);
+        // p50 lands in 100's bucket [64, 128) → upper bound 127.
+        assert_eq!(s.p50(), 127);
+        assert_eq!(s.p90(), 127);
+        // p99 lands in the slow bucket; clamped to the observed max.
+        assert_eq!(s.p99(), 100_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s, HistogramSnapshot::default());
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [1u64, 5, 100] {
+            a.record(v);
+        }
+        for v in [3u64, 100_000] {
+            b.record(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 5);
+        assert_eq!(m.sum, 1 + 5 + 100 + 3 + 100_000);
+        assert_eq!(m.max, 100_000);
+        let direct = Histogram::new();
+        for v in [1u64, 5, 100, 3, 100_000] {
+            direct.record(v);
+        }
+        assert_eq!(m, direct.snapshot());
+    }
+
+    #[test]
+    fn concurrent_record_and_snapshot_stay_consistent() {
+        let h = Arc::new(Histogram::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let h = Arc::clone(&h);
+                thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record((i % 1000) * (w + 1));
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let h = Arc::clone(&h);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut last_count = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let s = h.snapshot();
+                    // Counts only grow, and the quantile never exceeds the
+                    // largest value any writer can produce.
+                    assert!(s.count >= last_count);
+                    assert!(s.p99() <= 999 * 4);
+                    let bucket_total: u64 = s.buckets.iter().sum();
+                    assert_eq!(s.count, bucket_total, "count derives from buckets");
+                    last_count = s.count;
+                }
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+        let s = h.snapshot();
+        assert_eq!(s.count, 40_000);
+        assert_eq!(s.max, 999 * 4);
+    }
+
+    #[test]
+    fn registry_hands_out_shared_instruments() {
+        let r = Registry::new();
+        let c1 = r.counter("requests_total");
+        let c2 = r.counter("requests_total");
+        c1.inc();
+        c2.add(2);
+        assert_eq!(r.counter("requests_total").get(), 3);
+
+        r.gauge("depth").set(7);
+        r.histogram("lat_us").record(42);
+
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["depth", "lat_us", "requests_total"]);
+        match &snap[1].1 {
+            Sample::Histogram(h) => assert_eq!(h.count, 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        assert_eq!(g.get(), 12);
+        // The global registry exists and is usable.
+        global().counter("global_smoke").inc();
+        assert!(global().counter("global_smoke").get() >= 1);
+    }
+}

@@ -5,7 +5,8 @@
 //!     [--addr 127.0.0.1:7171] [--toy | --churn] [--scale 1.0] \
 //!     [--max-conns 64] [--cache 128] [--resp-cache 128] \
 //!     [--resp-cache-bytes 0] [--workers 4] [--threaded] \
-//!     [--shards 1] [--shard-events 0]
+//!     [--shards 1] [--shard-events 0] [--no-metrics] \
+//!     [--metrics-addr 127.0.0.1:9191] [--slow-query-us 0]
 //! ```
 //!
 //! `--cache N` sizes each shard's snapshot cache (entries; 0 disables it):
@@ -30,6 +31,13 @@
 //! go to the tail shard only — historical shards (and their caches) are
 //! immutable. `--shard-events M` rolls a fresh tail shard once the tail
 //! holds M events (0 = never roll). `STATS SHARDS` reports the layout.
+//!
+//! Observability (see `docs/OBSERVABILITY.md`): per-verb and per-phase
+//! latency histograms are collected by default (`STATS METRICS` reports
+//! them; `--no-metrics` turns collection off). `--metrics-addr A` binds a
+//! Prometheus-style plaintext `GET /metrics` scrape endpoint on `A`, and
+//! `--slow-query-us N` captures requests slower than N µs into the ring
+//! drained by `STATS SLOW`.
 //!
 //! Prints the bound address on stdout, then serves until killed. Talk to it
 //! with any line client:
@@ -82,6 +90,11 @@ fn main() {
     let shard_events: usize = arg_value("--shard-events")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
+    let metrics_enabled = !std::env::args().any(|a| a == "--no-metrics");
+    let metrics_addr = arg_value("--metrics-addr");
+    let slow_query_us: u64 = arg_value("--slow-query-us")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let toy = std::env::args().any(|a| a == "--toy");
 
     let (events, label) = if toy {
@@ -121,6 +134,9 @@ fn main() {
         addr,
         max_connections,
         worker_threads: workers,
+        metrics_enabled,
+        metrics_addr,
+        slow_query_us,
         ..Default::default()
     };
     let server = if threaded {
@@ -135,6 +151,9 @@ fn main() {
         infos.len(),
         if threaded { "threaded" } else { "event" }
     );
+    if let Some(addr) = server.metrics_addr() {
+        println!("metrics scrape endpoint on http://{addr}/metrics");
+    }
     // Serve until killed.
     loop {
         std::thread::park();

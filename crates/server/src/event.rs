@@ -42,7 +42,7 @@
 //! force-closed; executors still out with a worker are dropped (releasing
 //! their pool overlays) when the completion surfaces.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
@@ -53,12 +53,24 @@ use std::time::{Duration, Instant};
 
 use epoll::{Events, Interest, Poller, Token, Waker};
 use historygraph::ShardedGraphManager;
-use histql::{frame_error, Executor, FlightTable, Reply, Response, ServerStats};
+use histql::{
+    frame_error, metrics_report, render_prometheus, Executor, FlightTable, MetricsHub, Reply,
+    Response, ServerStats,
+};
 
-use crate::{ServerConfig, MAX_LINE_BYTES};
+use crate::{http, ServerConfig, MAX_LINE_BYTES};
 
 /// Poller token of the listening socket; connection tokens start above it.
 const LISTENER_TOKEN: usize = 0;
+
+/// Poller token of the optional metrics scrape listener. Scrape-connection
+/// tokens are allocated from [`FIRST_HTTP_TOKEN`]`..2^SLOT_BITS` — histql
+/// connection tokens carry a generation ≥ 1 in their high bits, so every
+/// one of them is at least `2^SLOT_BITS + 1` and the ranges cannot collide.
+const METRICS_LISTENER_TOKEN: usize = 1;
+
+/// First token handed to an accepted metrics scrape connection.
+const FIRST_HTTP_TOKEN: usize = 2;
 
 /// Idle connections are swept after this long without a request — the
 /// event-core replacement for the threaded core's per-socket read timeout.
@@ -80,6 +92,8 @@ struct Work {
     token: usize,
     line: String,
     executor: Executor,
+    /// When the reactor queued this request (queue-wait phase timing).
+    enqueued_at: Instant,
 }
 
 /// A finished request on its way back to the reactor.
@@ -143,6 +157,13 @@ struct Conn {
     interest: Interest,
     /// Last time a complete request arrived (for the idle sweep).
     last_activity: Instant,
+    /// Accept time, consumed when the first request line is parsed (the
+    /// accept-to-parse phase histogram).
+    accepted_at: Option<Instant>,
+    /// When the outbox last went from empty to non-empty (the outbox-flush
+    /// phase histogram; fast-path replies written straight to the socket
+    /// never enter it).
+    outbox_since: Option<Instant>,
 }
 
 impl Conn {
@@ -152,6 +173,15 @@ impl Conn {
 
     fn has_output(&self) -> bool {
         self.out_pos < self.outbox.len()
+    }
+
+    /// Appends reply bytes to the outbox, stamping the flush-phase start
+    /// when the outbox transitions from empty to non-empty.
+    fn buffer_output(&mut self, bytes: &[u8]) {
+        if !self.has_output() && !bytes.is_empty() {
+            self.outbox_since = Some(Instant::now());
+        }
+        self.outbox.extend_from_slice(bytes);
     }
 
     /// Write-side backpressure: the unwritten reply backlog is over
@@ -256,7 +286,7 @@ impl Core {
 pub(crate) fn start(
     router: ShardedGraphManager,
     config: &ServerConfig,
-) -> io::Result<(SocketAddr, Core)> {
+) -> io::Result<(SocketAddr, Option<SocketAddr>, Core)> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -266,6 +296,11 @@ pub(crate) fn start(
     let active = Arc::new(AtomicUsize::new(0));
     let stats = Arc::new(ServerStats::new());
     let flights = Arc::new(FlightTable::new());
+    let hub = config.metrics_enabled.then(|| {
+        let hub = MetricsHub::new();
+        hub.set_slow_threshold_us(config.slow_query_us);
+        Arc::new(hub)
+    });
     let queue = Arc::new(WorkQueue::default());
     let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -277,6 +312,27 @@ pub(crate) fn start(
         Interest::READABLE,
     )?;
 
+    // The scrape endpoint shares the reactor: its listener is just another
+    // readiness source, and scrape connections are served between histql
+    // events without a dedicated thread.
+    let metrics_listener = match &config.metrics_addr {
+        Some(addr) => {
+            let l = TcpListener::bind(addr)?;
+            l.set_nonblocking(true)?;
+            poller.register(
+                l.as_raw_fd(),
+                Token(METRICS_LISTENER_TOKEN),
+                Interest::READABLE,
+            )?;
+            Some(l)
+        }
+        None => None,
+    };
+    let metrics_addr = metrics_listener
+        .as_ref()
+        .map(|l| l.local_addr())
+        .transpose()?;
+
     let workers = config.worker_threads.max(1);
     stats.workers.store(workers as u64, Ordering::Relaxed);
     for _ in 0..workers {
@@ -284,9 +340,18 @@ pub(crate) fn start(
         let completions = Arc::clone(&completions);
         let worker_waker = poller.waker()?;
         let stats = Arc::clone(&stats);
+        let hub = hub.clone();
         thread::spawn(move || {
             while let Some(mut work) = queue.pop() {
                 stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                if let Some(hub) = &hub {
+                    let waited_us = work.enqueued_at.elapsed().as_micros() as u64;
+                    hub.phase_queue_wait.record(waited_us);
+                    hub.path_worker.inc();
+                    // The executor folds the wait into the request's total
+                    // time for the slow-query threshold.
+                    work.executor.note_queue_wait(waited_us);
+                }
                 let reply = work.executor.execute_framed(&work.line);
                 completions
                     .lock()
@@ -310,13 +375,18 @@ pub(crate) fn start(
             let mut r = Reactor {
                 poller,
                 listener: Some(listener),
+                metrics_listener,
                 router,
                 conns: ConnSlab::new(),
+                http_conns: HashMap::new(),
+                next_http_token: FIRST_HTTP_TOKEN,
+                next_session: 1,
                 pending_exec: 0,
                 queue,
                 completions,
                 stats,
                 flights,
+                hub,
                 active,
                 max_connections,
                 draining: false,
@@ -332,6 +402,7 @@ pub(crate) fn start(
 
     Ok((
         addr,
+        metrics_addr,
         Core {
             shutdown,
             force,
@@ -443,17 +514,34 @@ impl ConnSlab {
     }
 }
 
+/// One accepted scrape connection: buffer the request head, answer once,
+/// flush, close.
+struct HttpConn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    outbox: Vec<u8>,
+    out_pos: usize,
+    responded: bool,
+}
+
 struct Reactor {
     poller: Poller,
     listener: Option<TcpListener>,
+    metrics_listener: Option<TcpListener>,
     router: ShardedGraphManager,
     conns: ConnSlab,
+    /// Scrape connections, keyed by their (sub-2^20) poller tokens.
+    http_conns: HashMap<usize, HttpConn>,
+    next_http_token: usize,
+    /// Session ids handed to executors (slow-query log attribution).
+    next_session: u64,
     /// Executors checked out for connections that no longer exist.
     pending_exec: usize,
     queue: Arc<WorkQueue>,
     completions: Arc<Mutex<Vec<Completion>>>,
     stats: Arc<ServerStats>,
     flights: Arc<FlightTable>,
+    hub: Option<Arc<MetricsHub>>,
     active: Arc<AtomicUsize>,
     max_connections: usize,
     draining: bool,
@@ -476,6 +564,19 @@ impl Reactor {
                 let token = event.token().0;
                 if token == LISTENER_TOKEN {
                     self.accept_ready();
+                    continue;
+                }
+                if token == METRICS_LISTENER_TOKEN {
+                    self.accept_metrics_ready();
+                    continue;
+                }
+                if self.http_conns.contains_key(&token) {
+                    self.http_event(
+                        token,
+                        event.is_readable(),
+                        event.is_writable(),
+                        event.is_hangup() || event.is_error(),
+                    );
                     continue;
                 }
                 if event.is_readable() {
@@ -556,9 +657,15 @@ impl Reactor {
             return;
         }
         let _ = stream.set_nodelay(true);
-        let executor = Executor::for_router(self.router.clone())
+        let session_id = self.next_session;
+        self.next_session += 1;
+        let mut executor = Executor::for_router(self.router.clone())
             .with_flights(Arc::clone(&self.flights))
-            .with_server_stats(Arc::clone(&self.stats));
+            .with_server_stats(Arc::clone(&self.stats))
+            .with_session_id(session_id);
+        if let Some(hub) = &self.hub {
+            executor = executor.with_metrics(Arc::clone(hub));
+        }
         let fd = stream.as_raw_fd();
         let token = self.conns.insert(Conn {
             stream,
@@ -570,6 +677,8 @@ impl Reactor {
             peer_eof: false,
             interest: Interest::READABLE,
             last_activity: Instant::now(),
+            accepted_at: self.hub.is_some().then(Instant::now),
+            outbox_since: None,
         });
         if self
             .poller
@@ -668,6 +777,12 @@ impl Reactor {
             if !failed && conn.out_pos == conn.outbox.len() {
                 conn.outbox.clear();
                 conn.out_pos = 0;
+                if let Some(since) = conn.outbox_since.take() {
+                    if let Some(hub) = &self.hub {
+                        hub.phase_outbox_flush
+                            .record(since.elapsed().as_micros() as u64);
+                    }
+                }
             }
         }
         if failed {
@@ -697,6 +812,12 @@ impl Reactor {
                         continue;
                     }
                     conn.last_activity = Instant::now();
+                    if let Some(accepted) = conn.accepted_at.take() {
+                        if let Some(hub) = &self.hub {
+                            hub.phase_accept_to_parse
+                                .record(accepted.elapsed().as_micros() as u64);
+                        }
+                    }
                     if request.eq_ignore_ascii_case("QUIT") {
                         // Handled outside the language; the goodbye honors
                         // the session's current encoding.
@@ -706,7 +827,7 @@ impl Reactor {
                             .expect("idle conn has executor")
                             .protocol();
                         let bye = Response::Bye.to_frame(proto);
-                        conn.outbox.extend_from_slice(&bye);
+                        conn.buffer_output(&bye);
                         conn.closing = true;
                         return;
                     }
@@ -743,7 +864,7 @@ impl Reactor {
                             }
                         }
                         if written < bytes.len() {
-                            conn.outbox.extend_from_slice(&bytes[written..]);
+                            conn.buffer_output(&bytes[written..]);
                         }
                         continue;
                     }
@@ -754,6 +875,7 @@ impl Reactor {
                         token,
                         line,
                         executor,
+                        enqueued_at: Instant::now(),
                     });
                 }
                 NextLine::TooLong => {
@@ -762,8 +884,7 @@ impl Reactor {
                         .as_ref()
                         .expect("idle conn has executor")
                         .protocol();
-                    conn.outbox
-                        .extend_from_slice(&frame_error("request line too long", proto));
+                    conn.buffer_output(&frame_error("request line too long", proto));
                     conn.closing = true;
                     return;
                 }
@@ -862,7 +983,7 @@ impl Reactor {
             let token = completion.token;
             let installed = match self.conns.get_mut(token) {
                 Some(conn) => {
-                    conn.outbox.extend_from_slice(completion.reply.as_ref());
+                    conn.buffer_output(completion.reply.as_ref());
                     conn.executor = Some(completion.executor);
                     if shutdown.load(Ordering::SeqCst) {
                         // Draining: the in-flight request got its
@@ -893,6 +1014,14 @@ impl Reactor {
         self.draining = true;
         if let Some(listener) = self.listener.take() {
             let _ = self.poller.deregister(listener.as_raw_fd());
+        }
+        // Scrapes are best-effort: close them outright rather than have a
+        // slow scraper extend the drain.
+        if let Some(listener) = self.metrics_listener.take() {
+            let _ = self.poller.deregister(listener.as_raw_fd());
+        }
+        for token in self.http_conns.keys().copied().collect::<Vec<_>>() {
+            self.close_http(token);
         }
         let tokens: Vec<usize> = self.conns.tokens();
         for token in tokens {
@@ -930,6 +1059,167 @@ impl Reactor {
             .collect();
         for token in doomed {
             self.close(token);
+        }
+    }
+
+    // --- metrics scrape endpoint ------------------------------------------
+
+    fn accept_metrics_ready(&mut self) {
+        loop {
+            let Some(listener) = self.metrics_listener.as_ref() else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if self.draining || stream.set_nonblocking(true).is_err() {
+                        continue; // dropped; scrapes are best-effort
+                    }
+                    let Some(token) = self.alloc_http_token() else {
+                        continue;
+                    };
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), Token(token), Interest::READABLE)
+                        .is_ok()
+                    {
+                        self.http_conns.insert(
+                            token,
+                            HttpConn {
+                                stream,
+                                read_buf: Vec::new(),
+                                outbox: Vec::new(),
+                                out_pos: 0,
+                                responded: false,
+                            },
+                        );
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Next free token in `FIRST_HTTP_TOKEN..2^SLOT_BITS` — the range histql
+    /// connection tokens (generation ≥ 1 in the high bits) can never use.
+    fn alloc_http_token(&mut self) -> Option<usize> {
+        for _ in FIRST_HTTP_TOKEN..SLOT_MASK {
+            let token = self.next_http_token;
+            self.next_http_token += 1;
+            if self.next_http_token > SLOT_MASK {
+                self.next_http_token = FIRST_HTTP_TOKEN;
+            }
+            if !self.http_conns.contains_key(&token) {
+                return Some(token);
+            }
+        }
+        None
+    }
+
+    fn http_event(&mut self, token: usize, readable: bool, writable: bool, hangup: bool) {
+        let mut gone = false;
+        let mut respond = false;
+        {
+            let scratch = &mut self.scratch[..];
+            let Some(conn) = self.http_conns.get_mut(&token) else {
+                return;
+            };
+            if readable && !conn.responded {
+                loop {
+                    match conn.stream.read(scratch) {
+                        Ok(0) => {
+                            gone = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            conn.read_buf.extend_from_slice(&scratch[..n]);
+                            if conn.read_buf.len() > http::MAX_HEAD_BYTES {
+                                gone = true;
+                                break;
+                            }
+                            if n < scratch.len() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            gone = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !gone && !conn.responded && http::head_complete(&conn.read_buf) {
+                respond = true;
+            }
+            if hangup && !conn.responded {
+                gone = true;
+            }
+        }
+        if gone {
+            self.close_http(token);
+            return;
+        }
+        if respond {
+            // Assemble the catalog outside the connection borrow; the
+            // report pulls from the router, caches, and serving counters.
+            let body = render_prometheus(&metrics_report(
+                self.hub.as_deref(),
+                &self.router,
+                Some(&self.flights),
+                Some(&self.stats),
+            ));
+            if let Some(conn) = self.http_conns.get_mut(&token) {
+                conn.outbox = http::respond(&conn.read_buf, || body);
+                conn.responded = true;
+            }
+        }
+        let mut failed = false;
+        let mut done = false;
+        let mut needs_write_interest = false;
+        if let Some(conn) = self.http_conns.get_mut(&token) {
+            if conn.responded && (respond || writable) {
+                while conn.out_pos < conn.outbox.len() {
+                    match conn.stream.write(&conn.outbox[conn.out_pos..]) {
+                        Ok(0) => {
+                            failed = true;
+                            break;
+                        }
+                        Ok(n) => conn.out_pos += n,
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            failed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            done = conn.responded && conn.out_pos == conn.outbox.len();
+            // A freshly answered connection that could not flush in one go
+            // switches from read to write interest.
+            needs_write_interest = respond && !failed && !done;
+        }
+        if failed || done {
+            self.close_http(token);
+            return;
+        }
+        if needs_write_interest {
+            if let Some(conn) = self.http_conns.get_mut(&token) {
+                let _ = self.poller.reregister(
+                    conn.stream.as_raw_fd(),
+                    Token(token),
+                    Interest::WRITABLE,
+                );
+            }
+        }
+    }
+
+    fn close_http(&mut self, token: usize) {
+        if let Some(conn) = self.http_conns.remove(&token) {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
         }
     }
 }

@@ -65,6 +65,7 @@ use historygraph::{ShardedGraphManager, SharedGraphManager};
 
 pub mod client;
 mod event;
+mod http;
 mod threaded;
 
 pub use client::Client;
@@ -88,6 +89,22 @@ pub struct ServerConfig {
     /// to at least 1; ignored by the threaded core, which spends a thread
     /// per connection instead).
     pub worker_threads: usize,
+    /// Collect per-verb and per-phase latency histograms, path counters,
+    /// and (when [`ServerConfig::slow_query_us`] is set) the slow-query
+    /// log. On by default: the hot path costs a handful of relaxed atomic
+    /// operations per request. `STATS METRICS` still answers when this is
+    /// off — it reports only the pull-side counters (caches, single-flight,
+    /// shards, connections), with no histograms.
+    pub metrics_enabled: bool,
+    /// Capture requests whose total time (queue wait + service) reaches
+    /// this many microseconds into the slow-query ring, drained by `STATS
+    /// SLOW`. `0` (the default) disables capture.
+    pub slow_query_us: u64,
+    /// Bind a plaintext HTTP scrape endpoint (`GET /metrics`, Prometheus
+    /// exposition format) on this address — served off the reactor in the
+    /// event core, a dedicated thread in the threaded core. `None` (the
+    /// default) binds nothing.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +114,9 @@ impl Default for ServerConfig {
             max_connections: 64,
             drain_timeout: Duration::from_secs(5),
             worker_threads: 4,
+            metrics_enabled: true,
+            slow_query_us: 0,
+            metrics_addr: None,
         }
     }
 }
@@ -109,6 +129,7 @@ enum HandleInner {
 /// Handle to a running server; shuts it down (with a drain) on drop.
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     drain_timeout: Duration,
     inner: HandleInner,
 }
@@ -117,6 +138,12 @@ impl ServerHandle {
     /// The bound address (with the actual port when 0 was requested).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound HTTP scrape-endpoint address, when
+    /// [`ServerConfig::metrics_addr`] requested one.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Number of connections currently being served (including, in the
@@ -173,9 +200,10 @@ pub fn serve_sharded(
     router: ShardedGraphManager,
     config: ServerConfig,
 ) -> io::Result<ServerHandle> {
-    let (addr, core) = event::start(router, &config)?;
+    let (addr, metrics_addr, core) = event::start(router, &config)?;
     Ok(ServerHandle {
         addr,
+        metrics_addr,
         drain_timeout: config.drain_timeout,
         inner: HandleInner::Event(core),
     })
@@ -196,9 +224,10 @@ pub fn serve_sharded_threaded(
     router: ShardedGraphManager,
     config: ServerConfig,
 ) -> io::Result<ServerHandle> {
-    let (addr, core) = threaded::start(router, &config)?;
+    let (addr, metrics_addr, core) = threaded::start(router, &config)?;
     Ok(ServerHandle {
         addr,
+        metrics_addr,
         drain_timeout: config.drain_timeout,
         inner: HandleInner::Threaded(core),
     })
@@ -648,6 +677,25 @@ mod tests {
         assert!(b.send("GET GRAPH AT 6").unwrap()[0].starts_with("OK GRAPH"));
         let mut c = Client::connect(server.addr()).unwrap();
         assert_eq!(c.recv().unwrap(), vec!["ERR server busy"]);
+    }
+
+    #[test]
+    fn threaded_core_reports_real_server_stats() {
+        let (server, _shared) = start_threaded(2);
+        let mut a = Client::connect(server.addr()).unwrap();
+        let mut b = Client::connect(server.addr()).unwrap();
+        a.send("PING").unwrap();
+        b.send("PING").unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        assert_eq!(c.recv().unwrap(), vec!["ERR server busy"]);
+        // Satellite parity: the threaded core reports real connection
+        // counters; queue_depth and workers stay 0 (event-core-only — this
+        // core has no worker queue).
+        let lines = a.send("STATS SERVER").unwrap();
+        assert_eq!(
+            lines[0],
+            "OK SERVER connections=2 accepted=2 rejected=1 queue_depth=0 workers=0"
+        );
     }
 
     #[test]

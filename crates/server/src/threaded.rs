@@ -7,10 +7,15 @@
 //! sessions parked in a blocking read. Semantics are identical to the
 //! event core: same framing, same `ERR server busy` refusal at the cap,
 //! same drain behavior (idle sessions observe EOF immediately, in-flight
-//! requests finish their response in full).
+//! requests finish their response in full), and the same observability
+//! surface — `STATS SERVER` / `STATS METRICS` report real connection
+//! counters here too, with `queue_depth` and `workers` pinned at 0 (this
+//! core has no worker queue; `path_worker_total` counts its connection
+//! threads instead). The optional `GET /metrics` scrape endpoint runs on
+//! a dedicated blocking thread rather than sharing a reactor.
 
 use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -18,9 +23,12 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use historygraph::ShardedGraphManager;
-use histql::{frame_error, Executor, Response};
+use histql::{
+    frame_error, metrics_report, render_prometheus, Executor, FlightTable, MetricsHub, Response,
+    ServerStats,
+};
 
-use crate::{read_bounded_line, ServerConfig, MAX_LINE_BYTES};
+use crate::{http, read_bounded_line, ServerConfig, MAX_LINE_BYTES};
 
 /// Registry of the streams behind live connections, so a draining shutdown
 /// can reach sessions that sit idle in a blocking read.
@@ -72,10 +80,12 @@ impl ConnRegistry {
 /// The threaded serving core behind a [`crate::ServerHandle`].
 pub(crate) struct Core {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shutdown: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
     registry: Arc<ConnRegistry>,
     accept_thread: Option<JoinHandle<()>>,
+    metrics_thread: Option<JoinHandle<()>>,
 }
 
 impl Core {
@@ -87,9 +97,15 @@ impl Core {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Wake the blocking accept with a throwaway connection.
+        // Wake the blocking accepts with throwaway connections.
         let _ = TcpStream::connect(self.addr);
+        if let Some(addr) = self.metrics_addr {
+            let _ = TcpStream::connect(addr);
+        }
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.metrics_thread.take() {
             let _ = t.join();
         }
         self.registry.shutdown_reads();
@@ -118,18 +134,58 @@ impl Core {
 pub(crate) fn start(
     router: ShardedGraphManager,
     config: &ServerConfig,
-) -> io::Result<(SocketAddr, Core)> {
+) -> io::Result<(SocketAddr, Option<SocketAddr>, Core)> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let active = Arc::new(AtomicUsize::new(0));
     let registry = Arc::new(ConnRegistry::default());
+    let stats = Arc::new(ServerStats::new());
+    // Single sessions rarely coalesce on this core, but the table keeps
+    // the metric catalog (and render semantics) identical to the event
+    // core's.
+    let flights = Arc::new(FlightTable::new());
+    let hub = config.metrics_enabled.then(|| {
+        let hub = MetricsHub::new();
+        hub.set_slow_threshold_us(config.slow_query_us);
+        Arc::new(hub)
+    });
     let max_connections = config.max_connections;
+
+    let metrics_listener = config
+        .metrics_addr
+        .as_deref()
+        .map(TcpListener::bind)
+        .transpose()?;
+    let metrics_addr = metrics_listener
+        .as_ref()
+        .map(|l| l.local_addr())
+        .transpose()?;
+    let metrics_thread = metrics_listener.map(|listener| {
+        let shutdown = Arc::clone(&shutdown);
+        let hub = hub.clone();
+        let router = router.clone();
+        let flights = Arc::clone(&flights);
+        let stats = Arc::clone(&stats);
+        thread::spawn(move || {
+            serve_scrapes(
+                listener,
+                &shutdown,
+                hub.as_deref(),
+                &router,
+                &flights,
+                &stats,
+            )
+        })
+    });
 
     let accept_thread = {
         let shutdown = Arc::clone(&shutdown);
         let active = Arc::clone(&active);
         let registry = Arc::clone(&registry);
+        let stats = Arc::clone(&stats);
+        let flights = Arc::clone(&flights);
+        let hub = hub.clone();
         thread::spawn(move || {
             for stream in listener.incoming() {
                 if shutdown.load(Ordering::SeqCst) {
@@ -137,6 +193,7 @@ pub(crate) fn start(
                 }
                 let Ok(stream) = stream else { continue };
                 if active.load(Ordering::SeqCst) >= max_connections {
+                    stats.rejected.fetch_add(1, Ordering::Relaxed);
                     refuse(stream);
                     continue;
                 }
@@ -146,25 +203,38 @@ pub(crate) fn start(
                 // fails under fd exhaustion, where shedding load is the
                 // right call anyway.
                 let Ok(clone) = stream.try_clone() else {
+                    stats.rejected.fetch_add(1, Ordering::Relaxed);
                     refuse(stream);
                     continue;
                 };
                 active.fetch_add(1, Ordering::SeqCst);
                 let conn_id = registry.register(clone);
+                stats.accepted.fetch_add(1, Ordering::Relaxed);
+                stats.live_connections.fetch_add(1, Ordering::Relaxed);
                 let guard = ConnGuard {
                     active: Arc::clone(&active),
                     registry: Arc::clone(&registry),
+                    stats: Arc::clone(&stats),
                     conn_id,
                 };
                 let router = router.clone();
                 let shutdown = Arc::clone(&shutdown);
+                let stats = Arc::clone(&stats);
+                let flights = Arc::clone(&flights);
+                let hub = hub.clone();
                 thread::spawn(move || {
                     let _guard = guard;
                     // The executor's sharded session releases this
                     // connection's overlays on every shard when the thread
                     // ends, however it ends.
-                    let mut executor = Executor::for_router(router);
-                    let _ = serve_connection(stream, &mut executor, &shutdown);
+                    let mut executor = Executor::for_router(router)
+                        .with_flights(flights)
+                        .with_server_stats(stats)
+                        .with_session_id(conn_id);
+                    if let Some(hub) = &hub {
+                        executor = executor.with_metrics(Arc::clone(hub));
+                    }
+                    let _ = serve_connection(stream, &mut executor, hub.as_deref(), &shutdown);
                 });
             }
         })
@@ -172,12 +242,15 @@ pub(crate) fn start(
 
     Ok((
         addr,
+        metrics_addr,
         Core {
             addr,
+            metrics_addr,
             shutdown,
             active,
             registry,
             accept_thread: Some(accept_thread),
+            metrics_thread,
         },
     ))
 }
@@ -185,6 +258,7 @@ pub(crate) fn start(
 struct ConnGuard {
     active: Arc<AtomicUsize>,
     registry: Arc<ConnRegistry>,
+    stats: Arc<ServerStats>,
     conn_id: u64,
 }
 
@@ -192,6 +266,42 @@ impl Drop for ConnGuard {
     fn drop(&mut self) {
         self.registry.deregister(self.conn_id);
         self.active.fetch_sub(1, Ordering::SeqCst);
+        self.stats.live_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The scrape endpoint, threaded-core style: one blocking thread accepts
+/// scrape connections, reads each request head under a short timeout,
+/// answers with the same catalog the event core serves, and closes.
+fn serve_scrapes(
+    listener: TcpListener,
+    shutdown: &AtomicBool,
+    hub: Option<&MetricsHub>,
+    router: &ShardedGraphManager,
+    flights: &FlightTable,
+    stats: &ServerStats,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let mut head = Vec::new();
+        let mut chunk = [0u8; 1024];
+        while head.len() <= http::MAX_HEAD_BYTES && !http::head_complete(&head) {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => head.extend_from_slice(&chunk[..n]),
+            }
+        }
+        if !http::head_complete(&head) {
+            continue;
+        }
+        let reply = http::respond(&head, || {
+            render_prometheus(&metrics_report(hub, router, Some(flights), Some(stats)))
+        });
+        let _ = stream.write_all(&reply);
     }
 }
 
@@ -204,6 +314,7 @@ fn refuse(stream: TcpStream) {
 fn serve_connection(
     stream: TcpStream,
     executor: &mut Executor,
+    hub: Option<&MetricsHub>,
     shutdown: &AtomicBool,
 ) -> io::Result<()> {
     // A generous read timeout so half-dead peers cannot pin a connection
@@ -240,6 +351,11 @@ fn serve_connection(
         // One complete reply frame — text lines + END or one binary frame —
         // rendered by the executor (or served pre-framed from the response
         // cache). Errors arrive already rendered as error frames.
+        if let Some(hub) = hub {
+            // This core has no reactor fast path: every request takes the
+            // "worker" path (the connection's own thread).
+            hub.path_worker.inc();
+        }
         let reply = executor.execute_framed(request);
         writer.write_all(reply.as_ref())?;
         writer.flush()?;

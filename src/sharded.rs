@@ -30,7 +30,7 @@
 //! otherwise — see `docs/PROTOCOL.md`.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread;
 
@@ -111,6 +111,11 @@ struct Shard {
     /// Real (non-seed) events this shard holds, counted against the roll
     /// budget.
     events: AtomicUsize,
+    /// Queries routed to this shard (skew accounting; see
+    /// [`ShardInfo::queries`]).
+    queries: AtomicU64,
+    /// Events appended to this shard through the router.
+    appends: AtomicU64,
 }
 
 /// Per-shard serving statistics, the payload of `STATS SHARDS`.
@@ -135,6 +140,13 @@ pub struct ShardInfo {
     pub response_entries: usize,
     /// The shard's response-cache counters.
     pub response: ResponseCacheStats,
+    /// Queries the router sent to this shard: point retrievals, entity
+    /// peeks, multipoint samples (one per sampled point), and interval or
+    /// expression executions. Compare across shards to see skew.
+    pub queries: u64,
+    /// Events appended to this shard through the router (a rolled shard
+    /// starts at 1: the append that triggered the roll).
+    pub appends: u64,
 }
 
 impl Encode for ShardInfo {
@@ -148,6 +160,8 @@ impl Encode for ShardInfo {
         self.cache.encode(buf);
         self.response_entries.encode(buf);
         self.response.encode(buf);
+        self.queries.encode(buf);
+        self.appends.encode(buf);
     }
 }
 
@@ -163,6 +177,8 @@ impl Decode for ShardInfo {
             cache: CacheStats::decode(r)?,
             response_entries: usize::decode(r)?,
             response: ResponseCacheStats::decode(r)?,
+            queries: u64::decode(r)?,
+            appends: u64::decode(r)?,
         })
     }
 }
@@ -323,6 +339,8 @@ impl ShardedGraphManager {
                 shared: SharedGraphManager::new(gm),
                 lower,
                 events: AtomicUsize::new(real),
+                queries: AtomicU64::new(0),
+                appends: AtomicU64::new(0),
             })
         };
         for b in boundaries {
@@ -415,6 +433,8 @@ impl ShardedGraphManager {
                     shared,
                     lower: None,
                     events: AtomicUsize::new(0),
+                    queries: AtomicU64::new(0),
+                    appends: AtomicU64::new(0),
                 }]),
                 config: ShardedConfig::default(),
                 // Unreachable while shard_events is 0 (rolling disabled).
@@ -508,9 +528,23 @@ impl ShardedGraphManager {
     // the render, whose fresh append epoch can coincide with the old tail's
     // and defeat the staleness guard.
 
+    /// Bumps the owning shard's query counter by `n` (skew accounting).
+    /// Each routed *point* counts once, wherever it is served from; callers
+    /// on probe-then-fallback paths count at exactly one of the two steps
+    /// so a request is never double-counted.
+    fn note_queries(&self, shard: usize, n: u64) {
+        if let Some(s) = self.read_shards().get(shard) {
+            s.queries.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Routes a read-only snapshot-cache probe to the shard owning `t`.
+    /// Counts as the shard's query for the probe-then-`snapshot_at`
+    /// entity-read path (the fallback compute is not counted again).
     pub fn peek_cached(&self, t: Timestamp, opts: &AttrOptions) -> Option<Arc<Snapshot>> {
-        self.shard_for(t).peek_cached(t, opts)
+        let shard = self.shard_index_for(t);
+        self.note_queries(shard, 1);
+        self.shard_at(shard).peek_cached(t, opts)
     }
 
     /// Computes the snapshot as of `t` on the owning shard (no overlay).
@@ -524,6 +558,9 @@ impl ShardedGraphManager {
     /// No overlays are created.
     pub fn snapshots_at(&self, times: &[Timestamp], opts: &AttrOptions) -> DgResult<Vec<Snapshot>> {
         let groups = self.group_by_shard(times);
+        for (shard, points) in &groups {
+            self.note_queries(*shard, points.len() as u64);
+        }
         let mut slots: Vec<Option<Snapshot>> = times.iter().map(|_| None).collect();
         if groups.len() <= 1 {
             for (shard, points) in groups {
@@ -602,6 +639,7 @@ impl ShardedGraphManager {
             if !self.wants_roll(tail, &gm, &event) {
                 gm.append_event(event.clone())?;
                 tail.events.fetch_add(1, Ordering::Relaxed);
+                tail.appends.fetch_add(1, Ordering::Relaxed);
                 return Ok(event);
             }
         }
@@ -615,6 +653,7 @@ impl ShardedGraphManager {
         if !self.wants_roll(tail, &gm, &event) {
             gm.append_event(event.clone())?;
             tail.events.fetch_add(1, Ordering::Relaxed);
+            tail.appends.fetch_add(1, Ordering::Relaxed);
             return Ok(event);
         }
         let boundary = event.time;
@@ -638,6 +677,9 @@ impl ShardedGraphManager {
             shared: SharedGraphManager::new(next),
             lower: Some(boundary),
             events: AtomicUsize::new(1),
+            queries: AtomicU64::new(0),
+            // The event that triggered the roll lands in the new shard.
+            appends: AtomicU64::new(1),
         });
         Ok(event)
     }
@@ -689,6 +731,8 @@ impl ShardedGraphManager {
                     cache: gm.cache_stats(),
                     response_entries: gm.response_cache_len(),
                     response: gm.response_cache_stats(),
+                    queries: s.queries.load(Ordering::Relaxed),
+                    appends: s.appends.load(Ordering::Relaxed),
                 }
             })
             .collect()
@@ -838,6 +882,7 @@ impl ShardedSession {
         opts: &AttrOptions,
     ) -> DgResult<(SharedGraphManager, CachedPoint)> {
         let shard = self.router.shard_index_for(t);
+        self.router.note_queries(shard, 1);
         let session = self.session_for(shard);
         let point = session.retrieve_cached(t, opts)?;
         Ok((session.shared().clone(), point))
@@ -855,7 +900,13 @@ impl ShardedSession {
         opts: &AttrOptions,
     ) -> Option<Arc<Snapshot>> {
         let shard = self.router.shard_index_for(t);
-        self.session_for(shard).acquire_cached(t, opts)
+        let hit = self.session_for(shard).acquire_cached(t, opts);
+        if hit.is_some() {
+            // A miss computes nothing here; the full retrieval the caller
+            // falls back to does its own query accounting.
+            self.router.note_queries(shard, 1);
+        }
+        hit
     }
 
     /// [`ShardedSession::acquire_cached_routed`] plus the context needed to
@@ -870,10 +921,17 @@ impl ShardedSession {
         opts: &AttrOptions,
     ) -> Option<(SharedGraphManager, u64, Arc<Snapshot>)> {
         let shard = self.router.shard_index_for(t);
-        let session = self.session_for(shard);
-        let epoch = session.shared().read().append_epoch();
-        let snapshot = session.acquire_cached(t, opts)?;
-        Some((session.shared().clone(), epoch, snapshot))
+        // A miss acquires nothing and must leave every counter untouched
+        // (the reactor fast path's contract), so the query is counted only
+        // on the hit.
+        let (shared, epoch, snapshot) = {
+            let session = self.session_for(shard);
+            let epoch = session.shared().read().append_epoch();
+            let snapshot = session.acquire_cached(t, opts)?;
+            (session.shared().clone(), epoch, snapshot)
+        };
+        self.router.note_queries(shard, 1);
+        Some((shared, epoch, snapshot))
     }
 
     /// Multipoint retrieval: times are grouped by owning shard; each group
@@ -886,6 +944,9 @@ impl ShardedSession {
         opts: &AttrOptions,
     ) -> DgResult<Vec<Arc<Snapshot>>> {
         let groups = self.router.group_by_shard(times);
+        for (shard, points) in &groups {
+            self.router.note_queries(*shard, points.len() as u64);
+        }
         let mut slots: Vec<Option<Arc<Snapshot>>> = times.iter().map(|_| None).collect();
         if groups.len() <= 1 {
             for (shard, points) in groups {
@@ -955,6 +1016,7 @@ impl ShardedSession {
     ) -> DgResult<(Snapshot, Vec<Event>)> {
         let max = if end > start { end.prev() } else { start };
         let (shard, shared) = self.router.covering_shard(start.min(max), start.max(max))?;
+        self.router.note_queries(shard, 1);
         let (graph, transients) = shared.snapshot_interval(start, end, opts)?;
         self.session_for(shard).overlay(&graph, start);
         Ok((graph, transients))
@@ -971,6 +1033,7 @@ impl ShardedSession {
         let min = tex.times.iter().copied().min().unwrap_or(anchor);
         let max = tex.times.iter().copied().max().unwrap_or(anchor);
         let (shard, shared) = self.router.covering_shard(min, max)?;
+        self.router.note_queries(shard, 1);
         let graph = shared.snapshot_expr(tex, opts)?;
         self.session_for(shard).overlay(&graph, anchor);
         Ok(graph)
@@ -1399,6 +1462,8 @@ mod tests {
                 evictions: 1,
                 bytes: 128,
             },
+            queries: 17,
+            appends: 5,
         };
         let mut buf = Vec::new();
         info.encode(&mut buf);
