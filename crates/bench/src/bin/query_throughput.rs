@@ -41,6 +41,16 @@
 //! overhead rather than reply memcpy bandwidth; pass `--scale` to
 //! override. The mixed and hot modes likewise emit
 //! `BENCH_query_throughput.json` next to their tables.
+//!
+//! `--restart` switches to the durability workload: the sharded router is
+//! built once and persisted to disk (`--wal-sync` selects the fsync
+//! policy), then the time from a cold process start to the first answered
+//! query is measured two ways — recovering the persisted deployment
+//! (segment files + WAL replay) versus rebuilding the whole router from
+//! the raw event trace. Cold-read latencies over a spread of historical
+//! points follow on each, all caches empty. The table (and
+//! `BENCH_durability.json`) reports both paths, so the claim that durable
+//! restart beats a full rebuild is measured, not asserted.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -1188,11 +1198,167 @@ fn run_connections(opts: &HarnessOptions, seconds: usize) {
     }
 }
 
+/// `--restart`: durable recovery vs full in-memory rebuild, measured from
+/// a cold start to the first answered query, then over cold historical
+/// reads. Runs in-process (no TCP) so the numbers isolate storage and
+/// index construction rather than connection setup.
+fn run_restart(opts: &HarnessOptions) {
+    use historygraph::tgraph::AttrOptions;
+    use historygraph::WalSyncPolicy;
+
+    let shards = arg_value("--shards", 4).max(1);
+    let wal_sync = arg_str("--wal-sync")
+        .map(|v| WalSyncPolicy::parse(&v).expect("--wal-sync"))
+        .unwrap_or(WalSyncPolicy::Always);
+    let ds = dataset2(opts.scale * 0.2);
+    let (start_t, end_t) = (ds.start_time().raw(), ds.end_time().raw());
+    println!(
+        "query_throughput --restart: scale={} shards={shards} wal-sync={wal_sync} ({} events)",
+        opts.scale,
+        ds.events.len()
+    );
+    let config = ShardedConfig::default().with_shards(shards);
+    let dir = std::env::temp_dir().join(format!("bench-durability-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // One-time cost: build the router AND persist it (segments + WAL).
+    let t0 = Instant::now();
+    let durable = ShardedGraphManager::build_durable(&ds.events, config.clone(), &dir, wal_sync)
+        .expect("durable build");
+    let build_persist_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let info = durable.storage_info();
+    drop(durable); // "process exit"
+
+    // Cold probe points: a spread over the whole history, none repeated,
+    // so every read pays the full fetch path on empty caches.
+    let probes: Vec<i64> = (0..64)
+        .map(|i| start_t + (end_t - start_t) * i / 63)
+        .collect();
+    let opts_all = AttrOptions::all();
+    let measure = |router: &ShardedGraphManager| -> (f64, Vec<u64>) {
+        let t0 = Instant::now();
+        router
+            .snapshot_at(Timestamp(probes[probes.len() / 2]), &opts_all)
+            .expect("first query");
+        let first_query_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let mut lat: Vec<u64> = probes
+            .iter()
+            .map(|&t| {
+                let q = Instant::now();
+                router.snapshot_at(Timestamp(t), &opts_all).expect("probe");
+                q.elapsed().as_micros() as u64
+            })
+            .collect();
+        lat.sort_unstable();
+        (first_query_ms, lat)
+    };
+    let pct = |lat: &[u64], p: f64| -> u64 {
+        let idx = ((lat.len() as f64 * p) as usize).min(lat.len() - 1);
+        lat[idx]
+    };
+
+    // Path 1: restart = recover the persisted deployment.
+    let t0 = Instant::now();
+    let recovered = ShardedGraphManager::open(&dir, config.clone(), wal_sync).expect("recovery");
+    let open_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (first_after_open_ms, open_lat) = measure(&recovered);
+    let restart_total_ms = open_ms + first_after_open_ms;
+    drop(recovered);
+
+    // Path 2: rebuild = construct the same router from the raw trace (what
+    // a restart has to do without durable storage).
+    let t0 = Instant::now();
+    let rebuilt = ShardedGraphManager::build_in_memory(&ds.events, config).expect("rebuild");
+    let rebuild_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (first_after_rebuild_ms, rebuild_lat) = measure(&rebuilt);
+    let rebuild_total_ms = rebuild_ms + first_after_rebuild_ms;
+    drop(rebuilt);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let rows = vec![
+        vec![
+            "durable restart".to_string(),
+            format!("{open_ms:.1}"),
+            format!("{first_after_open_ms:.2}"),
+            format!("{restart_total_ms:.1}"),
+            format!("{}", pct(&open_lat, 0.5)),
+            format!("{}", pct(&open_lat, 0.99)),
+        ],
+        vec![
+            "in-memory rebuild".to_string(),
+            format!("{rebuild_ms:.1}"),
+            format!("{first_after_rebuild_ms:.2}"),
+            format!("{rebuild_total_ms:.1}"),
+            format!("{}", pct(&rebuild_lat, 0.5)),
+            format!("{}", pct(&rebuild_lat, 0.99)),
+        ],
+    ];
+    print_table(
+        "restart to first query",
+        &[
+            "path",
+            "startup ms",
+            "first query ms",
+            "total ms",
+            "cold p50 us",
+            "cold p99 us",
+        ],
+        &rows,
+    );
+    println!(
+        "speedup: durable restart reaches its first answer {:.2}x faster than a full rebuild",
+        rebuild_total_ms / restart_total_ms.max(0.001)
+    );
+
+    let json = Json::obj(vec![
+        ("bench", Json::from("durability")),
+        ("mode", Json::from("restart")),
+        ("scale", Json::from(opts.scale)),
+        ("shards", Json::from(shards)),
+        ("wal_sync", Json::from(wal_sync.to_string().as_str())),
+        ("events", Json::from(ds.events.len())),
+        ("build_persist_ms", Json::from(build_persist_ms)),
+        ("segments", Json::from(info.segments)),
+        ("segment_bytes", Json::from(info.segment_bytes)),
+        ("wal_bytes", Json::from(info.wal_bytes)),
+        (
+            "durable_restart",
+            Json::obj(vec![
+                ("startup_ms", Json::from(open_ms)),
+                ("first_query_ms", Json::from(first_after_open_ms)),
+                ("total_ms", Json::from(restart_total_ms)),
+                ("cold_read_p50_us", Json::from(pct(&open_lat, 0.5))),
+                ("cold_read_p99_us", Json::from(pct(&open_lat, 0.99))),
+            ]),
+        ),
+        (
+            "in_memory_rebuild",
+            Json::obj(vec![
+                ("startup_ms", Json::from(rebuild_ms)),
+                ("first_query_ms", Json::from(first_after_rebuild_ms)),
+                ("total_ms", Json::from(rebuild_total_ms)),
+                ("cold_read_p50_us", Json::from(pct(&rebuild_lat, 0.5))),
+                ("cold_read_p99_us", Json::from(pct(&rebuild_lat, 0.99))),
+            ]),
+        ),
+        (
+            "restart_speedup",
+            Json::from(rebuild_total_ms / restart_total_ms.max(0.001)),
+        ),
+    ]);
+    write_json("BENCH_durability.json", &json).expect("write BENCH_durability.json");
+}
+
 fn main() {
     let opts = HarnessOptions::from_args();
     let clients = arg_value("--clients", 8);
     let seconds = arg_value("--seconds", 5);
 
+    if std::env::args().any(|a| a == "--restart") {
+        run_restart(&opts);
+        return;
+    }
     if arg_str("--connections").is_some() {
         run_connections(&opts, seconds);
         return;

@@ -3,7 +3,11 @@
 //! The paper's Dataset 2 takes Dataset 1 as its starting snapshot and appends
 //! 2M events — 1M edge additions and 1M edge deletions — so that, unlike the
 //! growing-only DBLP trace, older and newer snapshots have comparable sizes
-//! and the Intersection differential function behaves very differently.
+//! and the Intersection differential function behaves very differently. A
+//! small fraction of the churn also adds and deletes *nodes*, exercising the
+//! §3.1 bidirectionality discipline for `DeleteNode`: a node's attributes
+//! and incident edges must be cleared by earlier events before the node
+//! itself goes, or backward application could not restore them.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -27,6 +31,9 @@ pub struct ChurnConfig {
     pub end_time: i64,
     /// Fraction of churn additions that also set an edge attribute.
     pub attr_fraction: f64,
+    /// Fraction of churn steps that churn a node (add or delete) instead of
+    /// an edge.
+    pub node_churn_fraction: f64,
 }
 
 impl Default for ChurnConfig {
@@ -37,6 +44,7 @@ impl Default for ChurnConfig {
             seed: 43,
             end_time: 2012,
             attr_fraction: 0.2,
+            node_churn_fraction: 0.08,
         }
     }
 }
@@ -50,6 +58,7 @@ impl ChurnConfig {
             seed: seed.wrapping_add(1),
             end_time: 2012,
             attr_fraction: 0.2,
+            node_churn_fraction: 0.08,
         }
     }
 
@@ -87,17 +96,74 @@ pub fn churn_trace(cfg: &ChurnConfig) -> Dataset {
         })
         .collect();
     alive.sort_by_key(|(e, _, _, _)| *e);
-    let nodes: Vec<NodeId> = {
+    let mut nodes: Vec<NodeId> = {
         let mut v: Vec<NodeId> = final_base.node_ids().collect();
         v.sort_unstable();
         v
     };
+    // Node attributes, for the same clearing discipline on DeleteNode.
+    let mut node_attrs: std::collections::HashMap<NodeId, Vec<(String, AttrValue)>> = final_base
+        .nodes()
+        .map(|(n, d)| {
+            (
+                n,
+                d.attrs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect(),
+            )
+        })
+        .collect();
     let mut next_edge: u64 = alive.iter().map(|(e, _, _, _)| e.raw()).max().unwrap_or(0) + 1;
+    let mut next_node: u64 = nodes.iter().map(|n| n.raw()).max().unwrap_or(0) + 1;
 
     let mut events: Vec<Event> = base.events.clone().into_events();
     let churn_start = base_end.raw() + 1;
     for i in 0..cfg.churn_events {
         let time = superlinear_time(i, cfg.churn_events, churn_start, cfg.end_time);
+        if rng.gen_bool(cfg.node_churn_fraction) {
+            if rng.gen_bool(0.5) && nodes.len() > 2 {
+                // Delete a node: clear its attributes, then clear and delete
+                // every incident edge, then the node itself — the §3.1 order.
+                let idx = rng.gen_range(0..nodes.len());
+                let victim = nodes.swap_remove(idx);
+                for (key, value) in node_attrs.remove(&victim).unwrap_or_default() {
+                    events.push(Event::set_node_attr(time, victim, key, Some(value), None));
+                }
+                let mut k = 0;
+                while k < alive.len() {
+                    if alive[k].1 == victim || alive[k].2 == victim {
+                        let (e, src, dst, attrs) = alive.swap_remove(k);
+                        for (key, value) in attrs {
+                            events.push(Event::set_edge_attr(time, e, key, Some(value), None));
+                        }
+                        events.push(Event::delete_edge(time, e, src, dst));
+                    } else {
+                        k += 1;
+                    }
+                }
+                events.push(Event::delete_node(time, victim));
+            } else {
+                let n = NodeId(next_node);
+                next_node += 1;
+                events.push(Event::add_node(time, n));
+                let mut attrs = Vec::new();
+                if rng.gen_bool(cfg.attr_fraction) {
+                    let value = AttrValue::Int(rng.gen_range(1..20));
+                    events.push(Event::set_node_attr(
+                        time,
+                        n,
+                        "papers",
+                        None,
+                        Some(value.clone()),
+                    ));
+                    attrs.push(("papers".to_string(), value));
+                }
+                nodes.push(n);
+                node_attrs.insert(n, attrs);
+            }
+            continue;
+        }
         let delete = rng.gen_bool(0.5) && !alive.is_empty();
         if delete {
             let idx = rng.gen_range(0..alive.len());
@@ -223,6 +289,42 @@ mod tests {
             }
             snap.apply_forward(ev).unwrap();
         }
+    }
+
+    #[test]
+    fn nodes_are_attribute_and_edge_free_when_deleted() {
+        // Bidirectionality (paper §3.1), the node form: a DeleteNode event
+        // carries only the node id, so backward application can restore
+        // exactly what forward application removed only if the node's
+        // attributes were cleared and its incident edges deleted by earlier
+        // events. The generator must never rely on delete-time cascading.
+        let ds = churn_trace(&ChurnConfig::tiny(13));
+        let mut snap = tgraph::Snapshot::new();
+        let mut deletions = 0;
+        for ev in ds.events.events() {
+            if let tgraph::EventKind::DeleteNode { node } = &ev.kind {
+                deletions += 1;
+                let data = snap.node(*node).expect("deleting a live node");
+                assert!(
+                    data.attrs.is_empty(),
+                    "node {node} deleted at {} while still carrying {:?}",
+                    ev.time.raw(),
+                    data.attrs
+                );
+                let incident: Vec<EdgeId> = snap
+                    .edges()
+                    .filter(|(_, d)| d.src == *node || d.dst == *node)
+                    .map(|(e, _)| e)
+                    .collect();
+                assert!(
+                    incident.is_empty(),
+                    "node {node} deleted at {} with live edges {incident:?}",
+                    ev.time.raw()
+                );
+            }
+            snap.apply_forward(ev).unwrap();
+        }
+        assert!(deletions > 0, "the churn phase must delete nodes");
     }
 
     #[test]

@@ -90,6 +90,10 @@ pub enum Query {
     /// `STATS SLOW` — drains the slow-query ring buffer (requests over the
     /// server's `--slow-query-us` threshold).
     SlowStats,
+    /// `STATS STORAGE` — durable-store counters: WAL bytes/appends/fsyncs,
+    /// sealed segment count and bytes, torn-tail truncations, and the last
+    /// recovery's duration (all zero/`none` for in-memory deployments).
+    StorageStats,
     /// `APPEND ...` — one live update event.
     Append(AppendSpec),
     /// `BIND <key> <node id>` — register an application key.
@@ -433,6 +437,7 @@ impl fmt::Display for Query {
             Query::ServerStats => f.write_str("STATS SERVER"),
             Query::MetricsStats => f.write_str("STATS METRICS"),
             Query::SlowStats => f.write_str("STATS SLOW"),
+            Query::StorageStats => f.write_str("STATS STORAGE"),
             Query::Append(spec) => match spec {
                 AppendSpec::Node { t, node } => write!(f, "APPEND NODE {} {node}", t.raw()),
                 AppendSpec::DelNode { t, node } => {

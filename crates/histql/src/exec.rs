@@ -276,7 +276,7 @@ impl Executor {
             return None;
         };
         let opts = AttrOptions::parse(&attrs).ok()?;
-        if !self.router.shard_for(t).response_cache_enabled() {
+        if !self.router.response_cache_enabled() {
             return None;
         }
         let (shared, epoch, snapshot) = self.session.acquire_cached_point_routed(t, &opts)?;
@@ -394,7 +394,9 @@ impl Executor {
             },
             Joined::Follower(flight) => {
                 if let Some(result) = flight.wait() {
-                    let owner = self.router.shard_for(t);
+                    // The leader computed on the owner, so it is built; this
+                    // never hydrates a cold shard.
+                    let owner = self.router.shard_for(t)?;
                     let fresh = owner.same_manager(&result.shard)
                         && owner.read().append_epoch() == result.epoch;
                     if fresh && self.session.acquire_cached_routed(t, &opts).is_some() {
@@ -559,7 +561,7 @@ impl Executor {
                 let mut materialized_nodes = 0;
                 let mut materialized_bytes = 0;
                 let mut recent_events = 0;
-                for shared in self.router.shard_handles() {
+                for shared in self.router.shard_handles()? {
                     let stats = shared.read().stats();
                     leaves += stats.leaves;
                     interior += stats.interior_nodes;
@@ -630,6 +632,9 @@ impl Executor {
                     .as_deref()
                     .map(MetricsHub::drain_slow)
                     .unwrap_or_default(),
+            }),
+            Query::StorageStats => Ok(Response::Storage {
+                info: self.router.storage_info(),
             }),
             Query::Append(spec) => {
                 // Routed to the tail shard; the event is built against the
@@ -1223,6 +1228,44 @@ mod tests {
             "{text}"
         );
         assert!(!text.contains("verb_us_"), "no hub, no histograms: {text}");
+    }
+
+    #[test]
+    fn stats_storage_reports_none_in_memory_and_counters_when_durable() {
+        let (mut exec, _) = sharded_executor(2);
+        let text = run(&mut exec, "STATS STORAGE");
+        assert!(
+            text.starts_with("OK STORAGE durable=false policy=none segments=0"),
+            "{text}"
+        );
+
+        let dir = std::env::temp_dir().join(format!("histql-stats-storage-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let events = tgraph::EventList::from_events(
+            (1..=20)
+                .map(|i| tgraph::Event::add_node(i, 1000 + i as u64))
+                .collect(),
+        );
+        let router = ShardedGraphManager::build_durable(
+            &events,
+            historygraph::ShardedConfig::default().with_shards(2),
+            &dir,
+            historygraph::WalSyncPolicy::Always,
+        )
+        .unwrap();
+        let mut exec = Executor::for_router(router);
+        exec.execute_framed("APPEND NODE 21 9001");
+        let text = run(&mut exec, "STATS STORAGE");
+        assert!(text.contains("durable=true"), "{text}");
+        assert!(text.contains("policy=always"), "{text}");
+        assert!(text.contains("segments=1"), "{text}");
+        assert!(!text.contains("wal_appends=0"), "{text}");
+        let metrics = run(&mut exec, "STATS METRICS");
+        assert!(
+            metrics.contains("M storage_wal_appends_total counter"),
+            "{metrics}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

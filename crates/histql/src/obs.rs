@@ -79,7 +79,8 @@ impl VerbKind {
             | Query::ShardStats
             | Query::ServerStats
             | Query::MetricsStats
-            | Query::SlowStats => VerbKind::Stats,
+            | Query::SlowStats
+            | Query::StorageStats => VerbKind::Stats,
             Query::Bind { .. } | Query::ReleaseAll | Query::Protocol(_) | Query::Ping => {
                 VerbKind::Other
             }
@@ -397,6 +398,51 @@ pub fn metrics_report(
             MetricValue::Gauge(server.workers.load(Relaxed)),
         );
     }
+    // Durable-store counters (all zero for an in-memory deployment, so the
+    // storage section only appears when the router persists).
+    let st = router.storage_info();
+    if st.durable {
+        push(
+            &mut out,
+            "storage_segments",
+            MetricValue::Gauge(st.segments),
+        );
+        push(
+            &mut out,
+            "storage_segment_bytes",
+            MetricValue::Gauge(st.segment_bytes),
+        );
+        push(
+            &mut out,
+            "storage_wal_bytes",
+            MetricValue::Gauge(st.wal_bytes),
+        );
+        push(
+            &mut out,
+            "storage_wal_appends_total",
+            MetricValue::Counter(st.wal_appends),
+        );
+        push(
+            &mut out,
+            "storage_wal_fsyncs_total",
+            MetricValue::Counter(st.wal_fsyncs),
+        );
+        push(
+            &mut out,
+            "storage_torn_bytes_total",
+            MetricValue::Counter(st.torn_bytes),
+        );
+        push(
+            &mut out,
+            "storage_torn_truncations_total",
+            MetricValue::Counter(st.torn_truncations),
+        );
+        push(
+            &mut out,
+            "storage_recovery_ms",
+            MetricValue::Gauge(st.recovery_ms),
+        );
+    }
     // Per-shard skew counters, one triple per shard.
     for info in router.shard_infos() {
         let i = info.index;
@@ -440,6 +486,7 @@ mod tests {
             ("STATS CACHE", VerbKind::Stats),
             ("STATS METRICS", VerbKind::Stats),
             ("STATS SLOW", VerbKind::Stats),
+            ("STATS STORAGE", VerbKind::Stats),
             ("BIND alice 1", VerbKind::Other),
             ("PING", VerbKind::Other),
         ];

@@ -80,6 +80,8 @@ impl Parser {
                     Ok(Query::MetricsStats)
                 } else if self.eat_keyword("SLOW") {
                     Ok(Query::SlowStats)
+                } else if self.eat_keyword("STORAGE") {
+                    Ok(Query::StorageStats)
                 } else {
                     Ok(Query::Stats)
                 }

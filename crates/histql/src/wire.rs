@@ -17,7 +17,9 @@
 
 use std::sync::Arc;
 
-use historygraph::{CacheEntryInfo, CacheStats, ResponseCacheStats, ShardInfo, WireFormat};
+use historygraph::{
+    CacheEntryInfo, CacheStats, ResponseCacheStats, ShardInfo, StorageInfo, WireFormat,
+};
 use tgraph::codec::{write_varint, Decode, Encode, Reader};
 use tgraph::{AttrValue, Event, EventKind, NodeId, Snapshot, TgError, Timestamp};
 
@@ -146,6 +148,13 @@ pub enum Response {
     Slow {
         /// The captured requests, oldest first.
         entries: Vec<SlowQueryInfo>,
+    },
+    /// Durable-store counters (`STATS STORAGE`): one `OK STORAGE` line
+    /// carrying WAL/segment/recovery gauges (all zero and `policy=none` for
+    /// an in-memory deployment).
+    Storage {
+        /// The router's storage counters.
+        info: StorageInfo,
     },
     /// An `APPEND` was applied.
     Appended {
@@ -626,6 +635,21 @@ impl Response {
                     ));
                 }
             }
+            Response::Storage { info } => out.push(format!(
+                "OK STORAGE durable={} policy={} segments={} segment_bytes={} \
+                 wal_bytes={} wal_appends={} wal_fsyncs={} torn_bytes={} \
+                 torn_truncations={} recovery_ms={}",
+                info.durable,
+                info.policy,
+                info.segments,
+                info.segment_bytes,
+                info.wal_bytes,
+                info.wal_appends,
+                info.wal_fsyncs,
+                info.torn_bytes,
+                info.torn_truncations,
+                info.recovery_ms
+            )),
             Response::Appended { t } => out.push(format!("OK APPENDED t={}", t.raw())),
             Response::Bound { key, node } => out.push(format!("OK BOUND {} {node}", quote(key))),
             Response::Released { count } => out.push(format!("OK RELEASED {count}")),
@@ -952,6 +976,10 @@ impl Encode for Response {
                 buf.push(16);
                 entries.encode(buf);
             }
+            Response::Storage { info } => {
+                buf.push(17);
+                info.encode(buf);
+            }
             Response::Bound { key, node } => {
                 buf.push(8);
                 key.encode(buf);
@@ -1057,6 +1085,9 @@ impl Decode for Response {
             },
             16 => Response::Slow {
                 entries: Vec::<SlowQueryInfo>::decode(r)?,
+            },
+            17 => Response::Storage {
+                info: StorageInfo::decode(r)?,
             },
             t => return Err(TgError::Codec(format!("invalid Response tag {t}"))),
         })
@@ -1441,6 +1472,20 @@ mod tests {
                         session: 1,
                     },
                 ],
+            },
+            Response::Storage {
+                info: StorageInfo {
+                    durable: true,
+                    policy: "always".into(),
+                    segments: 2,
+                    segment_bytes: 8192,
+                    wal_bytes: 640,
+                    wal_appends: 31,
+                    wal_fsyncs: 31,
+                    torn_bytes: 5,
+                    torn_truncations: 1,
+                    recovery_ms: 12,
+                },
             },
             Response::Appended { t: Timestamp(20) },
             Response::Bound {

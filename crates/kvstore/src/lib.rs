@@ -16,18 +16,26 @@
 //! * [`PartitionedStore`] — a hash-partitioned wrapper over several stores,
 //!   simulating the distributed deployment and enabling parallel fetches,
 //! * [`StoreStats`] — byte/operation counters used by the benchmarks to
-//!   report index sizes and I/O volumes.
+//!   report index sizes and I/O volumes,
+//! * [`Wal`] — an append-only, CRC-checked write-ahead log of graph events
+//!   (the durable tail of a sharded deployment),
+//! * [`Segment`] — write-once, fully checksummed segment files holding one
+//!   sealed historical shard each.
 
 pub mod disk;
 pub mod key;
 pub mod mem;
 pub mod partitioned;
+pub mod segment;
 pub mod stats;
 pub mod store;
+pub mod wal;
 
 pub use disk::DiskStore;
 pub use key::{ComponentKind, StoreKey};
 pub use mem::MemStore;
 pub use partitioned::{NodePartitioner, PartitionedStore};
+pub use segment::{Segment, SegmentMeta};
 pub use stats::StoreStats;
 pub use store::{KeyValueStore, StoreError, StoreResult};
+pub use wal::{read_wal_events, wal_record_len, Wal, WalReplay, WalSyncPolicy};

@@ -6,7 +6,8 @@
 //!     [--max-conns 64] [--cache 128] [--resp-cache 128] \
 //!     [--resp-cache-bytes 0] [--workers 4] [--threaded] \
 //!     [--shards 1] [--shard-events 0] [--no-metrics] \
-//!     [--metrics-addr 127.0.0.1:9191] [--slow-query-us 0]
+//!     [--metrics-addr 127.0.0.1:9191] [--slow-query-us 0] \
+//!     [--data-dir DIR] [--wal-sync always|interval[=ms]|off]
 //! ```
 //!
 //! `--cache N` sizes each shard's snapshot cache (entries; 0 disables it):
@@ -39,6 +40,13 @@
 //! `--slow-query-us N` captures requests slower than N µs into the ring
 //! drained by `STATS SLOW`.
 //!
+//! Durability (see `docs/STORAGE.md`): `--data-dir DIR` persists the
+//! router to `DIR` — sealed shards as immutable segment files, the tail
+//! behind a write-ahead log fsynced per `--wal-sync` (default `always`).
+//! When `DIR` already holds a deployment the server *recovers* it (the
+//! dataset flags are ignored) and `STATS STORAGE` reports the recovery;
+//! otherwise it builds the dataset and persists it there.
+//!
 //! Prints the bound address on stdout, then serves until killed. Talk to it
 //! with any line client:
 //!
@@ -51,7 +59,9 @@
 //! ```
 
 use historygraph::datagen::{churn_trace, toy_trace, ChurnConfig};
-use historygraph::{GraphManagerConfig, ShardedConfig, ShardedGraphManager};
+use historygraph::{
+    is_durable_dir, GraphManagerConfig, ShardedConfig, ShardedGraphManager, WalSyncPolicy,
+};
 use server::{serve_sharded, serve_sharded_threaded, ServerConfig};
 
 fn arg_value(name: &str) -> Option<String> {
@@ -96,40 +106,67 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
     let toy = std::env::args().any(|a| a == "--toy");
+    let data_dir = arg_value("--data-dir");
+    let wal_sync = arg_value("--wal-sync")
+        .map(|v| WalSyncPolicy::parse(&v).expect("--wal-sync"))
+        .unwrap_or(WalSyncPolicy::Always);
 
-    let (events, label) = if toy {
-        (toy_trace().events, "toy trace".to_string())
-    } else {
-        let ds = churn_trace(&ChurnConfig::default().scaled(scale * 0.1));
-        (ds.events, format!("churn trace (scale {scale})"))
+    let sharded_config = ShardedConfig::default()
+        .with_shards(shards)
+        .with_shard_events(shard_events)
+        .with_manager(
+            GraphManagerConfig::default()
+                .with_snapshot_cache(cache)
+                .with_response_cache(resp_cache)
+                .with_response_cache_bytes(resp_cache_bytes),
+        );
+    let router = match &data_dir {
+        Some(dir) if is_durable_dir(dir) => {
+            eprintln!("recovering durable deployment from {dir} (wal-sync {wal_sync})...");
+            let router = ShardedGraphManager::open(dir, sharded_config, wal_sync)
+                .expect("recovery from --data-dir");
+            let info = router.storage_info();
+            eprintln!(
+                "recovered {} segment(s) + WAL ({} bytes) in {} ms{}",
+                info.segments,
+                info.wal_bytes,
+                info.recovery_ms,
+                if info.torn_truncations > 0 {
+                    format!(" — truncated a torn tail ({} bytes)", info.torn_bytes)
+                } else {
+                    String::new()
+                }
+            );
+            router
+        }
+        _ => {
+            let (events, label) = if toy {
+                (toy_trace().events, "toy trace".to_string())
+            } else {
+                let ds = churn_trace(&ChurnConfig::default().scaled(scale * 0.1));
+                (ds.events, format!("churn trace (scale {scale})"))
+            };
+            eprintln!(
+                "building index over a {label} ({} events, {shards} shard(s), snapshot \
+                 cache {cache}/shard, response cache {resp_cache}/shard)...",
+                events.len()
+            );
+            match &data_dir {
+                Some(dir) => {
+                    eprintln!("persisting to {dir} (wal-sync {wal_sync})...");
+                    std::fs::create_dir_all(dir).expect("create --data-dir");
+                    ShardedGraphManager::build_durable(&events, sharded_config, dir, wal_sync)
+                        .expect("durable index construction")
+                }
+                None => ShardedGraphManager::build_in_memory(&events, sharded_config)
+                    .expect("index construction"),
+            }
+        }
     };
-    eprintln!(
-        "building index over a {label} ({} events, {shards} shard(s), snapshot \
-         cache {cache}/shard, response cache {resp_cache}/shard)...",
-        events.len()
-    );
-    let router = ShardedGraphManager::build_in_memory(
-        &events,
-        ShardedConfig::default()
-            .with_shards(shards)
-            .with_shard_events(shard_events)
-            .with_manager(
-                GraphManagerConfig::default()
-                    .with_snapshot_cache(cache)
-                    .with_response_cache(resp_cache)
-                    .with_response_cache_bytes(resp_cache_bytes),
-            ),
-    )
-    .expect("index construction");
     let infos = router.shard_infos();
-    let (start, end) = {
-        let handles = router.shard_handles();
-        let first = handles.first().expect("at least one shard");
-        let last = handles.last().expect("at least one shard");
-        let (start, _) = first.read().index().history_range().expect("non-empty");
-        let (_, end) = last.read().index().history_range().expect("non-empty");
-        (start, end)
-    };
+    // Computed without touching cold shards, so a recovered deployment
+    // reaches its banner (and its first query) after building only the tail.
+    let (start, end) = router.history_range().expect("non-empty history");
     let config = ServerConfig {
         addr,
         max_connections,
@@ -146,10 +183,11 @@ fn main() {
     }
     .expect("bind");
     println!(
-        "histql server on {} — history [{start}, {end}], {} shard(s), {} core",
+        "histql server on {} — history [{start}, {end}], {} shard(s), {} core{}",
         server.addr(),
         infos.len(),
-        if threaded { "threaded" } else { "event" }
+        if threaded { "threaded" } else { "event" },
+        if data_dir.is_some() { ", durable" } else { "" }
     );
     if let Some(addr) = server.metrics_addr() {
         println!("metrics scrape endpoint on http://{addr}/metrics");

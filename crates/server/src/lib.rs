@@ -554,7 +554,7 @@ mod tests {
         assert_eq!(server.active_connections(), 0);
         // Cached overlays keep only the cache's own reference; no session
         // references leak on any shard.
-        for shared in router.shard_handles() {
+        for shared in router.shard_handles().unwrap() {
             let gm = shared.read();
             for entry in gm.cache_entries() {
                 assert_eq!(entry.refs, 1, "session references must be released");

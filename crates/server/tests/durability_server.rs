@@ -1,0 +1,212 @@
+//! Crash-injection end-to-end test: a real server process over a durable
+//! `--data-dir` is SIGKILLed mid-ingest and restarted, and every append it
+//! acknowledged before the kill must be visible again — the durability
+//! contract of `--wal-sync always`. A second scenario tears the WAL at an
+//! arbitrary byte offset (the on-disk image a crash mid-write leaves
+//! behind) and asserts recovery truncates to a clean record-boundary
+//! prefix instead of refusing to start or resurrecting half an event.
+
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use server::Client;
+
+/// Kills the child on drop so a failing assertion never leaks a server.
+struct ServerProc {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl ServerProc {
+    /// Spawns the real server binary over `dir` and waits for its banner.
+    fn spawn(dir: &Path) -> ServerProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_histql_server"))
+            .args([
+                "--addr",
+                "127.0.0.1:0",
+                "--toy",
+                "--shards",
+                "1",
+                "--data-dir",
+                dir.to_str().unwrap(),
+                "--wal-sync",
+                "always",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn histql_server");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut banner = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut banner)
+            .expect("read banner");
+        // "histql server on 127.0.0.1:PORT — ..."
+        let addr = banner
+            .split("histql server on ")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("unparseable banner: {banner:?}"))
+            .to_string();
+        ServerProc { child, addr }
+    }
+
+    fn connect(&self) -> Client {
+        for _ in 0..50 {
+            if let Ok(c) = Client::connect(&self.addr) {
+                return c;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        panic!("could not connect to {}", self.addr);
+    }
+
+    /// SIGKILL — no shutdown hooks, no final fsync: the crash under test.
+    fn kill(mut self) {
+        self.child.kill().expect("kill");
+        self.child.wait().expect("wait");
+        // Make sure nothing else can reach the dead server's port.
+        assert!(
+            TcpStream::connect(&self.addr).is_err() || {
+                std::thread::sleep(Duration::from_millis(50));
+                true
+            }
+        );
+    }
+}
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("durability-e2e-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Node ids of the appended (`9000 + i`) nodes visible at `t`.
+fn appended_nodes_at(client: &mut Client, t: i64) -> Vec<u64> {
+    let lines = client
+        .send_ok(&format!("GET GRAPH AT {t} WITH +node:all"))
+        .unwrap();
+    let mut ids: Vec<u64> = lines
+        .iter()
+        .filter_map(|l| l.strip_prefix("N "))
+        .filter_map(|rest| rest.split_whitespace().next())
+        .filter_map(|id| id.parse().ok())
+        .filter(|&id| id >= 9000)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn wal_file(dir: &Path) -> PathBuf {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.extension().is_some_and(|x| x == "log"))
+        .expect("a wal-*.log in the data dir")
+}
+
+fn storage_line(client: &mut Client) -> String {
+    client.send_ok("STATS STORAGE").unwrap().remove(0)
+}
+
+#[test]
+fn acked_appends_survive_a_sigkill_and_restart() {
+    let dir = test_dir("sigkill");
+    let server = ServerProc::spawn(&dir);
+    let mut client = server.connect();
+    assert!(storage_line(&mut client).contains("durable=true policy=always"));
+
+    // Every append below is acknowledged (send_ok waits for the reply), so
+    // under --wal-sync always each one is on disk before we move on.
+    const N: u64 = 30;
+    for i in 0..N {
+        client
+            .send_ok(&format!("APPEND NODE {} {}", 100 + i, 9000 + i))
+            .unwrap();
+    }
+    server.kill(); // mid-ingest as far as the server knows — no shutdown path
+
+    let server = ServerProc::spawn(&dir);
+    let mut client = server.connect();
+    let line = storage_line(&mut client);
+    assert!(line.contains("durable=true"), "{line}");
+    assert!(!line.contains("recovery_ms=0"), "{line}");
+
+    // Every acknowledged append is visible again...
+    let ids = appended_nodes_at(&mut client, 1000);
+    assert_eq!(ids, (9000..9000 + N).collect::<Vec<_>>());
+    // ...and chronology survived recovery: the tail still rejects times
+    // before its last event and accepts later ones.
+    let err = client.send("APPEND NODE 100 9900").unwrap();
+    assert!(err[0].starts_with("ERR"), "{:?}", err[0]);
+    client
+        .send_ok(&format!("APPEND NODE {} 9900", 100 + N))
+        .unwrap();
+    drop(client);
+    drop(server);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_wal_torn_at_an_arbitrary_offset_recovers_a_clean_prefix() {
+    let dir = test_dir("torn");
+    let server = ServerProc::spawn(&dir);
+    let mut client = server.connect();
+    let wal = wal_file(&dir);
+    // Length before any appends: the built tail's preloaded events. The
+    // tear is injected after this point so the surviving prefix is over
+    // the appends we count below.
+    let base_len = std::fs::metadata(&wal).unwrap().len();
+
+    const N: u64 = 20;
+    for i in 0..N {
+        client
+            .send_ok(&format!("APPEND NODE {} {}", 100 + i, 9000 + i))
+            .unwrap();
+    }
+    server.kill();
+
+    // Tear the log at a pseudo-random byte offset within the appended
+    // region — the image of a crash that caught the final write(s) midway.
+    let full_len = std::fs::metadata(&wal).unwrap().len();
+    assert!(full_len > base_len, "appends reached the WAL");
+    let seed = std::process::id() as u64 ^ 0x9E37_79B9_7F4A_7C15;
+    let cut = base_len + seed % (full_len - base_len);
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&wal)
+        .unwrap()
+        .set_len(cut)
+        .unwrap();
+
+    let server = ServerProc::spawn(&dir);
+    let mut client = server.connect();
+    let line = storage_line(&mut client);
+    assert!(line.contains("durable=true"), "{line}");
+
+    // The recovered state must be an exact record-boundary prefix of the
+    // acked appends: some k survive, and node 9000+i is visible iff i < k.
+    let ids = appended_nodes_at(&mut client, 1000);
+    let k = ids.len() as u64;
+    assert!(k < N, "the tear at {cut} removed at least the last record");
+    assert_eq!(ids, (9000..9000 + k).collect::<Vec<_>>(), "not a prefix");
+    // And the WAL on disk shrank to that clean prefix (no torn bytes kept).
+    assert!(std::fs::metadata(&wal).unwrap().len() <= cut);
+
+    // Serving continues: appends after the surviving prefix are accepted.
+    client.send_ok("APPEND NODE 500 9990").unwrap();
+    drop(client);
+    drop(server);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,530 @@
+//! Durable backing for a sharded deployment: directory layout, manifest,
+//! and the crash-atomic roll protocol.
+//!
+//! A durable [`crate::ShardedGraphManager`] keeps one directory:
+//!
+//! ```text
+//! data/
+//!   MANIFEST             # which files below are authoritative
+//!   segment-00000.seg    # sealed historical shard 0 (write-once)
+//!   segment-00001.seg    # sealed historical shard 1
+//!   tailseed-00002.seg   # the tail shard's seed events (write-once)
+//!   wal-00002.log        # the tail shard's append log (grows)
+//! ```
+//!
+//! Sealed shards are immutable [`Segment`] files. The tail shard is the
+//! pair *tailseed + WAL*: its state is always `tailseed.seed` replayed,
+//! then every WAL record in order. The `MANIFEST` (written via temp file +
+//! fsync + atomic rename) names the generation, so a crash anywhere during
+//! a roll leaves either the old generation (trigger event unacknowledged,
+//! correctly absent) or the new one — never a mix. Files of an incomplete
+//! roll are deleted as orphans on the next open.
+//!
+//! Rolling the tail (generation `g` → `g+1`) performs, in order:
+//!
+//! 1. seal `segment-g.seg` from `tailseed-g.seg` + the replayed WAL,
+//! 2. write `tailseed-(g+1).seg` with the new tail's seed events,
+//! 3. create `wal-(g+1).log` holding the roll-triggering event, fsynced,
+//! 4. atomically swap the `MANIFEST` to generation `g+1`,
+//! 5. delete the old generation's tailseed and WAL (best-effort).
+//!
+//! Only step 4 commits; everything before it is invisible to recovery.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use deltagraph::{DgError, DgResult};
+use kvstore::wal::{read_wal_events, Wal, WalSyncPolicy};
+use kvstore::{Segment, SegmentMeta, StoreError};
+use tgraph::{Event, Timestamp};
+
+/// The manifest's first line; bump on incompatible layout changes.
+const MANIFEST_HEADER: &str = "historygraph-manifest v1";
+
+fn corrupt(msg: impl Into<String>) -> DgError {
+    DgError::Store(StoreError::Corruption(msg.into()))
+}
+
+fn io_err(e: std::io::Error) -> DgError {
+    DgError::Store(StoreError::Io(e))
+}
+
+pub(crate) fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("segment-{index:05}.seg"))
+}
+
+fn tailseed_path(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(format!("tailseed-{gen:05}.seg"))
+}
+
+fn wal_path(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(format!("wal-{gen:05}.log"))
+}
+
+fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("MANIFEST")
+}
+
+/// Whether `dir` holds a recoverable deployment (i.e. a committed manifest).
+pub fn is_durable_dir(dir: impl AsRef<Path>) -> bool {
+    manifest_path(dir.as_ref()).is_file()
+}
+
+/// Writes the manifest atomically: temp file, fsync, rename, directory
+/// fsync. `tail_gen` always equals the number of sealed segments.
+fn write_manifest(dir: &Path, tail_gen: u64) -> DgResult<()> {
+    let tmp = dir.join("MANIFEST.tmp");
+    let mut f = File::create(&tmp).map_err(io_err)?;
+    f.write_all(format!("{MANIFEST_HEADER}\nsegments {tail_gen}\ntail {tail_gen}\n").as_bytes())
+        .map_err(io_err)?;
+    f.sync_data().map_err(io_err)?;
+    drop(f);
+    std::fs::rename(&tmp, manifest_path(dir)).map_err(io_err)?;
+    File::open(dir)
+        .and_then(|d| d.sync_data())
+        .map_err(io_err)?;
+    Ok(())
+}
+
+fn read_manifest(dir: &Path) -> DgResult<u64> {
+    let text = std::fs::read_to_string(manifest_path(dir)).map_err(io_err)?;
+    let mut lines = text.lines();
+    if lines.next() != Some(MANIFEST_HEADER) {
+        return Err(corrupt(format!(
+            "unrecognized manifest header in {}",
+            dir.display()
+        )));
+    }
+    let mut segments: Option<u64> = None;
+    let mut tail: Option<u64> = None;
+    for line in lines {
+        match line.split_once(' ') {
+            Some(("segments", n)) => segments = n.parse().ok(),
+            Some(("tail", n)) => tail = n.parse().ok(),
+            _ => {}
+        }
+    }
+    match (segments, tail) {
+        (Some(s), Some(t)) if s == t => Ok(t),
+        _ => Err(corrupt(format!(
+            "inconsistent manifest in {}",
+            dir.display()
+        ))),
+    }
+}
+
+/// One shard's full contents as planned at build time or recovered from
+/// disk: its routing lower bound, synthetic seed events, and real events.
+pub(crate) struct ShardPlan {
+    pub lower: Option<Timestamp>,
+    pub seed: Vec<Event>,
+    pub events: Vec<Event>,
+}
+
+/// The live durable-storage state of a sharded deployment. Owned by the
+/// router behind a mutex; every operation here assumes the caller already
+/// serialized appends (the tail shard's write lock) or rolls (the router's
+/// exclusive lock).
+pub(crate) struct DurableState {
+    dir: PathBuf,
+    wal: Wal,
+    /// The tail generation: `tail_gen` sealed segments exist below it.
+    tail_gen: u64,
+    /// Sum of sealed segment file sizes.
+    segment_bytes: u64,
+    /// WAL appends across generations (this process; recovery replays are
+    /// not counted).
+    appends_before_gen: u64,
+    /// Fsyncs across generations (this process).
+    fsyncs_before_gen: u64,
+    /// Bytes truncated from the WAL tail at the last recovery.
+    pub torn_bytes: u64,
+    /// Torn-tail truncations performed at the last recovery (0 or 1, plus
+    /// 1 more if a trailing never-applied record had to be dropped).
+    pub torn_truncations: u64,
+    /// Wall-clock milliseconds the last recovery took (0 for a fresh
+    /// build). Set by the router once the shards are rebuilt.
+    pub recovery_ms: u64,
+}
+
+impl DurableState {
+    /// Creates a fresh deployment at `dir` from build-time shard plans:
+    /// one sealed segment per historical shard, a tailseed + WAL pair for
+    /// the tail (the WAL pre-loaded with the tail's real events), and the
+    /// committing manifest. Any previous deployment in `dir` is replaced.
+    pub fn initialize(dir: &Path, policy: WalSyncPolicy, plans: &[ShardPlan]) -> DgResult<Self> {
+        assert!(!plans.is_empty(), "plans come from a non-empty trace");
+        std::fs::create_dir_all(dir).map_err(io_err)?;
+        // Drop any stale manifest first so a crash mid-initialize can never
+        // pair an old manifest with new files.
+        std::fs::remove_file(manifest_path(dir)).ok();
+        let tail_gen = (plans.len() - 1) as u64;
+        let mut segment_bytes = 0u64;
+        for (i, plan) in plans[..plans.len() - 1].iter().enumerate() {
+            let path = segment_path(dir, i as u64);
+            Segment {
+                meta: SegmentMeta {
+                    shard_index: i as u64,
+                    lower: plan.lower,
+                },
+                seed: plan.seed.clone(),
+                events: plan.events.clone(),
+            }
+            .write(&path)?;
+            segment_bytes += std::fs::metadata(&path).map_err(io_err)?.len();
+        }
+        let tail = plans.last().expect("non-empty");
+        Segment {
+            meta: SegmentMeta {
+                shard_index: tail_gen,
+                lower: tail.lower,
+            },
+            seed: tail.seed.clone(),
+            events: Vec::new(),
+        }
+        .write(tailseed_path(dir, tail_gen))?;
+        let mut wal = Wal::create(wal_path(dir, tail_gen), policy)?;
+        for ev in &tail.events {
+            wal.append(ev)?;
+        }
+        wal.sync()?;
+        write_manifest(dir, tail_gen)?;
+        Ok(DurableState {
+            dir: dir.to_path_buf(),
+            wal,
+            tail_gen,
+            segment_bytes,
+            appends_before_gen: 0,
+            fsyncs_before_gen: 0,
+            torn_bytes: 0,
+            torn_truncations: 0,
+            recovery_ms: 0,
+        })
+    }
+
+    /// Opens an existing deployment: reads the manifest, loads every sealed
+    /// segment and the tail pair (truncating a torn WAL tail), deletes
+    /// orphan files from an incomplete roll, and returns the storage state
+    /// plus one [`ShardPlan`] per shard, tail last. The caller rebuilds the
+    /// in-memory shards from the plans and then records
+    /// [`DurableState::recovery_ms`].
+    pub fn open(dir: &Path, policy: WalSyncPolicy) -> DgResult<(Self, Vec<ShardPlan>)> {
+        let tail_gen = read_manifest(dir)?;
+        let mut plans = Vec::with_capacity(tail_gen as usize + 1);
+        let mut segment_bytes = 0u64;
+        for i in 0..tail_gen {
+            let path = segment_path(dir, i);
+            let seg = Segment::read(&path)?;
+            if seg.meta.shard_index != i {
+                return Err(corrupt(format!(
+                    "segment {} claims shard index {}, expected {i}",
+                    path.display(),
+                    seg.meta.shard_index
+                )));
+            }
+            segment_bytes += std::fs::metadata(&path).map_err(io_err)?.len();
+            plans.push(ShardPlan {
+                lower: seg.meta.lower,
+                seed: seg.seed,
+                events: seg.events,
+            });
+        }
+        let tailseed = Segment::read(tailseed_path(dir, tail_gen))?;
+        if tailseed.meta.shard_index != tail_gen || !tailseed.events.is_empty() {
+            return Err(corrupt(format!(
+                "tailseed for generation {tail_gen} is malformed"
+            )));
+        }
+        let replay = Wal::open(wal_path(dir, tail_gen), policy)?;
+        plans.push(ShardPlan {
+            lower: tailseed.meta.lower,
+            seed: tailseed.seed,
+            events: replay.events,
+        });
+        let state = DurableState {
+            dir: dir.to_path_buf(),
+            wal: replay.wal,
+            tail_gen,
+            segment_bytes,
+            appends_before_gen: 0,
+            fsyncs_before_gen: 0,
+            torn_bytes: replay.torn_bytes,
+            torn_truncations: u64::from(replay.torn_bytes > 0),
+            recovery_ms: 0,
+        };
+        state.remove_orphans();
+        Ok((state, plans))
+    }
+
+    /// Deletes files a crash mid-roll or mid-initialize left behind: any
+    /// segment at or past the tail generation, and any tailseed/WAL of
+    /// another generation. All best-effort.
+    fn remove_orphans(&self) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let stale = parse_numbered(name, "segment-", ".seg")
+                .is_some_and(|i| i >= self.tail_gen)
+                || parse_numbered(name, "tailseed-", ".seg").is_some_and(|g| g != self.tail_gen)
+                || parse_numbered(name, "wal-", ".log").is_some_and(|g| g != self.tail_gen)
+                || name == "MANIFEST.tmp"
+                || name.ends_with(".seg.tmp");
+            if stale {
+                std::fs::remove_file(entry.path()).ok();
+            }
+        }
+    }
+
+    /// Appends one event record ahead of the in-memory apply. Returns the
+    /// rollback offset for [`DurableState::rollback`].
+    pub fn append(&mut self, event: &Event) -> DgResult<u64> {
+        Ok(self.wal.append(event)?)
+    }
+
+    /// Undoes the record written at `offset` after the in-memory apply
+    /// rejected the event.
+    pub fn rollback(&mut self, offset: u64) -> DgResult<()> {
+        Ok(self.wal.truncate_to(offset)?)
+    }
+
+    /// The crash-atomic roll protocol (module docs): seals the current tail
+    /// into a segment, starts generation `tail_gen + 1` whose WAL holds the
+    /// roll-triggering `event`, and commits by swapping the manifest.
+    /// Nothing is visible to recovery until the swap; after `Ok` the caller
+    /// must install the new in-memory tail shard.
+    pub fn roll(&mut self, boundary: Timestamp, new_seed: &[Event], event: &Event) -> DgResult<()> {
+        let old_gen = self.tail_gen;
+        let new_gen = old_gen + 1;
+        // 1. Seal: the old tail's full contents are its seed file plus the
+        //    complete WAL (every record intact — this log was never torn).
+        self.wal.sync()?;
+        let old_seed = Segment::read(tailseed_path(&self.dir, old_gen))?;
+        let wal_events = read_wal_events(self.wal.path())?;
+        let sealed_path = segment_path(&self.dir, old_gen);
+        Segment {
+            meta: old_seed.meta,
+            seed: old_seed.seed,
+            events: wal_events,
+        }
+        .write(&sealed_path)?;
+        // 2–3. The new generation's tailseed and WAL (trigger event synced
+        //      before the commit point so an acked roll survives a crash).
+        Segment {
+            meta: SegmentMeta {
+                shard_index: new_gen,
+                lower: Some(boundary),
+            },
+            seed: new_seed.to_vec(),
+            events: Vec::new(),
+        }
+        .write(tailseed_path(&self.dir, new_gen))?;
+        let mut new_wal = Wal::create(wal_path(&self.dir, new_gen), self.wal.policy())?;
+        new_wal.append(event)?;
+        new_wal.sync()?;
+        // 4. Commit.
+        write_manifest(&self.dir, new_gen)?;
+        // 5. Best-effort cleanup; orphan removal at the next open catches
+        //    anything missed.
+        std::fs::remove_file(tailseed_path(&self.dir, old_gen)).ok();
+        std::fs::remove_file(wal_path(&self.dir, old_gen)).ok();
+        self.segment_bytes += std::fs::metadata(&sealed_path)
+            .map(|m| m.len())
+            .unwrap_or(0);
+        self.appends_before_gen += self.wal.appends();
+        self.fsyncs_before_gen += self.wal.fsyncs();
+        self.wal = new_wal;
+        self.tail_gen = new_gen;
+        Ok(())
+    }
+
+    /// Drops the last WAL record: recovery's second chance when the rebuild
+    /// rejects the final replayed event (a crash between the write-ahead
+    /// and the rollback of a failed apply leaves exactly one such record).
+    pub fn drop_last_wal_record(&mut self, record_len: u64) -> DgResult<()> {
+        let new_len = self.wal.len().saturating_sub(record_len);
+        self.wal.truncate_to(new_len)?;
+        self.wal.sync()?;
+        self.torn_bytes += record_len;
+        self.torn_truncations += 1;
+        Ok(())
+    }
+
+    /// Forces any buffered WAL bytes down now (shutdown path).
+    pub fn sync(&mut self) -> DgResult<()> {
+        Ok(self.wal.sync()?)
+    }
+
+    /// Number of sealed segment files.
+    pub fn segments(&self) -> u64 {
+        self.tail_gen
+    }
+
+    /// Total bytes of sealed segment files.
+    pub fn segment_bytes(&self) -> u64 {
+        self.segment_bytes
+    }
+
+    /// Current WAL length in bytes.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.len()
+    }
+
+    /// WAL appends this process performed (all generations).
+    pub fn wal_appends(&self) -> u64 {
+        self.appends_before_gen + self.wal.appends()
+    }
+
+    /// WAL fsyncs this process performed (all generations).
+    pub fn wal_fsyncs(&self) -> u64 {
+        self.fsyncs_before_gen + self.wal.fsyncs()
+    }
+
+    /// The configured sync policy.
+    pub fn policy(&self) -> WalSyncPolicy {
+        self.wal.policy()
+    }
+}
+
+/// Parses `prefix<number>suffix` file names.
+fn parse_numbered(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("durable-test-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn plan(lower: Option<i64>, seed: Vec<Event>, events: Vec<Event>) -> ShardPlan {
+        ShardPlan {
+            lower: lower.map(Timestamp),
+            seed,
+            events,
+        }
+    }
+
+    #[test]
+    fn initialize_open_round_trip() {
+        let dir = tmpdir("init");
+        let plans = vec![
+            plan(
+                None,
+                vec![],
+                vec![Event::add_node(1, 1), Event::add_node(2, 2)],
+            ),
+            plan(
+                Some(10),
+                vec![Event::add_node(9, 1), Event::add_node(9, 2)],
+                vec![Event::add_node(10, 3)],
+            ),
+        ];
+        let st = DurableState::initialize(&dir, WalSyncPolicy::Always, &plans).unwrap();
+        assert_eq!(st.segments(), 1);
+        assert!(st.wal_bytes() > 0);
+        drop(st);
+
+        let (st, recovered) = DurableState::open(&dir, WalSyncPolicy::Always).unwrap();
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[0].lower, None);
+        assert_eq!(recovered[0].events.len(), 2);
+        assert_eq!(recovered[1].lower, Some(Timestamp(10)));
+        assert_eq!(recovered[1].seed.len(), 2);
+        assert_eq!(recovered[1].events, vec![Event::add_node(10, 3)]);
+        assert_eq!(st.torn_truncations, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn roll_commits_atomically_and_cleans_up() {
+        let dir = tmpdir("roll");
+        let plans = vec![plan(None, vec![], vec![Event::add_node(1, 1)])];
+        let mut st = DurableState::initialize(&dir, WalSyncPolicy::Always, &plans).unwrap();
+        st.append(&Event::add_node(2, 2)).unwrap();
+        let trigger = Event::add_node(5, 3);
+        st.roll(
+            Timestamp(5),
+            &[Event::add_node(4, 1), Event::add_node(4, 2)],
+            &trigger,
+        )
+        .unwrap();
+        assert_eq!(st.segments(), 1);
+        assert!(segment_path(&dir, 0).is_file());
+        assert!(!wal_path(&dir, 0).exists());
+        assert!(!tailseed_path(&dir, 0).exists());
+
+        let (st, recovered) = DurableState::open(&dir, WalSyncPolicy::Always).unwrap();
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(
+            recovered[0].events,
+            vec![Event::add_node(1, 1), Event::add_node(2, 2)]
+        );
+        assert_eq!(recovered[1].lower, Some(Timestamp(5)));
+        assert_eq!(recovered[1].events, vec![trigger]);
+        assert_eq!(st.segments(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn orphans_from_an_incomplete_roll_are_ignored_and_removed() {
+        let dir = tmpdir("orphans");
+        let plans = vec![plan(None, vec![], vec![Event::add_node(1, 1)])];
+        DurableState::initialize(&dir, WalSyncPolicy::Always, &plans).unwrap();
+        // Simulate a crash after roll steps 1–3 but before the manifest
+        // swap: the sealed segment and new generation exist on disk, but
+        // the manifest still points at generation 0.
+        Segment {
+            meta: SegmentMeta {
+                shard_index: 0,
+                lower: None,
+            },
+            seed: vec![],
+            events: vec![Event::add_node(1, 1)],
+        }
+        .write(segment_path(&dir, 0))
+        .unwrap();
+        Segment {
+            meta: SegmentMeta {
+                shard_index: 1,
+                lower: Some(Timestamp(5)),
+            },
+            seed: vec![Event::add_node(4, 1)],
+            events: vec![],
+        }
+        .write(tailseed_path(&dir, 1))
+        .unwrap();
+        Wal::create(wal_path(&dir, 1), WalSyncPolicy::Off)
+            .unwrap()
+            .append(&Event::add_node(5, 9))
+            .unwrap();
+
+        let (_st, recovered) = DurableState::open(&dir, WalSyncPolicy::Always).unwrap();
+        // The old generation won: one shard, the phantom roll's event gone.
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].events, vec![Event::add_node(1, 1)]);
+        assert!(!segment_path(&dir, 0).exists());
+        assert!(!tailseed_path(&dir, 1).exists());
+        assert!(!wal_path(&dir, 1).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_manifest_is_a_clear_error() {
+        let dir = tmpdir("nomanifest");
+        assert!(!is_durable_dir(&dir));
+        assert!(DurableState::open(&dir, WalSyncPolicy::Always).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

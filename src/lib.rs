@@ -53,6 +53,7 @@ pub use kvstore;
 pub use tgraph;
 
 pub mod cache;
+pub mod durable;
 pub mod manager;
 pub mod response_cache;
 pub mod sharded;
@@ -60,8 +61,12 @@ pub mod shared;
 pub mod source;
 
 pub use cache::{CacheEntryInfo, CacheStats, SnapshotCache};
+pub use durable::is_durable_dir;
+pub use kvstore::wal::WalSyncPolicy;
 pub use manager::{GraphManager, GraphManagerConfig};
 pub use response_cache::{ResponseCache, ResponseCacheStats, WireFormat};
-pub use sharded::{CacheOverview, ShardInfo, ShardedConfig, ShardedGraphManager, ShardedSession};
+pub use sharded::{
+    CacheOverview, ShardInfo, ShardedConfig, ShardedGraphManager, ShardedSession, StorageInfo,
+};
 pub use shared::{CachedPoint, PoolSession, SharedGraphManager};
 pub use source::DeltaGraphSource;

@@ -114,6 +114,21 @@ impl GraphManager {
         Self::build(events, config, Arc::new(store))
     }
 
+    /// Rebuilds the database from a sealed shard segment's contents: the
+    /// seed events collapse all state before the shard's range and the real
+    /// events complete it, so the result is indistinguishable from the
+    /// manager that originally produced the shard (key bindings excepted —
+    /// segments do not persist them).
+    pub fn build_from_segment(
+        segment: &kvstore::Segment,
+        config: GraphManagerConfig,
+        store: Arc<dyn KeyValueStore>,
+    ) -> DgResult<Self> {
+        let mut list = segment.seed.clone();
+        list.extend_from_slice(&segment.events);
+        Self::build(&tgraph::EventList::from_events(list), config, store)
+    }
+
     /// Builds the database over a complete event trace on the given backing
     /// store.
     pub fn build(

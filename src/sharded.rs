@@ -30,17 +30,23 @@
 //! otherwise — see `docs/PROTOCOL.md`.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{
+    Arc, Mutex, MutexGuard, OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 use std::thread;
+use std::time::Instant;
 
 use deltagraph::{DgError, DgResult};
 use graphpool::GraphId;
-use kvstore::{KeyValueStore, MemStore};
+use kvstore::wal::WalSyncPolicy;
+use kvstore::{KeyValueStore, MemStore, Segment, SegmentMeta};
 use tgraph::codec::{Decode, Encode, Reader};
 use tgraph::{AttrOptions, Event, EventKind, EventList, Snapshot, TimeExpression, Timestamp};
 
 use crate::cache::{CacheEntryInfo, CacheStats};
+use crate::durable::{DurableState, ShardPlan};
 use crate::manager::{GraphManager, GraphManagerConfig};
 use crate::response_cache::ResponseCacheStats;
 use crate::shared::{CachedPoint, PoolSession, SharedGraphManager};
@@ -104,7 +110,7 @@ impl ShardedConfig {
 
 /// One time-range shard: a complete manager plus its routing bounds.
 struct Shard {
-    shared: SharedGraphManager,
+    cell: ShardCell,
     /// Inclusive lower bound of the owned range; `None` for the first shard
     /// (unbounded below).
     lower: Option<Timestamp>,
@@ -116,6 +122,185 @@ struct Shard {
     queries: AtomicU64,
     /// Events appended to this shard through the router.
     appends: AtomicU64,
+}
+
+impl Shard {
+    /// The shard's serving manager, hydrating a lazily recovered shard on
+    /// first touch (see [`ShardCell::get`]).
+    fn shared(&self, inner: &Inner) -> DgResult<SharedGraphManager> {
+        self.cell.get(inner, &self.events)
+    }
+}
+
+/// A shard's serving manager: built eagerly on every fresh-build path, or
+/// deferred to first touch on the recovery path
+/// ([`ShardedGraphManager::open`]) so restart-to-first-query pays for the
+/// one shard the query lands on, not for the whole history. Every shard —
+/// including the tail, whose seed grows with the graph and dominates an
+/// eager recovery — stays cold until a query or append touches it; the
+/// deferred build runs over the same checksum-verified plan an eager build
+/// would have used and produces an identical manager.
+struct ShardCell {
+    built: OnceLock<SharedGraphManager>,
+    /// `Some` while hydration is pending; taken by the first toucher and
+    /// restored if its build fails, so a later touch can retry. The mutex
+    /// serializes hydrators — concurrent touchers of one cold shard block
+    /// here and then read the winner's manager.
+    pending: Mutex<Option<PendingShard>>,
+}
+
+/// Deferred construction input of a lazily recovered shard.
+struct PendingShard {
+    index: usize,
+    plan: ShardPlan,
+    /// The recovered tail carries the crash-healing retry: a build failure
+    /// drops the final WAL record once (see [`ShardCell::get`]).
+    is_tail: bool,
+}
+
+impl ShardCell {
+    fn eager(shared: SharedGraphManager) -> Self {
+        ShardCell {
+            built: OnceLock::from(shared),
+            pending: Mutex::new(None),
+        }
+    }
+
+    fn lazy(index: usize, plan: ShardPlan, is_tail: bool) -> Self {
+        ShardCell {
+            built: OnceLock::new(),
+            pending: Mutex::new(Some(PendingShard {
+                index,
+                plan,
+                is_tail,
+            })),
+        }
+    }
+
+    /// The built manager, without hydrating: `None` means the shard is
+    /// still cold. Stats and cache probes use this so a metrics scrape or
+    /// a speculative cache peek never forces an index build.
+    fn peek(&self) -> Option<&SharedGraphManager> {
+        self.built.get()
+    }
+
+    /// The built manager, hydrating on first touch. Lock order here is
+    /// `pending` → `storage` → `keys` (callers already hold the router's
+    /// shard read lock); [`ShardedGraphManager::register_key`] takes `keys`
+    /// without `pending`, and the manager is published *inside* the `keys`
+    /// critical section, so a key registered concurrently with hydration
+    /// lands either via the registry replay or via the direct registration
+    /// — never neither.
+    fn get(&self, inner: &Inner, events: &AtomicUsize) -> DgResult<SharedGraphManager> {
+        if let Some(shared) = self.built.get() {
+            return Ok(shared.clone());
+        }
+        let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(shared) = self.built.get() {
+            return Ok(shared.clone());
+        }
+        let mut p = pending
+            .take()
+            .expect("an unbuilt shard holds a pending plan");
+        let built = match Self::build_plan(&p, inner) {
+            Ok(shared) => Ok(shared),
+            Err(first_err) if p.is_tail => {
+                // A crash between the WAL write-ahead and the rollback of a
+                // rejected apply leaves exactly one never-applied record at
+                // the very end of the log. Drop it and rebuild once; any
+                // deeper failure is real corruption. (Before lazy recovery
+                // this retry ran inside `open`; it moves with the build.)
+                match (p.plan.events.pop(), inner.storage.as_ref()) {
+                    (Some(last), Some(storage)) => storage
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .drop_last_wal_record(kvstore::wal_record_len(&last))
+                        .and_then(|()| Self::build_plan(&p, inner))
+                        .inspect(|_| {
+                            events.fetch_sub(1, Ordering::Relaxed);
+                        }),
+                    _ => Err(first_err),
+                }
+            }
+            Err(e) => Err(e),
+        };
+        match built {
+            Ok(shared) => {
+                let keys = inner.keys.lock().unwrap_or_else(PoisonError::into_inner);
+                {
+                    let mut gm = shared.write();
+                    for (key, node) in keys.iter() {
+                        gm.register_key(key.clone(), *node);
+                    }
+                }
+                let _ = self.built.set(shared.clone());
+                drop(keys);
+                Ok(shared)
+            }
+            Err(e) => {
+                *pending = Some(p);
+                Err(e)
+            }
+        }
+    }
+
+    fn build_plan(p: &PendingShard, inner: &Inner) -> DgResult<SharedGraphManager> {
+        let segment = Segment {
+            meta: SegmentMeta {
+                shard_index: p.index as u64,
+                lower: p.plan.lower,
+            },
+            seed: p.plan.seed.clone(),
+            events: p.plan.events.clone(),
+        };
+        SharedGraphManager::from_segment(
+            &segment,
+            inner.config.manager.clone(),
+            (inner.make_store)(p.index),
+        )
+    }
+
+    /// Earliest event time this shard holds, without hydrating.
+    fn start_time(&self) -> Option<Timestamp> {
+        if let Some(shared) = self.built.get() {
+            return shared.read().index().history_range().ok().map(|(s, _)| s);
+        }
+        let pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        match pending.as_ref() {
+            // The index anchors its first leaf one tick before the first
+            // event (the state *entering* that event), so a deferred build
+            // will report exactly this start.
+            Some(p) => p
+                .plan
+                .seed
+                .first()
+                .or(p.plan.events.first())
+                .map(|e| e.time.prev()),
+            // Hydrated between the peek and the lock.
+            None => self
+                .built
+                .get()
+                .and_then(|s| s.read().index().history_range().ok())
+                .map(|(s, _)| s),
+        }
+    }
+
+    /// Latest event time this shard holds, without hydrating.
+    fn end_time(&self) -> Option<Timestamp> {
+        if let Some(shared) = self.built.get() {
+            return shared.read().index().history_range().ok().map(|(_, e)| e);
+        }
+        let pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        match pending.as_ref() {
+            Some(p) => p.plan.events.last().or(p.plan.seed.last()).map(|e| e.time),
+            // Hydrated between the peek and the lock.
+            None => self
+                .built
+                .get()
+                .and_then(|s| s.read().index().history_range().ok())
+                .map(|(_, e)| e),
+        }
+    }
 }
 
 /// Per-shard serving statistics, the payload of `STATS SHARDS`.
@@ -183,6 +368,67 @@ impl Decode for ShardInfo {
     }
 }
 
+/// Durable-storage statistics, the payload of `STATS STORAGE`. All zeros
+/// (with `durable == false`) for an in-memory deployment.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StorageInfo {
+    /// Whether the router persists to a data directory at all.
+    pub durable: bool,
+    /// The WAL sync policy in force (`"none"` when not durable).
+    pub policy: String,
+    /// Sealed historical-shard segment files on disk.
+    pub segments: u64,
+    /// Total bytes of sealed segment files.
+    pub segment_bytes: u64,
+    /// Current tail WAL length in bytes.
+    pub wal_bytes: u64,
+    /// WAL records written by this process (all tail generations).
+    pub wal_appends: u64,
+    /// `fsync` calls issued by this process (all tail generations).
+    pub wal_fsyncs: u64,
+    /// Bytes of torn WAL tail truncated at the last recovery.
+    pub torn_bytes: u64,
+    /// Torn-tail truncations performed at the last recovery.
+    pub torn_truncations: u64,
+    /// Wall-clock milliseconds the last recovery's open phase took —
+    /// manifest read, segment checksum verification, and WAL replay.
+    /// Deferred shard index builds (paid on first touch) are not included.
+    /// `0` = fresh build, never recovered.
+    pub recovery_ms: u64,
+}
+
+impl Encode for StorageInfo {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.durable.encode(buf);
+        self.policy.encode(buf);
+        self.segments.encode(buf);
+        self.segment_bytes.encode(buf);
+        self.wal_bytes.encode(buf);
+        self.wal_appends.encode(buf);
+        self.wal_fsyncs.encode(buf);
+        self.torn_bytes.encode(buf);
+        self.torn_truncations.encode(buf);
+        self.recovery_ms.encode(buf);
+    }
+}
+
+impl Decode for StorageInfo {
+    fn decode(r: &mut Reader<'_>) -> tgraph::Result<Self> {
+        Ok(StorageInfo {
+            durable: bool::decode(r)?,
+            policy: String::decode(r)?,
+            segments: u64::decode(r)?,
+            segment_bytes: u64::decode(r)?,
+            wal_bytes: u64::decode(r)?,
+            wal_appends: u64::decode(r)?,
+            wal_fsyncs: u64::decode(r)?,
+            torn_bytes: u64::decode(r)?,
+            torn_truncations: u64::decode(r)?,
+            recovery_ms: u64::decode(r)?,
+        })
+    }
+}
+
 /// Cross-shard aggregation of the two cache tiers, the payload of
 /// `STATS CACHE` under sharding. Counters are summed; capacities are
 /// *per shard* (every shard owns caches of the configured capacity).
@@ -232,6 +478,15 @@ struct Inner {
     shards: RwLock<Vec<Shard>>,
     config: ShardedConfig,
     make_store: StoreFactory,
+    /// Durable backing (WAL + segment files), present when the router was
+    /// created by [`ShardedGraphManager::build_durable`] or
+    /// [`ShardedGraphManager::open`]. Locked after the tail shard's write
+    /// lock on appends and after the router's exclusive lock on rolls.
+    storage: Option<Mutex<DurableState>>,
+    /// Keys registered through the router, replayed onto lazily hydrated
+    /// shards when they build (see [`ShardCell::get`]). Locked after the
+    /// shard read lock and after a cell's `pending` lock.
+    keys: Mutex<Vec<(String, tgraph::NodeId)>>,
 }
 
 /// A cloneable router over N time-range shards of one history, each a
@@ -305,44 +560,103 @@ impl ShardedGraphManager {
         config: ShardedConfig,
         make_store: impl Fn(usize) -> Arc<dyn KeyValueStore> + Send + Sync + 'static,
     ) -> DgResult<Self> {
+        let plans = Self::plan_shards(events, &config)?;
+        let make_store: StoreFactory = Box::new(make_store);
+        let shards = Self::build_shards(&plans, &config, &make_store)?;
+        Ok(Self::assemble(shards, config, make_store, None))
+    }
+
+    /// Builds a sharded store over a complete event trace AND persists it
+    /// to `dir`: every historical shard is sealed into an immutable segment
+    /// file and the tail gets a seed file plus a write-ahead log
+    /// (pre-loaded with the tail's events), so appends are durable under
+    /// `policy` and a later [`ShardedGraphManager::open`] recovers the
+    /// whole deployment. Any previous deployment in `dir` is replaced.
+    pub fn build_durable(
+        events: &EventList,
+        config: ShardedConfig,
+        dir: impl AsRef<Path>,
+        policy: WalSyncPolicy,
+    ) -> DgResult<Self> {
+        let plans = Self::plan_shards(events, &config)?;
+        let storage = DurableState::initialize(dir.as_ref(), policy, &plans)?;
+        let make_store: StoreFactory = Box::new(|_| Arc::new(MemStore::new()));
+        let shards = Self::build_shards(&plans, &config, &make_store)?;
+        Ok(Self::assemble(shards, config, make_store, Some(storage)))
+    }
+
+    /// Recovers a durable deployment from `dir`: sealed segments rebuild
+    /// the historical shards, the tail replays from its seed file plus the
+    /// WAL (a torn final record is truncated away), and serving resumes
+    /// where the previous process stopped — every acknowledged append made
+    /// under [`WalSyncPolicy::Always`] is visible again. The shard layout
+    /// comes from disk; only `config.manager` and `config.shard_events`
+    /// apply.
+    ///
+    /// Recovery is *lazy*: `open` verifies every file (checksums, the
+    /// manifest, the WAL's record framing) but builds no indexes — each
+    /// shard's index is built on the first query or append that touches
+    /// it, so time-to-first-answer is one shard's build, not the whole
+    /// history's. A segment whose verified bytes decode but fail the index
+    /// build (a writer bug, not disk corruption) therefore surfaces on
+    /// first touch rather than here.
+    ///
+    /// Application key bindings ([`ShardedGraphManager::register_key`]) are
+    /// *not* persisted and must be re-registered after recovery.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        config: ShardedConfig,
+        policy: WalSyncPolicy,
+    ) -> DgResult<Self> {
+        let started = Instant::now();
+        let (mut storage, plans) = DurableState::open(dir.as_ref(), policy)?;
+        let make_store: StoreFactory = Box::new(|_| Arc::new(MemStore::new()));
+        // Nothing survived anywhere (a lone tail whose WAL was destroyed):
+        // refuse now rather than hand out a router whose every query fails.
+        let tail_plan = plans.last().expect("at least the tail plan");
+        if tail_plan.seed.is_empty() && tail_plan.events.is_empty() {
+            return Err(DgError::EmptyIndex);
+        }
+        // No shard is built here. Each keeps its decoded, checksum-verified
+        // plan and hydrates on first touch (see [`ShardCell`]) — the tail
+        // on the first append or tail-range query, carrying the torn-record
+        // retry with it. Restart-to-first-query therefore pays for exactly
+        // one shard build, which is what makes a durable restart beat a
+        // full in-memory rebuild in `BENCH_durability.json`.
+        let last = plans.len() - 1;
+        let shards: Vec<Shard> = plans
+            .into_iter()
+            .enumerate()
+            .map(|(index, plan)| Shard {
+                lower: plan.lower,
+                events: AtomicUsize::new(plan.events.len()),
+                queries: AtomicU64::new(0),
+                appends: AtomicU64::new(0),
+                cell: ShardCell::lazy(index, plan, index == last),
+            })
+            .collect();
+        storage.recovery_ms = started.elapsed().as_millis().max(1) as u64;
+        Ok(Self::assemble(shards, config, make_store, Some(storage)))
+    }
+
+    /// Walks the trace once, cutting at each boundary into per-shard
+    /// plans. A shard's event list is its seed (the running state
+    /// collapsed to `lower - 1`) plus the real events in
+    /// `[lower, next boundary)`; boundaries whose seed state is empty are
+    /// dropped so no shard ever builds over an empty list (the index
+    /// rejects those).
+    fn plan_shards(events: &EventList, config: &ShardedConfig) -> DgResult<Vec<ShardPlan>> {
         if events.is_empty() {
             return Err(DgError::EmptyIndex);
         }
         let start = events.start_time().expect("non-empty");
-        let boundaries = Self::resolve_boundaries(events, &config, start)?;
-
-        // Walk the trace once, cutting at each boundary. A shard's event
-        // list is its seed (the running state collapsed to `lower - 1`)
-        // plus the real events in `[lower, next boundary)`; boundaries
-        // whose seed state is empty are dropped so no shard ever builds
-        // over an empty list (the index rejects those).
+        let boundaries = Self::resolve_boundaries(events, config, start)?;
         let evs = events.events();
-        let mut shards: Vec<Shard> = Vec::new();
+        let mut plans: Vec<ShardPlan> = Vec::new();
         let mut state = Snapshot::new();
         let mut cut = 0usize;
         let mut lower: Option<Timestamp> = None;
         let mut seed: Vec<Event> = Vec::new();
-        let close_shard = |lower: Option<Timestamp>,
-                           seed: Vec<Event>,
-                           range: &[Event],
-                           index: usize|
-         -> DgResult<Shard> {
-            let real = range.len();
-            let mut list = seed;
-            list.extend_from_slice(range);
-            let gm = GraphManager::build(
-                &EventList::from_events(list),
-                config.manager.clone(),
-                make_store(index),
-            )?;
-            Ok(Shard {
-                shared: SharedGraphManager::new(gm),
-                lower,
-                events: AtomicUsize::new(real),
-                queries: AtomicU64::new(0),
-                appends: AtomicU64::new(0),
-            })
-        };
         for b in boundaries {
             let upto = evs.partition_point(|e| e.time < b);
             let range = &evs[cut..upto];
@@ -366,23 +680,78 @@ impl ShardedGraphManager {
                 // remainder into the current shard instead.
                 break;
             }
-            shards.push(close_shard(lower, seed, range, shards.len())?);
+            plans.push(ShardPlan {
+                lower,
+                seed,
+                events: range.to_vec(),
+            });
             seed = next_seed;
             lower = Some(b);
             cut = upto;
         }
-        shards.push(close_shard(lower, seed, &evs[cut..], shards.len())?);
+        plans.push(ShardPlan {
+            lower,
+            seed,
+            events: evs[cut..].to_vec(),
+        });
         // The suppression above can only *merge* candidate shards, so the
         // first shard always exists and owns everything below its
         // successor's bound.
-        shards[0].lower = None;
-        Ok(ShardedGraphManager {
+        plans[0].lower = None;
+        Ok(plans)
+    }
+
+    /// Builds one serving shard per plan, in order. Every shard — freshly
+    /// planned or recovered from disk — goes through the same
+    /// segment-shaped constructor, so a rebuilt deployment is
+    /// construction-identical to the one that wrote it.
+    fn build_shards(
+        plans: &[ShardPlan],
+        config: &ShardedConfig,
+        make_store: &StoreFactory,
+    ) -> DgResult<Vec<Shard>> {
+        plans
+            .iter()
+            .enumerate()
+            .map(|(index, plan)| {
+                let segment = Segment {
+                    meta: SegmentMeta {
+                        shard_index: index as u64,
+                        lower: plan.lower,
+                    },
+                    seed: plan.seed.clone(),
+                    events: plan.events.clone(),
+                };
+                Ok(Shard {
+                    cell: ShardCell::eager(SharedGraphManager::from_segment(
+                        &segment,
+                        config.manager.clone(),
+                        make_store(index),
+                    )?),
+                    lower: plan.lower,
+                    events: AtomicUsize::new(plan.events.len()),
+                    queries: AtomicU64::new(0),
+                    appends: AtomicU64::new(0),
+                })
+            })
+            .collect()
+    }
+
+    fn assemble(
+        shards: Vec<Shard>,
+        config: ShardedConfig,
+        make_store: StoreFactory,
+        storage: Option<DurableState>,
+    ) -> Self {
+        ShardedGraphManager {
             inner: Arc::new(Inner {
                 shards: RwLock::new(shards),
                 config,
-                make_store: Box::new(make_store),
+                make_store,
+                storage: storage.map(Mutex::new),
+                keys: Mutex::new(Vec::new()),
             }),
-        })
+        }
     }
 
     fn resolve_boundaries(
@@ -430,7 +799,7 @@ impl ShardedGraphManager {
         ShardedGraphManager {
             inner: Arc::new(Inner {
                 shards: RwLock::new(vec![Shard {
-                    shared,
+                    cell: ShardCell::eager(shared),
                     lower: None,
                     events: AtomicUsize::new(0),
                     queries: AtomicU64::new(0),
@@ -439,7 +808,53 @@ impl ShardedGraphManager {
                 config: ShardedConfig::default(),
                 // Unreachable while shard_events is 0 (rolling disabled).
                 make_store: Box::new(|_| Arc::new(MemStore::new())),
+                storage: None,
+                keys: Mutex::new(Vec::new()),
             }),
+        }
+    }
+
+    fn storage_guard(&self) -> Option<MutexGuard<'_, DurableState>> {
+        self.inner
+            .storage
+            .as_ref()
+            .map(|m| m.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Whether the router persists appends and rolled shards to disk.
+    pub fn is_durable(&self) -> bool {
+        self.inner.storage.is_some()
+    }
+
+    /// Durable-storage statistics, the payload of `STATS STORAGE`. All
+    /// zeros (`durable == false`, policy `"none"`) for an in-memory router.
+    pub fn storage_info(&self) -> StorageInfo {
+        match self.storage_guard() {
+            Some(st) => StorageInfo {
+                durable: true,
+                policy: st.policy().to_string(),
+                segments: st.segments(),
+                segment_bytes: st.segment_bytes(),
+                wal_bytes: st.wal_bytes(),
+                wal_appends: st.wal_appends(),
+                wal_fsyncs: st.wal_fsyncs(),
+                torn_bytes: st.torn_bytes,
+                torn_truncations: st.torn_truncations,
+                recovery_ms: st.recovery_ms,
+            },
+            None => StorageInfo {
+                policy: "none".into(),
+                ..StorageInfo::default()
+            },
+        }
+    }
+
+    /// Forces any buffered WAL bytes to disk now (the shutdown path; a
+    /// no-op for in-memory routers).
+    pub fn sync_storage(&self) -> DgResult<()> {
+        match self.storage_guard() {
+            Some(mut st) => st.sync(),
+            None => Ok(()),
         }
     }
 
@@ -470,23 +885,43 @@ impl ShardedGraphManager {
     }
 
     /// The shard handle at `index` (shard indexes are stable: rolls only
-    /// append).
-    pub fn shard_at(&self, index: usize) -> SharedGraphManager {
-        self.read_shards()[index].shared.clone()
+    /// append), hydrating a lazily recovered shard on first touch.
+    pub fn shard_at(&self, index: usize) -> DgResult<SharedGraphManager> {
+        self.read_shards()[index].shared(&self.inner)
     }
 
-    /// Handles to every shard, in time order (tail last).
-    pub fn shard_handles(&self) -> Vec<SharedGraphManager> {
+    /// Handles to every shard, in time order (tail last). Hydrates every
+    /// lazily recovered shard still cold.
+    pub fn shard_handles(&self) -> DgResult<Vec<SharedGraphManager>> {
         self.read_shards()
             .iter()
-            .map(|s| s.shared.clone())
+            .map(|s| s.shared(&self.inner))
             .collect()
     }
 
-    /// The shard owning time `t`.
-    pub fn shard_for(&self, t: Timestamp) -> SharedGraphManager {
+    /// The shard owning time `t`, hydrating it on first touch.
+    pub fn shard_for(&self, t: Timestamp) -> DgResult<SharedGraphManager> {
         let shards = self.read_shards();
-        shards[shard_index_in(&shards, t)].shared.clone()
+        shards[shard_index_in(&shards, t)].shared(&self.inner)
+    }
+
+    /// Whether the shard at `index` has a built manager (a lazily recovered
+    /// shard stays cold until first touch).
+    fn is_hydrated(&self, index: usize) -> bool {
+        self.read_shards()
+            .get(index)
+            .is_some_and(|s| s.cell.peek().is_some())
+    }
+
+    /// The `[start, end]` range of the served history, computed without
+    /// hydrating cold shards: a cold shard reports the bounds of its stored
+    /// plan, a built one the bounds of its index.
+    pub fn history_range(&self) -> DgResult<(Timestamp, Timestamp)> {
+        let shards = self.read_shards();
+        let start = shards[0].cell.start_time().ok_or(DgError::EmptyIndex)?;
+        let tail = shards.last().expect("at least one shard");
+        let end = tail.cell.end_time().ok_or(DgError::EmptyIndex)?;
+        Ok((start, end))
     }
 
     /// The single shard covering every `t` in `[min, max]`, or an error when
@@ -508,17 +943,23 @@ impl ShardedGraphManager {
                 max.raw()
             )));
         }
-        Ok((lo, shards[lo].shared.clone()))
+        Ok((lo, shards[lo].shared(&self.inner)?))
     }
 
     /// Whether the per-shard managers were configured with a snapshot cache.
     pub fn cache_enabled(&self) -> bool {
-        self.read_shards()[0].shared.cache_enabled()
+        match self.read_shards()[0].cell.peek() {
+            Some(shared) => shared.cache_enabled(),
+            None => self.inner.config.manager.snapshot_cache_capacity > 0,
+        }
     }
 
     /// Whether the per-shard managers were configured with a response cache.
     pub fn response_cache_enabled(&self) -> bool {
-        self.read_shards()[0].shared.response_cache_enabled()
+        match self.read_shards()[0].cell.peek() {
+            Some(shared) => shared.response_cache_enabled(),
+            None => self.inner.config.manager.response_cache_capacity > 0,
+        }
     }
 
     // Note: there are deliberately no router-level response-cache get/put —
@@ -544,12 +985,15 @@ impl ShardedGraphManager {
     pub fn peek_cached(&self, t: Timestamp, opts: &AttrOptions) -> Option<Arc<Snapshot>> {
         let shard = self.shard_index_for(t);
         self.note_queries(shard, 1);
-        self.shard_at(shard).peek_cached(t, opts)
+        // A cold shard has nothing cached; a probe must not hydrate it.
+        self.read_shards()
+            .get(shard)
+            .and_then(|s| s.cell.peek().and_then(|shared| shared.peek_cached(t, opts)))
     }
 
     /// Computes the snapshot as of `t` on the owning shard (no overlay).
     pub fn snapshot_at(&self, t: Timestamp, opts: &AttrOptions) -> DgResult<Snapshot> {
-        self.shard_for(t).snapshot_at(t, opts)
+        self.shard_for(t)?.snapshot_at(t, opts)
     }
 
     /// Computes several snapshots, each on its owning shard, in request
@@ -565,16 +1009,16 @@ impl ShardedGraphManager {
         if groups.len() <= 1 {
             for (shard, points) in groups {
                 let ts: Vec<Timestamp> = points.iter().map(|&(_, t)| t).collect();
-                let snaps = self.shard_at(shard).snapshots_at(&ts, opts)?;
+                let snaps = self.shard_at(shard)?.snapshots_at(&ts, opts)?;
                 for ((pos, _), snap) in points.into_iter().zip(snaps) {
                     slots[pos] = Some(snap);
                 }
             }
         } else {
-            let tasks: Vec<(SharedGraphManager, Vec<(usize, Timestamp)>)> = groups
-                .into_iter()
-                .map(|(shard, points)| (self.shard_at(shard), points))
-                .collect();
+            let mut tasks: Vec<(SharedGraphManager, Vec<(usize, Timestamp)>)> = Vec::new();
+            for (shard, points) in groups {
+                tasks.push((self.shard_at(shard)?, points));
+            }
             let results: Vec<DgResult<Vec<(usize, Snapshot)>>> = thread::scope(|scope| {
                 let handles: Vec<_> = tasks
                     .iter()
@@ -633,11 +1077,12 @@ impl ShardedGraphManager {
         {
             let shards = self.read_shards();
             let tail = shards.last().expect("at least one shard");
-            let mut gm = tail.shared.write();
+            let shared = tail.shared(&self.inner)?; // first post-recovery append hydrates
+            let mut gm = shared.write();
             let event = build(gm.index().current_graph());
             check_tail_range(tail, &event)?;
             if !self.wants_roll(tail, &gm, &event) {
-                gm.append_event(event.clone())?;
+                self.apply_tail_event(&mut gm, event.clone())?;
                 tail.events.fetch_add(1, Ordering::Relaxed);
                 tail.appends.fetch_add(1, Ordering::Relaxed);
                 return Ok(event);
@@ -647,19 +1092,21 @@ impl ShardedGraphManager {
         // because another appender may have rolled in between.
         let mut shards = self.write_shards();
         let tail = shards.last().expect("at least one shard");
-        let mut gm = tail.shared.write();
+        let shared = tail.shared(&self.inner)?;
+        let mut gm = shared.write();
         let event = build(gm.index().current_graph());
         check_tail_range(tail, &event)?;
         if !self.wants_roll(tail, &gm, &event) {
-            gm.append_event(event.clone())?;
+            self.apply_tail_event(&mut gm, event.clone())?;
             tail.events.fetch_add(1, Ordering::Relaxed);
             tail.appends.fetch_add(1, Ordering::Relaxed);
             return Ok(event);
         }
         let boundary = event.time;
-        let mut list = seed_events(gm.index().current_graph(), boundary.prev());
+        let seed = seed_events(gm.index().current_graph(), boundary.prev());
         let keys = gm.key_bindings();
         drop(gm);
+        let mut list = seed.clone();
         list.push(event.clone());
         // Building the new shard validates the event exactly like an append
         // would (a malformed event fails the build and the old tail stays).
@@ -673,8 +1120,16 @@ impl ShardedGraphManager {
         for (key, node) in keys {
             next.register_key(key, node);
         }
+        // Persist the roll before exposing the new shard: seal the old
+        // tail into its segment, start the next WAL generation holding the
+        // triggering event, and commit with the manifest swap. An error
+        // here leaves both disk (old manifest wins) and memory (no new
+        // shard) on the old generation, the event unacknowledged.
+        if let Some(mut st) = self.storage_guard() {
+            st.roll(boundary, &seed, &event)?;
+        }
         shards.push(Shard {
-            shared: SharedGraphManager::new(next),
+            cell: ShardCell::eager(SharedGraphManager::new(next)),
             lower: Some(boundary),
             events: AtomicUsize::new(1),
             queries: AtomicU64::new(0),
@@ -689,6 +1144,27 @@ impl ShardedGraphManager {
         self.append_with(|_| event.clone()).map(|_| ())
     }
 
+    /// Applies one event to the tail manager, writing it ahead to the WAL
+    /// first when the router is durable. If the in-memory apply rejects the
+    /// event, the WAL record is rolled back so recovery never replays an
+    /// event that was refused (a crash inside this window is healed by
+    /// [`ShardedGraphManager::open`]'s drop-last-record retry).
+    fn apply_tail_event(&self, gm: &mut GraphManager, event: Event) -> DgResult<()> {
+        match self.storage_guard() {
+            Some(mut st) => {
+                let offset = st.append(&event)?;
+                match gm.append_event(event) {
+                    Ok(()) => Ok(()),
+                    Err(e) => {
+                        st.rollback(offset)?;
+                        Err(e)
+                    }
+                }
+            }
+            None => gm.append_event(event),
+        }
+    }
+
     fn wants_roll(&self, tail: &Shard, gm: &GraphManager, event: &Event) -> bool {
         let budget = self.inner.config.shard_events;
         budget > 0
@@ -700,37 +1176,90 @@ impl ShardedGraphManager {
     }
 
     /// Registers an application key on every shard (rolled shards inherit
-    /// the tail's table).
+    /// the tail's table). Cold shards receive the key when they hydrate,
+    /// via the router's registry.
     pub fn register_key(&self, key: impl Into<String>, node: tgraph::NodeId) {
         let key = key.into();
-        for shard in self.read_shards().iter() {
-            shard.shared.write().register_key(key.clone(), node);
+        let shards = self.read_shards();
+        let mut keys = self
+            .inner
+            .keys
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        keys.push((key.clone(), node));
+        // Holding the registry lock while registering on built shards pairs
+        // with ShardCell::get publishing inside the same critical section:
+        // a shard hydrating right now either shows up as built here or
+        // replays the registry entry we just pushed.
+        for shard in shards.iter() {
+            if let Some(shared) = shard.cell.peek() {
+                shared.write().register_key(key.clone(), node);
+            }
         }
     }
 
     /// Resolves an application key (the table is identical on every shard).
     pub fn resolve_key(&self, key: &str) -> Option<tgraph::NodeId> {
-        self.read_shards()[0].shared.read().resolve_key(key)
+        let shards = self.read_shards();
+        {
+            let keys = self
+                .inner
+                .keys
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            // Latest registration wins, matching the managers' table.
+            if let Some(&(_, node)) = keys.iter().rev().find(|(k, _)| k == key) {
+                return Some(node);
+            }
+        }
+        // Keys registered on a wrapped manager before `single()` took it
+        // are only in the manager's own table.
+        shards[0]
+            .cell
+            .peek()
+            .and_then(|shared| shared.read().resolve_key(key))
     }
 
-    /// Per-shard serving statistics, in time order (tail last).
+    /// Per-shard serving statistics, in time order (tail last). Never
+    /// hydrates: a cold (lazily recovered, untouched) shard reports its
+    /// event count from the stored plan and zeroed serving counters, so a
+    /// metrics scrape stays cheap right after recovery.
     pub fn shard_infos(&self) -> Vec<ShardInfo> {
         let shards = self.read_shards();
         shards
             .iter()
             .enumerate()
             .map(|(i, s)| {
-                let gm = s.shared.read();
+                let (overlays, cache_entries, cache, response_entries, response) =
+                    match s.cell.peek() {
+                        Some(shared) => {
+                            let gm = shared.read();
+                            (
+                                gm.pool().active_overlay_count(),
+                                gm.cache_len(),
+                                gm.cache_stats(),
+                                gm.response_cache_len(),
+                                gm.response_cache_stats(),
+                            )
+                        }
+                        None => (
+                            0,
+                            0,
+                            CacheStats::default(),
+                            0,
+                            ResponseCacheStats::default(),
+                        ),
+                    };
                 ShardInfo {
                     index: i,
                     lower: s.lower,
                     upper: shards.get(i + 1).and_then(|n| n.lower),
                     events: s.events.load(Ordering::Relaxed),
-                    overlays: gm.pool().active_overlay_count(),
-                    cache_entries: gm.cache_len(),
-                    cache: gm.cache_stats(),
-                    response_entries: gm.response_cache_len(),
-                    response: gm.response_cache_stats(),
+                    overlays,
+                    cache_entries,
+                    cache,
+                    response_entries,
+                    response,
                     queries: s.queries.load(Ordering::Relaxed),
                     appends: s.appends.load(Ordering::Relaxed),
                 }
@@ -743,21 +1272,41 @@ impl ShardedGraphManager {
     /// `(t, opts)`; capacities are per shard.
     pub fn cache_overview(&self) -> CacheOverview {
         let shards = self.read_shards();
-        let mut overview = {
-            let gm = shards[0].shared.read();
-            CacheOverview {
-                capacity: gm.cache_capacity(),
+        // Capacities from the built first shard when there is one (the
+        // `single()` wrapper may carry a config the router never saw),
+        // otherwise from the router config the cold shards will build with.
+        let mut overview = match shards[0].cell.peek() {
+            Some(shared) => {
+                let gm = shared.read();
+                CacheOverview {
+                    capacity: gm.cache_capacity(),
+                    stats: CacheStats::default(),
+                    overlays: 0,
+                    entries: Vec::new(),
+                    response_capacity: gm.response_cache_capacity(),
+                    response_byte_budget: gm.response_cache_byte_budget(),
+                    response_entries: 0,
+                    response: ResponseCacheStats::default(),
+                }
+            }
+            None => CacheOverview {
+                capacity: self.inner.config.manager.snapshot_cache_capacity,
                 stats: CacheStats::default(),
                 overlays: 0,
                 entries: Vec::new(),
-                response_capacity: gm.response_cache_capacity(),
-                response_byte_budget: gm.response_cache_byte_budget(),
+                response_capacity: self.inner.config.manager.response_cache_capacity,
+                response_byte_budget: self.inner.config.manager.response_cache_bytes,
                 response_entries: 0,
                 response: ResponseCacheStats::default(),
-            }
+            },
         };
         for shard in shards.iter() {
-            let gm = shard.shared.read();
+            // A cold shard has empty caches and no overlays: contributes
+            // nothing, costs nothing.
+            let Some(shared) = shard.cell.peek() else {
+                continue;
+            };
+            let gm = shared.read();
             sum_cache_stats(&mut overview.stats, gm.cache_stats());
             sum_response_stats(&mut overview.response, gm.response_cache_stats());
             overview.overlays += gm.pool().active_overlay_count();
@@ -855,12 +1404,12 @@ impl ShardedSession {
         &self.router
     }
 
-    fn session_for(&mut self, shard: usize) -> &mut PoolSession {
+    fn session_for(&mut self, shard: usize) -> DgResult<&mut PoolSession> {
         if !self.sessions.contains_key(&shard) {
-            let session = self.router.shard_at(shard).session();
+            let session = self.router.shard_at(shard)?.session();
             self.sessions.insert(shard, session);
         }
-        self.sessions.get_mut(&shard).expect("just inserted")
+        Ok(self.sessions.get_mut(&shard).expect("just inserted"))
     }
 
     /// Point retrieval through the owning shard's snapshot cache (see
@@ -883,7 +1432,7 @@ impl ShardedSession {
     ) -> DgResult<(SharedGraphManager, CachedPoint)> {
         let shard = self.router.shard_index_for(t);
         self.router.note_queries(shard, 1);
-        let session = self.session_for(shard);
+        let session = self.session_for(shard)?;
         let point = session.retrieve_cached(t, opts)?;
         Ok((session.shared().clone(), point))
     }
@@ -900,7 +1449,12 @@ impl ShardedSession {
         opts: &AttrOptions,
     ) -> Option<Arc<Snapshot>> {
         let shard = self.router.shard_index_for(t);
-        let hit = self.session_for(shard).acquire_cached(t, opts);
+        // A probe on a cold shard is a guaranteed miss and must compute
+        // nothing — including the shard's own deferred index build.
+        if !self.sessions.contains_key(&shard) && !self.router.is_hydrated(shard) {
+            return None;
+        }
+        let hit = self.session_for(shard).ok()?.acquire_cached(t, opts);
         if hit.is_some() {
             // A miss computes nothing here; the full retrieval the caller
             // falls back to does its own query accounting.
@@ -921,11 +1475,16 @@ impl ShardedSession {
         opts: &AttrOptions,
     ) -> Option<(SharedGraphManager, u64, Arc<Snapshot>)> {
         let shard = self.router.shard_index_for(t);
+        // A probe on a cold shard is a guaranteed miss and must compute
+        // nothing — including the shard's own deferred index build.
+        if !self.sessions.contains_key(&shard) && !self.router.is_hydrated(shard) {
+            return None;
+        }
         // A miss acquires nothing and must leave every counter untouched
         // (the reactor fast path's contract), so the query is counted only
         // on the hit.
         let (shared, epoch, snapshot) = {
-            let session = self.session_for(shard);
+            let session = self.session_for(shard).ok()?;
             let epoch = session.shared().read().append_epoch();
             let snapshot = session.acquire_cached(t, opts)?;
             (session.shared().clone(), epoch, snapshot)
@@ -950,7 +1509,7 @@ impl ShardedSession {
         let mut slots: Vec<Option<Arc<Snapshot>>> = times.iter().map(|_| None).collect();
         if groups.len() <= 1 {
             for (shard, points) in groups {
-                for (pos, snap) in shard_multipoint(self.session_for(shard), &points, opts)? {
+                for (pos, snap) in shard_multipoint(self.session_for(shard)?, &points, opts)? {
                     slots[pos] = Some(snap);
                 }
             }
@@ -960,14 +1519,12 @@ impl ShardedSession {
             // succeeded are retained (and released with the session) even
             // if another shard failed.
             type ShardTask = (usize, PoolSession, Vec<(usize, Timestamp)>);
-            let mut tasks: Vec<ShardTask> = groups
-                .into_iter()
-                .map(|(shard, points)| {
-                    self.session_for(shard); // ensure it exists
-                    let session = self.sessions.remove(&shard).expect("just created");
-                    (shard, session, points)
-                })
-                .collect();
+            let mut tasks: Vec<ShardTask> = Vec::new();
+            for (shard, points) in groups {
+                self.session_for(shard)?; // ensure it exists
+                let session = self.sessions.remove(&shard).expect("just created");
+                tasks.push((shard, session, points));
+            }
             type ShardResult = DgResult<Vec<(usize, Arc<Snapshot>)>>;
             let results: Vec<ShardResult> = thread::scope(|scope| {
                 let handles: Vec<_> = tasks
@@ -1018,7 +1575,7 @@ impl ShardedSession {
         let (shard, shared) = self.router.covering_shard(start.min(max), start.max(max))?;
         self.router.note_queries(shard, 1);
         let (graph, transients) = shared.snapshot_interval(start, end, opts)?;
-        self.session_for(shard).overlay(&graph, start);
+        self.session_for(shard)?.overlay(&graph, start);
         Ok((graph, transients))
     }
 
@@ -1035,7 +1592,7 @@ impl ShardedSession {
         let (shard, shared) = self.router.covering_shard(min, max)?;
         self.router.note_queries(shard, 1);
         let graph = shared.snapshot_expr(tex, opts)?;
-        self.session_for(shard).overlay(&graph, anchor);
+        self.session_for(shard)?.overlay(&graph, anchor);
         Ok(graph)
     }
 
@@ -1256,7 +1813,7 @@ mod tests {
         );
         // t=1000 now routes to the rolled tail, whose cache never saw the
         // stale bytes.
-        let owning = sharded.shard_for(t);
+        let owning = sharded.shard_for(t).unwrap();
         assert!(owning
             .response_cache_get(t, &opts, WireFormat::Text)
             .is_none());
@@ -1359,7 +1916,7 @@ mod tests {
         assert!(sharded.shard_count() > 1);
         assert_eq!(sharded.resolve_key("alice"), Some(tgraph::NodeId(1001)));
         // The rolled tail resolves it too.
-        let tail = sharded.shard_handles().pop().unwrap();
+        let tail = sharded.shard_handles().unwrap().pop().unwrap();
         assert_eq!(tail.read().resolve_key("alice"), Some(tgraph::NodeId(1001)));
     }
 
@@ -1376,7 +1933,7 @@ mod tests {
         }
         // The cache (capacity 16) keeps the overlays warm, but the sessions'
         // own references are gone.
-        for shared in sharded.shard_handles() {
+        for shared in sharded.shard_handles().unwrap() {
             let gm = shared.read();
             for entry in gm.cache_entries() {
                 assert_eq!(entry.refs, 1, "only the cache reference remains");
@@ -1469,5 +2026,278 @@ mod tests {
         info.encode(&mut buf);
         let decoded = ShardInfo::decode(&mut Reader::new(&buf)).unwrap();
         assert_eq!(decoded, info);
+    }
+
+    #[test]
+    fn storage_info_roundtrips_through_the_codec() {
+        let info = StorageInfo {
+            durable: true,
+            policy: "interval=250".into(),
+            segments: 3,
+            segment_bytes: 4096,
+            wal_bytes: 512,
+            wal_appends: 17,
+            wal_fsyncs: 5,
+            torn_bytes: 7,
+            torn_truncations: 1,
+            recovery_ms: 42,
+        };
+        let mut buf = Vec::new();
+        info.encode(&mut buf);
+        let decoded = StorageInfo::decode(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(decoded, info);
+    }
+
+    fn durable_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sharded-durable-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn durable_build_and_open_match_the_in_memory_router() {
+        let dir = durable_dir("roundtrip");
+        let ds = churn_trace(&ChurnConfig::tiny(77));
+        let config = ShardedConfig::default()
+            .with_shards(3)
+            .with_shard_events(16);
+        let mem = ShardedGraphManager::build_in_memory(&ds.events, config.clone()).unwrap();
+        let built = ShardedGraphManager::build_durable(
+            &ds.events,
+            config.clone(),
+            &dir,
+            WalSyncPolicy::Off,
+        )
+        .unwrap();
+        assert!(built.is_durable() && !mem.is_durable());
+        assert!(crate::durable::is_durable_dir(&dir));
+        drop(built);
+        let opened = ShardedGraphManager::open(&dir, config, WalSyncPolicy::Off).unwrap();
+        assert_eq!(opened.shard_count(), mem.shard_count());
+        let opts = AttrOptions::all();
+        let (lo, hi) = (ds.start_time().raw(), ds.end_time().raw());
+        for t in [lo, (lo + hi) / 2, hi] {
+            assert_eq!(
+                opened.snapshot_at(Timestamp(t), &opts).unwrap(),
+                mem.snapshot_at(Timestamp(t), &opts).unwrap(),
+                "t={t}"
+            );
+        }
+        let info = opened.storage_info();
+        assert!(info.durable);
+        assert_eq!(info.segments as usize, opened.shard_count() - 1);
+        assert!(info.recovery_ms >= 1);
+        assert_eq!(info.torn_truncations, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_appends_and_rolls_survive_a_reopen() {
+        let dir = durable_dir("rolls");
+        let config = ShardedConfig::default().with_shards(2).with_shard_events(5);
+        let sharded = ShardedGraphManager::build_durable(
+            &linear_trace(),
+            config.clone(),
+            &dir,
+            WalSyncPolicy::Always,
+        )
+        .unwrap();
+        // The built tail already exceeds the 5-event budget, so the first
+        // append rolls a new shard; the rest land in the fresh tail.
+        for i in 0..8u64 {
+            sharded
+                .append_event(Event::add_node(100 + i as i64, 9000 + i))
+                .unwrap();
+        }
+        let shards = sharded.shard_count();
+        let segments = sharded.storage_info().segments;
+        assert!(shards >= 3, "expected a roll, got {shards} shards");
+        assert_eq!(segments as usize, shards - 1);
+        drop(sharded);
+
+        let opened = ShardedGraphManager::open(&dir, config, WalSyncPolicy::Always).unwrap();
+        assert_eq!(opened.shard_count(), shards);
+        let snap = opened
+            .snapshot_at(Timestamp(200), &AttrOptions::all())
+            .unwrap();
+        for i in 0..8u64 {
+            assert!(snap.has_node(tgraph::NodeId(9000 + i)), "node {i} lost");
+        }
+        assert_eq!(snap.node_count(), 60 + 8);
+        // Appending keeps working on the recovered tail.
+        opened.append_event(Event::add_node(300, 9990)).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_torn_wal_tail_is_truncated_on_open() {
+        let dir = durable_dir("torn");
+        let config = ShardedConfig::default().with_shards(1);
+        let sharded = ShardedGraphManager::build_durable(
+            &linear_trace(),
+            config.clone(),
+            &dir,
+            WalSyncPolicy::Always,
+        )
+        .unwrap();
+        sharded.append_event(Event::add_node(61, 9001)).unwrap();
+        drop(sharded);
+        // Simulate a crash mid-write: append half a record to the WAL.
+        let wal = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .find(|p| p.extension().is_some_and(|x| x == "log"))
+            .expect("wal file");
+        use std::io::Write;
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(&wal)
+            .unwrap()
+            .write_all(&[0xA1, 0xFF, 0x03])
+            .unwrap();
+        let opened = ShardedGraphManager::open(&dir, config, WalSyncPolicy::Always).unwrap();
+        let info = opened.storage_info();
+        assert_eq!(info.torn_truncations, 1);
+        assert_eq!(info.torn_bytes, 3);
+        let snap = opened
+            .snapshot_at(Timestamp(61), &AttrOptions::all())
+            .unwrap();
+        assert!(snap.has_node(tgraph::NodeId(9001)));
+        assert_eq!(snap.node_count(), 61);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_rejected_apply_record_is_dropped_on_first_tail_touch() {
+        let dir = durable_dir("heal");
+        let config = ShardedConfig::default().with_shards(2);
+        let sharded = ShardedGraphManager::build_durable(
+            &linear_trace(),
+            config.clone(),
+            &dir,
+            WalSyncPolicy::Always,
+        )
+        .unwrap();
+        drop(sharded);
+        // Simulate a crash between the WAL write-ahead and the rollback of
+        // a rejected apply: a well-framed, checksum-valid final record whose
+        // event the rebuild must refuse (node 1001 already exists).
+        let wal_file = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .find(|p| p.extension().is_some_and(|x| x == "log"))
+            .expect("wal file");
+        let bad = Event::add_node(61, 1001);
+        let mut replay = kvstore::wal::Wal::open(&wal_file, WalSyncPolicy::Always).unwrap();
+        assert_eq!(replay.torn_bytes, 0);
+        replay.wal.append(&bad).unwrap();
+        drop(replay);
+        let poisoned_len = std::fs::metadata(&wal_file).unwrap().len();
+
+        // Open verifies frames, not semantics, so it accepts the record and
+        // the cold tail counts it.
+        let opened = ShardedGraphManager::open(&dir, config, WalSyncPolicy::Always).unwrap();
+        let tail = opened.shard_count() - 1;
+        let events_before = opened.shard_infos()[tail].events;
+        // The first tail touch fails the build, drops exactly that record,
+        // rebuilds, and serves the surviving history.
+        let snap = opened
+            .snapshot_at(Timestamp(60), &AttrOptions::all())
+            .unwrap();
+        assert_eq!(snap.node_count(), 60);
+        assert_eq!(opened.shard_infos()[tail].events, events_before - 1);
+        assert_eq!(
+            std::fs::metadata(&wal_file).unwrap().len(),
+            poisoned_len - kvstore::wal_record_len(&bad),
+            "exactly the poisoned record must be dropped from the log"
+        );
+        // The healed tail keeps ingesting, and the heal is durable: a
+        // second recovery replays a clean log.
+        opened.append_event(Event::add_node(61, 9001)).unwrap();
+        drop(opened);
+        let reopened = ShardedGraphManager::open(
+            &dir,
+            ShardedConfig::default().with_shards(2),
+            WalSyncPolicy::Always,
+        )
+        .unwrap();
+        let snap = reopened
+            .snapshot_at(Timestamp(61), &AttrOptions::all())
+            .unwrap();
+        assert_eq!(snap.node_count(), 61);
+        assert!(snap.has_node(tgraph::NodeId(9001)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_defers_historical_shard_builds_until_first_touch() {
+        let dir = durable_dir("lazy");
+        let ds = churn_trace(&ChurnConfig::tiny(79));
+        let config = ShardedConfig::default().with_shards(3);
+        let mem = ShardedGraphManager::build_in_memory(&ds.events, config.clone()).unwrap();
+        drop(
+            ShardedGraphManager::build_durable(
+                &ds.events,
+                config.clone(),
+                &dir,
+                WalSyncPolicy::Off,
+            )
+            .unwrap(),
+        );
+
+        let opened = ShardedGraphManager::open(&dir, config, WalSyncPolicy::Off).unwrap();
+        let shards = opened.shard_count();
+        assert!(shards >= 2, "need a historical shard, got {shards}");
+        // Every shard — tail included — came up cold; the stats, cache,
+        // banner, and probe surfaces must all leave them cold.
+        assert!(!opened.is_hydrated(shards - 1));
+        assert!(!opened.is_hydrated(0));
+        let infos = opened.shard_infos();
+        assert_eq!(infos.len(), shards);
+        assert_eq!(infos, mem.shard_infos(), "cold stats must match eager ones");
+        let _ = opened.cache_overview();
+        assert_eq!(
+            opened.history_range().unwrap(),
+            mem.history_range().unwrap()
+        );
+        assert!(opened
+            .peek_cached(ds.start_time(), &AttrOptions::all())
+            .is_none());
+        assert!(!opened.is_hydrated(0), "a stats read must not hydrate");
+
+        // A key registered while the shard is cold is visible after its
+        // deferred build, exactly as if every shard had been built eagerly.
+        let node = match ds.events.events()[0].kind {
+            EventKind::AddNode { node } => node,
+            ref k => panic!("first event should add a node, got {k:?}"),
+        };
+        opened.register_key("first", node);
+        assert_eq!(opened.resolve_key("first"), Some(node));
+
+        // First touch hydrates exactly the owning shard, and the answer
+        // matches the in-memory router's.
+        let t = ds.start_time();
+        let opts = AttrOptions::all();
+        assert_eq!(
+            opened.snapshot_at(t, &opts).unwrap(),
+            mem.snapshot_at(t, &opts).unwrap()
+        );
+        assert!(opened.is_hydrated(0));
+        assert_eq!(
+            opened.shard_at(0).unwrap().read().resolve_key("first"),
+            Some(node),
+            "registry must replay onto the hydrated shard"
+        );
+        // The tail stays cold through all of the above and hydrates on its
+        // first append, which remains durable.
+        assert!(!opened.is_hydrated(shards - 1));
+        opened
+            .append_event(Event::add_node(ds.end_time().raw() + 1, 777_777))
+            .unwrap();
+        assert!(opened.is_hydrated(shards - 1));
+        assert!(opened.storage_info().wal_appends >= 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -146,6 +146,116 @@ proptest! {
     }
 }
 
+proptest! {
+    /// Durable recovery extends the invariant to crashes: for random
+    /// streams, shard layouts, roll budgets, live appends, and a random
+    /// kill point (the WAL torn at an arbitrary byte offset), a recovered
+    /// router must answer point retrievals identically to an in-memory
+    /// manager replaying the surviving prefix of the stream. The prefix is
+    /// computed independently from the WAL's record framing, so this also
+    /// pins *which* events must survive a given tear.
+    #[test]
+    fn prop_recovered_router_matches_in_memory_over_surviving_prefix(
+        seed in 0u64..4,
+        shard_count in 1usize..4,
+        budget in 0usize..10,
+        appends in 1usize..12,
+        cut_frac in 0u64..101,
+    ) {
+        use historygraph::kvstore::{read_wal_events, wal_record_len};
+        use historygraph::WalSyncPolicy;
+
+        let dir = std::env::temp_dir().join(format!(
+            "recovery-equivalence-{}-{seed}-{shard_count}-{budget}-{appends}-{cut_frac}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let ds = churn_trace(&ChurnConfig::tiny(900 + seed));
+        let end = ds.end_time().raw();
+        let config = ShardedConfig::default()
+            .with_shards(shard_count)
+            .with_shard_events(budget);
+        let durable = ShardedGraphManager::build_durable(
+            &ds.events,
+            config.clone(),
+            &dir,
+            WalSyncPolicy::Off,
+        )
+        .unwrap();
+        let mut all_events: Vec<Event> = ds.events.events().to_vec();
+        for i in 0..appends as i64 {
+            let ev = Event::add_node(end + 1 + i, 900_000 + i as u64);
+            durable.append_event(ev.clone()).unwrap();
+            all_events.push(ev);
+        }
+        drop(durable); // the "crash": no shutdown hook runs
+
+        // Tear the tail WAL at cut_frac% of its length and compute, purely
+        // from record framing, which suffix of the stream that destroys:
+        // the tail WAL holds the newest events, so losing its last records
+        // loses exactly the stream's tail.
+        let wal = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .find(|p| p.extension().is_some_and(|x| x == "log"))
+            .expect("tail wal");
+        let tail_events = read_wal_events(&wal).unwrap();
+        let full_len = std::fs::metadata(&wal).unwrap().len();
+        let cut = full_len * cut_frac / 100;
+        let mut offset = 0u64;
+        let mut surviving_tail = 0usize;
+        for ev in &tail_events {
+            offset += wal_record_len(ev);
+            if offset > cut {
+                break;
+            }
+            surviving_tail += 1;
+        }
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal)
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+        let dropped = tail_events.len() - surviving_tail;
+        let surviving = &all_events[..all_events.len() - dropped];
+
+        if surviving.is_empty() {
+            // Nothing survived anywhere (single shard, WAL fully gone):
+            // recovery must refuse rather than serve an empty history.
+            assert!(ShardedGraphManager::open(&dir, config, WalSyncPolicy::Off).is_err());
+        } else {
+            let recovered =
+                ShardedGraphManager::open(&dir, config, WalSyncPolicy::Off).unwrap();
+            let oracle = GraphManager::build_in_memory(
+                &historygraph::tgraph::EventList::from_events(surviving.to_vec()),
+                GraphManagerConfig::default(),
+            )
+            .unwrap();
+
+            let last = surviving.last().unwrap().time;
+            let mut times: Vec<Timestamp> =
+                uniform_timepoints(ds.start_time(), last, 7);
+            times.push(last);
+            for info in recovered.shard_infos() {
+                if let Some(lower) = info.lower {
+                    times.extend([lower.prev(), lower, lower.next()]);
+                }
+            }
+            for opts in [AttrOptions::all(), AttrOptions::structure_only()] {
+                for &t in &times {
+                    let got = recovered.snapshot_at(t, &opts).unwrap();
+                    let want = oracle.index().get_snapshot(t, &opts).unwrap();
+                    assert_eq!(got, want, "t={} opts={}", t.raw(), opts.canonical_string());
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 #[test]
 fn storage_footprints_are_reported_and_ordered_sensibly() {
     let ds = churn_trace(&ChurnConfig::tiny(203));

@@ -243,7 +243,7 @@ fn disconnect_releases_overlays_on_every_shard() {
     // overlays stay warm holding exactly the cache's own reference.
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
     loop {
-        let leaked = router.shard_handles().iter().any(|shared| {
+        let leaked = router.shard_handles().unwrap().iter().any(|shared| {
             let gm = shared.read();
             gm.cache_entries().iter().any(|e| e.refs > 1)
         });
