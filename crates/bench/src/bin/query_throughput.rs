@@ -7,7 +7,7 @@
 //!     [--scale 0.2] [--memory] [--clients 8] [--seconds 5] \
 //!     [--hot] [--cache 256] [--resp-cache 256] [--hot-points 4] \
 //!     [--proto text|binary] [--shards 4] [--connections 1000,4000] \
-//!     [--workers 4]
+//!     [--workers 4] [--request-timeout-ms 0] [--max-queue-depth 0]
 //! ```
 //!
 //! `--hot` switches to the hot-point workload: every client hammers `GET
@@ -177,6 +177,23 @@ fn slow_query_us_arg() -> u64 {
         .unwrap_or(0)
 }
 
+/// `--request-timeout-ms N` (default 0 = off): per-request deadline on the
+/// benched server, passed through so CI can smoke the overload-protection
+/// path under a real workload.
+fn request_timeout_ms_arg() -> u64 {
+    arg_str("--request-timeout-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// `--max-queue-depth N` (default 0 = unbounded): admission cap on the
+/// benched server's worker queue.
+fn max_queue_depth_arg() -> usize {
+    arg_str("--max-queue-depth")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 /// One pass of the hot-point workload: `clients` connections all issuing
 /// `GET GRAPH AT t` over the same few `hot` timestamps for `seconds`,
 /// in the pass's protocol and cache configuration.
@@ -204,6 +221,8 @@ fn run_hot_pass(
             max_connections: clients + 2,
             metrics_enabled: pass.metrics,
             slow_query_us: slow_query_us_arg(),
+            request_timeout_ms: request_timeout_ms_arg(),
+            max_queue_depth: max_queue_depth_arg(),
             ..Default::default()
         },
     )
@@ -1118,6 +1137,8 @@ fn run_connections(opts: &HarnessOptions, seconds: usize) {
             max_connections: n + 8,
             worker_threads: workers,
             slow_query_us: slow_query_us_arg(),
+            request_timeout_ms: request_timeout_ms_arg(),
+            max_queue_depth: max_queue_depth_arg(),
             ..Default::default()
         };
         if core == "threaded" {

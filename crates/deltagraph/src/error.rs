@@ -33,6 +33,16 @@ pub enum DgError {
     UnknownAuxIndex(String),
     /// Invalid construction or query parameter.
     InvalidParameter(String),
+    /// The shard owning the queried time range is quarantined after failed
+    /// hydration attempts; other shards keep serving.
+    ShardQuarantined {
+        /// Index of the quarantined shard.
+        shard: usize,
+        /// Hydration attempts that have failed so far.
+        failures: u64,
+        /// The error that caused the last failed attempt.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DgError {
@@ -49,6 +59,14 @@ impl fmt::Display for DgError {
             DgError::UnknownNode(id) => write!(f, "unknown skeleton node {id}"),
             DgError::UnknownAuxIndex(name) => write!(f, "unknown auxiliary index {name:?}"),
             DgError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            DgError::ShardQuarantined {
+                shard,
+                failures,
+                reason,
+            } => write!(
+                f,
+                "shard {shard} is quarantined after {failures} failed hydration attempt(s): {reason}"
+            ),
         }
     }
 }

@@ -94,6 +94,10 @@ pub enum Query {
     /// sealed segment count and bytes, torn-tail truncations, and the last
     /// recovery's duration (all zero/`none` for in-memory deployments).
     StorageStats,
+    /// `STATS HEALTH` — per-shard health (`ready`/`cold`/`quarantined`/
+    /// `degraded`), storage degradation, and retry counters. Computed
+    /// without hydrating any shard, so it stays cheap during incidents.
+    HealthStats,
     /// `APPEND ...` — one live update event.
     Append(AppendSpec),
     /// `BIND <key> <node id>` — register an application key.
@@ -438,6 +442,7 @@ impl fmt::Display for Query {
             Query::MetricsStats => f.write_str("STATS METRICS"),
             Query::SlowStats => f.write_str("STATS SLOW"),
             Query::StorageStats => f.write_str("STATS STORAGE"),
+            Query::HealthStats => f.write_str("STATS HEALTH"),
             Query::Append(spec) => match spec {
                 AppendSpec::Node { t, node } => write!(f, "APPEND NODE {} {node}", t.raw()),
                 AppendSpec::DelNode { t, node } => {

@@ -636,6 +636,9 @@ impl Executor {
             Query::StorageStats => Ok(Response::Storage {
                 info: self.router.storage_info(),
             }),
+            Query::HealthStats => Ok(Response::Health {
+                info: self.router.health_info(),
+            }),
             Query::Append(spec) => {
                 // Routed to the tail shard; the event is built against the
                 // tail's current graph under the same locks that apply it

@@ -151,6 +151,7 @@ mod roundtrip_tests {
             ("stats metrics", "STATS METRICS"),
             ("stats slow", "STATS SLOW"),
             ("stats storage", "STATS STORAGE"),
+            ("stats health", "STATS HEALTH"),
             ("append node 20 777", "APPEND NODE 20 777"),
             ("APPEND DELNODE 21 5", "APPEND DELNODE 21 5"),
             ("append edge 21 500 777 1", "APPEND EDGE 21 500 777 1"),

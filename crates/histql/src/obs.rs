@@ -80,7 +80,8 @@ impl VerbKind {
             | Query::ServerStats
             | Query::MetricsStats
             | Query::SlowStats
-            | Query::StorageStats => VerbKind::Stats,
+            | Query::StorageStats
+            | Query::HealthStats => VerbKind::Stats,
             Query::Bind { .. } | Query::ReleaseAll | Query::Protocol(_) | Query::Ping => {
                 VerbKind::Other
             }
@@ -169,6 +170,13 @@ pub struct MetricsHub {
     /// Requests executed by the worker pool (or the threaded core's
     /// connection thread).
     pub path_worker: Arc<Counter>,
+    /// Requests refused at admission because the worker queue was over
+    /// `--max-queue-depth` (the `OVERLOADED` reply).
+    pub requests_shed: Arc<Counter>,
+    /// Requests whose `--request-timeout-ms` deadline expired — either
+    /// refused before execution (queue wait ate the budget) or detected
+    /// after an over-deadline service phase.
+    pub deadline_exceeded: Arc<Counter>,
     slow_threshold_us: AtomicU64,
     slow: Mutex<VecDeque<SlowQueryInfo>>,
 }
@@ -191,6 +199,8 @@ impl MetricsHub {
         let phase_accept_to_parse = registry.histogram("phase_us_accept_to_parse");
         let path_fast = registry.counter("path_fast_total");
         let path_worker = registry.counter("path_worker_total");
+        let requests_shed = registry.counter("requests_shed_total");
+        let deadline_exceeded = registry.counter("deadline_exceeded_total");
         MetricsHub {
             registry,
             verbs,
@@ -200,6 +210,8 @@ impl MetricsHub {
             phase_accept_to_parse,
             path_fast,
             path_worker,
+            requests_shed,
+            deadline_exceeded,
             slow_threshold_us: AtomicU64::new(0),
             slow: Mutex::new(VecDeque::new()),
         }
@@ -443,6 +455,30 @@ pub fn metrics_report(
             MetricValue::Gauge(st.recovery_ms),
         );
     }
+    // Health counters: shard quarantine state, storage degradation, and the
+    // transient-IO retry total. Cheap by construction (health_info never
+    // hydrates a shard), so the scrape stays safe during incidents.
+    let health = router.health_info();
+    push(
+        &mut out,
+        "storage_degraded",
+        MetricValue::Gauge(u64::from(health.degraded)),
+    );
+    push(
+        &mut out,
+        "storage_retries_total",
+        MetricValue::Counter(health.storage_retries),
+    );
+    push(
+        &mut out,
+        "shards_quarantined",
+        MetricValue::Gauge(health.quarantined),
+    );
+    push(
+        &mut out,
+        "hydration_failures_total",
+        MetricValue::Counter(health.hydration_failures),
+    );
     // Per-shard skew counters, one triple per shard.
     for info in router.shard_infos() {
         let i = info.index;
@@ -487,6 +523,7 @@ mod tests {
             ("STATS METRICS", VerbKind::Stats),
             ("STATS SLOW", VerbKind::Stats),
             ("STATS STORAGE", VerbKind::Stats),
+            ("STATS HEALTH", VerbKind::Stats),
             ("BIND alice 1", VerbKind::Other),
             ("PING", VerbKind::Other),
         ];

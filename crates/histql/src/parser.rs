@@ -82,6 +82,8 @@ impl Parser {
                     Ok(Query::SlowStats)
                 } else if self.eat_keyword("STORAGE") {
                     Ok(Query::StorageStats)
+                } else if self.eat_keyword("HEALTH") {
+                    Ok(Query::HealthStats)
                 } else {
                     Ok(Query::Stats)
                 }

@@ -18,7 +18,7 @@
 use std::sync::Arc;
 
 use historygraph::{
-    CacheEntryInfo, CacheStats, ResponseCacheStats, ShardInfo, StorageInfo, WireFormat,
+    CacheEntryInfo, CacheStats, HealthInfo, ResponseCacheStats, ShardInfo, StorageInfo, WireFormat,
 };
 use tgraph::codec::{write_varint, Decode, Encode, Reader};
 use tgraph::{AttrValue, Event, EventKind, NodeId, Snapshot, TgError, Timestamp};
@@ -155,6 +155,12 @@ pub enum Response {
     Storage {
         /// The router's storage counters.
         info: StorageInfo,
+    },
+    /// Router health (`STATS HEALTH`): an `OK HEALTH` summary line plus one
+    /// `H` line per shard with its state and hydration-failure count.
+    Health {
+        /// The router's health snapshot.
+        info: HealthInfo,
     },
     /// An `APPEND` was applied.
     Appended {
@@ -650,6 +656,28 @@ impl Response {
                 info.torn_truncations,
                 info.recovery_ms
             )),
+            Response::Health { info } => {
+                out.push(format!(
+                    "OK HEALTH shards={} degraded={} quarantined={} \
+                     hydration_failures={} storage_retries={}{}",
+                    info.shards.len(),
+                    info.degraded,
+                    info.quarantined,
+                    info.hydration_failures,
+                    info.storage_retries,
+                    if info.degraded_reason.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" reason={}", quote(&info.degraded_reason))
+                    }
+                ));
+                for s in &info.shards {
+                    out.push(format!(
+                        "H {} state={} failures={}",
+                        s.index, s.state, s.failures
+                    ));
+                }
+            }
             Response::Appended { t } => out.push(format!("OK APPENDED t={}", t.raw())),
             Response::Bound { key, node } => out.push(format!("OK BOUND {} {node}", quote(key))),
             Response::Released { count } => out.push(format!("OK RELEASED {count}")),
@@ -980,6 +1008,10 @@ impl Encode for Response {
                 buf.push(17);
                 info.encode(buf);
             }
+            Response::Health { info } => {
+                buf.push(18);
+                info.encode(buf);
+            }
             Response::Bound { key, node } => {
                 buf.push(8);
                 key.encode(buf);
@@ -1088,6 +1120,9 @@ impl Decode for Response {
             },
             17 => Response::Storage {
                 info: StorageInfo::decode(r)?,
+            },
+            18 => Response::Health {
+                info: HealthInfo::decode(r)?,
             },
             t => return Err(TgError::Codec(format!("invalid Response tag {t}"))),
         })
@@ -1485,6 +1520,27 @@ mod tests {
                     torn_bytes: 5,
                     torn_truncations: 1,
                     recovery_ms: 12,
+                },
+            },
+            Response::Health {
+                info: HealthInfo {
+                    shards: vec![
+                        historygraph::ShardHealth {
+                            index: 0,
+                            state: "ready".into(),
+                            failures: 0,
+                        },
+                        historygraph::ShardHealth {
+                            index: 1,
+                            state: "quarantined".into(),
+                            failures: 2,
+                        },
+                    ],
+                    degraded: true,
+                    degraded_reason: "injected EIO at wal.append".into(),
+                    quarantined: 1,
+                    hydration_failures: 2,
+                    storage_retries: 4,
                 },
             },
             Response::Appended { t: Timestamp(20) },

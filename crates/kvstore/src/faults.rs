@@ -1,0 +1,346 @@
+//! Deterministic IO fault injection ("failpoints") for storage resilience
+//! testing.
+//!
+//! Every fallible IO call in the WAL, segment, and manifest paths passes
+//! through a *named site* (e.g. `"wal.append"`, `"segment.rename"`) along
+//! with the path it operates on. A test — or the `HISTORYGRAPH_FAILPOINTS`
+//! environment variable — can arm a site with a [`FaultKind`] and a trigger
+//! window (`skip` hits, then fail `count` times), making ENOSPC, EIO, short
+//! writes, fsync failures, and failed renames reproducible at exact
+//! protocol steps. Arming may be scoped to a path substring so concurrent
+//! tests (the registry is process-global) only fault their own files.
+//!
+//! When nothing is armed the check is one atomic load, so the production
+//! hot path pays effectively nothing.
+//!
+//! Env grammar (sites separated by `;` or `,`):
+//!
+//! ```text
+//! HISTORYGRAPH_FAILPOINTS="wal.append=enospc;segment.sync=eio:skip=2:count=1"
+//! ```
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once, OnceLock, PoisonError};
+
+/// The failure shape a site injects when it triggers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `ENOSPC`: the device is full. Fatal — retrying cannot help soon.
+    Enospc,
+    /// `EIO`: a generic device error. Fatal.
+    Eio,
+    /// Writes a prefix of the buffer, then fails: a torn write on disk.
+    ShortWrite,
+    /// The data reached the page cache but `fsync` failed. Fatal.
+    FsyncFail,
+    /// The atomic rename never happened; the temp file is left behind.
+    RenameFail,
+    /// `EINTR`-shaped: transient, a bounded retry is expected to succeed.
+    Transient,
+}
+
+impl FaultKind {
+    fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "enospc" => Some(FaultKind::Enospc),
+            "eio" => Some(FaultKind::Eio),
+            "short-write" | "shortwrite" => Some(FaultKind::ShortWrite),
+            "fsync" | "fsync-fail" => Some(FaultKind::FsyncFail),
+            "rename" | "rename-fail" => Some(FaultKind::RenameFail),
+            "transient" => Some(FaultKind::Transient),
+            _ => None,
+        }
+    }
+
+    /// The `io::Error` this kind injects.
+    fn to_error(self, site: &str) -> io::Error {
+        match self {
+            #[cfg(unix)]
+            FaultKind::Enospc => io::Error::from_raw_os_error(28), // ENOSPC
+            #[cfg(not(unix))]
+            FaultKind::Enospc => io::Error::other(format!("injected ENOSPC at {site}")),
+            #[cfg(unix)]
+            FaultKind::Eio
+            | FaultKind::ShortWrite
+            | FaultKind::FsyncFail
+            | FaultKind::RenameFail => {
+                io::Error::from_raw_os_error(5) // EIO
+            }
+            #[cfg(not(unix))]
+            FaultKind::Eio
+            | FaultKind::ShortWrite
+            | FaultKind::FsyncFail
+            | FaultKind::RenameFail => io::Error::other(format!("injected EIO at {site}")),
+            FaultKind::Transient => io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("injected transient fault at {site}"),
+            ),
+        }
+    }
+}
+
+/// One armed plan: fail with `kind` after `skip` matching hits, `count`
+/// times (`None` = until cleared), optionally only for paths containing
+/// `path_filter`.
+struct Plan {
+    kind: FaultKind,
+    skip: u64,
+    remaining: Option<u64>,
+    hits: u64,
+    triggered: u64,
+    path_filter: Option<String>,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+
+fn registry() -> &'static Mutex<HashMap<String, Vec<Plan>>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Vec<Plan>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, HashMap<String, Vec<Plan>>> {
+    registry().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn init_from_env() {
+    let Ok(spec) = std::env::var("HISTORYGRAPH_FAILPOINTS") else {
+        return;
+    };
+    for entry in spec.split([';', ',']).filter(|e| !e.trim().is_empty()) {
+        let Some((site, rest)) = entry.trim().split_once('=') else {
+            continue;
+        };
+        let mut parts = rest.split(':');
+        let Some(kind) = parts.next().and_then(FaultKind::parse) else {
+            continue;
+        };
+        let mut skip = 0u64;
+        let mut count = None;
+        let mut path = None;
+        for opt in parts {
+            match opt.split_once('=') {
+                Some(("skip", n)) => skip = n.parse().unwrap_or(0),
+                Some(("count", n)) => count = n.parse().ok(),
+                Some(("path", p)) => path = Some(p.to_string()),
+                _ => {}
+            }
+        }
+        arm_scoped(site, kind, skip, count, path.as_deref());
+    }
+}
+
+fn enabled() -> bool {
+    ENV_INIT.call_once(init_from_env);
+    ARMED.load(Ordering::Acquire)
+}
+
+/// Arms `site` to fail with `kind` on every hit, any path, until cleared.
+pub fn arm(site: &str, kind: FaultKind) {
+    arm_scoped(site, kind, 0, None, None);
+}
+
+/// Arms `site` to fail with `kind` after `skip` hits, for `count` triggers
+/// (`None` = until cleared), on any path.
+pub fn arm_with(site: &str, kind: FaultKind, skip: u64, count: Option<u64>) {
+    arm_scoped(site, kind, skip, count, None);
+}
+
+/// Fully general arming: like [`arm_with`], but when `path_filter` is
+/// `Some(s)` the plan only applies to operations whose path contains `s` —
+/// the tool that lets concurrent tests fault only their own directories.
+pub fn arm_scoped(
+    site: &str,
+    kind: FaultKind,
+    skip: u64,
+    count: Option<u64>,
+    path_filter: Option<&str>,
+) {
+    lock().entry(site.to_string()).or_default().push(Plan {
+        kind,
+        skip,
+        remaining: count,
+        hits: 0,
+        triggered: 0,
+        path_filter: path_filter.map(str::to_string),
+    });
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Disarms every plan on one site. Trigger counts survive until
+/// [`clear_all`].
+pub fn clear(site: &str) {
+    let mut reg = lock();
+    if let Some(plans) = reg.get_mut(site) {
+        for plan in plans {
+            plan.remaining = Some(0);
+        }
+    }
+}
+
+/// Disarms every site and forgets all counters.
+pub fn clear_all() {
+    lock().clear();
+    ARMED.store(false, Ordering::Release);
+}
+
+/// How many times `site` actually injected a failure (all plans).
+pub fn triggered(site: &str) -> u64 {
+    lock()
+        .get(site)
+        .map_or(0, |plans| plans.iter().map(|p| p.triggered).sum())
+}
+
+/// Consults the plans for `site` against `path`, counting hits on every
+/// matching plan. `Some(kind)` means the caller must fail with `kind`.
+fn consult(site: &str, path: &Path) -> Option<FaultKind> {
+    let mut reg = lock();
+    let plans = reg.get_mut(site)?;
+    let path_str = path.to_string_lossy();
+    let mut fire = None;
+    for plan in plans {
+        if let Some(filter) = &plan.path_filter {
+            if !path_str.contains(filter.as_str()) {
+                continue;
+            }
+        }
+        plan.hits += 1;
+        if fire.is_some() || plan.hits <= plan.skip {
+            continue;
+        }
+        match plan.remaining {
+            Some(0) => {}
+            Some(ref mut n) => {
+                *n -= 1;
+                plan.triggered += 1;
+                fire = Some(plan.kind);
+            }
+            None => {
+                plan.triggered += 1;
+                fire = Some(plan.kind);
+            }
+        }
+    }
+    fire
+}
+
+/// The failpoint check for non-write sites (fsync, rename, truncate,
+/// create). Returns the injected error when a plan for `site` triggers on
+/// `path`; `Ok(())` otherwise — and always `Ok(())`, at the cost of one
+/// atomic load, when nothing is armed anywhere.
+pub fn check(site: &str, path: &Path) -> io::Result<()> {
+    if !enabled() {
+        return Ok(());
+    }
+    match consult(site, path) {
+        Some(kind) => Err(kind.to_error(site)),
+        None => Ok(()),
+    }
+}
+
+/// `write_all` through the failpoint at `site`. A [`FaultKind::ShortWrite`]
+/// trigger writes the first half of `buf` for real and then fails — the
+/// bytes on disk are torn exactly as a crashed write would leave them.
+/// Every other kind fails before writing anything.
+pub fn write_all(w: &mut impl Write, buf: &[u8], site: &str, path: &Path) -> io::Result<()> {
+    if !enabled() {
+        return w.write_all(buf);
+    }
+    match consult(site, path) {
+        Some(FaultKind::ShortWrite) => {
+            w.write_all(&buf[..buf.len() / 2])?;
+            Err(FaultKind::ShortWrite.to_error(site))
+        }
+        Some(kind) => Err(kind.to_error(site)),
+        None => w.write_all(buf),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    // The registry is process-global, so each test uses its own site names.
+
+    fn p(name: &str) -> PathBuf {
+        PathBuf::from(format!("/tmp/faults-test/{name}"))
+    }
+
+    #[test]
+    fn disarmed_sites_pass_through() {
+        assert!(check("faults-test.never-armed", &p("a")).is_ok());
+        let mut sink = Vec::new();
+        write_all(&mut sink, b"abc", "faults-test.never-armed", &p("a")).unwrap();
+        assert_eq!(sink, b"abc");
+    }
+
+    #[test]
+    fn skip_and_count_window_the_trigger() {
+        let site = "faults-test.window";
+        arm_with(site, FaultKind::Eio, 2, Some(1));
+        assert!(check(site, &p("w")).is_ok(), "hit 1 skipped");
+        assert!(check(site, &p("w")).is_ok(), "hit 2 skipped");
+        assert!(check(site, &p("w")).is_err(), "hit 3 triggers");
+        assert!(check(site, &p("w")).is_ok(), "count exhausted");
+        assert_eq!(triggered(site), 1);
+        clear(site);
+    }
+
+    #[test]
+    fn path_scoping_only_faults_matching_paths() {
+        let site = "faults-test.scoped";
+        arm_scoped(site, FaultKind::Enospc, 0, None, Some("mine"));
+        assert!(check(site, &p("yours/wal.log")).is_ok());
+        assert!(check(site, &p("mine/wal.log")).is_err());
+        assert_eq!(triggered(site), 1);
+        clear(site);
+    }
+
+    #[test]
+    fn short_write_tears_the_buffer() {
+        let site = "faults-test.short";
+        arm_with(site, FaultKind::ShortWrite, 0, Some(1));
+        let mut sink = Vec::new();
+        let err = write_all(&mut sink, b"0123456789", site, &p("s")).unwrap_err();
+        assert_eq!(sink, b"01234", "half the buffer landed");
+        assert!(!err.to_string().is_empty());
+        // The next write goes through whole.
+        write_all(&mut sink, b"ab", site, &p("s")).unwrap();
+        assert_eq!(sink, b"01234ab");
+        clear(site);
+    }
+
+    #[test]
+    fn transient_faults_are_interrupted_kind() {
+        let site = "faults-test.transient";
+        arm_with(site, FaultKind::Transient, 0, Some(1));
+        let err = check(site, &p("t")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        clear(site);
+    }
+
+    #[test]
+    fn clear_disarms_without_forgetting_triggers() {
+        let site = "faults-test.clear";
+        arm(site, FaultKind::Enospc);
+        assert!(check(site, &p("c")).is_err());
+        clear(site);
+        assert!(check(site, &p("c")).is_ok());
+        assert_eq!(triggered(site), 1);
+    }
+
+    #[test]
+    fn kind_parsing_matches_the_env_grammar() {
+        assert_eq!(FaultKind::parse("enospc"), Some(FaultKind::Enospc));
+        assert_eq!(FaultKind::parse("eio"), Some(FaultKind::Eio));
+        assert_eq!(FaultKind::parse("short-write"), Some(FaultKind::ShortWrite));
+        assert_eq!(FaultKind::parse("fsync"), Some(FaultKind::FsyncFail));
+        assert_eq!(FaultKind::parse("rename"), Some(FaultKind::RenameFail));
+        assert_eq!(FaultKind::parse("transient"), Some(FaultKind::Transient));
+        assert_eq!(FaultKind::parse("nope"), None);
+    }
+}

@@ -23,6 +23,7 @@
 //!   sealed historical shard each.
 
 pub mod disk;
+pub mod faults;
 pub mod key;
 pub mod mem;
 pub mod partitioned;
@@ -32,6 +33,7 @@ pub mod store;
 pub mod wal;
 
 pub use disk::DiskStore;
+pub use faults::FaultKind;
 pub use key::{ComponentKind, StoreKey};
 pub use mem::MemStore;
 pub use partitioned::{NodePartitioner, PartitionedStore};

@@ -164,11 +164,18 @@ impl PartitionedStore {
                 ));
             }
             for (_, handle) in handles {
-                for (idx, res) in handle.join().expect("worker panicked") {
-                    match res {
-                        Ok(v) => results[idx] = v,
-                        Err(e) => errors.push(e),
+                match handle.join() {
+                    Ok(local) => {
+                        for (idx, res) in local {
+                            match res {
+                                Ok(v) => results[idx] = v,
+                                Err(e) => errors.push(e),
+                            }
+                        }
                     }
+                    Err(_) => errors.push(StoreError::Io(std::io::Error::other(
+                        "parallel fetch worker panicked",
+                    ))),
                 }
             }
         });

@@ -28,13 +28,14 @@
 //! no half-written segment under the real name.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::Read;
 use std::path::Path;
 
 use tgraph::codec::{Decode, Encode, Reader};
 use tgraph::{Event, Timestamp};
 
 use crate::disk::crc32;
+use crate::faults;
 use crate::store::{StoreError, StoreResult};
 
 /// Opening magic: segment format, version 1.
@@ -132,17 +133,21 @@ impl Segment {
         file_bytes.extend_from_slice(&footer);
 
         let tmp = path.with_extension("seg.tmp");
+        faults::check("segment.open", path)?;
         let mut f = OpenOptions::new()
             .write(true)
             .create(true)
             .truncate(true)
             .open(&tmp)?;
-        f.write_all(&file_bytes)?;
+        faults::write_all(&mut f, &file_bytes, "segment.write", path)?;
+        faults::check("segment.sync", path)?;
         f.sync_data()?;
         drop(f);
+        faults::check("segment.rename", path)?;
         std::fs::rename(&tmp, path)?;
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
+                faults::check("segment.dirsync", path)?;
                 File::open(parent)?.sync_data()?;
             }
         }

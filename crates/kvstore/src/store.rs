@@ -14,6 +14,9 @@ pub enum StoreError {
     Corruption(String),
     /// The requested partition does not exist.
     UnknownPartition(u32),
+    /// The store entered read-only degraded mode after a fatal write
+    /// failure; reads keep serving, writes are refused with this error.
+    Degraded(String),
 }
 
 impl fmt::Display for StoreError {
@@ -22,6 +25,7 @@ impl fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "i/o error: {e}"),
             StoreError::Corruption(msg) => write!(f, "corrupt record: {msg}"),
             StoreError::UnknownPartition(p) => write!(f, "unknown partition {p}"),
+            StoreError::Degraded(msg) => write!(f, "DEGRADED: {msg}"),
         }
     }
 }
@@ -94,5 +98,7 @@ mod tests {
         assert!(e.to_string().contains('7'));
         let io: StoreError = std::io::Error::other("x").into();
         assert!(io.to_string().contains("i/o"));
+        let e = StoreError::Degraded("tail read-only".into());
+        assert!(e.to_string().starts_with("DEGRADED"));
     }
 }

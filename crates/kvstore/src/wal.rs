@@ -14,7 +14,7 @@
 //! wrong graph.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
@@ -22,6 +22,7 @@ use tgraph::codec::{Decode, Encode};
 use tgraph::Event;
 
 use crate::disk::crc32;
+use crate::faults;
 use crate::store::{StoreError, StoreResult};
 
 /// Magic byte starting every WAL record (distinct from the disk store's).
@@ -167,6 +168,7 @@ impl Wal {
                 std::fs::create_dir_all(parent)?;
             }
         }
+        faults::check("wal.create", &path)?;
         let file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -261,7 +263,7 @@ impl Wal {
     pub fn append(&mut self, event: &Event) -> StoreResult<u64> {
         let record = build_record(event);
         let before = self.len;
-        self.file.write_all(&record)?;
+        faults::write_all(&mut self.file, &record, "wal.append", &self.path)?;
         self.len += record.len() as u64;
         self.appends += 1;
         self.dirty = true;
@@ -272,6 +274,7 @@ impl Wal {
     /// Cuts the log back to `offset` (an offset previously returned by
     /// [`Wal::append`]): the rollback half of write-ahead logging.
     pub fn truncate_to(&mut self, offset: u64) -> StoreResult<()> {
+        faults::check("wal.truncate", &self.path)?;
         self.file.set_len(offset)?;
         self.file.seek(SeekFrom::Start(offset))?;
         self.len = offset;
@@ -282,6 +285,7 @@ impl Wal {
     /// Forces buffered bytes to durable storage now.
     pub fn sync(&mut self) -> StoreResult<()> {
         if self.dirty {
+            faults::check("wal.sync", &self.path)?;
             self.file.sync_data()?;
             self.fsyncs += 1;
             self.dirty = false;

@@ -7,7 +7,8 @@
 //!     [--resp-cache-bytes 0] [--workers 4] [--threaded] \
 //!     [--shards 1] [--shard-events 0] [--no-metrics] \
 //!     [--metrics-addr 127.0.0.1:9191] [--slow-query-us 0] \
-//!     [--data-dir DIR] [--wal-sync always|interval[=ms]|off]
+//!     [--data-dir DIR] [--wal-sync always|interval[=ms]|off] \
+//!     [--request-timeout-ms 0] [--max-queue-depth 0]
 //! ```
 //!
 //! `--cache N` sizes each shard's snapshot cache (entries; 0 disables it):
@@ -46,6 +47,14 @@
 //! When `DIR` already holds a deployment the server *recovers* it (the
 //! dataset flags are ignored) and `STATS STORAGE` reports the recovery;
 //! otherwise it builds the dataset and persists it there.
+//!
+//! Overload protection (see `docs/RELIABILITY.md`; event core only):
+//! `--request-timeout-ms N` refuses requests whose queue wait exceeded the
+//! deadline with `ERR deadline exceeded` (service overruns are counted but
+//! complete), and `--max-queue-depth N` sheds requests arriving over a full
+//! worker queue with `ERR overloaded`. Both default to 0 (off) and surface
+//! in `STATS METRICS` / `GET /metrics` as `deadline_exceeded_total` and
+//! `requests_shed_total`.
 //!
 //! Prints the bound address on stdout, then serves until killed. Talk to it
 //! with any line client:
@@ -103,6 +112,12 @@ fn main() {
     let metrics_enabled = !std::env::args().any(|a| a == "--no-metrics");
     let metrics_addr = arg_value("--metrics-addr");
     let slow_query_us: u64 = arg_value("--slow-query-us")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let request_timeout_ms: u64 = arg_value("--request-timeout-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let max_queue_depth: usize = arg_value("--max-queue-depth")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
     let toy = std::env::args().any(|a| a == "--toy");
@@ -174,6 +189,8 @@ fn main() {
         metrics_enabled,
         metrics_addr,
         slow_query_us,
+        request_timeout_ms,
+        max_queue_depth,
         ..Default::default()
     };
     let server = if threaded {

@@ -335,6 +335,7 @@ pub(crate) fn start(
 
     let workers = config.worker_threads.max(1);
     stats.workers.store(workers as u64, Ordering::Relaxed);
+    let timeout_us = config.request_timeout_ms.saturating_mul(1000);
     for _ in 0..workers {
         let queue = Arc::clone(&queue);
         let completions = Arc::clone(&completions);
@@ -344,15 +345,38 @@ pub(crate) fn start(
         thread::spawn(move || {
             while let Some(mut work) = queue.pop() {
                 stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                let waited_us = work.enqueued_at.elapsed().as_micros() as u64;
                 if let Some(hub) = &hub {
-                    let waited_us = work.enqueued_at.elapsed().as_micros() as u64;
                     hub.phase_queue_wait.record(waited_us);
                     hub.path_worker.inc();
                     // The executor folds the wait into the request's total
                     // time for the slow-query threshold.
                     work.executor.note_queue_wait(waited_us);
                 }
-                let reply = work.executor.execute_framed(&work.line);
+                // A request whose deadline expired while it sat in the
+                // queue is refused before any side effect runs — under
+                // overload this sheds exactly the work whose caller has
+                // already given up. A deadline that expires mid-service is
+                // only counted: aborting a half-executed request could
+                // leave the session's overlays or the tail shard torn.
+                let reply = if timeout_us > 0 && waited_us >= timeout_us {
+                    if let Some(hub) = &hub {
+                        hub.deadline_exceeded.inc();
+                    }
+                    Reply::Owned(frame_error(
+                        "deadline exceeded: request timed out in queue",
+                        work.executor.protocol(),
+                    ))
+                } else {
+                    let reply = work.executor.execute_framed(&work.line);
+                    if timeout_us > 0 && work.enqueued_at.elapsed().as_micros() as u64 > timeout_us
+                    {
+                        if let Some(hub) = &hub {
+                            hub.deadline_exceeded.inc();
+                        }
+                    }
+                    reply
+                };
                 completions
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
@@ -371,6 +395,7 @@ pub(crate) fn start(
         let force = Arc::clone(&force);
         let active = Arc::clone(&active);
         let max_connections = config.max_connections;
+        let max_queue_depth = config.max_queue_depth;
         thread::spawn(move || {
             let mut r = Reactor {
                 poller,
@@ -389,6 +414,7 @@ pub(crate) fn start(
                 hub,
                 active,
                 max_connections,
+                max_queue_depth,
                 draining: false,
                 scratch: vec![0u8; 16 * 1024],
             };
@@ -544,6 +570,8 @@ struct Reactor {
     hub: Option<Arc<MetricsHub>>,
     active: Arc<AtomicUsize>,
     max_connections: usize,
+    /// Admission cap on the worker queue; 0 leaves it unbounded.
+    max_queue_depth: usize,
     draining: bool,
     /// Reusable read scratch — allocating (and zeroing) a fresh chunk
     /// buffer per readiness event costs a visible fraction of a request
@@ -866,6 +894,27 @@ impl Reactor {
                         if written < bytes.len() {
                             conn.buffer_output(&bytes[written..]);
                         }
+                        continue;
+                    }
+                    // Admission control: past the queue cap, shed the
+                    // request instead of queueing it. The refusal costs no
+                    // worker and no queue slot, the connection survives,
+                    // and the client may retry — bounded queues keep
+                    // queue-wait (and thus tail latency) bounded under
+                    // overload instead of letting every request slow down.
+                    if self.max_queue_depth > 0
+                        && self.stats.queue_depth.load(Ordering::Relaxed) as usize
+                            >= self.max_queue_depth
+                    {
+                        if let Some(hub) = &self.hub {
+                            hub.requests_shed.inc();
+                        }
+                        let proto = conn
+                            .executor
+                            .as_ref()
+                            .expect("idle conn has executor")
+                            .protocol();
+                        conn.buffer_output(&frame_error("overloaded: worker queue is full", proto));
                         continue;
                     }
                     let executor = conn.executor.take().expect("idle conn has executor");

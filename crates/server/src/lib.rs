@@ -105,6 +105,20 @@ pub struct ServerConfig {
     /// event core, a dedicated thread in the threaded core. `None` (the
     /// default) binds nothing.
     pub metrics_addr: Option<String>,
+    /// Per-request deadline in milliseconds, covering queue wait plus
+    /// service (event core only). A request whose deadline expires while it
+    /// is still queued is refused with `ERR deadline exceeded` instead of
+    /// executing; a request that overruns during service still gets its
+    /// reply (aborting mid-execution could tear a session) but is counted.
+    /// Both show up as `deadline_exceeded_total`. `0` (the default)
+    /// disables the deadline.
+    pub request_timeout_ms: u64,
+    /// Admission cap on the worker queue (event core only). A request that
+    /// arrives while this many requests are already queued is shed with
+    /// `ERR overloaded` without taking a queue slot — the connection
+    /// survives and may retry. Counted as `requests_shed_total`. `0` (the
+    /// default) leaves admission unbounded.
+    pub max_queue_depth: usize,
 }
 
 impl Default for ServerConfig {
@@ -117,6 +131,8 @@ impl Default for ServerConfig {
             metrics_enabled: true,
             slow_query_us: 0,
             metrics_addr: None,
+            request_timeout_ms: 0,
+            max_queue_depth: 0,
         }
     }
 }

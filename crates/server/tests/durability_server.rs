@@ -112,7 +112,10 @@ fn wal_file(dir: &Path) -> PathBuf {
     std::fs::read_dir(dir)
         .unwrap()
         .filter_map(|e| e.ok().map(|e| e.path()))
-        .find(|p| p.extension().is_some_and(|x| x == "log"))
+        .find(|p| {
+            p.extension().is_some_and(|x| x == "log")
+                && p.file_name().is_some_and(|f| f != "keys.log")
+        })
         .expect("a wal-*.log in the data dir")
 }
 

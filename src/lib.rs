@@ -66,7 +66,8 @@ pub use kvstore::wal::WalSyncPolicy;
 pub use manager::{GraphManager, GraphManagerConfig};
 pub use response_cache::{ResponseCache, ResponseCacheStats, WireFormat};
 pub use sharded::{
-    CacheOverview, ShardInfo, ShardedConfig, ShardedGraphManager, ShardedSession, StorageInfo,
+    CacheOverview, HealthInfo, ShardHealth, ShardInfo, ShardedConfig, ShardedGraphManager,
+    ShardedSession, StorageInfo,
 };
 pub use shared::{CachedPoint, PoolSession, SharedGraphManager};
 pub use source::DeltaGraphSource;

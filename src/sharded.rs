@@ -31,7 +31,7 @@
 
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{
     Arc, Mutex, MutexGuard, OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
 };
@@ -69,6 +69,9 @@ pub struct ShardedConfig {
     /// events, the next strictly-later append rolls a new tail shard.
     /// `0` (the default) never rolls.
     pub shard_events: usize,
+    /// Milliseconds a quarantined shard fast-fails before the next touch is
+    /// allowed to retry its hydration. `0` retries on every touch.
+    pub quarantine_retry_ms: u64,
 }
 
 impl Default for ShardedConfig {
@@ -78,6 +81,7 @@ impl Default for ShardedConfig {
             shards: 1,
             boundaries: None,
             shard_events: 0,
+            quarantine_retry_ms: 1000,
         }
     }
 }
@@ -104,6 +108,13 @@ impl ShardedConfig {
     /// Sets the tail event budget that triggers rolling a new shard.
     pub fn with_shard_events(mut self, budget: usize) -> Self {
         self.shard_events = budget;
+        self
+    }
+
+    /// Sets how long a quarantined shard fast-fails before hydration is
+    /// retried.
+    pub fn with_quarantine_retry_ms(mut self, ms: u64) -> Self {
+        self.quarantine_retry_ms = ms;
         self
     }
 }
@@ -147,6 +158,25 @@ struct ShardCell {
     /// serializes hydrators — concurrent touchers of one cold shard block
     /// here and then read the winner's manager.
     pending: Mutex<Option<PendingShard>>,
+    /// Set when the last hydration attempt failed; cleared by a successful
+    /// one. While set, touches within the retry window fast-fail with
+    /// [`DgError::ShardQuarantined`] instead of re-running the build, so a
+    /// shard with a broken plan cannot stall every query that routes to it.
+    quarantined: AtomicBool,
+    /// Hydration attempts that have failed, ever (monotonic — survives a
+    /// later successful build, so health counters never run backwards).
+    failures: AtomicU64,
+    /// Process-clock milliseconds before which a quarantined shard is not
+    /// re-hydrated.
+    retry_at: AtomicU64,
+    /// The error that caused the last failed hydration attempt.
+    last_error: Mutex<String>,
+}
+
+/// Milliseconds on a process-local monotonic clock (first call = 0).
+fn clock_ms() -> u64 {
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_millis() as u64
 }
 
 /// Deferred construction input of a lazily recovered shard.
@@ -163,6 +193,10 @@ impl ShardCell {
         ShardCell {
             built: OnceLock::from(shared),
             pending: Mutex::new(None),
+            quarantined: AtomicBool::new(false),
+            failures: AtomicU64::new(0),
+            retry_at: AtomicU64::new(0),
+            last_error: Mutex::new(String::new()),
         }
     }
 
@@ -174,6 +208,10 @@ impl ShardCell {
                 plan,
                 is_tail,
             })),
+            quarantined: AtomicBool::new(false),
+            failures: AtomicU64::new(0),
+            retry_at: AtomicU64::new(0),
+            last_error: Mutex::new(String::new()),
         }
     }
 
@@ -199,6 +237,23 @@ impl ShardCell {
         if let Some(shared) = self.built.get() {
             return Ok(shared.clone());
         }
+        let shard_index = pending.as_ref().map(|p| p.index).unwrap_or(0);
+        // Quarantine fast path: the last hydration attempt failed and the
+        // retry window has not elapsed yet — fail without touching storage
+        // so a broken shard costs its callers an error, not a rebuild.
+        if self.quarantined.load(Ordering::Relaxed)
+            && clock_ms() < self.retry_at.load(Ordering::Relaxed)
+        {
+            return Err(DgError::ShardQuarantined {
+                shard: shard_index,
+                failures: self.failures.load(Ordering::Relaxed),
+                reason: self
+                    .last_error
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            });
+        }
         let mut p = pending
             .take()
             .expect("an unbuilt shard holds a pending plan");
@@ -215,9 +270,12 @@ impl ShardCell {
                         .lock()
                         .unwrap_or_else(PoisonError::into_inner)
                         .drop_last_wal_record(kvstore::wal_record_len(&last))
-                        .and_then(|()| Self::build_plan(&p, inner))
-                        .inspect(|_| {
+                        .and_then(|()| {
+                            // The record is gone from the log and the plan,
+                            // whatever the rebuild does — keep the counter
+                            // in step with both.
                             events.fetch_sub(1, Ordering::Relaxed);
+                            Self::build_plan(&p, inner)
                         }),
                     _ => Err(first_err),
                 }
@@ -226,6 +284,7 @@ impl ShardCell {
         };
         match built {
             Ok(shared) => {
+                self.quarantined.store(false, Ordering::Relaxed);
                 let keys = inner.keys.lock().unwrap_or_else(PoisonError::into_inner);
                 {
                     let mut gm = shared.write();
@@ -238,8 +297,27 @@ impl ShardCell {
                 Ok(shared)
             }
             Err(e) => {
+                // Quarantine the shard: restore the plan for a later retry,
+                // remember why it failed, and fast-fail further touches
+                // until the retry window elapses. Other shards are
+                // untouched and keep serving.
+                let failures = self.failures.fetch_add(1, Ordering::Relaxed) + 1;
+                let reason = e.to_string();
+                *self
+                    .last_error
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner) = reason.clone();
+                self.retry_at.store(
+                    clock_ms().saturating_add(inner.config.quarantine_retry_ms),
+                    Ordering::Relaxed,
+                );
+                self.quarantined.store(true, Ordering::Relaxed);
                 *pending = Some(p);
-                Err(e)
+                Err(DgError::ShardQuarantined {
+                    shard: shard_index,
+                    failures,
+                    reason,
+                })
             }
         }
     }
@@ -429,6 +507,82 @@ impl Decode for StorageInfo {
     }
 }
 
+/// One shard's health, part of the `STATS HEALTH` payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// Position of the shard in time order (the tail has the highest index).
+    pub index: usize,
+    /// `"ready"` (built and serving), `"cold"` (lazily recovered, not yet
+    /// touched), `"quarantined"` (hydration failed; fast-failing until the
+    /// retry window elapses), or `"degraded"` (the tail whose durable
+    /// storage is read-only after a fatal write failure).
+    pub state: String,
+    /// Hydration attempts that have failed on this shard (monotonic).
+    pub failures: u64,
+}
+
+impl Encode for ShardHealth {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.index.encode(buf);
+        self.state.encode(buf);
+        self.failures.encode(buf);
+    }
+}
+
+impl Decode for ShardHealth {
+    fn decode(r: &mut Reader<'_>) -> tgraph::Result<Self> {
+        Ok(ShardHealth {
+            index: usize::decode(r)?,
+            state: String::decode(r)?,
+            failures: u64::decode(r)?,
+        })
+    }
+}
+
+/// Router-wide health, the payload of `STATS HEALTH`. Computed without
+/// hydrating any shard, so a health probe is always cheap — even, and
+/// especially, when parts of the deployment are broken.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HealthInfo {
+    /// Per-shard state, in time order (tail last).
+    pub shards: Vec<ShardHealth>,
+    /// Whether the tail's durable storage is read-only after a fatal write
+    /// failure (appends are refused; reads keep serving).
+    pub degraded: bool,
+    /// The error that degraded the tail (empty while healthy).
+    pub degraded_reason: String,
+    /// Shards currently quarantined.
+    pub quarantined: u64,
+    /// Failed hydration attempts summed over shards (monotonic).
+    pub hydration_failures: u64,
+    /// Transient storage-IO errors absorbed by retry so far.
+    pub storage_retries: u64,
+}
+
+impl Encode for HealthInfo {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.shards.encode(buf);
+        self.degraded.encode(buf);
+        self.degraded_reason.encode(buf);
+        self.quarantined.encode(buf);
+        self.hydration_failures.encode(buf);
+        self.storage_retries.encode(buf);
+    }
+}
+
+impl Decode for HealthInfo {
+    fn decode(r: &mut Reader<'_>) -> tgraph::Result<Self> {
+        Ok(HealthInfo {
+            shards: Vec::decode(r)?,
+            degraded: bool::decode(r)?,
+            degraded_reason: String::decode(r)?,
+            quarantined: u64::decode(r)?,
+            hydration_failures: u64::decode(r)?,
+            storage_retries: u64::decode(r)?,
+        })
+    }
+}
+
 /// Cross-shard aggregation of the two cache tiers, the payload of
 /// `STATS CACHE` under sharding. Counters are summed; capacities are
 /// *per shard* (every shard owns caches of the configured capacity).
@@ -602,18 +756,21 @@ impl ShardedGraphManager {
     /// first touch rather than here.
     ///
     /// Application key bindings ([`ShardedGraphManager::register_key`]) are
-    /// *not* persisted and must be re-registered after recovery.
+    /// persisted to the data directory's `keys.log` and recovered here, so
+    /// `BIND` names keep resolving after a restart.
     pub fn open(
         dir: impl AsRef<Path>,
         config: ShardedConfig,
         policy: WalSyncPolicy,
     ) -> DgResult<Self> {
         let started = Instant::now();
-        let (mut storage, plans) = DurableState::open(dir.as_ref(), policy)?;
+        let (mut storage, plans, keys) = DurableState::open(dir.as_ref(), policy)?;
         let make_store: StoreFactory = Box::new(|_| Arc::new(MemStore::new()));
         // Nothing survived anywhere (a lone tail whose WAL was destroyed):
         // refuse now rather than hand out a router whose every query fails.
-        let tail_plan = plans.last().expect("at least the tail plan");
+        let tail_plan = plans.last().ok_or_else(|| {
+            DgError::InvalidParameter("the recovered manifest lists no shards".into())
+        })?;
         if tail_plan.seed.is_empty() && tail_plan.events.is_empty() {
             return Err(DgError::EmptyIndex);
         }
@@ -636,7 +793,17 @@ impl ShardedGraphManager {
             })
             .collect();
         storage.recovery_ms = started.elapsed().as_millis().max(1) as u64;
-        Ok(Self::assemble(shards, config, make_store, Some(storage)))
+        let keys = keys
+            .into_iter()
+            .map(|(k, n)| (k, tgraph::NodeId(n)))
+            .collect();
+        Ok(Self::assemble_with_keys(
+            shards,
+            config,
+            make_store,
+            Some(storage),
+            keys,
+        ))
     }
 
     /// Walks the trace once, cutting at each boundary into per-shard
@@ -743,13 +910,23 @@ impl ShardedGraphManager {
         make_store: StoreFactory,
         storage: Option<DurableState>,
     ) -> Self {
+        Self::assemble_with_keys(shards, config, make_store, storage, Vec::new())
+    }
+
+    fn assemble_with_keys(
+        shards: Vec<Shard>,
+        config: ShardedConfig,
+        make_store: StoreFactory,
+        storage: Option<DurableState>,
+        keys: Vec<(String, tgraph::NodeId)>,
+    ) -> Self {
         ShardedGraphManager {
             inner: Arc::new(Inner {
                 shards: RwLock::new(shards),
                 config,
                 make_store,
                 storage: storage.map(Mutex::new),
-                keys: Mutex::new(Vec::new()),
+                keys: Mutex::new(keys),
             }),
         }
     }
@@ -1177,24 +1354,34 @@ impl ShardedGraphManager {
 
     /// Registers an application key on every shard (rolled shards inherit
     /// the tail's table). Cold shards receive the key when they hydrate,
-    /// via the router's registry.
+    /// via the router's registry. On a durable router the binding is also
+    /// appended to `keys.log` (best effort: a write failure — ENOSPC, a
+    /// degraded tail — leaves the binding live in memory but not durable;
+    /// `STATS HEALTH` exposes the degradation).
     pub fn register_key(&self, key: impl Into<String>, node: tgraph::NodeId) {
         let key = key.into();
-        let shards = self.read_shards();
-        let mut keys = self
-            .inner
-            .keys
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        keys.push((key.clone(), node));
-        // Holding the registry lock while registering on built shards pairs
-        // with ShardCell::get publishing inside the same critical section:
-        // a shard hydrating right now either shows up as built here or
-        // replays the registry entry we just pushed.
-        for shard in shards.iter() {
-            if let Some(shared) = shard.cell.peek() {
-                shared.write().register_key(key.clone(), node);
+        {
+            let shards = self.read_shards();
+            let mut keys = self
+                .inner
+                .keys
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            keys.push((key.clone(), node));
+            // Holding the registry lock while registering on built shards
+            // pairs with ShardCell::get publishing inside the same critical
+            // section: a shard hydrating right now either shows up as built
+            // here or replays the registry entry we just pushed.
+            for shard in shards.iter() {
+                if let Some(shared) = shard.cell.peek() {
+                    shared.write().register_key(key.clone(), node);
+                }
             }
+        }
+        // Persist after every lock above is released (storage is ordered
+        // before `keys`, never after it).
+        if let Some(mut st) = self.storage_guard() {
+            st.record_key(&key, node.0).ok();
         }
     }
 
@@ -1265,6 +1452,51 @@ impl ShardedGraphManager {
                 }
             })
             .collect()
+    }
+
+    /// Router-wide health (the `STATS HEALTH` payload). Never hydrates: a
+    /// health probe must stay cheap precisely when the deployment is in
+    /// trouble. Per-shard state is `"quarantined"` when the last hydration
+    /// attempt failed, `"degraded"` for a tail whose durable storage went
+    /// read-only, `"ready"` when built, `"cold"` otherwise.
+    pub fn health_info(&self) -> HealthInfo {
+        let shards = self.read_shards();
+        let (degraded, degraded_reason, storage_retries) = match self.storage_guard() {
+            Some(st) => (
+                st.is_degraded(),
+                st.degraded_reason().unwrap_or_default().to_string(),
+                st.retries(),
+            ),
+            None => (false, String::new(), 0),
+        };
+        let tail = shards.len() - 1;
+        let mut info = HealthInfo {
+            degraded,
+            degraded_reason,
+            storage_retries,
+            ..HealthInfo::default()
+        };
+        for (i, s) in shards.iter().enumerate() {
+            let quarantined = s.cell.quarantined.load(Ordering::Relaxed);
+            let failures = s.cell.failures.load(Ordering::Relaxed);
+            let state = if quarantined {
+                info.quarantined += 1;
+                "quarantined"
+            } else if degraded && i == tail {
+                "degraded"
+            } else if s.cell.peek().is_some() {
+                "ready"
+            } else {
+                "cold"
+            };
+            info.hydration_failures += failures;
+            info.shards.push(ShardHealth {
+                index: i,
+                state: state.to_string(),
+                failures,
+            });
+        }
+        info
     }
 
     /// Cross-shard aggregation of both cache tiers (the `STATS CACHE`
@@ -2148,7 +2380,10 @@ mod tests {
         let wal = std::fs::read_dir(&dir)
             .unwrap()
             .filter_map(|e| e.ok().map(|e| e.path()))
-            .find(|p| p.extension().is_some_and(|x| x == "log"))
+            .find(|p| {
+                p.extension().is_some_and(|x| x == "log")
+                    && p.file_name().is_some_and(|f| f != "keys.log")
+            })
             .expect("wal file");
         use std::io::Write;
         std::fs::OpenOptions::new()
@@ -2187,7 +2422,10 @@ mod tests {
         let wal_file = std::fs::read_dir(&dir)
             .unwrap()
             .filter_map(|e| e.ok().map(|e| e.path()))
-            .find(|p| p.extension().is_some_and(|x| x == "log"))
+            .find(|p| {
+                p.extension().is_some_and(|x| x == "log")
+                    && p.file_name().is_some_and(|f| f != "keys.log")
+            })
             .expect("wal file");
         let bad = Event::add_node(61, 1001);
         let mut replay = kvstore::wal::Wal::open(&wal_file, WalSyncPolicy::Always).unwrap();
@@ -2298,6 +2536,211 @@ mod tests {
             .unwrap();
         assert!(opened.is_hydrated(shards - 1));
         assert!(opened.storage_info().wal_appends >= 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn health_info_roundtrips_through_the_codec() {
+        let info = HealthInfo {
+            shards: vec![
+                ShardHealth {
+                    index: 0,
+                    state: "ready".into(),
+                    failures: 0,
+                },
+                ShardHealth {
+                    index: 1,
+                    state: "quarantined".into(),
+                    failures: 3,
+                },
+            ],
+            degraded: true,
+            degraded_reason: "injected EIO at wal.append".into(),
+            quarantined: 1,
+            hydration_failures: 3,
+            storage_retries: 7,
+        };
+        let mut buf = Vec::new();
+        info.encode(&mut buf);
+        let decoded = HealthInfo::decode(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(decoded, info);
+    }
+
+    /// Appends `n` records to the durable dir's WAL that the rebuild must
+    /// refuse (duplicate node ids), simulating a crash that left applied-
+    /// rejected records behind. One such record is healed by the tail's
+    /// drop-last-record retry; two exceed it and quarantine the tail.
+    fn poison_tail_wal(dir: &std::path::Path, n: usize) {
+        let wal_file = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .find(|p| {
+                p.extension().is_some_and(|x| x == "log")
+                    && p.file_name().is_some_and(|f| f != "keys.log")
+            })
+            .expect("wal file");
+        let mut replay = kvstore::wal::Wal::open(&wal_file, WalSyncPolicy::Always).unwrap();
+        for i in 0..n {
+            // Node 1001 + i already exists in `linear_trace()`.
+            replay
+                .wal
+                .append(&Event::add_node(61 + i as i64, 1001 + i as u64))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn a_tail_that_fails_hydration_is_quarantined_and_fast_fails() {
+        let dir = durable_dir("quarantine");
+        let config = ShardedConfig::default().with_shards(2);
+        drop(
+            ShardedGraphManager::build_durable(
+                &linear_trace(),
+                config.clone(),
+                &dir,
+                WalSyncPolicy::Always,
+            )
+            .unwrap(),
+        );
+        poison_tail_wal(&dir, 2);
+        let opened = ShardedGraphManager::open(
+            &dir,
+            config.with_quarantine_retry_ms(600_000),
+            WalSyncPolicy::Always,
+        )
+        .unwrap();
+        let tail = opened.shard_count() - 1;
+        let opts = AttrOptions::all();
+        // First touch runs the build (and the one-record heal retry), fails
+        // on the second poisoned record, and quarantines the tail.
+        let err = opened.snapshot_at(Timestamp(61), &opts).unwrap_err();
+        assert!(
+            matches!(err, DgError::ShardQuarantined { .. }),
+            "expected quarantine, got {err}"
+        );
+        // Touches inside the retry window fast-fail without re-attempting.
+        let err = opened.snapshot_at(Timestamp(61), &opts).unwrap_err();
+        assert!(err.to_string().contains("quarantined"), "{err}");
+        let health = opened.health_info();
+        assert_eq!(health.shards[tail].state, "quarantined");
+        assert_eq!(health.shards[tail].failures, 1, "fast-fail must not retry");
+        assert_eq!(health.quarantined, 1);
+        assert_eq!(health.hydration_failures, 1);
+        // Healthy shards are untouched and keep serving.
+        let snap = opened.snapshot_at(Timestamp(10), &opts).unwrap();
+        assert_eq!(snap.node_count(), 10);
+        assert_eq!(opened.health_info().shards[0].state, "ready");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_quarantined_tail_recovers_once_the_bad_records_drain() {
+        let dir = durable_dir("requarantine");
+        let config = ShardedConfig::default().with_shards(2);
+        drop(
+            ShardedGraphManager::build_durable(
+                &linear_trace(),
+                config.clone(),
+                &dir,
+                WalSyncPolicy::Always,
+            )
+            .unwrap(),
+        );
+        poison_tail_wal(&dir, 2);
+        let opened = ShardedGraphManager::open(
+            &dir,
+            config.with_quarantine_retry_ms(0),
+            WalSyncPolicy::Always,
+        )
+        .unwrap();
+        let opts = AttrOptions::all();
+        // Touch 1: the heal retry drops one poisoned record, the build
+        // still fails on the other — quarantined.
+        let err = opened.snapshot_at(Timestamp(61), &opts).unwrap_err();
+        assert!(err.to_string().contains("quarantined"), "{err}");
+        // Retry window 0: the next touch re-hydrates; the heal retry drops
+        // the remaining poisoned record and the build succeeds.
+        let snap = opened.snapshot_at(Timestamp(61), &opts).unwrap();
+        assert_eq!(snap.node_count(), 60);
+        let health = opened.health_info();
+        assert_eq!(health.shards.last().unwrap().state, "ready");
+        assert_eq!(health.quarantined, 0);
+        assert_eq!(health.hydration_failures, 1, "the counter is monotonic");
+        // The recovered tail ingests again, durably.
+        opened.append_event(Event::add_node(70, 9001)).unwrap();
+        drop(opened);
+        let reopened = ShardedGraphManager::open(
+            &dir,
+            ShardedConfig::default().with_shards(2),
+            WalSyncPolicy::Always,
+        )
+        .unwrap();
+        let snap = reopened.snapshot_at(Timestamp(70), &opts).unwrap();
+        assert!(snap.has_node(tgraph::NodeId(9001)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn key_bindings_survive_a_router_reopen() {
+        let dir = durable_dir("router-keys");
+        let config = ShardedConfig::default().with_shards(2);
+        let built = ShardedGraphManager::build_durable(
+            &linear_trace(),
+            config.clone(),
+            &dir,
+            WalSyncPolicy::Always,
+        )
+        .unwrap();
+        built.register_key("alice", tgraph::NodeId(1001));
+        built.register_key("alice", tgraph::NodeId(1002)); // latest wins
+        built.register_key("bob", tgraph::NodeId(1003));
+        drop(built);
+        let opened = ShardedGraphManager::open(&dir, config, WalSyncPolicy::Always).unwrap();
+        assert_eq!(opened.resolve_key("alice"), Some(tgraph::NodeId(1002)));
+        assert_eq!(opened.resolve_key("bob"), Some(tgraph::NodeId(1003)));
+        // The recovered registry replays onto lazily hydrated shards too.
+        assert_eq!(
+            opened.shard_at(0).unwrap().read().resolve_key("bob"),
+            Some(tgraph::NodeId(1003))
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_degraded_tail_keeps_serving_reads_and_reports_health() {
+        let dir = durable_dir("degraded-router");
+        let config = ShardedConfig::default().with_shards(2);
+        let sharded = ShardedGraphManager::build_durable(
+            &linear_trace(),
+            config,
+            &dir,
+            WalSyncPolicy::Always,
+        )
+        .unwrap();
+        let scope = dir.to_string_lossy().to_string();
+        kvstore::faults::arm_scoped(
+            "wal.append",
+            kvstore::FaultKind::Eio,
+            0,
+            Some(1),
+            Some(&scope),
+        );
+        let err = sharded.append_event(Event::add_node(61, 9001)).unwrap_err();
+        assert!(err.to_string().contains("DEGRADED"), "{err}");
+        // Degradation is sticky until restart even though the fault cleared.
+        let err = sharded.append_event(Event::add_node(62, 9002)).unwrap_err();
+        assert!(err.to_string().contains("DEGRADED"), "{err}");
+        // Reads keep serving the whole history.
+        let snap = sharded
+            .snapshot_at(Timestamp(60), &AttrOptions::all())
+            .unwrap();
+        assert_eq!(snap.node_count(), 60);
+        let health = sharded.health_info();
+        assert!(health.degraded);
+        assert!(!health.degraded_reason.is_empty());
+        assert_eq!(health.shards.last().unwrap().state, "degraded");
+        assert_eq!(health.shards[0].state, "ready");
+        kvstore::faults::clear("wal.append");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -199,7 +199,10 @@ proptest! {
         let wal = std::fs::read_dir(&dir)
             .unwrap()
             .filter_map(|e| e.ok().map(|e| e.path()))
-            .find(|p| p.extension().is_some_and(|x| x == "log"))
+            .find(|p| {
+                p.extension().is_some_and(|x| x == "log")
+                    && p.file_name().is_some_and(|f| f != "keys.log")
+            })
             .expect("tail wal");
         let tail_events = read_wal_events(&wal).unwrap();
         let full_len = std::fs::metadata(&wal).unwrap().len();
