@@ -7,8 +7,17 @@
 //!     [--scale 0.2] [--memory] [--clients 8] [--seconds 5] \
 //!     [--hot] [--cache 256] [--resp-cache 256] [--hot-points 4] \
 //!     [--proto text|binary] [--shards 4] [--connections 1000,4000] \
-//!     [--workers 4] [--request-timeout-ms 0] [--max-queue-depth 0]
+//!     [--workers 4] [--request-timeout-ms 0] [--max-queue-depth 0] \
+//!     [--batch 16]
 //! ```
+//!
+//! `--batch N` switches to the transactional-ingest workload: all clients
+//! append at the tail for the run duration, once as single-event `APPEND`
+//! requests and once as N-event `APPEND BATCH` requests. The table (and
+//! `BENCH_query_throughput.json`, mode `batch`) reports events/s and
+//! requests/s for both, so the claim that batching amortizes the
+//! per-request epoch bump, cache invalidation, and round trip is measured,
+//! not asserted.
 //!
 //! `--hot` switches to the hot-point workload: every client hammers `GET
 //! GRAPH AT t` over a small set of shared timestamps — the scenario the
@@ -1219,6 +1228,158 @@ fn run_connections(opts: &HarnessOptions, seconds: usize) {
     }
 }
 
+/// Measurements from one append-ingest pass.
+struct BatchResult {
+    label: String,
+    batch: usize,
+    requests: u64,
+    events: u64,
+    elapsed: f64,
+}
+
+/// One pass of the ingest workload: every client appends at the tail for
+/// `seconds`, issuing either single-event `APPEND`s (`batch == 1`) or
+/// `batch`-event `APPEND BATCH` requests. Each batch draws one timestamp
+/// from the shared counter, so batches stay chronological across clients.
+fn run_batch_pass(
+    ds: &datagen::Dataset,
+    batch: usize,
+    clients: usize,
+    seconds: usize,
+) -> BatchResult {
+    let gm = GraphManager::build_in_memory(&ds.events, GraphManagerConfig::default())
+        .expect("index construction");
+    let server = serve(
+        SharedGraphManager::new(gm),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            max_connections: clients + 2,
+            ..Default::default()
+        },
+    )
+    .expect("server start");
+    let addr = server.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let append_t = Arc::new(std::sync::atomic::AtomicI64::new(ds.end_time().raw() + 1));
+
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let append_t = Arc::clone(&append_t);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut node = 3_000_000 + c as u64 * 1_000_000;
+                let mut requests = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let t = append_t.fetch_add(1, Ordering::Relaxed);
+                    let request = if batch <= 1 {
+                        node += 1;
+                        format!("APPEND NODE {t} {node}")
+                    } else {
+                        let specs: Vec<String> = (0..batch)
+                            .map(|_| {
+                                node += 1;
+                                format!("NODE {t} {node}")
+                            })
+                            .collect();
+                        format!("APPEND BATCH {}", specs.join(" ; "))
+                    };
+                    match client.send(&request) {
+                        Ok(lines) if lines.first().is_some_and(|l| l.starts_with("OK")) => {
+                            requests += 1;
+                        }
+                        Ok(_) | Err(_) => {}
+                    }
+                }
+                requests
+            })
+        })
+        .collect();
+
+    let started = Instant::now();
+    thread::sleep(Duration::from_secs(seconds as u64));
+    stop.store(true, Ordering::Relaxed);
+    let requests: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    let elapsed = started.elapsed().as_secs_f64();
+    BatchResult {
+        label: if batch <= 1 {
+            "APPEND x1".into()
+        } else {
+            format!("APPEND BATCH x{batch}")
+        },
+        batch: batch.max(1),
+        requests,
+        events: requests * batch.max(1) as u64,
+        elapsed,
+    }
+}
+
+/// `--batch N`: single-event appends vs N-event atomic batches, same
+/// client count and duration, events/s side by side.
+fn run_batch(opts: &HarnessOptions, clients: usize, seconds: usize) {
+    let batch = arg_value("--batch", 16).max(2);
+    let ds = dataset2(opts.scale * 0.2);
+    println!(
+        "ingest workload: {clients} clients x {seconds}s, single appends vs \
+         {batch}-event atomic batches"
+    );
+    let results = [
+        run_batch_pass(&ds, 1, clients, seconds),
+        run_batch_pass(&ds, batch, clients, seconds),
+    ];
+    let base_eps = results[0].events as f64 / results[0].elapsed;
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            let eps = r.events as f64 / r.elapsed;
+            vec![
+                r.label.clone(),
+                r.requests.to_string(),
+                format!("{:.0}", r.requests as f64 / r.elapsed),
+                format!("{eps:.0}"),
+                format!("{:.2}x", eps / base_eps.max(f64::MIN_POSITIVE)),
+            ]
+        })
+        .collect();
+    print_table(
+        "append ingest throughput (events/s speedup vs single appends)",
+        &["config", "requests", "req/s", "events/s", "speedup"],
+        &rows,
+    );
+
+    let passes: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("config", Json::from(r.label.as_str())),
+                ("batch", Json::from(r.batch)),
+                ("requests", Json::from(r.requests)),
+                ("events", Json::from(r.events)),
+                ("elapsed_s", Json::from(r.elapsed)),
+                ("events_per_s", Json::from(r.events as f64 / r.elapsed)),
+            ])
+        })
+        .collect();
+    let doc = Json::obj(vec![
+        ("bench", Json::from("query_throughput")),
+        ("mode", Json::from("batch")),
+        ("clients", Json::from(clients)),
+        ("seconds", Json::from(seconds)),
+        ("scale", Json::from(opts.scale)),
+        ("batch", Json::from(batch)),
+        ("passes", Json::Arr(passes)),
+        (
+            "batch_speedup",
+            Json::from(
+                (results[1].events as f64 / results[1].elapsed) / base_eps.max(f64::MIN_POSITIVE),
+            ),
+        ),
+    ]);
+    if let Err(e) = write_json("BENCH_query_throughput.json", &doc) {
+        eprintln!("warning: could not write BENCH_query_throughput.json: {e}");
+    }
+}
+
 /// `--restart`: durable recovery vs full in-memory rebuild, measured from
 /// a cold start to the first answered query, then over cold historical
 /// reads. Runs in-process (no TCP) so the numbers isolate storage and
@@ -1382,6 +1543,10 @@ fn main() {
     }
     if arg_str("--connections").is_some() {
         run_connections(&opts, seconds);
+        return;
+    }
+    if arg_str("--batch").is_some() {
+        run_batch(&opts, clients, seconds);
         return;
     }
     if arg_str("--shards").is_some() {

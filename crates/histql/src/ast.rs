@@ -100,6 +100,11 @@ pub enum Query {
     HealthStats,
     /// `APPEND ...` — one live update event.
     Append(AppendSpec),
+    /// `APPEND BATCH <spec> ; <spec> ; ...` — a group of update events
+    /// applied atomically: validated (chronology and §3.1 well-formedness)
+    /// as a unit, visible under a single append-epoch bump, one cache
+    /// invalidation. Readers at any `t` never observe a partial batch.
+    AppendBatch(Vec<AppendSpec>),
     /// `BIND <key> <node id>` — register an application key.
     Bind {
         /// Application-level key.
@@ -393,6 +398,66 @@ fn fmt_with(attrs: &str) -> String {
     }
 }
 
+impl fmt::Display for AppendSpec {
+    /// Renders the spec in query syntax *without* the leading `APPEND `
+    /// keyword, so the same rendering serves both `APPEND <spec>` and the
+    /// `;`-separated spec list of `APPEND BATCH`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppendSpec::Node { t, node } => write!(f, "NODE {} {node}", t.raw()),
+            AppendSpec::DelNode { t, node } => write!(f, "DELNODE {} {node}", t.raw()),
+            AppendSpec::Edge {
+                t,
+                edge,
+                src,
+                dst,
+                directed,
+            } => write!(
+                f,
+                "EDGE {} {edge} {src} {dst}{}",
+                t.raw(),
+                if *directed { " DIRECTED" } else { "" }
+            ),
+            AppendSpec::DelEdge {
+                t,
+                edge,
+                src,
+                dst,
+                directed,
+            } => write!(
+                f,
+                "DELEDGE {} {edge} {src} {dst}{}",
+                t.raw(),
+                if *directed { " DIRECTED" } else { "" }
+            ),
+            AppendSpec::NodeAttr {
+                t,
+                node,
+                name,
+                value,
+            } => write!(
+                f,
+                "NODEATTR {} {node} {} {}",
+                t.raw(),
+                quote(name),
+                fmt_value(value)
+            ),
+            AppendSpec::EdgeAttr {
+                t,
+                edge,
+                name,
+                value,
+            } => write!(
+                f,
+                "EDGEATTR {} {edge} {} {}",
+                t.raw(),
+                quote(name),
+                fmt_value(value)
+            ),
+        }
+    }
+}
+
 impl fmt::Display for Query {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -443,60 +508,17 @@ impl fmt::Display for Query {
             Query::SlowStats => f.write_str("STATS SLOW"),
             Query::StorageStats => f.write_str("STATS STORAGE"),
             Query::HealthStats => f.write_str("STATS HEALTH"),
-            Query::Append(spec) => match spec {
-                AppendSpec::Node { t, node } => write!(f, "APPEND NODE {} {node}", t.raw()),
-                AppendSpec::DelNode { t, node } => {
-                    write!(f, "APPEND DELNODE {} {node}", t.raw())
+            Query::Append(spec) => write!(f, "APPEND {spec}"),
+            Query::AppendBatch(specs) => {
+                f.write_str("APPEND BATCH ")?;
+                for (i, spec) in specs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ; ")?;
+                    }
+                    write!(f, "{spec}")?;
                 }
-                AppendSpec::Edge {
-                    t,
-                    edge,
-                    src,
-                    dst,
-                    directed,
-                } => write!(
-                    f,
-                    "APPEND EDGE {} {edge} {src} {dst}{}",
-                    t.raw(),
-                    if *directed { " DIRECTED" } else { "" }
-                ),
-                AppendSpec::DelEdge {
-                    t,
-                    edge,
-                    src,
-                    dst,
-                    directed,
-                } => write!(
-                    f,
-                    "APPEND DELEDGE {} {edge} {src} {dst}{}",
-                    t.raw(),
-                    if *directed { " DIRECTED" } else { "" }
-                ),
-                AppendSpec::NodeAttr {
-                    t,
-                    node,
-                    name,
-                    value,
-                } => write!(
-                    f,
-                    "APPEND NODEATTR {} {node} {} {}",
-                    t.raw(),
-                    quote(name),
-                    fmt_value(value)
-                ),
-                AppendSpec::EdgeAttr {
-                    t,
-                    edge,
-                    name,
-                    value,
-                } => write!(
-                    f,
-                    "APPEND EDGEATTR {} {edge} {} {}",
-                    t.raw(),
-                    quote(name),
-                    fmt_value(value)
-                ),
-            },
+                Ok(())
+            }
             Query::Bind { key, node } => write!(f, "BIND {} {node}", quote(key)),
             Query::ReleaseAll => f.write_str("RELEASE ALL"),
             Query::Protocol(mode) => write!(f, "PROTOCOL {}", format_keyword(*mode)),

@@ -647,6 +647,23 @@ impl Executor {
                 self.router.append_with(|current| spec.to_event(current))?;
                 Ok(Response::Appended { t: spec.time() })
             }
+            Query::AppendBatch(specs) => {
+                // The whole batch is routed to the tail shard as one unit:
+                // events are built against the tail's current graph under
+                // the same locks that apply them, validated (chronology and
+                // §3.1 well-formedness) together, and made visible under a
+                // single append-epoch bump — a reader at any `t` sees either
+                // none of the batch or all of it.
+                let outcome = self.router.append_batch_with(|current| {
+                    specs.iter().map(|s| s.to_event(current)).collect()
+                })?;
+                Ok(Response::AppendedBatch {
+                    count: outcome.applied,
+                    normalized: outcome.normalized,
+                    t_min: outcome.t_min,
+                    t_max: outcome.t_max,
+                })
+            }
             Query::Bind { key, node } => {
                 self.router.register_key(key.clone(), NodeId(*node));
                 Ok(Response::Bound {
@@ -701,6 +718,7 @@ fn primary_time(query: &Query) -> Option<Timestamp> {
         Query::Diff { a, .. } => Some(*a),
         Query::NodeHistory { from, .. } => Some(*from),
         Query::Append(spec) => Some(spec.time()),
+        Query::AppendBatch(specs) => specs.first().map(|s| s.time()),
         _ => None,
     }
 }
@@ -803,6 +821,64 @@ mod tests {
         let g = run(&mut exec, "GET GRAPH AT 22 WITH +node:all+edge:all");
         assert!(g.contains("N 777 name=\"new\""), "{g}");
         assert!(g.contains("E 500 777 1 d"), "{g}");
+    }
+
+    #[test]
+    fn append_batch_is_atomic_and_queryable() {
+        let (mut exec, shared) = executor();
+        let ack = run(
+            &mut exec,
+            "APPEND BATCH NODE 20 777 ; NODEATTR 21 777 name \"new\" ; EDGE 22 500 777 1 DIRECTED",
+        );
+        assert_eq!(
+            ack,
+            "OK APPENDED BATCH count=3 normalized=0 t_min=20 t_max=22"
+        );
+        let g = run(&mut exec, "GET GRAPH AT 22 WITH +node:all+edge:all");
+        assert!(g.contains("N 777 name=\"new\""), "{g}");
+        assert!(g.contains("E 500 777 1 d"), "{g}");
+        // The whole batch landed under ONE append-epoch bump.
+        assert_eq!(shared.read().append_epoch(), 1);
+    }
+
+    #[test]
+    fn ill_formed_batches_are_normalized_at_the_wire_boundary() {
+        let (mut exec, _shared) = executor();
+        run(
+            &mut exec,
+            "APPEND BATCH NODE 20 777 ; NODEATTR 21 777 name \"x\" ; \
+             EDGE 22 500 777 1 ; EDGEATTR 23 500 w 9",
+        );
+        // Deleting an attribute-carrying edge and then the attribute- and
+        // edge-carrying node is ill-formed under §3.1; the boundary injects
+        // the clearing events (edge attr, node attr, incident edge delete).
+        let ack = run(
+            &mut exec,
+            "APPEND BATCH DELEDGE 30 500 777 1 ; DELNODE 31 777",
+        );
+        assert!(
+            ack.starts_with("OK APPENDED BATCH count=4 normalized=2"),
+            "{ack}"
+        );
+        let g = run(&mut exec, "GET GRAPH AT 31 WITH +node:all+edge:all");
+        assert!(!g.contains("N 777"), "{g}");
+        assert!(!g.contains("E 500"), "{g}");
+    }
+
+    #[test]
+    fn rejected_batches_leave_no_partial_state() {
+        let (mut exec, shared) = executor();
+        let before = run(&mut exec, "STATS");
+        // The second spec predates the first — chronology is validated for
+        // the batch as a unit, so nothing from the batch is applied.
+        let err = exec
+            .execute_line("APPEND BATCH NODE 20 777 ; NODE 19 778")
+            .unwrap_err();
+        assert!(err.to_string().contains("chronologically"), "{err}");
+        assert_eq!(run(&mut exec, "STATS"), before);
+        assert_eq!(shared.read().append_epoch(), 0, "no epoch bump");
+        let g = run(&mut exec, "GET GRAPH AT 30 WITH +node:all");
+        assert!(!g.contains("N 777"), "batch prefix leaked: {g}");
     }
 
     #[test]

@@ -21,6 +21,8 @@ pub enum Token {
     Word(String),
     /// `,`
     Comma,
+    /// `;` — separates the event specs of an `APPEND BATCH`.
+    Semicolon,
     /// `(`
     LParen,
     /// `)`
@@ -36,6 +38,7 @@ impl Token {
             Token::Str(s) => format!("string {s:?}"),
             Token::Word(w) => format!("'{w}'"),
             Token::Comma => "','".into(),
+            Token::Semicolon => "';'".into(),
             Token::LParen => "'('".into(),
             Token::RParen => "')'".into(),
         }
@@ -67,6 +70,13 @@ pub fn lex(input: &str) -> QlResult<Vec<Spanned>> {
             ',' => {
                 tokens.push(Spanned {
                     token: Token::Comma,
+                    offset: i,
+                });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Spanned {
+                    token: Token::Semicolon,
                     offset: i,
                 });
                 i += 1;
@@ -187,6 +197,24 @@ mod tests {
                 Token::Comma,
                 Token::Int(4),
                 Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn semicolons_separate_batch_specs() {
+        assert_eq!(
+            toks("APPEND BATCH NODE 5 1 ; NODE 5 2"),
+            vec![
+                Token::Word("APPEND".into()),
+                Token::Word("BATCH".into()),
+                Token::Word("NODE".into()),
+                Token::Int(5),
+                Token::Int(1),
+                Token::Semicolon,
+                Token::Word("NODE".into()),
+                Token::Int(5),
+                Token::Int(2),
             ]
         );
     }

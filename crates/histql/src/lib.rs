@@ -33,6 +33,7 @@
 //! APPEND DELEDGE <t> <id> <src> <dst> [DIRECTED]
 //! APPEND NODEATTR <t> <id> <name> <value>
 //! APPEND EDGEATTR <t> <id> <name> <value>
+//! APPEND BATCH <spec> ; <spec> ; ...               atomic multi-event append
 //! BIND <key> <node id>                             register an application key
 //! RELEASE ALL                                      drop every pool overlay
 //! PROTOCOL TEXT|BINARY                             switch the response encoding
@@ -176,6 +177,18 @@ mod roundtrip_tests {
                 "APPEND NODEATTR 25 1 active TRUE",
                 "APPEND NODEATTR 25 1 \"active\" TRUE",
             ),
+            (
+                "append batch node 20 777",
+                "APPEND BATCH NODE 20 777",
+            ),
+            (
+                "append batch node 20 777 ; nodeattr 20 777 name \"x\" ; edge 21 500 777 1 directed",
+                "APPEND BATCH NODE 20 777 ; NODEATTR 20 777 \"name\" \"x\" ; EDGE 21 500 777 1 DIRECTED",
+            ),
+            (
+                "APPEND BATCH DELEDGE 30 500 777 1 ; DELNODE 31 777",
+                "APPEND BATCH DELEDGE 30 500 777 1 ; DELNODE 31 777",
+            ),
             ("bind alice 1", "BIND \"alice\" 1"),
             ("RELEASE ALL", "RELEASE ALL"),
             ("ping", "PING"),
@@ -222,6 +235,9 @@ mod roundtrip_tests {
                 "STEP must be positive",
             ),
             ("APPEND WIDGET 1 2", "unknown APPEND kind"),
+            ("APPEND BATCH", "an event kind"),
+            ("APPEND BATCH NODE 1 2 ;", "an event kind"),
+            ("APPEND BATCH NODE 1 2 NODE 2 3", "unexpected trailing"),
             ("APPEND NODE x 2", "expected a timestamp"),
             ("APPEND NODE 1 -2", "expected a non-negative id"),
             ("APPEND NODEATTR 1 2 k", "expected a value literal"),

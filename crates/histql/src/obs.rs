@@ -52,6 +52,10 @@ pub enum VerbKind {
     NodeHistory,
     /// `APPEND`.
     Append,
+    /// `APPEND BATCH` — one histogram sample per batch *request*, however
+    /// many events it applies (per-event counts live in the per-shard
+    /// `appends` counters; see `docs/OBSERVABILITY.md`).
+    AppendBatch,
     /// The `STATS` family.
     Stats,
     /// Everything else: `BIND`, `RELEASE ALL`, `PROTOCOL`, `PING`, and
@@ -60,7 +64,7 @@ pub enum VerbKind {
 }
 
 /// Number of [`VerbKind`] variants (histogram array size).
-const VERBS: usize = 10;
+const VERBS: usize = 11;
 
 impl VerbKind {
     /// Classifies a parsed query.
@@ -74,6 +78,7 @@ impl VerbKind {
             Query::NodeAt { .. } => VerbKind::NodeAt,
             Query::NodeHistory { .. } => VerbKind::NodeHistory,
             Query::Append(_) => VerbKind::Append,
+            Query::AppendBatch(_) => VerbKind::AppendBatch,
             Query::Stats
             | Query::CacheStats
             | Query::ShardStats
@@ -99,6 +104,7 @@ impl VerbKind {
             VerbKind::NodeAt => "NODE",
             VerbKind::NodeHistory => "HISTORY NODE",
             VerbKind::Append => "APPEND",
+            VerbKind::AppendBatch => "APPEND BATCH",
             VerbKind::Stats => "STATS",
             VerbKind::Other => "OTHER",
         }
@@ -115,6 +121,7 @@ impl VerbKind {
             VerbKind::NodeAt => "verb_us_node_at",
             VerbKind::NodeHistory => "verb_us_node_history",
             VerbKind::Append => "verb_us_append",
+            VerbKind::AppendBatch => "verb_us_append_batch",
             VerbKind::Stats => "verb_us_stats",
             VerbKind::Other => "verb_us_other",
         }
@@ -130,8 +137,9 @@ impl VerbKind {
             VerbKind::NodeAt => 5,
             VerbKind::NodeHistory => 6,
             VerbKind::Append => 7,
-            VerbKind::Stats => 8,
-            VerbKind::Other => 9,
+            VerbKind::AppendBatch => 8,
+            VerbKind::Stats => 9,
+            VerbKind::Other => 10,
         }
     }
 
@@ -145,6 +153,7 @@ impl VerbKind {
             VerbKind::NodeAt,
             VerbKind::NodeHistory,
             VerbKind::Append,
+            VerbKind::AppendBatch,
             VerbKind::Stats,
             VerbKind::Other,
         ]
@@ -518,6 +527,10 @@ mod tests {
             ("NODE alice AT 6", VerbKind::NodeAt),
             ("HISTORY NODE alice FROM 0 TO 9", VerbKind::NodeHistory),
             ("APPEND NODE 20 777", VerbKind::Append),
+            (
+                "APPEND BATCH NODE 20 777 ; NODEATTR 20 777 name \"x\"",
+                VerbKind::AppendBatch,
+            ),
             ("STATS", VerbKind::Stats),
             ("STATS CACHE", VerbKind::Stats),
             ("STATS METRICS", VerbKind::Stats),

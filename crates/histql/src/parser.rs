@@ -159,6 +159,20 @@ impl Parser {
     }
 
     fn parse_append(&mut self) -> QlResult<Query> {
+        if self.eat_keyword("BATCH") {
+            let mut specs = vec![self.parse_append_spec()?];
+            while self.eat(&Token::Semicolon) {
+                specs.push(self.parse_append_spec()?);
+            }
+            return Ok(Query::AppendBatch(specs));
+        }
+        Ok(Query::Append(self.parse_append_spec()?))
+    }
+
+    /// One event spec: the `APPEND` grammar without the leading keyword.
+    /// Shared between `APPEND <spec>` and the `;`-separated list of
+    /// `APPEND BATCH <spec> ; <spec> ; ...`.
+    fn parse_append_spec(&mut self) -> QlResult<AppendSpec> {
         let kind = self.next_keyword("an event kind")?;
         let t = self.next_time()?;
         let spec = match kind.as_str() {
@@ -219,7 +233,7 @@ impl Parser {
                 )))
             }
         };
-        Ok(Query::Append(spec))
+        Ok(spec)
     }
 
     // --- time expressions -------------------------------------------------

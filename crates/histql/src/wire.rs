@@ -167,6 +167,19 @@ pub enum Response {
         /// The event's time.
         t: Timestamp,
     },
+    /// An `APPEND BATCH` was applied atomically: every event became visible
+    /// under one append-epoch bump, so no reader observed a partial batch.
+    AppendedBatch {
+        /// Events applied, counting §3.1 normalization expansions.
+        count: usize,
+        /// Clearing events injected by `ContractPolicy::Normalize` (0 when
+        /// the batch was already well-formed).
+        normalized: usize,
+        /// Earliest event time in the batch.
+        t_min: Timestamp,
+        /// Latest event time in the batch.
+        t_max: Timestamp,
+    },
     /// A `BIND` registered a key.
     Bound {
         /// The registered key.
@@ -679,6 +692,16 @@ impl Response {
                 }
             }
             Response::Appended { t } => out.push(format!("OK APPENDED t={}", t.raw())),
+            Response::AppendedBatch {
+                count,
+                normalized,
+                t_min,
+                t_max,
+            } => out.push(format!(
+                "OK APPENDED BATCH count={count} normalized={normalized} t_min={} t_max={}",
+                t_min.raw(),
+                t_max.raw()
+            )),
             Response::Bound { key, node } => out.push(format!("OK BOUND {} {node}", quote(key))),
             Response::Released { count } => out.push(format!("OK RELEASED {count}")),
             Response::Protocol { mode } => {
@@ -1012,6 +1035,18 @@ impl Encode for Response {
                 buf.push(18);
                 info.encode(buf);
             }
+            Response::AppendedBatch {
+                count,
+                normalized,
+                t_min,
+                t_max,
+            } => {
+                buf.push(19);
+                count.encode(buf);
+                normalized.encode(buf);
+                t_min.encode(buf);
+                t_max.encode(buf);
+            }
             Response::Bound { key, node } => {
                 buf.push(8);
                 key.encode(buf);
@@ -1123,6 +1158,12 @@ impl Decode for Response {
             },
             18 => Response::Health {
                 info: HealthInfo::decode(r)?,
+            },
+            19 => Response::AppendedBatch {
+                count: usize::decode(r)?,
+                normalized: usize::decode(r)?,
+                t_min: Timestamp::decode(r)?,
+                t_max: Timestamp::decode(r)?,
             },
             t => return Err(TgError::Codec(format!("invalid Response tag {t}"))),
         })
@@ -1544,6 +1585,12 @@ mod tests {
                 },
             },
             Response::Appended { t: Timestamp(20) },
+            Response::AppendedBatch {
+                count: 5,
+                normalized: 2,
+                t_min: Timestamp(20),
+                t_max: Timestamp(23),
+            },
             Response::Bound {
                 key: "alice".into(),
                 node: 1,

@@ -557,21 +557,73 @@ impl DurableState {
         ))))
     }
 
-    /// Undoes the record written at `offset` after the in-memory apply
-    /// rejected the event.
+    /// Appends a whole batch write-ahead, as one unit: every record lands or
+    /// none do. Returns the batch's start offset — [`DurableState::rollback`]
+    /// with it removes the entire batch, never leaving a prefix on disk.
+    ///
+    /// Retry and degradation accounting is per *batch*, not per event: a
+    /// transient fault truncates back to the batch start, counts one retry,
+    /// and rewrites the whole batch; a fatal fault counts one degraded-mode
+    /// transition, exactly as a failed single append would.
+    pub fn append_batch(&mut self, events: &[Event]) -> DgResult<u64> {
+        if let Some(reason) = &self.degraded {
+            return Err(DgError::Store(StoreError::Degraded(format!(
+                "tail shard is read-only: {reason}"
+            ))));
+        }
+        let start = self.wal.len();
+        let mut attempt = 0u32;
+        let err = loop {
+            let failed = events
+                .iter()
+                .find_map(|ev| self.wal.append(ev).err().map(DgError::from));
+            match failed {
+                None => return Ok(start),
+                Some(e) => {
+                    if attempt < MAX_IO_RETRIES && is_transient(&e) {
+                        attempt += 1;
+                        self.retries += 1;
+                        // Cut the partial batch (and any torn record) back to
+                        // the batch boundary before rewriting it whole.
+                        if self.wal.truncate_to(start).is_err() {
+                            break e;
+                        }
+                        backoff(attempt);
+                    } else {
+                        break e;
+                    }
+                }
+            }
+        };
+        self.wal.truncate_to(start).ok();
+        self.degraded = Some(err.to_string());
+        Err(DgError::Store(StoreError::Degraded(format!(
+            "tail batch append failed, shard now read-only: {err}"
+        ))))
+    }
+
+    /// Undoes the record(s) written from `offset` after the in-memory apply
+    /// rejected the event or batch.
     pub fn rollback(&mut self, offset: u64) -> DgResult<()> {
         Ok(self.wal.truncate_to(offset)?)
     }
 
     /// The crash-atomic roll protocol (module docs): seals the current tail
     /// into a segment, starts generation `tail_gen + 1` whose WAL holds the
-    /// roll-triggering `event`, and commits by swapping the manifest.
+    /// roll-triggering `events` (one for a plain `APPEND`, the whole batch
+    /// for an `APPEND BATCH` — a recovered tail never sees a batch prefix),
+    /// and commits by swapping the manifest.
     /// Nothing is visible to recovery until the swap; after `Ok` the caller
     /// must install the new in-memory tail shard.
     /// A failure anywhere before the commit point leaves the old generation
-    /// authoritative (the trigger event correctly unacknowledged); transient
+    /// authoritative (the trigger events correctly unacknowledged); transient
     /// errors at each step are retried before giving up.
-    pub fn roll(&mut self, boundary: Timestamp, new_seed: &[Event], event: &Event) -> DgResult<()> {
+    pub fn roll(
+        &mut self,
+        boundary: Timestamp,
+        new_seed: &[Event],
+        events: &[Event],
+    ) -> DgResult<()> {
         if let Some(reason) = &self.degraded {
             return Err(DgError::Store(StoreError::Degraded(format!(
                 "tail shard is read-only: {reason}"
@@ -609,10 +661,12 @@ impl DurableState {
         let policy = self.wal.policy();
         let mut new_wal = retried(&mut retries, || Ok(Wal::create(&new_wal_path, policy)?))?;
         retried(&mut retries, || {
-            // Restart the trigger record from scratch on each retry: the
+            // Restart the trigger records from scratch on each retry: the
             // fresh log is empty, so truncating to zero is always right.
             new_wal.truncate_to(0)?;
-            new_wal.append(event)?;
+            for event in events {
+                new_wal.append(event)?;
+            }
             Ok(new_wal.sync()?)
         })?;
         // 4. Commit.
@@ -786,7 +840,7 @@ mod tests {
         st.roll(
             Timestamp(5),
             &[Event::add_node(4, 1), Event::add_node(4, 2)],
-            &trigger,
+            std::slice::from_ref(&trigger),
         )
         .unwrap();
         assert_eq!(st.segments(), 1);

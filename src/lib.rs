@@ -63,7 +63,7 @@ pub mod source;
 pub use cache::{CacheEntryInfo, CacheStats, SnapshotCache};
 pub use durable::is_durable_dir;
 pub use kvstore::wal::WalSyncPolicy;
-pub use manager::{GraphManager, GraphManagerConfig};
+pub use manager::{BatchOutcome, ContractPolicy, GraphManager, GraphManagerConfig};
 pub use response_cache::{ResponseCache, ResponseCacheStats, WireFormat};
 pub use sharded::{
     CacheOverview, HealthInfo, ShardHealth, ShardInfo, ShardedConfig, ShardedGraphManager,

@@ -12,10 +12,48 @@ use std::sync::Arc;
 use deltagraph::{DeltaGraph, DeltaGraphConfig, DgError, DgResult, IndexStats};
 use graphpool::{GraphId, GraphPool, GraphView};
 use kvstore::{DiskStore, KeyValueStore, MemStore};
-use tgraph::{AttrOptions, Event, NodeId, Snapshot, TimeExpression, Timestamp};
+use tgraph::{AttrOptions, EdgeId, Event, EventKind, NodeId, Snapshot, TimeExpression, Timestamp};
 
 use crate::cache::{CacheEntryInfo, CacheStats, SnapshotCache};
 use crate::response_cache::{ResponseCache, ResponseCacheStats, WireFormat};
+
+/// How the append boundary enforces the §3.1 bidirectional-replay contract.
+///
+/// Deletion events carry only enough state to restore the bare element
+/// (a `DeleteEdge` its endpoints, a `DeleteNode` nothing but the id), so a
+/// delete whose target still carries attributes — or, for nodes, incident
+/// edges — cannot be replayed backwards faithfully: forward and backward
+/// replay diverge and snapshot answers become dependent on leaf layout.
+/// Every write path ([`GraphManager::append_event`],
+/// [`GraphManager::append_batch`]) runs under this policy, so the invariant
+/// the generators maintain is enforced for arbitrary writers too.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ContractPolicy {
+    /// Auto-normalize: the boundary injects the missing clearing events
+    /// (attribute removals, incident-edge deletes) immediately before the
+    /// offending delete, at the same timestamp, inside the same atomic
+    /// application. The stream recorded in the index is always well formed.
+    #[default]
+    Normalize,
+    /// Reject the append (the whole batch, for batches) with a precise
+    /// [`DgError::InvalidParameter`] naming the offending element.
+    Reject,
+}
+
+/// What [`GraphManager::append_batch`] applied, reported to clients so an
+/// `APPEND BATCH` acknowledgement can say how many events landed and how
+/// many clearing events the §3.1 contract injected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Events applied to the index, including injected clearing events.
+    pub applied: usize,
+    /// Clearing events injected by [`ContractPolicy::Normalize`].
+    pub normalized: usize,
+    /// Earliest event time in the batch (the invalidation horizon).
+    pub t_min: Timestamp,
+    /// Latest event time in the batch.
+    pub t_max: Timestamp,
+}
 
 /// Configuration of a [`GraphManager`].
 #[derive(Clone, Debug, Default)]
@@ -43,6 +81,10 @@ pub struct GraphManagerConfig {
     /// leaves the byte total uncapped): on top of the entry count, the
     /// cache evicts LRU replies until the cached bytes fit this budget.
     pub response_cache_bytes: u64,
+    /// How the append boundary enforces the §3.1 replay contract on
+    /// deletes that still carry state (see [`ContractPolicy`]). Defaults to
+    /// [`ContractPolicy::Normalize`].
+    pub contract_policy: ContractPolicy,
 }
 
 impl GraphManagerConfig {
@@ -69,6 +111,12 @@ impl GraphManagerConfig {
     /// (0 = uncapped).
     pub fn with_response_cache_bytes(mut self, bytes: u64) -> Self {
         self.response_cache_bytes = bytes;
+        self
+    }
+
+    /// Sets how the append boundary enforces the §3.1 replay contract.
+    pub fn with_contract_policy(mut self, policy: ContractPolicy) -> Self {
+        self.contract_policy = policy;
         self
     }
 }
@@ -449,28 +497,148 @@ impl GraphManager {
     /// Appends a new event: the current graph, the GraphPool overlay of the
     /// current graph, and the index are all updated.
     ///
+    /// The §3.1 replay contract is enforced here (see [`ContractPolicy`]):
+    /// a delete whose target still carries attributes (or, for nodes,
+    /// incident edges) is either expanded into clearing events plus the
+    /// delete — all applied as one logical append with a single epoch bump
+    /// — or rejected, per the configured policy.
+    ///
     /// The index goes first — it validates the event (chronology, duplicate
     /// elements) — so a rejected event never reaches the pool and the two
     /// views of the current graph cannot diverge. Cached snapshots at or
     /// after the event's time are invalidated (they could now differ from a
     /// fresh computation); entries strictly before it stay valid.
     pub fn append_event(&mut self, event: Event) -> DgResult<()> {
-        self.index.append_event(event.clone())?;
-        self.pool.apply_event_to_current(&event);
-        self.append_epoch += 1;
-        for overlay in self.cache.invalidate_from(event.time) {
-            self.pool.release(overlay);
-        }
-        self.response_cache.invalidate_from(event.time);
-        Ok(())
+        let (expanded, normalized) = self.expand_event(event)?;
+        self.apply_prepared(&expanded, normalized).map(|_| ())
     }
 
-    /// Appends a batch of events.
-    pub fn append_events(&mut self, events: impl IntoIterator<Item = Event>) -> DgResult<()> {
-        for ev in events {
-            self.append_event(ev)?;
+    /// Enforces the §3.1 contract on one event against the live current
+    /// graph — no snapshot clone, so the per-event append path stays cheap.
+    /// A clean delete (or any non-delete) expands to itself. Returns the
+    /// sequence to apply plus the number of injected clearing events.
+    ///
+    /// Durable writers call this (or [`GraphManager::prepare_batch`]) first
+    /// so the *expanded* sequence is what reaches the WAL: recovery rebuilds
+    /// indexes from raw WAL replay, which must therefore be well formed.
+    pub fn expand_event(&self, event: Event) -> DgResult<(Vec<Event>, usize)> {
+        let mut expanded = Vec::with_capacity(1);
+        expand_contract(
+            self.index.current_graph(),
+            event,
+            self.config.contract_policy,
+            &mut expanded,
+        )?;
+        let normalized = expanded.len() - 1;
+        Ok((expanded, normalized))
+    }
+
+    /// Applies an already-validated event sequence (from
+    /// [`GraphManager::expand_event`] or [`GraphManager::prepare_batch`],
+    /// computed under the same exclusive lock) as one atomic unit: one
+    /// append-epoch bump, one cache invalidation from the earliest time.
+    ///
+    /// Mid-sequence failure cannot occur for prepared input — injected
+    /// clearing events are valid by construction and batches were fully
+    /// simulated — so either the first event is rejected (nothing applied,
+    /// no epoch bump) or the whole sequence lands.
+    pub(crate) fn apply_prepared(
+        &mut self,
+        expanded: &[Event],
+        normalized: usize,
+    ) -> DgResult<BatchOutcome> {
+        let t_min = expanded.first().expect("non-empty sequence").time;
+        let t_max = expanded.last().expect("non-empty sequence").time;
+        for ev in expanded {
+            self.index.append_event(ev.clone())?;
+            self.pool.apply_event_to_current(ev);
         }
-        Ok(())
+        self.append_epoch += 1;
+        for overlay in self.cache.invalidate_from(t_min) {
+            self.pool.release(overlay);
+        }
+        self.response_cache.invalidate_from(t_min);
+        Ok(BatchOutcome {
+            applied: expanded.len(),
+            normalized,
+            t_min,
+            t_max,
+        })
+    }
+
+    /// Appends a batch of events atomically: the whole batch is validated
+    /// (chronology and §3.1 well-formedness) *as a unit* against a simulated
+    /// copy of the current graph before anything is applied, so a rejected
+    /// batch leaves no prefix behind. Application then bumps the append
+    /// epoch once and invalidates both cache tiers once, from the batch's
+    /// earliest time — readers at any `t` either see none of the batch or
+    /// all of it.
+    ///
+    /// Stale `old` values on attribute events (computed against a pre-batch
+    /// snapshot by wire-level writers) are canonicalized against the
+    /// evolving batch state: the authoritative previous value is what the
+    /// graph actually holds, and recording anything else would break
+    /// backward replay just like an attribute-carrying delete.
+    pub fn append_batch(&mut self, events: Vec<Event>) -> DgResult<BatchOutcome> {
+        let (expanded, normalized) = self.prepare_batch(events)?;
+        self.apply_prepared(&expanded, normalized)
+    }
+
+    /// Validates and normalizes a batch without mutating anything: returns
+    /// the full event sequence to apply (clearing events injected per the
+    /// §3.1 policy, stale attribute `old` values canonicalized) plus the
+    /// number of injected events. Shared by [`GraphManager::append_batch`]
+    /// and by durable writers that must know the final sequence before
+    /// writing it ahead to the WAL.
+    pub fn prepare_batch(&self, events: Vec<Event>) -> DgResult<(Vec<Event>, usize)> {
+        if events.is_empty() {
+            return Err(DgError::InvalidParameter(
+                "an APPEND BATCH must contain at least one event".into(),
+            ));
+        }
+        // Chronology as a unit: non-decreasing within the batch and not
+        // before recorded history — checked before any simulation so the
+        // error is about the batch, not about whichever event tripped the
+        // index first.
+        let mut last = self.index.history_range().ok().map(|(_, end)| end);
+        for ev in &events {
+            if let Some(bound) = last {
+                if ev.time < bound {
+                    return Err(DgError::InvalidParameter(format!(
+                        "batch event at {} precedes {bound}; a batch must be \
+                         chronologically ordered and not predate recorded history",
+                        ev.time
+                    )));
+                }
+            }
+            last = Some(ev.time);
+        }
+        let mut sim = seed_batch_sim(self.index.current_graph(), &events);
+        let mut out = Vec::with_capacity(events.len());
+        let mut normalized = 0usize;
+        for ev in events {
+            let before = out.len();
+            expand_contract(&sim, ev, self.config.contract_policy, &mut out)?;
+            normalized += out.len() - before - 1;
+            // Simulate the new events so later batch members (and the §3.1
+            // checks guarding them) see the in-batch state; a failure here
+            // (duplicate element, missing target, ...) rejects the whole
+            // batch before anything real was touched.
+            for new in &out[before..] {
+                sim.apply_forward(new).map_err(DgError::Model)?;
+            }
+        }
+        Ok((out, normalized))
+    }
+
+    /// Appends a batch of events atomically (see
+    /// [`GraphManager::append_batch`]); an empty iterator is a no-op.
+    pub fn append_events(&mut self, events: impl IntoIterator<Item = Event>) -> DgResult<()> {
+        let events: Vec<Event> = events.into_iter().collect();
+        if events.is_empty() {
+            return Ok(());
+        }
+        self.append_batch(events).map(|_| ())
     }
 
     /// Materializes the DeltaGraph root in memory.
@@ -544,6 +712,204 @@ impl GraphManager {
     pub fn pool_memory(&self) -> usize {
         self.pool.approx_memory()
     }
+}
+
+/// Expands one event into the sequence the §3.1 replay contract requires,
+/// evaluated against `state` (the live current graph for single appends, the
+/// evolving simulated graph for batches), and appends it to `out`.
+///
+/// - `SetNodeAttr`/`SetEdgeAttr`: the `old` value is canonicalized to what
+///   the graph actually holds — recording a stale `old` breaks backward
+///   replay exactly like an attribute-carrying delete.
+/// - `DeleteEdge` whose edge still carries attributes: clearing
+///   `SetEdgeAttr` events are injected before it (same timestamp), or the
+///   append is rejected under [`ContractPolicy::Reject`].
+/// - `DeleteNode` whose node still carries attributes or incident edges:
+///   attribute clears, then per-edge attribute clears + `DeleteEdge`s (in
+///   edge-id order, for determinism), are injected before it — or rejected.
+///
+/// A delete whose target does not exist expands to itself; the index
+/// rejects it with its own precise error.
+/// Builds the minimal simulation state for validating a batch: only the
+/// nodes and edges the batch references — plus, for `DeleteNode` targets,
+/// their incident edges — are copied out of the live graph. Validation and
+/// §3.1 expansion then run the real [`Snapshot`] application logic over
+/// this partial state, so a batch costs O(touched elements) to prepare
+/// instead of O(graph) for a full clone, with identical accept/reject
+/// behavior:
+///
+/// - duplicate/missing checks consult exactly the referenced elements,
+///   which are seeded whenever they exist in the live graph;
+/// - §3.1 expansion of a delete needs the target's attributes (seeded with
+///   the element) and, for nodes, its incident edges (seeded from one edge
+///   scan — `neighbors` can't be used because directed edges are only
+///   recorded under their source);
+/// - `AddEdge` creates missing endpoints implicitly in both the full and
+///   the partial state, so unreferenced endpoints never matter.
+fn seed_batch_sim(base: &Snapshot, events: &[Event]) -> Snapshot {
+    let mut nodes: Vec<NodeId> = Vec::new();
+    let mut edges: Vec<EdgeId> = Vec::new();
+    let mut delete_targets: Vec<NodeId> = Vec::new();
+    for ev in events {
+        match &ev.kind {
+            EventKind::AddNode { node } => nodes.push(*node),
+            EventKind::DeleteNode { node } => {
+                nodes.push(*node);
+                delete_targets.push(*node);
+            }
+            EventKind::AddEdge { edge, src, dst, .. }
+            | EventKind::DeleteEdge { edge, src, dst, .. } => {
+                edges.push(*edge);
+                nodes.push(*src);
+                nodes.push(*dst);
+            }
+            EventKind::SetNodeAttr { node, .. } => nodes.push(*node),
+            EventKind::SetEdgeAttr { edge, .. } => edges.push(*edge),
+            EventKind::TransientNode { .. } | EventKind::TransientEdge { .. } => {}
+        }
+    }
+    nodes.sort_unstable();
+    nodes.dedup();
+    // Incident edges matter only where a DeleteNode's §3.1 expansion (and
+    // its cascade in the simulation) will consult them; the one O(edges)
+    // scan is paid only by batches that actually delete nodes.
+    if !delete_targets.is_empty() {
+        delete_targets.sort_unstable();
+        for (e, d) in base.edges() {
+            if delete_targets.binary_search(&d.src).is_ok()
+                || delete_targets.binary_search(&d.dst).is_ok()
+            {
+                edges.push(e);
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+
+    let mut sim = Snapshot::new();
+    for &n in &nodes {
+        if let Some(data) = base.node(n) {
+            sim.add_node(n).expect("fresh node in empty sim");
+            for (key, value) in &data.attrs {
+                sim.set_node_attr(n, key, Some(value.clone()))
+                    .expect("attr on just-seeded node");
+            }
+        }
+    }
+    for &e in &edges {
+        if let Some(data) = base.edge(e) {
+            sim.add_edge(e, data.src, data.dst, data.directed)
+                .expect("fresh edge in partial sim");
+            for (key, value) in &data.attrs {
+                sim.set_edge_attr(e, key, Some(value.clone()))
+                    .expect("attr on just-seeded edge");
+            }
+        }
+    }
+    sim
+}
+
+fn expand_contract(
+    state: &Snapshot,
+    mut event: Event,
+    policy: ContractPolicy,
+    out: &mut Vec<Event>,
+) -> DgResult<()> {
+    match &mut event.kind {
+        EventKind::SetNodeAttr { node, key, old, .. } => {
+            *old = state.node_attr(*node, key).cloned();
+        }
+        EventKind::SetEdgeAttr { edge, key, old, .. } => {
+            *old = state.edge_attr(*edge, key).cloned();
+        }
+        EventKind::DeleteEdge { edge, .. } => {
+            if let Some(data) = state.edge(*edge) {
+                if !data.attrs.is_empty() {
+                    if policy == ContractPolicy::Reject {
+                        return Err(contract_violation(format!(
+                            "DeleteEdge {} still carries {} attribute(s): {}",
+                            edge,
+                            data.attrs.len(),
+                            keys_of(&data.attrs)
+                        )));
+                    }
+                    let e = *edge;
+                    for (key, value) in &data.attrs {
+                        out.push(Event::set_edge_attr(
+                            event.time,
+                            e,
+                            key.clone(),
+                            Some(value.clone()),
+                            None,
+                        ));
+                    }
+                }
+            }
+        }
+        EventKind::DeleteNode { node } => {
+            if let Some(data) = state.node(*node) {
+                let n = *node;
+                let mut incident: Vec<(EdgeId, &tgraph::EdgeData)> = state
+                    .edges()
+                    .filter(|(_, d)| d.src == n || d.dst == n)
+                    .collect();
+                incident.sort_by_key(|(e, _)| *e);
+                if !data.attrs.is_empty() || !incident.is_empty() {
+                    if policy == ContractPolicy::Reject {
+                        return Err(contract_violation(format!(
+                            "DeleteNode {} still carries {} attribute(s) and {} incident edge(s)",
+                            n,
+                            data.attrs.len(),
+                            incident.len()
+                        )));
+                    }
+                    for (key, value) in &data.attrs {
+                        out.push(Event::set_node_attr(
+                            event.time,
+                            n,
+                            key.clone(),
+                            Some(value.clone()),
+                            None,
+                        ));
+                    }
+                    for (e, d) in incident {
+                        for (key, value) in &d.attrs {
+                            out.push(Event::set_edge_attr(
+                                event.time,
+                                e,
+                                key.clone(),
+                                Some(value.clone()),
+                                None,
+                            ));
+                        }
+                        out.push(Event::new(
+                            event.time,
+                            EventKind::DeleteEdge {
+                                edge: e,
+                                src: d.src,
+                                dst: d.dst,
+                                directed: d.directed,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+    out.push(event);
+    Ok(())
+}
+
+fn contract_violation(detail: String) -> DgError {
+    DgError::InvalidParameter(format!(
+        "replay contract (§3.1) violation: {detail}; clear attributes and \
+         incident edges first, or keep ContractPolicy::Normalize"
+    ))
+}
+
+fn keys_of(attrs: &tgraph::AttrMap) -> String {
+    attrs.keys().cloned().collect::<Vec<_>>().join(", ")
 }
 
 #[cfg(test)]
@@ -722,6 +1088,283 @@ mod tests {
                 "t={t}"
             );
         }
+    }
+
+    /// A manager whose leaf size is large enough that appends stay in the
+    /// recent eventlist — the tests below assert on the recorded stream.
+    fn wide_manager() -> GraphManager {
+        GraphManager::build_in_memory(&toy_trace().events, GraphManagerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn attribute_carrying_deletes_are_normalized_at_the_boundary() {
+        use tgraph::AttrValue;
+        let mut gm = wide_manager();
+        gm.append_event(Event::add_node(20, 800)).unwrap();
+        gm.append_event(Event::add_edge(20, 900, 800, 1)).unwrap();
+        gm.append_event(Event::set_edge_attr(
+            21,
+            900,
+            "w",
+            None,
+            Some(AttrValue::Int(5)),
+        ))
+        .unwrap();
+        let before = gm.index().recent_events().len();
+        // Ill-formed: the edge still carries `w`. The boundary must inject
+        // the clearing event before the delete.
+        gm.append_event(Event::delete_edge(22, 900, 800, 1))
+            .unwrap();
+        let recorded = gm.index().recent_events().events();
+        assert_eq!(recorded.len(), before + 2, "clear + delete recorded");
+        assert!(matches!(
+            &recorded[recorded.len() - 2].kind,
+            EventKind::SetEdgeAttr {
+                old: Some(AttrValue::Int(5)),
+                new: None,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &recorded[recorded.len() - 1].kind,
+            EventKind::DeleteEdge { .. }
+        ));
+    }
+
+    #[test]
+    fn edge_carrying_node_delete_is_normalized_at_the_boundary() {
+        use tgraph::AttrValue;
+        let mut gm = wide_manager();
+        gm.append_event(Event::add_node(20, 800)).unwrap();
+        gm.append_event(Event::add_edge(20, 900, 800, 1)).unwrap();
+        gm.append_event(Event::set_node_attr(
+            21,
+            800,
+            "name",
+            None,
+            Some(AttrValue::from("x")),
+        ))
+        .unwrap();
+        let before = gm.index().recent_events().len();
+        // Ill-formed: node 800 still has an attribute and an incident edge.
+        gm.append_event(Event::delete_node(22, 800)).unwrap();
+        let recorded = gm.index().recent_events().events();
+        // attr clear + edge delete + node delete
+        assert_eq!(recorded.len(), before + 3);
+        assert!(!gm.index().current_graph().has_node(tgraph::NodeId(800)));
+        assert!(!gm.index().current_graph().has_edge(EdgeId(900)));
+        // The pool's current view stayed in lockstep through the expansion.
+        assert_eq!(
+            gm.graph(graphpool::CURRENT_GRAPH).to_snapshot(),
+            *gm.index().current_graph()
+        );
+    }
+
+    /// `prepare_batch` validates against a *partial* simulation seeded with
+    /// only the elements the batch touches. This pins its output to the
+    /// full-clone reference it replaced, on a batch built to stress the
+    /// seeding edge cases: a delete target with an *incoming directed*
+    /// edge (invisible to `neighbors`), reuse of the cascade-freed edge id
+    /// inside the same batch, and a stale attribute `old` value needing
+    /// canonicalization.
+    #[test]
+    fn partial_sim_preparation_matches_full_clone_reference() {
+        use tgraph::AttrValue;
+        let mut gm = wide_manager();
+        gm.append_event(Event::add_node(20, 800)).unwrap();
+        gm.append_event(Event::add_node(20, 801)).unwrap();
+        gm.append_event(Event::new(
+            21,
+            EventKind::AddEdge {
+                edge: EdgeId(900),
+                src: NodeId(801),
+                dst: NodeId(800),
+                directed: true,
+            },
+        ))
+        .unwrap();
+        gm.append_event(Event::set_node_attr(
+            22,
+            800,
+            "name",
+            None,
+            Some(AttrValue::from("x")),
+        ))
+        .unwrap();
+        gm.append_event(Event::set_edge_attr(
+            22,
+            900,
+            "w",
+            None,
+            Some(AttrValue::Int(3)),
+        ))
+        .unwrap();
+
+        let batch = vec![
+            Event::add_node(30, 810),
+            // Ill-formed: attribute plus the incoming directed edge.
+            Event::delete_node(30, 800),
+            // Reuses the id the cascade just freed.
+            Event::new(
+                31,
+                EventKind::AddEdge {
+                    edge: EdgeId(900),
+                    src: NodeId(801),
+                    dst: NodeId(810),
+                    directed: false,
+                },
+            ),
+            // Stale `old`: the graph holds no previous value for this key.
+            Event::set_node_attr(
+                32,
+                810,
+                "a",
+                Some(AttrValue::Int(9)),
+                Some(AttrValue::Int(1)),
+            ),
+        ];
+
+        // Reference: the full-clone preparation the partial sim replaced.
+        let mut sim = gm.index().current_graph().clone();
+        let mut want = Vec::new();
+        let mut want_normalized = 0usize;
+        for ev in batch.clone() {
+            let before = want.len();
+            expand_contract(&sim, ev, ContractPolicy::Normalize, &mut want).unwrap();
+            want_normalized += want.len() - before - 1;
+            for new in &want[before..] {
+                sim.apply_forward(new).unwrap();
+            }
+        }
+
+        let (got, got_normalized) = gm.prepare_batch(batch).unwrap();
+        assert_eq!(got, want, "partial sim expanded a different sequence");
+        assert_eq!(got_normalized, want_normalized);
+        assert!(got_normalized >= 2, "the delete should have been expanded");
+
+        // The prepared sequence applies cleanly and lands the whole batch.
+        gm.apply_prepared(&got, got_normalized).unwrap();
+        let current = gm.index().current_graph();
+        assert!(!current.has_node(NodeId(800)));
+        assert!(current.has_edge(EdgeId(900)));
+        assert_eq!(current.edge(EdgeId(900)).unwrap().dst, NodeId(810));
+    }
+
+    #[test]
+    fn reject_policy_refuses_ill_formed_deletes() {
+        use tgraph::AttrValue;
+        let cfg = GraphManagerConfig::default().with_contract_policy(ContractPolicy::Reject);
+        let mut gm = GraphManager::build_in_memory(&toy_trace().events, cfg).unwrap();
+        gm.append_event(Event::add_node(20, 800)).unwrap();
+        gm.append_event(Event::add_edge(20, 900, 800, 1)).unwrap();
+        gm.append_event(Event::set_edge_attr(
+            21,
+            900,
+            "w",
+            None,
+            Some(AttrValue::Int(5)),
+        ))
+        .unwrap();
+        let err = gm
+            .append_event(Event::delete_edge(22, 900, 800, 1))
+            .unwrap_err();
+        assert!(err.to_string().contains("replay contract"), "{err}");
+        assert!(err.to_string().contains('w'), "{err}");
+        // Nothing was applied.
+        assert!(gm.index().current_graph().has_edge(EdgeId(900)));
+        let err = gm.append_event(Event::delete_node(22, 800)).unwrap_err();
+        assert!(err.to_string().contains("incident edge"), "{err}");
+    }
+
+    #[test]
+    fn batches_apply_atomically_with_one_epoch_bump() {
+        let mut gm = manager();
+        let epoch = gm.append_epoch();
+        let outcome = gm
+            .append_batch(vec![
+                Event::add_node(20, 800),
+                Event::add_node(20, 801),
+                Event::add_edge(20, 900, 800, 801),
+            ])
+            .unwrap();
+        assert_eq!(outcome.applied, 3);
+        assert_eq!(outcome.normalized, 0);
+        assert_eq!(
+            (outcome.t_min, outcome.t_max),
+            (Timestamp(20), Timestamp(20))
+        );
+        assert_eq!(gm.append_epoch(), epoch + 1, "one bump per batch");
+        assert!(gm.index().current_graph().has_edge(EdgeId(900)));
+    }
+
+    #[test]
+    fn rejected_batches_leave_no_prefix() {
+        let mut gm = manager();
+        let epoch = gm.append_epoch();
+        let snapshot_before = gm.index().current_graph().clone();
+        // Last event is invalid (duplicate node): the whole batch must be
+        // rejected with the first two events never becoming visible.
+        let err = gm
+            .append_batch(vec![
+                Event::add_node(20, 800),
+                Event::add_edge(20, 900, 800, 1),
+                Event::add_node(21, 800),
+            ])
+            .unwrap_err();
+        assert!(err.to_string().contains("already exists"), "{err}");
+        assert_eq!(gm.append_epoch(), epoch);
+        assert_eq!(*gm.index().current_graph(), snapshot_before);
+        // Chronology is validated as a unit, against batch-internal order.
+        let err = gm
+            .append_batch(vec![Event::add_node(22, 801), Event::add_node(21, 802)])
+            .unwrap_err();
+        assert!(err.to_string().contains("chronologically"), "{err}");
+        assert_eq!(*gm.index().current_graph(), snapshot_before);
+        // And the empty batch is refused outright.
+        assert!(gm.append_batch(vec![]).is_err());
+    }
+
+    #[test]
+    fn batch_canonicalizes_stale_old_attribute_values() {
+        use tgraph::AttrValue;
+        let mut gm = wide_manager();
+        gm.append_batch(vec![
+            Event::add_node(20, 800),
+            // Both events claim old=None, as a wire client computing
+            // against the pre-batch snapshot would; the second's true old
+            // value is Int(1) and must be recorded as such.
+            Event::set_node_attr(20, 800, "k", None, Some(AttrValue::Int(1))),
+            Event::set_node_attr(21, 800, "k", None, Some(AttrValue::Int(2))),
+        ])
+        .unwrap();
+        let recorded = gm.index().recent_events().events();
+        let last = &recorded[recorded.len() - 1];
+        assert!(matches!(
+            &last.kind,
+            EventKind::SetNodeAttr {
+                old: Some(AttrValue::Int(1)),
+                new: Some(AttrValue::Int(2)),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn batch_normalization_counts_injected_events() {
+        use tgraph::AttrValue;
+        let mut gm = manager();
+        let outcome = gm
+            .append_batch(vec![
+                Event::add_node(20, 800),
+                Event::add_edge(20, 900, 800, 1),
+                Event::set_edge_attr(21, 900, "w", None, Some(AttrValue::Int(5))),
+                // Ill-formed within the batch: the edge gained `w` above.
+                Event::delete_edge(22, 900, 800, 1),
+            ])
+            .unwrap();
+        assert_eq!(outcome.applied, 5, "four events plus one injected clear");
+        assert_eq!(outcome.normalized, 1);
+        assert!(!gm.index().current_graph().has_edge(EdgeId(900)));
     }
 
     #[test]

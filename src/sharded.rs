@@ -47,7 +47,7 @@ use tgraph::{AttrOptions, Event, EventKind, EventList, Snapshot, TimeExpression,
 
 use crate::cache::{CacheEntryInfo, CacheStats};
 use crate::durable::{DurableState, ShardPlan};
-use crate::manager::{GraphManager, GraphManagerConfig};
+use crate::manager::{BatchOutcome, GraphManager, GraphManagerConfig};
 use crate::response_cache::ResponseCacheStats;
 use crate::shared::{CachedPoint, PoolSession, SharedGraphManager};
 
@@ -1259,9 +1259,9 @@ impl ShardedGraphManager {
             let event = build(gm.index().current_graph());
             check_tail_range(tail, &event)?;
             if !self.wants_roll(tail, &gm, &event) {
-                self.apply_tail_event(&mut gm, event.clone())?;
-                tail.events.fetch_add(1, Ordering::Relaxed);
-                tail.appends.fetch_add(1, Ordering::Relaxed);
+                let (expanded, normalized) = gm.expand_event(event.clone())?;
+                let outcome = self.apply_tail_prepared(&mut gm, &expanded, normalized)?;
+                note_tail_appends(tail, outcome.applied);
                 return Ok(event);
             }
         }
@@ -1274,21 +1274,106 @@ impl ShardedGraphManager {
         let event = build(gm.index().current_graph());
         check_tail_range(tail, &event)?;
         if !self.wants_roll(tail, &gm, &event) {
-            self.apply_tail_event(&mut gm, event.clone())?;
-            tail.events.fetch_add(1, Ordering::Relaxed);
-            tail.appends.fetch_add(1, Ordering::Relaxed);
+            let (expanded, normalized) = gm.expand_event(event.clone())?;
+            let outcome = self.apply_tail_prepared(&mut gm, &expanded, normalized)?;
+            note_tail_appends(tail, outcome.applied);
             return Ok(event);
         }
-        let boundary = event.time;
+        // The §3.1 boundary runs before the roll so the new shard (and its
+        // durable WAL) records the normalized, well-formed sequence.
+        let (expanded, _normalized) = gm.expand_event(event.clone())?;
+        self.roll_tail(&mut shards, gm, &expanded)?;
+        Ok(event)
+    }
+
+    /// Appends a ready-made event (no old-value lookup needed).
+    pub fn append_event(&self, event: Event) -> DgResult<()> {
+        self.append_with(|_| event.clone()).map(|_| ())
+    }
+
+    /// Appends a group of live events to the tail shard as one atomic unit;
+    /// `build` constructs the batch against the tail's current graph under
+    /// the same locks that apply it. The batch is validated — chronology,
+    /// tail range, §3.1 well-formedness — *as a unit* before anything is
+    /// applied: a rejected batch leaves no prefix in memory or on disk. It
+    /// lands entirely in one shard (at most one roll, decided on the whole
+    /// batch), becomes visible under a single append-epoch bump, and
+    /// invalidates the tail's caches once.
+    pub fn append_batch_with(
+        &self,
+        build: impl Fn(&Snapshot) -> Vec<Event>,
+    ) -> DgResult<BatchOutcome> {
+        // Fast path under the router's shared lock, mirroring `append_with`.
+        {
+            let shards = self.read_shards();
+            let tail = shards.last().expect("at least one shard");
+            let shared = tail.shared(&self.inner)?;
+            let mut gm = shared.write();
+            let events = build(gm.index().current_graph());
+            let first = first_of_batch(&events)?;
+            for ev in &events {
+                check_tail_range(tail, ev)?;
+            }
+            if !self.wants_roll(tail, &gm, &first) {
+                let (expanded, normalized) = gm.prepare_batch(events)?;
+                let outcome = self.apply_tail_prepared(&mut gm, &expanded, normalized)?;
+                note_tail_appends(tail, outcome.applied);
+                return Ok(outcome);
+            }
+        }
+        // Roll path under the exclusive router lock.
+        let mut shards = self.write_shards();
+        let tail = shards.last().expect("at least one shard");
+        let shared = tail.shared(&self.inner)?;
+        let mut gm = shared.write();
+        let events = build(gm.index().current_graph());
+        let first = first_of_batch(&events)?;
+        for ev in &events {
+            check_tail_range(tail, ev)?;
+        }
+        if !self.wants_roll(tail, &gm, &first) {
+            let (expanded, normalized) = gm.prepare_batch(events)?;
+            let outcome = self.apply_tail_prepared(&mut gm, &expanded, normalized)?;
+            note_tail_appends(tail, outcome.applied);
+            return Ok(outcome);
+        }
+        // One roll for the whole batch: every event (normalization included)
+        // lands in the fresh tail shard.
+        let (expanded, normalized) = gm.prepare_batch(events)?;
+        self.roll_tail(&mut shards, gm, &expanded)?;
+        Ok(BatchOutcome {
+            applied: expanded.len(),
+            normalized,
+            t_min: expanded.first().expect("non-empty batch").time,
+            t_max: expanded.last().expect("non-empty batch").time,
+        })
+    }
+
+    /// Appends a ready-made batch atomically (see
+    /// [`ShardedGraphManager::append_batch_with`]).
+    pub fn append_batch(&self, events: Vec<Event>) -> DgResult<BatchOutcome> {
+        self.append_batch_with(|_| events.clone())
+    }
+
+    /// Rolls a new tail shard whose first contents are `expanded` (an
+    /// already §3.1-normalized event sequence — one event for `APPEND`, the
+    /// whole batch for `APPEND BATCH`). The boundary is the sequence's first
+    /// time; building the new shard validates the events exactly like an
+    /// append would (a malformed sequence fails the build and the old tail
+    /// stays). The store comes from the same factory as the built shards',
+    /// so a persistent deployment keeps rolled history durable too.
+    fn roll_tail(
+        &self,
+        shards: &mut Vec<Shard>,
+        gm: RwLockWriteGuard<'_, GraphManager>,
+        expanded: &[Event],
+    ) -> DgResult<()> {
+        let boundary = expanded.first().expect("non-empty sequence").time;
         let seed = seed_events(gm.index().current_graph(), boundary.prev());
         let keys = gm.key_bindings();
         drop(gm);
         let mut list = seed.clone();
-        list.push(event.clone());
-        // Building the new shard validates the event exactly like an append
-        // would (a malformed event fails the build and the old tail stays).
-        // The store comes from the same factory as the built shards', so a
-        // persistent deployment keeps rolled history durable too.
+        list.extend(expanded.iter().cloned());
         let mut next = GraphManager::build(
             &EventList::from_events(list),
             self.inner.config.manager.clone(),
@@ -1299,46 +1384,54 @@ impl ShardedGraphManager {
         }
         // Persist the roll before exposing the new shard: seal the old
         // tail into its segment, start the next WAL generation holding the
-        // triggering event, and commit with the manifest swap. An error
+        // triggering events, and commit with the manifest swap. An error
         // here leaves both disk (old manifest wins) and memory (no new
-        // shard) on the old generation, the event unacknowledged.
+        // shard) on the old generation, the events unacknowledged.
         if let Some(mut st) = self.storage_guard() {
-            st.roll(boundary, &seed, &event)?;
+            st.roll(boundary, &seed, expanded)?;
         }
         shards.push(Shard {
             cell: ShardCell::eager(SharedGraphManager::new(next)),
             lower: Some(boundary),
-            events: AtomicUsize::new(1),
+            // The events that triggered the roll land in the new shard.
+            events: AtomicUsize::new(expanded.len()),
             queries: AtomicU64::new(0),
-            // The event that triggered the roll lands in the new shard.
-            appends: AtomicU64::new(1),
+            appends: AtomicU64::new(expanded.len() as u64),
         });
-        Ok(event)
+        Ok(())
     }
 
-    /// Appends a ready-made event (no old-value lookup needed).
-    pub fn append_event(&self, event: Event) -> DgResult<()> {
-        self.append_with(|_| event.clone()).map(|_| ())
-    }
-
-    /// Applies one event to the tail manager, writing it ahead to the WAL
-    /// first when the router is durable. If the in-memory apply rejects the
-    /// event, the WAL record is rolled back so recovery never replays an
-    /// event that was refused (a crash inside this window is healed by
-    /// [`ShardedGraphManager::open`]'s drop-last-record retry).
-    fn apply_tail_event(&self, gm: &mut GraphManager, event: Event) -> DgResult<()> {
+    /// Applies an already-expanded event sequence to the tail manager,
+    /// writing it ahead to the WAL first when the router is durable — the
+    /// WAL therefore always records the normalized, well-formed stream that
+    /// recovery rebuilds from. If the in-memory apply rejects the sequence,
+    /// the WAL records are rolled back to the sequence's start offset so
+    /// recovery never replays a refused event or a batch prefix (a crash
+    /// inside this window is healed by [`ShardedGraphManager::open`]'s
+    /// drop-last-record retry).
+    fn apply_tail_prepared(
+        &self,
+        gm: &mut GraphManager,
+        expanded: &[Event],
+        normalized: usize,
+    ) -> DgResult<BatchOutcome> {
         match self.storage_guard() {
             Some(mut st) => {
-                let offset = st.append(&event)?;
-                match gm.append_event(event) {
-                    Ok(()) => Ok(()),
+                // Single events keep the per-record write (and its
+                // accounting); batches go write-ahead as one unit.
+                let offset = match expanded {
+                    [single] => st.append(single)?,
+                    many => st.append_batch(many)?,
+                };
+                match gm.apply_prepared(expanded, normalized) {
+                    Ok(outcome) => Ok(outcome),
                     Err(e) => {
                         st.rollback(offset)?;
                         Err(e)
                     }
                 }
             }
-            None => gm.append_event(event),
+            None => gm.apply_prepared(expanded, normalized),
         }
     }
 
@@ -1582,6 +1675,23 @@ fn check_tail_range(tail: &Shard, event: &Event) -> DgResult<()> {
         }
     }
     Ok(())
+}
+
+/// The first event of a batch, which anchors the roll decision; rejects the
+/// empty batch with the same error the manager boundary would.
+fn first_of_batch(events: &[Event]) -> DgResult<Event> {
+    events.first().cloned().ok_or_else(|| {
+        DgError::InvalidParameter("an APPEND BATCH must contain at least one event".into())
+    })
+}
+
+/// Records `applied` events (normalization included) against the tail's
+/// roll budget and its `appends` skew counter — the counters deliberately
+/// track events applied, not requests served; the request-level view lives
+/// in the per-verb histograms.
+fn note_tail_appends(tail: &Shard, applied: usize) {
+    tail.events.fetch_add(applied, Ordering::Relaxed);
+    tail.appends.fetch_add(applied as u64, Ordering::Relaxed);
 }
 
 /// A session over the router: one lazily created [`PoolSession`] per shard

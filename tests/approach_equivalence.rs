@@ -147,6 +147,82 @@ proptest! {
 }
 
 proptest! {
+    /// `APPEND BATCH` extends the invariant to transactional ingest: for
+    /// random roll budgets and batch shapes, a sharded router applying
+    /// whole batches (each routed to the tail as a unit, rolling at most
+    /// one new shard per batch) stays snapshot-identical to a single
+    /// manager applying the same batches — including batches whose arrival
+    /// triggers a tail roll, and batches that carry ill-formed deletes the
+    /// §3.1 boundary must normalize identically on both sides.
+    #[test]
+    fn prop_sharded_batches_match_single_manager_across_rolls(
+        seed in 0u64..4,
+        shard_count in 1usize..4,
+        budget in 0usize..8,
+        batches in 1usize..6,
+        batch_len in 1usize..5,
+    ) {
+        use historygraph::tgraph::AttrValue;
+
+        let ds = churn_trace(&ChurnConfig::tiny(700 + seed));
+        let end = ds.end_time().raw();
+        let sharded = ShardedGraphManager::build_in_memory(
+            &ds.events,
+            ShardedConfig::default()
+                .with_shards(shard_count)
+                .with_shard_events(budget),
+        )
+        .unwrap();
+        let mut single =
+            GraphManager::build_in_memory(&ds.events, GraphManagerConfig::default()).unwrap();
+
+        let mut t = end;
+        let mut probe_times = Vec::new();
+        for b in 0..batches as i64 {
+            // Each batch: a node birth, an attribute write, and (for the
+            // later batches) an ill-formed delete of the previous batch's
+            // still-attributed node — exercising normalization inside the
+            // atomic unit on both the sharded and the single path.
+            let node = 910_000 + b as u64;
+            let mut batch = Vec::new();
+            for k in 0..batch_len as i64 {
+                t += 1;
+                batch.push(match k % 3 {
+                    0 => Event::add_node(t, node + 1000 * k as u64),
+                    1 => Event::set_node_attr(
+                        t,
+                        node,
+                        "w",
+                        None,
+                        Some(AttrValue::Int(b * 100 + k)),
+                    ),
+                    _ => Event::delete_node(t, node + 1000 * (k - 2) as u64),
+                });
+            }
+            let got = sharded.append_batch(batch.clone()).unwrap();
+            let want = single.append_batch(batch).unwrap();
+            assert_eq!(got.applied, want.applied, "batch {b} applied count");
+            assert_eq!(got.normalized, want.normalized, "batch {b} normalization");
+            // The whole batch landed in one shard: its time span never
+            // straddles a shard boundary.
+            assert_eq!(
+                sharded.shard_index_for(got.t_min),
+                sharded.shard_index_for(got.t_max),
+                "batch {b} straddles shards"
+            );
+            probe_times.extend([got.t_min, got.t_max]);
+        }
+        for opts in [AttrOptions::all(), AttrOptions::structure_only()] {
+            for &pt in &probe_times {
+                let got = sharded.snapshot_at(pt, &opts).unwrap();
+                let want = single.index().get_snapshot(pt, &opts).unwrap();
+                assert_eq!(got, want, "t={} opts={}", pt.raw(), opts.canonical_string());
+            }
+        }
+    }
+}
+
+proptest! {
     /// Durable recovery extends the invariant to crashes: for random
     /// streams, shard layouts, roll budgets, live appends, and a random
     /// kill point (the WAL torn at an arbitrary byte offset), a recovered

@@ -141,3 +141,200 @@ proptest! {
         std::fs::remove_dir_all(&dir).ok();
     }
 }
+
+proptest! {
+    /// The batch analogue: random fault schedules against `APPEND BATCH`
+    /// never tear a batch. Each batch is written write-ahead as a unit and
+    /// rolled back to its start offset on failure, so recovery must see
+    /// every batch all-or-nothing: an acked batch fully visible, a failed
+    /// batch either fully absent or (when the fault struck after the
+    /// durability point, losing only the ack) fully present — never a
+    /// prefix.
+    #[test]
+    fn random_fault_schedules_never_tear_batches(
+        site_idx in 0..14usize,
+        kind_idx in 0..6usize,
+        skip in 0..8u64,
+        count in 1..4u64,
+    ) {
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "failpoint-batch-prop-{}-{case}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let scope = dir.to_str().unwrap().to_string();
+
+        let events = EventList::from_events(
+            (1..=16).map(|i| Event::add_node(i, 1000 + i as u64)).collect(),
+        );
+        let config = ShardedConfig::default().with_shard_events(8);
+        let router = ShardedGraphManager::build_durable(
+            &events,
+            config.clone(),
+            &dir,
+            WalSyncPolicy::Always,
+        )
+        .unwrap();
+
+        faults::arm_scoped(SITES[site_idx], KINDS[kind_idx], skip, Some(count), Some(&scope));
+
+        // 8 batches of 3 events each, crossing at least one tail roll.
+        const BATCHES: u64 = 8;
+        const PER: u64 = 3;
+        let mut acked = Vec::new();
+        for b in 0..BATCHES {
+            let t = 100 + b as i64 * 10;
+            let batch: Vec<Event> = (0..PER)
+                .map(|k| Event::add_node(t + k as i64, 2000 + b * 100 + k))
+                .collect();
+            if router.append_batch(batch).is_ok() {
+                acked.push(b);
+            }
+        }
+        faults::clear(SITES[site_idx]);
+        drop(router);
+
+        let reopened = ShardedGraphManager::open(&dir, config, WalSyncPolicy::Always)
+            .unwrap_or_else(|e| panic!(
+                "recovery failed after {}={:?}:skip={skip}:count={count}: {e}",
+                SITES[site_idx], KINDS[kind_idx]
+            ));
+        let snap = reopened
+            .snapshot_at(Timestamp(1000), &AttrOptions::all())
+            .unwrap();
+        for b in 0..BATCHES {
+            let present: Vec<bool> = (0..PER)
+                .map(|k| snap.has_node(NodeId(2000 + b * 100 + k)))
+                .collect();
+            let whole = present.iter().all(|&p| p);
+            let none = present.iter().all(|&p| !p);
+            assert!(
+                whole || none,
+                "batch {b} recovered torn ({present:?}) after {}={:?}:skip={skip}:count={count}",
+                SITES[site_idx], KINDS[kind_idx]
+            );
+            if acked.contains(&b) {
+                assert!(
+                    whole,
+                    "acked batch {b} lost after {}={:?}:skip={skip}:count={count}",
+                    SITES[site_idx], KINDS[kind_idx]
+                );
+            }
+        }
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Transient faults inside one batch count **one retry per batch attempt**,
+/// not one per event: the whole batch is truncated back to its start offset
+/// and rewritten, so `storage_retries_total` moves by the number of rewrite
+/// rounds, never by the batch's width.
+#[test]
+fn transient_batch_fault_counts_one_retry_not_one_per_event() {
+    let dir = std::env::temp_dir().join(format!("failpoint-batch-retry-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let scope = dir.to_str().unwrap().to_string();
+
+    let events = EventList::from_events(
+        (1..=4)
+            .map(|i| Event::add_node(i, 1000 + i as u64))
+            .collect(),
+    );
+    let config = ShardedConfig::default();
+    let router =
+        ShardedGraphManager::build_durable(&events, config, &dir, WalSyncPolicy::Always).unwrap();
+
+    // One transient fault striking the middle record of a 3-event batch.
+    faults::arm_scoped("wal.append", FaultKind::Transient, 1, Some(1), Some(&scope));
+    let batch: Vec<Event> = (0..3)
+        .map(|k| Event::add_node(100 + k, 2000 + k as u64))
+        .collect();
+    let outcome = router.append_batch(batch).unwrap();
+    faults::clear("wal.append");
+    assert_eq!(outcome.applied, 3);
+
+    let health = router.health_info();
+    assert_eq!(
+        health.storage_retries, 1,
+        "one rewrite round must count one retry, not one per event"
+    );
+    assert!(!health.degraded, "a recovered transient must not degrade");
+    // The retried batch is fully visible.
+    let snap = router
+        .snapshot_at(Timestamp(200), &AttrOptions::all())
+        .unwrap();
+    for k in 0..3u64 {
+        assert!(
+            snap.has_node(NodeId(2000 + k)),
+            "node {k} missing after retry"
+        );
+    }
+    drop(router);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A fatal mid-batch fault degrades the tail exactly once and leaves it
+/// serving the pre-batch state: no event of the failed batch is visible at
+/// any timestamp, and recovery (with the fault cleared) agrees.
+#[test]
+fn fatal_mid_batch_fault_leaves_pre_batch_state() {
+    let dir = std::env::temp_dir().join(format!("failpoint-batch-fatal-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let scope = dir.to_str().unwrap().to_string();
+
+    let events = EventList::from_events(
+        (1..=4)
+            .map(|i| Event::add_node(i, 1000 + i as u64))
+            .collect(),
+    );
+    let config = ShardedConfig::default();
+    let router =
+        ShardedGraphManager::build_durable(&events, config.clone(), &dir, WalSyncPolicy::Always)
+            .unwrap();
+
+    // EIO striking the middle record of the batch: fatal, no retry.
+    faults::arm_scoped(
+        "wal.append",
+        FaultKind::Eio,
+        1,
+        Some(u64::MAX),
+        Some(&scope),
+    );
+    let batch: Vec<Event> = (0..3)
+        .map(|k| Event::add_node(100 + k, 2000 + k as u64))
+        .collect();
+    let err = router.append_batch(batch).unwrap_err();
+    assert!(err.to_string().contains("read-only"), "{err}");
+    faults::clear("wal.append");
+
+    let health = router.health_info();
+    assert!(health.degraded, "fatal batch fault must degrade the tail");
+    assert_eq!(health.storage_retries, 0, "a fatal fault is not a retry");
+    // The live tail serves the pre-batch state — no prefix of the batch.
+    let snap = router
+        .snapshot_at(Timestamp(200), &AttrOptions::all())
+        .unwrap();
+    for k in 0..3u64 {
+        assert!(!snap.has_node(NodeId(2000 + k)), "batch prefix leaked live");
+    }
+    drop(router);
+
+    // And so does recovery.
+    let reopened = ShardedGraphManager::open(&dir, config, WalSyncPolicy::Always).unwrap();
+    let snap = reopened
+        .snapshot_at(Timestamp(200), &AttrOptions::all())
+        .unwrap();
+    for k in 0..3u64 {
+        assert!(
+            !snap.has_node(NodeId(2000 + k)),
+            "batch prefix survived recovery"
+        );
+    }
+    drop(reopened);
+    std::fs::remove_dir_all(&dir).ok();
+}
